@@ -1,0 +1,114 @@
+//! E3 — Eq. (1) parameters are recoverable by MLE and online SGD (§III-A).
+//!
+//! Claim under test: "given a set of acquired tuples for an attribute A⟨j⟩,
+//! we can estimate the rate of an inhomogeneous MDPP using techniques like
+//! maximum-likelihood estimation [12]" and the sliding-window variant "using
+//! online parameter estimation algorithms like stochastic gradient descent
+//! … [13]". Workload: ground truth θ* = [2.0, 0.02, 0.4, −0.1]; MLE fitted
+//! on single windows of growing duration (growing n), SGD fed the same data
+//! as a stream of 5-minute batches. Reported: intensity-surface RMSE
+//! relative to the mean rate, and fit cost.
+
+use craqr_bench::{f3, preamble, Table};
+use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
+use craqr_mdpp::fit::{fit_mle, FitConfig, SgdConfig, SgdEstimator};
+use craqr_mdpp::intensity::{IntensityModel, LinearIntensity};
+use craqr_mdpp::process::InhomogeneousMdpp;
+use craqr_stats::seeded_rng;
+use std::time::Instant;
+
+/// Relative RMSE of the fitted surface over a probe lattice.
+fn surface_rel_rmse(est: &LinearIntensity, truth: &LinearIntensity, w: &SpaceTimeWindow) -> f64 {
+    let mut se = 0.0;
+    let mut mean = 0.0;
+    let mut n = 0.0;
+    for it in 0..5 {
+        for ix in 0..5 {
+            for iy in 0..5 {
+                let p = SpaceTimePoint::new(
+                    w.t0 + w.duration() * (it as f64 + 0.5) / 5.0,
+                    w.rect.x0 + w.rect.width() * (ix as f64 + 0.5) / 5.0,
+                    w.rect.y0 + w.rect.height() * (iy as f64 + 0.5) / 5.0,
+                );
+                let d = est.rate_at(&p) - truth.rate_at(&p);
+                se += d * d;
+                mean += truth.rate_at(&p);
+                n += 1.0;
+            }
+        }
+    }
+    (se / n).sqrt() / (mean / n)
+}
+
+fn main() {
+    preamble(
+        "E3 (parameter inference)",
+        "θ of Eq. (1) is recoverable by batch MLE and by online SGD",
+        "10×10 km, θ* = [2.0, 0.02, 0.4, −0.1], durations swept, seed 42",
+    );
+
+    let region = Rect::with_size(10.0, 10.0);
+    let truth = LinearIntensity::new([2.0, 0.02, 0.4, -0.1]);
+    let process = InhomogeneousMdpp::new(truth, region);
+
+    let mut table = Table::new([
+        "duration (min)",
+        "n points",
+        "MLE rel RMSE",
+        "MLE iters",
+        "MLE ms",
+        "SGD rel RMSE",
+        "SGD batches",
+        "SGD ms",
+    ]);
+
+    for &minutes in &[2.0, 5.0, 15.0, 40.0, 100.0] {
+        let window = SpaceTimeWindow::new(region, 0.0, minutes);
+        let mut rng = seeded_rng(42);
+        let points = process.sample(&window, &mut rng);
+
+        // Batch MLE over the whole window.
+        let t0 = Instant::now();
+        let fit = fit_mle(&points, &window, FitConfig::default());
+        let mle_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mle_rmse = surface_rel_rmse(&fit.intensity, &truth, &window);
+
+        // SGD over the same data as consecutive 5-minute (or shorter)
+        // batches, each re-anchored to the reference window.
+        let batch_len = 5.0_f64.min(minutes);
+        let reference = SpaceTimeWindow::new(region, 0.0, batch_len);
+        let mut sgd = SgdEstimator::new(&reference, SgdConfig::default());
+        let t0 = Instant::now();
+        let mut start = 0.0;
+        while start < minutes - 1e-9 {
+            let end = (start + batch_len).min(minutes);
+            let batch: Vec<SpaceTimePoint> = points
+                .iter()
+                .filter(|p| p.t >= start && p.t < end)
+                .map(|p| SpaceTimePoint::new(p.t - start, p.x, p.y))
+                .collect();
+            let w = SpaceTimeWindow::new(region, 0.0, end - start);
+            sgd.observe_batch(&batch, &w);
+            start = end;
+        }
+        let sgd_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let sgd_rmse = surface_rel_rmse(&sgd.estimate(), &truth, &reference);
+
+        table.row([
+            f3(minutes),
+            points.len().to_string(),
+            f3(mle_rmse),
+            fit.iterations.to_string(),
+            f3(mle_ms),
+            f3(sgd_rmse),
+            sgd.batches_seen().to_string(),
+            f3(sgd_ms),
+        ]);
+    }
+    table.print("E3: intensity-surface recovery error vs sample size");
+
+    println!(
+        "\nreading: MLE error shrinks roughly as 1/√n; SGD (one pass, constant memory)\n\
+         tracks within a small factor of the batch MLE once enough batches have streamed."
+    );
+}

@@ -1,0 +1,94 @@
+//! E8 — Query insertion/deletion maintenance is cheap (§V "Topology
+//! Construction" / "Query Deletions").
+//!
+//! Claim under test: the insertion/deletion rules (F-first, rate-sorted T
+//! splice, consecutive-T merge) are constant-time list/graph surgery, so
+//! maintaining thousands of standing queries is feasible. Workload: build
+//! up `n` standing queries over a 16×16 grid, then measure insert and
+//! delete latency at that population. Reported: mean µs per insert /
+//! delete, materialized chains, operator count proxy.
+
+use craqr_bench::{f1, preamble, Table};
+use craqr_core::plan::PlannerConfig;
+use craqr_core::{AcquisitionQuery, Fabricator};
+use craqr_geom::Rect;
+use craqr_sensing::AttributeId;
+use std::time::Instant;
+
+fn grid_aligned_query(i: usize, rate: f64) -> AcquisitionQuery {
+    // Spread queries over a 16×16 grid of 1 km cells, 1–2 cells each.
+    let q = (i * 7) % 15;
+    let r = (i * 11) % 15;
+    let w = 1 + (i % 2);
+    AcquisitionQuery::new(
+        AttributeId((i % 4) as u16),
+        Rect::new(q as f64, r as f64, (q + w) as f64, r as f64 + 1.0),
+        rate,
+    )
+}
+
+fn main() {
+    preamble(
+        "E8 (standing-query churn)",
+        "insert/delete maintenance cost stays flat as standing queries accumulate",
+        "16×16 km, grid 16×16, 4 attributes, 1–2 cell queries, rates cycled over 8 levels",
+    );
+
+    let mut table = Table::new([
+        "standing queries",
+        "insert µs (mean of 64)",
+        "delete µs (mean of 64)",
+        "materialized chains",
+        "tuples work-rate model",
+    ]);
+
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        let mut fab = Fabricator::new(
+            Rect::with_size(16.0, 16.0),
+            PlannerConfig { grid_side: 16, ..Default::default() },
+        );
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let rate = 0.25 * (1 + (i % 8)) as f64;
+            ids.push(fab.insert_query(grid_aligned_query(i, rate)).unwrap());
+        }
+
+        // Measure 64 churn pairs at this population.
+        let probes = 64;
+        let t0 = Instant::now();
+        let mut probe_ids = Vec::with_capacity(probes);
+        for i in 0..probes {
+            let rate = 0.33 * (1 + (i % 8)) as f64;
+            probe_ids.push(fab.insert_query(grid_aligned_query(n + i, rate)).unwrap());
+        }
+        let insert_us = t0.elapsed().as_secs_f64() * 1e6 / probes as f64;
+
+        let t0 = Instant::now();
+        for qid in probe_ids {
+            fab.delete_query(qid).unwrap();
+        }
+        let delete_us = t0.elapsed().as_secs_f64() * 1e6 / probes as f64;
+
+        // Cost-model proxy: summed chain processing rates.
+        let model: f64 = fab
+            .flatten_reports()
+            .iter()
+            .map(|(_, _, _, f_rate)| *f_rate)
+            .sum();
+
+        table.row([
+            n.to_string(),
+            f1(insert_us),
+            f1(delete_us),
+            fab.materialized_chains().to_string(),
+            f1(model),
+        ]);
+    }
+    table.print("E8: maintenance latency vs standing-query population");
+
+    println!(
+        "\nreading: per-operation latency stays in the microsecond range and grows only\n\
+         with per-cell tap counts (bounded by rate levels), not with the total standing\n\
+         population — the hashmap + per-cell chain design localizes every update."
+    );
+}

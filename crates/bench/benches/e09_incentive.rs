@@ -1,0 +1,122 @@
+//! E9 — Incentives reduce violations when budgets alone cannot (§VI
+//! "Including incentives").
+//!
+//! Claim under test: "Another alternative is to offer more incentive to the
+//! mobile sensors to respond." Workload: a very reluctant human crowd (base
+//! response probability 0.05, incentive sensitivity 1.0) and a demanding
+//! query, with the budget *capped hard* (10 requests/epoch/cell) so
+//! request-rate escalation cannot buy the rate. Sweep the incentive
+//! escalation step. Reported: steady-state N_v, achieved rate, mean
+//! incentive paid, crowd response rate.
+
+use craqr_bench::{f3, preamble, Table};
+use craqr_core::{BudgetTuner, CraqrServer, IncentivePolicy, ServerConfig};
+use craqr_geom::Rect;
+use craqr_sensing::fields::ConstantField;
+use craqr_sensing::{
+    AttrValue, Crowd, CrowdConfig, Mobility, Placement, PopulationConfig, ResponseModel,
+};
+
+fn reluctant_crowd(seed: u64) -> Crowd {
+    let region = Rect::with_size(2.0, 2.0);
+    let mut crowd = Crowd::new(CrowdConfig {
+        region,
+        population: PopulationConfig {
+            size: 800,
+            placement: Placement::Uniform,
+            mobility: Mobility::RandomWalk { sigma: 0.05 },
+            human_fraction: 1.0,
+        },
+        seed,
+    });
+    // Homogeneous, very reluctant, incentive-sensitive participants.
+    crowd.set_all_response_models(ResponseModel::new(0.05, 1.0, 1.0));
+    crowd
+}
+
+fn main() {
+    preamble(
+        "E9 (incentive escalation)",
+        "when the budget is capped, paying more buys the missing responses",
+        "2×2 km, 800 humans (p₀=0.05, k=1.0), query 1.0 /km²/min, budget hard-capped at 10/epoch/cell",
+    );
+
+    let mut table = Table::new([
+        "incentive step",
+        "max incentive",
+        "steady N_v %",
+        "achieved λ",
+        "mean incentive",
+        "response rate",
+        "exhausted events",
+    ]);
+
+    for &(step, max) in &[(0.0, 0.0), (0.25, 2.0), (0.5, 5.0), (1.0, 10.0)] {
+        let mut server = CraqrServer::new(
+            reluctant_crowd(9),
+            ServerConfig {
+                initial_budget: 10.0,
+                tuner: BudgetTuner {
+                    nv_threshold: 10.0,
+                    delta: 5.0,
+                    min_budget: 1.0,
+                    max_budget: 10.0, // deliberately tight: requests cannot scale
+                },
+                incentive: IncentivePolicy { base: 0.0, step, max },
+                ..Default::default()
+            },
+        );
+        let attr = server
+            .register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(1.0))));
+        let qid = server.submit("ACQUIRE temp FROM RECT(0, 0, 2, 2) RATE 1.0").unwrap();
+
+        // Warm-up (incentive escalation needs a few exhausted epochs), then
+        // measure.
+        for _ in 0..10 {
+            server.run_epoch();
+        }
+        server.take_output(qid);
+        let start = server.now();
+        let mut nv_acc = 0.0;
+        let mut nv_n = 0usize;
+        for _ in 0..20 {
+            server.run_epoch();
+            for (_, a, report, _) in server.fabricator().flatten_reports() {
+                if a == attr {
+                    if let Some(nv) = report.smoothed_nv() {
+                        nv_acc += nv;
+                        nv_n += 1;
+                    }
+                }
+            }
+        }
+        let minutes = server.now() - start;
+        let out = server.take_output(qid);
+        let achieved = out.len() as f64 / (4.0 * minutes);
+        // Mean incentive across all materialized cells.
+        let demands = server.fabricator().demands();
+        let mean_incentive: f64 = demands
+            .iter()
+            .map(|(c, a, _)| server.handler().incentive_of(*c, *a))
+            .sum::<f64>()
+            / demands.len().max(1) as f64;
+
+        table.row([
+            f3(step),
+            f3(max),
+            f3(nv_acc / nv_n.max(1) as f64),
+            f3(achieved),
+            f3(mean_incentive),
+            f3(server.crowd().response_rate()),
+            server.handler().exhausted_events().to_string(),
+        ]);
+    }
+    table.print("E9: violations and achieved rate vs incentive escalation (budget capped)");
+
+    println!(
+        "\nreading: with escalation disabled the capped budget leaves N_v pinned high and\n\
+         the rate unmet; raising the incentive step buys response probability (p₀=0.05\n\
+         towards ~1), driving N_v down and the achieved rate towards the request — the\n\
+         Section VI trade of money for requests."
+    );
+}

@@ -1,0 +1,118 @@
+//! E12 — The grid-granularity knob `h` (§IV).
+//!
+//! Claim under test: "The region R is partitioned into a √h × √h sized
+//! grid. h is a user-defined parameter and controls the granularity at
+//! which queries can be processed." Finer grids let query footprints snap
+//! tighter (fewer `P`-carved partial cells, less over-acquisition) but
+//! materialize more chains (more `F` estimators, more maintenance).
+//!
+//! Workload: one query whose rectangle is *not* aligned to coarse grids
+//! (offset by 0.5 km), swept over `√h ∈ {1, 2, 4, 8, 16}`. Reported:
+//! materialized chains, partial (P-carved) cells, the fraction of acquired
+//! cell-area the query actually wanted (carving efficiency), achieved rate,
+//! and plan-maintenance latency.
+
+use craqr_bench::{f1, f3, preamble, synth_batch, Table};
+use craqr_core::plan::PlannerConfig;
+use craqr_core::{AcquisitionQuery, Fabricator};
+use craqr_geom::{Rect, SpaceTimeWindow};
+use craqr_mdpp::intensity::LinearIntensity;
+use craqr_mdpp::process::InhomogeneousMdpp;
+use craqr_sensing::AttributeId;
+use craqr_stats::seeded_rng;
+use std::time::Instant;
+
+const ATTR: AttributeId = AttributeId(0);
+
+fn main() {
+    preamble(
+        "E12 (grid granularity h)",
+        "√h trades carving precision against materialized-chain count",
+        "8×8 km region, one misaligned 3×3 km query at 0.5 /km²/min, 12 epochs, √h swept",
+    );
+
+    let region = Rect::with_size(8.0, 8.0);
+    let query_rect = Rect::new(0.5, 0.5, 3.5, 3.5); // misaligned on purpose
+    let minutes = 60.0;
+
+    let mut table = Table::new([
+        "√h",
+        "h (cells)",
+        "chains",
+        "partial cells",
+        "carve efficiency",
+        "achieved λ",
+        "insert µs",
+    ]);
+
+    for &side in &[1u32, 2, 4, 8, 16] {
+        // The min-area rule is disabled for the sweep: at √h ∈ {1, 2} the
+        // 9 km² query is smaller than one cell, i.e. the paper's rule would
+        // *forbid* it outright — the strongest form of the granularity
+        // trade-off, noted in the reading below.
+        let mut fab = Fabricator::new(
+            region,
+            PlannerConfig {
+                grid_side: side,
+                batch_duration: 5.0,
+                enforce_min_area: false,
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        let qid = fab
+            .insert_query(AcquisitionQuery::new(ATTR, query_rect, 0.5))
+            .expect("query plans at every granularity");
+        let insert_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let (partial, touched_area, footprint_area) = {
+            let plan = fab.query_plan(qid).unwrap();
+            let partial = plan.cells.iter().filter(|(_, _, full)| !*full).count();
+            // Carving efficiency: wanted area / area of all touched cells.
+            // The flatten stage acquires per *cell*, so untouched parts of
+            // partial cells are acquisition the query did not need.
+            let touched: f64 = plan
+                .cells
+                .iter()
+                .map(|(cell, _, _)| fab.grid().cell_rect(*cell).area())
+                .sum();
+            (partial, touched, plan.footprint.area())
+        };
+        let efficiency = footprint_area / touched_area;
+
+        // Drive a skewed raw stream and measure the delivered rate.
+        let process =
+            InhomogeneousMdpp::new(LinearIntensity::new([2.0, 0.0, 0.5, 0.25]), region);
+        let mut rng = seeded_rng(12);
+        let mut id = 0;
+        let mut delivered = 0usize;
+        for e in 0..12 {
+            let w = SpaceTimeWindow::new(region, e as f64 * 5.0, (e + 1) as f64 * 5.0);
+            let batch = synth_batch(&process, &w, ATTR, id, &mut rng);
+            id += batch.len() as u64;
+            fab.ingest_batch(&batch);
+            delivered += fab.collect_output(qid).unwrap().len();
+        }
+        let achieved = delivered as f64 / (footprint_area * minutes);
+
+        table.row([
+            side.to_string(),
+            (side * side).to_string(),
+            fab.materialized_chains().to_string(),
+            partial.to_string(),
+            format!("{}%", f1(efficiency * 100.0)),
+            f3(achieved),
+            f1(insert_us),
+        ]);
+    }
+    table.print("E12: one misaligned query across grid granularities");
+
+    println!(
+        "\nreading: at √h=1 the whole region is one cell (14% of acquired area wanted) and\n\
+         the paper's min-area rule would reject the query outright; finer grids raise\n\
+         carving efficiency towards 100% (fewer wasted acquisitions per partial cell) at\n\
+         the price of more materialized chains — the paper's h is exactly this\n\
+         precision/overhead dial. The achieved rate stays on target at every granularity\n\
+         because the P-operators make correctness independent of h."
+    );
+}

@@ -1,0 +1,96 @@
+//! Fig. 2 — the worked query-processing example, regenerated.
+//!
+//! Reconstructs the exact scenario of the paper's Fig. 2 (see
+//! `tests/fig2_topology.rs` for the assertion-level reproduction): queries
+//! `Q⟨1⟩₁` (rain, L-shaped R1), `Q⟨2⟩₂` (temp, square R2) and `Q⟨2⟩₃`
+//! (temp, sub-cell R3), λ1 > λ2 > λ3, on a 3×3 grid. Prints the map
+//! (hashmap keys), the process topologies (Fig. 2b), runs a stream through
+//! them, prints the merge results (Fig. 2c), then replays the paper's
+//! deletion narrative for Q⟨1⟩.
+
+use craqr_bench::{f3, preamble, synth_batch, Table};
+use craqr_core::plan::PlannerConfig;
+use craqr_core::{AcquisitionQuery, Fabricator};
+use craqr_geom::{Rect, SpaceTimeWindow};
+use craqr_mdpp::intensity::LinearIntensity;
+use craqr_mdpp::process::InhomogeneousMdpp;
+use craqr_sensing::AttributeId;
+use craqr_stats::seeded_rng;
+
+const RAIN: AttributeId = AttributeId(1);
+const TEMP: AttributeId = AttributeId(2);
+
+fn paper_cell_rect(q: u32, r: u32) -> Rect {
+    let (q0, r0) = ((q - 1) as f64, (r - 1) as f64);
+    Rect::new(q0, r0, q0 + 1.0, r0 + 1.0)
+}
+
+fn main() {
+    preamble(
+        "Fig. 2 (query processing)",
+        "map → process → merge for Q⟨1⟩₁, Q⟨2⟩₂, Q⟨2⟩₃ with λ1 > λ2 > λ3",
+        "3×3 grid over 3×3 km; λ = (4, 2, 1); R1 = L of cells (2,3),(3,2),(3,3); R2 = 2×2 block; R3 ⊂ cell (2,2)",
+    );
+
+    let mut fab = Fabricator::new(
+        Rect::with_size(3.0, 3.0),
+        PlannerConfig { grid_side: 3, batch_duration: 5.0, enforce_min_area: false, ..Default::default() },
+    );
+
+    let q1 = fab
+        .insert_query_parts(
+            AcquisitionQuery::new(RAIN, Rect::new(1.0, 1.0, 3.0, 3.0), 4.0),
+            &[paper_cell_rect(2, 3), paper_cell_rect(3, 2), paper_cell_rect(3, 3)],
+        )
+        .unwrap();
+    let q2 = fab
+        .insert_query(AcquisitionQuery::new(TEMP, Rect::new(0.0, 0.0, 2.0, 2.0), 2.0))
+        .unwrap();
+    let q3 = fab
+        .insert_query(AcquisitionQuery::new(TEMP, Rect::new(1.25, 1.25, 1.9, 1.9), 1.0))
+        .unwrap();
+
+    println!("\n(b) process — the materialized per-cell topologies:");
+    print!("{}", fab.explain());
+    println!("(cells are 0-based here; the paper's R(q,r) = our R(q-1,r-1))");
+
+    // Drive a skewed raw stream for both attributes, 12 epochs.
+    let region = Rect::with_size(3.0, 3.0);
+    let mut rng = seeded_rng(7);
+    let mut id = 0;
+    for attr in [RAIN, TEMP] {
+        let process =
+            InhomogeneousMdpp::new(LinearIntensity::new([6.0, 0.0, 2.0, 1.0]), region);
+        for e in 0..12 {
+            let w = SpaceTimeWindow::new(region, e as f64 * 5.0, (e + 1) as f64 * 5.0);
+            let batch = synth_batch(&process, &w, attr, id, &mut rng);
+            id += batch.len() as u64;
+            fab.ingest_batch(&batch);
+        }
+    }
+
+    let minutes = 60.0;
+    let mut table = Table::new(["query", "requested λ", "footprint km²", "tuples", "achieved λ"]);
+    for (qid, requested) in [(q1, 4.0), (q2, 2.0), (q3, 1.0)] {
+        let area = fab.query_plan(qid).unwrap().footprint.area();
+        let out = fab.collect_output(qid).unwrap();
+        table.row([
+            qid.to_string(),
+            f3(requested),
+            f3(area),
+            out.len().to_string(),
+            f3(out.len() as f64 / (area * minutes)),
+        ]);
+    }
+    table.print("(c) merge — fabricated MCDS per query");
+
+    println!("\nreplaying the deletion narrative: \"if we delete Q⟨1⟩ …\"");
+    fab.delete_query(q1).unwrap();
+    println!("after deleting {q1} (its three rain cells dematerialize):");
+    print!("{}", fab.explain());
+    fab.delete_query(q3).unwrap();
+    println!("after deleting {q3} (consecutive T's merge in cell (1,1)):");
+    print!("{}", fab.explain());
+    fab.delete_query(q2).unwrap();
+    println!("after deleting {q2}: {} materialized cells remain", fab.materialized_cells());
+}

@@ -1,0 +1,153 @@
+//! E6 — PMAT operator micro-benchmarks (criterion).
+//!
+//! Claim under test: PMAT operators "can be implemented using only a few
+//! lines of code" and are cheap enough to run one topology per (cell,
+//! attribute). Measures per-batch throughput of `F`, `T`, `P`, `U`, `S`
+//! and the end-to-end per-cell chain on 10k-tuple batches.
+
+use craqr_bench::tuples_from_points;
+use craqr_core::ops::{EstimatorMode, FlattenConfig, FlattenOp};
+use craqr_core::plan::PlannerConfig;
+use craqr_core::{AcquisitionQuery, Fabricator, PartitionOp, SuperposeOp, ThinOp, UnionOp};
+use craqr_engine::{Emitter, InputPort, Operator};
+use craqr_geom::{Rect, SpaceTimeWindow};
+use craqr_mdpp::fit::SgdConfig;
+use craqr_mdpp::intensity::LinearIntensity;
+use craqr_mdpp::process::InhomogeneousMdpp;
+use craqr_sensing::AttributeId;
+use craqr_stats::seeded_rng;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn batch_10k() -> Vec<craqr_core::CrowdTuple> {
+    let cell = Rect::with_size(10.0, 10.0);
+    let window = SpaceTimeWindow::new(cell, 0.0, 10.0);
+    let process = InhomogeneousMdpp::new(LinearIntensity::new([5.0, 0.0, 1.0, 0.5]), cell);
+    let mut rng = seeded_rng(1);
+    let mut points = process.sample(&window, &mut rng);
+    points.truncate(10_000);
+    assert!(points.len() >= 9_000, "expected ≈10k points, got {}", points.len());
+    tuples_from_points(&points, AttributeId(0))
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let batch = batch_10k();
+    let cell = Rect::with_size(10.0, 10.0);
+    let n = batch.len() as u64;
+
+    let mut g = c.benchmark_group("pmat_ops");
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("flatten_mle_10k", |b| {
+        let (mut op, _) = FlattenOp::new(FlattenConfig {
+            cell,
+            batch_duration: 10.0,
+            target_rate: 2.0,
+            mode: EstimatorMode::BatchMle,
+            seed: 2,
+        });
+        let ports = op.output_ports();
+        b.iter_batched(
+            || Emitter::new(ports),
+            |mut em| op.process(InputPort(0), &batch, &mut em),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("flatten_sgd_10k", |b| {
+        let (mut op, _) = FlattenOp::new(FlattenConfig {
+            cell,
+            batch_duration: 10.0,
+            target_rate: 2.0,
+            mode: EstimatorMode::Sgd(SgdConfig::default()),
+            seed: 2,
+        });
+        let ports = op.output_ports();
+        b.iter_batched(
+            || Emitter::new(ports),
+            |mut em| op.process(InputPort(0), &batch, &mut em),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("thin_10k", |b| {
+        let mut op = ThinOp::new(4.0, 1.0, 3);
+        let ports = op.output_ports();
+        b.iter_batched(
+            || Emitter::new(ports),
+            |mut em| op.process(InputPort(0), &batch, &mut em),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("partition4_10k", |b| {
+        let mut op = PartitionOp::new(vec![
+            Rect::new(0.0, 0.0, 5.0, 5.0),
+            Rect::new(5.0, 0.0, 10.0, 5.0),
+            Rect::new(0.0, 5.0, 5.0, 10.0),
+            Rect::new(5.0, 5.0, 10.0, 10.0),
+        ]);
+        let ports = op.output_ports();
+        b.iter_batched(
+            || Emitter::new(ports),
+            |mut em| op.process(InputPort(0), &batch, &mut em),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("union2_10k", |b| {
+        let mut op = UnionOp::nary(vec![
+            Rect::new(0.0, 0.0, 5.0, 10.0),
+            Rect::new(5.0, 0.0, 10.0, 10.0),
+        ]);
+        let ports = op.output_ports();
+        b.iter_batched(
+            || Emitter::new(ports),
+            |mut em| op.process(InputPort(0), &batch, &mut em),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("superpose2_10k", |b| {
+        let mut op = SuperposeOp::new(cell, vec![2.0, 2.0]);
+        let ports = op.output_ports();
+        b.iter_batched(
+            || Emitter::new(ports),
+            |mut em| op.process(InputPort(0), &batch, &mut em),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+fn bench_cell_chain(c: &mut Criterion) {
+    // The full per-cell pipeline: F → T → T → T with three consumers, via
+    // the fabricator's ingest path (map + process + merge).
+    let region = Rect::with_size(10.0, 10.0);
+    let batch = batch_10k();
+    let mut g = c.benchmark_group("cell_chain");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    g.bench_function("ingest_3taps_10k", |b| {
+        let mut fab = Fabricator::new(
+            region,
+            PlannerConfig { grid_side: 1, batch_duration: 10.0, ..Default::default() },
+        );
+        for rate in [2.0, 1.0, 0.5] {
+            fab.insert_query(AcquisitionQuery::new(AttributeId(0), region, rate)).unwrap();
+        }
+        b.iter(|| {
+            fab.ingest_batch(&batch);
+            for qid in fab.query_ids() {
+                criterion::black_box(fab.collect_output(qid).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops, bench_cell_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! The request/response handler — Section IV-A.
+
+use crate::budget::{Budget, BudgetTuner, TuneOutcome};
+use crate::incentive::{IncentivePolicy, IncentiveState};
+use crate::ops::FlattenReport;
+use craqr_geom::{CellId, Grid};
+use craqr_sensing::{AttributeId, Crowd};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-epoch dispatch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Requests the handler attempted to send.
+    pub requested: u64,
+    /// Requests actually sent (cells can be empty of sensors).
+    pub sent: u64,
+}
+
+/// One budget-tuning event, for observability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneEvent {
+    /// Which cell.
+    pub cell: CellId,
+    /// Which attribute.
+    pub attr: AttributeId,
+    /// The smoothed `N_v` that drove the decision (percent).
+    pub nv: f64,
+    /// The decision.
+    pub outcome: TuneOutcome,
+    /// The budget after tuning (requests/epoch).
+    pub budget_after: f64,
+}
+
+/// The request/response handler: owns the per-(attribute, cell) budgets
+/// `β⟨j⟩(q,r)`, sends acquisition requests to randomly selected sensors
+/// through the [`Crowd`], and adapts the budgets from the flatten
+/// operators' `N_v` telemetry. When a budget saturates it escalates the
+/// incentive instead (Section VI).
+pub struct RequestResponseHandler {
+    budgets: HashMap<(CellId, AttributeId), Budget>,
+    incentives: HashMap<(CellId, AttributeId), IncentiveState>,
+    tuner: BudgetTuner,
+    incentive_policy: IncentivePolicy,
+    initial_budget: f64,
+    total_requested: u64,
+    total_sent: u64,
+    exhausted_events: u64,
+}
+
+impl RequestResponseHandler {
+    /// Creates a handler; new (attribute, cell) pairs start at
+    /// `initial_budget` requests per epoch.
+    ///
+    /// # Panics
+    /// Panics on a negative initial budget.
+    #[track_caller]
+    pub fn new(tuner: BudgetTuner, incentive_policy: IncentivePolicy, initial_budget: f64) -> Self {
+        assert!(initial_budget >= 0.0, "initial budget must be >= 0");
+        Self {
+            budgets: HashMap::new(),
+            incentives: HashMap::new(),
+            tuner,
+            incentive_policy,
+            initial_budget,
+            total_requested: 0,
+            total_sent: 0,
+            exhausted_events: 0,
+        }
+    }
+
+    /// Sends this epoch's acquisition requests for every demanded
+    /// (cell, attribute) chain.
+    ///
+    /// `demands` comes from [`crate::plan::Fabricator::demands`]; budgets
+    /// for chains that disappeared are pruned so deleted queries stop
+    /// costing requests.
+    pub fn dispatch_epoch(
+        &mut self,
+        crowd: &mut Crowd,
+        grid: &Grid,
+        demands: &[(CellId, AttributeId, f64)],
+    ) -> DispatchStats {
+        // Prune state for dematerialized chains.
+        let live: std::collections::HashSet<(CellId, AttributeId)> =
+            demands.iter().map(|(c, a, _)| (*c, *a)).collect();
+        self.budgets.retain(|k, _| live.contains(k));
+        self.incentives.retain(|k, _| live.contains(k));
+
+        let mut stats = DispatchStats::default();
+        for (cell, attr, _rate) in demands {
+            let key = (*cell, *attr);
+            let budget =
+                self.budgets.entry(key).or_insert_with(|| Budget::new(self.initial_budget));
+            let n = budget.draw_requests();
+            if n == 0 {
+                continue;
+            }
+            let incentive =
+                self.incentives.entry(key).or_default().current(&self.incentive_policy);
+            let rect = grid.cell_rect(*cell);
+            let sent = crowd.dispatch_requests(*attr, &rect, n, incentive);
+            stats.requested += n as u64;
+            stats.sent += sent as u64;
+        }
+        self.total_requested += stats.requested;
+        self.total_sent += stats.sent;
+        stats
+    }
+
+    /// Applies one budget-tuning round from the flatten reports
+    /// (Section V "Budget Tuning") and escalates incentives on exhaustion
+    /// (Section VI).
+    pub fn tune(
+        &mut self,
+        reports: &[(CellId, AttributeId, Arc<FlattenReport>, f64)],
+    ) -> Vec<TuneEvent> {
+        let mut events = Vec::with_capacity(reports.len());
+        for (cell, attr, report, _rate) in reports {
+            if report.batches() == 0 {
+                continue; // nothing observed yet
+            }
+            let key = (*cell, *attr);
+            let nv = report.smoothed_nv().unwrap_or(0.0).clamp(0.0, 100.0);
+            let budget =
+                self.budgets.entry(key).or_insert_with(|| Budget::new(self.initial_budget));
+            let outcome = self.tuner.tune(budget, nv);
+            if outcome == TuneOutcome::Exhausted {
+                self.exhausted_events += 1;
+            }
+            self.incentives.entry(key).or_default().update(&self.incentive_policy, outcome);
+            events.push(TuneEvent {
+                cell: *cell,
+                attr: *attr,
+                nv,
+                outcome,
+                budget_after: budget.requests_per_epoch,
+            });
+        }
+        events
+    }
+
+    /// Current budget for a chain (requests per epoch).
+    pub fn budget_of(&self, cell: CellId, attr: AttributeId) -> Option<f64> {
+        self.budgets.get(&(cell, attr)).map(|b| b.requests_per_epoch)
+    }
+
+    /// Current incentive for a chain.
+    pub fn incentive_of(&self, cell: CellId, attr: AttributeId) -> f64 {
+        self.incentives
+            .get(&(cell, attr))
+            .map_or(self.incentive_policy.base, |s| s.current(&self.incentive_policy))
+    }
+
+    /// `(requested, sent)` totals since creation.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.total_requested, self.total_sent)
+    }
+
+    /// Number of budget-exhaustion events so far ("accept the feasible
+    /// rate or pay more").
+    pub fn exhausted_events(&self) -> u64 {
+        self.exhausted_events
+    }
+
+    /// The tuner in use.
+    pub fn tuner(&self) -> &BudgetTuner {
+        &self.tuner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::Rect;
+    use craqr_sensing::{
+        AttrValue, CrowdConfig, Mobility, Placement, PopulationConfig,
+    };
+
+    fn crowd() -> Crowd {
+        let region = Rect::with_size(4.0, 4.0);
+        let mut c = Crowd::new(CrowdConfig {
+            region,
+            population: PopulationConfig {
+                size: 400,
+                placement: Placement::Uniform,
+                mobility: Mobility::Stationary,
+                human_fraction: 0.0,
+            },
+            seed: 3,
+        });
+        c.register_field(
+            AttributeId(0),
+            Box::new(craqr_sensing::fields::ConstantField(AttrValue::Float(1.0))),
+        );
+        c
+    }
+
+    fn handler() -> RequestResponseHandler {
+        RequestResponseHandler::new(BudgetTuner::default(), IncentivePolicy::default(), 10.0)
+    }
+
+    #[test]
+    fn dispatch_creates_budgets_and_sends() {
+        let mut h = handler();
+        let mut c = crowd();
+        let grid = Grid::new(c.region(), 4);
+        let demands = vec![(CellId::new(0, 0), AttributeId(0), 2.0)];
+        let stats = h.dispatch_epoch(&mut c, &grid, &demands);
+        assert_eq!(stats.requested, 10);
+        assert!(stats.sent > 0);
+        assert_eq!(h.budget_of(CellId::new(0, 0), AttributeId(0)), Some(10.0));
+    }
+
+    #[test]
+    fn dispatch_prunes_stale_budgets() {
+        let mut h = handler();
+        let mut c = crowd();
+        let grid = Grid::new(c.region(), 4);
+        let d1 = vec![(CellId::new(0, 0), AttributeId(0), 2.0)];
+        h.dispatch_epoch(&mut c, &grid, &d1);
+        assert!(h.budget_of(CellId::new(0, 0), AttributeId(0)).is_some());
+        // Next epoch the demand is gone.
+        h.dispatch_epoch(&mut c, &grid, &[]);
+        assert!(h.budget_of(CellId::new(0, 0), AttributeId(0)).is_none());
+    }
+
+    #[test]
+    fn tuning_raises_budget_on_violations() {
+        let mut h = handler();
+        let report = FlattenReport::new(0.5);
+        report.record_batch(80.0, 100, 100);
+        let reports = vec![(CellId::new(1, 1), AttributeId(0), report, 2.0)];
+        let events = h.tune(&reports);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].outcome, TuneOutcome::Increased);
+        assert_eq!(events[0].budget_after, 12.0);
+    }
+
+    #[test]
+    fn tuning_skips_chains_without_batches() {
+        let mut h = handler();
+        let report = FlattenReport::new(0.5);
+        let reports = vec![(CellId::new(1, 1), AttributeId(0), report, 2.0)];
+        assert!(h.tune(&reports).is_empty());
+    }
+
+    #[test]
+    fn exhaustion_escalates_incentive() {
+        let tuner = BudgetTuner { max_budget: 10.0, ..Default::default() };
+        let mut h = RequestResponseHandler::new(tuner, IncentivePolicy::default(), 10.0);
+        let report = FlattenReport::new(1.0);
+        report.record_batch(100.0, 10, 10);
+        let key = (CellId::new(0, 0), AttributeId(0));
+        let reports = vec![(key.0, key.1, report, 2.0)];
+        assert_eq!(h.incentive_of(key.0, key.1), 0.0);
+        h.tune(&reports); // at cap already → exhausted
+        assert_eq!(h.exhausted_events(), 1);
+        assert!(h.incentive_of(key.0, key.1) > 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # CrAQR — Crowdsensed data AcQuisition using multi-dimensional point pRocesses
+//!
+//! This crate is the paper's primary contribution: a system that accepts
+//! *acquisitional queries* — "acquire attribute `A⟨j⟩` from region `R'` at
+//! rate λ /km²/min" — over an uncontrollable mobile crowd, and fabricates
+//! crowdsensed data streams that satisfy those rates in expectation.
+//!
+//! The architecture follows Fig. 1 of the paper:
+//!
+//! ```text
+//!  queries ──▶ planner ──▶ per-cell execution topologies (PMAT operators)
+//!                               ▲                │
+//!  request/response handler ────┘ (tuples)       ▼ (per-cell streams)
+//!         │    ▲                          merge (U-operators)
+//!         ▼    │ responses                       │
+//!        mobile crowd                            ▼  per-query MCDS
+//! ```
+//!
+//! Modules, in paper order:
+//!
+//! - [`mod tuple`](crate::tuple): the crowdsensed tuple `(t⟨j⟩ᵢ, x⟨j⟩ᵢ, y⟨j⟩ᵢ, a⟨j⟩ᵢ)`.
+//! - [`ops`]: the PMAT operator family — [`ops::FlattenOp`] (`F`),
+//!   [`ops::ThinOp`] (`T`), [`ops::PartitionOp`] (`P`), [`ops::UnionOp`]
+//!   (`U`), plus the researched-but-unpublished extras the paper alludes to
+//!   ([`ops::SuperposeOp`], [`ops::RateMeterOp`]).
+//! - [`query`]: typed acquisitional queries, the attribute catalog, and a
+//!   small declarative parser (`ACQUIRE rain FROM RECT(..) RATE 10`).
+//! - [`plan`]: the Section V machinery — the cell hashmap, per-cell
+//!   `F → T…T` chains with rate-sorted taps, query insertion/deletion with
+//!   the consecutive-`T` merge rule, and the map/process/merge fabricator.
+//! - [`budget`] and [`handler`]: the request/response handler with
+//!   per-(attribute, cell) budgets tuned by the flatten operators' percent
+//!   rate violation `N_v`.
+//! - [`incentive`], [`optimizer`], [`error_model`]: the Section VI
+//!   extensions (incentive escalation, chain-vs-tree topology cost,
+//!   error injection and mitigation).
+//! - [`server`]: [`server::CraqrServer`] gluing all of the above to a
+//!   simulated [`craqr_sensing::Crowd`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod error_model;
+pub mod handler;
+pub mod incentive;
+pub mod ops;
+pub mod optimizer;
+pub mod plan;
+pub mod query;
+pub mod server;
+pub mod tuple;
+
+pub use budget::{Budget, BudgetTuner};
+pub use error_model::{ErrorModel, Mitigation};
+pub use handler::RequestResponseHandler;
+pub use incentive::IncentivePolicy;
+pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp};
+pub use plan::{Fabricator, PlannerConfig, TopologyShape};
+pub use query::{AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
+pub use server::{CraqrServer, EpochReport, ServerConfig};
+pub use tuple::CrowdTuple;

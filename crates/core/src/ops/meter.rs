@@ -1,0 +1,128 @@
+//! The rate-meter operator — observability for fabricated streams.
+
+use crate::tuple::CrowdTuple;
+use craqr_engine::{Emitter, InputPort, Operator, OutputPort};
+use craqr_geom::Rect;
+
+/// An identity operator that measures the empirical spatio-temporal rate of
+/// the stream flowing through it (tuples / km² / min over the observed time
+/// span). CrAQR's contract is probabilistic — "ensures (at least in a
+/// probabilistic sense) that these queries are answered satisfactorily" —
+/// and the meter is how that contract is audited, both in tests and in the
+/// experiment harness.
+pub struct RateMeterOp {
+    name: String,
+    region: Rect,
+    count: u64,
+    first_t: Option<f64>,
+    last_t: Option<f64>,
+}
+
+impl RateMeterOp {
+    /// Creates a meter for a stream living on `region`.
+    pub fn new(name: impl Into<String>, region: Rect) -> Self {
+        Self { name: name.into(), region, count: 0, first_t: None, last_t: None }
+    }
+
+    /// Tuples observed.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observed time span `(first, last)`, `None` before any tuple.
+    pub fn time_span(&self) -> Option<(f64, f64)> {
+        Some((self.first_t?, self.last_t?))
+    }
+
+    /// Empirical rate over the observed span; `None` until the span is
+    /// non-degenerate.
+    pub fn observed_rate(&self) -> Option<f64> {
+        let (a, b) = self.time_span()?;
+        let dt = b - a;
+        if dt <= 0.0 {
+            return None;
+        }
+        Some(self.count as f64 / (self.region.area() * dt))
+    }
+
+    /// Empirical rate against an externally known observation duration
+    /// (e.g. "the stream ran for 120 minutes"), which is unbiased even for
+    /// sparse streams.
+    pub fn rate_over(&self, duration: f64) -> f64 {
+        assert!(duration > 0.0, "duration must be > 0");
+        self.count as f64 / (self.region.area() * duration)
+    }
+}
+
+impl Operator<CrowdTuple> for RateMeterOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: InputPort, batch: &[CrowdTuple], out: &mut Emitter<CrowdTuple>) {
+        for t in batch {
+            self.count += 1;
+            let time = t.point.t;
+            if self.first_t.is_none_or(|f| time < f) {
+                self.first_t = Some(time);
+            }
+            if self.last_t.is_none_or(|l| time > l) {
+                self.last_t = Some(time);
+            }
+        }
+        out.emit_batch(OutputPort(0), batch.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::SpaceTimePoint;
+    use craqr_sensing::{AttrValue, AttributeId, SensorId};
+
+    fn tuple(t: f64) -> CrowdTuple {
+        CrowdTuple {
+            id: 0,
+            attr: AttributeId(0),
+            point: SpaceTimePoint::new(t, 0.5, 0.5),
+            value: AttrValue::Bool(true),
+            sensor: SensorId(0),
+        }
+    }
+
+    #[test]
+    fn meters_rate_and_forwards() {
+        let mut op = RateMeterOp::new("meter", Rect::with_size(2.0, 5.0));
+        let batch: Vec<CrowdTuple> = (0..100).map(|i| tuple(i as f64 * 0.1)).collect();
+        let mut em = Emitter::new(op.output_ports());
+        op.process(InputPort(0), &batch, &mut em);
+        assert_eq!(em.into_buffers()[0].len(), 100);
+        assert_eq!(op.count(), 100);
+        let (a, b) = op.time_span().unwrap();
+        assert_eq!(a, 0.0);
+        assert!((b - 9.9).abs() < 1e-12);
+        // 100 tuples over 10 km² and 9.9 minutes.
+        let rate = op.observed_rate().unwrap();
+        assert!((rate - 100.0 / (10.0 * 9.9)).abs() < 1e-9);
+        // Against a known duration of 10 minutes:
+        assert!((op.rate_over(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_has_no_rate() {
+        let op = RateMeterOp::new("meter", Rect::with_size(1.0, 1.0));
+        assert!(op.observed_rate().is_none());
+        assert!(op.time_span().is_none());
+        assert_eq!(op.rate_over(5.0), 0.0);
+    }
+
+    #[test]
+    fn single_tuple_has_degenerate_span() {
+        let mut op = RateMeterOp::new("meter", Rect::with_size(1.0, 1.0));
+        let mut em = Emitter::new(op.output_ports());
+        op.process(InputPort(0), &[tuple(3.0)], &mut em);
+        assert!(op.observed_rate().is_none(), "zero-length span has no rate");
+        assert_eq!(op.time_span(), Some((3.0, 3.0)));
+    }
+}

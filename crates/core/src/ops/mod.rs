@@ -1,0 +1,36 @@
+//! The PMAT (point-process transformation) operators — Section IV-B.
+//!
+//! "PMAT are algebraic operators that are used for manipulating point
+//! processes … All PMAT operators are probabilistic and approximate with
+//! provable expected behaviour; thus dramatically simplifying their
+//! implementation."
+//!
+//! Each operator here implements [`craqr_engine::Operator`] over
+//! [`crate::CrowdTuple`] and carries its own provable-expectation contract,
+//! verified by unit tests (exact counting identities) and statistical tests
+//! (seeded, generous significance levels):
+//!
+//! | Op | Published? | Contract |
+//! |----|-----------|----------|
+//! | [`FlattenOp`] (`F`)   | yes | inhomogeneous `P̃(λ̃, R*)` → approximately homogeneous `P(λ̄, R*)`; reports percent rate violation `N_v` |
+//! | [`ThinOp`] (`T`)      | yes | `P(λ1, R*)` → `P(λ2, R*)`, `λ2 ≤ λ1`, by Bernoulli(λ2/λ1) |
+//! | [`PartitionOp`] (`P`) | yes | routes `P(λ, R*)` into `P(λ, R*ₖ)` on disjoint sub-regions |
+//! | [`UnionOp`] (`U`)     | yes | merges `P(λ, R*₁), P(λ, R*₂)` into `P(λ, R*₁ ∪ R*₂)`; binary form requires a full common side |
+//! | [`SuperposeOp`] (`S`) | "many more operators" | merges processes on the *same* region; rates add |
+//! | [`RateMeterOp`]       | "many more operators" | identity that measures the stream's empirical rate |
+
+mod flatten;
+mod meter;
+mod partition;
+mod report;
+mod superpose;
+mod thin;
+mod union;
+
+pub use flatten::{EstimatorMode, FlattenConfig, FlattenOp};
+pub use meter::RateMeterOp;
+pub use partition::PartitionOp;
+pub use report::FlattenReport;
+pub use superpose::SuperposeOp;
+pub use thin::ThinOp;
+pub use union::UnionOp;

@@ -1,0 +1,164 @@
+//! The `P` (partition) operator — Section IV-B.1.
+
+use crate::tuple::CrowdTuple;
+use craqr_engine::{Emitter, InputPort, Operator, OutputPort};
+use craqr_geom::Rect;
+
+/// The partition operator `P`: splits `P⟨j⟩(λ, R*)` into processes of the
+/// *same* rate on disjoint sub-regions `R*₁, …, R*ₖ` by routing each tuple
+/// to the output port of the region containing it.
+///
+/// The paper defines the binary form and notes it "can be easily extended
+/// to partition processes into multiple regions"; this is the k-ary
+/// extension (port `i` carries region `i`). Tuples falling in none of the
+/// sub-regions are dropped and counted — the planner uses a single-region
+/// partition to carve a query's partial overlap out of a grid cell (the
+/// `Q⟨2⟩₃` case of Fig. 2), where dropping the remainder is the intent.
+pub struct PartitionOp {
+    name: String,
+    regions: Vec<Rect>,
+    dropped: u64,
+}
+
+impl PartitionOp {
+    /// Creates a partition over pairwise-disjoint sub-regions.
+    ///
+    /// # Panics
+    /// Panics when `regions` is empty or any two regions overlap
+    /// (`R*₁ ∩ R*₂ = ∅` is the paper's stated precondition).
+    #[track_caller]
+    pub fn new(regions: Vec<Rect>) -> Self {
+        assert!(!regions.is_empty(), "partition needs at least one region");
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                assert!(!a.intersects(b), "partition regions overlap: {a} and {b}");
+            }
+        }
+        Self { name: format!("P(x{})", regions.len()), regions, dropped: 0 }
+    }
+
+    /// The paper's binary form.
+    #[track_caller]
+    pub fn binary(r1: Rect, r2: Rect) -> Self {
+        Self::new(vec![r1, r2])
+    }
+
+    /// The sub-regions, in output-port order.
+    #[inline]
+    pub fn regions(&self) -> &[Rect] {
+        &self.regions
+    }
+
+    /// Tuples dropped because they matched no sub-region.
+    #[inline]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Operator<CrowdTuple> for PartitionOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_ports(&self) -> usize {
+        self.regions.len()
+    }
+
+    fn process(&mut self, _port: InputPort, batch: &[CrowdTuple], out: &mut Emitter<CrowdTuple>) {
+        'tuples: for tuple in batch {
+            for (i, region) in self.regions.iter().enumerate() {
+                if region.contains(tuple.point.x, tuple.point.y) {
+                    out.emit(OutputPort(i as u16), *tuple);
+                    continue 'tuples;
+                }
+            }
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::SpaceTimePoint;
+    use craqr_sensing::{AttrValue, AttributeId, SensorId};
+
+    fn tuple_at(x: f64, y: f64) -> CrowdTuple {
+        CrowdTuple {
+            id: 0,
+            attr: AttributeId(0),
+            point: SpaceTimePoint::new(0.0, x, y),
+            value: AttrValue::Bool(true),
+            sensor: SensorId(0),
+        }
+    }
+
+    fn run(op: &mut PartitionOp, batch: &[CrowdTuple]) -> Vec<Vec<CrowdTuple>> {
+        let mut em = Emitter::new(op.output_ports());
+        op.process(InputPort(0), batch, &mut em);
+        em.into_buffers()
+    }
+
+    #[test]
+    fn routes_tuples_to_owning_region() {
+        let mut op = PartitionOp::binary(
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(1.0, 0.0, 2.0, 1.0),
+        );
+        let batch = vec![tuple_at(0.5, 0.5), tuple_at(1.5, 0.5), tuple_at(0.2, 0.9)];
+        let out = run(&mut op, &batch);
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(out[1].len(), 1);
+        assert_eq!(op.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_tuples_outside_all_regions() {
+        let mut op = PartitionOp::new(vec![Rect::new(0.0, 0.0, 1.0, 1.0)]);
+        let out = run(&mut op, &[tuple_at(0.5, 0.5), tuple_at(5.0, 5.0)]);
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(op.dropped(), 1);
+    }
+
+    #[test]
+    fn kary_partition_covers_all_ports() {
+        let regions: Vec<Rect> =
+            (0..4).map(|i| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0)).collect();
+        let mut op = PartitionOp::new(regions);
+        assert_eq!(op.output_ports(), 4);
+        let batch: Vec<CrowdTuple> = (0..4).map(|i| tuple_at(i as f64 + 0.5, 0.5)).collect();
+        let out = run(&mut op, &batch);
+        for (i, port) in out.iter().enumerate() {
+            assert_eq!(port.len(), 1, "port {i}");
+        }
+    }
+
+    #[test]
+    fn rate_preservation_within_region() {
+        // Partitioning must not drop or duplicate tuples inside the regions.
+        let mut op = PartitionOp::binary(
+            Rect::new(0.0, 0.0, 1.0, 2.0),
+            Rect::new(1.0, 0.0, 2.0, 2.0),
+        );
+        let batch: Vec<CrowdTuple> =
+            (0..1000).map(|i| tuple_at((i % 20) as f64 * 0.1, (i % 7) as f64 * 0.25)).collect();
+        let out = run(&mut op, &batch);
+        assert_eq!(out[0].len() + out[1].len() + op.dropped() as usize, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_regions_rejected() {
+        let _ = PartitionOp::binary(
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+            Rect::new(1.0, 1.0, 3.0, 3.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn empty_partition_rejected() {
+        let _ = PartitionOp::new(vec![]);
+    }
+}

@@ -1,0 +1,109 @@
+//! The `S` (superpose) operator — one of the paper's unpublished extras.
+
+use crate::tuple::CrowdTuple;
+use craqr_engine::{Emitter, InputPort, Operator, OutputPort};
+use craqr_geom::Rect;
+
+/// The superposition operator `S`: merges `k` independent MDPPs defined on
+/// the *same* region into one process whose rate is the sum of the input
+/// rates (`P(λ₁, R*) ⊕ P(λ₂, R*) = P(λ₁+λ₂, R*)` — the superposition
+/// theorem for Poisson processes).
+///
+/// This is the dual of [`crate::ops::ThinOp`] (which lowers rates) and the
+/// same-region counterpart of [`crate::ops::UnionOp`] (which merges across
+/// disjoint regions). The paper mentions having "researched many more
+/// operators than presented"; superposition is the natural member of that
+/// family and is exercised by the tree-topology experiments where multiple
+/// attribute sub-streams re-join.
+pub struct SuperposeOp {
+    name: String,
+    region: Rect,
+    input_ports: usize,
+    input_rates: Vec<f64>,
+}
+
+impl SuperposeOp {
+    /// Creates a superposition of `input_rates.len()` streams on `region`.
+    ///
+    /// # Panics
+    /// Panics when no input rate is given or any rate is negative.
+    #[track_caller]
+    pub fn new(region: Rect, input_rates: Vec<f64>) -> Self {
+        assert!(!input_rates.is_empty(), "superpose needs at least one input");
+        assert!(input_rates.iter().all(|r| *r >= 0.0), "rates must be >= 0");
+        Self {
+            name: format!("S(x{})", input_rates.len()),
+            region,
+            input_ports: input_rates.len(),
+            input_rates,
+        }
+    }
+
+    /// The output rate `Σ λᵢ`.
+    pub fn output_rate(&self) -> f64 {
+        self.input_rates.iter().sum()
+    }
+
+    /// The shared region.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of input ports.
+    #[inline]
+    pub fn input_ports(&self) -> usize {
+        self.input_ports
+    }
+}
+
+impl Operator<CrowdTuple> for SuperposeOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, port: InputPort, batch: &[CrowdTuple], out: &mut Emitter<CrowdTuple>) {
+        debug_assert!((port.0 as usize) < self.input_ports, "undeclared port {port:?}");
+        out.emit_batch(OutputPort(0), batch.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::SpaceTimePoint;
+    use craqr_sensing::{AttrValue, AttributeId, SensorId};
+
+    fn tuple(id: u64) -> CrowdTuple {
+        CrowdTuple {
+            id,
+            attr: AttributeId(0),
+            point: SpaceTimePoint::new(0.0, 0.5, 0.5),
+            value: AttrValue::Bool(true),
+            sensor: SensorId(0),
+        }
+    }
+
+    #[test]
+    fn output_rate_is_sum_of_inputs() {
+        let op = SuperposeOp::new(Rect::with_size(1.0, 1.0), vec![1.0, 2.5, 0.5]);
+        assert!((op.output_rate() - 4.0).abs() < 1e-12);
+        assert_eq!(op.input_ports(), 3);
+    }
+
+    #[test]
+    fn merges_streams_from_all_ports() {
+        let mut op = SuperposeOp::new(Rect::with_size(1.0, 1.0), vec![1.0, 1.0]);
+        let mut em = Emitter::new(op.output_ports());
+        op.process(InputPort(0), &[tuple(1), tuple(2)], &mut em);
+        op.process(InputPort(1), &[tuple(3)], &mut em);
+        let out = em.into_buffers().remove(0);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_superpose_rejected() {
+        let _ = SuperposeOp::new(Rect::with_size(1.0, 1.0), vec![]);
+    }
+}

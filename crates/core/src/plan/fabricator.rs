@@ -1,0 +1,651 @@
+//! The crowdsensed stream fabricator — "the most important component"
+//! (Section IV-B), with the map/process/merge phases of Fig. 2.
+
+use super::chain::AttrChain;
+use super::PlannerConfig;
+use crate::ops::FlattenReport;
+use crate::query::{AcquisitionQuery, QueryId};
+use crate::tuple::CrowdTuple;
+use crate::UnionOp;
+use craqr_engine::{Emitter, InputPort, Operator};
+use craqr_geom::{CellId, Grid, Rect, Region};
+use craqr_sensing::AttributeId;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Planning rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The query region does not intersect `R`.
+    OutsideRegion(Rect),
+    /// The query region is smaller than one grid cell — "a single-attribute
+    /// query should be on a region with area at least `area(R(q,r))`"
+    /// (Section IV).
+    TooSmall {
+        /// The offending query area (km²).
+        query_area: f64,
+        /// The minimum allowed area (one cell, km²).
+        min_area: f64,
+    },
+    /// No standing query with this id.
+    UnknownQuery(QueryId),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::OutsideRegion(r) => write!(f, "query region {r} lies outside R"),
+            PlanError::TooSmall { query_area, min_area } => {
+                write!(f, "query area {query_area} km² below the cell minimum {min_area} km²")
+            }
+            PlanError::UnknownQuery(q) => write!(f, "no standing query {q}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A standing query's placement: which cells it taps and how its per-cell
+/// pieces merge back together.
+#[derive(Debug)]
+pub struct QueryPlan {
+    /// The query itself.
+    pub query: AcquisitionQuery,
+    /// `(cell, overlap, covers-whole-cell)` for every touched cell.
+    pub cells: Vec<(CellId, Rect, bool)>,
+    /// The query footprint clipped to `R`, canonicalized.
+    pub footprint: Region,
+}
+
+/// The fabricator: the grid hashmap of per-cell execution topologies plus
+/// per-query merge stages.
+///
+/// - **map** ([`Fabricator::ingest_batch`]): each arriving tuple is routed
+///   to its grid cell's key; unmaterialized cells (no standing query there)
+///   drop their tuples unprocessed — the grid is "entirely logical".
+/// - **process**: the per-(cell, attribute) [`AttrChain`]s push tuples
+///   through `F → T … → (P) →` sinks.
+/// - **merge** ([`Fabricator::collect_output`]): a per-query `U`-operator
+///   reassembles the per-cell streams into the final MCDS, time-ordered.
+pub struct Fabricator {
+    grid: Grid,
+    config: PlannerConfig,
+    cells: HashMap<CellId, HashMap<AttributeId, AttrChain>>,
+    queries: HashMap<QueryId, QueryPlan>,
+    merges: HashMap<QueryId, UnionOp>,
+    next_query: u64,
+    dropped_unmaterialized: u64,
+}
+
+impl Fabricator {
+    /// Creates a fabricator over region `R`.
+    pub fn new(region: Rect, config: PlannerConfig) -> Self {
+        Self {
+            grid: Grid::new(region, config.grid_side),
+            config,
+            cells: HashMap::new(),
+            queries: HashMap::new(),
+            merges: HashMap::new(),
+            next_query: 0,
+            dropped_unmaterialized: 0,
+        }
+    }
+
+    /// The logical grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Inserts a standing query (Section V "Query Insertions"), returning
+    /// its id.
+    pub fn insert_query(&mut self, query: AcquisitionQuery) -> Result<QueryId, PlanError> {
+        self.insert_query_parts(query, &[query.region])
+    }
+
+    /// Inserts a standing query whose footprint is a union of disjoint
+    /// rectangles — the shape of the paper's `R1` in Fig. 2, which covers
+    /// an L of three grid cells.
+    ///
+    /// `query.region` is treated as the nominal region (for display); the
+    /// effective footprint is `parts`. Each grid cell may be touched by at
+    /// most one part (grid-aligned footprints always satisfy this).
+    ///
+    /// # Panics
+    /// Panics when parts overlap each other or when two parts touch the
+    /// same grid cell.
+    pub fn insert_query_parts(
+        &mut self,
+        query: AcquisitionQuery,
+        parts: &[Rect],
+    ) -> Result<QueryId, PlanError> {
+        // Disjointness check (panics on overlap — a planner-usage bug).
+        let footprint_check = Region::from_disjoint(parts.to_vec());
+
+        let mut overlaps = Vec::new();
+        for part in parts {
+            overlaps.extend(self.grid.cells_overlapping(part));
+        }
+        if overlaps.is_empty() {
+            return Err(PlanError::OutsideRegion(query.region));
+        }
+        {
+            let mut cells_seen: Vec<CellId> = overlaps.iter().map(|o| o.cell).collect();
+            cells_seen.sort();
+            let before = cells_seen.len();
+            cells_seen.dedup();
+            assert_eq!(before, cells_seen.len(), "query parts share a grid cell");
+        }
+        let clipped_area: f64 = overlaps.iter().map(|o| o.overlap.area()).sum();
+        if self.config.enforce_min_area && clipped_area + 1e-9 < self.grid.cell_area() {
+            return Err(PlanError::TooSmall {
+                query_area: footprint_check.area(),
+                min_area: self.grid.cell_area(),
+            });
+        }
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+
+        let mut cells = Vec::with_capacity(overlaps.len());
+        let mut parts = Vec::with_capacity(overlaps.len());
+        for o in &overlaps {
+            let cell_rect = self.grid.cell_rect(o.cell);
+            // "If the key is absent, it is created and a F-operator is
+            // added to it."
+            let chain = self
+                .cells
+                .entry(o.cell)
+                .or_default()
+                .entry(query.attr)
+                .or_insert_with(|| {
+                    AttrChain::new(
+                        cell_rect,
+                        self.config.batch_duration,
+                        query.rate,
+                        self.config.f_headroom,
+                        self.config.estimator,
+                        self.config.shape,
+                        self.config
+                            .seed
+                            .wrapping_add((o.cell.q as u64) << 32 | o.cell.r as u64)
+                            .wrapping_add((query.attr.0 as u64) << 16),
+                    )
+                });
+            chain.insert_consumer(qid, query.rate, o.overlap, o.full);
+            cells.push((o.cell, o.overlap, o.full));
+            parts.push(o.overlap);
+        }
+
+        let footprint = Region::from_disjoint(parts.clone());
+        self.merges.insert(qid, UnionOp::nary(parts));
+        self.queries.insert(qid, QueryPlan { query, cells, footprint });
+        Ok(qid)
+    }
+
+    /// Deletes a standing query (Section V "Query Deletions"). Returns the
+    /// tuples still buffered in its sinks.
+    pub fn delete_query(&mut self, qid: QueryId) -> Result<Vec<CrowdTuple>, PlanError> {
+        let plan = self.queries.remove(&qid).ok_or(PlanError::UnknownQuery(qid))?;
+        self.merges.remove(&qid);
+        let mut leftovers = Vec::new();
+        for (cell, _, _) in &plan.cells {
+            let Some(attr_chains) = self.cells.get_mut(cell) else { continue };
+            if let Some(chain) = attr_chains.get_mut(&plan.query.attr) {
+                if let Some(buf) = chain.delete_consumer(qid) {
+                    leftovers.extend(buf);
+                }
+                // "…until all the streams and the key in the hashmap are
+                // deleted."
+                if chain.is_empty() {
+                    attr_chains.remove(&plan.query.attr);
+                }
+            }
+            if attr_chains.is_empty() {
+                self.cells.remove(cell);
+            }
+        }
+        Ok(leftovers)
+    }
+
+    /// The standing query plans.
+    pub fn query_plan(&self, qid: QueryId) -> Option<&QueryPlan> {
+        self.queries.get(&qid)
+    }
+
+    /// Ids of all standing queries, ascending.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.queries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of materialized (cell, attribute) chains.
+    pub fn materialized_chains(&self) -> usize {
+        self.cells.values().map(HashMap::len).sum()
+    }
+
+    /// Number of materialized cells (hashmap keys).
+    pub fn materialized_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Tuples dropped at the map phase because their cell had no standing
+    /// query.
+    pub fn dropped_unmaterialized(&self) -> u64 {
+        self.dropped_unmaterialized
+    }
+
+    /// The flatten telemetry of every chain:
+    /// `(cell, attribute, report, current λ̄)`.
+    pub fn flatten_reports(&self) -> Vec<(CellId, AttributeId, Arc<FlattenReport>, f64)> {
+        let mut out = Vec::with_capacity(self.materialized_chains());
+        for (cell, attr_chains) in &self.cells {
+            for (attr, chain) in attr_chains {
+                out.push((*cell, *attr, chain.flatten_report(), chain.f_rate()));
+            }
+        }
+        out.sort_by_key(|(c, a, _, _)| (*c, *a));
+        out
+    }
+
+    /// Current demand per materialized chain: `(cell, attr, λ̄)` — what the
+    /// request/response handler must feed.
+    pub fn demands(&self) -> Vec<(CellId, AttributeId, f64)> {
+        self.flatten_reports().into_iter().map(|(c, a, _, r)| (c, a, r)).collect()
+    }
+
+    /// **map + process**: routes one ingestion batch to the per-cell
+    /// chains and runs them.
+    pub fn ingest_batch(&mut self, tuples: &[CrowdTuple]) {
+        // map: group by (cell, attr). Tuples in unmaterialized cells drop.
+        let mut groups: HashMap<(CellId, AttributeId), Vec<CrowdTuple>> = HashMap::new();
+        for t in tuples {
+            match self.grid.cell_of(t.point.x, t.point.y) {
+                Some(cell)
+                    if self
+                        .cells
+                        .get(&cell)
+                        .is_some_and(|chains| chains.contains_key(&t.attr)) =>
+                {
+                    groups.entry((cell, t.attr)).or_default().push(*t);
+                }
+                _ => self.dropped_unmaterialized += 1,
+            }
+        }
+        // process: deterministic order for reproducibility. Materialized
+        // chains that received nothing this batch record a starvation epoch
+        // so their N_v telemetry never goes stale.
+        let mut keys: Vec<(CellId, AttributeId)> = self
+            .cells
+            .iter()
+            .flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a)))
+            .collect();
+        keys.sort();
+        for key in keys {
+            let chain = self
+                .cells
+                .get_mut(&key.0)
+                .and_then(|c| c.get_mut(&key.1))
+                .expect("key enumerated from cells");
+            match groups.remove(&key) {
+                Some(batch) => chain.process_batch(batch),
+                None => chain.record_starved_epoch(),
+            }
+        }
+    }
+
+    /// **map + process** with per-cell parallelism.
+    ///
+    /// Per-cell chains share nothing (their RNG streams, estimators and
+    /// sinks are all chain-local), so they can run on separate threads; the
+    /// result is bit-identical to [`Fabricator::ingest_batch`] regardless
+    /// of scheduling. Worth it only when many cells are materialized and
+    /// batches are large — see the `ops_micro` bench group.
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn ingest_batch_parallel(&mut self, tuples: &[CrowdTuple], threads: usize) {
+        assert!(threads > 0, "need at least one thread");
+        let mut groups: HashMap<(CellId, AttributeId), Vec<CrowdTuple>> = HashMap::new();
+        for t in tuples {
+            match self.grid.cell_of(t.point.x, t.point.y) {
+                Some(cell)
+                    if self
+                        .cells
+                        .get(&cell)
+                        .is_some_and(|chains| chains.contains_key(&t.attr)) =>
+                {
+                    groups.entry((cell, t.attr)).or_default().push(*t);
+                }
+                _ => self.dropped_unmaterialized += 1,
+            }
+        }
+        let mut jobs: Vec<(&mut AttrChain, Option<Vec<CrowdTuple>>)> = Vec::new();
+        for (cell, chains) in self.cells.iter_mut() {
+            for (attr, chain) in chains.iter_mut() {
+                jobs.push((chain, groups.remove(&(*cell, *attr))));
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let chunk = jobs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for piece in jobs.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for (chain, batch) in piece.iter_mut() {
+                        match batch.take() {
+                            Some(b) => chain.process_batch(b),
+                            None => chain.record_starved_epoch(),
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// **merge**: drains a query's per-cell sinks through its `U`-operator
+    /// and returns the fabricated MCDS slice, time-ordered.
+    pub fn collect_output(&mut self, qid: QueryId) -> Result<Vec<CrowdTuple>, PlanError> {
+        let plan = self.queries.get(&qid).ok_or(PlanError::UnknownQuery(qid))?;
+        let attr = plan.query.attr;
+        let cells = plan.cells.clone();
+        let merge = self.merges.get_mut(&qid).expect("merge exists with plan");
+        let mut emitter = Emitter::new(merge.output_ports());
+        for (port, (cell, _, _)) in cells.iter().enumerate() {
+            let Some(chain) = self.cells.get_mut(cell).and_then(|c| c.get_mut(&attr)) else {
+                continue;
+            };
+            let piece = chain.drain_query(qid);
+            if !piece.is_empty() {
+                merge.process(InputPort(port as u16), &piece, &mut emitter);
+            }
+        }
+        let mut out = emitter.into_buffers().remove(0);
+        out.sort_by(|a, b| a.point.t.total_cmp(&b.point.t));
+        Ok(out)
+    }
+
+    /// Total tuples processed across every chain (the work measure of the
+    /// multi-query sharing experiments).
+    pub fn tuples_processed(&self) -> u64 {
+        self.cells
+            .values()
+            .flat_map(HashMap::values)
+            .map(AttrChain::tuples_processed)
+            .sum()
+    }
+
+    /// Renders every materialized chain, sorted by cell then attribute —
+    /// the textual form of Fig. 2(b).
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut keys: Vec<(CellId, AttributeId)> = self
+            .cells
+            .iter()
+            .flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a)))
+            .collect();
+        keys.sort();
+        let mut s = String::new();
+        for (cell, attr) in keys {
+            let chain = &self.cells[&cell][&attr];
+            let _ = writeln!(s, "R{cell} {attr}: {}", chain.explain());
+        }
+        s
+    }
+
+    /// Access to one chain (for tests and experiments).
+    pub fn chain(&self, cell: CellId, attr: AttributeId) -> Option<&AttrChain> {
+        self.cells.get(&cell).and_then(|c| c.get(&attr))
+    }
+
+    /// Graphviz rendering of every materialized chain, one `digraph` per
+    /// (cell, attribute).
+    pub fn explain_dot(&self) -> String {
+        let mut keys: Vec<(CellId, AttributeId)> = self
+            .cells
+            .iter()
+            .flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a)))
+            .collect();
+        keys.sort();
+        keys.iter()
+            .map(|(cell, attr)| {
+                self.cells[cell][attr].to_dot(&format!("cell_{}_{}_attr_{}", cell.q, cell.r, attr.0))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::SpaceTimePoint;
+    use craqr_sensing::{AttrValue, SensorId};
+
+    fn region() -> Rect {
+        Rect::with_size(4.0, 4.0)
+    }
+
+    fn fab() -> Fabricator {
+        Fabricator::new(region(), PlannerConfig { grid_side: 4, ..Default::default() })
+    }
+
+    fn query(attr: u16, rect: Rect, rate: f64) -> AcquisitionQuery {
+        AcquisitionQuery::new(AttributeId(attr), rect, rate)
+    }
+
+    fn tuples(attr: u16, n: usize, t0: f64, rect: Rect) -> Vec<CrowdTuple> {
+        (0..n)
+            .map(|i| {
+                let fx = ((i as f64 * 0.754_877).fract() * rect.width()) + rect.x0;
+                let fy = ((i as f64 * 0.569_84).fract() * rect.height()) + rect.y0;
+                CrowdTuple {
+                    id: i as u64,
+                    attr: AttributeId(attr),
+                    point: SpaceTimePoint::new(t0 + (i as f64 / n as f64) * 5.0, fx, fy),
+                    value: AttrValue::Float(1.0),
+                    sensor: SensorId(0),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn only_touched_cells_materialize() {
+        let mut f = fab();
+        // One-cell query: exactly one chain materializes out of 16 cells.
+        let qid = f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 2.0)).unwrap();
+        assert_eq!(f.materialized_cells(), 1);
+        assert_eq!(f.materialized_chains(), 1);
+        let plan = f.query_plan(qid).unwrap();
+        assert_eq!(plan.cells.len(), 1);
+        assert!(plan.cells[0].2, "query covers the whole cell");
+    }
+
+    #[test]
+    fn query_spanning_cells_materializes_each() {
+        let mut f = fab();
+        let qid = f.insert_query(query(0, Rect::new(0.0, 0.0, 2.0, 2.0), 1.0)).unwrap();
+        assert_eq!(f.materialized_cells(), 4);
+        let plan = f.query_plan(qid).unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert!(plan.cells.iter().all(|(_, _, full)| *full));
+        assert!((plan.footprint.area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_overlap_is_recorded() {
+        let mut f = fab();
+        // Query offset by half a cell: 4 cells touched, all partial.
+        let qid = f.insert_query(query(0, Rect::new(0.5, 0.5, 1.5, 1.5), 1.0)).unwrap();
+        let plan = f.query_plan(qid).unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert!(plan.cells.iter().all(|(_, _, full)| !*full));
+    }
+
+    #[test]
+    fn rejects_query_outside_region() {
+        let mut f = fab();
+        let err = f.insert_query(query(0, Rect::new(10.0, 10.0, 12.0, 12.0), 1.0)).unwrap_err();
+        assert!(matches!(err, PlanError::OutsideRegion(_)));
+    }
+
+    #[test]
+    fn rejects_query_below_cell_area() {
+        let mut f = fab();
+        let err = f.insert_query(query(0, Rect::new(0.0, 0.0, 0.5, 0.5), 1.0)).unwrap_err();
+        assert!(matches!(err, PlanError::TooSmall { .. }));
+    }
+
+    #[test]
+    fn same_attr_queries_share_chains() {
+        let mut f = fab();
+        f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 4.0)).unwrap();
+        f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 2.0)).unwrap();
+        // Same cell, same attribute: one chain with two taps.
+        assert_eq!(f.materialized_chains(), 1);
+        let chain = f.chain(CellId::new(0, 0), AttributeId(0)).unwrap();
+        assert_eq!(chain.tap_rates(), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn different_attrs_get_separate_chains() {
+        let mut f = fab();
+        f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 1.0)).unwrap();
+        f.insert_query(query(1, Rect::new(0.0, 0.0, 1.0, 1.0), 1.0)).unwrap();
+        assert_eq!(f.materialized_cells(), 1);
+        assert_eq!(f.materialized_chains(), 2);
+    }
+
+    #[test]
+    fn deletion_dematerializes_empty_cells() {
+        let mut f = fab();
+        let q1 = f.insert_query(query(0, Rect::new(0.0, 0.0, 2.0, 1.0), 2.0)).unwrap();
+        let q2 = f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 1.0)).unwrap();
+        assert_eq!(f.materialized_cells(), 2);
+        f.delete_query(q1).unwrap();
+        // Cell (1,0) only served q1: its key must be gone.
+        assert_eq!(f.materialized_cells(), 1);
+        assert!(f.chain(CellId::new(1, 0), AttributeId(0)).is_none());
+        f.delete_query(q2).unwrap();
+        assert_eq!(f.materialized_cells(), 0);
+        assert_eq!(f.materialized_chains(), 0);
+    }
+
+    #[test]
+    fn delete_unknown_query_errors() {
+        let mut f = fab();
+        assert!(matches!(f.delete_query(QueryId(9)), Err(PlanError::UnknownQuery(_))));
+    }
+
+    #[test]
+    fn map_phase_drops_unmaterialized_tuples() {
+        let mut f = fab();
+        f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 1.0)).unwrap();
+        // Tuples in a far cell and with an unknown attribute.
+        let far = tuples(0, 50, 0.0, Rect::new(3.0, 3.0, 4.0, 4.0));
+        let wrong_attr = tuples(9, 50, 0.0, Rect::new(0.0, 0.0, 1.0, 1.0));
+        f.ingest_batch(&far);
+        f.ingest_batch(&wrong_attr);
+        assert_eq!(f.dropped_unmaterialized(), 100);
+    }
+
+    #[test]
+    fn end_to_end_fabrication_delivers_rated_stream() {
+        let mut f = fab();
+        let qid = f.insert_query(query(0, Rect::new(0.0, 0.0, 2.0, 2.0), 1.0)).unwrap();
+        // Feed 12 epochs of abundant raw tuples over the query footprint.
+        for e in 0..12 {
+            let batch = tuples(0, 2_000, e as f64 * 5.0, Rect::new(0.0, 0.0, 2.0, 2.0));
+            f.ingest_batch(&batch);
+        }
+        let out = f.collect_output(qid).unwrap();
+        // Requested: 1 /km²/min × 4 km² × 60 min = 240 tuples.
+        let got = out.len() as f64;
+        assert!((got - 240.0).abs() < 75.0, "delivered {got}, want ≈240");
+        // Time-ordered and inside the footprint.
+        for pair in out.windows(2) {
+            assert!(pair[0].point.t <= pair[1].point.t);
+        }
+        let plan = f.query_plan(qid).unwrap();
+        for t in &out {
+            assert!(plan.footprint.contains(t.point.x, t.point.y));
+        }
+    }
+
+    #[test]
+    fn partial_overlap_output_respects_footprint() {
+        let mut f = fab();
+        let foot = Rect::new(0.5, 0.5, 1.5, 1.5);
+        let qid = f.insert_query(query(0, foot, 1.0)).unwrap();
+        for e in 0..8 {
+            // Feed the whole 2x2 block so the P-operators must carve.
+            let batch = tuples(0, 2_000, e as f64 * 5.0, Rect::new(0.0, 0.0, 2.0, 2.0));
+            f.ingest_batch(&batch);
+        }
+        let out = f.collect_output(qid).unwrap();
+        assert!(!out.is_empty());
+        for t in &out {
+            assert!(
+                foot.contains(t.point.x, t.point.y),
+                "tuple at ({}, {}) escaped footprint",
+                t.point.x,
+                t.point.y
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_matches_serial_exactly() {
+        let build = || {
+            let mut f = fab();
+            let q = f.insert_query(query(0, Rect::new(0.0, 0.0, 4.0, 4.0), 0.5)).unwrap();
+            (f, q)
+        };
+        let (mut serial, qs) = build();
+        let (mut parallel, qp) = build();
+        for e in 0..6 {
+            let batch = tuples(0, 3_000, e as f64 * 5.0, Rect::new(0.0, 0.0, 4.0, 4.0));
+            serial.ingest_batch(&batch);
+            parallel.ingest_batch_parallel(&batch, 4);
+        }
+        let out_s = serial.collect_output(qs).unwrap();
+        let out_p = parallel.collect_output(qp).unwrap();
+        assert_eq!(out_s.len(), out_p.len());
+        let ids_s: Vec<u64> = out_s.iter().map(|t| t.id).collect();
+        let ids_p: Vec<u64> = out_p.iter().map(|t| t.id).collect();
+        assert_eq!(ids_s, ids_p, "chains are deterministic regardless of scheduling");
+    }
+
+    #[test]
+    fn parallel_ingest_records_starvation_too() {
+        let mut f = fab();
+        f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 1.0)).unwrap();
+        f.ingest_batch_parallel(&[], 2);
+        let reports = f.flatten_reports();
+        assert_eq!(reports[0].2.batches(), 1);
+        assert_eq!(reports[0].2.last_nv(), 100.0);
+    }
+
+    #[test]
+    fn explain_lists_materialized_chains() {
+        let mut f = fab();
+        f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 2.0)).unwrap();
+        f.insert_query(query(1, Rect::new(1.0, 0.0, 2.0, 1.0), 3.0)).unwrap();
+        let s = f.explain();
+        assert!(s.contains("R(0,0) A<0>: F"), "{s}");
+        assert!(s.contains("R(1,0) A<1>: F"), "{s}");
+    }
+
+    #[test]
+    fn collect_from_unknown_query_errors() {
+        let mut f = fab();
+        assert!(matches!(f.collect_output(QueryId(3)), Err(PlanError::UnknownQuery(_))));
+    }
+}

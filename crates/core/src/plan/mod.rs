@@ -1,0 +1,48 @@
+//! Query planning and stream fabrication — Section V.
+
+mod chain;
+mod fabricator;
+
+pub use chain::{AttrChain, TopologyShape};
+pub use fabricator::{Fabricator, PlanError, QueryPlan};
+
+use crate::ops::EstimatorMode;
+
+/// Planner/fabricator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Cells per grid side (the paper's `√h`).
+    pub grid_side: u32,
+    /// Batch epoch duration (minutes); the `F` operators and the server
+    /// share this clock.
+    pub batch_duration: f64,
+    /// `F` target = `f_headroom × max tap rate` (rule 4 of Section V says
+    /// "greater than"; 1.0 means "equal", larger values give the flatten
+    /// stage slack at the cost of more raw tuples).
+    pub f_headroom: f64,
+    /// Per-cell topology shape (Section VI "alternative topologies").
+    pub shape: TopologyShape,
+    /// Intensity-estimation mode for the `F` operators.
+    pub estimator: EstimatorMode,
+    /// Master seed for all operator randomness.
+    pub seed: u64,
+    /// Enforce the Section IV minimum-query-area rule ("a single-attribute
+    /// query should be on a region with area at least `area(R(q,r))`").
+    /// The paper's own Fig. 2 example bends the rule (its `R3` sits inside
+    /// a single cell behind a `P`-operator), so it is a knob.
+    pub enforce_min_area: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            grid_side: 4,
+            batch_duration: 5.0,
+            f_headroom: 1.0,
+            shape: TopologyShape::Chain,
+            estimator: EstimatorMode::BatchMle,
+            seed: 0xC7A9,
+            enforce_min_area: true,
+        }
+    }
+}

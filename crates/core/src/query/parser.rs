@@ -1,0 +1,262 @@
+//! A declarative surface syntax for acquisitional queries.
+//!
+//! The paper motivates "declarative specification of data acquisition
+//! queries" (Section I). The grammar is deliberately the smallest thing
+//! that carries the query triple:
+//!
+//! ```text
+//! ACQUIRE <attr> FROM RECT(<x0>, <y0>, <x1>, <y1>) RATE <λ> [PER KM2 PER MIN]
+//! ```
+//!
+//! Keywords are case-insensitive; whitespace is free-form. The example from
+//! the paper reads:
+//!
+//! ```text
+//! ACQUIRE rain FROM RECT(0, 0, 2, 3) RATE 10 PER KM2 PER MIN
+//! ```
+
+use super::{AcquisitionQuery, AttributeCatalog};
+use craqr_geom::Rect;
+use std::fmt;
+
+/// Query-text rejection, with enough context to fix the text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A keyword was missing or misplaced.
+    Expected(&'static str, String),
+    /// The attribute is not in the catalog.
+    UnknownAttribute(String),
+    /// A number failed to parse.
+    BadNumber(String),
+    /// The rectangle is degenerate or inverted.
+    BadRegion(String),
+    /// The rate is non-positive.
+    BadRate(f64),
+    /// Trailing tokens after a complete query.
+    TrailingInput(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Expected(what, got) => write!(f, "expected {what}, found '{got}'"),
+            ParseError::UnknownAttribute(a) => write!(f, "unknown attribute '{a}'"),
+            ParseError::BadNumber(s) => write!(f, "cannot parse number '{s}'"),
+            ParseError::BadRegion(s) => write!(f, "bad region: {s}"),
+            ParseError::BadRate(r) => write!(f, "rate must be positive, got {r}"),
+            ParseError::TrailingInput(s) => write!(f, "unexpected trailing input '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizer: splits on whitespace and the punctuation `( ) ,`, keeping the
+/// punctuation as its own tokens.
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in input.chars() {
+        match ch {
+            '(' | ')' | ',' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+struct Cursor {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<&str> {
+        let t = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(ParseError::Expected(kw, t.to_string())),
+            None => Err(ParseError::Expected(kw, "end of input".to_string())),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == p => Ok(()),
+            Some(t) => Err(ParseError::Expected(p, t.to_string())),
+            None => Err(ParseError::Expected(p, "end of input".to_string())),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(t) => t.parse::<f64>().map_err(|_| ParseError::BadNumber(t.to_string())),
+            None => Err(ParseError::BadNumber("end of input".to_string())),
+        }
+    }
+}
+
+/// Parses one query against a catalog.
+pub fn parse_query(input: &str, catalog: &AttributeCatalog) -> Result<AcquisitionQuery, ParseError> {
+    let mut cur = Cursor { tokens: tokenize(input), pos: 0 };
+
+    cur.expect_keyword("ACQUIRE")?;
+    let attr_name = cur
+        .next()
+        .ok_or(ParseError::Expected("attribute name", "end of input".to_string()))?
+        .to_string();
+    let attr = catalog
+        .lookup(&attr_name)
+        .ok_or_else(|| ParseError::UnknownAttribute(attr_name.clone()))?;
+
+    cur.expect_keyword("FROM")?;
+    cur.expect_keyword("RECT")?;
+    cur.expect_punct("(")?;
+    let x0 = cur.expect_number()?;
+    cur.expect_punct(",")?;
+    let y0 = cur.expect_number()?;
+    cur.expect_punct(",")?;
+    let x1 = cur.expect_number()?;
+    cur.expect_punct(",")?;
+    let y1 = cur.expect_number()?;
+    cur.expect_punct(")")?;
+    if !(x1 > x0 && y1 > y0) {
+        return Err(ParseError::BadRegion(format!("[{x0},{x1})x[{y0},{y1}) has no area")));
+    }
+
+    cur.expect_keyword("RATE")?;
+    let rate = cur.expect_number()?;
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(ParseError::BadRate(rate));
+    }
+
+    // Optional unit suffix: PER KM2 PER MIN.
+    if cur.peek().is_some_and(|t| t.eq_ignore_ascii_case("PER")) {
+        cur.expect_keyword("PER")?;
+        cur.expect_keyword("KM2")?;
+        cur.expect_keyword("PER")?;
+        cur.expect_keyword("MIN")?;
+    }
+
+    if let Some(extra) = cur.peek() {
+        return Err(ParseError::TrailingInput(extra.to_string()));
+    }
+
+    Ok(AcquisitionQuery::new(attr, Rect::new(x0, y0, x1, y1), rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> AttributeCatalog {
+        let mut c = AttributeCatalog::new();
+        c.register("rain", true);
+        c.register("temp", false);
+        c
+    }
+
+    #[test]
+    fn parses_the_papers_example() {
+        let q = parse_query(
+            "ACQUIRE rain FROM RECT(0, 0, 2, 3) RATE 10 PER KM2 PER MIN",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(q.attr, catalog().lookup("rain").unwrap());
+        assert!(q.region.approx_eq(&Rect::new(0.0, 0.0, 2.0, 3.0)));
+        assert_eq!(q.rate, 10.0);
+    }
+
+    #[test]
+    fn unit_suffix_is_optional() {
+        let q = parse_query("ACQUIRE temp FROM RECT(1,1,4,4) RATE 2.5", &catalog()).unwrap();
+        assert_eq!(q.rate, 2.5);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("acquire Rain from rect(0,0,1,1) rate 1", &{
+            let mut c = AttributeCatalog::new();
+            c.register("Rain", true);
+            c
+        })
+        .unwrap();
+        assert_eq!(q.rate, 1.0);
+    }
+
+    #[test]
+    fn negative_coordinates_and_floats_parse() {
+        let q = parse_query("ACQUIRE temp FROM RECT(-2.5, -1.0, 0.5, 3.25) RATE 0.75", &catalog())
+            .unwrap();
+        assert!(q.region.approx_eq(&Rect::new(-2.5, -1.0, 0.5, 3.25)));
+    }
+
+    #[test]
+    fn unknown_attribute_is_reported() {
+        let err = parse_query("ACQUIRE snow FROM RECT(0,0,1,1) RATE 1", &catalog()).unwrap_err();
+        assert_eq!(err, ParseError::UnknownAttribute("snow".to_string()));
+        assert!(err.to_string().contains("snow"));
+    }
+
+    #[test]
+    fn inverted_region_is_rejected() {
+        let err = parse_query("ACQUIRE rain FROM RECT(2,0,1,1) RATE 1", &catalog()).unwrap_err();
+        assert!(matches!(err, ParseError::BadRegion(_)));
+    }
+
+    #[test]
+    fn non_positive_rate_is_rejected() {
+        let err = parse_query("ACQUIRE rain FROM RECT(0,0,1,1) RATE 0", &catalog()).unwrap_err();
+        assert_eq!(err, ParseError::BadRate(0.0));
+        let err = parse_query("ACQUIRE rain FROM RECT(0,0,1,1) RATE -3", &catalog()).unwrap_err();
+        assert_eq!(err, ParseError::BadRate(-3.0));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        let err = parse_query("ACQUIRE rain FROM RECT(a,0,1,1) RATE 1", &catalog()).unwrap_err();
+        assert_eq!(err, ParseError::BadNumber("a".to_string()));
+    }
+
+    #[test]
+    fn missing_keyword_is_reported() {
+        let err = parse_query("ACQUIRE rain RECT(0,0,1,1) RATE 1", &catalog()).unwrap_err();
+        assert!(matches!(err, ParseError::Expected("FROM", _)));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err =
+            parse_query("ACQUIRE rain FROM RECT(0,0,1,1) RATE 1 NOW", &catalog()).unwrap_err();
+        assert_eq!(err, ParseError::TrailingInput("NOW".to_string()));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let err = parse_query("", &catalog()).unwrap_err();
+        assert!(matches!(err, ParseError::Expected("ACQUIRE", _)));
+    }
+}

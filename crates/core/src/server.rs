@@ -1,0 +1,396 @@
+//! The CrAQR server: the full Fig. 1 loop over a simulated crowd.
+
+use crate::budget::BudgetTuner;
+use crate::error_model::{ErrorModel, Mitigation};
+use crate::handler::{DispatchStats, RequestResponseHandler, TuneEvent};
+use crate::incentive::IncentivePolicy;
+use crate::plan::{Fabricator, PlanError, PlannerConfig};
+use crate::query::{parse_query, AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
+use crate::tuple::{CrowdTuple, TupleIdGen};
+use craqr_sensing::{AttributeId, Crowd, Field};
+use craqr_stats::sub_rng;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Planner/fabricator knobs (grid side, batch duration, shape, …).
+    pub planner: PlannerConfig,
+    /// Budget tuning policy.
+    pub tuner: BudgetTuner,
+    /// Incentive escalation policy (Section VI).
+    pub incentive: IncentivePolicy,
+    /// Error injection applied to responses in flight (Section VI).
+    pub error_model: ErrorModel,
+    /// Ingestion-side mitigation (Section VI).
+    pub mitigation: Mitigation,
+    /// Budget for a freshly materialized (attribute, cell) pair
+    /// (requests/epoch).
+    pub initial_budget: f64,
+    /// Crowd mobility sub-steps per epoch (finer = smoother trajectories).
+    pub mobility_substeps: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            planner: PlannerConfig::default(),
+            tuner: BudgetTuner::default(),
+            incentive: IncentivePolicy::default(),
+            error_model: ErrorModel::none(),
+            mitigation: Mitigation::standard(),
+            initial_budget: 20.0,
+            mobility_substeps: 4,
+        }
+    }
+}
+
+/// Query submission failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The parsed query could not be planned.
+    Plan(PlanError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Parse(e) => write!(f, "parse error: {e}"),
+            SubmitError::Plan(e) => write!(f, "plan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<ParseError> for SubmitError {
+    fn from(e: ParseError) -> Self {
+        SubmitError::Parse(e)
+    }
+}
+
+impl From<PlanError> for SubmitError {
+    fn from(e: PlanError) -> Self {
+        SubmitError::Plan(e)
+    }
+}
+
+/// What happened during one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Simulation time at the end of the epoch (minutes).
+    pub now: f64,
+    /// Request dispatch statistics.
+    pub dispatch: DispatchStats,
+    /// Responses received from the crowd this epoch.
+    pub responses: usize,
+    /// Responses rejected by mitigation.
+    pub mitigation_rejected: usize,
+    /// Well-formed tuples ingested into the fabricator.
+    pub ingested: usize,
+    /// Per-query tuples delivered this epoch.
+    pub delivered: Vec<(QueryId, usize)>,
+    /// Budget tuning events.
+    pub tuning: Vec<TuneEvent>,
+}
+
+/// The CrAQR server: accepts declarative acquisitional queries, drives the
+/// request/response handler against a (simulated) mobile crowd, fabricates
+/// the requested streams through per-cell PMAT topologies, and adapts
+/// budgets/incentives from flatten telemetry.
+pub struct CraqrServer {
+    crowd: Crowd,
+    fabricator: Fabricator,
+    handler: RequestResponseHandler,
+    catalog: AttributeCatalog,
+    idgen: TupleIdGen,
+    error_rng: StdRng,
+    config: ServerConfig,
+    outputs: HashMap<QueryId, Vec<CrowdTuple>>,
+    epoch: u64,
+}
+
+impl CraqrServer {
+    /// Creates a server over an existing crowd.
+    pub fn new(crowd: Crowd, config: ServerConfig) -> Self {
+        let region = crowd.region();
+        Self {
+            fabricator: Fabricator::new(region, config.planner),
+            handler: RequestResponseHandler::new(
+                config.tuner,
+                config.incentive,
+                config.initial_budget,
+            ),
+            catalog: AttributeCatalog::new(),
+            idgen: TupleIdGen::new(),
+            error_rng: sub_rng(config.planner.seed, 0xE44),
+            config,
+            outputs: HashMap::new(),
+            epoch: 0,
+            crowd,
+        }
+    }
+
+    /// Registers an attribute with its ground-truth field.
+    pub fn register_attribute(
+        &mut self,
+        name: &str,
+        human_sensed: bool,
+        field: Box<dyn Field>,
+    ) -> AttributeId {
+        let id = self.catalog.register(name, human_sensed);
+        self.crowd.register_field(id, field);
+        id
+    }
+
+    /// Submits a declarative query (`ACQUIRE … FROM RECT(…) RATE …`).
+    pub fn submit(&mut self, text: &str) -> Result<QueryId, SubmitError> {
+        let query = parse_query(text, &self.catalog)?;
+        Ok(self.submit_query(query)?)
+    }
+
+    /// Submits a typed query.
+    pub fn submit_query(&mut self, query: AcquisitionQuery) -> Result<QueryId, PlanError> {
+        let qid = self.fabricator.insert_query(query)?;
+        self.outputs.entry(qid).or_default();
+        Ok(qid)
+    }
+
+    /// Deletes a standing query, returning any tuples still buffered for it.
+    pub fn delete_query(&mut self, qid: QueryId) -> Result<Vec<CrowdTuple>, PlanError> {
+        let mut leftovers = self.fabricator.delete_query(qid)?;
+        if let Some(mut buffered) = self.outputs.remove(&qid) {
+            leftovers.append(&mut buffered);
+        }
+        Ok(leftovers)
+    }
+
+    /// Runs one epoch of the Fig. 1 loop:
+    /// dispatch → crowd advances → responses → errors/mitigation →
+    /// ingestion (map) → per-cell processing → per-query merge → budget
+    /// tuning.
+    pub fn run_epoch(&mut self) -> EpochReport {
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        // 1. Dispatch acquisition requests per materialized chain.
+        let demands = self.fabricator.demands();
+        let dispatch =
+            self.handler.dispatch_epoch(&mut self.crowd, self.fabricator.grid(), &demands);
+
+        // 2. The world moves; responses mature.
+        let dt = self.config.planner.batch_duration / self.config.mobility_substeps as f64;
+        for _ in 0..self.config.mobility_substeps {
+            self.crowd.step(dt);
+        }
+        let mut responses = self.crowd.drain_responses();
+        let n_responses = responses.len();
+
+        // 3. Error injection + mitigation (Section VI).
+        self.config.error_model.corrupt_batch(&mut responses, &mut self.error_rng);
+        let (responses, rejected) =
+            self.config.mitigation.apply(responses, &self.crowd.region());
+
+        // 4. Ingestion: assign unique ids, drop malformed tuples.
+        let tuples = self.idgen.ingest(&responses);
+        let ingested = tuples.len();
+
+        // 5. map + process.
+        self.fabricator.ingest_batch(&tuples);
+
+        // 6. merge: accumulate per-query outputs.
+        let mut delivered = Vec::new();
+        for qid in self.fabricator.query_ids() {
+            let out = self.fabricator.collect_output(qid).expect("standing query");
+            delivered.push((qid, out.len()));
+            self.outputs.entry(qid).or_default().extend(out);
+        }
+
+        // 7. Budget tuning from flatten telemetry.
+        let tuning = self.handler.tune(&self.fabricator.flatten_reports());
+
+        EpochReport {
+            epoch,
+            now: self.crowd.now(),
+            dispatch,
+            responses: n_responses,
+            mitigation_rejected: rejected,
+            ingested,
+            delivered,
+            tuning,
+        }
+    }
+
+    /// Takes everything fabricated for a query so far.
+    pub fn take_output(&mut self, qid: QueryId) -> Vec<CrowdTuple> {
+        self.outputs.get_mut(&qid).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Peeks at the number of buffered tuples for a query.
+    pub fn buffered_len(&self, qid: QueryId) -> usize {
+        self.outputs.get(&qid).map_or(0, Vec::len)
+    }
+
+    /// Simulation time (minutes).
+    pub fn now(&self) -> f64 {
+        self.crowd.now()
+    }
+
+    /// The attribute catalog.
+    pub fn catalog(&self) -> &AttributeCatalog {
+        &self.catalog
+    }
+
+    /// The fabricator (plans, chains, telemetry).
+    pub fn fabricator(&self) -> &Fabricator {
+        &self.fabricator
+    }
+
+    /// The request/response handler (budgets, incentives).
+    pub fn handler(&self) -> &RequestResponseHandler {
+        &self.handler
+    }
+
+    /// The crowd (sensor world).
+    pub fn crowd(&self) -> &Crowd {
+        &self.crowd
+    }
+
+    /// Mutable access to the crowd, for mid-run world changes (churn,
+    /// participation collapse) in experiments and failure-injection tests.
+    pub fn crowd_mut(&mut self) -> &mut Crowd {
+        &mut self.crowd
+    }
+
+    /// Epochs run so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::Rect;
+    use craqr_sensing::{
+        fields::ConstantField, AttrValue, CrowdConfig, Mobility, Placement, PopulationConfig,
+        RainFront,
+    };
+
+    fn crowd(size: usize) -> Crowd {
+        Crowd::new(CrowdConfig {
+            region: Rect::with_size(4.0, 4.0),
+            population: PopulationConfig {
+                size,
+                placement: Placement::Uniform,
+                mobility: Mobility::RandomWalk { sigma: 0.2 },
+                human_fraction: 0.0,
+            },
+            seed: 11,
+        })
+    }
+
+    fn server(size: usize) -> CraqrServer {
+        let mut s = CraqrServer::new(crowd(size), ServerConfig::default());
+        s.register_attribute("rain", true, Box::new(RainFront::new(2.0, 0.0, 2.0)));
+        s.register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(21.0))));
+        s
+    }
+
+    #[test]
+    fn submit_parses_and_plans() {
+        let mut s = server(200);
+        let qid = s.submit("ACQUIRE rain FROM RECT(0,0,1,1) RATE 2").unwrap();
+        assert_eq!(s.fabricator().query_ids(), vec![qid]);
+        assert_eq!(s.fabricator().materialized_cells(), 1);
+    }
+
+    #[test]
+    fn submit_rejects_unknown_attribute() {
+        let mut s = server(10);
+        let err = s.submit("ACQUIRE fog FROM RECT(0,0,1,1) RATE 2").unwrap_err();
+        assert!(matches!(err, SubmitError::Parse(ParseError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn submit_rejects_unplannable_query() {
+        let mut s = server(10);
+        let err = s.submit("ACQUIRE rain FROM RECT(0,0,0.5,0.5) RATE 2").unwrap_err();
+        assert!(matches!(err, SubmitError::Plan(PlanError::TooSmall { .. })));
+    }
+
+    #[test]
+    fn epochs_deliver_tuples_and_advance_time() {
+        let mut s = server(600);
+        let qid = s.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5").unwrap();
+        let mut total = 0;
+        for _ in 0..12 {
+            let report = s.run_epoch();
+            total += report.delivered.iter().map(|(_, n)| n).sum::<usize>();
+            assert!(report.dispatch.requested > 0);
+        }
+        assert_eq!(s.epochs(), 12);
+        assert!((s.now() - 60.0).abs() < 1e-9);
+        assert!(total > 0, "no tuples delivered");
+        let out = s.take_output(qid);
+        assert_eq!(out.len(), total);
+        assert_eq!(s.buffered_len(qid), 0);
+        // Values come from the registered field.
+        assert!(out.iter().all(|t| t.value == AttrValue::Float(21.0)));
+    }
+
+    #[test]
+    fn budgets_react_to_starvation() {
+        // A tiny crowd cannot satisfy an aggressive rate: budgets must rise.
+        let mut s = server(30);
+        s.submit("ACQUIRE temp FROM RECT(0,0,1,1) RATE 5").unwrap();
+        let cell = craqr_geom::CellId::new(0, 0);
+        let attr = s.catalog().lookup("temp").unwrap();
+        let mut before = None;
+        for _ in 0..10 {
+            s.run_epoch();
+            let b = s.handler().budget_of(cell, attr);
+            if before.is_none() {
+                before = b;
+            }
+        }
+        let after = s.handler().budget_of(cell, attr).unwrap();
+        assert!(
+            after > before.unwrap(),
+            "budget should grow under violations: {before:?} → {after}"
+        );
+    }
+
+    #[test]
+    fn deleting_query_stops_requests() {
+        let mut s = server(300);
+        let qid = s.submit("ACQUIRE rain FROM RECT(0,0,1,1) RATE 1").unwrap();
+        s.run_epoch();
+        s.delete_query(qid).unwrap();
+        let report = s.run_epoch();
+        assert_eq!(report.dispatch.requested, 0, "no demand should remain");
+        assert_eq!(s.fabricator().materialized_cells(), 0);
+    }
+
+    #[test]
+    fn rain_values_match_ground_truth_geometry() {
+        let mut s = server(500);
+        let qid = s.submit("ACQUIRE rain FROM RECT(0,0,4,4) RATE 0.3").unwrap();
+        for _ in 0..8 {
+            s.run_epoch();
+        }
+        let out = s.take_output(qid);
+        assert!(!out.is_empty());
+        for t in &out {
+            // RainFront(2.0, 0, 2.0): raining iff x ∈ [0, 2).
+            let expected = t.point.x < 2.0;
+            assert_eq!(t.value, AttrValue::Bool(expected), "at x={}", t.point.x);
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! The execution topology: a dynamic DAG of operators and sinks.
+
+use crate::metrics::{NodeMetrics, TopologyMetrics};
+use crate::operator::{Emitter, InputPort, Operator, OutputPort};
+use std::collections::VecDeque;
+
+/// Identifier of an operator node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifier of a sink (a named stream collection point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SinkId(pub(crate) usize);
+
+/// Where an edge delivers tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Another operator's input port.
+    Node(NodeId, InputPort),
+    /// A sink buffer.
+    Sink(SinkId),
+}
+
+struct NodeSlot<T> {
+    operator: Box<dyn Operator<T>>,
+    /// Outgoing edges, indexed by output port.
+    edges: Vec<Vec<Target>>,
+    metrics: NodeMetrics,
+}
+
+/// A dynamic dataflow DAG.
+///
+/// CrAQR materializes one topology per *grid cell* (the hashmap value of
+/// Section V) and rewires it as queries come and go, so the graph supports
+/// node removal and edge re-targeting, not just construction.
+///
+/// The executor ([`Topology::push`]) is breadth-first and synchronous. The
+/// graph must stay acyclic; a hop budget proportional to the node count
+/// catches accidental cycles and panics instead of spinning.
+pub struct Topology<T> {
+    nodes: Vec<Option<NodeSlot<T>>>,
+    sinks: Vec<Option<Vec<T>>>,
+    live_nodes: usize,
+}
+
+impl<T: Clone> Default for Topology<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Topology<T> {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), sinks: Vec::new(), live_nodes: 0 }
+    }
+
+    /// Adds an operator, returning its node id.
+    pub fn add_operator(&mut self, operator: Box<dyn Operator<T>>) -> NodeId {
+        let ports = operator.output_ports();
+        let slot = NodeSlot {
+            operator,
+            edges: (0..ports.max(1)).map(|_| Vec::new()).collect(),
+            metrics: NodeMetrics::default(),
+        };
+        self.live_nodes += 1;
+        // Reuse a free slot if any (keeps ids dense under churn).
+        if let Some(idx) = self.nodes.iter().position(Option::is_none) {
+            self.nodes[idx] = Some(slot);
+            NodeId(idx)
+        } else {
+            self.nodes.push(Some(slot));
+            NodeId(self.nodes.len() - 1)
+        }
+    }
+
+    /// Adds a sink, returning its id.
+    pub fn add_sink(&mut self) -> SinkId {
+        if let Some(idx) = self.sinks.iter().position(Option::is_none) {
+            self.sinks[idx] = Some(Vec::new());
+            SinkId(idx)
+        } else {
+            self.sinks.push(Some(Vec::new()));
+            SinkId(self.sinks.len() - 1)
+        }
+    }
+
+    /// Connects `from`'s output port to a target.
+    ///
+    /// # Panics
+    /// Panics when the node, port, or target does not exist, or when the
+    /// edge already exists (double-delivery bug).
+    #[track_caller]
+    pub fn connect(&mut self, from: NodeId, port: OutputPort, target: Target) {
+        match target {
+            Target::Node(nid, _) => assert!(self.node_exists(nid), "target node {nid:?} missing"),
+            Target::Sink(sid) => {
+                assert!(self.sinks.get(sid.0).is_some_and(Option::is_some), "sink {sid:?} missing")
+            }
+        }
+        let slot = self.slot_mut(from);
+        let edges = slot
+            .edges
+            .get_mut(port.0 as usize)
+            .unwrap_or_else(|| panic!("node has no output port {port:?}"));
+        assert!(!edges.contains(&target), "edge already exists");
+        edges.push(target);
+    }
+
+    /// Removes an edge; returns `true` when it existed.
+    pub fn disconnect(&mut self, from: NodeId, port: OutputPort, target: Target) -> bool {
+        let slot = self.slot_mut(from);
+        let Some(edges) = slot.edges.get_mut(port.0 as usize) else {
+            return false;
+        };
+        let before = edges.len();
+        edges.retain(|t| *t != target);
+        edges.len() != before
+    }
+
+    /// Removes a node, detaching every edge that references it.
+    ///
+    /// # Panics
+    /// Panics when the node does not exist.
+    #[track_caller]
+    pub fn remove_node(&mut self, node: NodeId) {
+        assert!(self.node_exists(node), "node {node:?} missing");
+        self.nodes[node.0] = None;
+        self.live_nodes -= 1;
+        for slot in self.nodes.iter_mut().flatten() {
+            for edges in &mut slot.edges {
+                edges.retain(|t| !matches!(t, Target::Node(nid, _) if *nid == node));
+            }
+        }
+    }
+
+    /// Removes a sink and its incoming edges, returning its final contents.
+    ///
+    /// # Panics
+    /// Panics when the sink does not exist.
+    #[track_caller]
+    pub fn remove_sink(&mut self, sink: SinkId) -> Vec<T> {
+        let buf = self.sinks[sink.0].take().unwrap_or_else(|| panic!("sink {sink:?} missing"));
+        for slot in self.nodes.iter_mut().flatten() {
+            for edges in &mut slot.edges {
+                edges.retain(|t| !matches!(t, Target::Sink(sid) if *sid == sink));
+            }
+        }
+        buf
+    }
+
+    /// Number of live operator nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// `true` when the node id refers to a live node.
+    pub fn node_exists(&self, node: NodeId) -> bool {
+        self.nodes.get(node.0).is_some_and(Option::is_some)
+    }
+
+    /// The operator name of a node.
+    ///
+    /// # Panics
+    /// Panics when the node does not exist.
+    #[track_caller]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.slot(node).operator.name()
+    }
+
+    /// Outgoing targets of `(node, port)` (empty when the port is unwired).
+    pub fn targets(&self, node: NodeId, port: OutputPort) -> &[Target] {
+        self.slot(node).edges.get(port.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// All downstream targets of a node across its ports.
+    pub fn all_targets(&self, node: NodeId) -> Vec<Target> {
+        self.slot(node).edges.iter().flatten().copied().collect()
+    }
+
+    /// Nodes (with port) feeding into `node`.
+    pub fn upstream_of(&self, node: NodeId) -> Vec<(NodeId, OutputPort)> {
+        let mut ups = Vec::new();
+        for (idx, slot) in self.nodes.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            for (p, edges) in slot.edges.iter().enumerate() {
+                if edges.iter().any(|t| matches!(t, Target::Node(nid, _) if *nid == node)) {
+                    ups.push((NodeId(idx), OutputPort(p as u16)));
+                }
+            }
+        }
+        ups
+    }
+
+    /// Number of distinct downstream consumers of a node — `> 1` marks the
+    /// *branching points* of the paper's deletion rule.
+    pub fn fanout(&self, node: NodeId) -> usize {
+        self.all_targets(node).len()
+    }
+
+    /// Pushes a batch into `entry`'s input port 0 and runs the dataflow to
+    /// quiescence.
+    ///
+    /// # Panics
+    /// Panics when `entry` is missing or a cycle keeps batches circulating
+    /// beyond the hop budget.
+    #[track_caller]
+    pub fn push(&mut self, entry: NodeId, batch: Vec<T>) {
+        assert!(self.node_exists(entry), "entry node {entry:?} missing");
+        let mut queue: VecDeque<(NodeId, InputPort, Vec<T>)> = VecDeque::new();
+        queue.push_back((entry, InputPort(0), batch));
+        // Hop budget: every delivered batch traverses ≥1 edge of a DAG with
+        // `live_nodes` nodes; fanout ≤ total edges. A generous multiplier
+        // catches cycles without bounding legitimate fan-out.
+        let mut budget = 64 * (self.live_nodes + 1) * (self.live_nodes + 1);
+        while let Some((nid, port, batch)) = queue.pop_front() {
+            assert!(budget > 0, "hop budget exhausted: is the topology cyclic?");
+            budget -= 1;
+            if batch.is_empty() {
+                continue;
+            }
+            let Some(slot) = self.nodes.get_mut(nid.0).and_then(Option::as_mut) else {
+                // Node removed while batches were in flight: drop silently,
+                // matching a DSMS tearing down a query mid-stream.
+                continue;
+            };
+            slot.metrics.tuples_in += batch.len() as u64;
+            slot.metrics.batches += 1;
+            let mut emitter = Emitter::new(slot.operator.output_ports());
+            slot.operator.process(port, &batch, &mut emitter);
+            let buffers = emitter.into_buffers();
+            // Record emissions, then route.
+            let routes: Vec<(Vec<Target>, Vec<T>)> = buffers
+                .into_iter()
+                .enumerate()
+                .map(|(p, buf)| {
+                    let targets = slot.edges.get(p).cloned().unwrap_or_default();
+                    (targets, buf)
+                })
+                .collect();
+            for (targets, buf) in routes {
+                if buf.is_empty() {
+                    continue;
+                }
+                self.nodes[nid.0].as_mut().expect("just used").metrics.tuples_out +=
+                    buf.len() as u64;
+                match targets.len() {
+                    0 => {} // unwired port: tuples fall on the floor by design
+                    1 => self.deliver(targets[0], buf, &mut queue),
+                    _ => {
+                        for t in &targets[..targets.len() - 1] {
+                            self.deliver(*t, buf.clone(), &mut queue);
+                        }
+                        self.deliver(targets[targets.len() - 1], buf, &mut queue);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, target: Target, buf: Vec<T>, queue: &mut VecDeque<(NodeId, InputPort, Vec<T>)>) {
+        match target {
+            Target::Node(nid, port) => queue.push_back((nid, port, buf)),
+            Target::Sink(sid) => {
+                if let Some(Some(sink)) = self.sinks.get_mut(sid.0) {
+                    sink.extend(buf);
+                }
+            }
+        }
+    }
+
+    /// Drains a sink's collected tuples.
+    ///
+    /// # Panics
+    /// Panics when the sink does not exist.
+    #[track_caller]
+    pub fn drain_sink(&mut self, sink: SinkId) -> Vec<T> {
+        std::mem::take(
+            self.sinks
+                .get_mut(sink.0)
+                .and_then(Option::as_mut)
+                .unwrap_or_else(|| panic!("sink {sink:?} missing")),
+        )
+    }
+
+    /// Mutable access to a node's operator, for in-place reconfiguration
+    /// through [`Operator::as_any_mut`].
+    ///
+    /// # Panics
+    /// Panics when the node does not exist.
+    #[track_caller]
+    pub fn operator_mut(&mut self, node: NodeId) -> &mut dyn Operator<T> {
+        self.slot_mut(node).operator.as_mut()
+    }
+
+    /// Renders the topology as a Graphviz `digraph` — operator nodes as
+    /// boxes (labelled with their name and tuple counters), sinks as
+    /// ellipses, edges annotated with output ports.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write;
+        let mut dot = String::new();
+        let _ = writeln!(dot, "digraph \"{name}\" {{");
+        let _ = writeln!(dot, "  rankdir=LR;");
+        for (idx, slot) in self.nodes.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let _ = writeln!(
+                dot,
+                "  n{idx} [shape=box, label=\"{}\\nin={} out={}\"];",
+                slot.operator.name().replace('"', "'"),
+                slot.metrics.tuples_in,
+                slot.metrics.tuples_out
+            );
+        }
+        for (idx, sink) in self.sinks.iter().enumerate() {
+            if sink.is_some() {
+                let _ = writeln!(dot, "  s{idx} [shape=ellipse, label=\"sink {idx}\"];");
+            }
+        }
+        for (idx, slot) in self.nodes.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            for (port, edges) in slot.edges.iter().enumerate() {
+                for target in edges {
+                    match target {
+                        Target::Node(nid, in_port) => {
+                            let _ = writeln!(
+                                dot,
+                                "  n{idx} -> n{} [label=\"{port}→{}\"];",
+                                nid.0, in_port.0
+                            );
+                        }
+                        Target::Sink(sid) => {
+                            let _ = writeln!(dot, "  n{idx} -> s{} [label=\"{port}\"];", sid.0);
+                        }
+                    }
+                }
+            }
+        }
+        dot.push_str("}\n");
+        dot
+    }
+
+    /// Metrics snapshot over live nodes.
+    pub fn metrics(&self) -> TopologyMetrics {
+        TopologyMetrics {
+            nodes: self
+                .nodes
+                .iter()
+                .flatten()
+                .map(|s| (s.operator.name().to_string(), s.metrics))
+                .collect(),
+        }
+    }
+
+    /// Metrics of one node.
+    ///
+    /// # Panics
+    /// Panics when the node does not exist.
+    #[track_caller]
+    pub fn node_metrics(&self, node: NodeId) -> NodeMetrics {
+        self.slot(node).metrics
+    }
+
+    #[track_caller]
+    fn slot(&self, node: NodeId) -> &NodeSlot<T> {
+        self.nodes
+            .get(node.0)
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("node {node:?} missing"))
+    }
+
+    #[track_caller]
+    fn slot_mut(&mut self, node: NodeId) -> &mut NodeSlot<T> {
+        self.nodes
+            .get_mut(node.0)
+            .and_then(Option::as_mut)
+            .unwrap_or_else(|| panic!("node {node:?} missing"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::FnOperator;
+
+    fn passthrough(name: &str) -> Box<dyn Operator<u32>> {
+        Box::new(FnOperator::new(name, |batch: &[u32], out: &mut Emitter<u32>| {
+            out.emit_batch(OutputPort(0), batch.to_vec());
+        }))
+    }
+
+    /// An operator that keeps even numbers on port 0 and odds on port 1.
+    struct EvenOddSplit;
+
+    impl Operator<u32> for EvenOddSplit {
+        fn name(&self) -> &str {
+            "split"
+        }
+        fn output_ports(&self) -> usize {
+            2
+        }
+        fn process(&mut self, _port: InputPort, batch: &[u32], out: &mut Emitter<u32>) {
+            for &x in batch {
+                out.emit(OutputPort(x as u16 % 2), x);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain_delivers_to_sink() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let b = t.add_operator(passthrough("b"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Sink(sink));
+        t.push(a, vec![1, 2, 3]);
+        assert_eq!(t.drain_sink(sink), vec![1, 2, 3]);
+        assert_eq!(t.node_metrics(a).tuples_in, 3);
+        assert_eq!(t.node_metrics(b).tuples_out, 3);
+    }
+
+    #[test]
+    fn multi_port_routing() {
+        let mut t: Topology<u32> = Topology::new();
+        let s = t.add_operator(Box::new(EvenOddSplit));
+        let evens = t.add_sink();
+        let odds = t.add_sink();
+        t.connect(s, OutputPort(0), Target::Sink(evens));
+        t.connect(s, OutputPort(1), Target::Sink(odds));
+        t.push(s, vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.drain_sink(evens), vec![2, 4]);
+        assert_eq!(t.drain_sink(odds), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fanout_clones_batches() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let s1 = t.add_sink();
+        let s2 = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Sink(s1));
+        t.connect(a, OutputPort(0), Target::Sink(s2));
+        t.push(a, vec![7]);
+        assert_eq!(t.drain_sink(s1), vec![7]);
+        assert_eq!(t.drain_sink(s2), vec![7]);
+        assert_eq!(t.fanout(a), 2);
+    }
+
+    #[test]
+    fn unwired_port_drops_tuples() {
+        let mut t: Topology<u32> = Topology::new();
+        let s = t.add_operator(Box::new(EvenOddSplit));
+        let evens = t.add_sink();
+        t.connect(s, OutputPort(0), Target::Sink(evens));
+        // Port 1 (odds) left unwired.
+        t.push(s, vec![1, 2, 3]);
+        assert_eq!(t.drain_sink(evens), vec![2]);
+    }
+
+    #[test]
+    fn remove_node_detaches_edges() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let b = t.add_operator(passthrough("b"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Sink(sink));
+        t.remove_node(b);
+        assert!(!t.node_exists(b));
+        assert_eq!(t.node_count(), 1);
+        assert!(t.targets(a, OutputPort(0)).is_empty());
+        // Pushing still works; tuples just stop at a.
+        t.push(a, vec![1]);
+        assert_eq!(t.drain_sink(sink), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn node_slot_reuse_keeps_ids_dense() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let b = t.add_operator(passthrough("b"));
+        t.remove_node(a);
+        let c = t.add_operator(passthrough("c"));
+        assert_eq!(c, a, "slot should be reused");
+        assert!(t.node_exists(b));
+        assert_eq!(t.node_name(c), "c");
+    }
+
+    #[test]
+    fn remove_sink_returns_contents_and_detaches() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Sink(sink));
+        t.push(a, vec![1, 2]);
+        let contents = t.remove_sink(sink);
+        assert_eq!(contents, vec![1, 2]);
+        assert!(t.targets(a, OutputPort(0)).is_empty());
+    }
+
+    #[test]
+    fn upstream_lookup() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let b = t.add_operator(passthrough("b"));
+        let c = t.add_operator(passthrough("c"));
+        t.connect(a, OutputPort(0), Target::Node(c, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Node(c, InputPort(1)));
+        let mut ups = t.upstream_of(c);
+        ups.sort();
+        assert_eq!(ups, vec![(a, OutputPort(0)), (b, OutputPort(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge already exists")]
+    fn duplicate_edge_rejected() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Sink(sink));
+        t.connect(a, OutputPort(0), Target::Sink(sink));
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn cycle_is_detected() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let b = t.add_operator(passthrough("b"));
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Node(a, InputPort(0)));
+        t.push(a, vec![1]);
+    }
+
+    #[test]
+    fn disconnect_removes_edge() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Sink(sink));
+        assert!(t.disconnect(a, OutputPort(0), Target::Sink(sink)));
+        assert!(!t.disconnect(a, OutputPort(0), Target::Sink(sink)));
+        t.push(a, vec![1]);
+        assert!(t.drain_sink(sink).is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_live_nodes() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("alpha"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Sink(sink));
+        t.push(a, vec![1, 2, 3, 4]);
+        let m = t.metrics();
+        assert_eq!(m.by_name("alpha").unwrap().tuples_in, 4);
+        assert_eq!(m.total_tuples_processed(), 4);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_edges_and_sinks() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("alpha"));
+        let s = t.add_operator(Box::new(EvenOddSplit));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Node(s, InputPort(0)));
+        t.connect(s, OutputPort(1), Target::Sink(sink));
+        t.push(a, vec![1, 2, 3]);
+        let dot = t.to_dot("demo");
+        assert!(dot.starts_with("digraph \"demo\""), "{dot}");
+        assert!(dot.contains("label=\"alpha\\nin=3 out=3\""), "{dot}");
+        assert!(dot.contains("n0 -> n1"), "{dot}");
+        assert!(dot.contains("-> s0 [label=\"1\"]"), "{dot}");
+        assert!(dot.contains("shape=ellipse"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_export_skips_removed_nodes() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("keep"));
+        let b = t.add_operator(passthrough("gone"));
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.remove_node(b);
+        let dot = t.to_dot("x");
+        assert!(dot.contains("keep"));
+        assert!(!dot.contains("gone"));
+        assert!(!dot.contains("->"), "dangling edge exported: {dot}");
+    }
+
+    #[test]
+    fn empty_batches_are_skipped() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        t.push(a, vec![]);
+        assert_eq!(t.node_metrics(a).batches, 0);
+    }
+}

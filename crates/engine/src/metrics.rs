@@ -1,0 +1,75 @@
+//! Per-node execution counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one operator node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// Tuples received across all input ports.
+    pub tuples_in: u64,
+    /// Tuples emitted across all output ports.
+    pub tuples_out: u64,
+    /// Input batches processed.
+    pub batches: u64,
+}
+
+impl NodeMetrics {
+    /// Fraction of input tuples that survived this operator (1 when no
+    /// input has arrived yet). For `T`hin this converges to `λ2/λ1`.
+    pub fn selectivity(&self) -> f64 {
+        if self.tuples_in == 0 {
+            1.0
+        } else {
+            self.tuples_out as f64 / self.tuples_in as f64
+        }
+    }
+}
+
+/// A whole-topology metrics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopologyMetrics {
+    /// `(node name, metrics)` for every live node, in node-id order.
+    pub nodes: Vec<(String, NodeMetrics)>,
+}
+
+impl TopologyMetrics {
+    /// Sum of tuples processed (received) by all nodes — the "work" measure
+    /// used to compare shared topologies against per-query processing.
+    pub fn total_tuples_processed(&self) -> u64 {
+        self.nodes.iter().map(|(_, m)| m.tuples_in).sum()
+    }
+
+    /// Looks up a node's metrics by name (first match).
+    pub fn by_name(&self, name: &str) -> Option<NodeMetrics> {
+        self.nodes.iter().find(|(n, _)| n == name).map(|(_, m)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_of_fresh_node_is_one() {
+        assert_eq!(NodeMetrics::default().selectivity(), 1.0);
+    }
+
+    #[test]
+    fn selectivity_ratio() {
+        let m = NodeMetrics { tuples_in: 100, tuples_out: 25, batches: 4 };
+        assert!((m.selectivity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let tm = TopologyMetrics {
+            nodes: vec![
+                ("F".into(), NodeMetrics { tuples_in: 10, tuples_out: 8, batches: 1 }),
+                ("T".into(), NodeMetrics { tuples_in: 8, tuples_out: 4, batches: 1 }),
+            ],
+        };
+        assert_eq!(tm.total_tuples_processed(), 18);
+        assert_eq!(tm.by_name("T").unwrap().tuples_out, 4);
+        assert!(tm.by_name("missing").is_none());
+    }
+}

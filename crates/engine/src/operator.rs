@@ -1,0 +1,149 @@
+//! The operator abstraction.
+
+/// An input port index on an operator (0 for single-input operators; the
+/// `U`nion operator takes its operands on ports 0 and 1, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputPort(pub u16);
+
+/// An output port index (the `P`artition operator emits on one port per
+/// sub-region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutputPort(pub u16);
+
+/// Collects an operator's emissions, one buffer per output port.
+#[derive(Debug)]
+pub struct Emitter<T> {
+    buffers: Vec<Vec<T>>,
+}
+
+impl<T> Emitter<T> {
+    /// Creates an emitter with one buffer per output port.
+    ///
+    /// Normally the executor builds emitters; constructing one directly is
+    /// useful when driving a single operator outside a topology (e.g. a
+    /// final merge stage over already-collected buffers).
+    pub fn new(ports: usize) -> Self {
+        Self { buffers: (0..ports.max(1)).map(|_| Vec::new()).collect() }
+    }
+
+    /// Emits one tuple on a port.
+    ///
+    /// # Panics
+    /// Panics when the port exceeds the operator's declared
+    /// [`Operator::output_ports`].
+    #[inline]
+    #[track_caller]
+    pub fn emit(&mut self, port: OutputPort, tuple: T) {
+        self.buffers[port.0 as usize].push(tuple);
+    }
+
+    /// Emits a whole batch on a port.
+    #[track_caller]
+    pub fn emit_batch(&mut self, port: OutputPort, batch: impl IntoIterator<Item = T>) {
+        self.buffers[port.0 as usize].extend(batch);
+    }
+
+    /// Consumes the emitter, returning the per-port buffers.
+    pub fn into_buffers(self) -> Vec<Vec<T>> {
+        self.buffers
+    }
+}
+
+/// A streaming operator over tuples of type `T`.
+///
+/// Operators are push-driven: the executor hands them an input batch and an
+/// [`Emitter`]; they synchronously emit any number of tuples on any of
+/// their output ports. State (rate trackers, estimators, pending windows)
+/// lives inside the operator — hence `&mut self`.
+pub trait Operator<T>: Send {
+    /// Human-readable name used in plans, metrics, and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of output ports (default 1).
+    fn output_ports(&self) -> usize {
+        1
+    }
+
+    /// Processes one input batch arriving on `port`.
+    fn process(&mut self, port: InputPort, batch: &[T], out: &mut Emitter<T>);
+
+    /// Checked downcast hook for reconfigurable operators.
+    ///
+    /// Planners that re-parameterize operators in place (CrAQR re-rates its
+    /// thinning operators when a chain is spliced) override this to expose
+    /// the concrete type; the default hides it.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Wraps a closure as a single-output operator — handy for tests and for
+/// one-off glue steps in examples.
+pub struct FnOperator<T, F>
+where
+    F: FnMut(&[T], &mut Emitter<T>) + Send,
+{
+    name: String,
+    f: F,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T, F> FnOperator<T, F>
+where
+    F: FnMut(&[T], &mut Emitter<T>) + Send,
+{
+    /// Creates a named closure operator.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T, F> Operator<T> for FnOperator<T, F>
+where
+    T: Send,
+    F: FnMut(&[T], &mut Emitter<T>) + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: InputPort, batch: &[T], out: &mut Emitter<T>) {
+        (self.f)(batch, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_routes_to_ports() {
+        let mut e: Emitter<u32> = Emitter::new(2);
+        e.emit(OutputPort(0), 1);
+        e.emit(OutputPort(1), 2);
+        e.emit_batch(OutputPort(1), [3, 4]);
+        let bufs = e.into_buffers();
+        assert_eq!(bufs[0], vec![1]);
+        assert_eq!(bufs[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn emitting_on_undeclared_port_panics() {
+        let mut e: Emitter<u32> = Emitter::new(1);
+        e.emit(OutputPort(3), 1);
+    }
+
+    #[test]
+    fn fn_operator_processes_batches() {
+        let mut op = FnOperator::new("double", |batch: &[u32], out: &mut Emitter<u32>| {
+            for &x in batch {
+                out.emit(OutputPort(0), x * 2);
+            }
+        });
+        assert_eq!(op.name(), "double");
+        let mut e = Emitter::new(op.output_ports());
+        op.process(InputPort(0), &[1, 2, 3], &mut e);
+        assert_eq!(e.into_buffers()[0], vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Spatial substrate for CrAQR.
+//!
+//! The paper ("On Crowdsensed Data Acquisition using Multi-Dimensional Point
+//! Processes", ICDE Workshops 2015) works over a geographical region `R`
+//! partitioned into a `√h × √h` logical grid of equal-sized cells `R(q,r)`.
+//! Queries name axis-aligned rectangular sub-regions `R' ⊆ R`, the
+//! `P`(artition) operator routes tuples into disjoint sub-regions, and the
+//! `U`(nion) operator merges streams over *adjacent rectangles sharing a full
+//! common side* (Section IV-B).
+//!
+//! This crate provides exactly that spatial vocabulary:
+//!
+//! - [`SpaceTimePoint`]: the `(t, x, y)` coordinates of a crowdsensed tuple.
+//! - [`Rect`]: half-open axis-aligned rectangles with intersection, overlap
+//!   and side-adjacency tests (the precondition of the `U` operator).
+//! - [`SpaceTimeWindow`]: a rectangle extruded over a time interval; its
+//!   volume is the denominator of every rate computation (`/km²/min`).
+//! - [`Grid`]: the `√h × √h` logical partitioning of `R` with lazily
+//!   enumerated cells and query-overlap computation (Section IV, Eq. (2)).
+//! - [`Region`]: a canonicalized union of disjoint rectangles — the shape of
+//!   a query footprint after it is intersected with grid cells.
+//!
+//! All coordinates are `f64`. Rectangles are half-open (`[x0, x1) × [y0, y1)`)
+//! so that a grid tiles the plane without double-counting boundary points.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod grid;
+mod point;
+mod rect;
+mod region;
+mod window;
+
+pub use grid::{CellId, CellOverlap, Grid};
+pub use point::SpaceTimePoint;
+pub use rect::Rect;
+pub use region::Region;
+pub use window::SpaceTimeWindow;
+
+/// Tolerance used for geometric float comparisons (adjacency, equal sides).
+///
+/// Coordinates in CrAQR are kilometres and minutes at city scale (magnitudes
+/// `1e-3..1e4`), so a fixed absolute epsilon is appropriate.
+pub const GEOM_EPS: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within [`GEOM_EPS`].
+#[inline]
+pub fn feq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= GEOM_EPS
+}

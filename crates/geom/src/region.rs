@@ -1,0 +1,329 @@
+//! Unions of disjoint rectangles.
+
+use crate::{Rect, GEOM_EPS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A region made of pairwise-disjoint axis-aligned rectangles.
+///
+/// Query footprints become regions the moment they are intersected with the
+/// grid: a query rectangle splits into one overlap piece per touched cell,
+/// and the fabricator's final `U`-operator chain reassembles the per-cell
+/// streams over exactly this set of pieces (Fig. 2c). `Region` keeps the
+/// pieces canonicalized — adjacent pieces that share a full common side are
+/// greedily merged, mirroring the `U` operator's precondition.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Self {
+        Self { rects: Vec::new() }
+    }
+
+    /// A region made of a single rectangle.
+    pub fn from_rect(rect: Rect) -> Self {
+        Self { rects: vec![rect] }
+    }
+
+    /// Builds a region from parts, verifying pairwise disjointness and
+    /// canonicalizing (merging side-adjacent parts).
+    ///
+    /// # Panics
+    /// Panics when two parts overlap: the planner must never produce
+    /// double-covered area, otherwise a tuple would be delivered twice.
+    #[track_caller]
+    pub fn from_disjoint(rects: Vec<Rect>) -> Self {
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(b), "region parts overlap: {a} and {b}");
+            }
+        }
+        let mut region = Self { rects };
+        region.canonicalize();
+        region
+    }
+
+    /// The rectangles making up the region (pairwise disjoint, canonical).
+    #[inline]
+    pub fn parts(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of rectangle parts after canonicalization.
+    #[inline]
+    pub fn part_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when the region covers nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Total area (km²). Parts are disjoint so the sum is exact.
+    pub fn area(&self) -> f64 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// Point containment (half-open per part).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        self.rects.iter().any(|r| r.contains(x, y))
+    }
+
+    /// Axis-aligned bounding box, or `None` for the empty region.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let first = self.rects.first()?;
+        let mut bb = *first;
+        for r in &self.rects[1..] {
+            bb = Rect::new(bb.x0.min(r.x0), bb.y0.min(r.y0), bb.x1.max(r.x1), bb.y1.max(r.y1));
+        }
+        Some(bb)
+    }
+
+    /// Intersects the region with a rectangle.
+    pub fn intersect_rect(&self, rect: &Rect) -> Region {
+        let parts = self.rects.iter().filter_map(|r| r.intersection(rect)).collect();
+        let mut out = Region { rects: parts };
+        out.canonicalize();
+        out
+    }
+
+    /// Adds a rectangle known to be disjoint from the current parts.
+    ///
+    /// # Panics
+    /// Panics when `rect` overlaps an existing part.
+    #[track_caller]
+    pub fn push_disjoint(&mut self, rect: Rect) {
+        for r in &self.rects {
+            assert!(!r.intersects(&rect), "new part {rect} overlaps existing {r}");
+        }
+        self.rects.push(rect);
+        self.canonicalize();
+    }
+
+    /// Unions two regions whose parts are mutually disjoint.
+    ///
+    /// # Panics
+    /// Panics on overlap, mirroring [`Region::push_disjoint`].
+    #[track_caller]
+    pub fn union_disjoint(&self, other: &Region) -> Region {
+        let mut rects = self.rects.clone();
+        rects.extend_from_slice(&other.rects);
+        Region::from_disjoint(rects)
+    }
+
+    /// `true` when both regions cover the same point set (compared on
+    /// canonical parts, order-independently, within [`GEOM_EPS`]).
+    pub fn covers_same_area(&self, other: &Region) -> bool {
+        if self.rects.len() != other.rects.len() {
+            // Canonical forms of the same point set can still differ in how
+            // bands were cut; fall back to an area + mutual-containment check.
+            return self.approx_same_pointset(other);
+        }
+        let mut used = vec![false; other.rects.len()];
+        'outer: for a in &self.rects {
+            for (i, b) in other.rects.iter().enumerate() {
+                if !used[i] && a.approx_eq(b) {
+                    used[i] = true;
+                    continue 'outer;
+                }
+            }
+            return self.approx_same_pointset(other);
+        }
+        true
+    }
+
+    fn approx_same_pointset(&self, other: &Region) -> bool {
+        if (self.area() - other.area()).abs() > GEOM_EPS * (1.0 + self.area()) {
+            return false;
+        }
+        // Every part of self must be fully covered by other's parts by area.
+        let covered = |parts: &[Rect], of: &[Rect]| -> bool {
+            of.iter().all(|r| {
+                let inter: f64 = parts.iter().filter_map(|p| p.intersection(r)).map(|i| i.area()).sum();
+                (inter - r.area()).abs() <= 1e-9 * (1.0 + r.area())
+            })
+        };
+        covered(&self.rects, &other.rects) && covered(&other.rects, &self.rects)
+    }
+
+    /// Greedily merges parts that share a full common side until fixpoint.
+    ///
+    /// This is the planner-side analogue of chaining `U` operators: the
+    /// number of parts after canonicalization equals the number of `U`
+    /// inputs needed to reassemble the stream.
+    fn canonicalize(&mut self) {
+        loop {
+            let mut merged = false;
+            'search: for i in 0..self.rects.len() {
+                for j in i + 1..self.rects.len() {
+                    if let Some(u) = self.rects[i].union_adjacent(&self.rects[j]) {
+                        self.rects[i] = u;
+                        self.rects.swap_remove(j);
+                        merged = true;
+                        break 'search;
+                    }
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        // Deterministic order regardless of insertion order.
+        self.rects.sort_by(|a, b| {
+            (a.y0, a.x0, a.y1, a.x1)
+                .partial_cmp(&(b.y0, b.x0, b.y1, b.x1))
+                .expect("rect coords are finite")
+        });
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.rects.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<Rect> for Region {
+    fn from(rect: Rect) -> Self {
+        Region::from_rect(rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_region() {
+        let r = Region::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0.0);
+        assert!(r.bounding_box().is_none());
+        assert!(!r.contains(0.0, 0.0));
+    }
+
+    #[test]
+    fn adjacent_parts_merge_into_one() {
+        // Two unit squares side by side collapse to one 2x1 rect.
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(1.0, 0.0, 2.0, 1.0),
+        ]);
+        assert_eq!(r.part_count(), 1);
+        assert!(r.parts()[0].approx_eq(&Rect::new(0.0, 0.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn l_shape_stays_two_parts() {
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 2.0, 1.0),
+            Rect::new(0.0, 1.0, 1.0, 2.0),
+        ]);
+        assert_eq!(r.part_count(), 2);
+        assert!((r.area() - 3.0).abs() < 1e-12);
+        assert!(r.contains(1.5, 0.5));
+        assert!(r.contains(0.5, 1.5));
+        assert!(!r.contains(1.5, 1.5));
+    }
+
+    #[test]
+    fn three_cells_in_a_row_merge_transitively() {
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(2.0, 0.0, 3.0, 1.0),
+            Rect::new(1.0, 0.0, 2.0, 1.0),
+        ]);
+        assert_eq!(r.part_count(), 1);
+        assert!(r.parts()[0].approx_eq(&Rect::new(0.0, 0.0, 3.0, 1.0)));
+    }
+
+    #[test]
+    fn square_block_of_cells_merges_fully() {
+        // 2x2 block of unit cells -> single 2x2 rect (rows merge, then rows
+        // merge vertically).
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(1.0, 0.0, 2.0, 1.0),
+            Rect::new(0.0, 1.0, 1.0, 2.0),
+            Rect::new(1.0, 1.0, 2.0, 2.0),
+        ]);
+        assert_eq!(r.part_count(), 1);
+        assert!(r.parts()[0].approx_eq(&Rect::new(0.0, 0.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_parts_rejected() {
+        let _ = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+            Rect::new(1.0, 1.0, 3.0, 3.0),
+        ]);
+    }
+
+    #[test]
+    fn intersect_rect_clips_parts() {
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 2.0, 1.0),
+            Rect::new(0.0, 1.0, 1.0, 2.0),
+        ]);
+        let clipped = r.intersect_rect(&Rect::new(0.5, 0.5, 3.0, 3.0));
+        assert!((clipped.area() - (1.5 * 0.5 + 0.5 * 1.0)).abs() < 1e-9);
+        let empty = r.intersect_rect(&Rect::new(5.0, 5.0, 6.0, 6.0));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn union_disjoint_combines_and_merges() {
+        let a = Region::from_rect(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let b = Region::from_rect(Rect::new(1.0, 0.0, 2.0, 1.0));
+        let u = a.union_disjoint(&b);
+        assert_eq!(u.part_count(), 1);
+        assert!((u.area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covers_same_area_is_representation_independent() {
+        // Same 2x1 area cut horizontally vs vertically.
+        let a = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 1.0, 2.0),
+        ]);
+        let b = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 0.5, 2.0),
+            Rect::new(0.5, 0.0, 1.0, 2.0),
+        ]);
+        assert!(a.covers_same_area(&b));
+        let c = Region::from_rect(Rect::new(0.0, 0.0, 1.0, 1.9));
+        assert!(!a.covers_same_area(&c));
+    }
+
+    #[test]
+    fn bounding_box_spans_all_parts() {
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(4.0, 5.0, 6.0, 7.0),
+        ]);
+        assert!(r.bounding_box().unwrap().approx_eq(&Rect::new(0.0, 0.0, 6.0, 7.0)));
+    }
+
+    #[test]
+    fn display_formats_union() {
+        let r = Region::from_disjoint(vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(4.0, 0.0, 5.0, 1.0),
+        ]);
+        let s = format!("{r}");
+        assert!(s.contains('∪'), "{s}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the spatial substrate.
+//!
+//! These pin down the algebraic laws the planner relies on: grids tile their
+//! region, overlap decompositions conserve area, and `subtract`/`union` are
+//! mutually inverse where defined.
+
+use craqr_geom::{Grid, Rect, Region};
+use proptest::prelude::*;
+
+/// Strategy for a well-formed rectangle with coordinates in [-50, 50].
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        0.1f64..40.0,
+        0.1f64..40.0,
+    )
+        .prop_map(|(x0, y0, w, h)| Rect::new(x0, y0, x0 + w, y0 + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersection_is_commutative(a in rect_strategy(), b in rect_strategy()) {
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => prop_assert!(x.approx_eq(&y)),
+            (None, None) => {}
+            _ => prop_assert!(false, "intersection not symmetric"),
+        }
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in rect_strategy(), b in rect_strategy()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area() + 1e-9);
+            prop_assert!(i.area() <= b.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn subtract_conserves_area(a in rect_strategy(), b in rect_strategy()) {
+        let parts = a.subtract(&b);
+        let hole = a.intersection(&b).map_or(0.0, |i| i.area());
+        let total: f64 = parts.iter().map(Rect::area).sum();
+        prop_assert!((total - (a.area() - hole)).abs() < 1e-6 * (1.0 + a.area()));
+        // Pieces are disjoint from the hole and from each other.
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(!p.intersects(&b));
+            for q in &parts[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn union_adjacent_inverts_split(r in rect_strategy(), frac in 0.1f64..0.9) {
+        let x = r.x0 + r.width() * frac;
+        if let Some((l, right)) = r.split_at_x(x) {
+            let u = l.union_adjacent(&right).expect("halves share a side");
+            prop_assert!(u.approx_eq(&r));
+        }
+        let y = r.y0 + r.height() * frac;
+        if let Some((b, t)) = r.split_at_y(y) {
+            let u = b.union_adjacent(&t).expect("halves share a side");
+            prop_assert!(u.approx_eq(&r));
+        }
+    }
+
+    #[test]
+    fn grid_cells_partition_points(
+        side in 1u32..8,
+        px in 0.0f64..0.999,
+        py in 0.0f64..0.999,
+    ) {
+        let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let g = Grid::new(region, side);
+        let (x, y) = (px * 10.0, py * 10.0);
+        let cell = g.cell_of(x, y).expect("point inside region");
+        prop_assert!(g.cell_rect(cell).contains(x, y));
+        // No other cell contains it.
+        let owners = g.all_cells().filter(|c| g.cell_rect(*c).contains(x, y)).count();
+        prop_assert_eq!(owners, 1);
+    }
+
+    #[test]
+    fn grid_overlaps_conserve_query_area(
+        side in 1u32..7,
+        x0 in 0.0f64..8.0,
+        y0 in 0.0f64..8.0,
+        w in 0.2f64..5.0,
+        h in 0.2f64..5.0,
+    ) {
+        let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let g = Grid::new(region, side);
+        let query = Rect::new(x0, y0, (x0 + w).min(10.0 - 1e-6), (y0 + h).min(10.0 - 1e-6));
+        let overlaps = g.cells_overlapping(&query);
+        let total: f64 = overlaps.iter().map(|o| o.overlap.area()).sum();
+        prop_assert!((total - query.area()).abs() < 1e-6 * (1.0 + query.area()));
+        // Each overlap lies inside its cell.
+        for o in &overlaps {
+            prop_assert!(g.cell_rect(o.cell).contains_rect(&o.overlap));
+            prop_assert!(o.fraction > 0.0 && o.fraction <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn region_from_grid_overlaps_reassembles_query(
+        side in 1u32..6,
+        x0 in 0.5f64..4.0,
+        y0 in 0.5f64..4.0,
+        w in 1.0f64..5.0,
+        h in 1.0f64..5.0,
+    ) {
+        let g = Grid::new(Rect::new(0.0, 0.0, 10.0, 10.0), side);
+        let query = Rect::new(x0, y0, x0 + w, y0 + h);
+        let parts: Vec<Rect> = g.cells_overlapping(&query).into_iter().map(|o| o.overlap).collect();
+        let region = Region::from_disjoint(parts);
+        prop_assert!(region.covers_same_area(&Region::from_rect(query)));
+    }
+}

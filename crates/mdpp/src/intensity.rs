@@ -1,0 +1,481 @@
+//! Conditional-intensity models `λ̃(t, x, y; θ)`.
+//!
+//! An intensity model answers three questions the rest of the stack needs:
+//! the *pointwise rate* (flatten's Eq. (3) denominator), a *window upper
+//! bound* (the envelope for Lewis–Shedler thinning), and the *window
+//! integral* (expected count; the normalizer of the Poisson
+//! log-likelihood). Models where the integral has a closed form implement
+//! it exactly; the rest fall back to midpoint-rule quadrature.
+
+use craqr_geom::{Grid, SpaceTimePoint, SpaceTimeWindow};
+use serde::{Deserialize, Serialize};
+
+/// A conditional spatio-temporal intensity (rate) function.
+pub trait IntensityModel {
+    /// The rate at a space-time point (always ≥ 0).
+    fn rate_at(&self, p: &SpaceTimePoint) -> f64;
+
+    /// An upper bound of the rate over the window (need not be tight, but
+    /// tighter bounds make thinning-based samplers faster).
+    fn max_rate(&self, w: &SpaceTimeWindow) -> f64;
+
+    /// `∫_W λ` — the expected number of points in the window.
+    ///
+    /// The default implementation uses midpoint quadrature on a
+    /// `res × res × res` lattice; override when a closed form exists.
+    fn integral(&self, w: &SpaceTimeWindow) -> f64 {
+        numeric_integral(self, w, 32)
+    }
+}
+
+/// Midpoint-rule quadrature of an intensity over a window.
+///
+/// Exposed so tests can cross-check closed-form integrals.
+pub fn numeric_integral<I: IntensityModel + ?Sized>(
+    intensity: &I,
+    w: &SpaceTimeWindow,
+    res: usize,
+) -> f64 {
+    assert!(res > 0, "need at least one lattice cell");
+    let dt = w.duration() / res as f64;
+    let dx = w.rect.width() / res as f64;
+    let dy = w.rect.height() / res as f64;
+    let mut sum = 0.0;
+    for it in 0..res {
+        let t = w.t0 + dt * (it as f64 + 0.5);
+        for ix in 0..res {
+            let x = w.rect.x0 + dx * (ix as f64 + 0.5);
+            for iy in 0..res {
+                let y = w.rect.y0 + dy * (iy as f64 + 0.5);
+                sum += intensity.rate_at(&SpaceTimePoint::new(t, x, y));
+            }
+        }
+    }
+    sum * dt * dx * dy
+}
+
+/// Constant rate `λ` — the intensity of a homogeneous MDPP `P(λ, R)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantIntensity {
+    rate: f64,
+}
+
+impl ConstantIntensity {
+    /// Creates a constant intensity.
+    ///
+    /// # Panics
+    /// Panics when `rate` is negative or non-finite.
+    #[track_caller]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0, got {rate}");
+        Self { rate }
+    }
+
+    /// The rate λ.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl IntensityModel for ConstantIntensity {
+    #[inline]
+    fn rate_at(&self, _p: &SpaceTimePoint) -> f64 {
+        self.rate
+    }
+
+    #[inline]
+    fn max_rate(&self, _w: &SpaceTimeWindow) -> f64 {
+        self.rate
+    }
+
+    #[inline]
+    fn integral(&self, w: &SpaceTimeWindow) -> f64 {
+        self.rate * w.volume()
+    }
+}
+
+/// The paper's Eq. (1): `λ̃(t, x, y; θ) = θ0 + θ1·t + θ2·x + θ3·y`,
+/// truncated at zero.
+///
+/// The linear form can go negative outside its fitted range; following the
+/// convention of conditional-intensity fitting (ref. \[12\]) the model value
+/// is `max(0, ·)`. [`LinearIntensity::is_positive_on`] reports whether the
+/// window stays in the strictly-positive regime, where the closed-form
+/// integral and the concavity of the log-likelihood are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearIntensity {
+    theta: [f64; 4],
+}
+
+impl LinearIntensity {
+    /// Creates the model from `θ = [θ0, θ1, θ2, θ3]`.
+    ///
+    /// # Panics
+    /// Panics on non-finite parameters.
+    #[track_caller]
+    pub fn new(theta: [f64; 4]) -> Self {
+        assert!(theta.iter().all(|t| t.is_finite()), "theta must be finite: {theta:?}");
+        Self { theta }
+    }
+
+    /// A constant-rate special case (`θ1 = θ2 = θ3 = 0`).
+    pub fn constant(rate: f64) -> Self {
+        Self::new([rate, 0.0, 0.0, 0.0])
+    }
+
+    /// The parameter vector θ.
+    #[inline]
+    pub fn theta(&self) -> [f64; 4] {
+        self.theta
+    }
+
+    /// The raw (untruncated) linear form.
+    #[inline]
+    pub fn linear_at(&self, p: &SpaceTimePoint) -> f64 {
+        self.theta[0] + self.theta[1] * p.t + self.theta[2] * p.x + self.theta[3] * p.y
+    }
+
+    /// The feature vector `f(p) = (1, t, x, y)` of Eq. (1); gradient of the
+    /// linear form with respect to θ.
+    #[inline]
+    pub fn features(p: &SpaceTimePoint) -> [f64; 4] {
+        [1.0, p.t, p.x, p.y]
+    }
+
+    /// Evaluates the linear form at every corner of the window. Because the
+    /// form is affine, its extrema over the box lie at corners.
+    fn corner_values(&self, w: &SpaceTimeWindow) -> [f64; 8] {
+        let mut vals = [0.0; 8];
+        let mut i = 0;
+        for &t in &[w.t0, w.t1] {
+            for &x in &[w.rect.x0, w.rect.x1] {
+                for &y in &[w.rect.y0, w.rect.y1] {
+                    vals[i] = self.linear_at(&SpaceTimePoint::new(t, x, y));
+                    i += 1;
+                }
+            }
+        }
+        vals
+    }
+
+    /// `true` when the linear form is strictly positive over the whole
+    /// window (checked at corners; exact for an affine function).
+    pub fn is_positive_on(&self, w: &SpaceTimeWindow) -> bool {
+        self.corner_values(w).iter().all(|&v| v > 0.0)
+    }
+
+    /// Minimum of the linear form over the window.
+    pub fn min_on(&self, w: &SpaceTimeWindow) -> f64 {
+        self.corner_values(w).iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl IntensityModel for LinearIntensity {
+    #[inline]
+    fn rate_at(&self, p: &SpaceTimePoint) -> f64 {
+        self.linear_at(p).max(0.0)
+    }
+
+    fn max_rate(&self, w: &SpaceTimeWindow) -> f64 {
+        self.corner_values(w).iter().copied().fold(0.0, f64::max)
+    }
+
+    fn integral(&self, w: &SpaceTimeWindow) -> f64 {
+        if self.is_positive_on(w) {
+            // ∫_W (θ0 + θ1 t + θ2 x + θ3 y) = V · λ(midpoint) for an affine
+            // integrand over a box.
+            let (cx, cy) = w.rect.center();
+            let mid = SpaceTimePoint::new((w.t0 + w.t1) * 0.5, cx, cy);
+            self.linear_at(&mid) * w.volume()
+        } else {
+            // Truncation active somewhere: integrate max(0, ·) numerically.
+            numeric_integral(self, w, 64)
+        }
+    }
+}
+
+/// Separable intensity `λ(t, x, y) = m(t) · s(x, y)` with a Gaussian-bump
+/// spatial profile and sinusoidal temporal modulation.
+///
+/// This is the shape of the crowd simulator's *skewed* sensor density — the
+/// phenomenon (hotspots downtown, diurnal cycles) the paper says makes
+/// crowdsensed arrivals "highly skewed".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianBumpIntensity {
+    base: f64,
+    bumps: Vec<Bump>,
+    temporal_amplitude: f64,
+    temporal_period: f64,
+}
+
+/// One spatial hotspot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bump {
+    /// Hotspot centre x (km).
+    pub cx: f64,
+    /// Hotspot centre y (km).
+    pub cy: f64,
+    /// Peak added rate at the centre.
+    pub amplitude: f64,
+    /// Gaussian width σ (km).
+    pub sigma: f64,
+}
+
+impl GaussianBumpIntensity {
+    /// Creates a bump intensity with base rate `base` and no temporal
+    /// modulation.
+    ///
+    /// # Panics
+    /// Panics when `base` is negative or any bump has non-positive
+    /// `sigma`/negative `amplitude`.
+    #[track_caller]
+    pub fn new(base: f64, bumps: Vec<Bump>) -> Self {
+        assert!(base.is_finite() && base >= 0.0, "base rate must be >= 0");
+        for b in &bumps {
+            assert!(b.sigma > 0.0, "bump sigma must be > 0");
+            assert!(b.amplitude >= 0.0, "bump amplitude must be >= 0");
+        }
+        Self { base, bumps, temporal_amplitude: 0.0, temporal_period: 1.0 }
+    }
+
+    /// Adds sinusoidal temporal modulation
+    /// `m(t) = 1 + amplitude · sin(2πt / period)`, clamped at zero.
+    ///
+    /// # Panics
+    /// Panics when `amplitude ∉ [0, 1]` or `period ≤ 0`.
+    #[track_caller]
+    pub fn with_diurnal(mut self, amplitude: f64, period: f64) -> Self {
+        assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0,1]");
+        assert!(period > 0.0, "period must be > 0");
+        self.temporal_amplitude = amplitude;
+        self.temporal_period = period;
+        self
+    }
+
+    fn spatial(&self, x: f64, y: f64) -> f64 {
+        let mut s = self.base;
+        for b in &self.bumps {
+            let dx = x - b.cx;
+            let dy = y - b.cy;
+            s += b.amplitude * (-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma)).exp();
+        }
+        s
+    }
+
+    fn temporal(&self, t: f64) -> f64 {
+        (1.0 + self.temporal_amplitude
+            * (2.0 * std::f64::consts::PI * t / self.temporal_period).sin())
+        .max(0.0)
+    }
+}
+
+impl IntensityModel for GaussianBumpIntensity {
+    fn rate_at(&self, p: &SpaceTimePoint) -> f64 {
+        self.spatial(p.x, p.y) * self.temporal(p.t)
+    }
+
+    fn max_rate(&self, _w: &SpaceTimeWindow) -> f64 {
+        // Cheap bound: all bumps at their peaks, temporal factor at max.
+        let spatial_max = self.base + self.bumps.iter().map(|b| b.amplitude).sum::<f64>();
+        spatial_max * (1.0 + self.temporal_amplitude)
+    }
+}
+
+/// Piecewise-constant intensity over the cells of a [`Grid`]
+/// (time-invariant).
+///
+/// This is the natural "estimated rate per materialized grid cell" model:
+/// the budget tuner can use it to describe how crowd density varies across
+/// cells without committing to a parametric form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseConstantIntensity {
+    grid: Grid,
+    /// Row-major `side × side` rates.
+    rates: Vec<f64>,
+    /// Rate outside the grid region.
+    outside: f64,
+}
+
+impl PiecewiseConstantIntensity {
+    /// Creates the model; `rates` is row-major over the grid's cells.
+    ///
+    /// # Panics
+    /// Panics when `rates.len() != grid.cell_count()` or any rate is
+    /// negative/non-finite.
+    #[track_caller]
+    pub fn new(grid: Grid, rates: Vec<f64>) -> Self {
+        assert_eq!(rates.len(), grid.cell_count() as usize, "one rate per cell required");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be finite and >= 0"
+        );
+        Self { grid, rates, outside: 0.0 }
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Rate of cell `(q, r)`.
+    pub fn cell_rate(&self, q: u32, r: u32) -> f64 {
+        self.rates[(r * self.grid.side() + q) as usize]
+    }
+}
+
+impl IntensityModel for PiecewiseConstantIntensity {
+    fn rate_at(&self, p: &SpaceTimePoint) -> f64 {
+        match self.grid.cell_of(p.x, p.y) {
+            Some(c) => self.cell_rate(c.q, c.r),
+            None => self.outside,
+        }
+    }
+
+    fn max_rate(&self, _w: &SpaceTimeWindow) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    fn integral(&self, w: &SpaceTimeWindow) -> f64 {
+        // Exact: sum rate × overlap-area over the cells the window touches.
+        let overlaps = self.grid.cells_overlapping(&w.rect);
+        let spatial: f64 = overlaps
+            .iter()
+            .map(|o| self.cell_rate(o.cell.q, o.cell.r) * o.overlap.area())
+            .sum();
+        spatial * w.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::Rect;
+
+    fn window() -> SpaceTimeWindow {
+        SpaceTimeWindow::new(Rect::with_size(10.0, 10.0), 0.0, 20.0)
+    }
+
+    #[test]
+    fn constant_intensity_integral_is_rate_times_volume() {
+        let c = ConstantIntensity::new(2.5);
+        let w = window();
+        assert!((c.integral(&w) - 2.5 * 2000.0).abs() < 1e-9);
+        assert_eq!(c.max_rate(&w), 2.5);
+        assert_eq!(c.rate_at(&SpaceTimePoint::new(1.0, 2.0, 3.0)), 2.5);
+    }
+
+    #[test]
+    fn linear_intensity_matches_eq1() {
+        let l = LinearIntensity::new([1.0, 0.5, 2.0, -0.25]);
+        let p = SpaceTimePoint::new(2.0, 3.0, 4.0);
+        // 1 + 0.5*2 + 2*3 - 0.25*4 = 7.
+        assert!((l.rate_at(&p) - 7.0).abs() < 1e-12);
+        assert_eq!(LinearIntensity::features(&p), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_intensity_truncates_at_zero() {
+        let l = LinearIntensity::new([-5.0, 0.0, 0.0, 0.0]);
+        assert_eq!(l.rate_at(&SpaceTimePoint::new(0.0, 0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn linear_closed_form_integral_matches_quadrature() {
+        let l = LinearIntensity::new([3.0, 0.05, 0.2, 0.1]);
+        let w = window();
+        assert!(l.is_positive_on(&w));
+        let closed = l.integral(&w);
+        let numeric = numeric_integral(&l, &w, 48);
+        assert!(
+            (closed - numeric).abs() < 1e-3 * closed,
+            "closed {closed} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn linear_truncated_integral_uses_quadrature() {
+        // Goes negative over part of the window.
+        let l = LinearIntensity::new([-2.0, 0.0, 1.0, 0.0]);
+        let w = window();
+        assert!(!l.is_positive_on(&w));
+        // Analytic: ∫max(0, x-2) over x∈[0,10] = 32; times 10 (y) times 20 (t).
+        let expected = 32.0 * 10.0 * 20.0;
+        let got = l.integral(&w);
+        assert!((got - expected).abs() < 0.02 * expected, "got {got} want {expected}");
+    }
+
+    #[test]
+    fn linear_max_and_min_on_corners() {
+        let l = LinearIntensity::new([1.0, 1.0, 1.0, 1.0]);
+        let w = window();
+        assert!((l.max_rate(&w) - (1.0 + 20.0 + 10.0 + 10.0)).abs() < 1e-12);
+        assert!((l.min_on(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bump_intensity_peaks_at_hotspot() {
+        let g = GaussianBumpIntensity::new(
+            1.0,
+            vec![Bump { cx: 5.0, cy: 5.0, amplitude: 10.0, sigma: 1.0 }],
+        );
+        let peak = g.rate_at(&SpaceTimePoint::new(0.0, 5.0, 5.0));
+        let far = g.rate_at(&SpaceTimePoint::new(0.0, 0.0, 0.0));
+        assert!((peak - 11.0).abs() < 1e-9);
+        assert!(far < 1.01);
+        assert!(g.max_rate(&window()) >= peak);
+    }
+
+    #[test]
+    fn bump_intensity_diurnal_modulation() {
+        let g = GaussianBumpIntensity::new(4.0, vec![]).with_diurnal(0.5, 24.0);
+        // sin peaks at t = 6 (quarter period).
+        let high = g.rate_at(&SpaceTimePoint::new(6.0, 1.0, 1.0));
+        let low = g.rate_at(&SpaceTimePoint::new(18.0, 1.0, 1.0));
+        assert!((high - 6.0).abs() < 1e-9);
+        assert!((low - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bump_numeric_integral_close_to_monte_carlo_expectation() {
+        // Flat base only: integral must equal base * volume.
+        let g = GaussianBumpIntensity::new(2.0, vec![]);
+        let w = window();
+        let int = numeric_integral(&g, &w, 24);
+        assert!((int - 2.0 * w.volume()).abs() < 1e-6 * w.volume());
+    }
+
+    #[test]
+    fn piecewise_constant_rate_lookup_and_integral() {
+        let grid = Grid::new(Rect::with_size(2.0, 2.0), 2);
+        // rates: cell (0,0)=1, (1,0)=2, (0,1)=3, (1,1)=4 (row-major by r).
+        let pc = PiecewiseConstantIntensity::new(grid, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(pc.rate_at(&SpaceTimePoint::new(0.0, 0.5, 0.5)), 1.0);
+        assert_eq!(pc.rate_at(&SpaceTimePoint::new(0.0, 1.5, 0.5)), 2.0);
+        assert_eq!(pc.rate_at(&SpaceTimePoint::new(0.0, 0.5, 1.5)), 3.0);
+        assert_eq!(pc.rate_at(&SpaceTimePoint::new(0.0, 1.5, 1.5)), 4.0);
+        assert_eq!(pc.rate_at(&SpaceTimePoint::new(0.0, 5.0, 5.0)), 0.0);
+
+        // Whole-region window: ∫ = Σ rate × cell area × duration.
+        let w = SpaceTimeWindow::new(Rect::with_size(2.0, 2.0), 0.0, 3.0);
+        assert!((pc.integral(&w) - (1.0 + 2.0 + 3.0 + 4.0) * 1.0 * 3.0).abs() < 1e-9);
+        assert_eq!(pc.max_rate(&w), 4.0);
+    }
+
+    #[test]
+    fn piecewise_partial_window_integral() {
+        let grid = Grid::new(Rect::with_size(2.0, 2.0), 2);
+        let pc = PiecewiseConstantIntensity::new(grid, vec![1.0, 2.0, 3.0, 4.0]);
+        // Window covering only the left column (x in [0,1)).
+        let w = SpaceTimeWindow::new(Rect::new(0.0, 0.0, 1.0, 2.0), 0.0, 1.0);
+        assert!((pc.integral(&w) - (1.0 + 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per cell")]
+    fn piecewise_wrong_rate_count_rejected() {
+        let grid = Grid::new(Rect::with_size(1.0, 1.0), 2);
+        let _ = PiecewiseConstantIntensity::new(grid, vec![1.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the point-process substrate: sampler counts match
+//! integrals, closed forms match quadrature, and inference is stable under
+//! randomized geometry.
+
+use craqr_geom::{Rect, SpaceTimeWindow};
+use craqr_mdpp::fit::{fit_mle, FitConfig};
+use craqr_mdpp::intensity::{numeric_integral, ConstantIntensity, IntensityModel, LinearIntensity};
+use craqr_mdpp::process::{HomogeneousMdpp, InhomogeneousMdpp};
+use craqr_stats::seeded_rng;
+use proptest::prelude::*;
+
+fn window_strategy() -> impl Strategy<Value = SpaceTimeWindow> {
+    (
+        -20.0f64..20.0,
+        -20.0f64..20.0,
+        1.0f64..15.0,
+        1.0f64..15.0,
+        0.0f64..100.0,
+        1.0f64..30.0,
+    )
+        .prop_map(|(x0, y0, w, h, t0, dt)| {
+            SpaceTimeWindow::new(Rect::new(x0, y0, x0 + w, y0 + h), t0, t0 + dt)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn homogeneous_counts_match_volume(
+        w in window_strategy(),
+        rate in 0.05f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let process = HomogeneousMdpp::new(rate, w.rect);
+        let mut rng = seeded_rng(seed);
+        let reps = 30;
+        let total: usize = (0..reps).map(|_| process.sample(&w, &mut rng).len()).sum();
+        let expect = rate * w.volume() * reps as f64;
+        // Poisson total: sd = √expect; allow 6σ.
+        prop_assert!(
+            (total as f64 - expect).abs() < 6.0 * expect.sqrt() + 5.0,
+            "total {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn all_samples_land_inside_window(
+        w in window_strategy(),
+        rate in 0.1f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let process = HomogeneousMdpp::new(rate, w.rect);
+        let pts = process.sample(&w, &mut seeded_rng(seed));
+        for p in &pts {
+            prop_assert!(w.contains(p), "{p:?} outside window");
+        }
+        // Sorted by time.
+        for pair in pts.windows(2) {
+            prop_assert!(pair[0].t <= pair[1].t);
+        }
+    }
+
+    #[test]
+    fn linear_integral_matches_quadrature_when_positive(
+        w in window_strategy(),
+        theta0 in 0.5f64..5.0,
+        t_slope in -0.01f64..0.01,
+        x_slope in -0.05f64..0.05,
+        y_slope in -0.05f64..0.05,
+    ) {
+        let model = LinearIntensity::new([theta0, t_slope, x_slope, y_slope]);
+        prop_assume!(model.is_positive_on(&w));
+        let closed = model.integral(&w);
+        let numeric = numeric_integral(&model, &w, 24);
+        prop_assert!(
+            (closed - numeric).abs() < 1e-2 * (1.0 + closed.abs()),
+            "closed {closed} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn inhomogeneous_counts_match_integral(
+        w in window_strategy(),
+        theta0 in 0.5f64..3.0,
+        x_slope in 0.0f64..0.05,
+        seed in any::<u64>(),
+    ) {
+        let model = LinearIntensity::new([theta0, 0.0, x_slope, 0.0]);
+        prop_assume!(model.is_positive_on(&w));
+        let process = InhomogeneousMdpp::new(model, w.rect);
+        let expect_one = process.expected_count(&w);
+        prop_assume!(expect_one > 5.0);
+        let mut rng = seeded_rng(seed);
+        let reps = 20;
+        let total: usize = (0..reps).map(|_| process.sample(&w, &mut rng).len()).sum();
+        let expect = expect_one * reps as f64;
+        prop_assert!(
+            (total as f64 - expect).abs() < 6.0 * expect.sqrt() + 5.0,
+            "total {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn constant_intensity_is_a_fixed_point_of_mle(
+        rate in 0.5f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        // Fitting a homogeneous sample must produce a nearly-flat model
+        // whose expected count matches the sample size.
+        let w = SpaceTimeWindow::new(Rect::with_size(8.0, 8.0), 0.0, 10.0);
+        let pts = HomogeneousMdpp::new(rate, w.rect).sample(&w, &mut seeded_rng(seed));
+        prop_assume!(pts.len() > 50);
+        let fit = fit_mle(&pts, &w, FitConfig::default());
+        prop_assert!(fit.converged);
+        let expect = fit.intensity.integral(&w);
+        prop_assert!(
+            (expect - pts.len() as f64).abs() < 0.05 * pts.len() as f64 + 2.0,
+            "model expects {expect}, sample had {}",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn mle_never_goes_negative_on_window(
+        w in window_strategy(),
+        theta0 in 0.5f64..3.0,
+        x_slope in -0.1f64..0.1,
+        seed in any::<u64>(),
+    ) {
+        let truth = LinearIntensity::new([theta0, 0.0, x_slope, 0.0]);
+        prop_assume!(truth.is_positive_on(&w));
+        let process = InhomogeneousMdpp::new(truth, w.rect);
+        prop_assume!(process.expected_count(&w) > 30.0);
+        let pts = process.sample(&w, &mut seeded_rng(seed));
+        let fit = fit_mle(&pts, &w, FitConfig::default());
+        prop_assert!(fit.intensity.min_on(&w) >= -1e-9, "min {}", fit.intensity.min_on(&w));
+    }
+
+    #[test]
+    fn max_rate_bounds_rate_everywhere(
+        w in window_strategy(),
+        theta0 in 0.0f64..5.0,
+        t_slope in -0.05f64..0.05,
+        x_slope in -0.2f64..0.2,
+        y_slope in -0.2f64..0.2,
+        probe_t in 0.0f64..1.0,
+        probe_x in 0.0f64..1.0,
+        probe_y in 0.0f64..1.0,
+    ) {
+        let model = LinearIntensity::new([theta0, t_slope, x_slope, y_slope]);
+        let max = model.max_rate(&w);
+        let p = craqr_geom::SpaceTimePoint::new(
+            w.t0 + probe_t * w.duration(),
+            w.rect.x0 + probe_x * w.rect.width(),
+            w.rect.y0 + probe_y * w.rect.height(),
+        );
+        prop_assert!(model.rate_at(&p) <= max + 1e-9);
+        // Constant model: max equals the rate.
+        let c = ConstantIntensity::new(theta0);
+        prop_assert!((c.max_rate(&w) - theta0).abs() < 1e-12);
+    }
+}

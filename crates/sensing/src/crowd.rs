@@ -1,0 +1,452 @@
+//! The simulated world: sensors, phenomena, and in-flight responses.
+
+use crate::fields::Field;
+use crate::population::PopulationConfig;
+use crate::sensor::MobileSensor;
+use crate::types::{AttributeId, SensorId, SensorResponse};
+use craqr_geom::Rect;
+use craqr_stats::sub_rng;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of a [`Crowd`].
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// The geographical region `R`.
+    pub region: Rect,
+    /// Sensor population.
+    pub population: PopulationConfig,
+    /// Master seed; mobility, participation, and placement derive
+    /// independent sub-streams from it.
+    pub seed: u64,
+}
+
+/// An in-flight (accepted but not yet delivered) response; the due time
+/// lives in the heap key.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    sensor: SensorId,
+    attr: AttributeId,
+    issued_at: f64,
+}
+
+/// Heap ordering by due time (earliest first via `Reverse`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ByDue(f64);
+
+impl Eq for ByDue {}
+
+impl PartialOrd for ByDue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ByDue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The simulated mobile crowd.
+///
+/// Time is explicit and advances only through [`Crowd::step`]. The
+/// request/response contract mirrors Section IV-A exactly:
+///
+/// 1. The server calls [`Crowd::dispatch_requests`] for an attribute, a
+///    target rectangle (a grid cell), a request count (the budget share for
+///    this batch) and an incentive. Requests go to *randomly selected*
+///    sensors currently inside the rectangle — sampled without replacement
+///    when enough sensors are available, with replacement otherwise (the
+///    paper's rule).
+/// 2. Each targeted sensor independently decides *whether* and *when* to
+///    answer (its [`crate::response::ResponseModel`]).
+/// 3. As simulation time passes the due answers materialize: the sensor
+///    measures the registered ground-truth field at its position *at answer
+///    time* — so a slow human reports a location the query may no longer
+///    care about, reproducing the paper's motivating failure mode.
+/// 4. [`Crowd::drain_responses`] hands the matured responses to the server.
+pub struct Crowd {
+    region: Rect,
+    sensors: Vec<MobileSensor>,
+    fields: HashMap<AttributeId, Box<dyn Field>>,
+    pending: BinaryHeap<(Reverse<ByDue>, usize)>,
+    pending_info: Vec<Pending>,
+    ready: Vec<SensorResponse>,
+    now: f64,
+    mobility_rng: StdRng,
+    participation_rng: StdRng,
+    requests_sent: u64,
+    responses_delivered: u64,
+}
+
+impl Crowd {
+    /// Builds the crowd from a config.
+    pub fn new(config: CrowdConfig) -> Self {
+        let mut placement_rng = sub_rng(config.seed, 0);
+        let sensors = config.population.build(&config.region, &mut placement_rng);
+        Self {
+            region: config.region,
+            sensors,
+            fields: HashMap::new(),
+            pending: BinaryHeap::new(),
+            pending_info: Vec::new(),
+            ready: Vec::new(),
+            now: 0.0,
+            mobility_rng: sub_rng(config.seed, 1),
+            participation_rng: sub_rng(config.seed, 2),
+            requests_sent: 0,
+            responses_delivered: 0,
+        }
+    }
+
+    /// Registers the ground-truth field behind an attribute. Requests for
+    /// unregistered attributes panic — a configuration bug.
+    pub fn register_field(&mut self, attr: AttributeId, field: Box<dyn Field>) {
+        self.fields.insert(attr, field);
+    }
+
+    /// Current simulation time (minutes).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The region `R`.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of sensors `m`.
+    #[inline]
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Read access to the sensors (for diagnostics and tests).
+    pub fn sensors(&self) -> &[MobileSensor] {
+        &self.sensors
+    }
+
+    /// Ids of sensors currently inside `rect`.
+    pub fn sensors_in(&self, rect: &Rect) -> Vec<SensorId> {
+        self.sensors
+            .iter()
+            .filter(|s| {
+                let (x, y) = s.position();
+                rect.contains(x, y)
+            })
+            .map(|s| s.id())
+            .collect()
+    }
+
+    /// Advances the world by `dt` minutes: moves every sensor, then matures
+    /// every pending response due by the new time.
+    ///
+    /// # Panics
+    /// Panics when `dt <= 0`.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt > 0.0, "dt must be > 0");
+        self.now += dt;
+        for s in &mut self.sensors {
+            s.advance(dt, &self.region, &mut self.mobility_rng);
+        }
+        // Mature due responses at post-move positions (answer-time position).
+        while let Some(&(Reverse(ByDue(due)), idx)) = self.pending.peek() {
+            if due > self.now {
+                break;
+            }
+            self.pending.pop();
+            let info = self.pending_info[idx];
+            let field = self
+                .fields
+                .get(&info.attr)
+                .unwrap_or_else(|| panic!("no field registered for {}", info.attr));
+            let sensor = &mut self.sensors[info.sensor.0 as usize];
+            let measurement = sensor.observe(info.attr, field.as_ref(), due);
+            self.ready.push(SensorResponse {
+                sensor: info.sensor,
+                measurement,
+                issued_at: info.issued_at,
+            });
+            self.responses_delivered += 1;
+        }
+    }
+
+    /// Sends `count` acquisition requests for `attr` to randomly selected
+    /// sensors inside `target`, offering `incentive` each. Returns the
+    /// number of requests actually sent (0 when the cell is empty).
+    ///
+    /// Sensors are sampled **without replacement** when at least `count`
+    /// sensors are present, **with replacement** otherwise (Section IV-A).
+    ///
+    /// # Panics
+    /// Panics when no field is registered for `attr`.
+    pub fn dispatch_requests(
+        &mut self,
+        attr: AttributeId,
+        target: &Rect,
+        count: usize,
+        incentive: f64,
+    ) -> usize {
+        assert!(self.fields.contains_key(&attr), "no field registered for {attr}");
+        if count == 0 {
+            return 0;
+        }
+        let candidates = self.sensors_in(target);
+        if candidates.is_empty() {
+            return 0;
+        }
+        let targets: Vec<SensorId> = if candidates.len() >= count {
+            candidates
+                .choose_multiple(&mut self.participation_rng, count)
+                .copied()
+                .collect()
+        } else {
+            (0..count)
+                .map(|_| *candidates.choose(&mut self.participation_rng).expect("non-empty"))
+                .collect()
+        };
+        let sent = targets.len();
+        for sid in targets {
+            self.requests_sent += 1;
+            let sensor = &self.sensors[sid.0 as usize];
+            if let Some(latency) = sensor.decide_response(incentive, &mut self.participation_rng) {
+                let idx = self.pending_info.len();
+                let due = self.now + latency;
+                self.pending_info.push(Pending { sensor: sid, attr, issued_at: self.now });
+                self.pending.push((Reverse(ByDue(due)), idx));
+            }
+        }
+        sent
+    }
+
+    /// Drains all matured responses (ordered by delivery time).
+    pub fn drain_responses(&mut self) -> Vec<SensorResponse> {
+        let mut out = std::mem::take(&mut self.ready);
+        out.sort_by(|a, b| a.measurement.point.t.total_cmp(&b.measurement.point.t));
+        out
+    }
+
+    /// Total requests sent so far.
+    #[inline]
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Total responses delivered so far.
+    #[inline]
+    pub fn responses_delivered(&self) -> u64 {
+        self.responses_delivered
+    }
+
+    /// Overall response rate (delivered / sent), 0 before any request.
+    pub fn response_rate(&self) -> f64 {
+        if self.requests_sent == 0 {
+            0.0
+        } else {
+            self.responses_delivered as f64 / self.requests_sent as f64
+        }
+    }
+
+    /// Replaces every sensor's participation model — the "participation
+    /// collapse / recovery" lever used by the budget-tuning experiments.
+    pub fn set_all_response_models(&mut self, model: crate::response::ResponseModel) {
+        for s in &mut self.sensors {
+            s.set_response_model(model);
+        }
+    }
+
+    /// Injects sensor churn: every sensor independently drops out with
+    /// probability `p` (replaced by a fresh sensor at a random position, so
+    /// the population size is stable but continuity is broken). Failure
+    /// injection for the Section VI error experiments.
+    pub fn churn(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "churn probability must be in [0,1]");
+        let region = self.region;
+        for s in &mut self.sensors {
+            if self.participation_rng.gen::<f64>() < p {
+                let pos = (
+                    self.participation_rng.gen_range(region.x0..region.x1),
+                    self.participation_rng.gen_range(region.y0..region.y1),
+                );
+                *s = MobileSensor::new(
+                    s.id(),
+                    pos,
+                    crate::mobility::Mobility::random_waypoint(0.08, 5.0),
+                    *s.response_model(),
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Crowd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crowd")
+            .field("now", &self.now)
+            .field("sensors", &self.sensors.len())
+            .field("pending", &self.pending.len())
+            .field("requests_sent", &self.requests_sent)
+            .field("responses_delivered", &self.responses_delivered)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{ConstantField, RainFront};
+    use crate::mobility::Mobility;
+    use crate::population::{Placement, PopulationConfig};
+    use crate::types::AttrValue;
+
+    fn crowd(size: usize, seed: u64) -> Crowd {
+        let region = Rect::with_size(10.0, 10.0);
+        let mut c = Crowd::new(CrowdConfig {
+            region,
+            population: PopulationConfig {
+                size,
+                placement: Placement::Uniform,
+                mobility: Mobility::RandomWalk { sigma: 0.1 },
+                human_fraction: 0.0,
+            },
+            seed,
+        });
+        c.register_field(AttributeId(0), Box::new(ConstantField(AttrValue::Float(1.0))));
+        c
+    }
+
+    #[test]
+    fn step_advances_time_and_sensors() {
+        let mut c = crowd(10, 1);
+        let before: Vec<_> = c.sensors().iter().map(|s| s.position()).collect();
+        c.step(1.0);
+        assert_eq!(c.now(), 1.0);
+        let after: Vec<_> = c.sensors().iter().map(|s| s.position()).collect();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn automatic_sensors_answer_quickly() {
+        let mut c = crowd(200, 2);
+        let sent = c.dispatch_requests(AttributeId(0), &c.region(), 100, 0.0);
+        assert_eq!(sent, 100);
+        // Automatic sensors: p=0.95, latency mean 0.05 min. One minute is
+        // plenty of time for all accepted answers.
+        c.step(1.0);
+        let responses = c.drain_responses();
+        assert!(responses.len() >= 85, "got {}", responses.len());
+        assert!(c.response_rate() > 0.85);
+        for r in &responses {
+            assert!(r.measurement.point.t <= 1.0);
+            assert_eq!(r.issued_at, 0.0);
+        }
+    }
+
+    #[test]
+    fn requests_to_empty_cell_send_nothing() {
+        let mut c = crowd(5, 3);
+        // A rect certainly holding no sensor (outside the region corner).
+        let empty = Rect::new(9.99, 9.99, 9.999, 9.999);
+        let sent = c.dispatch_requests(AttributeId(0), &empty, 10, 0.0);
+        assert_eq!(sent, 0);
+    }
+
+    #[test]
+    fn oversampling_uses_replacement() {
+        let mut c = crowd(3, 4);
+        // Ask for many more requests than sensors: all 20 go out (with
+        // replacement), targeting the 3 sensors repeatedly.
+        let sent = c.dispatch_requests(AttributeId(0), &c.region(), 20, 0.0);
+        assert_eq!(sent, 20);
+        c.step(1.0);
+        let responses = c.drain_responses();
+        assert!(responses.len() > 10, "got {}", responses.len());
+        // Only three distinct sensors can have answered.
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.sensor.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(ids.len() <= 3);
+    }
+
+    #[test]
+    fn responses_carry_answer_time_position_value() {
+        let region = Rect::with_size(10.0, 10.0);
+        let mut c = Crowd::new(CrowdConfig {
+            region,
+            population: PopulationConfig {
+                size: 50,
+                placement: Placement::Uniform,
+                mobility: Mobility::Stationary,
+                human_fraction: 0.0,
+            },
+            seed: 5,
+        });
+        // Rain front across half the region at all times.
+        c.register_field(AttributeId(1), Box::new(RainFront::new(5.0, 0.0, 5.0)));
+        c.dispatch_requests(AttributeId(1), &region, 50, 0.0);
+        c.step(0.5);
+        for r in c.drain_responses() {
+            let expect = r.measurement.point.x < 5.0;
+            assert_eq!(r.measurement.value, AttrValue::Bool(expect));
+        }
+    }
+
+    #[test]
+    fn slow_responses_arrive_in_later_steps() {
+        let region = Rect::with_size(10.0, 10.0);
+        let mut c = Crowd::new(CrowdConfig {
+            region,
+            population: PopulationConfig {
+                size: 300,
+                placement: Placement::Uniform,
+                mobility: Mobility::Stationary,
+                human_fraction: 1.0, // humans: mean latency 2 min
+            },
+            seed: 6,
+        });
+        c.register_field(AttributeId(0), Box::new(ConstantField(AttrValue::Bool(true))));
+        c.dispatch_requests(AttributeId(0), &region, 300, 5.0);
+        c.step(0.25);
+        let early = c.drain_responses().len();
+        for _ in 0..40 {
+            c.step(0.5);
+        }
+        let late = c.drain_responses().len();
+        assert!(late > early, "early {early}, late {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no field registered")]
+    fn unregistered_attribute_panics() {
+        let mut c = crowd(5, 7);
+        let region = c.region();
+        let _ = c.dispatch_requests(AttributeId(9), &region, 1, 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_world() {
+        let run = |seed| {
+            let mut c = crowd(100, seed);
+            c.dispatch_requests(AttributeId(0), &c.region(), 50, 0.0);
+            c.step(1.0);
+            c.drain_responses().len()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn churn_replaces_sensors() {
+        let mut c = crowd(100, 8);
+        let before: Vec<_> = c.sensors().iter().map(|s| s.position()).collect();
+        c.churn(1.0);
+        let after: Vec<_> = c.sensors().iter().map(|s| s.position()).collect();
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(moved > 90, "churn(1.0) must replace nearly all, moved {moved}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Framed wire encoding and a lossy in-process channel.
+//!
+//! The paper assumes sensors "share all the information required for
+//! processing queries with a central server" over some network. The wire
+//! format here is a compact binary framing of [`AcquisitionRequest`] and
+//! [`SensorResponse`]; [`LossyChannel`] adds configurable message loss so
+//! experiments can inject transport failures (Section VI error handling).
+
+use crate::types::{AcquisitionRequest, AttrValue, AttributeId, Measurement, SensorId, SensorResponse};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use craqr_geom::SpaceTimePoint;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Frame type tags.
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const VALUE_BOOL: u8 = 1;
+const VALUE_FLOAT: u8 = 2;
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The frame ended before the expected payload.
+    Truncated,
+    /// Unknown frame or value tag.
+    BadTag(u8),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Truncated => write!(f, "truncated frame"),
+            TransportError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Encodes a request into a frame.
+pub fn encode_request(req: &AcquisitionRequest) -> Bytes {
+    let mut b = BytesMut::with_capacity(1 + 2 + 8 + 8);
+    b.put_u8(KIND_REQUEST);
+    b.put_u16(req.attr.0);
+    b.put_f64(req.issued_at);
+    b.put_f64(req.incentive);
+    b.freeze()
+}
+
+/// Decodes a request frame.
+pub fn decode_request(mut frame: Bytes) -> Result<AcquisitionRequest, TransportError> {
+    if frame.remaining() < 1 {
+        return Err(TransportError::Truncated);
+    }
+    let kind = frame.get_u8();
+    if kind != KIND_REQUEST {
+        return Err(TransportError::BadTag(kind));
+    }
+    if frame.remaining() < 2 + 8 + 8 {
+        return Err(TransportError::Truncated);
+    }
+    Ok(AcquisitionRequest {
+        attr: AttributeId(frame.get_u16()),
+        issued_at: frame.get_f64(),
+        incentive: frame.get_f64(),
+    })
+}
+
+/// Encodes a response into a frame.
+pub fn encode_response(resp: &SensorResponse) -> Bytes {
+    let mut b = BytesMut::with_capacity(1 + 8 + 2 + 24 + 1 + 8 + 8);
+    b.put_u8(KIND_RESPONSE);
+    b.put_u64(resp.sensor.0);
+    b.put_u16(resp.measurement.attr.0);
+    b.put_f64(resp.measurement.point.t);
+    b.put_f64(resp.measurement.point.x);
+    b.put_f64(resp.measurement.point.y);
+    match resp.measurement.value {
+        AttrValue::Bool(v) => {
+            b.put_u8(VALUE_BOOL);
+            b.put_u8(v as u8);
+        }
+        AttrValue::Float(v) => {
+            b.put_u8(VALUE_FLOAT);
+            b.put_f64(v);
+        }
+    }
+    b.put_f64(resp.issued_at);
+    b.freeze()
+}
+
+/// Decodes a response frame.
+pub fn decode_response(mut frame: Bytes) -> Result<SensorResponse, TransportError> {
+    if frame.remaining() < 1 {
+        return Err(TransportError::Truncated);
+    }
+    let kind = frame.get_u8();
+    if kind != KIND_RESPONSE {
+        return Err(TransportError::BadTag(kind));
+    }
+    if frame.remaining() < 8 + 2 + 24 + 1 {
+        return Err(TransportError::Truncated);
+    }
+    let sensor = SensorId(frame.get_u64());
+    let attr = AttributeId(frame.get_u16());
+    let t = frame.get_f64();
+    let x = frame.get_f64();
+    let y = frame.get_f64();
+    let value = match frame.get_u8() {
+        VALUE_BOOL => {
+            if frame.remaining() < 1 {
+                return Err(TransportError::Truncated);
+            }
+            AttrValue::Bool(frame.get_u8() != 0)
+        }
+        VALUE_FLOAT => {
+            if frame.remaining() < 8 {
+                return Err(TransportError::Truncated);
+            }
+            AttrValue::Float(frame.get_f64())
+        }
+        tag => return Err(TransportError::BadTag(tag)),
+    };
+    if frame.remaining() < 8 {
+        return Err(TransportError::Truncated);
+    }
+    let issued_at = frame.get_f64();
+    Ok(SensorResponse {
+        sensor,
+        measurement: Measurement { attr, point: SpaceTimePoint::new(t, x, y), value },
+        issued_at,
+    })
+}
+
+/// An in-process frame channel that drops each message with probability
+/// `loss`. Deterministic under a seeded RNG.
+pub struct LossyChannel {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    loss: f64,
+    rng: StdRng,
+    sent: u64,
+    dropped: u64,
+}
+
+impl LossyChannel {
+    /// Creates a channel with the given loss probability.
+    ///
+    /// # Panics
+    /// Panics when `loss ∉ [0, 1]`.
+    #[track_caller]
+    pub fn new(loss: f64, rng: StdRng) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1], got {loss}");
+        let (tx, rx) = unbounded();
+        Self { tx, rx, loss, rng, sent: 0, dropped: 0 }
+    }
+
+    /// Sends a frame (possibly dropping it).
+    pub fn send(&mut self, frame: Bytes) {
+        self.sent += 1;
+        if self.rng.gen::<f64>() < self.loss {
+            self.dropped += 1;
+            return;
+        }
+        // Unbounded in-process channel: send never fails while rx is alive.
+        self.tx.send(frame).expect("receiver alive");
+    }
+
+    /// Drains all frames that survived.
+    pub fn recv_all(&mut self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        loop {
+            match self.rx.try_recv() {
+                Ok(frame) => out.push(frame),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// `(sent, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_stats::seeded_rng;
+
+    fn request() -> AcquisitionRequest {
+        AcquisitionRequest { attr: AttributeId(3), issued_at: 12.5, incentive: 0.75 }
+    }
+
+    fn response(value: AttrValue) -> SensorResponse {
+        SensorResponse {
+            sensor: SensorId(99),
+            measurement: Measurement {
+                attr: AttributeId(1),
+                point: SpaceTimePoint::new(4.0, 5.5, 6.25),
+                value,
+            },
+            issued_at: 3.5,
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let r = request();
+        assert_eq!(decode_request(encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn response_round_trip_bool_and_float() {
+        for v in [AttrValue::Bool(true), AttrValue::Bool(false), AttrValue::Float(-7.125)] {
+            let r = response(v);
+            assert_eq!(decode_response(encode_response(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let full = encode_response(&response(AttrValue::Float(1.0)));
+        for cut in [0, 1, 5, 10, full.len() - 1] {
+            let err = decode_response(full.slice(0..cut)).unwrap_err();
+            assert_eq!(err, TransportError::Truncated, "cut at {cut}");
+        }
+        let full = encode_request(&request());
+        let err = decode_request(full.slice(0..3)).unwrap_err();
+        assert_eq!(err, TransportError::Truncated);
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let req = encode_request(&request());
+        assert!(matches!(decode_response(req), Err(TransportError::BadTag(KIND_REQUEST))));
+        let resp = encode_response(&response(AttrValue::Bool(true)));
+        assert!(matches!(decode_request(resp), Err(TransportError::BadTag(KIND_RESPONSE))));
+    }
+
+    #[test]
+    fn corrupt_value_tag_is_rejected() {
+        let mut raw = BytesMut::from(&encode_response(&response(AttrValue::Bool(true)))[..]);
+        // The value tag sits after kind(1)+sensor(8)+attr(2)+coords(24).
+        raw[35] = 77;
+        assert!(matches!(
+            decode_response(raw.freeze()),
+            Err(TransportError::BadTag(77))
+        ));
+    }
+
+    #[test]
+    fn lossless_channel_delivers_everything() {
+        let mut ch = LossyChannel::new(0.0, seeded_rng(1));
+        for i in 0..100u16 {
+            ch.send(encode_request(&AcquisitionRequest {
+                attr: AttributeId(i),
+                issued_at: 0.0,
+                incentive: 0.0,
+            }));
+        }
+        assert_eq!(ch.recv_all().len(), 100);
+        assert_eq!(ch.stats(), (100, 0));
+    }
+
+    #[test]
+    fn lossy_channel_drops_expected_fraction() {
+        let mut ch = LossyChannel::new(0.3, seeded_rng(2));
+        for _ in 0..10_000 {
+            ch.send(encode_request(&request()));
+        }
+        let delivered = ch.recv_all().len();
+        let frac = delivered as f64 / 10_000.0;
+        assert!((frac - 0.7).abs() < 0.02, "delivered fraction {frac}");
+        let (sent, dropped) = ch.stats();
+        assert_eq!(sent, 10_000);
+        assert_eq!(dropped as usize + delivered, 10_000);
+    }
+
+    #[test]
+    fn full_loss_channel_delivers_nothing() {
+        let mut ch = LossyChannel::new(1.0, seeded_rng(3));
+        ch.send(encode_request(&request()));
+        assert!(ch.recv_all().is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! Statistical substrate for CrAQR.
+//!
+//! The point-process machinery of the paper needs, beyond a uniform RNG:
+//!
+//! - **Samplers** for Poisson counts (how many points fall in a window),
+//!   exponential inter-arrivals, and Gaussian noise (mobility and sensor
+//!   error models). The offline crate set contains `rand` but not
+//!   `rand_distr`, so [`dist`] implements these from first principles
+//!   (Box–Muller, inversion, Knuth/PTRS Poisson).
+//! - **Special functions** ([`special`]): `ln Γ`, `erf`, regularized
+//!   incomplete gamma — enough to compute Poisson/χ²/normal CDFs exactly.
+//! - **Hypothesis tests** ([`hypothesis`]): χ² homogeneity over binned
+//!   counts, Kolmogorov–Smirnov on exponential inter-arrivals, and the
+//!   variance-to-mean dispersion index. These are how the test-suite and the
+//!   experiment harness *verify* the paper's claims that `flatten` output is
+//!   "approximately homogeneous" and `thin` hits its target rate.
+//! - **Online estimators** ([`online`]): Welford moments, EWMA, and
+//!   windowed rates used by sliding-window flattening and budget tuning.
+//! - **Summaries** ([`summary`]): histograms and quantiles for experiment
+//!   reports.
+//! - **Seed derivation** ([`rng`]): stable per-component sub-seeds so a
+//!   whole simulation is reproducible from one master seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod hypothesis;
+pub mod online;
+pub mod rng;
+pub mod special;
+pub mod summary;
+
+pub use dist::{Exponential, Normal, Poisson};
+pub use hypothesis::{chi_square_uniform, dispersion_index, ks_exponential, ChiSquare, KsTest};
+pub use online::{Ewma, OnlineMoments, WindowedRate};
+pub use rng::{seeded_rng, sub_rng};
+pub use summary::{Histogram, Summary};

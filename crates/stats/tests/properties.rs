@@ -1,0 +1,133 @@
+//! Property tests for the statistical substrate: sampler moments, special
+//! function identities, and estimator laws under randomized parameters.
+
+use craqr_stats::dist::{Exponential, Normal, Poisson};
+use craqr_stats::online::{Ewma, OnlineMoments};
+use craqr_stats::special::{chi_square_sf, erf, erfc, gamma_p, gamma_q, ln_gamma};
+use craqr_stats::{seeded_rng, sub_rng};
+use proptest::prelude::*;
+use rand::distributions::Distribution;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exponential_mean_tracks_rate(rate in 0.1f64..50.0, seed in any::<u64>()) {
+        let d = Exponential::new(rate);
+        let mut rng = seeded_rng(seed);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expect = 1.0 / rate;
+        // Standard error of the mean is expect/√n; allow 6σ.
+        prop_assert!(
+            (mean - expect).abs() < 6.0 * expect / (n as f64).sqrt(),
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn normal_samples_standardize(mu in -50.0f64..50.0, sd in 0.01f64..20.0, seed in any::<u64>()) {
+        let d = Normal::new(mu, sd);
+        let mut rng = seeded_rng(seed);
+        let n = 20_000;
+        let mut m = OnlineMoments::new();
+        for _ in 0..n {
+            m.push(d.sample(&mut rng));
+        }
+        prop_assert!((m.mean() - mu).abs() < 6.0 * sd / (n as f64).sqrt());
+        prop_assert!((m.sd() - sd).abs() < 0.1 * sd + 1e-6);
+    }
+
+    #[test]
+    fn poisson_mean_equals_variance(mean in 0.1f64..500.0, seed in any::<u64>()) {
+        let d = Poisson::new(mean);
+        let mut rng = seeded_rng(seed);
+        let n = 20_000;
+        let mut m = OnlineMoments::new();
+        for _ in 0..n {
+            m.push(d.sample(&mut rng) as f64);
+        }
+        let se = (mean / n as f64).sqrt();
+        prop_assert!((m.mean() - mean).abs() < 6.0 * se, "mean {} vs {mean}", m.mean());
+        // Variance concentrates more slowly; allow 10% + slack.
+        prop_assert!(
+            (m.variance() - mean).abs() < 0.1 * mean + 1.0,
+            "var {} vs {mean}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn gamma_identities_hold(a in 0.05f64..200.0, x in 0.0f64..300.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-10, "P+Q = {}", p + q);
+    }
+
+    #[test]
+    fn gamma_p_is_monotone_in_x(a in 0.1f64..50.0, x in 0.0f64..100.0, dx in 0.01f64..10.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence(x in 0.1f64..100.0) {
+        // Γ(x+1) = x·Γ(x)  ⇒  lnΓ(x+1) = ln x + lnΓ(x).
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn chi_square_sf_is_monotone(df in 1.0f64..100.0, stat in 0.0f64..200.0, d in 0.1f64..20.0) {
+        prop_assert!(chi_square_sf(stat + d, df) <= chi_square_sf(stat, df) + 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_is_associative_enough(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..200),
+        split in 1usize..100,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = OnlineMoments::new();
+        whole.extend(xs.iter().copied());
+        let mut left = OnlineMoments::new();
+        left.extend(xs[..split].iter().copied());
+        let mut right = OnlineMoments::new();
+        right.extend(xs[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ewma_stays_within_input_hull(
+        xs in prop::collection::vec(-10.0f64..10.0, 1..60),
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut e = Ewma::new(alpha);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &xs {
+            let v = e.push(x);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn sub_rng_streams_are_stable(seed in any::<u64>(), tag in any::<u64>()) {
+        use rand::Rng;
+        let a: u64 = sub_rng(seed, tag).gen();
+        let b: u64 = sub_rng(seed, tag).gen();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,171 @@
+//! `craqr-run` — a scenario runner for CrAQR from the command line.
+//!
+//! ```text
+//! cargo run --release --bin craqr-run -- \
+//!     --sensors 1500 --human 0.5 --epochs 24 --seed 7 \
+//!     --query "ACQUIRE rain FROM RECT(0,0,4,4) RATE 0.2" \
+//!     --query "ACQUIRE temp FROM RECT(1,1,3,3) RATE 0.5"
+//! ```
+//!
+//! Two attributes are pre-registered against simulated ground truth:
+//! `rain` (a moving rain front; human-sensed) and `temp` (a heat-island
+//! temperature field; sensor-sensed). Flags:
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--size KM`        | 4      | region side length (square region) |
+//! | `--sensors N`      | 1000   | crowd size |
+//! | `--human F`        | 0.4    | human fraction (reluctant, slow) |
+//! | `--seed S`         | 7      | master seed |
+//! | `--epochs N`       | 12     | epochs to run (5 simulated min each) |
+//! | `--grid SIDE`      | 4      | cells per grid side (√h) |
+//! | `--budget B`       | 20     | initial requests/epoch per (attr, cell) |
+//! | `--query "TEXT"`   | —      | declarative query (repeatable, ≥1 required) |
+//! | `--dot`            | off    | print Graphviz topologies instead of tables |
+
+use craqr::core::plan::PlannerConfig;
+use craqr::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    size: f64,
+    sensors: usize,
+    human: f64,
+    seed: u64,
+    epochs: u64,
+    grid: u32,
+    budget: f64,
+    queries: Vec<String>,
+    dot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        size: 4.0,
+        sensors: 1000,
+        human: 0.4,
+        seed: 7,
+        epochs: 12,
+        grid: 4,
+        budget: 20.0,
+        queries: Vec::new(),
+        dot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--size" => args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?,
+            "--sensors" => {
+                args.sensors = value("--sensors")?.parse().map_err(|e| format!("--sensors: {e}"))?
+            }
+            "--human" => args.human = value("--human")?.parse().map_err(|e| format!("--human: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--epochs" => {
+                args.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--grid" => args.grid = value("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?,
+            "--budget" => {
+                args.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--query" => args.queries.push(value("--query")?),
+            "--dot" => args.dot = true,
+            "--help" | "-h" => {
+                println!("see the doc comment at the top of src/bin/craqr-run.rs for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if args.queries.is_empty() {
+        return Err("at least one --query is required (try --help)".into());
+    }
+    if !(0.0..=1.0).contains(&args.human) {
+        return Err("--human must be in [0, 1]".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let region = Rect::with_size(args.size, args.size);
+    let crowd = Crowd::new(CrowdConfig {
+        region,
+        population: PopulationConfig {
+            size: args.sensors,
+            placement: Placement::city(&region),
+            mobility: Mobility::random_waypoint(0.08, 5.0),
+            human_fraction: args.human,
+        },
+        seed: args.seed,
+    });
+    let mut server = CraqrServer::new(
+        crowd,
+        ServerConfig {
+            initial_budget: args.budget,
+            planner: PlannerConfig {
+                grid_side: args.grid,
+                seed: args.seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    server.register_attribute(
+        "rain",
+        true,
+        Box::new(RainFront::new(0.0, args.size / 200.0, args.size / 3.0)),
+    );
+    server.register_attribute("temp", false, Box::new(TemperatureField::city_default()));
+
+    let mut queries = Vec::new();
+    for text in &args.queries {
+        match server.submit(text) {
+            Ok(qid) => {
+                println!("{qid}: {text}");
+                queries.push(qid);
+            }
+            Err(e) => {
+                eprintln!("error: query '{text}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.dot {
+        println!("{}", server.fabricator().explain_dot());
+        return ExitCode::SUCCESS;
+    }
+
+    println!("\n{:>5} {:>9} {:>10} {:>9} {:>10}", "epoch", "requests", "responses", "ingested", "delivered");
+    for _ in 0..args.epochs {
+        let r = server.run_epoch();
+        let delivered: usize = r.delivered.iter().map(|(_, n)| n).sum();
+        println!(
+            "{:>5} {:>9} {:>10} {:>9} {:>10}",
+            r.epoch, r.dispatch.sent, r.responses, r.ingested, delivered
+        );
+    }
+
+    println!("\nper-query summary after {:.0} simulated minutes:", server.now());
+    let minutes = server.now();
+    for qid in queries {
+        let plan = server.fabricator().query_plan(qid).expect("standing query");
+        let requested = plan.query.rate;
+        let area = plan.footprint.area();
+        let n = server.take_output(qid).len();
+        let achieved = n as f64 / (area * minutes);
+        println!("  {qid}: {n} tuples, requested λ = {requested}, achieved λ = {achieved:.3}");
+    }
+    println!("\ntopologies:\n{}", server.fabricator().explain());
+    ExitCode::SUCCESS
+}

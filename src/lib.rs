@@ -1,0 +1,67 @@
+//! # CrAQR — reproduction of *"On Crowdsensed Data Acquisition using
+//! Multi-Dimensional Point Processes"* (ICDE Workshops 2015)
+//!
+//! This meta-crate re-exports the whole workspace behind one dependency:
+//!
+//! - [`geom`] — points, rectangles, the `√h × √h` grid, region algebra.
+//! - [`stats`] — distributions, hypothesis tests, online estimators.
+//! - [`mdpp`] — multi-dimensional point processes: models, samplers,
+//!   MLE/SGD inference, homogeneity diagnostics.
+//! - [`sensing`] — the simulated mobile crowd: mobility, ground-truth
+//!   fields, response behaviour, transport.
+//! - [`engine`] — the streaming dataflow engine PMAT operators run on.
+//! - [`core`] — CrAQR itself: PMAT operators, acquisitional queries, the
+//!   Section V planner, budget tuning, and the server.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use craqr::prelude::*;
+//!
+//! // A 4×4 km city with 500 wandering sensors.
+//! let region = Rect::with_size(4.0, 4.0);
+//! let crowd = Crowd::new(CrowdConfig {
+//!     region,
+//!     population: PopulationConfig::city_default(&region),
+//!     seed: 7,
+//! });
+//! let mut server = CraqrServer::new(crowd, ServerConfig::default());
+//! server.register_attribute("temp", false, Box::new(TemperatureField::city_default()));
+//!
+//! // The paper's declarative query shape.
+//! let q = server.submit("ACQUIRE temp FROM RECT(0, 0, 2, 2) RATE 0.5 PER KM2 PER MIN").unwrap();
+//! for _ in 0..6 {
+//!     server.run_epoch();
+//! }
+//! let stream = server.take_output(q);
+//! // The fabricated stream is time-ordered and confined to the query region.
+//! assert!(stream.windows(2).all(|w| w[0].point.t <= w[1].point.t));
+//! assert!(stream.iter().all(|t| t.point.x < 2.0 && t.point.y < 2.0));
+//! ```
+
+pub use craqr_core as core;
+pub use craqr_engine as engine;
+pub use craqr_geom as geom;
+pub use craqr_mdpp as mdpp;
+pub use craqr_sensing as sensing;
+pub use craqr_stats as stats;
+
+/// The names almost every CrAQR program needs.
+pub mod prelude {
+    pub use craqr_core::{
+        AcquisitionQuery, AttributeCatalog, Budget, BudgetTuner, CraqrServer, CrowdTuple,
+        EpochReport, ErrorModel, Fabricator, FlattenOp, IncentivePolicy, Mitigation, PartitionOp,
+        PlannerConfig, QueryId, RateMeterOp, ServerConfig, SuperposeOp, ThinOp, TopologyShape,
+        UnionOp,
+    };
+    pub use craqr_geom::{CellId, Grid, Rect, Region, SpaceTimePoint, SpaceTimeWindow};
+    pub use craqr_mdpp::{
+        fit_mle, homogeneity_report, HomogeneousMdpp, InhomogeneousMdpp, IntensityModel,
+        LinearIntensity,
+    };
+    pub use craqr_sensing::{
+        AttrValue, AttributeId, Crowd, CrowdConfig, Mobility, Placement, PopulationConfig,
+        RainFront, ResponseModel, SensorId, TemperatureField,
+    };
+    pub use craqr_stats::seeded_rng;
+}

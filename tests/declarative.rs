@@ -1,0 +1,122 @@
+//! The declarative query surface, end to end: text in, stream out, and
+//! every rejection path a user can hit.
+
+use craqr::core::query::ParseError;
+use craqr::core::server::SubmitError;
+use craqr::core::PlannerConfig;
+use craqr::prelude::*;
+use craqr::sensing::fields::ConstantField;
+
+fn server() -> CraqrServer {
+    let region = Rect::with_size(4.0, 4.0);
+    let crowd = Crowd::new(CrowdConfig {
+        region,
+        population: PopulationConfig {
+            size: 600,
+            placement: Placement::Uniform,
+            mobility: Mobility::Stationary,
+            human_fraction: 0.0,
+        },
+        seed: 31,
+    });
+    let mut s = CraqrServer::new(crowd, ServerConfig::default());
+    s.register_attribute("rain", true, Box::new(RainFront::new(2.0, 0.0, 2.0)));
+    s.register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(18.5))));
+    s
+}
+
+#[test]
+fn the_papers_query_q1_runs() {
+    // "Q⟨1⟩: Acquire the attribute A⟨1⟩ = rain from region R′ ⊂ R at the
+    // rate of 10 /km2/min." (scaled down to match the simulated crowd)
+    let mut s = server();
+    let qid = s.submit("ACQUIRE rain FROM RECT(0, 0, 2, 2) RATE 0.5 PER KM2 PER MIN").unwrap();
+    for _ in 0..6 {
+        s.run_epoch();
+    }
+    let out = s.take_output(qid);
+    assert!(!out.is_empty());
+    // "The output of this query is a MCDS of tuples (t, x, y, rain)".
+    for t in &out {
+        assert!(matches!(t.value, AttrValue::Bool(_)));
+        assert!(t.point.x < 2.0 && t.point.y < 2.0);
+    }
+}
+
+#[test]
+fn case_and_whitespace_are_forgiven() {
+    let mut s = server();
+    assert!(s.submit("acquire temp from rect( 0 , 0 , 2 , 2 ) rate 0.25").is_ok());
+}
+
+#[test]
+fn every_user_error_is_reported_precisely() {
+    let mut s = server();
+    type Check = fn(&SubmitError) -> bool;
+    let cases: Vec<(&str, Check)> = vec![
+        ("", |e| matches!(e, SubmitError::Parse(ParseError::Expected("ACQUIRE", _)))),
+        ("ACQUIRE fog FROM RECT(0,0,2,2) RATE 1", |e| {
+            matches!(e, SubmitError::Parse(ParseError::UnknownAttribute(_)))
+        }),
+        ("ACQUIRE temp FROM RECT(0,0,2,2) RATE -1", |e| {
+            matches!(e, SubmitError::Parse(ParseError::BadRate(_)))
+        }),
+        ("ACQUIRE temp FROM RECT(2,2,0,0) RATE 1", |e| {
+            matches!(e, SubmitError::Parse(ParseError::BadRegion(_)))
+        }),
+        ("ACQUIRE temp FROM RECT(0,0,2,2) RATE 1 EXTRA", |e| {
+            matches!(e, SubmitError::Parse(ParseError::TrailingInput(_)))
+        }),
+        ("ACQUIRE temp FROM RECT(90,90,92,92) RATE 1", |e| {
+            matches!(e, SubmitError::Plan(craqr::core::plan::PlanError::OutsideRegion(_)))
+        }),
+        ("ACQUIRE temp FROM RECT(0,0,0.4,0.4) RATE 1", |e| {
+            matches!(e, SubmitError::Plan(craqr::core::plan::PlanError::TooSmall { .. }))
+        }),
+    ];
+    for (text, check) in cases {
+        let err = s.submit(text).expect_err(text);
+        assert!(check(&err), "{text} → {err}");
+        // Every error explains itself.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn min_area_rule_is_a_planner_knob() {
+    let region = Rect::with_size(4.0, 4.0);
+    let crowd = Crowd::new(CrowdConfig {
+        region,
+        population: PopulationConfig {
+            size: 100,
+            placement: Placement::Uniform,
+            mobility: Mobility::Stationary,
+            human_fraction: 0.0,
+        },
+        seed: 32,
+    });
+    let mut s = CraqrServer::new(
+        crowd,
+        ServerConfig {
+            planner: PlannerConfig { enforce_min_area: false, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    s.register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(1.0))));
+    // Sub-cell query accepted when the rule is off (the Fig. 2 R3 case).
+    assert!(s.submit("ACQUIRE temp FROM RECT(0.1, 0.1, 0.6, 0.6) RATE 1").is_ok());
+}
+
+#[test]
+fn queries_are_isolated_per_attribute() {
+    let mut s = server();
+    let rain = s.submit("ACQUIRE rain FROM RECT(0, 0, 2, 2) RATE 0.4").unwrap();
+    let temp = s.submit("ACQUIRE temp FROM RECT(0, 0, 2, 2) RATE 0.4").unwrap();
+    for _ in 0..6 {
+        s.run_epoch();
+    }
+    let rain_out = s.take_output(rain);
+    let temp_out = s.take_output(temp);
+    assert!(rain_out.iter().all(|t| matches!(t.value, AttrValue::Bool(_))));
+    assert!(temp_out.iter().all(|t| t.value == AttrValue::Float(18.5)));
+}

@@ -1,0 +1,242 @@
+//! Exact reproduction of the paper's Fig. 2 worked example.
+//!
+//! The setup, reconstructed from the figure and the Section V prose:
+//!
+//! - `R` is a 3×3 grid; the hashmap materializes exactly seven keys:
+//!   `(1,1), (2,1), (1,2), (2,2)` for `Q⟨2⟩₂` and `(2,3), (3,2), (3,3)`
+//!   for `Q⟨1⟩₁` (paper coordinates, 1-based).
+//! - `Q⟨1⟩₁` acquires `rain` over the L-shaped `R1` at rate λ1.
+//! - `Q⟨2⟩₂` acquires `temp` over the square `R2` at rate λ2.
+//! - `Q⟨2⟩₃` acquires `temp` over the small `R3` inside cell `(2,2)` at
+//!   rate λ3 — "P-operators are required only for Q⟨2⟩₃, since Q⟨1⟩₁ and
+//!   Q⟨2⟩₂ perfectly overlap the grid cells".
+//! - λ1 > λ2 > λ3.
+//! - Deleting `Q⟨1⟩` removes "the U-, T-, and F-operators associated with
+//!   the regions R(2,3), R(3,2) and R(3,3)" and their hashmap keys.
+
+use craqr::core::plan::PlannerConfig;
+use craqr::core::Fabricator;
+use craqr::prelude::*;
+use craqr::sensing::AttributeId;
+
+const LAMBDA1: f64 = 4.0;
+const LAMBDA2: f64 = 2.0;
+const LAMBDA3: f64 = 1.0;
+
+const RAIN: AttributeId = AttributeId(1);
+const TEMP: AttributeId = AttributeId(2);
+
+/// Paper 1-based cell coordinates → our 0-based [`CellId`].
+fn paper_cell(q: u32, r: u32) -> CellId {
+    CellId::new(q - 1, r - 1)
+}
+
+/// Unit rect of a paper cell.
+fn paper_cell_rect(q: u32, r: u32) -> Rect {
+    let (q0, r0) = ((q - 1) as f64, (r - 1) as f64);
+    Rect::new(q0, r0, q0 + 1.0, r0 + 1.0)
+}
+
+struct Fig2 {
+    fab: Fabricator,
+    q1: QueryId,
+    q2: QueryId,
+    q3: QueryId,
+}
+
+fn build() -> Fig2 {
+    let mut fab = Fabricator::new(
+        Rect::with_size(3.0, 3.0),
+        PlannerConfig {
+            grid_side: 3,
+            batch_duration: 5.0,
+            enforce_min_area: false, // R3 is sub-cell-sized, as drawn
+            ..Default::default()
+        },
+    );
+
+    // R1: the L of cells (2,3), (3,2), (3,3) — rain at λ1.
+    let r1_parts =
+        vec![paper_cell_rect(2, 3), paper_cell_rect(3, 2), paper_cell_rect(3, 3)];
+    let q1 = fab
+        .insert_query_parts(
+            AcquisitionQuery::new(RAIN, Rect::new(1.0, 1.0, 3.0, 3.0), LAMBDA1),
+            &r1_parts,
+        )
+        .expect("Q1 plans");
+
+    // R2: the 2×2 square of cells (1,1), (2,1), (1,2), (2,2) — temp at λ2.
+    let q2 = fab
+        .insert_query(AcquisitionQuery::new(TEMP, Rect::new(0.0, 0.0, 2.0, 2.0), LAMBDA2))
+        .expect("Q2 plans");
+
+    // R3: a small rect strictly inside cell (2,2) — temp at λ3.
+    let r3 = Rect::new(1.25, 1.25, 1.9, 1.9);
+    let q3 = fab.insert_query(AcquisitionQuery::new(TEMP, r3, LAMBDA3)).expect("Q3 plans");
+
+    Fig2 { fab, q1, q2, q3 }
+}
+
+#[test]
+fn hashmap_materializes_exactly_the_seven_keys() {
+    let f = build();
+    assert_eq!(f.fab.materialized_cells(), 7);
+    assert_eq!(f.fab.materialized_chains(), 7);
+
+    // Q1's three rain keys.
+    for (q, r) in [(2, 3), (3, 2), (3, 3)] {
+        assert!(
+            f.fab.chain(paper_cell(q, r), RAIN).is_some(),
+            "rain chain missing at paper cell ({q},{r})"
+        );
+    }
+    // Q2/Q3's four temp keys.
+    for (q, r) in [(1, 1), (2, 1), (1, 2), (2, 2)] {
+        assert!(
+            f.fab.chain(paper_cell(q, r), TEMP).is_some(),
+            "temp chain missing at paper cell ({q},{r})"
+        );
+    }
+}
+
+#[test]
+fn rain_chains_have_a_single_lambda1_tap() {
+    let f = build();
+    for (q, r) in [(2, 3), (3, 2), (3, 3)] {
+        let chain = f.fab.chain(paper_cell(q, r), RAIN).unwrap();
+        assert_eq!(chain.tap_rates(), vec![LAMBDA1]);
+        assert_eq!(chain.consumer_count(), 1);
+        // F target covers λ1 (rule 4).
+        assert!(chain.f_rate() >= LAMBDA1);
+    }
+}
+
+#[test]
+fn shared_temp_cell_has_sorted_taps_with_branching_point() {
+    let f = build();
+    // Cell (2,2) serves both Q2 (full overlap at λ2) and Q3 (partial at λ3).
+    let chain = f.fab.chain(paper_cell(2, 2), TEMP).unwrap();
+    assert_eq!(chain.tap_rates(), vec![LAMBDA2, LAMBDA3], "descending λ2 > λ3");
+    assert_eq!(chain.consumer_count(), 2);
+    let diagram = chain.explain();
+    assert!(diagram.contains(&format!("[{}]", f.q2)), "Q2 taps directly: {diagram}");
+    assert!(diagram.contains(&format!("[{}⋉P]", f.q3)), "Q3 goes through P: {diagram}");
+
+    // The other three temp cells serve only Q2, with no P.
+    for (q, r) in [(1, 1), (2, 1), (1, 2)] {
+        let chain = f.fab.chain(paper_cell(q, r), TEMP).unwrap();
+        assert_eq!(chain.tap_rates(), vec![LAMBDA2]);
+        assert!(!chain.explain().contains('P'), "{}", chain.explain());
+    }
+}
+
+#[test]
+fn q1_footprint_is_the_l_shape() {
+    let f = build();
+    let plan = f.fab.query_plan(f.q1).unwrap();
+    assert_eq!(plan.cells.len(), 3);
+    assert!(plan.cells.iter().all(|(_, _, full)| *full), "Q1 perfectly overlaps its cells");
+    // The canonical L: [2,3)x[1,3) ∪ [1,2)x[2,3).
+    let expected = Region::from_disjoint(vec![
+        Rect::new(2.0, 1.0, 3.0, 3.0),
+        Rect::new(1.0, 2.0, 2.0, 3.0),
+    ]);
+    assert!(plan.footprint.covers_same_area(&expected), "{}", plan.footprint);
+    assert_eq!(plan.footprint.part_count(), 2, "an L cannot be one rectangle");
+}
+
+#[test]
+fn fabrication_respects_the_three_rates() {
+    let mut f = build();
+    let mut rng = seeded_rng(77);
+    // Feed abundant raw tuples for both attributes over the whole region,
+    // 5-minute epochs for 60 minutes.
+    let region = Rect::with_size(3.0, 3.0);
+    let raw = HomogeneousMdpp::new(20.0, region);
+    let mut next_id = 0u64;
+    for epoch in 0..12 {
+        let window = SpaceTimeWindow::new(region, epoch as f64 * 5.0, (epoch + 1) as f64 * 5.0);
+        let mut batch = Vec::new();
+        for attr in [RAIN, TEMP] {
+            for p in raw.sample(&window, &mut rng) {
+                batch.push(CrowdTuple {
+                    id: next_id,
+                    attr,
+                    point: p,
+                    value: AttrValue::Bool(true),
+                    sensor: SensorId(0),
+                });
+                next_id += 1;
+            }
+        }
+        f.fab.ingest_batch(&batch);
+    }
+
+    let minutes = 60.0;
+    for (qid, rate) in [(f.q1, LAMBDA1), (f.q2, LAMBDA2), (f.q3, LAMBDA3)] {
+        let area = f.fab.query_plan(qid).unwrap().footprint.area();
+        let out = f.fab.collect_output(qid).unwrap();
+        let achieved = out.len() as f64 / (area * minutes);
+        let rel = (achieved - rate).abs() / rate;
+        assert!(rel < 0.2, "{qid}: achieved {achieved:.3} vs requested {rate} (rel {rel:.3})");
+        // Outputs stay inside the query footprint and are time-ordered.
+        let plan = f.fab.query_plan(qid).unwrap();
+        for t in &out {
+            assert!(plan.footprint.contains(t.point.x, t.point.y));
+        }
+        for pair in out.windows(2) {
+            assert!(pair[0].point.t <= pair[1].point.t);
+        }
+    }
+}
+
+#[test]
+fn deleting_q1_removes_exactly_its_three_cells() {
+    let mut f = build();
+    f.fab.delete_query(f.q1).expect("Q1 standing");
+    // "…followed by the U-, T-, and F-operators associated with the regions
+    // R(2,3), R(3,2) and R(3,3). Finally, all the entries in the hashmap
+    // for these regions are removed."
+    assert_eq!(f.fab.materialized_cells(), 4);
+    for (q, r) in [(2, 3), (3, 2), (3, 3)] {
+        assert!(f.fab.chain(paper_cell(q, r), RAIN).is_none());
+    }
+    // The temp side is untouched.
+    for (q, r) in [(1, 1), (2, 1), (1, 2), (2, 2)] {
+        assert!(f.fab.chain(paper_cell(q, r), TEMP).is_some());
+    }
+}
+
+#[test]
+fn deleting_q3_merges_consecutive_thins() {
+    let mut f = build();
+    f.fab.delete_query(f.q3).expect("Q3 standing");
+    // "If two consecutive T-operators are created in this process, then
+    // they are merged to form a single T-operator."
+    let chain = f.fab.chain(paper_cell(2, 2), TEMP).unwrap();
+    assert_eq!(chain.tap_rates(), vec![LAMBDA2]);
+    assert_eq!(chain.consumer_count(), 1);
+    assert!(!chain.explain().contains('P'));
+}
+
+#[test]
+fn deleting_everything_empties_the_hashmap() {
+    let mut f = build();
+    f.fab.delete_query(f.q1).unwrap();
+    f.fab.delete_query(f.q2).unwrap();
+    f.fab.delete_query(f.q3).unwrap();
+    assert_eq!(f.fab.materialized_cells(), 0);
+    assert_eq!(f.fab.materialized_chains(), 0);
+    assert!(f.fab.query_ids().is_empty());
+}
+
+#[test]
+fn printed_plan_matches_figure_2b() {
+    let f = build();
+    let plan = f.fab.explain();
+    // Spot-check the printable topology against the figure's structure.
+    // (Our CellIds are 0-based: paper (2,2) prints as R(1,1).)
+    assert!(plan.contains("R(1,1) A<2>: F(λ̄=2.000) → T(→2.000)"), "{plan}");
+    assert!(plan.contains("T(→1.000)"), "{plan}");
+    assert!(plan.contains("R(1,2) A<1>: F(λ̄=4.000) → T(→4.000)"), "{plan}");
+}

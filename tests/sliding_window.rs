@@ -1,0 +1,77 @@
+//! The sliding-window flatten variant through the whole server stack.
+//!
+//! "The flattening operation can also be performed over sliding windows, as
+//! opposed to batches. This can be done using online parameter estimation
+//! algorithms like stochastic gradient descent" (§IV-B.1). These tests run
+//! the server with `EstimatorMode::Sgd` and the nonparametric histogram
+//! estimator, and check they deliver comparable streams to the batch-MLE
+//! default.
+
+use craqr::core::ops::EstimatorMode;
+use craqr::core::plan::PlannerConfig;
+use craqr::prelude::*;
+use craqr::sensing::fields::ConstantField;
+
+fn run_with(estimator: EstimatorMode, seed: u64) -> (usize, f64) {
+    let region = Rect::with_size(4.0, 4.0);
+    let crowd = Crowd::new(CrowdConfig {
+        region,
+        population: PopulationConfig {
+            size: 1_200,
+            placement: Placement::Hotspots { spots: vec![(1.0, 1.0, 6.0, 0.8)], floor: 1.0 },
+            mobility: Mobility::RandomWalk { sigma: 0.08 },
+            human_fraction: 0.0,
+        },
+        seed,
+    });
+    let mut server = CraqrServer::new(
+        crowd,
+        ServerConfig {
+            initial_budget: 40.0,
+            planner: PlannerConfig { estimator, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    server.register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(20.0))));
+    let qid = server.submit("ACQUIRE temp FROM RECT(0, 0, 4, 4) RATE 0.3").unwrap();
+
+    // Warm-up (budgets + online estimators), then measure.
+    for _ in 0..8 {
+        server.run_epoch();
+    }
+    server.take_output(qid);
+    let start = server.now();
+    for _ in 0..16 {
+        server.run_epoch();
+    }
+    let out = server.take_output(qid);
+    let minutes = server.now() - start;
+    (out.len(), out.len() as f64 / (16.0 * minutes))
+}
+
+#[test]
+fn sgd_sliding_window_delivers_the_requested_rate() {
+    let (n, rate) = run_with(EstimatorMode::Sgd(Default::default()), 51);
+    assert!(n > 100, "need a meaningful stream, got {n}");
+    assert!((rate - 0.3).abs() / 0.3 < 0.4, "sgd rate {rate} vs requested 0.3");
+}
+
+#[test]
+fn histogram_estimator_delivers_the_requested_rate() {
+    let (n, rate) = run_with(EstimatorMode::Histogram { bins: 3 }, 52);
+    assert!(n > 100, "need a meaningful stream, got {n}");
+    assert!((rate - 0.3).abs() / 0.3 < 0.4, "histogram rate {rate} vs requested 0.3");
+}
+
+#[test]
+fn estimator_modes_agree_with_batch_mle() {
+    let (_, mle) = run_with(EstimatorMode::BatchMle, 53);
+    let (_, sgd) = run_with(EstimatorMode::Sgd(Default::default()), 53);
+    let (_, hist) = run_with(EstimatorMode::Histogram { bins: 3 }, 53);
+    for (name, rate) in [("sgd", sgd), ("histogram", hist)] {
+        assert!(
+            (rate - mle).abs() / mle < 0.5,
+            "{name} rate {rate} too far from batch MLE {mle}"
+        );
+    }
+}
