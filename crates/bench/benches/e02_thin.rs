@@ -28,10 +28,13 @@ fn main() {
     let lambda1 = 8.0;
     let raw = HomogeneousMdpp::new(lambda1, cell).sample(&window, &mut seeded_rng(42));
     let input = tuples_from_points(&raw, AttributeId(0));
-    println!("input: {} tuples (empirical rate {:.3})", input.len(), window.empirical_rate(input.len()));
+    println!(
+        "input: {} tuples (empirical rate {:.3})",
+        input.len(),
+        window.empirical_rate(input.len())
+    );
 
-    let mut table =
-        Table::new(["λ2", "p=λ2/λ1", "kept", "achieved λ", "rel err", "χ² p", "KS p"]);
+    let mut table = Table::new(["λ2", "p=λ2/λ1", "kept", "achieved λ", "rel err", "χ² p", "KS p"]);
     for &lambda2 in &[8.0, 6.0, 4.0, 2.0, 1.0, 0.5, 0.1] {
         let mut op = ThinOp::new(lambda1, lambda2, 7);
         let mut em = Emitter::new(op.output_ports());

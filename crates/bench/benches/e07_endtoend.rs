@@ -65,14 +65,8 @@ fn main() {
     }
     let minutes = server.now() - start;
 
-    let mut table = Table::new([
-        "query",
-        "requested λ",
-        "tuples",
-        "achieved λ",
-        "rel err",
-        "stream CV",
-    ]);
+    let mut table =
+        Table::new(["query", "requested λ", "tuples", "achieved λ", "rel err", "stream CV"]);
     for (qid, name, _) in &queries {
         let plan = server.fabricator().query_plan(*qid).unwrap();
         let requested = plan.query.rate;

@@ -70,11 +70,7 @@ fn main() {
         let delete_us = t0.elapsed().as_secs_f64() * 1e6 / probes as f64;
 
         // Cost-model proxy: summed chain processing rates.
-        let model: f64 = fab
-            .flatten_reports()
-            .iter()
-            .map(|(_, _, _, f_rate)| *f_rate)
-            .sum();
+        let model: f64 = fab.flatten_reports().iter().map(|(_, _, _, f_rate)| *f_rate).sum();
 
         table.row([
             n.to_string(),

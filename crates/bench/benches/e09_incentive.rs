@@ -66,8 +66,11 @@ fn main() {
                 ..Default::default()
             },
         );
-        let attr = server
-            .register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(1.0))));
+        let attr = server.register_attribute(
+            "temp",
+            false,
+            Box::new(ConstantField(AttrValue::Float(1.0))),
+        );
         let qid = server.submit("ACQUIRE temp FROM RECT(0, 0, 2, 2) RATE 1.0").unwrap();
 
         // Warm-up (incentive escalation needs a few exhausted epochs), then
@@ -95,11 +98,9 @@ fn main() {
         let achieved = out.len() as f64 / (4.0 * minutes);
         // Mean incentive across all materialized cells.
         let demands = server.fabricator().demands();
-        let mean_incentive: f64 = demands
-            .iter()
-            .map(|(c, a, _)| server.handler().incentive_of(*c, *a))
-            .sum::<f64>()
-            / demands.len().max(1) as f64;
+        let mean_incentive: f64 =
+            demands.iter().map(|(c, a, _)| server.handler().incentive_of(*c, *a)).sum::<f64>()
+                / demands.len().max(1) as f64;
 
         table.row([
             f3(step),

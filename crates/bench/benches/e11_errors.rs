@@ -12,9 +12,7 @@ use craqr_bench::{f3, preamble, Table};
 use craqr_core::{CraqrServer, ErrorModel, Mitigation, ServerConfig};
 use craqr_geom::Rect;
 use craqr_sensing::fields::ConstantField;
-use craqr_sensing::{
-    AttrValue, Crowd, CrowdConfig, Mobility, Placement, PopulationConfig,
-};
+use craqr_sensing::{AttrValue, Crowd, CrowdConfig, Mobility, Placement, PopulationConfig};
 
 fn crowd(seed: u64) -> Crowd {
     let region = Rect::with_size(4.0, 4.0);
@@ -56,10 +54,7 @@ fn run(gps_sigma: f64, value_sigma: f64, mitigation: Mitigation) -> (f64, f64, u
     let rmse = if out.is_empty() {
         f64::NAN
     } else {
-        (out.iter()
-            .filter_map(|t| t.value.as_float())
-            .map(|v| (v - 20.0).powi(2))
-            .sum::<f64>()
+        (out.iter().filter_map(|t| t.value.as_float()).map(|v| (v - 20.0).powi(2)).sum::<f64>()
             / out.len() as f64)
             .sqrt()
     };

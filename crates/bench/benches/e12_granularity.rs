@@ -71,18 +71,14 @@ fn main() {
             // Carving efficiency: wanted area / area of all touched cells.
             // The flatten stage acquires per *cell*, so untouched parts of
             // partial cells are acquisition the query did not need.
-            let touched: f64 = plan
-                .cells
-                .iter()
-                .map(|(cell, _, _)| fab.grid().cell_rect(*cell).area())
-                .sum();
+            let touched: f64 =
+                plan.cells.iter().map(|(cell, _, _)| fab.grid().cell_rect(*cell).area()).sum();
             (partial, touched, plan.footprint.area())
         };
         let efficiency = footprint_area / touched_area;
 
         // Drive a skewed raw stream and measure the delivered rate.
-        let process =
-            InhomogeneousMdpp::new(LinearIntensity::new([2.0, 0.0, 0.5, 0.25]), region);
+        let process = InhomogeneousMdpp::new(LinearIntensity::new([2.0, 0.0, 0.5, 0.25]), region);
         let mut rng = seeded_rng(12);
         let mut id = 0;
         let mut delivered = 0usize;

@@ -1,0 +1,225 @@
+//! E13 — sharded epoch executor scaling on a multi-cell workload.
+//!
+//! Claim under test: per-cell topologies share nothing, so partitioning
+//! the materialized chains over a worker pool scales the process phase
+//! with the shard count while staying bit-identical to serial execution
+//! (the `tests/sharded_exec.rs` determinism contract).
+//!
+//! Workload: an 8×8 grid (64 materialized chains), three standing
+//! whole-region queries at descending rates (so every cell runs
+//! `F → T → T → T`), fed by a hotspot-skewed inhomogeneous stream — the
+//! skew is what makes round-robin shard balance non-trivial. The same
+//! pre-generated batches drive every mode.
+//!
+//! Two metrics per mode:
+//!
+//! - **wall**: end-to-end epoch wall-clock on *this* host. Parallel gains
+//!   appear only when the host has idle cores (single-core CI boxes show
+//!   ≈1×: Amdahl, not a regression).
+//! - **critical path**: the busiest shard's processing time, measured
+//!   inside the executor — the epoch time a host with ≥ shards idle cores
+//!   would observe. `work / critical-path` is the scheduling-quality
+//!   speedup the shard plan achieves; this is the acceptance metric for
+//!   shard scaling because it is host-independent.
+//!
+//! Writes `BENCH_parallel.json` at the repo root with both metrics for
+//! 1/2/4 shards. Run with `--test` for a one-epoch smoke pass.
+
+use craqr_bench::{f3, preamble, synth_batch, Table};
+use craqr_core::exec::ExecMode;
+use craqr_core::plan::PlannerConfig;
+use craqr_core::{AcquisitionQuery, CrowdTuple, Fabricator};
+use craqr_geom::{Rect, SpaceTimeWindow};
+use craqr_mdpp::intensity::{Bump, GaussianBumpIntensity, IntegralCache};
+use craqr_mdpp::process::InhomogeneousMdpp;
+use craqr_sensing::AttributeId;
+use craqr_stats::seeded_rng;
+use std::time::Instant;
+
+const ATTR: AttributeId = AttributeId(0);
+const REGION_KM: f64 = 8.0;
+const GRID_SIDE: u32 = 8;
+const BATCH_MINUTES: f64 = 5.0;
+
+fn region() -> Rect {
+    Rect::with_size(REGION_KM, REGION_KM)
+}
+
+fn fabricator(seed: u64) -> Fabricator {
+    let mut fab = Fabricator::new(
+        region(),
+        PlannerConfig {
+            grid_side: GRID_SIDE,
+            batch_duration: BATCH_MINUTES,
+            seed,
+            ..Default::default()
+        },
+    );
+    for rate in [2.0, 1.0, 0.5] {
+        fab.insert_query(AcquisitionQuery::new(ATTR, region(), rate)).unwrap();
+    }
+    fab
+}
+
+/// Pre-generates every epoch's raw batch from a hotspot-skewed process,
+/// sizing expectations through the integral cache (the bump intensity has
+/// no closed-form integral; without the cache each epoch would re-run
+/// 32³-probe quadrature for the same sliding window).
+fn make_batches(epochs: usize) -> (Vec<Vec<CrowdTuple>>, f64, (u64, u64)) {
+    let truth = GaussianBumpIntensity::new(
+        12.0,
+        vec![
+            Bump { cx: 2.0, cy: 2.0, amplitude: 80.0, sigma: 1.1 },
+            Bump { cx: 6.5, cy: 5.5, amplitude: 50.0, sigma: 0.9 },
+        ],
+    );
+    let process = InhomogeneousMdpp::new(truth, region());
+    let mut rng = seeded_rng(501);
+    let mut cache = IntegralCache::new();
+    let mut expected = 0.0;
+    let mut batches = Vec::with_capacity(epochs);
+    let mut id_base = 0u64;
+    for e in 0..epochs {
+        let w = SpaceTimeWindow::new(
+            region(),
+            e as f64 * BATCH_MINUTES,
+            (e + 1) as f64 * BATCH_MINUTES,
+        );
+        expected += process.expected_count_cached(&w, &mut cache, 0);
+        let batch = synth_batch(&process, &w, ATTR, id_base, &mut rng);
+        id_base += batch.len() as u64;
+        batches.push(batch);
+    }
+    (batches, expected / epochs as f64, cache.stats())
+}
+
+struct ModeResult {
+    label: String,
+    shards: usize,
+    wall_s: f64,
+    work_s: f64,
+    critical_path_s: f64,
+    delivered: usize,
+    first_ids: Vec<u64>,
+}
+
+/// Drives every pre-generated batch through a fresh fabricator under one
+/// execution mode, returning wall/work/critical-path times and the
+/// delivered stream fingerprint (for cross-mode identity checks).
+fn run_mode(label: &str, mode: ExecMode, batches: &[Vec<CrowdTuple>]) -> ModeResult {
+    let mut fab = fabricator(9);
+    let mut work_ns = 0u64;
+    let mut critical_ns = 0u64;
+    let mut delivered = Vec::new();
+    let started = Instant::now();
+    for batch in batches {
+        let report = fab.ingest_batch_mode(batch, mode);
+        work_ns += report.work_ns();
+        critical_ns += report.critical_path_ns();
+        for qid in fab.query_ids() {
+            delivered.extend(fab.collect_output(qid).unwrap());
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    ModeResult {
+        label: label.to_string(),
+        shards: mode.shards(),
+        wall_s,
+        work_s: work_ns as f64 / 1e9,
+        critical_path_s: critical_ns as f64 / 1e9,
+        delivered: delivered.len(),
+        first_ids: delivered.iter().take(64).map(|t| t.id).collect(),
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let epochs = if test_mode { 2 } else { 12 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    preamble(
+        "E13 (sharded epoch executor)",
+        "share-nothing per-cell chains scale with the shard count; serial and sharded runs are bit-identical",
+        "8×8 grid, 64 F→T→T→T chains, hotspot-skewed stream, identical batches per mode",
+    );
+
+    let (batches, expected_per_epoch, (cache_hits, cache_misses)) = make_batches(epochs);
+    let mean_batch = batches.iter().map(Vec::len).sum::<usize>() as f64 / epochs as f64;
+    println!(
+        "\n{epochs} epochs, mean batch {mean_batch:.0} tuples (expected {expected_per_epoch:.0}); \
+         integral cache {cache_hits} hits / {cache_misses} misses; host cpus {host_cpus}"
+    );
+
+    let modes = [
+        ("serial", ExecMode::Serial),
+        ("sharded(1)", ExecMode::Sharded(1)),
+        ("sharded(2)", ExecMode::Sharded(2)),
+        ("sharded(4)", ExecMode::Sharded(4)),
+    ];
+    let results: Vec<ModeResult> =
+        modes.iter().map(|(label, mode)| run_mode(label, *mode, &batches)).collect();
+
+    // Cross-mode identity: every mode fabricates the same stream.
+    let serial = &results[0];
+    for r in &results[1..] {
+        assert_eq!(r.delivered, serial.delivered, "{}: delivered count diverged", r.label);
+        assert_eq!(r.first_ids, serial.first_ids, "{}: stream contents diverged", r.label);
+    }
+
+    let mut table =
+        Table::new(["mode", "wall s", "work s", "crit-path s", "wall ×", "crit-path ×"]);
+    let base_wall = serial.wall_s;
+    let base_crit = serial.critical_path_s;
+    for r in &results {
+        table.row([
+            r.label.clone(),
+            f3(r.wall_s),
+            f3(r.work_s),
+            f3(r.critical_path_s),
+            f3(base_wall / r.wall_s),
+            f3(base_crit / r.critical_path_s),
+        ]);
+    }
+    table.print("E13: epoch executor scaling (identical outputs verified)");
+    println!(
+        "\ncrit-path × is host-independent shard-plan quality (work / busiest shard); \
+         wall × needs ≥ shards idle cores to materialize."
+    );
+
+    // Emit BENCH_parallel.json at the repo root.
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"wall_s\": {:.6}, \"work_s\": {:.6}, \
+             \"critical_path_s\": {:.6}, \"epochs_per_s_wall\": {:.3}, \
+             \"epochs_per_s_critical_path\": {:.3}, \"wall_speedup\": {:.3}, \
+             \"critical_path_speedup\": {:.3}, \"delivered\": {}}}",
+            r.label,
+            r.shards,
+            r.wall_s,
+            r.work_s,
+            r.critical_path_s,
+            epochs as f64 / r.wall_s,
+            epochs as f64 / r.critical_path_s.max(1e-12),
+            base_wall / r.wall_s,
+            base_crit / r.critical_path_s.max(1e-12),
+            r.delivered,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"e13_parallel\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"epochs\": {epochs},\n  \"cells\": {},\n  \"chains\": {},\n  \
+         \"mean_batch_tuples\": {mean_batch:.1},\n  \
+         \"integral_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n  \
+         \"note\": \"critical_path metrics are host-independent (busiest-shard time); wall metrics depend on idle cores\",\n  \
+         \"modes\": [\n{rows}\n  ]\n}}\n",
+        (GRID_SIDE * GRID_SIDE),
+        (GRID_SIDE * GRID_SIDE),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("\nwrote {path}");
+}

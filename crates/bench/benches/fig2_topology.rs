@@ -34,7 +34,12 @@ fn main() {
 
     let mut fab = Fabricator::new(
         Rect::with_size(3.0, 3.0),
-        PlannerConfig { grid_side: 3, batch_duration: 5.0, enforce_min_area: false, ..Default::default() },
+        PlannerConfig {
+            grid_side: 3,
+            batch_duration: 5.0,
+            enforce_min_area: false,
+            ..Default::default()
+        },
     );
 
     let q1 = fab
@@ -43,9 +48,8 @@ fn main() {
             &[paper_cell_rect(2, 3), paper_cell_rect(3, 2), paper_cell_rect(3, 3)],
         )
         .unwrap();
-    let q2 = fab
-        .insert_query(AcquisitionQuery::new(TEMP, Rect::new(0.0, 0.0, 2.0, 2.0), 2.0))
-        .unwrap();
+    let q2 =
+        fab.insert_query(AcquisitionQuery::new(TEMP, Rect::new(0.0, 0.0, 2.0, 2.0), 2.0)).unwrap();
     let q3 = fab
         .insert_query(AcquisitionQuery::new(TEMP, Rect::new(1.25, 1.25, 1.9, 1.9), 1.0))
         .unwrap();
@@ -59,8 +63,7 @@ fn main() {
     let mut rng = seeded_rng(7);
     let mut id = 0;
     for attr in [RAIN, TEMP] {
-        let process =
-            InhomogeneousMdpp::new(LinearIntensity::new([6.0, 0.0, 2.0, 1.0]), region);
+        let process = InhomogeneousMdpp::new(LinearIntensity::new([6.0, 0.0, 2.0, 1.0]), region);
         for e in 0..12 {
             let w = SpaceTimeWindow::new(region, e as f64 * 5.0, (e + 1) as f64 * 5.0);
             let batch = synth_batch(&process, &w, attr, id, &mut rng);

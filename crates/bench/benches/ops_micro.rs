@@ -95,10 +95,8 @@ fn bench_ops(c: &mut Criterion) {
     });
 
     g.bench_function("union2_10k", |b| {
-        let mut op = UnionOp::nary(vec![
-            Rect::new(0.0, 0.0, 5.0, 10.0),
-            Rect::new(5.0, 0.0, 10.0, 10.0),
-        ]);
+        let mut op =
+            UnionOp::nary(vec![Rect::new(0.0, 0.0, 5.0, 10.0), Rect::new(5.0, 0.0, 10.0, 10.0)]);
         let ports = op.output_ports();
         b.iter_batched(
             || Emitter::new(ports),

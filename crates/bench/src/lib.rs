@@ -42,11 +42,8 @@ impl Table {
         }
         println!("\n### {title}\n");
         let fmt_row = |cells: &[String]| {
-            let body: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let body: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             format!("| {} |", body.join(" | "))
         };
         println!("{}", fmt_row(&self.headers));

@@ -84,10 +84,7 @@ impl BudgetTuner {
     /// Panics when `nv_percent` is outside `[0, 100]`.
     #[track_caller]
     pub fn tune(&self, budget: &mut Budget, nv_percent: f64) -> TuneOutcome {
-        assert!(
-            (0.0..=100.0).contains(&nv_percent),
-            "N_v must be a percentage, got {nv_percent}"
-        );
+        assert!((0.0..=100.0).contains(&nv_percent), "N_v must be a percentage, got {nv_percent}");
         if nv_percent > self.nv_threshold {
             if budget.requests_per_epoch >= self.max_budget {
                 budget.requests_per_epoch = self.max_budget;

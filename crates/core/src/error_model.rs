@@ -101,7 +101,11 @@ impl Mitigation {
 
     /// Filters/repairs a batch against the region, returning survivors and
     /// the number rejected.
-    pub fn apply(&self, mut responses: Vec<SensorResponse>, region: &Rect) -> (Vec<SensorResponse>, usize) {
+    pub fn apply(
+        &self,
+        mut responses: Vec<SensorResponse>,
+        region: &Rect,
+    ) -> (Vec<SensorResponse>, usize) {
         let before = responses.len();
 
         // Spatial repair/rejection.
@@ -275,8 +279,9 @@ mod tests {
     fn outlier_filter_drops_glitches() {
         let region = Rect::with_size(10.0, 10.0);
         let mit = Mitigation::standard();
-        let mut batch: Vec<SensorResponse> =
-            (0..20).map(|i| response(5.0, 5.0, AttrValue::Float(20.0 + (i % 5) as f64 * 0.1))).collect();
+        let mut batch: Vec<SensorResponse> = (0..20)
+            .map(|i| response(5.0, 5.0, AttrValue::Float(20.0 + (i % 5) as f64 * 0.1)))
+            .collect();
         batch.push(response(5.0, 5.0, AttrValue::Float(500.0)));
         let (kept, rejected) = mit.apply(batch, &region);
         assert_eq!(rejected, 1);

@@ -96,8 +96,7 @@ impl RequestResponseHandler {
             if n == 0 {
                 continue;
             }
-            let incentive =
-                self.incentives.entry(key).or_default().current(&self.incentive_policy);
+            let incentive = self.incentives.entry(key).or_default().current(&self.incentive_policy);
             let rect = grid.cell_rect(*cell);
             let sent = crowd.dispatch_requests(*attr, &rect, n, incentive);
             stats.requested += n as u64;
@@ -173,9 +172,7 @@ impl RequestResponseHandler {
 mod tests {
     use super::*;
     use craqr_geom::Rect;
-    use craqr_sensing::{
-        AttrValue, CrowdConfig, Mobility, Placement, PopulationConfig,
-    };
+    use craqr_sensing::{AttrValue, CrowdConfig, Mobility, Placement, PopulationConfig};
 
     fn crowd() -> Crowd {
         let region = Rect::with_size(4.0, 4.0);

@@ -42,6 +42,7 @@
 
 pub mod budget;
 pub mod error_model;
+pub mod exec;
 pub mod handler;
 pub mod incentive;
 pub mod ops;
@@ -53,6 +54,7 @@ pub mod tuple;
 
 pub use budget::{Budget, BudgetTuner};
 pub use error_model::{ErrorModel, Mitigation};
+pub use exec::{ExecMode, IngestReport, ShardIngest};
 pub use handler::RequestResponseHandler;
 pub use incentive::IncentivePolicy;
 pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp};

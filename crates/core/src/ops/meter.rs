@@ -71,7 +71,7 @@ impl Operator<CrowdTuple> for RateMeterOp {
                 self.last_t = Some(time);
             }
         }
-        out.emit_batch(OutputPort(0), batch.to_vec());
+        out.emit_batch(OutputPort(0), batch.iter().copied());
     }
 }
 

@@ -102,10 +102,8 @@ mod tests {
 
     #[test]
     fn routes_tuples_to_owning_region() {
-        let mut op = PartitionOp::binary(
-            Rect::new(0.0, 0.0, 1.0, 1.0),
-            Rect::new(1.0, 0.0, 2.0, 1.0),
-        );
+        let mut op =
+            PartitionOp::binary(Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(1.0, 0.0, 2.0, 1.0));
         let batch = vec![tuple_at(0.5, 0.5), tuple_at(1.5, 0.5), tuple_at(0.2, 0.9)];
         let out = run(&mut op, &batch);
         assert_eq!(out[0].len(), 2);
@@ -137,10 +135,8 @@ mod tests {
     #[test]
     fn rate_preservation_within_region() {
         // Partitioning must not drop or duplicate tuples inside the regions.
-        let mut op = PartitionOp::binary(
-            Rect::new(0.0, 0.0, 1.0, 2.0),
-            Rect::new(1.0, 0.0, 2.0, 2.0),
-        );
+        let mut op =
+            PartitionOp::binary(Rect::new(0.0, 0.0, 1.0, 2.0), Rect::new(1.0, 0.0, 2.0, 2.0));
         let batch: Vec<CrowdTuple> =
             (0..1000).map(|i| tuple_at((i % 20) as f64 * 0.1, (i % 7) as f64 * 0.25)).collect();
         let out = run(&mut op, &batch);
@@ -150,10 +146,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn overlapping_regions_rejected() {
-        let _ = PartitionOp::binary(
-            Rect::new(0.0, 0.0, 2.0, 2.0),
-            Rect::new(1.0, 1.0, 3.0, 3.0),
-        );
+        let _ = PartitionOp::binary(Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(1.0, 1.0, 3.0, 3.0));
     }
 
     #[test]

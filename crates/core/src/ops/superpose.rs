@@ -64,7 +64,7 @@ impl Operator<CrowdTuple> for SuperposeOp {
 
     fn process(&mut self, port: InputPort, batch: &[CrowdTuple], out: &mut Emitter<CrowdTuple>) {
         debug_assert!((port.0 as usize) < self.input_ports, "undeclared port {port:?}");
-        out.emit_batch(OutputPort(0), batch.to_vec());
+        out.emit_batch(OutputPort(0), batch.iter().copied());
     }
 }
 

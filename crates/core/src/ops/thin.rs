@@ -112,7 +112,7 @@ impl Operator<CrowdTuple> for ThinOp {
         self.seen += batch.len() as u64;
         if p >= 1.0 {
             self.kept += batch.len() as u64;
-            out.emit_batch(OutputPort(0), batch.to_vec());
+            out.emit_batch(OutputPort(0), batch.iter().copied());
             return;
         }
         for tuple in batch {

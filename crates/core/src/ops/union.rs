@@ -97,7 +97,7 @@ impl Operator<CrowdTuple> for UnionOp {
                 );
             }
         }
-        out.emit_batch(OutputPort(0), batch.to_vec());
+        out.emit_batch(OutputPort(0), batch.iter().copied());
     }
 }
 
@@ -133,10 +133,7 @@ mod tests {
 
     #[test]
     fn nary_union_accepts_l_shape() {
-        let op = UnionOp::nary(vec![
-            Rect::new(0.0, 0.0, 2.0, 1.0),
-            Rect::new(0.0, 1.0, 1.0, 2.0),
-        ]);
+        let op = UnionOp::nary(vec![Rect::new(0.0, 0.0, 2.0, 1.0), Rect::new(0.0, 1.0, 1.0, 2.0)]);
         assert!(!op.is_rectangular());
         assert!((op.output_region().area() - 3.0).abs() < 1e-12);
     }

@@ -56,7 +56,12 @@ pub fn naive_processing_rate(raw_rate: f64, rates: &[f64]) -> f64 {
 
 /// Shared-topology total: one F pass over the raw stream plus the
 /// shape-dependent `T` costs.
-pub fn shared_processing_rate(raw_rate: f64, f_rate: f64, rates: &[f64], shape: TopologyShape) -> f64 {
+pub fn shared_processing_rate(
+    raw_rate: f64,
+    f_rate: f64,
+    rates: &[f64],
+    shape: TopologyShape,
+) -> f64 {
     let t_cost = match shape {
         TopologyShape::Chain => chain_processing_rate(f_rate, rates),
         TopologyShape::Star => star_processing_rate(f_rate, rates),
@@ -113,7 +118,11 @@ pub fn choose_shape(f_rate: f64, rates: &[f64], depth_weight: f64) -> ShapeChoic
     let star_cost = star_processing_rate(f_rate, rates)
         + depth_weight * pipeline_depth(TopologyShape::Star, 0) as f64;
     ShapeChoice {
-        shape: if chain_cost <= star_cost { TopologyShapeTag::Chain } else { TopologyShapeTag::Star },
+        shape: if chain_cost <= star_cost {
+            TopologyShapeTag::Chain
+        } else {
+            TopologyShapeTag::Star
+        },
         chain_cost,
         star_cost,
     }

@@ -359,9 +359,12 @@ impl AttrChain {
                     let downstream: Option<NodeId> = self.taps.get(pos).map(|t| t.thin);
                     self.topo.remove_node(tap.thin);
                     if let Some(down) = downstream {
-                        let upstream =
-                            if pos == 0 { self.f_node } else { self.taps[pos - 1].thin };
-                        self.topo.connect(upstream, OutputPort(0), Target::Node(down, InputPort(0)));
+                        let upstream = if pos == 0 { self.f_node } else { self.taps[pos - 1].thin };
+                        self.topo.connect(
+                            upstream,
+                            OutputPort(0),
+                            Target::Node(down, InputPort(0)),
+                        );
                     }
                     self.refresh_tap_inputs();
                 }
@@ -621,15 +624,8 @@ mod tests {
 
     #[test]
     fn star_shape_taps_hang_off_f() {
-        let mut c = AttrChain::new(
-            cell(),
-            10.0,
-            1.0,
-            1.0,
-            EstimatorMode::BatchMle,
-            TopologyShape::Star,
-            7,
-        );
+        let mut c =
+            AttrChain::new(cell(), 10.0, 1.0, 1.0, EstimatorMode::BatchMle, TopologyShape::Star, 7);
         c.insert_consumer(QueryId(1), 4.0, cell(), true);
         c.insert_consumer(QueryId(2), 1.0, cell(), true);
         c.assert_invariants();

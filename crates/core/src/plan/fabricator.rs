@@ -3,6 +3,7 @@
 
 use super::chain::AttrChain;
 use super::PlannerConfig;
+use crate::exec::{shard_of, ExecMode, IngestReport, ShardIngest};
 use crate::ops::FlattenReport;
 use crate::query::{AcquisitionQuery, QueryId};
 use crate::tuple::CrowdTuple;
@@ -45,6 +46,10 @@ impl fmt::Display for PlanError {
 }
 
 impl std::error::Error for PlanError {}
+
+/// One shard's work list: each chain paired with its routed batch
+/// (`None` = the chain starved this epoch).
+type ShardJob<'a> = Vec<(&'a mut AttrChain, Option<Vec<CrowdTuple>>)>;
 
 /// A standing query's placement: which cells it taps and how its per-cell
 /// pieces merge back together.
@@ -157,12 +162,8 @@ impl Fabricator {
             let cell_rect = self.grid.cell_rect(o.cell);
             // "If the key is absent, it is created and a F-operator is
             // added to it."
-            let chain = self
-                .cells
-                .entry(o.cell)
-                .or_default()
-                .entry(query.attr)
-                .or_insert_with(|| {
+            let chain =
+                self.cells.entry(o.cell).or_default().entry(query.attr).or_insert_with(|| {
                     AttrChain::new(
                         cell_rect,
                         self.config.batch_duration,
@@ -260,93 +261,117 @@ impl Fabricator {
     }
 
     /// **map + process**: routes one ingestion batch to the per-cell
-    /// chains and runs them.
+    /// chains and runs them serially, in sorted key order.
     pub fn ingest_batch(&mut self, tuples: &[CrowdTuple]) {
-        // map: group by (cell, attr). Tuples in unmaterialized cells drop.
-        let mut groups: HashMap<(CellId, AttributeId), Vec<CrowdTuple>> = HashMap::new();
-        for t in tuples {
-            match self.grid.cell_of(t.point.x, t.point.y) {
-                Some(cell)
-                    if self
-                        .cells
-                        .get(&cell)
-                        .is_some_and(|chains| chains.contains_key(&t.attr)) =>
-                {
-                    groups.entry((cell, t.attr)).or_default().push(*t);
-                }
-                _ => self.dropped_unmaterialized += 1,
-            }
-        }
-        // process: deterministic order for reproducibility. Materialized
-        // chains that received nothing this batch record a starvation epoch
-        // so their N_v telemetry never goes stale.
-        let mut keys: Vec<(CellId, AttributeId)> = self
-            .cells
-            .iter()
-            .flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a)))
-            .collect();
-        keys.sort();
-        for key in keys {
-            let chain = self
-                .cells
-                .get_mut(&key.0)
-                .and_then(|c| c.get_mut(&key.1))
-                .expect("key enumerated from cells");
-            match groups.remove(&key) {
-                Some(batch) => chain.process_batch(batch),
-                None => chain.record_starved_epoch(),
-            }
-        }
+        self.ingest_batch_mode(tuples, ExecMode::Serial);
     }
 
-    /// **map + process** with per-cell parallelism.
+    /// **map + process** with per-cell parallelism over `threads` shards.
     ///
-    /// Per-cell chains share nothing (their RNG streams, estimators and
-    /// sinks are all chain-local), so they can run on separate threads; the
-    /// result is bit-identical to [`Fabricator::ingest_batch`] regardless
-    /// of scheduling. Worth it only when many cells are materialized and
-    /// batches are large — see the `ops_micro` bench group.
+    /// Kept as a convenience alias for
+    /// `ingest_batch_mode(…, ExecMode::Sharded(threads))`.
     ///
     /// # Panics
     /// Panics when `threads == 0`.
+    #[track_caller]
     pub fn ingest_batch_parallel(&mut self, tuples: &[CrowdTuple], threads: usize) {
         assert!(threads > 0, "need at least one thread");
+        self.ingest_batch_mode(tuples, ExecMode::Sharded(threads));
+    }
+
+    /// **map + process** under an explicit [`ExecMode`].
+    ///
+    /// The map phase (tuple → chain routing) always runs on the calling
+    /// thread. Under [`ExecMode::Sharded`] the process phase partitions
+    /// the sorted chain list round-robin into shards and runs each shard
+    /// on a scoped worker thread. Chains share nothing (their RNG streams,
+    /// estimators, and sinks are all chain-local, seeded from the planner's
+    /// root seed), so the result is **bit-identical** to
+    /// [`ExecMode::Serial`] regardless of scheduling — see the determinism
+    /// contract on [`crate::exec`].
+    ///
+    /// Materialized chains that received nothing this batch record a
+    /// starvation epoch so their `N_v` telemetry never goes stale.
+    ///
+    /// # Panics
+    /// Panics on `Sharded(0)`.
+    #[track_caller]
+    pub fn ingest_batch_mode(&mut self, tuples: &[CrowdTuple], mode: ExecMode) -> IngestReport {
+        let shards = mode.shards();
+        // map: group by (cell, attr). Tuples in unmaterialized cells drop.
         let mut groups: HashMap<(CellId, AttributeId), Vec<CrowdTuple>> = HashMap::new();
+        let mut dropped_now = 0usize;
         for t in tuples {
             match self.grid.cell_of(t.point.x, t.point.y) {
                 Some(cell)
-                    if self
-                        .cells
-                        .get(&cell)
-                        .is_some_and(|chains| chains.contains_key(&t.attr)) =>
+                    if self.cells.get(&cell).is_some_and(|chains| chains.contains_key(&t.attr)) =>
                 {
                     groups.entry((cell, t.attr)).or_default().push(*t);
                 }
-                _ => self.dropped_unmaterialized += 1,
+                _ => dropped_now += 1,
             }
         }
-        let mut jobs: Vec<(&mut AttrChain, Option<Vec<CrowdTuple>>)> = Vec::new();
-        for (cell, chains) in self.cells.iter_mut() {
-            for (attr, chain) in chains.iter_mut() {
-                jobs.push((chain, groups.remove(&(*cell, *attr))));
-            }
-        }
+        self.dropped_unmaterialized += dropped_now as u64;
+
+        // Sorted chain list: the canonical execution order. Workers only
+        // ever see disjoint sub-lists of it.
+        let mut jobs: Vec<((CellId, AttributeId), &mut AttrChain)> = self
+            .cells
+            .iter_mut()
+            .flat_map(|(c, chains)| chains.iter_mut().map(|(a, chain)| ((*c, *a), chain)))
+            .collect();
+        jobs.sort_by_key(|(key, _)| *key);
         if jobs.is_empty() {
-            return;
+            return IngestReport::merge(dropped_now, Vec::new());
         }
-        let chunk = jobs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for piece in jobs.chunks_mut(chunk) {
-                scope.spawn(move || {
-                    for (chain, batch) in piece.iter_mut() {
-                        match batch.take() {
-                            Some(b) => chain.process_batch(b),
-                            None => chain.record_starved_epoch(),
-                        }
+
+        // Deterministic round-robin shard assignment over sorted keys.
+        let mut shard_jobs: Vec<ShardJob<'_>> = (0..shards).map(|_| Vec::new()).collect();
+        for (idx, (key, chain)) in jobs.into_iter().enumerate() {
+            shard_jobs[shard_of(idx, shards)].push((chain, groups.remove(&key)));
+        }
+
+        let run_shard = |shard_list: &mut ShardJob<'_>| {
+            let mut stat_tuples = 0usize;
+            for (chain, batch) in shard_list.iter_mut() {
+                match batch.take() {
+                    Some(b) => {
+                        stat_tuples += b.len();
+                        chain.process_batch(b);
                     }
-                });
+                    None => chain.record_starved_epoch(),
+                }
             }
-        });
+            stat_tuples
+        };
+
+        let timed_run = |list: &mut ShardJob<'_>, shard: usize| {
+            let chains = list.len();
+            let started = crate::exec::thread_busy_ns();
+            let tuples = run_shard(list);
+            let busy_ns = crate::exec::thread_busy_ns().saturating_sub(started);
+            ShardIngest { shard, chains, tuples, busy_ns }
+        };
+
+        let stats: Vec<ShardIngest> = match mode {
+            ExecMode::Serial => {
+                let mut list = shard_jobs.pop().expect("one shard");
+                vec![timed_run(&mut list, 0)]
+            }
+            ExecMode::Sharded(_) => std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_jobs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, mut list)| {
+                        let run = &timed_run;
+                        scope.spawn(move || run(&mut list, shard))
+                    })
+                    .collect();
+                // Joining in spawn order keeps the merged stats ascending.
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            }),
+        };
+        IngestReport::merge(dropped_now, stats)
     }
 
     /// **merge**: drains a query's per-cell sinks through its `U`-operator
@@ -374,22 +399,15 @@ impl Fabricator {
     /// Total tuples processed across every chain (the work measure of the
     /// multi-query sharing experiments).
     pub fn tuples_processed(&self) -> u64 {
-        self.cells
-            .values()
-            .flat_map(HashMap::values)
-            .map(AttrChain::tuples_processed)
-            .sum()
+        self.cells.values().flat_map(HashMap::values).map(AttrChain::tuples_processed).sum()
     }
 
     /// Renders every materialized chain, sorted by cell then attribute —
     /// the textual form of Fig. 2(b).
     pub fn explain(&self) -> String {
         use std::fmt::Write;
-        let mut keys: Vec<(CellId, AttributeId)> = self
-            .cells
-            .iter()
-            .flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a)))
-            .collect();
+        let mut keys: Vec<(CellId, AttributeId)> =
+            self.cells.iter().flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a))).collect();
         keys.sort();
         let mut s = String::new();
         for (cell, attr) in keys {
@@ -407,15 +425,13 @@ impl Fabricator {
     /// Graphviz rendering of every materialized chain, one `digraph` per
     /// (cell, attribute).
     pub fn explain_dot(&self) -> String {
-        let mut keys: Vec<(CellId, AttributeId)> = self
-            .cells
-            .iter()
-            .flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a)))
-            .collect();
+        let mut keys: Vec<(CellId, AttributeId)> =
+            self.cells.iter().flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a))).collect();
         keys.sort();
         keys.iter()
             .map(|(cell, attr)| {
-                self.cells[cell][attr].to_dot(&format!("cell_{}_{}_attr_{}", cell.q, cell.r, attr.0))
+                self.cells[cell][attr]
+                    .to_dot(&format!("cell_{}_{}_attr_{}", cell.q, cell.r, attr.0))
             })
             .collect::<Vec<_>>()
             .join("\n")

@@ -27,10 +27,7 @@ impl AttributeCatalog {
     #[track_caller]
     pub fn register(&mut self, name: &str, human_sensed: bool) -> AttributeId {
         assert!(!name.is_empty(), "attribute name must not be empty");
-        assert!(
-            !self.by_name.contains_key(name),
-            "attribute '{name}' already registered"
-        );
+        assert!(!self.by_name.contains_key(name), "attribute '{name}' already registered");
         let id = AttributeId(self.names.len() as u16);
         self.names.push((name.to_string(), human_sensed));
         self.by_name.insert(name.to_string(), id);
@@ -64,10 +61,7 @@ impl AttributeCatalog {
 
     /// Iterates `(id, name, human_sensed)`.
     pub fn iter(&self) -> impl Iterator<Item = (AttributeId, &str, bool)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, (n, h))| (AttributeId(i as u16), n.as_str(), *h))
+        self.names.iter().enumerate().map(|(i, (n, h))| (AttributeId(i as u16), n.as_str(), *h))
     }
 }
 

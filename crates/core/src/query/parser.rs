@@ -119,7 +119,10 @@ impl Cursor {
 }
 
 /// Parses one query against a catalog.
-pub fn parse_query(input: &str, catalog: &AttributeCatalog) -> Result<AcquisitionQuery, ParseError> {
+pub fn parse_query(
+    input: &str,
+    catalog: &AttributeCatalog,
+) -> Result<AcquisitionQuery, ParseError> {
     let mut cur = Cursor { tokens: tokenize(input), pos: 0 };
 
     cur.expect_keyword("ACQUIRE")?;
@@ -180,11 +183,9 @@ mod tests {
 
     #[test]
     fn parses_the_papers_example() {
-        let q = parse_query(
-            "ACQUIRE rain FROM RECT(0, 0, 2, 3) RATE 10 PER KM2 PER MIN",
-            &catalog(),
-        )
-        .unwrap();
+        let q =
+            parse_query("ACQUIRE rain FROM RECT(0, 0, 2, 3) RATE 10 PER KM2 PER MIN", &catalog())
+                .unwrap();
         assert_eq!(q.attr, catalog().lookup("rain").unwrap());
         assert!(q.region.approx_eq(&Rect::new(0.0, 0.0, 2.0, 3.0)));
         assert_eq!(q.rate, 10.0);

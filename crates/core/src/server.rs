@@ -2,6 +2,7 @@
 
 use crate::budget::BudgetTuner;
 use crate::error_model::{ErrorModel, Mitigation};
+use crate::exec::{ExecMode, IngestReport};
 use crate::handler::{DispatchStats, RequestResponseHandler, TuneEvent};
 use crate::incentive::IncentivePolicy;
 use crate::plan::{Fabricator, PlanError, PlannerConfig};
@@ -31,6 +32,11 @@ pub struct ServerConfig {
     pub initial_budget: f64,
     /// Crowd mobility sub-steps per epoch (finer = smoother trajectories).
     pub mobility_substeps: u32,
+    /// How the per-cell process phase executes. [`ExecMode::Serial`] is
+    /// the reference implementation; [`ExecMode::Sharded`] runs the
+    /// chains on a worker pool with **bit-identical** results under the
+    /// same root seed (see [`crate::exec`] for the contract).
+    pub exec: ExecMode,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +49,7 @@ impl Default for ServerConfig {
             mitigation: Mitigation::standard(),
             initial_budget: 20.0,
             mobility_substeps: 4,
+            exec: ExecMode::Serial,
         }
     }
 }
@@ -94,6 +101,9 @@ pub struct EpochReport {
     pub mitigation_rejected: usize,
     /// Well-formed tuples ingested into the fabricator.
     pub ingested: usize,
+    /// Map + process outcome, with the per-shard breakdown under
+    /// [`ExecMode::Sharded`] (a single shard entry under serial).
+    pub exec: IngestReport,
     /// Per-query tuples delivered this epoch.
     pub delivered: Vec<(QueryId, usize)>,
     /// Budget tuning events.
@@ -194,15 +204,14 @@ impl CraqrServer {
 
         // 3. Error injection + mitigation (Section VI).
         self.config.error_model.corrupt_batch(&mut responses, &mut self.error_rng);
-        let (responses, rejected) =
-            self.config.mitigation.apply(responses, &self.crowd.region());
+        let (responses, rejected) = self.config.mitigation.apply(responses, &self.crowd.region());
 
         // 4. Ingestion: assign unique ids, drop malformed tuples.
         let tuples = self.idgen.ingest(&responses);
         let ingested = tuples.len();
 
-        // 5. map + process.
-        self.fabricator.ingest_batch(&tuples);
+        // 5. map + process, serial or sharded per the config knob.
+        let exec = self.fabricator.ingest_batch_mode(&tuples, self.config.exec);
 
         // 6. merge: accumulate per-query outputs.
         let mut delivered = Vec::new();
@@ -222,6 +231,7 @@ impl CraqrServer {
             responses: n_responses,
             mitigation_rejected: rejected,
             ingested,
+            exec,
             delivered,
             tuning,
         }

@@ -1,7 +1,7 @@
 //! The execution topology: a dynamic DAG of operators and sinks.
 
 use crate::metrics::{NodeMetrics, TopologyMetrics};
-use crate::operator::{Emitter, InputPort, Operator, OutputPort};
+use crate::operator::{BatchPool, Emitter, InputPort, Operator, OutputPort};
 use std::collections::VecDeque;
 
 /// Identifier of an operator node in a [`Topology`].
@@ -28,6 +28,28 @@ struct NodeSlot<T> {
     metrics: NodeMetrics,
 }
 
+/// Routes one batch to a target: node deliveries enqueue the buffer
+/// (ownership moves along the edge); sink deliveries append the tuples and
+/// recycle the buffer. A free function so the executor can split-borrow
+/// the scratch queue/pool against `sinks`.
+fn deliver<T>(
+    target: Target,
+    mut buf: Vec<T>,
+    queue: &mut VecDeque<(NodeId, InputPort, Vec<T>)>,
+    sinks: &mut [Option<Vec<T>>],
+    pool: &mut BatchPool<T>,
+) {
+    match target {
+        Target::Node(nid, port) => queue.push_back((nid, port, buf)),
+        Target::Sink(sid) => {
+            if let Some(Some(sink)) = sinks.get_mut(sid.0) {
+                sink.append(&mut buf);
+            }
+            pool.put(buf);
+        }
+    }
+}
+
 /// A dynamic dataflow DAG.
 ///
 /// CrAQR materializes one topology per *grid cell* (the hashmap value of
@@ -41,6 +63,29 @@ pub struct Topology<T> {
     nodes: Vec<Option<NodeSlot<T>>>,
     sinks: Vec<Option<Vec<T>>>,
     live_nodes: usize,
+    scratch: PushScratch<T>,
+}
+
+/// Reusable executor state: the BFS queue, the buffer pool every in-flight
+/// batch is drawn from, the persistent emitter, and a target scratch list.
+/// Kept on the topology so repeated [`Topology::push`] calls are
+/// allocation-free once warmed up.
+struct PushScratch<T> {
+    queue: VecDeque<(NodeId, InputPort, Vec<T>)>,
+    pool: BatchPool<T>,
+    emitter: Emitter<T>,
+    targets: Vec<Target>,
+}
+
+impl<T> Default for PushScratch<T> {
+    fn default() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            pool: BatchPool::default(),
+            emitter: Emitter::idle(),
+            targets: Vec::new(),
+        }
+    }
 }
 
 impl<T: Clone> Default for Topology<T> {
@@ -52,7 +97,12 @@ impl<T: Clone> Default for Topology<T> {
 impl<T: Clone> Topology<T> {
     /// An empty topology.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), sinks: Vec::new(), live_nodes: 0 }
+        Self {
+            nodes: Vec::new(),
+            sinks: Vec::new(),
+            live_nodes: 0,
+            scratch: PushScratch::default(),
+        }
     }
 
     /// Adds an operator, returning its node id.
@@ -155,6 +205,13 @@ impl<T: Clone> Topology<T> {
         self.live_nodes
     }
 
+    /// Number of free batch buffers retained by the executor's pool —
+    /// observability for the allocation-free hot path (a warmed-up
+    /// topology holds a small, stable number here).
+    pub fn pooled_buffers(&self) -> usize {
+        self.scratch.pool.retained()
+    }
+
     /// `true` when the node id refers to a live node.
     pub fn node_exists(&self, node: NodeId) -> bool {
         self.nodes.get(node.0).is_some_and(Option::is_some)
@@ -202,72 +259,92 @@ impl<T: Clone> Topology<T> {
     /// Pushes a batch into `entry`'s input port 0 and runs the dataflow to
     /// quiescence.
     ///
+    /// The hot path is allocation-free in steady state: in-flight batches,
+    /// fan-out copies, and emitter port buffers are all recycled through
+    /// the topology's [`BatchPool`], and the BFS queue and emitter persist
+    /// across pushes. Only pool warm-up (the first few batches through the
+    /// widest fan-out) allocates.
+    ///
     /// # Panics
     /// Panics when `entry` is missing or a cycle keeps batches circulating
     /// beyond the hop budget.
     #[track_caller]
     pub fn push(&mut self, entry: NodeId, batch: Vec<T>) {
         assert!(self.node_exists(entry), "entry node {entry:?} missing");
-        let mut queue: VecDeque<(NodeId, InputPort, Vec<T>)> = VecDeque::new();
-        queue.push_back((entry, InputPort(0), batch));
+        // Scratch is moved out so the executor can split-borrow it against
+        // `self.nodes` / `self.sinks`; it is restored on every exit path
+        // except a panic (which poisons the whole topology anyway).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.queue.push_back((entry, InputPort(0), batch));
         // Hop budget: every delivered batch traverses ≥1 edge of a DAG with
         // `live_nodes` nodes; fanout ≤ total edges. A generous multiplier
         // catches cycles without bounding legitimate fan-out.
         let mut budget = 64 * (self.live_nodes + 1) * (self.live_nodes + 1);
-        while let Some((nid, port, batch)) = queue.pop_front() {
-            assert!(budget > 0, "hop budget exhausted: is the topology cyclic?");
+        while let Some((nid, port, buf)) = scratch.queue.pop_front() {
+            assert!(
+                budget > 0,
+                "hop budget exhausted at node {nid:?} ({}): is the topology cyclic?",
+                self.nodes
+                    .get(nid.0)
+                    .and_then(Option::as_ref)
+                    .map_or("removed", |s| s.operator.name()),
+            );
             budget -= 1;
-            if batch.is_empty() {
+            if buf.is_empty() {
+                scratch.pool.put(buf);
                 continue;
             }
             let Some(slot) = self.nodes.get_mut(nid.0).and_then(Option::as_mut) else {
                 // Node removed while batches were in flight: drop silently,
                 // matching a DSMS tearing down a query mid-stream.
+                scratch.pool.put(buf);
                 continue;
             };
-            slot.metrics.tuples_in += batch.len() as u64;
+            slot.metrics.tuples_in += buf.len() as u64;
             slot.metrics.batches += 1;
-            let mut emitter = Emitter::new(slot.operator.output_ports());
-            slot.operator.process(port, &batch, &mut emitter);
-            let buffers = emitter.into_buffers();
-            // Record emissions, then route.
-            let routes: Vec<(Vec<Target>, Vec<T>)> = buffers
-                .into_iter()
-                .enumerate()
-                .map(|(p, buf)| {
-                    let targets = slot.edges.get(p).cloned().unwrap_or_default();
-                    (targets, buf)
-                })
-                .collect();
-            for (targets, buf) in routes {
-                if buf.is_empty() {
+            let ports = slot.operator.output_ports().max(1);
+            scratch.emitter.reset_with(ports, &mut scratch.pool);
+            slot.operator.process(port, &buf, &mut scratch.emitter);
+            scratch.pool.put(buf);
+            // Route each port's emissions. `slot` borrows `self.nodes`
+            // while sink delivery borrows `self.sinks`: disjoint fields.
+            for p in 0..ports {
+                if scratch.emitter.port_len(p) == 0 {
                     continue;
                 }
-                self.nodes[nid.0].as_mut().expect("just used").metrics.tuples_out +=
-                    buf.len() as u64;
-                match targets.len() {
-                    0 => {} // unwired port: tuples fall on the floor by design
-                    1 => self.deliver(targets[0], buf, &mut queue),
-                    _ => {
-                        for t in &targets[..targets.len() - 1] {
-                            self.deliver(*t, buf.clone(), &mut queue);
-                        }
-                        self.deliver(targets[targets.len() - 1], buf, &mut queue);
-                    }
+                let out = scratch.emitter.take_buffer(p, &mut scratch.pool);
+                slot.metrics.tuples_out += out.len() as u64;
+                scratch.targets.clear();
+                scratch.targets.extend_from_slice(slot.edges.get(p).map_or(&[], Vec::as_slice));
+                if scratch.targets.is_empty() {
+                    // Unwired port: tuples fall on the floor by design.
+                    scratch.pool.put(out);
+                    continue;
                 }
+                // Fan-out: pooled copies for every target but the last,
+                // which takes the buffer itself.
+                let last = scratch.targets.len() - 1;
+                for i in 0..last {
+                    let mut copy = scratch.pool.take();
+                    copy.extend_from_slice(&out);
+                    deliver(
+                        scratch.targets[i],
+                        copy,
+                        &mut scratch.queue,
+                        &mut self.sinks,
+                        &mut scratch.pool,
+                    );
+                }
+                deliver(
+                    scratch.targets[last],
+                    out,
+                    &mut scratch.queue,
+                    &mut self.sinks,
+                    &mut scratch.pool,
+                );
             }
         }
-    }
-
-    fn deliver(&mut self, target: Target, buf: Vec<T>, queue: &mut VecDeque<(NodeId, InputPort, Vec<T>)>) {
-        match target {
-            Target::Node(nid, port) => queue.push_back((nid, port, buf)),
-            Target::Sink(sid) => {
-                if let Some(Some(sink)) = self.sinks.get_mut(sid.0) {
-                    sink.extend(buf);
-                }
-            }
-        }
+        self.scratch = scratch;
     }
 
     /// Drains a sink's collected tuples.
@@ -485,6 +562,88 @@ mod tests {
         assert_eq!(c, a, "slot should be reused");
         assert!(t.node_exists(b));
         assert_eq!(t.node_name(c), "c");
+    }
+
+    /// Regression: ids must stay dense under sustained churn, reused slots
+    /// must not inherit the removed node's edges or metrics, and edges
+    /// pointing *at* the removed node must not resurrect against the new
+    /// tenant of the slot.
+    #[test]
+    fn node_slot_reuse_under_churn_starts_clean() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let b = t.add_operator(passthrough("b"));
+        let sink = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Sink(sink));
+        t.push(a, vec![1, 2]);
+        assert_eq!(t.node_metrics(b).tuples_in, 2);
+
+        // Churn the downstream node several times; the freed slot must be
+        // handed out again every time (dense ids).
+        for round in 0..3u32 {
+            t.remove_node(b);
+            let b2 = t.add_operator(passthrough("b2"));
+            assert_eq!(b2, b, "round {round}: freed slot must be reused");
+            // The reused slot starts clean: no outgoing edges, no metrics,
+            // and nothing upstream feeds it until reconnected.
+            assert!(t.all_targets(b2).is_empty(), "stale outgoing edges survived");
+            assert_eq!(t.node_metrics(b2).tuples_in, 0, "stale metrics survived");
+            assert!(t.upstream_of(b2).is_empty(), "edge at old tenant resurrected");
+        }
+
+        // Ids stay dense: two live nodes occupy slots 0 and 1.
+        assert_eq!(t.node_count(), 2);
+        assert!(t.node_exists(NodeId(0)) && t.node_exists(NodeId(1)));
+
+        // Rewire and verify the dataflow is intact end to end.
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Sink(sink));
+        t.drain_sink(sink);
+        t.push(a, vec![7]);
+        assert_eq!(t.drain_sink(sink), vec![7]);
+    }
+
+    #[test]
+    fn cycle_panic_names_offending_node() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("alpha"));
+        let b = t.add_operator(passthrough("beta"));
+        t.connect(a, OutputPort(0), Target::Node(b, InputPort(0)));
+        t.connect(b, OutputPort(0), Target::Node(a, InputPort(0)));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.push(a, vec![1]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("NodeId("), "panic must name the node id: {msg}");
+        assert!(msg.contains("cyclic"), "panic must mention the cycle: {msg}");
+    }
+
+    /// The push hot path recycles batch buffers: every buffer taken from
+    /// the pool during a push returns to it, each push additionally
+    /// donates the caller's entry batch, and retention caps the total —
+    /// so the pool warms up to the cap and then stays exactly there.
+    #[test]
+    fn push_recycles_buffers_across_epochs() {
+        let mut t: Topology<u32> = Topology::new();
+        let a = t.add_operator(passthrough("a"));
+        let s = t.add_operator(Box::new(EvenOddSplit));
+        let evens = t.add_sink();
+        let odds = t.add_sink();
+        t.connect(a, OutputPort(0), Target::Node(s, InputPort(0)));
+        t.connect(a, OutputPort(0), Target::Sink(evens)); // fan-out copy path
+        t.connect(s, OutputPort(0), Target::Sink(evens));
+        t.connect(s, OutputPort(1), Target::Sink(odds));
+        let epochs = 40;
+        for e in 0..epochs {
+            t.push(a, (0..100).collect());
+            assert!(t.pooled_buffers() <= 16, "retention cap breached at epoch {e}");
+        }
+        assert_eq!(t.pooled_buffers(), 16, "pool should sit exactly at its cap");
+        // Dataflow correctness is unaffected by recycling.
+        assert_eq!(t.drain_sink(odds).len(), epochs * 50);
+        assert_eq!(t.drain_sink(evens).len(), epochs * 150);
     }
 
     #[test]

@@ -19,10 +19,34 @@
 //! - [`SharedSink`]: a thread-safe sink handle for collecting fabricated
 //!   streams across topologies.
 //!
+//! # Execution model
+//!
 //! The engine is intentionally synchronous: CrAQR's topologies are small
 //! per-cell chains, and the simulation clock (not wall time) drives
 //! everything. Parallelism, when wanted, happens *across* per-cell
-//! topologies, which share nothing.
+//! topologies, which share nothing — the sharded epoch executor in
+//! `craqr-core` (`ExecMode::Sharded`) runs whole topologies on worker
+//! threads and merges their results deterministically.
+//!
+//! ## The allocation-free hot path
+//!
+//! [`Topology::push`] moves every in-flight batch through buffers drawn
+//! from a per-topology [`BatchPool`]:
+//!
+//! - the BFS queue, the [`Emitter`] and its per-port buffers persist
+//!   across pushes ([`Emitter::reset_with`] re-activates them without
+//!   reallocating);
+//! - a batch delivered along an edge *moves* (the `Vec` itself travels,
+//!   no copy); fan-out clones go into pooled buffers; sink deliveries
+//!   `append` and recycle;
+//! - the caller's entry batch is absorbed into the pool after its hop,
+//!   and [`BatchPool`] retention caps total buffers held.
+//!
+//! After warm-up (a few batches through the widest fan-out) a push
+//! performs **zero heap allocation** in the executor itself; only
+//! operators that build per-batch state (estimator fits, histograms)
+//! still allocate. [`Topology::pooled_buffers`] exposes the pool level
+//! for observability.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,7 +57,7 @@ mod operator;
 
 pub use graph::{NodeId, SinkId, Target, Topology};
 pub use metrics::{NodeMetrics, TopologyMetrics};
-pub use operator::{Emitter, FnOperator, InputPort, Operator, OutputPort};
+pub use operator::{BatchPool, Emitter, FnOperator, InputPort, Operator, OutputPort};
 
 use parking_lot::Mutex;
 use std::sync::Arc;

@@ -10,20 +10,124 @@ pub struct InputPort(pub u16);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OutputPort(pub u16);
 
+/// A recycling pool of batch buffers.
+///
+/// The executor's hot path moves every batch through buffers drawn from a
+/// pool instead of allocating fresh `Vec`s per hop: once the pool has
+/// warmed up (a few batches through the widest fan-out), pushes are
+/// allocation-free. Buffers returned through [`BatchPool::put`] keep their
+/// capacity, bounded on both axes so a single burst cannot pin memory
+/// forever: at most `max_retained` buffers are held, and a buffer whose
+/// capacity exceeds `max_capacity` elements is dropped instead of
+/// retained (steady-state batches re-warm the pool at their own size).
+#[derive(Debug)]
+pub struct BatchPool<T> {
+    free: Vec<Vec<T>>,
+    max_retained: usize,
+    max_capacity: usize,
+}
+
+impl<T> Default for BatchPool<T> {
+    fn default() -> Self {
+        Self::with_limits(16, 1 << 16)
+    }
+}
+
+impl<T> BatchPool<T> {
+    /// A pool retaining at most `max_retained` free buffers, none with
+    /// capacity above `max_capacity` elements.
+    pub fn with_limits(max_retained: usize, max_capacity: usize) -> Self {
+        Self { free: Vec::new(), max_retained, max_capacity }
+    }
+
+    /// Takes an empty buffer (pooled capacity when available).
+    #[inline]
+    pub fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool, clearing it but keeping its capacity.
+    /// Oversized buffers (capacity above the pool's element cap) are
+    /// dropped so burst allocations don't stay pinned.
+    #[inline]
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if self.free.len() < self.max_retained && buf.capacity() <= self.max_capacity {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of free buffers currently retained.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// Collects an operator's emissions, one buffer per output port.
+///
+/// Emitters are reusable: the executor keeps one per topology and recycles
+/// its port buffers through a [`BatchPool`] ([`Emitter::reset_with`] /
+/// [`Emitter::take_buffer`]), so steady-state pushes allocate nothing.
+/// [`Emitter::new`] + [`Emitter::into_buffers`] remain for one-shot use
+/// (driving a single operator outside a topology, e.g. a final merge
+/// stage over already-collected buffers).
 #[derive(Debug)]
 pub struct Emitter<T> {
     buffers: Vec<Vec<T>>,
+    /// Number of currently active ports; emissions beyond it panic.
+    live: usize,
 }
 
 impl<T> Emitter<T> {
-    /// Creates an emitter with one buffer per output port.
-    ///
-    /// Normally the executor builds emitters; constructing one directly is
-    /// useful when driving a single operator outside a topology (e.g. a
-    /// final merge stage over already-collected buffers).
+    /// Creates an emitter with one fresh buffer per output port.
     pub fn new(ports: usize) -> Self {
-        Self { buffers: (0..ports.max(1)).map(|_| Vec::new()).collect() }
+        let live = ports.max(1);
+        Self { buffers: (0..live).map(|_| Vec::new()).collect(), live }
+    }
+
+    /// An empty emitter with no active ports; activate with
+    /// [`Emitter::reset_with`] before use.
+    pub fn idle() -> Self {
+        Self { buffers: Vec::new(), live: 0 }
+    }
+
+    /// Re-activates the emitter for an operator with `ports` output ports,
+    /// drawing any missing buffers from `pool`. All active buffers are
+    /// guaranteed empty afterwards.
+    pub fn reset_with(&mut self, ports: usize, pool: &mut BatchPool<T>) {
+        let need = ports.max(1);
+        while self.buffers.len() < need {
+            self.buffers.push(pool.take());
+        }
+        self.live = need;
+        debug_assert!(self.buffers[..need].iter().all(Vec::is_empty), "dirty emitter reset");
+    }
+
+    /// Number of active output ports.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.live
+    }
+
+    /// Number of tuples currently buffered on a port.
+    ///
+    /// # Panics
+    /// Panics when the port is not active.
+    #[inline]
+    #[track_caller]
+    pub fn port_len(&self, port: usize) -> usize {
+        assert!(port < self.live, "port {port} beyond the {} active ports", self.live);
+        self.buffers[port].len()
+    }
+
+    /// Moves a port's buffer out, replacing it with an empty pooled one.
+    ///
+    /// # Panics
+    /// Panics when the port is not active.
+    #[track_caller]
+    pub fn take_buffer(&mut self, port: usize, pool: &mut BatchPool<T>) -> Vec<T> {
+        assert!(port < self.live, "port {port} beyond the {} active ports", self.live);
+        std::mem::replace(&mut self.buffers[port], pool.take())
     }
 
     /// Emits one tuple on a port.
@@ -34,17 +138,22 @@ impl<T> Emitter<T> {
     #[inline]
     #[track_caller]
     pub fn emit(&mut self, port: OutputPort, tuple: T) {
-        self.buffers[port.0 as usize].push(tuple);
+        let p = port.0 as usize;
+        assert!(p < self.live, "emit on undeclared port {p} (have {})", self.live);
+        self.buffers[p].push(tuple);
     }
 
     /// Emits a whole batch on a port.
     #[track_caller]
     pub fn emit_batch(&mut self, port: OutputPort, batch: impl IntoIterator<Item = T>) {
-        self.buffers[port.0 as usize].extend(batch);
+        let p = port.0 as usize;
+        assert!(p < self.live, "emit on undeclared port {p} (have {})", self.live);
+        self.buffers[p].extend(batch);
     }
 
-    /// Consumes the emitter, returning the per-port buffers.
-    pub fn into_buffers(self) -> Vec<Vec<T>> {
+    /// Consumes the emitter, returning the active per-port buffers.
+    pub fn into_buffers(mut self) -> Vec<Vec<T>> {
+        self.buffers.truncate(self.live.max(1));
         self.buffers
     }
 }
@@ -115,6 +224,16 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_pool_drops_oversized_buffers() {
+        let mut pool: BatchPool<u32> = BatchPool::with_limits(4, 8);
+        pool.put(Vec::with_capacity(8));
+        assert_eq!(pool.retained(), 1, "at-cap buffer is retained");
+        pool.put(Vec::with_capacity(1_000));
+        assert_eq!(pool.retained(), 1, "burst buffer must not be pinned");
+        assert!(pool.take().capacity() <= 8);
+    }
 
     #[test]
     fn emitter_routes_to_ports() {

@@ -129,7 +129,11 @@ impl Grid {
     /// Panics when the id is out of range.
     #[track_caller]
     pub fn cell_rect(&self, id: CellId) -> Rect {
-        assert!(id.q < self.side && id.r < self.side, "cell {id} out of range for side {}", self.side);
+        assert!(
+            id.q < self.side && id.r < self.side,
+            "cell {id} out of range for side {}",
+            self.side
+        );
         let x0 = self.region.x0 + self.cell_w * id.q as f64;
         let y0 = self.region.y0 + self.cell_h * id.r as f64;
         // Anchor the max edge of the last row/column to the region edge so
@@ -171,8 +175,10 @@ impl Grid {
         };
         let q0 = (((clipped.x0 - self.region.x0) / self.cell_w) as u32).min(self.side - 1);
         let r0 = (((clipped.y0 - self.region.y0) / self.cell_h) as u32).min(self.side - 1);
-        let q1 = (((clipped.x1 - self.region.x0 - GEOM_EPS) / self.cell_w) as u32).min(self.side - 1);
-        let r1 = (((clipped.y1 - self.region.y0 - GEOM_EPS) / self.cell_h) as u32).min(self.side - 1);
+        let q1 =
+            (((clipped.x1 - self.region.x0 - GEOM_EPS) / self.cell_w) as u32).min(self.side - 1);
+        let r1 =
+            (((clipped.y1 - self.region.y0 - GEOM_EPS) / self.cell_h) as u32).min(self.side - 1);
         let mut out = Vec::with_capacity(((q1 - q0 + 1) * (r1 - r0 + 1)) as usize);
         for r in r0..=r1 {
             for q in q0..=q1 {

@@ -149,10 +149,7 @@ impl Rect {
         if x <= self.x0 + GEOM_EPS || x >= self.x1 - GEOM_EPS {
             return None;
         }
-        Some((
-            Rect::new(self.x0, self.y0, x, self.y1),
-            Rect::new(x, self.y0, self.x1, self.y1),
-        ))
+        Some((Rect::new(self.x0, self.y0, x, self.y1), Rect::new(x, self.y0, self.x1, self.y1)))
     }
 
     /// Splits this rectangle at `y` into `(bottom, top)` halves.
@@ -160,10 +157,7 @@ impl Rect {
         if y <= self.y0 + GEOM_EPS || y >= self.y1 - GEOM_EPS {
             return None;
         }
-        Some((
-            Rect::new(self.x0, self.y0, self.x1, y),
-            Rect::new(self.x0, y, self.x1, self.y1),
-        ))
+        Some((Rect::new(self.x0, self.y0, self.x1, y), Rect::new(self.x0, y, self.x1, self.y1)))
     }
 
     /// Subtracts `other` from `self`, returning the remainder as at most four
@@ -195,7 +189,10 @@ impl Rect {
 
     /// Approximate equality within [`GEOM_EPS`] on every edge.
     pub fn approx_eq(&self, other: &Rect) -> bool {
-        feq(self.x0, other.x0) && feq(self.y0, other.y0) && feq(self.x1, other.x1) && feq(self.y1, other.y1)
+        feq(self.x0, other.x0)
+            && feq(self.y0, other.y0)
+            && feq(self.x1, other.x1)
+            && feq(self.y1, other.y1)
     }
 }
 

@@ -144,7 +144,8 @@ impl Region {
         // Every part of self must be fully covered by other's parts by area.
         let covered = |parts: &[Rect], of: &[Rect]| -> bool {
             of.iter().all(|r| {
-                let inter: f64 = parts.iter().filter_map(|p| p.intersection(r)).map(|i| i.area()).sum();
+                let inter: f64 =
+                    parts.iter().filter_map(|p| p.intersection(r)).map(|i| i.area()).sum();
                 (inter - r.area()).abs() <= 1e-9 * (1.0 + r.area())
             })
         };
@@ -296,9 +297,7 @@ mod tests {
     #[test]
     fn covers_same_area_is_representation_independent() {
         // Same 2x1 area cut horizontally vs vertically.
-        let a = Region::from_disjoint(vec![
-            Rect::new(0.0, 0.0, 1.0, 2.0),
-        ]);
+        let a = Region::from_disjoint(vec![Rect::new(0.0, 0.0, 1.0, 2.0)]);
         let b = Region::from_disjoint(vec![
             Rect::new(0.0, 0.0, 0.5, 2.0),
             Rect::new(0.5, 0.0, 1.0, 2.0),

@@ -9,12 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy for a well-formed rectangle with coordinates in [-50, 50].
 fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (
-        -50.0f64..50.0,
-        -50.0f64..50.0,
-        0.1f64..40.0,
-        0.1f64..40.0,
-    )
+    (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..40.0, 0.1f64..40.0)
         .prop_map(|(x0, y0, w, h)| Rect::new(x0, y0, x0 + w, y0 + h))
 }
 

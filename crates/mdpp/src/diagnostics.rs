@@ -11,7 +11,9 @@
 //!   exponential law implied by the empirical rate.
 
 use craqr_geom::{SpaceTimePoint, SpaceTimeWindow};
-use craqr_stats::hypothesis::{chi_square_uniform, dispersion_index, ks_exponential, ChiSquare, Dispersion, KsTest};
+use craqr_stats::hypothesis::{
+    chi_square_uniform, dispersion_index, ks_exponential, ChiSquare, Dispersion, KsTest,
+};
 use craqr_stats::online::OnlineMoments;
 use serde::{Deserialize, Serialize};
 

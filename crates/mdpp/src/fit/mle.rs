@@ -45,7 +45,11 @@ pub struct FitResult {
 ///
 /// # Panics
 /// Panics when a point lies outside the window (the caller batched wrongly).
-pub fn fit_mle(points: &[SpaceTimePoint], window: &SpaceTimeWindow, config: FitConfig) -> FitResult {
+pub fn fit_mle(
+    points: &[SpaceTimePoint],
+    window: &SpaceTimeWindow,
+    config: FitConfig,
+) -> FitResult {
     for p in points {
         assert!(window.contains(p), "point {p:?} outside fit window");
     }
@@ -84,8 +88,9 @@ pub fn fit_mle(points: &[SpaceTimePoint], window: &SpaceTimeWindow, config: FitC
         }
         g
     };
-    let feasible =
-        |phi: &[f64; 4]| phi[0] - (phi[1].abs() + phi[2].abs() + phi[3].abs()) >= POSITIVITY_EPS * 0.5;
+    let feasible = |phi: &[f64; 4]| {
+        phi[0] - (phi[1].abs() + phi[2].abs() + phi[3].abs()) >= POSITIVITY_EPS * 0.5
+    };
 
     // Start from the homogeneous MLE: φ = (n/V, 0, 0, 0).
     let mut phi = [points.len() as f64 / volume, 0.0, 0.0, 0.0];

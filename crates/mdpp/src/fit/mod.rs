@@ -56,19 +56,15 @@ impl WindowScale {
     /// Converts scaled parameters φ back to physical θ (Eq. (1)).
     pub(crate) fn to_physical(self, phi: [f64; 4]) -> LinearIntensity {
         let slopes = [phi[1] / self.half[0], phi[2] / self.half[1], phi[3] / self.half[2]];
-        let theta0 = phi[0]
-            - slopes[0] * self.mid[0]
-            - slopes[1] * self.mid[1]
-            - slopes[2] * self.mid[2];
+        let theta0 =
+            phi[0] - slopes[0] * self.mid[0] - slopes[1] * self.mid[1] - slopes[2] * self.mid[2];
         LinearIntensity::new([theta0, slopes[0], slopes[1], slopes[2]])
     }
 
     /// Converts physical θ to scaled φ.
     pub(crate) fn to_scaled(self, theta: [f64; 4]) -> [f64; 4] {
-        let phi0 = theta[0]
-            + theta[1] * self.mid[0]
-            + theta[2] * self.mid[1]
-            + theta[3] * self.mid[2];
+        let phi0 =
+            theta[0] + theta[1] * self.mid[0] + theta[2] * self.mid[1] + theta[3] * self.mid[2];
         [phi0, theta[1] * self.half[0], theta[2] * self.half[1], theta[3] * self.half[2]]
     }
 }

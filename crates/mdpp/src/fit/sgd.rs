@@ -200,7 +200,8 @@ mod tests {
 
     #[test]
     fn empty_batches_decay_rate_towards_zero() {
-        let mut est = SgdEstimator::new(&reference(), SgdConfig { initial_rate: 5.0, ..Default::default() });
+        let mut est =
+            SgdEstimator::new(&reference(), SgdConfig { initial_rate: 5.0, ..Default::default() });
         for _ in 0..100 {
             est.observe_batch(&[], &reference());
         }

@@ -51,7 +51,7 @@ pub mod process;
 pub use diagnostics::{homogeneity_report, HomogeneityReport};
 pub use fit::{fit_mle, FitConfig, FitResult, SgdEstimator};
 pub use intensity::{
-    ConstantIntensity, GaussianBumpIntensity, IntensityModel, LinearIntensity,
+    ConstantIntensity, GaussianBumpIntensity, IntegralCache, IntensityModel, LinearIntensity,
     PiecewiseConstantIntensity,
 };
 pub use process::{HomogeneousMdpp, InhomogeneousMdpp};

@@ -43,10 +43,14 @@ impl HomogeneousMdpp {
     /// Exact two-stage sampler: `N ~ Poisson(λ·V)`, then `N` points placed
     /// independently and uniformly. Output is sorted by time so it can feed
     /// streaming operators directly.
-    pub fn sample<R: Rng + ?Sized>(&self, window: &SpaceTimeWindow, rng: &mut R) -> Vec<SpaceTimePoint> {
-        let w = window
-            .restricted_to(&self.region)
-            .unwrap_or_else(|| panic!("window {:?} outside process region {}", window.rect, self.region));
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        window: &SpaceTimeWindow,
+        rng: &mut R,
+    ) -> Vec<SpaceTimePoint> {
+        let w = window.restricted_to(&self.region).unwrap_or_else(|| {
+            panic!("window {:?} outside process region {}", window.rect, self.region)
+        });
         let n = Poisson::new(self.rate * w.volume()).sample(rng);
         let mut points = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -104,10 +108,14 @@ impl<I: IntensityModel> InhomogeneousMdpp<I> {
     /// Panics when the window lies outside `R` or the intensity's claimed
     /// `max_rate` is violated at a sampled point (a model bug worth
     /// crashing loudly on, since it silently skews every experiment).
-    pub fn sample<R: Rng + ?Sized>(&self, window: &SpaceTimeWindow, rng: &mut R) -> Vec<SpaceTimePoint> {
-        let w = window
-            .restricted_to(&self.region)
-            .unwrap_or_else(|| panic!("window {:?} outside process region {}", window.rect, self.region));
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        window: &SpaceTimeWindow,
+        rng: &mut R,
+    ) -> Vec<SpaceTimePoint> {
+        let w = window.restricted_to(&self.region).unwrap_or_else(|| {
+            panic!("window {:?} outside process region {}", window.rect, self.region)
+        });
         let lambda_max = self.intensity.max_rate(&w);
         if lambda_max <= 0.0 {
             return Vec::new();
@@ -128,6 +136,27 @@ impl<I: IntensityModel> InhomogeneousMdpp<I> {
     /// The expected number of points in a window (after clipping to `R`).
     pub fn expected_count(&self, window: &SpaceTimeWindow) -> f64 {
         window.restricted_to(&self.region).map_or(0.0, |w| self.intensity.integral(&w))
+    }
+
+    /// [`InhomogeneousMdpp::expected_count`] through an
+    /// [`crate::intensity::IntegralCache`].
+    ///
+    /// Epoch-driven workloads (e.g. the `e13_parallel` stream generator)
+    /// evaluate the expected count of the *same* window shape every epoch
+    /// (per cell, the batch window just slides in time); for models
+    /// without a closed-form integral each evaluation costs `32³`
+    /// `rate_at` calls of quadrature. Callers that own a cache pay that
+    /// once per distinct `(model epoch, window)` instead. Pass a new
+    /// `epoch` whenever this process's intensity is replaced.
+    pub fn expected_count_cached(
+        &self,
+        window: &SpaceTimeWindow,
+        cache: &mut crate::intensity::IntegralCache,
+        epoch: u64,
+    ) -> f64 {
+        window
+            .restricted_to(&self.region)
+            .map_or(0.0, |w| cache.integral_of(&self.intensity, epoch, &w))
     }
 }
 

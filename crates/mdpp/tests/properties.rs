@@ -10,14 +10,7 @@ use craqr_stats::seeded_rng;
 use proptest::prelude::*;
 
 fn window_strategy() -> impl Strategy<Value = SpaceTimeWindow> {
-    (
-        -20.0f64..20.0,
-        -20.0f64..20.0,
-        1.0f64..15.0,
-        1.0f64..15.0,
-        0.0f64..100.0,
-        1.0f64..30.0,
-    )
+    (-20.0f64..20.0, -20.0f64..20.0, 1.0f64..15.0, 1.0f64..15.0, 0.0f64..100.0, 1.0f64..30.0)
         .prop_map(|(x0, y0, w, h, t0, dt)| {
             SpaceTimeWindow::new(Rect::new(x0, y0, x0 + w, y0 + h), t0, t0 + dt)
         })

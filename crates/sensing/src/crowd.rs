@@ -4,7 +4,7 @@ use crate::fields::Field;
 use crate::population::PopulationConfig;
 use crate::sensor::MobileSensor;
 use crate::types::{AttributeId, SensorId, SensorResponse};
-use craqr_geom::Rect;
+use craqr_geom::{Grid, Rect};
 use craqr_stats::sub_rng;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -202,10 +202,7 @@ impl Crowd {
             return 0;
         }
         let targets: Vec<SensorId> = if candidates.len() >= count {
-            candidates
-                .choose_multiple(&mut self.participation_rng, count)
-                .copied()
-                .collect()
+            candidates.choose_multiple(&mut self.participation_rng, count).copied().collect()
         } else {
             (0..count)
                 .map(|_| *candidates.choose(&mut self.participation_rng).expect("non-empty"))
@@ -226,9 +223,53 @@ impl Crowd {
     }
 
     /// Drains all matured responses (ordered by delivery time).
+    ///
+    /// Ties (identical delivery times — possible with zero-latency
+    /// response models) break on `(sensor, attribute, issue time)`, a
+    /// total order over distinguishable responses, so the drained
+    /// sequence is a pure function of the set of matured responses —
+    /// which is what makes [`merge_sharded_responses`] an exact inverse
+    /// of [`Crowd::drain_responses_sharded`].
     pub fn drain_responses(&mut self) -> Vec<SensorResponse> {
         let mut out = std::mem::take(&mut self.ready);
-        out.sort_by(|a, b| a.measurement.point.t.total_cmp(&b.measurement.point.t));
+        out.sort_by(response_order);
+        out
+    }
+
+    /// Drains all matured responses partitioned for a *distributed
+    /// collector*: each response goes to the shard owning its grid cell
+    /// (`(r · side + q) mod shards`, round-robin over row-major cell
+    /// index), and every shard's list is delivery-time ordered.
+    /// Responses landing outside the grid (sensors that wandered past
+    /// `R`) go to shard 0 — the map phase drops them anyway.
+    ///
+    /// This is a **collection-side** partition over *all* grid cells; it
+    /// is intentionally independent of the epoch executor's chain→shard
+    /// assignment (which round-robins over the sorted list of
+    /// *materialized* chains only, in `craqr-core`). Do not assume the
+    /// two partitions align — the bridge between them is
+    /// [`merge_sharded_responses`], which reconstructs the exact serial
+    /// stream for the server's ingest path. (The in-process server loop
+    /// uses plain [`Crowd::drain_responses`]; this variant exists for
+    /// collectors that ship per-shard response streams separately.)
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    #[track_caller]
+    pub fn drain_responses_sharded(
+        &mut self,
+        grid: &Grid,
+        shards: usize,
+    ) -> Vec<Vec<SensorResponse>> {
+        assert!(shards > 0, "need at least one shard");
+        let all = self.drain_responses();
+        let mut out: Vec<Vec<SensorResponse>> = (0..shards).map(|_| Vec::new()).collect();
+        for r in all {
+            let shard = grid
+                .cell_of(r.measurement.point.x, r.measurement.point.y)
+                .map_or(0, |c| ((c.r * grid.side() + c.q) as usize) % shards);
+            out[shard].push(r);
+        }
         out
     }
 
@@ -283,6 +324,32 @@ impl Crowd {
             }
         }
     }
+}
+
+/// The total order [`Crowd::drain_responses`] sorts by: delivery time,
+/// then sensor, attribute, and issue time as tie-breaks. Responses equal
+/// under this key are fully interchangeable (same sensor observing the
+/// same field at the same instant), so any stream sorted by it is
+/// uniquely determined by its response *set*.
+fn response_order(a: &SensorResponse, b: &SensorResponse) -> std::cmp::Ordering {
+    a.measurement
+        .point
+        .t
+        .total_cmp(&b.measurement.point.t)
+        .then_with(|| a.sensor.0.cmp(&b.sensor.0))
+        .then_with(|| a.measurement.attr.0.cmp(&b.measurement.attr.0))
+        .then_with(|| a.issued_at.total_cmp(&b.issued_at))
+}
+
+/// Merges shard-partitioned response lists back into the single
+/// delivery-time-ordered stream [`Crowd::drain_responses`] would have
+/// produced — exact even under delivery-time ties, because both sides
+/// sort by the same total order. The inverse of
+/// [`Crowd::drain_responses_sharded`].
+pub fn merge_sharded_responses(shards: Vec<Vec<SensorResponse>>) -> Vec<SensorResponse> {
+    let mut out: Vec<SensorResponse> = shards.into_iter().flatten().collect();
+    out.sort_by(response_order);
+    out
 }
 
 impl std::fmt::Debug for Crowd {
@@ -438,6 +505,40 @@ mod tests {
             c.drain_responses().len()
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn sharded_drain_partitions_by_cell_and_merges_back() {
+        let run = |seed| {
+            let mut c = crowd(300, seed);
+            c.dispatch_requests(AttributeId(0), &c.region(), 200, 0.0);
+            c.step(1.0);
+            c
+        };
+        // Two identical worlds: one drains serially, one sharded.
+        let serial = run(77).drain_responses();
+        let grid = Grid::new(Rect::with_size(10.0, 10.0), 4);
+        let sharded = run(77).drain_responses_sharded(&grid, 3);
+
+        assert_eq!(sharded.len(), 3);
+        assert!(!serial.is_empty());
+        // Every response sits on the shard owning its cell, time-ordered.
+        for (shard, list) in sharded.iter().enumerate() {
+            for pair in list.windows(2) {
+                assert!(pair[0].measurement.point.t <= pair[1].measurement.point.t);
+            }
+            for r in list {
+                let expect = grid
+                    .cell_of(r.measurement.point.x, r.measurement.point.y)
+                    .map_or(0, |c| ((c.r * grid.side() + c.q) as usize) % 3);
+                assert_eq!(shard, expect);
+            }
+        }
+        // Merge is the exact inverse: the serial stream reappears.
+        let merged = merge_sharded_responses(sharded);
+        assert_eq!(merged, serial);
+        // And draining again yields nothing (the drain consumed).
+        assert!(run(77).drain_responses_sharded(&grid, 3).concat().len() == serial.len());
     }
 
     #[test]

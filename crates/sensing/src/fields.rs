@@ -92,8 +92,7 @@ impl TemperatureField {
             let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
             v += amp * (-d2 / (2.0 * sigma * sigma)).exp();
         }
-        v + self.diurnal_amplitude
-            * (2.0 * std::f64::consts::PI * p.t / self.diurnal_period).sin()
+        v + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * p.t / self.diurnal_period).sin()
     }
 }
 
@@ -132,14 +131,8 @@ mod tests {
     #[test]
     fn rain_front_field_value() {
         let f = RainFront::new(5.0, 0.0, 10.0);
-        assert_eq!(
-            f.value_at(&SpaceTimePoint::new(0.0, 1.0, 0.0)),
-            AttrValue::Bool(true)
-        );
-        assert_eq!(
-            f.value_at(&SpaceTimePoint::new(0.0, 7.0, 0.0)),
-            AttrValue::Bool(false)
-        );
+        assert_eq!(f.value_at(&SpaceTimePoint::new(0.0, 1.0, 0.0)), AttrValue::Bool(true));
+        assert_eq!(f.value_at(&SpaceTimePoint::new(0.0, 7.0, 0.0)), AttrValue::Bool(false));
     }
 
     #[test]

@@ -39,10 +39,12 @@ pub mod sensor;
 pub mod transport;
 mod types;
 
-pub use crowd::{Crowd, CrowdConfig};
+pub use crowd::{merge_sharded_responses, Crowd, CrowdConfig};
 pub use fields::{Field, RainFront, TemperatureField};
 pub use mobility::Mobility;
 pub use population::{Placement, PopulationConfig};
 pub use response::ResponseModel;
 pub use sensor::MobileSensor;
-pub use types::{AcquisitionRequest, AttrValue, AttributeId, Measurement, SensorId, SensorResponse};
+pub use types::{
+    AcquisitionRequest, AttrValue, AttributeId, Measurement, SensorId, SensorResponse,
+};

@@ -37,7 +37,12 @@ impl Placement {
         Placement::Hotspots {
             spots: vec![
                 (cx, cy, 6.0, region.width() * 0.08),
-                (region.x0 + region.width() * 0.8, region.y0 + region.height() * 0.25, 3.0, region.width() * 0.05),
+                (
+                    region.x0 + region.width() * 0.8,
+                    region.y0 + region.height() * 0.25,
+                    3.0,
+                    region.width() * 0.05,
+                ),
             ],
             floor: 1.0,
         }
@@ -117,10 +122,7 @@ impl PopulationConfig {
     /// # Panics
     /// Panics when `human_fraction ∉ [0, 1]`.
     pub fn build<R: Rng + ?Sized>(&self, region: &Rect, rng: &mut R) -> Vec<MobileSensor> {
-        assert!(
-            (0.0..=1.0).contains(&self.human_fraction),
-            "human fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&self.human_fraction), "human fraction must be in [0,1]");
         (0..self.size)
             .map(|i| {
                 let pos = self.placement.sample(region, rng);
@@ -149,10 +151,7 @@ mod tests {
         let mut rng = seeded_rng(1);
         let p = Placement::Uniform;
         let n = 20_000;
-        let left = (0..n)
-            .map(|_| p.sample(&region(), &mut rng))
-            .filter(|(x, _)| *x < 5.0)
-            .count();
+        let left = (0..n).map(|_| p.sample(&region(), &mut rng)).filter(|(x, _)| *x < 5.0).count();
         let frac = left as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.02, "left fraction {frac}");
     }

@@ -110,12 +110,7 @@ mod tests {
     use craqr_stats::seeded_rng;
 
     fn sensor() -> MobileSensor {
-        MobileSensor::new(
-            SensorId(1),
-            (2.0, 3.0),
-            Mobility::Stationary,
-            ResponseModel::automatic(),
-        )
+        MobileSensor::new(SensorId(1), (2.0, 3.0), Mobility::Stationary, ResponseModel::automatic())
     }
 
     #[test]

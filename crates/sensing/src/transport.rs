@@ -6,7 +6,9 @@
 //! [`SensorResponse`]; [`LossyChannel`] adds configurable message loss so
 //! experiments can inject transport failures (Section VI error handling).
 
-use crate::types::{AcquisitionRequest, AttrValue, AttributeId, Measurement, SensorId, SensorResponse};
+use crate::types::{
+    AcquisitionRequest, AttrValue, AttributeId, Measurement, SensorId, SensorResponse,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use craqr_geom::SpaceTimePoint;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -248,10 +250,7 @@ mod tests {
         let mut raw = BytesMut::from(&encode_response(&response(AttrValue::Bool(true)))[..]);
         // The value tag sits after kind(1)+sensor(8)+attr(2)+coords(24).
         raw[35] = 77;
-        assert!(matches!(
-            decode_response(raw.freeze()),
-            Err(TransportError::BadTag(77))
-        ));
+        assert!(matches!(decode_response(raw.freeze()), Err(TransportError::BadTag(77))));
     }
 
     #[test]

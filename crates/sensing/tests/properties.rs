@@ -5,8 +5,8 @@ use craqr_geom::Rect;
 use craqr_sensing::fields::ConstantField;
 use craqr_sensing::transport::{decode_response, encode_response};
 use craqr_sensing::{
-    AttrValue, AttributeId, Crowd, CrowdConfig, Measurement, Mobility, Placement,
-    PopulationConfig, ResponseModel, SensorId, SensorResponse,
+    AttrValue, AttributeId, Crowd, CrowdConfig, Measurement, Mobility, Placement, PopulationConfig,
+    ResponseModel, SensorId, SensorResponse,
 };
 use craqr_stats::seeded_rng;
 use proptest::prelude::*;

@@ -72,7 +72,10 @@ impl Normal {
     /// to a point mass, which the error models use to switch noise off).
     #[track_caller]
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0, "bad normal params ({mean}, {sd})");
+        assert!(
+            mean.is_finite() && sd.is_finite() && sd >= 0.0,
+            "bad normal params ({mean}, {sd})"
+        );
         Self { mean, sd }
     }
 
@@ -336,10 +339,7 @@ mod tests {
         for k in 0..12u64 {
             let pmf = (-mu + k as f64 * mu.ln() - crate::special::ln_factorial(k)).exp();
             let freq = counts[k as usize] as f64 / n as f64;
-            assert!(
-                (freq - pmf).abs() < 0.004,
-                "k={k}: freq {freq:.4} vs pmf {pmf:.4}"
-            );
+            assert!((freq - pmf).abs() < 0.004, "k={k}: freq {freq:.4} vs pmf {pmf:.4}");
         }
     }
 }

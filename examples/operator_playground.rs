@@ -59,8 +59,14 @@ fn main() {
     let flat = run(&mut flatten, &tuples_from(&raw)).remove(0);
     let flat_points: Vec<SpaceTimePoint> = flat.iter().map(|t| t.point).collect();
     let out_rep = homogeneity_report(&flat_points, &window, 4, 2);
-    println!("input : n={:<6} χ² p={:<10.3e} count CV={:.3}", in_rep.n, in_rep.chi_square.p_value, in_rep.count_cv);
-    println!("output: n={:<6} χ² p={:<10.3e} count CV={:.3}", out_rep.n, out_rep.chi_square.p_value, out_rep.count_cv);
+    println!(
+        "input : n={:<6} χ² p={:<10.3e} count CV={:.3}",
+        in_rep.n, in_rep.chi_square.p_value, in_rep.count_cv
+    );
+    println!(
+        "output: n={:<6} χ² p={:<10.3e} count CV={:.3}",
+        out_rep.n, out_rep.chi_square.p_value, out_rep.count_cv
+    );
     println!("rate violations N_v = {:.1}%\n", report.last_nv());
 
     // ---- T: thin a homogeneous stream -----------------------------------

@@ -32,10 +32,16 @@ fn main() {
     let query_text = "ACQUIRE temp FROM RECT(0, 0, 2, 2) RATE 0.5 PER KM2 PER MIN";
     let qid = server.submit(query_text).expect("query parses and plans");
     println!("submitted: {query_text}");
-    println!("planned as {qid} over {} grid cell(s)\n", server.fabricator().query_plan(qid).unwrap().cells.len());
+    println!(
+        "planned as {qid} over {} grid cell(s)\n",
+        server.fabricator().query_plan(qid).unwrap().cells.len()
+    );
 
     // Run 12 five-minute epochs (one simulated hour).
-    println!("{:>5} {:>8} {:>10} {:>10} {:>10}", "epoch", "t (min)", "requests", "responses", "delivered");
+    println!(
+        "{:>5} {:>8} {:>10} {:>10} {:>10}",
+        "epoch", "t (min)", "requests", "responses", "delivered"
+    );
     for _ in 0..12 {
         let report = server.run_epoch();
         let delivered: usize = report.delivered.iter().map(|(_, n)| n).sum();

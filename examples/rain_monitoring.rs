@@ -46,7 +46,10 @@ fn main() {
         let report = server.run_epoch();
         let tuples = server.take_output(qid);
         if tuples.is_empty() {
-            println!("{:>5} {:>8.0} {:>9} {:>10} {:>12} {:>12}", report.epoch, report.now, 0, "-", "-", "-");
+            println!(
+                "{:>5} {:>8.0} {:>9} {:>10} {:>12} {:>12}",
+                report.epoch, report.now, 0, "-", "-", "-"
+            );
             continue;
         }
         let raining: Vec<&CrowdTuple> =
@@ -54,8 +57,7 @@ fn main() {
         let pct = 100.0 * raining.len() as f64 / tuples.len() as f64;
         // Estimate the front's leading edge from the data: the easternmost
         // raining report this epoch.
-        let est_front =
-            raining.iter().map(|t| t.point.x).fold(f64::NEG_INFINITY, f64::max);
+        let est_front = raining.iter().map(|t| t.point.x).fold(f64::NEG_INFINITY, f64::max);
         let true_front = 0.05 * report.now;
         let est = if raining.is_empty() { "-".to_string() } else { format!("{est_front:>10.2}") };
         println!(

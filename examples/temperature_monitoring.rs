@@ -50,7 +50,10 @@ fn main() {
         server.run_epoch();
     }
 
-    println!("\n{:>24} {:>10} {:>12} {:>12} {:>10} {:>9}", "query", "tuples", "requested λ", "achieved λ", "mean °C", "min..max");
+    println!(
+        "\n{:>24} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "query", "tuples", "requested λ", "achieved λ", "mean °C", "min..max"
+    );
     for (qid, name, _) in &ids {
         let plan_rate = server.fabricator().query_plan(*qid).unwrap().query.rate;
         let area = server.fabricator().query_plan(*qid).unwrap().footprint.area();

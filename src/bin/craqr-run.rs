@@ -20,6 +20,7 @@
 //! | `--epochs N`       | 12     | epochs to run (5 simulated min each) |
 //! | `--grid SIDE`      | 4      | cells per grid side (√h) |
 //! | `--budget B`       | 20     | initial requests/epoch per (attr, cell) |
+//! | `--shards N`       | 0      | worker shards for the process phase (0 = serial); any N is bit-identical to serial under the same seed |
 //! | `--query "TEXT"`   | —      | declarative query (repeatable, ≥1 required) |
 //! | `--dot`            | off    | print Graphviz topologies instead of tables |
 
@@ -35,6 +36,7 @@ struct Args {
     epochs: u64,
     grid: u32,
     budget: f64,
+    shards: usize,
     queries: Vec<String>,
     dot: bool,
 }
@@ -48,20 +50,21 @@ fn parse_args() -> Result<Args, String> {
         epochs: 12,
         grid: 4,
         budget: 20.0,
+        shards: 0,
         queries: Vec::new(),
         dot: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("flag {name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("flag {name} needs a value"));
         match flag.as_str() {
             "--size" => args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?,
             "--sensors" => {
                 args.sensors = value("--sensors")?.parse().map_err(|e| format!("--sensors: {e}"))?
             }
-            "--human" => args.human = value("--human")?.parse().map_err(|e| format!("--human: {e}"))?,
+            "--human" => {
+                args.human = value("--human")?.parse().map_err(|e| format!("--human: {e}"))?
+            }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--epochs" => {
                 args.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
@@ -69,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
             "--grid" => args.grid = value("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?,
             "--budget" => {
                 args.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
             }
             "--query" => args.queries.push(value("--query")?),
             "--dot" => args.dot = true,
@@ -108,15 +114,13 @@ fn main() -> ExitCode {
         },
         seed: args.seed,
     });
+    let exec = if args.shards > 0 { ExecMode::Sharded(args.shards) } else { ExecMode::Serial };
     let mut server = CraqrServer::new(
         crowd,
         ServerConfig {
             initial_budget: args.budget,
-            planner: PlannerConfig {
-                grid_side: args.grid,
-                seed: args.seed,
-                ..Default::default()
-            },
+            planner: PlannerConfig { grid_side: args.grid, seed: args.seed, ..Default::default() },
+            exec,
             ..Default::default()
         },
     );
@@ -146,7 +150,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("\n{:>5} {:>9} {:>10} {:>9} {:>10}", "epoch", "requests", "responses", "ingested", "delivered");
+    println!(
+        "\n{:>5} {:>9} {:>10} {:>9} {:>10}",
+        "epoch", "requests", "responses", "ingested", "delivered"
+    );
     for _ in 0..args.epochs {
         let r = server.run_epoch();
         let delivered: usize = r.delivered.iter().map(|(_, n)| n).sum();

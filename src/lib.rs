@@ -38,6 +38,35 @@
 //! assert!(stream.windows(2).all(|w| w[0].point.t <= w[1].point.t));
 //! assert!(stream.iter().all(|t| t.point.x < 2.0 && t.point.y < 2.0));
 //! ```
+//!
+//! ## Execution model: serial vs. sharded epochs
+//!
+//! The per-cell operator topologies share nothing — each `(cell,
+//! attribute)` chain owns its operators, sinks, and RNG streams, all
+//! derived from the planner's root seed. [`ServerConfig`]'s
+//! [`ExecMode`] knob chooses how the epoch's process phase runs:
+//!
+//! - [`ExecMode::Serial`] (default): every chain runs on the calling
+//!   thread in sorted key order — the reference implementation, easiest
+//!   to step through and profile.
+//! - [`ExecMode::Sharded`]`(n)`: chains are partitioned round-robin over
+//!   sorted keys into `n` shards, each run on a scoped worker thread;
+//!   per-shard results merge in ascending shard order.
+//!
+//! **Determinism contract:** for a fixed root seed, both modes produce
+//! bit-identical fabricated streams, dispatch statistics, and budget
+//! decisions, for every `n` (enforced by `tests/sharded_exec.rs`).
+//! Pick `Sharded(n ≈ available cores)` when many cells are materialized
+//! and batches are large (the `e13_parallel` bench measures the scaling);
+//! stay `Serial` for small grids, debugging, or single-core hosts where
+//! worker threads only add overhead.
+//!
+//! ```
+//! use craqr::prelude::*;
+//!
+//! let config = ServerConfig { exec: ExecMode::Sharded(4), ..ServerConfig::default() };
+//! # let _ = config;
+//! ```
 
 pub use craqr_core as core;
 pub use craqr_engine as engine;
@@ -50,9 +79,9 @@ pub use craqr_stats as stats;
 pub mod prelude {
     pub use craqr_core::{
         AcquisitionQuery, AttributeCatalog, Budget, BudgetTuner, CraqrServer, CrowdTuple,
-        EpochReport, ErrorModel, Fabricator, FlattenOp, IncentivePolicy, Mitigation, PartitionOp,
-        PlannerConfig, QueryId, RateMeterOp, ServerConfig, SuperposeOp, ThinOp, TopologyShape,
-        UnionOp,
+        EpochReport, ErrorModel, ExecMode, Fabricator, FlattenOp, IncentivePolicy, IngestReport,
+        Mitigation, PartitionOp, PlannerConfig, QueryId, RateMeterOp, ServerConfig, ShardIngest,
+        SuperposeOp, ThinOp, TopologyShape, UnionOp,
     };
     pub use craqr_geom::{CellId, Grid, Rect, Region, SpaceTimePoint, SpaceTimeWindow};
     pub use craqr_mdpp::{

@@ -58,10 +58,7 @@ fn overlapping_queries_share_operators_and_both_get_their_rates() {
     let slow = server.submit("ACQUIRE temp FROM RECT(0, 0, 2, 2) RATE 0.2").unwrap();
 
     // Shared chain: one F, two taps in every covered cell.
-    let chain = server
-        .fabricator()
-        .chain(CellId::new(0, 0), attr)
-        .expect("cell materialized");
+    let chain = server.fabricator().chain(CellId::new(0, 0), attr).expect("cell materialized");
     assert_eq!(chain.tap_rates(), vec![0.8, 0.2]);
 
     for _ in 0..6 {

@@ -5,8 +5,7 @@ use craqr::core::{ErrorModel, Mitigation};
 use craqr::prelude::*;
 use craqr::sensing::fields::ConstantField;
 use craqr::sensing::transport::{
-    decode_request, decode_response, encode_request, LossyChannel,
-    TransportError,
+    decode_request, decode_response, encode_request, LossyChannel, TransportError,
 };
 use craqr::sensing::{AcquisitionRequest, AttributeId};
 
@@ -83,10 +82,7 @@ fn value_outliers_are_filtered_but_signal_survives() {
 fn bool_flips_degrade_but_do_not_invert_rain_signal() {
     let mut server = CraqrServer::new(
         crowd(3),
-        ServerConfig {
-            error_model: ErrorModel::new(0.0, 0.15, 0.0),
-            ..Default::default()
-        },
+        ServerConfig { error_model: ErrorModel::new(0.0, 0.15, 0.0), ..Default::default() },
     );
     // It always rains everywhere.
     server.register_attribute("rain", true, Box::new(ConstantField(AttrValue::Bool(true))));

@@ -56,8 +56,7 @@ fn build() -> Fig2 {
     );
 
     // R1: the L of cells (2,3), (3,2), (3,3) — rain at λ1.
-    let r1_parts =
-        vec![paper_cell_rect(2, 3), paper_cell_rect(3, 2), paper_cell_rect(3, 3)];
+    let r1_parts = vec![paper_cell_rect(2, 3), paper_cell_rect(3, 2), paper_cell_rect(3, 3)];
     let q1 = fab
         .insert_query_parts(
             AcquisitionQuery::new(RAIN, Rect::new(1.0, 1.0, 3.0, 3.0), LAMBDA1),
@@ -137,10 +136,8 @@ fn q1_footprint_is_the_l_shape() {
     assert_eq!(plan.cells.len(), 3);
     assert!(plan.cells.iter().all(|(_, _, full)| *full), "Q1 perfectly overlaps its cells");
     // The canonical L: [2,3)x[1,3) ∪ [1,2)x[2,3).
-    let expected = Region::from_disjoint(vec![
-        Rect::new(2.0, 1.0, 3.0, 3.0),
-        Rect::new(1.0, 2.0, 2.0, 3.0),
-    ]);
+    let expected =
+        Region::from_disjoint(vec![Rect::new(2.0, 1.0, 3.0, 3.0), Rect::new(1.0, 2.0, 2.0, 3.0)]);
     assert!(plan.footprint.covers_same_area(&expected), "{}", plan.footprint);
     assert_eq!(plan.footprint.part_count(), 2, "an L cannot be one rectangle");
 }

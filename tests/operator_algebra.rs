@@ -100,10 +100,7 @@ fn thinning_commutes_with_partition() {
     ] {
         let expect = 2.0 * area * minutes;
         let sd = expect.sqrt();
-        assert!(
-            (got as f64 - expect).abs() < 5.0 * sd,
-            "{label}: {got} vs expected {expect:.0}"
-        );
+        assert!((got as f64 - expect).abs() < 5.0 * sd, "{label}: {got} vs expected {expect:.0}");
     }
 }
 

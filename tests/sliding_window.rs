@@ -69,9 +69,6 @@ fn estimator_modes_agree_with_batch_mle() {
     let (_, sgd) = run_with(EstimatorMode::Sgd(Default::default()), 53);
     let (_, hist) = run_with(EstimatorMode::Histogram { bins: 3 }, 53);
     for (name, rate) in [("sgd", sgd), ("histogram", hist)] {
-        assert!(
-            (rate - mle).abs() / mle < 0.5,
-            "{name} rate {rate} too far from batch MLE {mle}"
-        );
+        assert!((rate - mle).abs() / mle < 0.5, "{name} rate {rate} too far from batch MLE {mle}");
     }
 }

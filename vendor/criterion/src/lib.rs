@@ -1,0 +1,227 @@
+//! Offline mini-criterion.
+//!
+//! Implements the `criterion` surface the workspace's `ops_micro` bench
+//! uses — groups, `bench_function`, `iter` / `iter_batched`, throughput
+//! annotation, `criterion_group!` / `criterion_main!` — over plain
+//! `std::time::Instant` timing. No statistics beyond mean/min; results
+//! print as one line per benchmark:
+//!
+//! ```text
+//! pmat_ops/thin_10k  mean 1.234 ms  min 1.180 ms  (8.1 Melem/s)
+//! ```
+//!
+//! Honors `--test` on the command line (run each benchmark once, smoke
+//! mode) the way real criterion does, so `cargo test --benches` stays
+//! fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub use std::hint::black_box;
+
+/// Batch sizing hints (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Throughput annotation for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { sample_size: 20, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        run_one(id, None, samples, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let samples = if self.criterion.test_mode { 1 } else { self.criterion.sample_size };
+        run_one(&full, self.throughput, samples, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Closes the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    test_mode: bool,
+    f: &mut F,
+) {
+    let mut durations = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, test_mode };
+        f(&mut b);
+        if b.iters > 0 {
+            durations.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    if durations.is_empty() {
+        println!("{id}: no measurements");
+        return;
+    }
+    let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+    let min = durations.iter().copied().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({:.2} Melem/s)", n as f64 / mean / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", n as f64 / mean / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("{id}  mean {}  min {}{rate}", fmt_secs(mean), fmt_secs(min));
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// The per-sample measurement context handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    fn rounds(&self) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            8
+        }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let rounds = self.rounds();
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += rounds;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.rounds() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group entry point (API-parity subset).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` subset the
+//! workspace uses, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    //! Unbounded MPSC channels with `crossbeam`-shaped error types.
+
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error of a failed send (receiver dropped); carries the message back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error of a non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only when the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_empty() {
+            let (tx, rx) = unbounded();
+            tx.send(5u32).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

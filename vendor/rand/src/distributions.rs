@@ -1,0 +1,58 @@
+//! The `Distribution` abstraction and the `Standard` uniform distribution.
+
+use crate::RngCore;
+
+/// Converts a random 64-bit word to a double in `[0, 1)` using the top 53
+/// bits (the standard `rand` construction).
+#[inline]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A sampling distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution of each primitive type: full range
+/// for integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Top 24 bits for an unbiased single-precision unit uniform.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn _object_safety(_: &dyn RngCore) {}

@@ -1,0 +1,110 @@
+//! A small, offline, API-compatible subset of the `rand` 0.8 crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the narrow slice of `rand` it actually uses:
+//! [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64),
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] convenience methods
+//! (`gen`, `gen_range`, `gen_bool`), [`seq::SliceRandom`]
+//! (`choose` / `choose_multiple`), and the
+//! [`distributions::Distribution`] / [`distributions::Standard`] traits.
+//!
+//! Streams are NOT bit-compatible with upstream `rand`'s ChaCha-backed
+//! `StdRng`; every consumer in this workspace only relies on
+//! *self-consistent determinism* (same seed ⇒ same stream), which this
+//! implementation guarantees.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// The raw generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniformly distributed 32-bit word (upper bits of
+    /// [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generator construction.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types uniformly sampleable over a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// A uniform draw from `[lo, hi)`.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u = crate::distributions::unit_f64(rng.next_u64());
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * crate::distributions::unit_f64(rng.next_u64()) as f32
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty sample range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Rejection-free for our purposes: the modulo bias for
+                // spans ≪ 2^64 is far below any statistical test in the
+                // workspace; keep it branch-free and deterministic.
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the standard (uniform) distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample_in(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        distributions::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,89 @@
+//! Random selection from slices.
+
+use crate::Rng;
+
+/// Extension methods for random selection out of slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements chosen uniformly without replacement
+    /// (all of them when `amount >= len`), in selection order.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[idx])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: O(len) setup,
+        // O(amount) swaps, exact uniformity over subsets.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (self.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx[..amount].iter().map(|&i| &self[i]).collect::<Vec<&T>>().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let xs = [1, 2, 3, 4, 5];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*xs.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), xs.len());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let xs: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let picked: Vec<u32> = xs.choose_multiple(&mut rng, 30).copied().collect();
+        assert_eq!(picked.len(), 30);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 30, "selection must be without replacement");
+        // Asking for more than there is yields everything.
+        assert_eq!(xs.choose_multiple(&mut rng, 500).count(), 100);
+    }
+
+    #[test]
+    fn empty_slice_chooses_none() {
+        let xs: [u8; 0] = [];
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(xs.choose(&mut rng).is_none());
+        assert_eq!(xs.choose_multiple(&mut rng, 3).count(), 0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op [`Serialize`] / [`Deserialize`] derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access. No serialization machinery exists; swap this
+//! path dependency for the real crates.io `serde` to activate it.
+
+pub use serde_derive::{Deserialize, Serialize};
