@@ -138,6 +138,13 @@ impl AttrChain {
         Arc::clone(&self.f_report)
     }
 
+    /// Per-node execution counters of this chain's topology — the report
+    /// hook scenario/metrics consumers aggregate across chains (see
+    /// [`craqr_engine::TopologyMetrics::absorb`]).
+    pub fn metrics(&self) -> craqr_engine::TopologyMetrics {
+        self.topo.metrics()
+    }
+
     /// Current F target rate λ̄.
     pub fn f_rate(&self) -> f64 {
         self.f_rate

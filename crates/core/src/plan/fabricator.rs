@@ -402,6 +402,22 @@ impl Fabricator {
         self.cells.values().flat_map(HashMap::values).map(AttrChain::tuples_processed).sum()
     }
 
+    /// Fleet-wide operator metrics: every chain's topology counters folded
+    /// into one [`craqr_engine::TopologyMetrics`] snapshot, chains visited
+    /// in sorted `(cell, attribute)` order so the aggregate is
+    /// deterministic. Scenario reports compress this further with
+    /// [`craqr_engine::TopologyMetrics::by_kind`].
+    pub fn chain_metrics(&self) -> craqr_engine::TopologyMetrics {
+        let mut keys: Vec<(CellId, AttributeId)> =
+            self.cells.iter().flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a))).collect();
+        keys.sort();
+        let mut agg = craqr_engine::TopologyMetrics::default();
+        for (cell, attr) in keys {
+            agg.absorb(&self.cells[&cell][&attr].metrics());
+        }
+        agg
+    }
+
     /// Renders every materialized chain, sorted by cell then attribute —
     /// the textual form of Fig. 2(b).
     pub fn explain(&self) -> String {

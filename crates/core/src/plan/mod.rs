@@ -46,3 +46,28 @@ impl Default for PlannerConfig {
         }
     }
 }
+
+impl PlannerConfig {
+    /// Checks the knobs a declarative spec can set, returning the first
+    /// violated constraint as `(field, requirement)`. Construction-time
+    /// panics guard programmatic misuse; this is the *data-driven* path
+    /// (scenario specs, config files) where a parse error beats a panic.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        if self.grid_side == 0 {
+            return Err((
+                "grid.side",
+                "must be >= 1 (a zero-cell grid has nowhere to plan)".into(),
+            ));
+        }
+        if !(self.batch_duration.is_finite() && self.batch_duration > 0.0) {
+            return Err((
+                "planner.batch_minutes",
+                format!("must be > 0, got {}", self.batch_duration),
+            ));
+        }
+        if !(self.f_headroom.is_finite() && self.f_headroom >= 1.0) {
+            return Err(("planner.f_headroom", format!("must be >= 1, got {}", self.f_headroom)));
+        }
+        Ok(())
+    }
+}

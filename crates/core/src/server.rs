@@ -54,6 +54,56 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// Checks every knob a declarative spec can set, returning the first
+    /// violated constraint as `(field, requirement)` — the data-driven
+    /// counterpart of the constructors' panics, used by the scenario
+    /// harness to reject bad specs with an error instead of aborting.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        self.planner.validate()?;
+        if !(self.initial_budget.is_finite() && self.initial_budget >= 0.0) {
+            return Err(("budget.initial", format!("must be >= 0, got {}", self.initial_budget)));
+        }
+        if self.mobility_substeps == 0 {
+            return Err(("planner.mobility_substeps", "must be >= 1".into()));
+        }
+        if matches!(self.exec, ExecMode::Sharded(0)) {
+            return Err(("exec.shards", "Sharded(0) has no workers to run on".into()));
+        }
+        let t = &self.tuner;
+        if !(t.nv_threshold.is_finite() && (0.0..=100.0).contains(&t.nv_threshold)) {
+            return Err((
+                "budget.nv_threshold",
+                format!("must be in [0,100], got {}", t.nv_threshold),
+            ));
+        }
+        if !(t.delta.is_finite() && t.delta >= 0.0) {
+            return Err(("budget.delta", format!("must be >= 0, got {}", t.delta)));
+        }
+        if !(t.min_budget.is_finite() && t.min_budget >= 0.0) {
+            return Err(("budget.min", format!("must be >= 0, got {}", t.min_budget)));
+        }
+        if !(t.max_budget.is_finite() && t.max_budget >= t.min_budget) {
+            return Err((
+                "budget.max",
+                format!("must be >= budget.min ({}), got {}", t.min_budget, t.max_budget),
+            ));
+        }
+        let e = &self.error_model;
+        let sigma_ok = |s: f64| s.is_finite() && s >= 0.0;
+        if !sigma_ok(e.gps_sigma) || !sigma_ok(e.value_sigma) {
+            return Err(("errors.sigma", "gps/value sigmas must be finite and >= 0".into()));
+        }
+        if !(0.0..=1.0).contains(&e.bool_flip_prob) {
+            return Err((
+                "errors.bool_flip_prob",
+                format!("must be in [0,1], got {}", e.bool_flip_prob),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Query submission failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SubmitError {

@@ -23,6 +23,14 @@ impl NodeMetrics {
             self.tuples_out as f64 / self.tuples_in as f64
         }
     }
+
+    /// Accumulates another node's counters into this one (used when
+    /// aggregating many per-cell topologies into a fleet-wide report).
+    pub fn absorb(&mut self, other: &NodeMetrics) {
+        self.tuples_in += other.tuples_in;
+        self.tuples_out += other.tuples_out;
+        self.batches += other.batches;
+    }
 }
 
 /// A whole-topology metrics snapshot.
@@ -43,6 +51,37 @@ impl TopologyMetrics {
     pub fn by_name(&self, name: &str) -> Option<NodeMetrics> {
         self.nodes.iter().find(|(n, _)| n == name).map(|(_, m)| *m)
     }
+
+    /// Folds another snapshot into this one **by node name**: nodes present
+    /// in both accumulate counter-wise, nodes only in `other` append in
+    /// `other`'s order. The reporting hook used to combine per-chain
+    /// topologies into one fleet-wide view.
+    pub fn absorb(&mut self, other: &TopologyMetrics) {
+        for (name, m) in &other.nodes {
+            match self.nodes.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.absorb(m),
+                None => self.nodes.push((name.clone(), *m)),
+            }
+        }
+    }
+
+    /// Aggregates node counters by operator *kind* — the name prefix before
+    /// the first `(` (so `T(1.000→0.500)` and `T(2.000→0.250)` both land
+    /// under `T`). Returns `(kind, metrics)` sorted by kind, which gives
+    /// scenario reports a stable, parameter-independent acceptance/thinning
+    /// summary.
+    pub fn by_kind(&self) -> Vec<(String, NodeMetrics)> {
+        let mut kinds: Vec<(String, NodeMetrics)> = Vec::new();
+        for (name, m) in &self.nodes {
+            let kind = name.split('(').next().unwrap_or(name).trim().to_string();
+            match kinds.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, agg)) => agg.absorb(m),
+                None => kinds.push((kind, *m)),
+            }
+        }
+        kinds.sort_by(|(a, _), (b, _)| a.cmp(b));
+        kinds
+    }
 }
 
 #[cfg(test)]
@@ -58,6 +97,44 @@ mod tests {
     fn selectivity_ratio() {
         let m = NodeMetrics { tuples_in: 100, tuples_out: 25, batches: 4 };
         assert!((m.selectivity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates_by_name_and_appends_new_nodes() {
+        let mut a = TopologyMetrics {
+            nodes: vec![(
+                "F(λ̄=1.000)".into(),
+                NodeMetrics { tuples_in: 5, tuples_out: 4, batches: 1 },
+            )],
+        };
+        let b = TopologyMetrics {
+            nodes: vec![
+                ("F(λ̄=1.000)".into(), NodeMetrics { tuples_in: 3, tuples_out: 3, batches: 1 }),
+                ("T(1.000→0.500)".into(), NodeMetrics { tuples_in: 7, tuples_out: 3, batches: 2 }),
+            ],
+        };
+        a.absorb(&b);
+        assert_eq!(a.by_name("F(λ̄=1.000)").unwrap().tuples_in, 8);
+        assert_eq!(a.by_name("T(1.000→0.500)").unwrap().tuples_out, 3);
+        assert_eq!(a.nodes.len(), 2);
+    }
+
+    #[test]
+    fn by_kind_groups_parameterized_names() {
+        let tm = TopologyMetrics {
+            nodes: vec![
+                ("T(1.000→0.500)".into(), NodeMetrics { tuples_in: 10, tuples_out: 5, batches: 1 }),
+                ("F(λ̄=2.000)".into(), NodeMetrics { tuples_in: 20, tuples_out: 16, batches: 1 }),
+                ("T(2.000→0.250)".into(), NodeMetrics { tuples_in: 8, tuples_out: 1, batches: 1 }),
+            ],
+        };
+        let kinds = tm.by_kind();
+        assert_eq!(kinds.len(), 2);
+        assert_eq!(kinds[0].0, "F");
+        assert_eq!(kinds[1].0, "T");
+        assert_eq!(kinds[1].1.tuples_in, 18);
+        assert_eq!(kinds[1].1.tuples_out, 6);
+        assert_eq!(kinds[1].1.batches, 2);
     }
 
     #[test]

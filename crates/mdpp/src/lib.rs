@@ -18,6 +18,11 @@
 //!   (ref. \[13\], used by sliding-window flattening).
 //! - [`diagnostics`]: empirical homogeneity checks (binned χ², dispersion,
 //!   count CV, temporal KS) used to verify operator behaviour.
+//! - [`excite`]: self-exciting (Hawkes-style) conditional intensities with
+//!   a deterministic cluster-cascade generator — burst workloads for the
+//!   scenario harness.
+//! - [`summary`]: deterministic empirical intensity summaries of realized
+//!   point sets (rate, per-cell extremes, count CV) for golden reports.
 //!
 //! # Example
 //!
@@ -44,14 +49,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod diagnostics;
+pub mod excite;
 pub mod fit;
 pub mod intensity;
 pub mod process;
+pub mod summary;
 
 pub use diagnostics::{homogeneity_report, HomogeneityReport};
+pub use excite::SelfExcitingIntensity;
 pub use fit::{fit_mle, FitConfig, FitResult, SgdEstimator};
 pub use intensity::{
     ConstantIntensity, GaussianBumpIntensity, IntegralCache, IntensityModel, LinearIntensity,
     PiecewiseConstantIntensity,
 };
 pub use process::{HomogeneousMdpp, InhomogeneousMdpp};
+pub use summary::IntensitySummary;

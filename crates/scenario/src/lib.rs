@@ -1,0 +1,69 @@
+//! # craqr-scenario — the declarative scenario harness.
+//!
+//! The paper's evaluation sweeps many workload regimes — thinning rates,
+//! budget levels, churn, spatial granularity. This crate turns those
+//! regimes into *checked-in artifacts*: a [`ScenarioSpec`] describes one
+//! complete workload declaratively (`.toml`/`.json` files under
+//! `scenarios/`), a [`ScenarioRunner`] executes it under any
+//! [`craqr_core::ExecMode`], and the resulting [`ScenarioReport`] renders
+//! to a canonical, byte-stable golden text (committed under
+//! `tests/goldens/`, asserted by `tests/scenario_goldens.rs`).
+//!
+//! Three properties make the harness a durable regression surface:
+//!
+//! 1. **Determinism** — a report depends only on `(spec, seed)`; serial
+//!    and sharded execution produce byte-identical canonical reports.
+//! 2. **Typo rejection** — specs refuse unknown fields and out-of-range
+//!    values with precise dotted-path errors, so a misspelled knob can
+//!    never silently run the wrong workload.
+//! 3. **Lossless round-trips** — `parse(spec.to_toml()) == spec` and
+//!    `parse(spec.to_json()) == spec` for every valid spec (proptested),
+//!    so tooling can rewrite specs mechanically.
+//!
+//! ```
+//! use craqr_scenario::{ScenarioRunner, ScenarioSpec};
+//! use craqr_core::ExecMode;
+//!
+//! let spec = ScenarioSpec::from_toml(r#"
+//! name = "doc"
+//! seed = 7
+//! epochs = 2
+//!
+//! [grid]
+//! size_km = 4.0
+//! side = 4
+//!
+//! [population]
+//! size = 200
+//! placement = { kind = "uniform" }
+//! mobility = { kind = "walk", sigma = 0.2 }
+//!
+//! [[attributes]]
+//! name = "temp"
+//! field = { kind = "constant", value = 21.0 }
+//!
+//! [[queries]]
+//! text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
+//! "#).unwrap();
+//!
+//! let runner = ScenarioRunner::new(spec).unwrap();
+//! let serial = runner.run(ExecMode::Serial).unwrap();
+//! let sharded = runner.run(ExecMode::Sharded(4)).unwrap();
+//! assert_eq!(serial.canonical(), sharded.canonical());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+pub mod spec;
+pub mod value;
+
+mod runner;
+
+pub use report::{fnv1a64, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport};
+pub use runner::{RunError, ScenarioRunner};
+pub use spec::{
+    AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec, MobilitySpec,
+    PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, SpecError,
+};

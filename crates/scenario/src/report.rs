@@ -1,0 +1,301 @@
+//! Golden scenario reports.
+//!
+//! A [`ScenarioReport`] is the deterministic observable footprint of one
+//! scenario run: per-epoch loop statistics, per-query delivery and
+//! empirical intensity summaries, operator-kind acceptance/thinning
+//! totals, and whole-run budget accounting. Its
+//! [`canonical`](ScenarioReport::canonical) rendering is byte-stable — identical for
+//! [`craqr_core::ExecMode::Serial`] and any `Sharded(n)` under the same
+//! seed — and ends in an FNV-1a checksum line, so golden files under
+//! `tests/goldens/` diff cleanly and CI can compare runs by checksum
+//! alone.
+//!
+//! Anything host- or schedule-dependent (wall/CPU time, shard busy-times,
+//! worker counts) is deliberately **excluded** from the canonical body.
+
+use crate::value::format_float;
+use craqr_mdpp::IntensitySummary;
+
+/// One epoch of the Fig. 1 loop, reduced to its deterministic counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRow {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Requests the handler attempted.
+    pub requested: u64,
+    /// Requests actually sent.
+    pub sent: u64,
+    /// Responses drained from the crowd.
+    pub responses: usize,
+    /// Responses rejected by mitigation.
+    pub rejected: usize,
+    /// Well-formed tuples ingested.
+    pub ingested: usize,
+    /// Tuples routed to materialized chains.
+    pub routed: usize,
+    /// Tuples dropped at the map phase.
+    pub dropped: usize,
+    /// Tuples delivered across all queries.
+    pub delivered: usize,
+    /// Budget-tuning increase events.
+    pub tune_increased: usize,
+    /// Budget-tuning decrease events.
+    pub tune_decreased: usize,
+    /// Budget-exhaustion events.
+    pub tune_exhausted: usize,
+}
+
+/// One standing query's whole-run outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Query index (submission order).
+    pub index: usize,
+    /// The declarative text.
+    pub text: String,
+    /// Requested rate λ (/km²/min).
+    pub requested_rate: f64,
+    /// Query footprint area (km²).
+    pub area: f64,
+    /// Tuples delivered over the run.
+    pub delivered: usize,
+    /// Achieved rate (delivered / (area × minutes)).
+    pub achieved_rate: f64,
+    /// Empirical intensity summary of the delivered stream over the run
+    /// window on the scenario grid.
+    pub intensity: IntensitySummary,
+}
+
+/// Acceptance/thinning totals for one operator kind (aggregated over every
+/// chain via [`craqr_engine::TopologyMetrics::by_kind`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorRow {
+    /// Operator kind (name prefix before the parameter list).
+    pub kind: String,
+    /// Tuples in.
+    pub tuples_in: u64,
+    /// Tuples out.
+    pub tuples_out: u64,
+    /// Batches processed.
+    pub batches: u64,
+}
+
+/// Whole-run accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTotals {
+    /// Requests attempted.
+    pub requested: u64,
+    /// Requests sent.
+    pub sent: u64,
+    /// Responses delivered by the crowd.
+    pub responses: u64,
+    /// Budget-exhaustion events ("accept the feasible rate or pay more").
+    pub exhausted_events: u64,
+    /// Sum of final per-chain budgets (requests/epoch).
+    pub final_budget: f64,
+    /// Tuples dropped at the map phase over the run.
+    pub dropped_unmaterialized: u64,
+    /// Materialized (cell, attribute) chains at the end of the run.
+    pub chains: usize,
+    /// Simulated minutes elapsed.
+    pub minutes: f64,
+}
+
+/// The full deterministic report of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the run used (spec seed unless overridden).
+    pub seed: u64,
+    /// Per-epoch rows.
+    pub epochs: Vec<EpochRow>,
+    /// Per-query rows.
+    pub queries: Vec<QueryRow>,
+    /// Operator-kind totals, sorted by kind.
+    pub operators: Vec<OperatorRow>,
+    /// Whole-run accounting.
+    pub totals: RunTotals,
+}
+
+impl ScenarioReport {
+    /// The canonical golden text: byte-stable across hosts and
+    /// [`craqr_core::ExecMode`]s, ending in a `checksum:` line over
+    /// everything before it.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "# craqr scenario report v1");
+        let _ = writeln!(s, "scenario: {}", self.name);
+        let _ = writeln!(s, "seed: {}", self.seed);
+        let _ = writeln!(s, "epochs: {}", self.epochs.len());
+        let _ = writeln!(s, "\n[epochs]");
+        for e in &self.epochs {
+            let _ = writeln!(
+                s,
+                "e={} requested={} sent={} responses={} rejected={} ingested={} routed={} \
+                 dropped={} delivered={} tune+={} tune-={} tune!={}",
+                e.epoch,
+                e.requested,
+                e.sent,
+                e.responses,
+                e.rejected,
+                e.ingested,
+                e.routed,
+                e.dropped,
+                e.delivered,
+                e.tune_increased,
+                e.tune_decreased,
+                e.tune_exhausted,
+            );
+        }
+        let _ = writeln!(s, "\n[queries]");
+        for q in &self.queries {
+            let _ = writeln!(
+                s,
+                "q={} text={:?} rate-requested={} area={} delivered={} rate-achieved={}",
+                q.index,
+                q.text,
+                format_float(q.requested_rate),
+                format_float(q.area),
+                q.delivered,
+                format_float(q.achieved_rate),
+            );
+            let i = &q.intensity;
+            let _ = writeln!(
+                s,
+                "  intensity count={} mean={} min-cell={} max-cell={} cell-cv={}",
+                i.count,
+                format_float(i.mean_rate),
+                format_float(i.min_cell_rate),
+                format_float(i.max_cell_rate),
+                format_float(i.cell_cv),
+            );
+        }
+        let _ = writeln!(s, "\n[operators]");
+        for o in &self.operators {
+            let _ = writeln!(
+                s,
+                "{} in={} out={} batches={}",
+                o.kind, o.tuples_in, o.tuples_out, o.batches
+            );
+        }
+        let t = &self.totals;
+        let _ = writeln!(s, "\n[totals]");
+        let _ = writeln!(
+            s,
+            "requested={} sent={} responses={} exhausted={} final-budget={} \
+             dropped-unmaterialized={} chains={} minutes={}",
+            t.requested,
+            t.sent,
+            t.responses,
+            t.exhausted_events,
+            format_float(t.final_budget),
+            t.dropped_unmaterialized,
+            t.chains,
+            format_float(t.minutes),
+        );
+        let _ = writeln!(s, "\nchecksum: {:#018x}", fnv1a64(s.as_bytes()));
+        s
+    }
+
+    /// The report's content checksum (the value on the canonical text's
+    /// final line).
+    pub fn checksum(&self) -> u64 {
+        let canon = self.canonical();
+        // Everything before the blank line introducing the checksum line is
+        // exactly what the checksum hashed.
+        let body = canon.rsplit_once("\nchecksum:").expect("canonical ends in checksum").0;
+        fnv1a64(body.as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a over a byte string — stable, dependency-free, and fast
+/// enough for report-sized inputs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craqr_geom::{Rect, SpaceTimeWindow};
+
+    fn report() -> ScenarioReport {
+        let window = SpaceTimeWindow::new(Rect::with_size(4.0, 4.0), 0.0, 10.0);
+        ScenarioReport {
+            name: "unit".into(),
+            seed: 7,
+            epochs: vec![EpochRow {
+                epoch: 0,
+                requested: 10,
+                sent: 9,
+                responses: 8,
+                rejected: 1,
+                ingested: 7,
+                routed: 6,
+                dropped: 1,
+                delivered: 5,
+                tune_increased: 1,
+                tune_decreased: 0,
+                tune_exhausted: 0,
+            }],
+            queries: vec![QueryRow {
+                index: 0,
+                text: "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5".into(),
+                requested_rate: 0.5,
+                area: 4.0,
+                delivered: 5,
+                achieved_rate: 0.125,
+                intensity: IntensitySummary::from_points(&[], &window, 4),
+            }],
+            operators: vec![OperatorRow {
+                kind: "F".into(),
+                tuples_in: 7,
+                tuples_out: 6,
+                batches: 1,
+            }],
+            totals: RunTotals {
+                requested: 10,
+                sent: 9,
+                responses: 8,
+                exhausted_events: 0,
+                final_budget: 22.0,
+                dropped_unmaterialized: 1,
+                chains: 4,
+                minutes: 5.0,
+            },
+        }
+    }
+
+    #[test]
+    fn canonical_is_stable_and_checksummed() {
+        let r = report();
+        let a = r.canonical();
+        let b = r.canonical();
+        assert_eq!(a, b);
+        let line = a.lines().last().unwrap();
+        assert!(line.starts_with("checksum: 0x"), "{line}");
+        assert!(a.ends_with(&format!("checksum: {:#018x}\n", r.checksum())));
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let a = report();
+        let mut b = report();
+        b.epochs[0].delivered += 1;
+        assert_ne!(a.checksum(), b.checksum());
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,351 @@
+//! Executing a spec: spec → crowd → server → [`ScenarioReport`].
+
+use crate::report::{EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport};
+use crate::spec::{FieldSpec, ScenarioSpec, SpecError};
+use craqr_core::budget::TuneOutcome;
+use craqr_core::server::SubmitError;
+use craqr_core::{CraqrServer, ExecMode, QueryId};
+use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
+use craqr_mdpp::{IntensityModel, IntensitySummary, SelfExcitingIntensity};
+use craqr_sensing::{fields::ConstantField, AttrValue, Crowd, CrowdConfig, Field};
+use std::fmt;
+
+/// Why a (valid) spec failed to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The spec itself is invalid.
+    Spec(SpecError),
+    /// A query failed to parse or plan against this spec's world.
+    Query {
+        /// Index into [`ScenarioSpec::queries`].
+        index: usize,
+        /// The offending text.
+        text: String,
+        /// The parser/planner complaint.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Spec(e) => write!(f, "invalid spec: {e}"),
+            RunError::Query { index, text, message } => {
+                write!(f, "query {index} ('{text}'): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SpecError> for RunError {
+    fn from(e: SpecError) -> Self {
+        RunError::Spec(e)
+    }
+}
+
+/// A ground-truth field backed by a (frozen) intensity model: observations
+/// report `scale × λ(t, x, y)` — the scenario harness's burst phenomena.
+struct IntensityField<I> {
+    model: I,
+    scale: f64,
+}
+
+impl<I: IntensityModel + Send + Sync> Field for IntensityField<I> {
+    fn value_at(&self, p: &SpaceTimePoint) -> AttrValue {
+        AttrValue::Float(self.scale * self.model.rate_at(p))
+    }
+}
+
+/// Runs [`ScenarioSpec`]s under any [`ExecMode`].
+///
+/// The runner is stateless between runs: every [`ScenarioRunner::run`]
+/// rebuilds the crowd, the server, and the query plan from the spec, so
+/// serial and sharded runs (and repeated runs) are completely independent
+/// executions whose reports can be compared byte-for-byte.
+pub struct ScenarioRunner {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioRunner {
+    /// Validates the spec and wraps it in a runner.
+    pub fn new(spec: ScenarioSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self { spec })
+    }
+
+    /// The spec this runner executes.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Runs the scenario under `exec` with the spec's own seed.
+    pub fn run(&self, exec: ExecMode) -> Result<ScenarioReport, RunError> {
+        self.run_with_seed(exec, self.spec.seed)
+    }
+
+    /// Runs the scenario under `exec` with an overridden seed — the CI
+    /// determinism check exercises serial-vs-sharded equality across
+    /// several seeds without needing per-seed spec files.
+    pub fn run_with_seed(&self, exec: ExecMode, seed: u64) -> Result<ScenarioReport, RunError> {
+        let spec = &self.spec;
+        let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
+        let mut config = spec.to_server_config(exec)?;
+        config.planner.seed = seed;
+
+        let crowd = Crowd::new(CrowdConfig {
+            region,
+            population: spec.population.to_config(&region)?,
+            seed,
+        });
+        let mut server = CraqrServer::new(crowd, config);
+
+        for (index, attr) in spec.attributes.iter().enumerate() {
+            let field = build_field(&attr.field, &region, seed, index as u64);
+            server.register_attribute(&attr.name, attr.human, field);
+        }
+
+        let mut qids: Vec<QueryId> = Vec::with_capacity(spec.queries.len());
+        for (index, q) in spec.queries.iter().enumerate() {
+            match server.submit(&q.text) {
+                Ok(qid) => qids.push(qid),
+                Err(e) => {
+                    return Err(RunError::Query {
+                        index,
+                        text: q.text.clone(),
+                        message: match e {
+                            SubmitError::Parse(p) => format!("parse error: {p}"),
+                            SubmitError::Plan(p) => format!("plan error: {p}"),
+                        },
+                    })
+                }
+            }
+        }
+
+        let mut epochs = Vec::with_capacity(spec.epochs as usize);
+        for _ in 0..spec.epochs {
+            if let Some(churn) = &spec.churn {
+                if churn.probability > 0.0 {
+                    server.crowd_mut().churn(churn.probability);
+                }
+            }
+            let r = server.run_epoch();
+            let (mut incr, mut decr, mut exh) = (0usize, 0usize, 0usize);
+            for t in &r.tuning {
+                match t.outcome {
+                    TuneOutcome::Increased => incr += 1,
+                    TuneOutcome::Decreased => decr += 1,
+                    TuneOutcome::Exhausted => exh += 1,
+                }
+            }
+            epochs.push(EpochRow {
+                epoch: r.epoch,
+                requested: r.dispatch.requested,
+                sent: r.dispatch.sent,
+                responses: r.responses,
+                rejected: r.mitigation_rejected,
+                ingested: r.ingested,
+                routed: r.exec.routed,
+                dropped: r.exec.dropped,
+                delivered: r.delivered.iter().map(|(_, n)| n).sum(),
+                tune_increased: incr,
+                tune_decreased: decr,
+                tune_exhausted: exh,
+            });
+        }
+
+        let minutes = server.now();
+        let window = SpaceTimeWindow::new(region, 0.0, minutes.max(f64::MIN_POSITIVE));
+        let mut queries = Vec::with_capacity(qids.len());
+        for (index, qid) in qids.iter().enumerate() {
+            let plan = server.fabricator().query_plan(*qid).expect("standing query");
+            let requested_rate = plan.query.rate;
+            let area = plan.footprint.area();
+            let stream = server.take_output(*qid);
+            let points: Vec<SpaceTimePoint> = stream.iter().map(|t| t.point).collect();
+            let intensity = IntensitySummary::from_points(&points, &window, spec.grid.side);
+            queries.push(QueryRow {
+                index,
+                text: spec.queries[index].text.clone(),
+                requested_rate,
+                area,
+                delivered: stream.len(),
+                achieved_rate: stream.len() as f64 / (area * minutes),
+                intensity,
+            });
+        }
+
+        let operators = server
+            .fabricator()
+            .chain_metrics()
+            .by_kind()
+            .into_iter()
+            .map(|(kind, m)| OperatorRow {
+                kind,
+                tuples_in: m.tuples_in,
+                tuples_out: m.tuples_out,
+                batches: m.batches,
+            })
+            .collect();
+
+        let final_budget: f64 = server
+            .fabricator()
+            .demands()
+            .iter()
+            .filter_map(|(cell, attr, _)| server.handler().budget_of(*cell, *attr))
+            .sum();
+        let (requested, sent) = server.handler().totals();
+        let totals = RunTotals {
+            requested,
+            sent,
+            responses: server.crowd().responses_delivered(),
+            exhausted_events: server.handler().exhausted_events(),
+            final_budget,
+            dropped_unmaterialized: server.fabricator().dropped_unmaterialized(),
+            chains: server.fabricator().materialized_chains(),
+            minutes,
+        };
+
+        Ok(ScenarioReport { name: spec.name.clone(), seed, epochs, queries, operators, totals })
+    }
+}
+
+/// Materializes a [`FieldSpec`] into a ground-truth field. Burst fields
+/// derive their cascade from a sub-stream of the scenario seed keyed by
+/// the attribute's position in the spec, so two burst attributes (or two
+/// seeds) never share event histories.
+fn build_field(spec: &FieldSpec, region: &Rect, seed: u64, attr_index: u64) -> Box<dyn Field> {
+    match spec {
+        FieldSpec::Temperature { base, y_gradient, islands, diurnal_amplitude, diurnal_period } => {
+            Box::new(craqr_sensing::TemperatureField {
+                base: *base,
+                y_gradient: *y_gradient,
+                islands: islands.clone(),
+                diurnal_amplitude: *diurnal_amplitude,
+                diurnal_period: *diurnal_period,
+            })
+        }
+        FieldSpec::Rain { x_start, speed, width } => {
+            Box::new(craqr_sensing::RainFront::new(*x_start, *speed, *width))
+        }
+        FieldSpec::ConstantFloat { value } => Box::new(ConstantField(AttrValue::Float(*value))),
+        FieldSpec::ConstantBool { value } => Box::new(ConstantField(AttrValue::Bool(*value))),
+        FieldSpec::Burst {
+            mu,
+            alpha,
+            beta,
+            sigma,
+            horizon,
+            immigrants,
+            branching_ratio,
+            scale,
+        } => {
+            // attr_index 0 keeps the pre-existing stream (0xB5E7), so
+            // single-burst goldens are unaffected by the keying.
+            let mut rng = craqr_stats::sub_rng(seed, 0xB5E7_u64.wrapping_add(attr_index));
+            let model = SelfExcitingIntensity::cascade(
+                *mu,
+                *alpha,
+                *beta,
+                *sigma,
+                *region,
+                *horizon,
+                *immigrants as usize,
+                *branching_ratio,
+                &mut rng,
+            );
+            Box::new(IntensityField { model, scale: *scale })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::from_toml(&format!(
+            r#"
+name = "runner-unit"
+seed = {seed}
+epochs = 4
+
+[grid]
+size_km = 4.0
+side = 4
+
+[population]
+size = 300
+human_fraction = 0.2
+placement = {{ kind = "city" }}
+mobility = {{ kind = "waypoint", speed = 0.08, pause = 5.0 }}
+
+[[attributes]]
+name = "temp"
+field = {{ kind = "temperature", base = 20.0, y_gradient = -0.1, islands = [[2.0, 2.0, 4.0, 1.0]], diurnal_amplitude = 5.0, diurnal_period = 1440.0 }}
+
+[[queries]]
+text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
+"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serial_and_sharded_reports_are_identical() {
+        let runner = ScenarioRunner::new(spec(11)).unwrap();
+        let serial = runner.run(ExecMode::Serial).unwrap();
+        let sharded = runner.run(ExecMode::Sharded(3)).unwrap();
+        assert_eq!(serial, sharded);
+        assert_eq!(serial.canonical(), sharded.canonical());
+        assert!(serial.epochs.len() == 4);
+        assert!(serial.totals.sent > 0, "the loop must do work");
+    }
+
+    #[test]
+    fn seed_override_changes_the_world() {
+        let runner = ScenarioRunner::new(spec(11)).unwrap();
+        let a = runner.run_with_seed(ExecMode::Serial, 1).unwrap();
+        let b = runner.run_with_seed(ExecMode::Serial, 2).unwrap();
+        assert_ne!(a.checksum(), b.checksum());
+        assert_eq!(a.seed, 1);
+    }
+
+    #[test]
+    fn burst_attributes_get_independent_cascades() {
+        let burst = FieldSpec::Burst {
+            mu: 0.2,
+            alpha: 3.0,
+            beta: 0.15,
+            sigma: 0.4,
+            horizon: 50.0,
+            immigrants: 6,
+            branching_ratio: 0.6,
+            scale: 1.0,
+        };
+        let region = Rect::with_size(4.0, 4.0);
+        let a = build_field(&burst, &region, 7, 0);
+        let b = build_field(&burst, &region, 7, 1);
+        // Same params, same seed, different attribute slots: the cascades
+        // must differ somewhere.
+        let differs = (0..64).any(|i| {
+            let p = SpaceTimePoint::new(
+                (i as f64 * 0.77).rem_euclid(50.0),
+                (i as f64 * 0.31).rem_euclid(4.0),
+                (i as f64 * 0.53).rem_euclid(4.0),
+            );
+            a.value_at(&p) != b.value_at(&p)
+        });
+        assert!(differs, "two burst attributes shared one event history");
+    }
+
+    #[test]
+    fn bad_query_reports_its_index() {
+        let mut s = spec(5);
+        s.queries[0].text = "ACQUIRE fog FROM RECT(0,0,1,1) RATE 1".into();
+        let runner = ScenarioRunner::new(s).unwrap();
+        let err = runner.run(ExecMode::Serial).unwrap_err();
+        assert!(matches!(err, RunError::Query { index: 0, .. }), "{err}");
+    }
+}

@@ -1,0 +1,1404 @@
+//! The declarative scenario schema.
+//!
+//! A [`ScenarioSpec`] is the checked-in, reviewable description of one
+//! evaluation workload: world geometry, crowd composition, error regime,
+//! budget policy, the attributes with their ground-truth fields, and the
+//! standing queries. Specs parse from TOML or JSON (see [`crate::value`]),
+//! reject unknown fields (typos must not silently become defaults), and
+//! serialize back losslessly — `parse(spec.to_toml()) == spec` holds for
+//! every valid spec and is proptested.
+//!
+//! The schema is documented field-by-field in `scenarios/README.md`.
+
+use crate::value::{
+    parse_json, parse_toml, render_json, render_toml, ConfigValue, SyntaxError, Table,
+};
+use std::fmt;
+
+/// Why a spec was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not valid TOML/JSON.
+    Syntax(SyntaxError),
+    /// A field the schema does not know (typo protection).
+    UnknownField {
+        /// Dotted path of the offending key.
+        path: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Dotted path of the absent key.
+        path: String,
+    },
+    /// A field holds the wrong type.
+    TypeMismatch {
+        /// Dotted path of the offending key.
+        path: String,
+        /// What the schema wanted.
+        expected: &'static str,
+        /// What the document provided.
+        found: &'static str,
+    },
+    /// A field value violates its numeric/semantic constraint.
+    OutOfRange {
+        /// Dotted path of the offending key.
+        path: String,
+        /// The violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax(e) => write!(f, "syntax error: {e}"),
+            SpecError::UnknownField { path } => write!(f, "unknown field '{path}'"),
+            SpecError::MissingField { path } => write!(f, "missing required field '{path}'"),
+            SpecError::TypeMismatch { path, expected, found } => {
+                write!(f, "field '{path}': expected {expected}, found {found}")
+            }
+            SpecError::OutOfRange { path, message } => write!(f, "field '{path}': {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<SyntaxError> for SpecError {
+    fn from(e: SyntaxError) -> Self {
+        SpecError::Syntax(e)
+    }
+}
+
+/// World geometry: the square region `R` and the logical grid over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Region side length (km); the region is `[0, size_km)²`.
+    pub size_km: f64,
+    /// Cells per grid side (the paper's `√h`).
+    pub side: u32,
+}
+
+/// Initial sensor placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementSpec {
+    /// Uniform over the region.
+    Uniform,
+    /// The built-in two-hotspot city mixture.
+    City,
+    /// Explicit Gaussian hotspots `(cx, cy, weight, sigma)` over a uniform
+    /// floor.
+    Hotspots {
+        /// Relative weight of the uniform floor.
+        floor: f64,
+        /// The hotspots.
+        spots: Vec<(f64, f64, f64, f64)>,
+    },
+}
+
+/// Sensor mobility model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobilitySpec {
+    /// Fixed installations.
+    Stationary,
+    /// Gaussian random walk.
+    Walk {
+        /// Per-√minute step σ (km).
+        sigma: f64,
+    },
+    /// Random waypoint.
+    Waypoint {
+        /// Travel speed (km/min).
+        speed: f64,
+        /// Pause at each waypoint (minutes).
+        pause: f64,
+    },
+    /// Gauss–Markov vehicular motion.
+    GaussMarkov {
+        /// Velocity memory in `[0, 1)`.
+        alpha: f64,
+        /// Mean speed (km/min).
+        mean_speed: f64,
+        /// Velocity noise σ (km/min).
+        sigma: f64,
+    },
+}
+
+/// Crowd composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSpec {
+    /// Number of sensors `m`.
+    pub size: u32,
+    /// Fraction of sensors that are humans.
+    pub human_fraction: f64,
+    /// Initial placement.
+    pub placement: PlacementSpec,
+    /// Mobility model.
+    pub mobility: MobilitySpec,
+}
+
+/// Planner/fabricator knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerSpec {
+    /// Batch epoch duration (minutes).
+    pub batch_minutes: f64,
+    /// Flatten headroom (≥ 1).
+    pub f_headroom: f64,
+    /// Mobility sub-steps per epoch.
+    pub mobility_substeps: u32,
+    /// Enforce the Section IV minimum-query-area rule.
+    pub enforce_min_area: bool,
+    /// Per-cell topology shape: `"chain"` or `"star"`.
+    pub shape: String,
+}
+
+impl Default for PlannerSpec {
+    fn default() -> Self {
+        Self {
+            batch_minutes: 5.0,
+            f_headroom: 1.0,
+            mobility_substeps: 4,
+            enforce_min_area: true,
+            shape: "chain".into(),
+        }
+    }
+}
+
+/// Budget policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSpec {
+    /// Initial budget for a fresh (attribute, cell) pair (requests/epoch).
+    pub initial: f64,
+    /// `N_v` threshold (percent).
+    pub nv_threshold: f64,
+    /// Tuning step Δβ.
+    pub delta: f64,
+    /// Budget floor.
+    pub min: f64,
+    /// Budget cap.
+    pub max: f64,
+}
+
+impl Default for BudgetSpec {
+    fn default() -> Self {
+        Self { initial: 20.0, nv_threshold: 10.0, delta: 2.0, min: 1.0, max: 200.0 }
+    }
+}
+
+/// Error injection + mitigation regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSpec {
+    /// GPS noise σ (km).
+    pub gps_sigma: f64,
+    /// Human-judgment boolean flip probability.
+    pub bool_flip_prob: f64,
+    /// Sensor value noise σ.
+    pub value_sigma: f64,
+    /// Mitigation pipeline: `"standard"` or `"off"`.
+    pub mitigation: String,
+}
+
+/// Per-epoch crowd churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnSpec {
+    /// Per-sensor dropout/replacement probability applied before every
+    /// epoch.
+    pub probability: f64,
+}
+
+/// Ground-truth field behind an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldSpec {
+    /// Smooth temperature surface (base, gradient, heat islands, diurnal
+    /// cycle).
+    Temperature {
+        /// Baseline (°C).
+        base: f64,
+        /// North–south gradient (°C/km).
+        y_gradient: f64,
+        /// Heat islands `(cx, cy, amplitude, sigma)`.
+        islands: Vec<(f64, f64, f64, f64)>,
+        /// Diurnal amplitude (°C).
+        diurnal_amplitude: f64,
+        /// Diurnal period (minutes).
+        diurnal_period: f64,
+    },
+    /// A rain band sweeping the region.
+    Rain {
+        /// Front position at `t = 0` (km).
+        x_start: f64,
+        /// Front speed (km/min).
+        speed: f64,
+        /// Band width (km).
+        width: f64,
+    },
+    /// A constant float value.
+    ConstantFloat {
+        /// The value every observation reports.
+        value: f64,
+    },
+    /// A constant boolean value.
+    ConstantBool {
+        /// The value every observation reports.
+        value: bool,
+    },
+    /// A self-exciting burst intensity observed as a float field
+    /// (`value = scale × λ(t, x, y)`); the cascade is generated
+    /// deterministically from the scenario seed via [`craqr_mdpp::excite`].
+    Burst {
+        /// Background rate μ.
+        mu: f64,
+        /// Kernel jump α.
+        alpha: f64,
+        /// Temporal decay β (1/min).
+        beta: f64,
+        /// Spatial kernel width σ (km).
+        sigma: f64,
+        /// Cascade horizon (minutes).
+        horizon: f64,
+        /// Immigrant (seed) events.
+        immigrants: u32,
+        /// Offspring mean per event, in `[0, 1)`.
+        branching_ratio: f64,
+        /// Observation scale factor.
+        scale: f64,
+    },
+}
+
+/// One sensed attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeSpec {
+    /// Catalog name (what queries reference).
+    pub name: String,
+    /// Human-sensed (reluctant, slow) vs automatic.
+    pub human: bool,
+    /// Ground truth.
+    pub field: FieldSpec,
+}
+
+/// One standing acquisitional query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Declarative text, e.g. `ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5`.
+    pub text: String,
+}
+
+/// A full declarative scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (also the golden file stem): `[a-z0-9_-]+`.
+    pub name: String,
+    /// Human-readable intent.
+    pub description: String,
+    /// Master seed (crowd, planner, error injection, bursts).
+    pub seed: u64,
+    /// Epochs to run.
+    pub epochs: u32,
+    /// World geometry.
+    pub grid: GridSpec,
+    /// Crowd composition.
+    pub population: PopulationSpec,
+    /// Planner knobs.
+    pub planner: PlannerSpec,
+    /// Budget policy.
+    pub budget: BudgetSpec,
+    /// Error regime (absent = clean world).
+    pub errors: Option<ErrorSpec>,
+    /// Per-epoch churn (absent = stable crowd).
+    pub churn: Option<ChurnSpec>,
+    /// Sensed attributes (≥ 1).
+    pub attributes: Vec<AttributeSpec>,
+    /// Standing queries (≥ 1).
+    pub queries: Vec<QuerySpec>,
+}
+
+// ---------------------------------------------------------------------------
+// Reading: a table reader that tracks consumed keys (typo protection)
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    table: &'a Table,
+    path: String,
+    seen: Vec<String>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(table: &'a Table, path: impl Into<String>) -> Self {
+        Self { table, path: path.into(), seen: Vec::new() }
+    }
+
+    fn at(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<&'a ConfigValue> {
+        self.seen.push(key.to_string());
+        self.table.get(key)
+    }
+
+    fn req(&mut self, key: &str) -> Result<&'a ConfigValue, SpecError> {
+        self.take(key).ok_or_else(|| SpecError::MissingField { path: self.at(key) })
+    }
+
+    fn req_str(&mut self, key: &str) -> Result<String, SpecError> {
+        let path = self.at(key);
+        match self.req(key)? {
+            ConfigValue::Str(s) => Ok(s.clone()),
+            other => Err(mismatch(&path, "string", other)),
+        }
+    }
+
+    fn opt_str(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
+        let path = self.at(key);
+        match self.take(key) {
+            None => Ok(default.to_string()),
+            Some(ConfigValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(mismatch(&path, "string", other)),
+        }
+    }
+
+    fn req_f64(&mut self, key: &str) -> Result<f64, SpecError> {
+        let path = self.at(key);
+        as_f64(self.req(key)?, &path)
+    }
+
+    fn opt_f64(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
+        let path = self.at(key);
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => as_f64(v, &path),
+        }
+    }
+
+    fn req_u32(&mut self, key: &str) -> Result<u32, SpecError> {
+        let path = self.at(key);
+        as_u32(self.req(key)?, &path)
+    }
+
+    fn opt_u32(&mut self, key: &str, default: u32) -> Result<u32, SpecError> {
+        let path = self.at(key);
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => as_u32(v, &path),
+        }
+    }
+
+    fn opt_bool(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
+        let path = self.at(key);
+        match self.take(key) {
+            None => Ok(default),
+            Some(ConfigValue::Bool(b)) => Ok(*b),
+            Some(other) => Err(mismatch(&path, "boolean", other)),
+        }
+    }
+
+    fn req_table(&mut self, key: &str) -> Result<Reader<'a>, SpecError> {
+        let path = self.at(key);
+        match self.req(key)? {
+            ConfigValue::Table(t) => Ok(Reader::new(t, path)),
+            other => Err(mismatch(&path, "table", other)),
+        }
+    }
+
+    fn opt_table(&mut self, key: &str) -> Result<Option<Reader<'a>>, SpecError> {
+        let path = self.at(key);
+        match self.take(key) {
+            None => Ok(None),
+            Some(ConfigValue::Table(t)) => Ok(Some(Reader::new(t, path))),
+            Some(other) => Err(mismatch(&path, "table", other)),
+        }
+    }
+
+    fn req_table_array(&mut self, key: &str) -> Result<Vec<Reader<'a>>, SpecError> {
+        let path = self.at(key);
+        match self.req(key)? {
+            ConfigValue::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| match item {
+                    ConfigValue::Table(t) => Ok(Reader::new(t, format!("{path}[{i}]"))),
+                    other => Err(mismatch(&format!("{path}[{i}]"), "table", other)),
+                })
+                .collect(),
+            other => Err(mismatch(&path, "array of tables", other)),
+        }
+    }
+
+    /// Reads an optional array of `[a, b, c, d]` float quadruples.
+    fn opt_quads(
+        &mut self,
+        key: &str,
+        default: Vec<(f64, f64, f64, f64)>,
+    ) -> Result<Vec<(f64, f64, f64, f64)>, SpecError> {
+        let path = self.at(key);
+        let Some(v) = self.take(key) else { return Ok(default) };
+        let ConfigValue::Array(items) = v else {
+            return Err(mismatch(&path, "array", v));
+        };
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let ipath = format!("{path}[{i}]");
+                let ConfigValue::Array(quad) = item else {
+                    return Err(mismatch(&ipath, "array of 4 numbers", item));
+                };
+                if quad.len() != 4 {
+                    return Err(SpecError::OutOfRange {
+                        path: ipath,
+                        message: format!("needs exactly 4 numbers, got {}", quad.len()),
+                    });
+                }
+                Ok((
+                    as_f64(&quad[0], &ipath)?,
+                    as_f64(&quad[1], &ipath)?,
+                    as_f64(&quad[2], &ipath)?,
+                    as_f64(&quad[3], &ipath)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Errors on any key the schema did not consume.
+    fn finish(self) -> Result<(), SpecError> {
+        for key in self.table.keys() {
+            if !self.seen.iter().any(|s| s == key) {
+                return Err(SpecError::UnknownField { path: self.at(key) });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn mismatch(path: &str, expected: &'static str, found: &ConfigValue) -> SpecError {
+    SpecError::TypeMismatch { path: path.to_string(), expected, found: found.type_name() }
+}
+
+fn as_f64(v: &ConfigValue, path: &str) -> Result<f64, SpecError> {
+    match v {
+        ConfigValue::Float(f) => Ok(*f),
+        ConfigValue::Int(i) => Ok(*i as f64),
+        other => Err(mismatch(path, "number", other)),
+    }
+}
+
+fn as_u32(v: &ConfigValue, path: &str) -> Result<u32, SpecError> {
+    match v {
+        ConfigValue::Int(i) if *i >= 0 && *i <= u32::MAX as i64 => Ok(*i as u32),
+        ConfigValue::Int(i) => Err(SpecError::OutOfRange {
+            path: path.to_string(),
+            message: format!("must fit in an unsigned 32-bit integer, got {i}"),
+        }),
+        other => Err(mismatch(path, "integer", other)),
+    }
+}
+
+fn out_of_range(path: impl Into<String>, message: impl Into<String>) -> SpecError {
+    SpecError::OutOfRange { path: path.into(), message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+impl ScenarioSpec {
+    /// Parses a TOML document.
+    pub fn from_toml(src: &str) -> Result<Self, SpecError> {
+        Self::from_table(&parse_toml(src)?)
+    }
+
+    /// Parses a JSON document.
+    pub fn from_json(src: &str) -> Result<Self, SpecError> {
+        Self::from_table(&parse_json(src)?)
+    }
+
+    /// Parses either syntax, keyed on the (lowercased) file extension:
+    /// `.json` → JSON, anything else → TOML.
+    pub fn from_source(file_name: &str, src: &str) -> Result<Self, SpecError> {
+        if file_name.to_ascii_lowercase().ends_with(".json") {
+            Self::from_json(src)
+        } else {
+            Self::from_toml(src)
+        }
+    }
+
+    /// Builds a spec from a parsed value tree, rejecting unknown fields and
+    /// out-of-range values.
+    pub fn from_table(table: &Table) -> Result<Self, SpecError> {
+        let mut r = Reader::new(table, "");
+        let name = r.req_str("name")?;
+        let description = r.opt_str("description", "")?;
+        let seed = match r.req("seed")? {
+            ConfigValue::Int(i) if *i >= 0 => *i as u64,
+            ConfigValue::Int(i) => {
+                return Err(out_of_range("seed", format!("must be >= 0, got {i}")))
+            }
+            other => return Err(mismatch("seed", "integer", other)),
+        };
+        let epochs = r.req_u32("epochs")?;
+
+        let mut grid_r = r.req_table("grid")?;
+        let grid = GridSpec { size_km: grid_r.req_f64("size_km")?, side: grid_r.req_u32("side")? };
+        grid_r.finish()?;
+
+        let mut pop_r = r.req_table("population")?;
+        let population = PopulationSpec {
+            size: pop_r.req_u32("size")?,
+            human_fraction: pop_r.opt_f64("human_fraction", 0.0)?,
+            placement: {
+                let mut p = pop_r.req_table("placement")?;
+                let placement = parse_placement(&mut p)?;
+                p.finish()?;
+                placement
+            },
+            mobility: {
+                let mut m = pop_r.req_table("mobility")?;
+                let mobility = parse_mobility(&mut m)?;
+                m.finish()?;
+                mobility
+            },
+        };
+        pop_r.finish()?;
+
+        let planner = match r.opt_table("planner")? {
+            None => PlannerSpec::default(),
+            Some(mut p) => {
+                let d = PlannerSpec::default();
+                let planner = PlannerSpec {
+                    batch_minutes: p.opt_f64("batch_minutes", d.batch_minutes)?,
+                    f_headroom: p.opt_f64("f_headroom", d.f_headroom)?,
+                    mobility_substeps: p.opt_u32("mobility_substeps", d.mobility_substeps)?,
+                    enforce_min_area: p.opt_bool("enforce_min_area", d.enforce_min_area)?,
+                    shape: p.opt_str("shape", &d.shape)?,
+                };
+                p.finish()?;
+                planner
+            }
+        };
+
+        let budget = match r.opt_table("budget")? {
+            None => BudgetSpec::default(),
+            Some(mut b) => {
+                let d = BudgetSpec::default();
+                let budget = BudgetSpec {
+                    initial: b.opt_f64("initial", d.initial)?,
+                    nv_threshold: b.opt_f64("nv_threshold", d.nv_threshold)?,
+                    delta: b.opt_f64("delta", d.delta)?,
+                    min: b.opt_f64("min", d.min)?,
+                    max: b.opt_f64("max", d.max)?,
+                };
+                b.finish()?;
+                budget
+            }
+        };
+
+        let errors = match r.opt_table("errors")? {
+            None => None,
+            Some(mut e) => {
+                let errors = ErrorSpec {
+                    gps_sigma: e.opt_f64("gps_sigma", 0.0)?,
+                    bool_flip_prob: e.opt_f64("bool_flip_prob", 0.0)?,
+                    value_sigma: e.opt_f64("value_sigma", 0.0)?,
+                    mitigation: e.opt_str("mitigation", "standard")?,
+                };
+                e.finish()?;
+                Some(errors)
+            }
+        };
+
+        let churn = match r.opt_table("churn")? {
+            None => None,
+            Some(mut c) => {
+                let churn = ChurnSpec { probability: c.req_f64("probability")? };
+                c.finish()?;
+                Some(churn)
+            }
+        };
+
+        let mut attributes = Vec::new();
+        for mut a in r.req_table_array("attributes")? {
+            let attr = AttributeSpec {
+                name: a.req_str("name")?,
+                human: a.opt_bool("human", false)?,
+                field: {
+                    let mut f = a.req_table("field")?;
+                    let field = parse_field(&mut f)?;
+                    f.finish()?;
+                    field
+                },
+            };
+            a.finish()?;
+            attributes.push(attr);
+        }
+
+        let mut queries = Vec::new();
+        for mut q in r.req_table_array("queries")? {
+            let query = QuerySpec { text: q.req_str("text")? };
+            q.finish()?;
+            queries.push(query);
+        }
+
+        r.finish()?;
+        let spec = Self {
+            name,
+            description,
+            seed,
+            epochs,
+            grid,
+            population,
+            planner,
+            budget,
+            errors,
+            churn,
+            attributes,
+            queries,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Semantic validation beyond types: ranges, uniqueness, and the
+    /// constraints the runtime constructors would otherwise panic on.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        {
+            return Err(out_of_range(
+                "name",
+                format!("must match [a-z0-9_-]+ (it names the golden file), got '{}'", self.name),
+            ));
+        }
+        if self.epochs == 0 {
+            return Err(out_of_range("epochs", "must be >= 1"));
+        }
+        if self.seed > i64::MAX as u64 {
+            return Err(out_of_range(
+                "seed",
+                format!(
+                    "must fit in a signed 64-bit integer (TOML/JSON integer), got {}",
+                    self.seed
+                ),
+            ));
+        }
+        if !(self.grid.size_km.is_finite() && self.grid.size_km > 0.0) {
+            return Err(out_of_range(
+                "grid.size_km",
+                format!("must be > 0, got {}", self.grid.size_km),
+            ));
+        }
+        if self.grid.side == 0 {
+            return Err(out_of_range(
+                "grid.side",
+                "must be >= 1 (a zero-cell grid has nowhere to plan)",
+            ));
+        }
+
+        let region = craqr_geom::Rect::with_size(self.grid.size_km, self.grid.size_km);
+        let pop = self.population.to_config(&region)?;
+        pop.validate().map_err(|(field, message)| out_of_range(field, message))?;
+        match &self.population.mobility {
+            MobilitySpec::Stationary => {}
+            MobilitySpec::Walk { sigma } => {
+                if !(sigma.is_finite() && *sigma >= 0.0) {
+                    return Err(out_of_range(
+                        "population.mobility.sigma",
+                        format!("must be >= 0, got {sigma}"),
+                    ));
+                }
+            }
+            MobilitySpec::Waypoint { speed, pause } => {
+                if !(speed.is_finite() && *speed > 0.0) {
+                    return Err(out_of_range(
+                        "population.mobility.speed",
+                        format!("must be > 0, got {speed}"),
+                    ));
+                }
+                if !(pause.is_finite() && *pause >= 0.0) {
+                    return Err(out_of_range(
+                        "population.mobility.pause",
+                        format!("must be >= 0, got {pause}"),
+                    ));
+                }
+            }
+            MobilitySpec::GaussMarkov { alpha, mean_speed, sigma } => {
+                if !(0.0..1.0).contains(alpha) {
+                    return Err(out_of_range(
+                        "population.mobility.alpha",
+                        format!("must be in [0,1), got {alpha}"),
+                    ));
+                }
+                if !(mean_speed.is_finite()
+                    && *mean_speed >= 0.0
+                    && sigma.is_finite()
+                    && *sigma >= 0.0)
+                {
+                    return Err(out_of_range(
+                        "population.mobility",
+                        "speeds must be finite and >= 0",
+                    ));
+                }
+            }
+        }
+
+        if !matches!(self.planner.shape.as_str(), "chain" | "star") {
+            return Err(out_of_range(
+                "planner.shape",
+                format!("must be 'chain' or 'star', got '{}'", self.planner.shape),
+            ));
+        }
+        if let Some(e) = &self.errors {
+            if !matches!(e.mitigation.as_str(), "standard" | "off") {
+                return Err(out_of_range(
+                    "errors.mitigation",
+                    format!("must be 'standard' or 'off', got '{}'", e.mitigation),
+                ));
+            }
+        }
+        // Planner/budget/error numerics: delegate to the core validators so
+        // the spec and the server can never drift apart on what "valid"
+        // means.
+        let server_config = self.to_server_config(craqr_core::ExecMode::Serial)?;
+        server_config.validate().map_err(|(field, message)| out_of_range(field, message))?;
+
+        if let Some(c) = &self.churn {
+            if !(0.0..=1.0).contains(&c.probability) {
+                return Err(out_of_range(
+                    "churn.probability",
+                    format!("must be in [0,1], got {}", c.probability),
+                ));
+            }
+        }
+
+        if self.attributes.is_empty() {
+            return Err(out_of_range("attributes", "at least one attribute is required"));
+        }
+        for (i, a) in self.attributes.iter().enumerate() {
+            if a.name.is_empty() {
+                return Err(out_of_range(format!("attributes[{i}].name"), "must be non-empty"));
+            }
+            if self.attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(out_of_range(
+                    format!("attributes[{i}].name"),
+                    format!("duplicate attribute '{}'", a.name),
+                ));
+            }
+            validate_field(&a.field, &format!("attributes[{i}].field"))?;
+        }
+        if self.queries.is_empty() {
+            return Err(out_of_range("queries", "at least one query is required"));
+        }
+        for (i, q) in self.queries.iter().enumerate() {
+            if q.text.trim().is_empty() {
+                return Err(out_of_range(format!("queries[{i}].text"), "must be non-empty"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The [`craqr_core::ServerConfig`] this spec describes.
+    pub fn to_server_config(
+        &self,
+        exec: craqr_core::ExecMode,
+    ) -> Result<craqr_core::ServerConfig, SpecError> {
+        use craqr_core::plan::TopologyShape;
+        let shape = match self.planner.shape.as_str() {
+            "star" => TopologyShape::Star,
+            _ => TopologyShape::Chain,
+        };
+        let (error_model, mitigation) = match &self.errors {
+            None => (craqr_core::ErrorModel::none(), craqr_core::Mitigation::standard()),
+            Some(e) => {
+                for (path, v) in
+                    [("errors.gps_sigma", e.gps_sigma), ("errors.value_sigma", e.value_sigma)]
+                {
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err(out_of_range(path, format!("must be >= 0, got {v}")));
+                    }
+                }
+                if !(0.0..=1.0).contains(&e.bool_flip_prob) {
+                    return Err(out_of_range(
+                        "errors.bool_flip_prob",
+                        format!("must be in [0,1], got {}", e.bool_flip_prob),
+                    ));
+                }
+                let mitigation = match e.mitigation.as_str() {
+                    "off" => craqr_core::Mitigation::off(),
+                    _ => craqr_core::Mitigation::standard(),
+                };
+                (
+                    craqr_core::ErrorModel::new(e.gps_sigma, e.bool_flip_prob, e.value_sigma),
+                    mitigation,
+                )
+            }
+        };
+        Ok(craqr_core::ServerConfig {
+            planner: craqr_core::PlannerConfig {
+                grid_side: self.grid.side,
+                batch_duration: self.planner.batch_minutes,
+                f_headroom: self.planner.f_headroom,
+                shape,
+                seed: self.seed,
+                enforce_min_area: self.planner.enforce_min_area,
+                ..craqr_core::PlannerConfig::default()
+            },
+            tuner: craqr_core::BudgetTuner {
+                nv_threshold: self.budget.nv_threshold,
+                delta: self.budget.delta,
+                min_budget: self.budget.min,
+                max_budget: self.budget.max,
+            },
+            incentive: craqr_core::IncentivePolicy::default(),
+            error_model,
+            mitigation,
+            initial_budget: self.budget.initial,
+            mobility_substeps: self.planner.mobility_substeps,
+            exec,
+        })
+    }
+}
+
+impl PopulationSpec {
+    /// The [`craqr_sensing::PopulationConfig`] this spec describes, with
+    /// `city` placement expanded over the concrete region.
+    pub fn to_config(
+        &self,
+        region: &craqr_geom::Rect,
+    ) -> Result<craqr_sensing::PopulationConfig, SpecError> {
+        use craqr_sensing::{Mobility, Placement};
+        let placement = match &self.placement {
+            PlacementSpec::Uniform => Placement::Uniform,
+            PlacementSpec::City => Placement::city(region),
+            PlacementSpec::Hotspots { floor, spots } => {
+                Placement::Hotspots { spots: spots.clone(), floor: *floor }
+            }
+        };
+        let mobility = match &self.mobility {
+            MobilitySpec::Stationary => Mobility::Stationary,
+            MobilitySpec::Walk { sigma } => Mobility::RandomWalk { sigma: *sigma },
+            MobilitySpec::Waypoint { speed, pause } => {
+                if !(speed.is_finite() && *speed > 0.0) {
+                    return Err(out_of_range(
+                        "population.mobility.speed",
+                        format!("must be > 0, got {speed}"),
+                    ));
+                }
+                Mobility::RandomWaypoint {
+                    speed: *speed,
+                    pause: *pause,
+                    target: None,
+                    pause_left: 0.0,
+                }
+            }
+            MobilitySpec::GaussMarkov { alpha, mean_speed, sigma } => {
+                if !(0.0..1.0).contains(alpha) {
+                    return Err(out_of_range(
+                        "population.mobility.alpha",
+                        format!("must be in [0,1), got {alpha}"),
+                    ));
+                }
+                Mobility::GaussMarkov {
+                    alpha: *alpha,
+                    mean_speed: *mean_speed,
+                    sigma: *sigma,
+                    velocity: (0.0, 0.0),
+                }
+            }
+        };
+        Ok(craqr_sensing::PopulationConfig {
+            size: self.size as usize,
+            placement,
+            mobility,
+            human_fraction: self.human_fraction,
+        })
+    }
+}
+
+fn parse_placement(r: &mut Reader<'_>) -> Result<PlacementSpec, SpecError> {
+    let kind = r.req_str("kind")?;
+    match kind.as_str() {
+        "uniform" => Ok(PlacementSpec::Uniform),
+        "city" => Ok(PlacementSpec::City),
+        "hotspots" => Ok(PlacementSpec::Hotspots {
+            floor: r.opt_f64("floor", 1.0)?,
+            spots: r.opt_quads("spots", Vec::new())?,
+        }),
+        other => Err(out_of_range(
+            r.at("kind"),
+            format!("must be 'uniform', 'city', or 'hotspots', got '{other}'"),
+        )),
+    }
+}
+
+fn parse_mobility(r: &mut Reader<'_>) -> Result<MobilitySpec, SpecError> {
+    let kind = r.req_str("kind")?;
+    match kind.as_str() {
+        "stationary" => Ok(MobilitySpec::Stationary),
+        "walk" => Ok(MobilitySpec::Walk { sigma: r.req_f64("sigma")? }),
+        "waypoint" => Ok(MobilitySpec::Waypoint {
+            speed: r.req_f64("speed")?,
+            pause: r.opt_f64("pause", 0.0)?,
+        }),
+        "gauss_markov" => Ok(MobilitySpec::GaussMarkov {
+            alpha: r.req_f64("alpha")?,
+            mean_speed: r.req_f64("mean_speed")?,
+            sigma: r.req_f64("sigma")?,
+        }),
+        other => Err(out_of_range(
+            r.at("kind"),
+            format!("must be 'stationary', 'walk', 'waypoint', or 'gauss_markov', got '{other}'"),
+        )),
+    }
+}
+
+fn parse_field(r: &mut Reader<'_>) -> Result<FieldSpec, SpecError> {
+    let kind = r.req_str("kind")?;
+    match kind.as_str() {
+        "temperature" => Ok(FieldSpec::Temperature {
+            base: r.opt_f64("base", 20.0)?,
+            y_gradient: r.opt_f64("y_gradient", 0.0)?,
+            islands: r.opt_quads("islands", Vec::new())?,
+            diurnal_amplitude: r.opt_f64("diurnal_amplitude", 0.0)?,
+            diurnal_period: r.opt_f64("diurnal_period", 1440.0)?,
+        }),
+        "rain" => Ok(FieldSpec::Rain {
+            x_start: r.req_f64("x_start")?,
+            speed: r.opt_f64("speed", 0.0)?,
+            width: r.req_f64("width")?,
+        }),
+        "constant" => match r.take("value") {
+            Some(ConfigValue::Bool(b)) => Ok(FieldSpec::ConstantBool { value: *b }),
+            Some(v) => Ok(FieldSpec::ConstantFloat { value: as_f64(v, &r.at("value"))? }),
+            None => Err(SpecError::MissingField { path: r.at("value") }),
+        },
+        "burst" => Ok(FieldSpec::Burst {
+            mu: r.opt_f64("mu", 0.0)?,
+            alpha: r.req_f64("alpha")?,
+            beta: r.req_f64("beta")?,
+            sigma: r.req_f64("sigma")?,
+            horizon: r.req_f64("horizon")?,
+            immigrants: r.req_u32("immigrants")?,
+            branching_ratio: r.opt_f64("branching_ratio", 0.0)?,
+            scale: r.opt_f64("scale", 1.0)?,
+        }),
+        other => Err(out_of_range(
+            r.at("kind"),
+            format!("must be 'temperature', 'rain', 'constant', or 'burst', got '{other}'"),
+        )),
+    }
+}
+
+fn validate_field(field: &FieldSpec, path: &str) -> Result<(), SpecError> {
+    match field {
+        FieldSpec::Temperature { base, y_gradient, islands, diurnal_amplitude, diurnal_period } => {
+            if !(base.is_finite() && y_gradient.is_finite() && diurnal_amplitude.is_finite()) {
+                return Err(out_of_range(
+                    format!("{path}.base"),
+                    "base/y_gradient/diurnal_amplitude must be finite",
+                ));
+            }
+            if !(diurnal_period.is_finite() && *diurnal_period > 0.0) {
+                return Err(out_of_range(
+                    format!("{path}.diurnal_period"),
+                    format!("must be > 0, got {diurnal_period}"),
+                ));
+            }
+            for (i, &(cx, cy, amplitude, sigma)) in islands.iter().enumerate() {
+                if !(cx.is_finite() && cy.is_finite() && amplitude.is_finite()) {
+                    return Err(out_of_range(
+                        format!("{path}.islands[{i}]"),
+                        "island centre/amplitude must be finite",
+                    ));
+                }
+                if !(sigma.is_finite() && sigma > 0.0) {
+                    return Err(out_of_range(
+                        format!("{path}.islands[{i}]"),
+                        format!("island sigma must be > 0, got {sigma}"),
+                    ));
+                }
+            }
+        }
+        FieldSpec::Rain { x_start, speed, width } => {
+            if !(x_start.is_finite() && speed.is_finite()) {
+                return Err(out_of_range(
+                    format!("{path}.x_start"),
+                    "x_start/speed must be finite",
+                ));
+            }
+            if !(width.is_finite() && *width > 0.0) {
+                return Err(out_of_range(
+                    format!("{path}.width"),
+                    format!("must be > 0, got {width}"),
+                ));
+            }
+        }
+        FieldSpec::ConstantFloat { value } => {
+            if !value.is_finite() {
+                return Err(out_of_range(format!("{path}.value"), "must be finite"));
+            }
+        }
+        FieldSpec::ConstantBool { .. } => {}
+        FieldSpec::Burst { mu, alpha, beta, sigma, horizon, branching_ratio, scale, .. } => {
+            if !(mu.is_finite() && *mu >= 0.0 && alpha.is_finite() && *alpha >= 0.0) {
+                return Err(out_of_range(format!("{path}.mu"), "mu/alpha must be >= 0"));
+            }
+            if !(beta.is_finite() && *beta > 0.0) {
+                return Err(out_of_range(
+                    format!("{path}.beta"),
+                    format!("must be > 0, got {beta}"),
+                ));
+            }
+            if !(sigma.is_finite() && *sigma > 0.0) {
+                return Err(out_of_range(
+                    format!("{path}.sigma"),
+                    format!("must be > 0, got {sigma}"),
+                ));
+            }
+            if !(horizon.is_finite() && *horizon > 0.0) {
+                return Err(out_of_range(
+                    format!("{path}.horizon"),
+                    format!("must be > 0, got {horizon}"),
+                ));
+            }
+            if !(0.0..1.0).contains(branching_ratio) {
+                return Err(out_of_range(
+                    format!("{path}.branching_ratio"),
+                    format!("must be in [0,1) (>= 1 is supercritical), got {branching_ratio}"),
+                ));
+            }
+            if !scale.is_finite() {
+                return Err(out_of_range(format!("{path}.scale"), "must be finite"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+impl ScenarioSpec {
+    /// Serializes to the value tree [`ScenarioSpec::from_table`] accepts.
+    /// All defaults are materialized, so `from_table(to_table(s)) == s`.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new();
+        t.insert("name", ConfigValue::Str(self.name.clone()));
+        t.insert("description", ConfigValue::Str(self.description.clone()));
+        t.insert("seed", ConfigValue::Int(self.seed as i64));
+        t.insert("epochs", ConfigValue::Int(self.epochs as i64));
+
+        let mut grid = Table::new();
+        grid.insert("size_km", ConfigValue::Float(self.grid.size_km));
+        grid.insert("side", ConfigValue::Int(self.grid.side as i64));
+        t.insert("grid", ConfigValue::Table(grid));
+
+        let mut pop = Table::new();
+        pop.insert("size", ConfigValue::Int(self.population.size as i64));
+        pop.insert("human_fraction", ConfigValue::Float(self.population.human_fraction));
+        pop.insert("placement", ConfigValue::Table(placement_table(&self.population.placement)));
+        pop.insert("mobility", ConfigValue::Table(mobility_table(&self.population.mobility)));
+        t.insert("population", ConfigValue::Table(pop));
+
+        let mut planner = Table::new();
+        planner.insert("batch_minutes", ConfigValue::Float(self.planner.batch_minutes));
+        planner.insert("f_headroom", ConfigValue::Float(self.planner.f_headroom));
+        planner
+            .insert("mobility_substeps", ConfigValue::Int(self.planner.mobility_substeps as i64));
+        planner.insert("enforce_min_area", ConfigValue::Bool(self.planner.enforce_min_area));
+        planner.insert("shape", ConfigValue::Str(self.planner.shape.clone()));
+        t.insert("planner", ConfigValue::Table(planner));
+
+        let mut budget = Table::new();
+        budget.insert("initial", ConfigValue::Float(self.budget.initial));
+        budget.insert("nv_threshold", ConfigValue::Float(self.budget.nv_threshold));
+        budget.insert("delta", ConfigValue::Float(self.budget.delta));
+        budget.insert("min", ConfigValue::Float(self.budget.min));
+        budget.insert("max", ConfigValue::Float(self.budget.max));
+        t.insert("budget", ConfigValue::Table(budget));
+
+        if let Some(e) = &self.errors {
+            let mut errors = Table::new();
+            errors.insert("gps_sigma", ConfigValue::Float(e.gps_sigma));
+            errors.insert("bool_flip_prob", ConfigValue::Float(e.bool_flip_prob));
+            errors.insert("value_sigma", ConfigValue::Float(e.value_sigma));
+            errors.insert("mitigation", ConfigValue::Str(e.mitigation.clone()));
+            t.insert("errors", ConfigValue::Table(errors));
+        }
+        if let Some(c) = &self.churn {
+            let mut churn = Table::new();
+            churn.insert("probability", ConfigValue::Float(c.probability));
+            t.insert("churn", ConfigValue::Table(churn));
+        }
+
+        let attrs: Vec<ConfigValue> = self
+            .attributes
+            .iter()
+            .map(|a| {
+                let mut at = Table::new();
+                at.insert("name", ConfigValue::Str(a.name.clone()));
+                at.insert("human", ConfigValue::Bool(a.human));
+                at.insert("field", ConfigValue::Table(field_table(&a.field)));
+                ConfigValue::Table(at)
+            })
+            .collect();
+        t.insert("attributes", ConfigValue::Array(attrs));
+
+        let queries: Vec<ConfigValue> = self
+            .queries
+            .iter()
+            .map(|q| {
+                let mut qt = Table::new();
+                qt.insert("text", ConfigValue::Str(q.text.clone()));
+                ConfigValue::Table(qt)
+            })
+            .collect();
+        t.insert("queries", ConfigValue::Array(queries));
+        t
+    }
+
+    /// Serializes to TOML; [`ScenarioSpec::from_toml`] inverts it exactly.
+    pub fn to_toml(&self) -> String {
+        render_toml(&self.to_table())
+    }
+
+    /// Serializes to JSON; [`ScenarioSpec::from_json`] inverts it exactly.
+    pub fn to_json(&self) -> String {
+        render_json(&self.to_table())
+    }
+}
+
+fn quads_value(quads: &[(f64, f64, f64, f64)]) -> ConfigValue {
+    ConfigValue::Array(
+        quads
+            .iter()
+            .map(|&(a, b, c, d)| {
+                ConfigValue::Array(vec![
+                    ConfigValue::Float(a),
+                    ConfigValue::Float(b),
+                    ConfigValue::Float(c),
+                    ConfigValue::Float(d),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn placement_table(p: &PlacementSpec) -> Table {
+    let mut t = Table::new();
+    match p {
+        PlacementSpec::Uniform => t.insert("kind", ConfigValue::Str("uniform".into())),
+        PlacementSpec::City => t.insert("kind", ConfigValue::Str("city".into())),
+        PlacementSpec::Hotspots { floor, spots } => {
+            t.insert("kind", ConfigValue::Str("hotspots".into()));
+            t.insert("floor", ConfigValue::Float(*floor));
+            t.insert("spots", quads_value(spots));
+        }
+    }
+    t
+}
+
+fn mobility_table(m: &MobilitySpec) -> Table {
+    let mut t = Table::new();
+    match m {
+        MobilitySpec::Stationary => t.insert("kind", ConfigValue::Str("stationary".into())),
+        MobilitySpec::Walk { sigma } => {
+            t.insert("kind", ConfigValue::Str("walk".into()));
+            t.insert("sigma", ConfigValue::Float(*sigma));
+        }
+        MobilitySpec::Waypoint { speed, pause } => {
+            t.insert("kind", ConfigValue::Str("waypoint".into()));
+            t.insert("speed", ConfigValue::Float(*speed));
+            t.insert("pause", ConfigValue::Float(*pause));
+        }
+        MobilitySpec::GaussMarkov { alpha, mean_speed, sigma } => {
+            t.insert("kind", ConfigValue::Str("gauss_markov".into()));
+            t.insert("alpha", ConfigValue::Float(*alpha));
+            t.insert("mean_speed", ConfigValue::Float(*mean_speed));
+            t.insert("sigma", ConfigValue::Float(*sigma));
+        }
+    }
+    t
+}
+
+fn field_table(f: &FieldSpec) -> Table {
+    let mut t = Table::new();
+    match f {
+        FieldSpec::Temperature { base, y_gradient, islands, diurnal_amplitude, diurnal_period } => {
+            t.insert("kind", ConfigValue::Str("temperature".into()));
+            t.insert("base", ConfigValue::Float(*base));
+            t.insert("y_gradient", ConfigValue::Float(*y_gradient));
+            t.insert("islands", quads_value(islands));
+            t.insert("diurnal_amplitude", ConfigValue::Float(*diurnal_amplitude));
+            t.insert("diurnal_period", ConfigValue::Float(*diurnal_period));
+        }
+        FieldSpec::Rain { x_start, speed, width } => {
+            t.insert("kind", ConfigValue::Str("rain".into()));
+            t.insert("x_start", ConfigValue::Float(*x_start));
+            t.insert("speed", ConfigValue::Float(*speed));
+            t.insert("width", ConfigValue::Float(*width));
+        }
+        FieldSpec::ConstantFloat { value } => {
+            t.insert("kind", ConfigValue::Str("constant".into()));
+            t.insert("value", ConfigValue::Float(*value));
+        }
+        FieldSpec::ConstantBool { value } => {
+            t.insert("kind", ConfigValue::Str("constant".into()));
+            t.insert("value", ConfigValue::Bool(*value));
+        }
+        FieldSpec::Burst {
+            mu,
+            alpha,
+            beta,
+            sigma,
+            horizon,
+            immigrants,
+            branching_ratio,
+            scale,
+        } => {
+            t.insert("kind", ConfigValue::Str("burst".into()));
+            t.insert("mu", ConfigValue::Float(*mu));
+            t.insert("alpha", ConfigValue::Float(*alpha));
+            t.insert("beta", ConfigValue::Float(*beta));
+            t.insert("sigma", ConfigValue::Float(*sigma));
+            t.insert("horizon", ConfigValue::Float(*horizon));
+            t.insert("immigrants", ConfigValue::Int(*immigrants as i64));
+            t.insert("branching_ratio", ConfigValue::Float(*branching_ratio));
+            t.insert("scale", ConfigValue::Float(*scale));
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn minimal_toml() -> &'static str {
+        r#"
+name = "mini"
+seed = 7
+epochs = 3
+
+[grid]
+size_km = 4.0
+side = 4
+
+[population]
+size = 200
+human_fraction = 0.25
+placement = { kind = "uniform" }
+mobility = { kind = "walk", sigma = 0.2 }
+
+[[attributes]]
+name = "temp"
+field = { kind = "constant", value = 21.0 }
+
+[[queries]]
+text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
+"#
+    }
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.epochs, 3);
+        assert_eq!(s.planner, PlannerSpec::default());
+        assert_eq!(s.budget, BudgetSpec::default());
+        assert!(s.errors.is_none() && s.churn.is_none());
+        assert_eq!(s.attributes.len(), 1);
+        assert!(!s.attributes[0].human);
+        assert_eq!(s.attributes[0].field, FieldSpec::ConstantFloat { value: 21.0 });
+    }
+
+    #[test]
+    fn unknown_fields_rejected_at_every_level() {
+        let with_typo = minimal_toml().replace("human_fraction = 0.25", "human_fractoin = 0.25");
+        let err = ScenarioSpec::from_toml(&with_typo).unwrap_err();
+        assert_eq!(err, SpecError::UnknownField { path: "population.human_fractoin".into() });
+
+        // A stray top-level key (prepended — appending would land inside the
+        // trailing [[queries]] table).
+        let extra_top = format!("bogus = 1\n{}", minimal_toml());
+        assert!(matches!(
+            ScenarioSpec::from_toml(&extra_top).unwrap_err(),
+            SpecError::UnknownField { path } if path == "bogus"
+        ));
+        // And a stray key inside a [[queries]] element.
+        let extra_query = format!("{}\nretries = 3\n", minimal_toml());
+        assert!(matches!(
+            ScenarioSpec::from_toml(&extra_query).unwrap_err(),
+            SpecError::UnknownField { path } if path == "queries[0].retries"
+        ));
+    }
+
+    #[test]
+    fn zero_cell_grid_rejected() {
+        let zero = minimal_toml().replace("side = 4", "side = 0");
+        let err = ScenarioSpec::from_toml(&zero).unwrap_err();
+        assert!(matches!(&err, SpecError::OutOfRange { path, .. } if path == "grid.side"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_budget_rejected() {
+        let bad = format!("{}\n[budget]\ninitial = -3.0\n", minimal_toml());
+        let err = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::OutOfRange { path, .. } if path == "budget.initial"),
+            "{err}"
+        );
+        let inverted = format!("{}\n[budget]\nmin = 10.0\nmax = 5.0\n", minimal_toml());
+        let err = ScenarioSpec::from_toml(&inverted).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::OutOfRange { path, .. } if path == "budget.max"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_finite_field_knobs_rejected() {
+        let mut s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        s.attributes[0].field = FieldSpec::Temperature {
+            base: f64::NAN,
+            y_gradient: 0.0,
+            islands: vec![],
+            diurnal_amplitude: 0.0,
+            diurnal_period: 1440.0,
+        };
+        assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+        s.attributes[0].field = FieldSpec::Rain { x_start: f64::INFINITY, speed: 0.0, width: 1.0 };
+        assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+        s.attributes[0].field = FieldSpec::Temperature {
+            base: 20.0,
+            y_gradient: 0.0,
+            islands: vec![(f64::NAN, 0.0, 1.0, 1.0)],
+            diurnal_amplitude: 0.0,
+            diurnal_period: 1440.0,
+        };
+        assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn json_and_toml_agree() {
+        let s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        let via_json = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        let via_toml = ScenarioSpec::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(s, via_json);
+        assert_eq!(s, via_toml);
+    }
+
+    #[test]
+    fn from_source_keys_on_extension() {
+        let s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        assert!(ScenarioSpec::from_source("x.json", &s.to_json()).is_ok());
+        assert!(ScenarioSpec::from_source("x.toml", &s.to_toml()).is_ok());
+        assert!(ScenarioSpec::from_source("x.json", &s.to_toml()).is_err());
+    }
+}

@@ -31,6 +31,32 @@ pub enum Placement {
 }
 
 impl Placement {
+    /// Builds a hotspot placement from spec data, validating instead of
+    /// panicking: every `(cx, cy, weight, sigma)` needs `weight >= 0` and
+    /// `sigma > 0`, `floor >= 0`, and the total weight must be positive.
+    /// The data-driven entry point for declarative scenario specs.
+    pub fn hotspots(spots: Vec<(f64, f64, f64, f64)>, floor: f64) -> Result<Self, String> {
+        if !(floor.is_finite() && floor >= 0.0) {
+            return Err(format!("hotspot floor must be >= 0, got {floor}"));
+        }
+        for (i, &(cx, cy, weight, sigma)) in spots.iter().enumerate() {
+            if !(cx.is_finite() && cy.is_finite()) {
+                return Err(format!("hotspot {i} centre must be finite"));
+            }
+            if !(weight.is_finite() && weight >= 0.0) {
+                return Err(format!("hotspot {i} weight must be >= 0, got {weight}"));
+            }
+            if !(sigma.is_finite() && sigma > 0.0) {
+                return Err(format!("hotspot {i} sigma must be > 0, got {sigma}"));
+            }
+        }
+        let total: f64 = floor + spots.iter().map(|s| s.2).sum::<f64>();
+        if total <= 0.0 {
+            return Err("hotspot placement needs positive total weight".into());
+        }
+        Ok(Placement::Hotspots { spots, floor })
+    }
+
     /// A typical two-hotspot city: dense downtown, smaller secondary centre.
     pub fn city(region: &Rect) -> Self {
         let (cx, cy) = region.center();
@@ -115,6 +141,25 @@ impl PopulationConfig {
             mobility: Mobility::random_waypoint(0.08, 5.0),
             human_fraction: 0.4,
         }
+    }
+
+    /// Checks the knobs a declarative spec can set, returning the first
+    /// violated constraint as `(field, requirement)` — the non-panicking
+    /// twin of [`PopulationConfig::build`]'s assertions.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        if self.size == 0 {
+            return Err(("population.size", "must be >= 1 (an empty crowd senses nothing)".into()));
+        }
+        if !(0.0..=1.0).contains(&self.human_fraction) {
+            return Err((
+                "population.human_fraction",
+                format!("must be in [0,1], got {}", self.human_fraction),
+            ));
+        }
+        if let Placement::Hotspots { spots, floor } = &self.placement {
+            Placement::hotspots(spots.clone(), *floor).map_err(|e| ("population.placement", e))?;
+        }
+        Ok(())
     }
 
     /// Materializes the population.
@@ -203,6 +248,39 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 1_000);
+    }
+
+    #[test]
+    fn hotspots_constructor_validates() {
+        assert!(Placement::hotspots(vec![(1.0, 1.0, 2.0, 0.5)], 0.0).is_ok());
+        assert!(Placement::hotspots(vec![(1.0, 1.0, 2.0, 0.0)], 0.0).is_err(), "zero sigma");
+        assert!(Placement::hotspots(vec![(1.0, 1.0, -1.0, 0.5)], 0.0).is_err(), "negative weight");
+        assert!(Placement::hotspots(vec![], 0.0).is_err(), "zero total weight");
+        assert!(Placement::hotspots(vec![], 1.0).is_ok(), "pure uniform floor");
+    }
+
+    #[test]
+    fn population_validate_catches_spec_errors() {
+        let ok = PopulationConfig {
+            size: 10,
+            placement: Placement::Uniform,
+            mobility: Mobility::Stationary,
+            human_fraction: 0.5,
+        };
+        assert!(ok.validate().is_ok());
+        assert_eq!(
+            PopulationConfig { size: 0, ..ok.clone() }.validate().unwrap_err().0,
+            "population.size"
+        );
+        assert_eq!(
+            PopulationConfig { human_fraction: 1.5, ..ok.clone() }.validate().unwrap_err().0,
+            "population.human_fraction"
+        );
+        let bad_spots = PopulationConfig {
+            placement: Placement::Hotspots { spots: vec![(0.0, 0.0, 1.0, -1.0)], floor: 0.0 },
+            ..ok
+        };
+        assert_eq!(bad_spots.validate().unwrap_err().0, "population.placement");
     }
 
     #[test]

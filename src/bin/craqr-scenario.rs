@@ -1,0 +1,245 @@
+//! `craqr-scenario` — run declarative scenario specs and manage goldens.
+//!
+//! ```text
+//! # Run every committed scenario and diff against the committed goldens:
+//! cargo run --release --bin craqr-scenario -- scenarios/*.toml scenarios/*.json --check
+//!
+//! # Regenerate the goldens after an intentional behaviour change:
+//! cargo run --release --bin craqr-scenario -- scenarios/*.toml scenarios/*.json --bless
+//!
+//! # Print `name checksum` pairs only (CI's serial-vs-sharded determinism
+//! # comparison):
+//! cargo run --release --bin craqr-scenario -- scenarios/*.toml --checksum --shards 4
+//! ```
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `<files…>`       | —              | scenario spec files (`.toml` or `.json`), ≥ 1 |
+//! | `--shards N`     | 0              | run under `Sharded(N)` (0 = serial) |
+//! | `--seed S`       | spec seed      | override every spec's seed |
+//! | `--goldens DIR`  | `tests/goldens`| where golden reports live |
+//! | `--bless`        | off            | write/overwrite golden files |
+//! | `--check`        | off            | diff reports against goldens, exit 1 on mismatch |
+//! | `--checksum`     | off            | print only `name checksum` lines |
+//! | `--print`        | off            | print each canonical report to stdout |
+//!
+//! Without `--bless`/`--check`/`--checksum`/`--print`, a one-line summary
+//! per scenario is printed. Every run additionally executes the spec under
+//! the *other* execution mode and asserts the two canonical reports are
+//! byte-identical — the determinism contract is checked on every
+//! invocation, not just in CI. Exceptions: `--checksum` skips the built-in
+//! cross-run (that mode exists for *external* serial-vs-sharded diffs, as
+//! CI does), and `--bless --seed` is rejected (it would write goldens no
+//! `--check` could ever match).
+
+use craqr::core::ExecMode;
+use craqr::scenario::{ScenarioRunner, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    files: Vec<PathBuf>,
+    shards: usize,
+    seed: Option<u64>,
+    goldens: PathBuf,
+    bless: bool,
+    check: bool,
+    checksum: bool,
+    print: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        files: Vec::new(),
+        shards: 0,
+        seed: None,
+        goldens: PathBuf::from("tests/goldens"),
+        bless: false,
+        check: false,
+        checksum: false,
+        print: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("flag {name} needs a value"));
+        match flag.as_str() {
+            "--shards" => {
+                args.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--seed" => {
+                args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--goldens" => args.goldens = PathBuf::from(value("--goldens")?),
+            "--bless" => args.bless = true,
+            "--check" => args.check = true,
+            "--checksum" => args.checksum = true,
+            "--print" => args.print = true,
+            "--help" | "-h" => {
+                println!("see the doc comment at the top of src/bin/craqr-scenario.rs for usage");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}' (try --help)"))
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("at least one scenario spec file is required (try --help)".into());
+    }
+    if args.bless && args.check {
+        return Err("--bless and --check are mutually exclusive".into());
+    }
+    if args.bless && args.seed.is_some() {
+        return Err(
+            "--bless with --seed would write goldens no --check or test run can ever match \
+             (goldens are defined by each spec's own seed)"
+                .into(),
+        );
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = if args.shards > 0 { ExecMode::Sharded(args.shards) } else { ExecMode::Serial };
+    // The cross-check mode: whatever the primary isn't.
+    let cross = if args.shards > 0 { ExecMode::Serial } else { ExecMode::Sharded(4) };
+
+    let mut failures = 0usize;
+    for file in &args.files {
+        let name = file.display();
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let spec = match ScenarioSpec::from_source(&file.to_string_lossy(), &src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let runner = match ScenarioRunner::new(spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let seed = args.seed.unwrap_or(runner.spec().seed);
+        let report = match runner.run_with_seed(exec, seed) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        // Verify the determinism contract against the other mode — except
+        // under --checksum, whose whole purpose is an *external* comparison
+        // (CI diffs a serial and a sharded invocation), so the built-in
+        // cross-run would only double the work.
+        if !args.checksum {
+            match runner.run_with_seed(cross, seed) {
+                Ok(other) if other.canonical() == report.canonical() => {}
+                Ok(_) => {
+                    eprintln!(
+                        "error: {name}: {exec:?} and {cross:?} reports diverge — determinism broken"
+                    );
+                    failures += 1;
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("error: {name}: cross-mode run failed: {e}");
+                    failures += 1;
+                    continue;
+                }
+            }
+        }
+
+        let scenario = &report.name;
+        if args.checksum {
+            println!("{scenario} {:#018x}", report.checksum());
+        } else if args.print {
+            print!("{}", report.canonical());
+        }
+
+        let golden_path = args.goldens.join(format!("{scenario}.golden.txt"));
+        if args.bless {
+            if let Some(parent) = golden_path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&golden_path, report.canonical()) {
+                eprintln!("error: writing {}: {e}", golden_path.display());
+                failures += 1;
+                continue;
+            }
+            println!("blessed {}", golden_path.display());
+        } else if args.check {
+            match std::fs::read_to_string(&golden_path) {
+                Ok(golden) if golden == report.canonical() => {
+                    println!("ok {scenario} ({:#018x})", report.checksum());
+                }
+                Ok(golden) => {
+                    eprintln!(
+                        "MISMATCH {scenario}: report differs from {} \
+                         (run with --bless after verifying the change is intentional)",
+                        golden_path.display()
+                    );
+                    let fresh = report.canonical();
+                    let (g_lines, r_lines): (Vec<&str>, Vec<&str>) =
+                        (golden.lines().collect(), fresh.lines().collect());
+                    let diff_at = g_lines
+                        .iter()
+                        .zip(&r_lines)
+                        .position(|(g, r)| g != r)
+                        // One report is a line-prefix of the other: the
+                        // first diff is the first unmatched line.
+                        .unwrap_or_else(|| g_lines.len().min(r_lines.len()));
+                    fn line<'a>(v: &[&'a str], at: usize) -> &'a str {
+                        v.get(at).copied().unwrap_or("<end of report>")
+                    }
+                    eprintln!(
+                        "  first diff at line {}:\n  - {}\n  + {}",
+                        diff_at + 1,
+                        line(&g_lines, diff_at),
+                        line(&r_lines, diff_at)
+                    );
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("MISSING {scenario}: {}: {e}", golden_path.display());
+                    failures += 1;
+                }
+            }
+        } else if !args.checksum && !args.print {
+            let delivered: usize = report.queries.iter().map(|q| q.delivered).sum();
+            println!(
+                "{scenario}: {} epochs, {} sent, {} delivered, checksum {:#018x}",
+                report.epochs.len(),
+                report.totals.sent,
+                delivered,
+                report.checksum()
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

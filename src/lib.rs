@@ -12,6 +12,9 @@
 //! - [`engine`] — the streaming dataflow engine PMAT operators run on.
 //! - [`core`] — CrAQR itself: PMAT operators, acquisitional queries, the
 //!   Section V planner, budget tuning, and the server.
+//! - [`scenario`] — the declarative scenario harness: TOML/JSON workload
+//!   specs, a deterministic runner, and canonical golden reports
+//!   (`scenarios/` + `tests/goldens/` + the `craqr-scenario` CLI).
 //!
 //! ## Quickstart
 //!
@@ -43,13 +46,13 @@
 //!
 //! The per-cell operator topologies share nothing — each `(cell,
 //! attribute)` chain owns its operators, sinks, and RNG streams, all
-//! derived from the planner's root seed. [`ServerConfig`]'s
-//! [`ExecMode`] knob chooses how the epoch's process phase runs:
+//! derived from the planner's root seed. [`ServerConfig`](craqr_core::ServerConfig)'s
+//! [`ExecMode`](craqr_core::ExecMode) knob chooses how the epoch's process phase runs:
 //!
-//! - [`ExecMode::Serial`] (default): every chain runs on the calling
+//! - [`ExecMode::Serial`](craqr_core::ExecMode::Serial) (default): every chain runs on the calling
 //!   thread in sorted key order — the reference implementation, easiest
 //!   to step through and profile.
-//! - [`ExecMode::Sharded`]`(n)`: chains are partitioned round-robin over
+//! - [`ExecMode::Sharded`](craqr_core::ExecMode::Sharded)`(n)`: chains are partitioned round-robin over
 //!   sorted keys into `n` shards, each run on a scoped worker thread;
 //!   per-shard results merge in ascending shard order.
 //!
@@ -72,6 +75,7 @@ pub use craqr_core as core;
 pub use craqr_engine as engine;
 pub use craqr_geom as geom;
 pub use craqr_mdpp as mdpp;
+pub use craqr_scenario as scenario;
 pub use craqr_sensing as sensing;
 pub use craqr_stats as stats;
 

@@ -1,0 +1,306 @@
+//! Spec-parsing coverage: precise rejection of malformed scenarios, and a
+//! property test that every valid spec survives serialize → parse
+//! unchanged, through both syntaxes.
+
+use craqr::scenario::{
+    AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec, MobilitySpec,
+    PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, SpecError,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MINIMAL: &str = r#"
+name = "minimal"
+seed = 7
+epochs = 3
+
+[grid]
+size_km = 4.0
+side = 4
+
+[population]
+size = 200
+human_fraction = 0.25
+placement = { kind = "uniform" }
+mobility = { kind = "walk", sigma = 0.2 }
+
+[[attributes]]
+name = "temp"
+field = { kind = "constant", value = 21.0 }
+
+[[queries]]
+text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
+"#;
+
+fn mutate(from: &str, to: &str) -> Result<ScenarioSpec, SpecError> {
+    let src = MINIMAL.replace(from, to);
+    assert_ne!(src, MINIMAL, "mutation '{from}' did not apply");
+    ScenarioSpec::from_toml(&src)
+}
+
+#[test]
+fn unknown_fields_are_named_with_their_full_path() {
+    for (from, to, path) in [
+        ("size_km = 4.0", "size_km = 4.0\nsdie = 4", "grid.sdie"),
+        ("human_fraction = 0.25", "human_fractoin = 0.25", "population.human_fractoin"),
+        (
+            "placement = { kind = \"uniform\" }",
+            "placement = { kind = \"uniform\", denisty = 1.0 }",
+            "population.placement.denisty",
+        ),
+        (
+            "field = { kind = \"constant\", value = 21.0 }",
+            "field = { kind = \"constant\", value = 21.0, unit = \"C\" }",
+            "attributes[0].field.unit",
+        ),
+    ] {
+        match mutate(from, to) {
+            Err(SpecError::UnknownField { path: p }) => assert_eq!(p, path),
+            other => panic!("expected UnknownField({path}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_cell_grids_are_rejected() {
+    match mutate("side = 4", "side = 0") {
+        Err(SpecError::OutOfRange { path, message }) => {
+            assert_eq!(path, "grid.side");
+            assert!(message.contains("zero-cell"), "{message}");
+        }
+        other => panic!("expected OutOfRange(grid.side), got {other:?}"),
+    }
+    // A zero-sized region is just as unplannable.
+    assert!(matches!(
+        mutate("size_km = 4.0", "size_km = 0.0"),
+        Err(SpecError::OutOfRange { path, .. }) if path == "grid.size_km"
+    ));
+}
+
+#[test]
+fn out_of_range_budgets_are_rejected() {
+    let bad = format!("{MINIMAL}\n[budget]\ninitial = -1.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&bad),
+        Err(SpecError::OutOfRange { path, .. }) if path == "budget.initial"
+    ));
+    let inverted = format!("{MINIMAL}\n[budget]\nmin = 50.0\nmax = 10.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&inverted),
+        Err(SpecError::OutOfRange { path, .. }) if path == "budget.max"
+    ));
+    let nv = format!("{MINIMAL}\n[budget]\nnv_threshold = 250.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&nv),
+        Err(SpecError::OutOfRange { path, .. }) if path == "budget.nv_threshold"
+    ));
+}
+
+#[test]
+fn type_and_structure_errors_are_precise() {
+    assert!(matches!(
+        mutate("seed = 7", "seed = \"seven\""),
+        Err(SpecError::TypeMismatch { path, expected: "integer", .. }) if path == "seed"
+    ));
+    assert!(matches!(
+        mutate("seed = 7", "seed = -7"),
+        Err(SpecError::OutOfRange { path, .. }) if path == "seed"
+    ));
+    assert!(matches!(
+        mutate("epochs = 3", "epochs = 0"),
+        Err(SpecError::OutOfRange { path, .. }) if path == "epochs"
+    ));
+    // Missing required section.
+    let no_grid = MINIMAL.replace("[grid]\nsize_km = 4.0\nside = 4\n", "");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&no_grid),
+        Err(SpecError::MissingField { path }) if path == "grid"
+    ));
+    // Unknown enum tags.
+    assert!(matches!(
+        mutate("kind = \"walk\", sigma = 0.2", "kind = \"teleport\", sigma = 0.2"),
+        Err(SpecError::OutOfRange { path, .. }) if path == "population.mobility.kind"
+    ));
+    // Broken syntax reports a line.
+    match ScenarioSpec::from_toml("name = \"x\"\nseed = = 3\n") {
+        Err(SpecError::Syntax(e)) => assert_eq!(e.line, 2),
+        other => panic!("expected Syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn semantic_duplicates_and_empties_are_rejected() {
+    let dup = MINIMAL.replace(
+        "[[queries]]",
+        "[[attributes]]\nname = \"temp\"\nfield = { kind = \"constant\", value = 1.0 }\n\n[[queries]]",
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml(&dup),
+        Err(SpecError::OutOfRange { path, .. }) if path == "attributes[1].name"
+    ));
+    assert!(matches!(
+        mutate("text = \"ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5\"", "text = \"  \""),
+        Err(SpecError::OutOfRange { path, .. }) if path == "queries[0].text"
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Property: serialize → parse is the identity on valid specs
+// ---------------------------------------------------------------------------
+
+fn arb_field(rng: &mut StdRng) -> FieldSpec {
+    match rng.gen_range(0u8..5) {
+        0 => FieldSpec::Temperature {
+            base: rng.gen_range(-10.0..35.0),
+            y_gradient: rng.gen_range(-1.0..1.0),
+            islands: (0..rng.gen_range(0usize..3))
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..4.0),
+                        rng.gen_range(0.0..4.0),
+                        rng.gen_range(0.0..6.0),
+                        rng.gen_range(0.1..2.0),
+                    )
+                })
+                .collect(),
+            diurnal_amplitude: rng.gen_range(0.0..8.0),
+            diurnal_period: rng.gen_range(60.0..2000.0),
+        },
+        1 => FieldSpec::Rain {
+            x_start: rng.gen_range(-2.0..6.0),
+            speed: rng.gen_range(-0.2..0.2),
+            width: rng.gen_range(0.2..3.0),
+        },
+        2 => FieldSpec::ConstantFloat { value: rng.gen_range(-100.0..100.0) },
+        3 => FieldSpec::ConstantBool { value: rng.gen() },
+        _ => FieldSpec::Burst {
+            mu: rng.gen_range(0.0..1.0),
+            alpha: rng.gen_range(0.0..5.0),
+            beta: rng.gen_range(0.05..1.0),
+            sigma: rng.gen_range(0.1..1.0),
+            horizon: rng.gen_range(10.0..120.0),
+            immigrants: rng.gen_range(0u32..10),
+            branching_ratio: rng.gen_range(0.0..0.95),
+            scale: rng.gen_range(-2.0..2.0),
+        },
+    }
+}
+
+/// Draws a random *valid* spec: every constructor input stays inside the
+/// documented ranges, names come from a fixed pool with unique suffixes.
+fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
+    let placement = match rng.gen_range(0u8..3) {
+        0 => PlacementSpec::Uniform,
+        1 => PlacementSpec::City,
+        _ => PlacementSpec::Hotspots {
+            floor: rng.gen_range(0.1..3.0),
+            spots: (0..rng.gen_range(0usize..4))
+                .map(|_| {
+                    (
+                        rng.gen_range(-5.0..10.0),
+                        rng.gen_range(-5.0..10.0),
+                        rng.gen_range(0.0..5.0),
+                        rng.gen_range(0.1..2.0),
+                    )
+                })
+                .collect(),
+        },
+    };
+    let mobility = match rng.gen_range(0u8..4) {
+        0 => MobilitySpec::Stationary,
+        1 => MobilitySpec::Walk { sigma: rng.gen_range(0.0..1.0) },
+        2 => MobilitySpec::Waypoint {
+            speed: rng.gen_range(0.01..0.5),
+            pause: rng.gen_range(0.0..10.0),
+        },
+        _ => MobilitySpec::GaussMarkov {
+            alpha: rng.gen_range(0.0..0.99),
+            mean_speed: rng.gen_range(0.0..0.5),
+            sigma: rng.gen_range(0.0..0.2),
+        },
+    };
+    let names = ["temp", "rain", "load", "noise_db", "pm2-5"];
+    let attr_count = rng.gen_range(1usize..4);
+    let attributes: Vec<AttributeSpec> = (0..attr_count)
+        .map(|i| AttributeSpec { name: names[i].into(), human: rng.gen(), field: arb_field(rng) })
+        .collect();
+    let queries: Vec<QuerySpec> = (0..rng.gen_range(1usize..4))
+        .map(|i| QuerySpec {
+            // Exercise string escaping: quotes, backslashes, unicode.
+            text: format!(
+                "ACQUIRE {} FROM RECT(0,0,2,2) RATE 0.{} -- \"q{i}\" \\ λ✓",
+                attributes[i % attributes.len()].name,
+                rng.gen_range(1u32..10),
+            ),
+        })
+        .collect();
+    let min = rng.gen_range(0.0..5.0);
+    ScenarioSpec {
+        name: format!("prop-{}", rng.gen_range(0u32..1000)).replace('-', "_"),
+        description: String::from_iter((0..rng.gen_range(0usize..20)).map(|_| {
+            *['a', ' ', 'π', '"', '\\', '\n', 'z'].get(rng.gen_range(0usize..7)).unwrap()
+        })),
+        seed: rng.gen_range(0u64..i64::MAX as u64),
+        epochs: rng.gen_range(1u32..100),
+        grid: GridSpec { size_km: rng.gen_range(1.0..20.0), side: rng.gen_range(1u32..12) },
+        population: PopulationSpec {
+            size: rng.gen_range(1u32..5000),
+            human_fraction: rng.gen_range(0.0..1.0),
+            placement,
+            mobility,
+        },
+        planner: PlannerSpec {
+            batch_minutes: rng.gen_range(0.5..30.0),
+            f_headroom: rng.gen_range(1.0..3.0),
+            mobility_substeps: rng.gen_range(1u32..10),
+            enforce_min_area: rng.gen(),
+            shape: if rng.gen() { "chain".into() } else { "star".into() },
+        },
+        budget: BudgetSpec {
+            initial: rng.gen_range(0.0..100.0),
+            nv_threshold: rng.gen_range(0.0..100.0),
+            delta: rng.gen_range(0.0..10.0),
+            min,
+            max: min + rng.gen_range(0.0..200.0),
+        },
+        errors: if rng.gen() {
+            Some(ErrorSpec {
+                gps_sigma: rng.gen_range(0.0..0.5),
+                bool_flip_prob: rng.gen_range(0.0..1.0),
+                value_sigma: rng.gen_range(0.0..2.0),
+                mitigation: if rng.gen() { "standard".into() } else { "off".into() },
+            })
+        } else {
+            None
+        },
+        churn: if rng.gen() {
+            Some(ChurnSpec { probability: rng.gen_range(0.0..1.0) })
+        } else {
+            None
+        },
+        attributes,
+        queries,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn valid_specs_round_trip_through_both_syntaxes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = arb_spec(&mut rng);
+        prop_assert!(spec.validate().is_ok(), "generator produced an invalid spec: {spec:?}");
+
+        let toml = spec.to_toml();
+        let via_toml = ScenarioSpec::from_toml(&toml);
+        prop_assert!(via_toml.is_ok(), "TOML re-parse failed: {:?}\n{toml}", via_toml.err());
+        prop_assert_eq!(&spec, &via_toml.unwrap(), "TOML round trip changed the spec:\n{}", toml);
+
+        let json = spec.to_json();
+        let via_json = ScenarioSpec::from_json(&json);
+        prop_assert!(via_json.is_ok(), "JSON re-parse failed: {:?}\n{json}", via_json.err());
+        prop_assert_eq!(&spec, &via_json.unwrap(), "JSON round trip changed the spec:\n{}", json);
+    }
+}

@@ -212,13 +212,13 @@ mod tests {
         let mut b = BytesMut::with_capacity(32);
         b.put_u8(7);
         b.put_u16(0x0102);
-        b.put_u64(0x0A0B0C0D_0E0F_1011);
+        b.put_u64(0x0A0B_0C0D_0E0F_1011);
         b.put_f64(-2.5);
         let mut r = b.freeze();
         assert_eq!(r.remaining(), 1 + 2 + 8 + 8);
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16(), 0x0102);
-        assert_eq!(r.get_u64(), 0x0A0B0C0D_0E0F_1011);
+        assert_eq!(r.get_u64(), 0x0A0B_0C0D_0E0F_1011);
         assert_eq!(r.get_f64(), -2.5);
         assert!(r.is_empty());
     }
