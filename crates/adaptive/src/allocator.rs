@@ -1,0 +1,112 @@
+//! The water-filling budget allocator.
+//!
+//! On a confirmed drift the controller re-divides one acquisition budget
+//! pool across the active queries. Water-filling is the classic fair
+//! allocation under caps: pour budget into all queries at an equal "water
+//! level" until the pool runs dry, letting queries whose *demand* (their
+//! cap) is below the level keep only what they asked for. The result:
+//!
+//! - every query gets `min(demand, level)`,
+//! - the common level is chosen so the allocations sum to
+//!   `min(pool, Σ demand)`,
+//! - no query is starved to feed another one past its own demand.
+
+/// Allocates `pool` across demands by water-filling. Returns one
+/// allocation per demand, in input order; allocations sum to
+/// `min(pool, Σ demands)` (up to float rounding).
+///
+/// Non-finite or negative demands are treated as zero.
+///
+/// # Panics
+/// Panics on a negative or non-finite pool.
+#[track_caller]
+pub fn water_fill(demands: &[f64], pool: f64) -> Vec<f64> {
+    assert!(pool.is_finite() && pool >= 0.0, "pool must be >= 0, got {pool}");
+    let caps: Vec<f64> =
+        demands.iter().map(|d| if d.is_finite() && *d > 0.0 { *d } else { 0.0 }).collect();
+    let n = caps.len();
+    let mut alloc = vec![0.0; n];
+    if n == 0 || pool == 0.0 {
+        return alloc;
+    }
+    // Indices sorted by cap ascending (stable: ties keep input order, so
+    // the outcome is deterministic).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| caps[*a].total_cmp(&caps[*b]).then(a.cmp(b)));
+
+    let mut remaining = pool;
+    for (filled, &i) in order.iter().enumerate() {
+        let level = remaining / (n - filled) as f64;
+        if caps[i] <= level {
+            // This query's demand sits below the water level: satisfy it
+            // fully and re-level the rest.
+            alloc[i] = caps[i];
+            remaining -= caps[i];
+        } else {
+            // Everyone remaining demands more than the level: split evenly.
+            for &j in &order[filled..] {
+                alloc[j] = level;
+            }
+            return alloc;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn abundant_pool_satisfies_every_demand() {
+        let a = water_fill(&[3.0, 1.0, 6.0], 100.0);
+        assert_eq!(a, vec![3.0, 1.0, 6.0]);
+    }
+
+    #[test]
+    fn scarce_pool_levels_the_big_demands() {
+        // Pool 10 over demands [2, 9, 9]: the small demand is satisfied,
+        // the two big ones split the remaining 8 evenly.
+        let a = water_fill(&[2.0, 9.0, 9.0], 10.0);
+        assert_eq!(a, vec![2.0, 4.0, 4.0]);
+        assert!((total(&a) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_pool_splits_evenly() {
+        let a = water_fill(&[50.0, 70.0, 60.0], 9.0);
+        assert_eq!(a, vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_and_negative_demands_get_nothing() {
+        let a = water_fill(&[0.0, -3.0, f64::NAN, 5.0], 100.0);
+        assert_eq!(a, vec![0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(water_fill(&[], 10.0).is_empty());
+        assert_eq!(water_fill(&[4.0], 0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn allocation_is_monotone_in_the_pool() {
+        let demands = [5.0, 12.0, 3.0, 30.0];
+        let mut prev = water_fill(&demands, 0.0);
+        for pool in 1..=60 {
+            let next = water_fill(&demands, pool as f64);
+            for (p, q) in prev.iter().zip(&next) {
+                assert!(q + 1e-9 >= *p, "allocation shrank as the pool grew");
+            }
+            assert!(total(&next) <= pool as f64 + 1e-9);
+            prev = next;
+        }
+        // Saturated: everyone fully satisfied.
+        assert_eq!(prev, demands.to_vec());
+    }
+}

@@ -1,0 +1,243 @@
+//! The canonical, checksummed decision log of one adaptive run.
+//!
+//! An [`AdaptiveTrace`] records *every* observation the controller made
+//! (per epoch, per query: delivered count, empirical rate, innovation,
+//! detector score, drift verdict) and every replan it issued (triggers,
+//! pool, water-filled allocations, per-chain budgets, rebuilds). Like
+//! [`ScenarioReport`](https://docs.rs/craqr-scenario) goldens, its
+//! [`canonical`](AdaptiveTrace::canonical) rendering is byte-identical
+//! across [`craqr_core::ExecMode`]s and across reruns at a fixed seed, and
+//! ends in an FNV-1a checksum line — so drift scenarios can golden-test
+//! not just *what* the system produced but *why* it replanned.
+
+use crate::config::DetectorConfig;
+use craqr_geom::CellId;
+use craqr_sensing::AttributeId;
+use craqr_stats::{fnv1a64, DriftDirection};
+
+/// One (epoch, query) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationRow {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Query id (submission order).
+    pub query: u64,
+    /// Tuples the query received this epoch.
+    pub delivered: usize,
+    /// Empirical delivered intensity over the epoch window (/km²/min).
+    pub empirical_rate: f64,
+    /// The SGD estimator's standardized innovation for this batch.
+    pub innovation: f64,
+    /// Detector evidence after consuming the innovation, pre-restart — a
+    /// firing row records the level that crossed the threshold (0 while
+    /// warming up).
+    pub score: f64,
+    /// Drift verdict, if the detector fired on this observation.
+    pub drift: Option<DriftDirection>,
+}
+
+/// One replanning decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanRecord {
+    /// Epoch whose observation triggered the replan.
+    pub epoch: u64,
+    /// The queries whose detectors fired, with the shift direction.
+    pub triggers: Vec<(u64, DriftDirection)>,
+    /// The budget pool (requests/epoch) the allocator distributed.
+    pub pool: f64,
+    /// Per-query `(query, demand, allocation)` from the water-filler.
+    pub allocations: Vec<(u64, f64, f64)>,
+    /// The resulting per-chain budgets (requests/epoch), sorted by
+    /// (cell, attribute).
+    pub budgets: Vec<(CellId, AttributeId, f64)>,
+    /// Chains rebuilt (flatten estimator + telemetry restarted).
+    pub rebuilds: usize,
+}
+
+/// Roll-up of a trace, embedded into scenario reports so the report's
+/// checksum pins the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total (epoch, query) observations.
+    pub observations: usize,
+    /// Drift events across all queries.
+    pub drift_events: usize,
+    /// Replans issued.
+    pub replans: usize,
+    /// Epoch of the first replan, if any.
+    pub first_replan_epoch: Option<u64>,
+    /// Checksum of the full canonical trace.
+    pub trace_checksum: u64,
+}
+
+/// The full decision log of one adaptive run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveTrace {
+    /// Whether replans were applied (`false` = observe-only baseline).
+    pub enabled: bool,
+    /// The detector policy in force.
+    pub detector: DetectorConfig,
+    /// Warmup epochs (no detection).
+    pub warmup_epochs: u32,
+    /// Cooldown epochs between replans.
+    pub cooldown_epochs: u32,
+    /// Every (epoch, query) observation, in (epoch, query) order.
+    pub observations: Vec<ObservationRow>,
+    /// Every replan, ascending by epoch.
+    pub replans: Vec<ReplanRecord>,
+}
+
+/// Deterministic short float: four decimals is plenty for rates,
+/// innovations, and budgets, and keeps goldens reviewable.
+fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+impl AdaptiveTrace {
+    /// Drift events across all observations.
+    pub fn drift_events(&self) -> usize {
+        self.observations.iter().filter(|o| o.drift.is_some()).count()
+    }
+
+    /// The trace's roll-up (embedded in scenario reports).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            observations: self.observations.len(),
+            drift_events: self.drift_events(),
+            replans: self.replans.len(),
+            first_replan_epoch: self.replans.first().map(|r| r.epoch),
+            trace_checksum: self.checksum(),
+        }
+    }
+
+    /// The canonical golden text: byte-stable across hosts and
+    /// [`craqr_core::ExecMode`]s, ending in a `checksum:` line over
+    /// everything before it.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "# craqr adaptive trace v1");
+        let _ = writeln!(s, "mode: {}", if self.enabled { "active" } else { "observe" });
+        let _ = writeln!(
+            s,
+            "detector: {} slack={} threshold={}",
+            self.detector.kind,
+            f4(self.detector.slack),
+            f4(self.detector.threshold),
+        );
+        let _ = writeln!(s, "warmup: {} cooldown: {}", self.warmup_epochs, self.cooldown_epochs);
+        let _ = writeln!(s, "\n[observations]");
+        for o in &self.observations {
+            let drift = match o.drift {
+                None => "-".to_string(),
+                Some(d) => d.to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "e={} q={} n={} rate={} innov={} score={} drift={}",
+                o.epoch,
+                o.query,
+                o.delivered,
+                f4(o.empirical_rate),
+                f4(o.innovation),
+                f4(o.score),
+                drift,
+            );
+        }
+        let _ = writeln!(s, "\n[replans]");
+        for r in &self.replans {
+            let triggers: Vec<String> =
+                r.triggers.iter().map(|(q, d)| format!("q{q}:{d}")).collect();
+            let _ = writeln!(
+                s,
+                "e={} triggers={} pool={} rebuilds={}",
+                r.epoch,
+                triggers.join(","),
+                f4(r.pool),
+                r.rebuilds,
+            );
+            for (q, demand, alloc) in &r.allocations {
+                let _ = writeln!(s, "  q={} demand={} alloc={}", q, f4(*demand), f4(*alloc));
+            }
+            for (cell, attr, budget) in &r.budgets {
+                let _ = writeln!(s, "  set cell={} attr={} budget={}", cell, attr, f4(*budget));
+            }
+        }
+        let _ = writeln!(s, "\n[summary]");
+        let _ = writeln!(
+            s,
+            "observations={} drift-events={} replans={} first-replan={}",
+            self.observations.len(),
+            self.drift_events(),
+            self.replans.len(),
+            self.replans.first().map_or("-".to_string(), |r| r.epoch.to_string()),
+        );
+        let _ = writeln!(s, "\nchecksum: {:#018x}", fnv1a64(s.as_bytes()));
+        s
+    }
+
+    /// The trace's content checksum (the value on the canonical text's
+    /// final line).
+    pub fn checksum(&self) -> u64 {
+        let canon = self.canonical();
+        let body = canon.rsplit_once("\nchecksum:").expect("canonical ends in checksum").0;
+        fnv1a64(body.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> AdaptiveTrace {
+        AdaptiveTrace {
+            enabled: true,
+            detector: DetectorConfig::default(),
+            warmup_epochs: 2,
+            cooldown_epochs: 3,
+            observations: vec![ObservationRow {
+                epoch: 0,
+                query: 0,
+                delivered: 12,
+                empirical_rate: 0.31,
+                innovation: -0.45,
+                score: 0.0,
+                drift: None,
+            }],
+            replans: vec![ReplanRecord {
+                epoch: 7,
+                triggers: vec![(0, DriftDirection::Up)],
+                pool: 40.0,
+                allocations: vec![(0, 55.5, 40.0)],
+                budgets: vec![(CellId::new(0, 0), AttributeId(0), 10.0)],
+                rebuilds: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn canonical_is_stable_and_checksummed() {
+        let t = trace();
+        assert_eq!(t.canonical(), t.canonical());
+        assert!(t.canonical().ends_with(&format!("checksum: {:#018x}\n", t.checksum())));
+        assert!(t.canonical().contains("q0:up"));
+    }
+
+    #[test]
+    fn checksum_tracks_content() {
+        let a = trace();
+        let mut b = trace();
+        b.observations[0].delivered += 1;
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn summary_rolls_up() {
+        let s = trace().summary();
+        assert_eq!(s.observations, 1);
+        assert_eq!(s.drift_events, 0);
+        assert_eq!(s.replans, 1);
+        assert_eq!(s.first_replan_epoch, Some(7));
+        assert_eq!(s.trace_checksum, trace().checksum());
+    }
+}

@@ -144,6 +144,23 @@ impl RequestResponseHandler {
         self.budgets.get(&(cell, attr)).map(|b| b.requests_per_epoch)
     }
 
+    /// Overwrites a chain's budget (requests per epoch), creating it if
+    /// absent — the replanning actuator of the adaptive control loop. The
+    /// chain's fractional-rounding credit is preserved so a replan does not
+    /// perturb the long-run rate accounting.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite budget.
+    #[track_caller]
+    pub fn set_budget(&mut self, cell: CellId, attr: AttributeId, requests_per_epoch: f64) {
+        assert!(
+            requests_per_epoch.is_finite() && requests_per_epoch >= 0.0,
+            "budget must be >= 0, got {requests_per_epoch}"
+        );
+        self.budgets.entry((cell, attr)).or_insert_with(|| Budget::new(0.0)).requests_per_epoch =
+            requests_per_epoch;
+    }
+
     /// Current incentive for a chain.
     pub fn incentive_of(&self, cell: CellId, attr: AttributeId) -> f64 {
         self.incentives

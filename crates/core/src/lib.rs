@@ -60,5 +60,7 @@ pub use incentive::IncentivePolicy;
 pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp};
 pub use plan::{Fabricator, PlannerConfig, TopologyShape};
 pub use query::{AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
-pub use server::{CraqrServer, EpochReport, ServerConfig};
+pub use server::{
+    ControlAction, ControlHook, CraqrServer, EpochObservation, EpochReport, ServerConfig,
+};
 pub use tuple::CrowdTuple;

@@ -102,6 +102,17 @@ impl Fabricator {
         &self.grid
     }
 
+    /// The root-seed derivation for one (cell, attribute) chain — the
+    /// single definition both query insertion and chain rebuilds use, so
+    /// a rebuilt chain provably restarts the RNG streams a fresh insert
+    /// would create.
+    fn chain_seed(&self, cell: CellId, attr: AttributeId) -> u64 {
+        self.config
+            .seed
+            .wrapping_add((cell.q as u64) << 32 | cell.r as u64)
+            .wrapping_add((attr.0 as u64) << 16)
+    }
+
     /// The planner configuration.
     pub fn config(&self) -> &PlannerConfig {
         &self.config
@@ -160,6 +171,7 @@ impl Fabricator {
         let mut parts = Vec::with_capacity(overlaps.len());
         for o in &overlaps {
             let cell_rect = self.grid.cell_rect(o.cell);
+            let chain_seed = self.chain_seed(o.cell, query.attr);
             // "If the key is absent, it is created and a F-operator is
             // added to it."
             let chain =
@@ -171,10 +183,7 @@ impl Fabricator {
                         self.config.f_headroom,
                         self.config.estimator,
                         self.config.shape,
-                        self.config
-                            .seed
-                            .wrapping_add((o.cell.q as u64) << 32 | o.cell.r as u64)
-                            .wrapping_add((query.attr.0 as u64) << 16),
+                        chain_seed,
                     )
                 });
             chain.insert_consumer(qid, query.rate, o.overlap, o.full);
@@ -211,6 +220,66 @@ impl Fabricator {
             }
         }
         Ok(leftovers)
+    }
+
+    /// Tears one (cell, attribute) chain down and rebuilds it from its
+    /// standing consumers — the adaptive controller's actuator after a
+    /// confirmed regime shift. The fresh chain restarts its flatten
+    /// estimator, `N_v` telemetry, and thinning RNG streams from the same
+    /// seed derivation query insertion uses, so a rebuild is deterministic
+    /// and (like every chain mutation) identical across [`ExecMode`]s.
+    ///
+    /// Consumers re-attach in ascending [`QueryId`] order. Tuples still
+    /// buffered in the old chain's sinks are returned per query so the
+    /// caller can deliver rather than lose them (the server appends them
+    /// to its per-query outputs). Returns `None` when no such chain is
+    /// materialized.
+    pub fn rebuild_chain(
+        &mut self,
+        cell: CellId,
+        attr: AttributeId,
+    ) -> Option<Vec<(QueryId, Vec<CrowdTuple>)>> {
+        self.cells.get(&cell)?.get(&attr)?;
+        // The standing consumers of this chain, ascending by query id.
+        let mut consumers: Vec<(QueryId, f64, Rect, bool)> = Vec::new();
+        let mut plans: Vec<(&QueryId, &QueryPlan)> = self.queries.iter().collect();
+        plans.sort_by_key(|(qid, _)| **qid);
+        for (qid, plan) in plans {
+            if plan.query.attr != attr {
+                continue;
+            }
+            if let Some((_, overlap, full)) = plan.cells.iter().find(|(c, _, _)| *c == cell) {
+                consumers.push((*qid, plan.query.rate, *overlap, *full));
+            }
+        }
+        let old = self.cells.get_mut(&cell).expect("checked").remove(&attr).expect("checked");
+        let mut leftovers = Vec::new();
+        {
+            let mut old = old;
+            for (qid, _, _, _) in &consumers {
+                let buf = old.drain_query(*qid);
+                if !buf.is_empty() {
+                    leftovers.push((*qid, buf));
+                }
+            }
+        }
+        let cell_rect = self.grid.cell_rect(cell);
+        let initial_rate =
+            consumers.iter().map(|(_, r, _, _)| *r).fold(f64::MIN_POSITIVE, f64::max);
+        let mut chain = AttrChain::new(
+            cell_rect,
+            self.config.batch_duration,
+            initial_rate,
+            self.config.f_headroom,
+            self.config.estimator,
+            self.config.shape,
+            self.chain_seed(cell, attr),
+        );
+        for (qid, rate, overlap, full) in &consumers {
+            chain.insert_consumer(*qid, *rate, *overlap, *full);
+        }
+        self.cells.get_mut(&cell).expect("checked").insert(attr, chain);
+        Some(leftovers)
     }
 
     /// The standing query plans.
@@ -663,6 +732,30 @@ mod tests {
         let reports = f.flatten_reports();
         assert_eq!(reports[0].2.batches(), 1);
         assert_eq!(reports[0].2.last_nv(), 100.0);
+    }
+
+    #[test]
+    fn rebuild_chain_restarts_telemetry_and_keeps_consumers() {
+        let mut f = fab();
+        let q1 = f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 4.0)).unwrap();
+        let q2 = f.insert_query(query(0, Rect::new(0.0, 0.0, 1.0, 1.0), 2.0)).unwrap();
+        let cell = CellId::new(0, 0);
+        for e in 0..4 {
+            f.ingest_batch(&tuples(0, 500, e as f64 * 5.0, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        }
+        assert!(f.chain(cell, AttributeId(0)).unwrap().flatten_report().batches() > 0);
+        // Leave something in the sinks so the rebuild has leftovers.
+        let leftovers = f.rebuild_chain(cell, AttributeId(0)).expect("chain exists");
+        assert!(leftovers.iter().any(|(_, buf)| !buf.is_empty()), "buffered output preserved");
+        assert!(leftovers.windows(2).all(|w| w[0].0 < w[1].0), "leftovers ascend by query");
+        let chain = f.chain(cell, AttributeId(0)).expect("chain rebuilt");
+        assert_eq!(chain.tap_rates(), vec![4.0, 2.0], "consumers re-attached");
+        assert_eq!(chain.query_ids(), vec![q1, q2]);
+        assert_eq!(chain.flatten_report().batches(), 0, "telemetry restarted");
+        // Rebuilding twice from the same state is deterministic.
+        let a = f.rebuild_chain(cell, AttributeId(0)).unwrap();
+        assert!(a.iter().all(|(_, buf)| buf.is_empty()), "sinks already drained");
+        assert!(f.rebuild_chain(CellId::new(3, 3), AttributeId(0)).is_none(), "unmaterialized");
     }
 
     #[test]

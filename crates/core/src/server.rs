@@ -160,6 +160,76 @@ pub struct EpochReport {
     pub tuning: Vec<TuneEvent>,
 }
 
+/// What a [`ControlHook`] gets to see after each epoch: the epoch's
+/// report, the tuples it delivered per query, and read access to the
+/// planner/handler state. Everything here is a deterministic function of
+/// `(config, seed, epoch)` — identical under [`ExecMode::Serial`] and any
+/// `Sharded(n)` — so hooks that compute only from this view inherit the
+/// executor's determinism contract for free.
+pub struct EpochObservation<'a> {
+    /// The epoch's loop statistics.
+    pub report: &'a EpochReport,
+    /// Tuples delivered this epoch per query, ascending by [`QueryId`].
+    /// (They are *about to be* appended to the per-query output buffers;
+    /// the hook sees them first.)
+    pub delivered: &'a [(QueryId, Vec<CrowdTuple>)],
+    /// The planner: standing query plans, chain telemetry, grid.
+    pub fabricator: &'a Fabricator,
+    /// The request/response handler: budgets, incentives, totals.
+    pub handler: &'a RequestResponseHandler,
+    /// Simulation time at the start of the epoch (minutes).
+    pub epoch_start: f64,
+    /// Simulation time at the end of the epoch (minutes).
+    pub epoch_end: f64,
+}
+
+/// An actuation a [`ControlHook`] injects back into the planner after
+/// observing an epoch. Actions are applied on the epoch-loop thread, in
+/// the order returned, *after* the epoch's own budget tuning — a replan
+/// therefore overrides the `N_v` tuner for that epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlAction {
+    /// Overwrite one chain's acquisition budget (requests/epoch).
+    SetBudget {
+        /// Which cell.
+        cell: craqr_geom::CellId,
+        /// Which attribute.
+        attr: AttributeId,
+        /// The new budget (requests per epoch).
+        requests_per_epoch: f64,
+    },
+    /// Tear the chain down and rebuild it from its standing consumers,
+    /// restarting its flatten estimator and telemetry
+    /// ([`Fabricator::rebuild_chain`]). Tuples buffered in the old sinks
+    /// are delivered, not lost.
+    RebuildChain {
+        /// Which cell.
+        cell: craqr_geom::CellId,
+        /// Which attribute.
+        attr: AttributeId,
+    },
+}
+
+/// The observation/actuation seam on the epoch loop.
+///
+/// The server owns the loop; a hook owns a *policy*. After every epoch the
+/// server hands the hook an [`EpochObservation`] and applies whatever
+/// [`ControlAction`]s come back. The adaptive acquisition controller
+/// (`craqr-adaptive`) is the canonical implementation: online intensity
+/// estimation → drift detection → budget replanning — but the seam is
+/// policy-agnostic (rate limiters, SLO guards, and chaos injectors fit
+/// the same shape).
+///
+/// Determinism: a hook driven only by its observations is replayed
+/// identically across [`ExecMode`]s and reruns; hooks must not consult
+/// wall clocks, ambient RNGs, or other out-of-band state if they want
+/// their decisions golden-testable.
+pub trait ControlHook {
+    /// Observes a finished epoch; returns the actions to apply before the
+    /// next one.
+    fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction>;
+}
+
 /// The CrAQR server: accepts declarative acquisitional queries, drives the
 /// request/response handler against a (simulated) mobile crowd, fabricates
 /// the requested streams through per-cell PMAT topologies, and adapts
@@ -236,8 +306,16 @@ impl CraqrServer {
     /// ingestion (map) → per-cell processing → per-query merge → budget
     /// tuning.
     pub fn run_epoch(&mut self) -> EpochReport {
+        self.run_epoch_with(None)
+    }
+
+    /// Runs one epoch with an optional [`ControlHook`] observing the
+    /// result and injecting [`ControlAction`]s before the next epoch —
+    /// the closed-loop variant of [`CraqrServer::run_epoch`].
+    pub fn run_epoch_with(&mut self, hook: Option<&mut dyn ControlHook>) -> EpochReport {
         let epoch = self.epoch;
         self.epoch += 1;
+        let epoch_start = self.crowd.now();
 
         // 1. Dispatch acquisition requests per materialized chain.
         let demands = self.fabricator.demands();
@@ -263,18 +341,20 @@ impl CraqrServer {
         // 5. map + process, serial or sharded per the config knob.
         let exec = self.fabricator.ingest_batch_mode(&tuples, self.config.exec);
 
-        // 6. merge: accumulate per-query outputs.
+        // 6. merge: collect per-query outputs (appended to the buffers
+        // after the control hook has seen them).
+        let mut fresh: Vec<(QueryId, Vec<CrowdTuple>)> = Vec::new();
         let mut delivered = Vec::new();
         for qid in self.fabricator.query_ids() {
             let out = self.fabricator.collect_output(qid).expect("standing query");
             delivered.push((qid, out.len()));
-            self.outputs.entry(qid).or_default().extend(out);
+            fresh.push((qid, out));
         }
 
         // 7. Budget tuning from flatten telemetry.
         let tuning = self.handler.tune(&self.fabricator.flatten_reports());
 
-        EpochReport {
+        let report = EpochReport {
             epoch,
             now: self.crowd.now(),
             dispatch,
@@ -284,7 +364,51 @@ impl CraqrServer {
             exec,
             delivered,
             tuning,
+        };
+
+        // 8. Observation/actuation seam: the hook sees the epoch, the
+        // server applies whatever it decides.
+        if let Some(hook) = hook {
+            let actions = hook.on_epoch(&EpochObservation {
+                report: &report,
+                delivered: &fresh,
+                fabricator: &self.fabricator,
+                handler: &self.handler,
+                epoch_start,
+                epoch_end: self.crowd.now(),
+            });
+            for action in actions {
+                match action {
+                    ControlAction::SetBudget { cell, attr, requests_per_epoch } => {
+                        self.handler.set_budget(cell, attr, requests_per_epoch);
+                    }
+                    ControlAction::RebuildChain { cell, attr } => {
+                        if let Some(leftovers) = self.fabricator.rebuild_chain(cell, attr) {
+                            // Step 6 drained every sink before the hook ran,
+                            // so in this loop the leftovers are empty; they
+                            // flow into the output buffers anyway so no
+                            // tuple can ever be lost. If an operator starts
+                            // buffering output across epochs this trips:
+                            // such tuples would bypass the epoch's
+                            // `delivered` accounting and hook observation,
+                            // and that needs a conscious design decision.
+                            debug_assert!(
+                                leftovers.iter().all(|(_, buf)| buf.is_empty()),
+                                "rebuild leftovers bypass delivered accounting"
+                            );
+                            for (qid, buf) in leftovers {
+                                self.outputs.entry(qid).or_default().extend(buf);
+                            }
+                        }
+                    }
+                }
+            }
         }
+
+        for (qid, out) in fresh {
+            self.outputs.entry(qid).or_default().extend(out);
+        }
+        report
     }
 
     /// Takes everything fabricated for a query so far.
@@ -436,6 +560,75 @@ mod tests {
         let report = s.run_epoch();
         assert_eq!(report.dispatch.requested, 0, "no demand should remain");
         assert_eq!(s.fabricator().materialized_cells(), 0);
+    }
+
+    #[test]
+    fn control_hook_observes_and_actuates() {
+        struct Clamp {
+            seen: usize,
+            delivered: usize,
+        }
+        impl ControlHook for Clamp {
+            fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+                self.seen += 1;
+                self.delivered += obs.delivered.iter().map(|(_, t)| t.len()).sum::<usize>();
+                assert!(obs.epoch_end > obs.epoch_start);
+                // Pin every materialized chain's budget to 3 req/epoch and
+                // rebuild it — the strongest possible intervention.
+                obs.fabricator
+                    .demands()
+                    .into_iter()
+                    .flat_map(|(cell, attr, _)| {
+                        [
+                            ControlAction::SetBudget { cell, attr, requests_per_epoch: 3.0 },
+                            ControlAction::RebuildChain { cell, attr },
+                        ]
+                    })
+                    .collect()
+            }
+        }
+        let mut s = server(400);
+        let qid = s.submit("ACQUIRE temp FROM RECT(0,0,1,1) RATE 1").unwrap();
+        let mut hook = Clamp { seen: 0, delivered: 0 };
+        s.run_epoch_with(Some(&mut hook));
+        let cell = craqr_geom::CellId::new(0, 0);
+        let attr = s.catalog().lookup("temp").unwrap();
+        assert_eq!(s.handler().budget_of(cell, attr), Some(3.0), "hook set the budget");
+        assert_eq!(s.fabricator().chain(cell, attr).unwrap().flatten_report().batches(), 0);
+        // The pinned budget drives the next epoch's dispatch.
+        let r = s.run_epoch_with(Some(&mut hook));
+        assert_eq!(r.dispatch.requested, 3);
+        assert_eq!(hook.seen, 2);
+        // Nothing delivered was lost across rebuilds.
+        for _ in 0..6 {
+            s.run_epoch_with(Some(&mut hook));
+        }
+        let buffered = s.take_output(qid).len();
+        assert_eq!(hook.delivered, buffered, "hook-observed tuples and buffered output must agree");
+    }
+
+    #[test]
+    fn hookless_and_noop_hook_runs_are_identical() {
+        struct Noop;
+        impl ControlHook for Noop {
+            fn on_epoch(&mut self, _obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+                Vec::new()
+            }
+        }
+        let run = |use_hook: bool| {
+            let mut s = server(300);
+            let qid = s.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5").unwrap();
+            let mut hook = Noop;
+            for _ in 0..6 {
+                if use_hook {
+                    s.run_epoch_with(Some(&mut hook));
+                } else {
+                    s.run_epoch();
+                }
+            }
+            s.take_output(qid).iter().map(|t| t.id).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "a silent hook must not perturb the loop");
     }
 
     #[test]

@@ -19,7 +19,7 @@ mod mle;
 mod sgd;
 
 pub use mle::{fit_mle, FitConfig, FitResult};
-pub use sgd::{SgdConfig, SgdEstimator};
+pub use sgd::{Innovation, SgdConfig, SgdEstimator};
 
 use craqr_geom::{SpaceTimePoint, SpaceTimeWindow};
 

@@ -30,6 +30,24 @@ impl Default for SgdConfig {
     }
 }
 
+/// The one-step-ahead residual of a batch: how far the observed count fell
+/// from what the *pre-update* model predicted for the batch window.
+///
+/// Under a well-calibrated model the observed count is approximately
+/// Poisson with mean `expected`, so the Anscombe-free standardization
+/// `(observed − expected) / √max(expected, 1)` hovers around zero with
+/// unit-ish variance while the process is stationary — exactly the signal
+/// sequential drift detectors ([`craqr_stats::drift`]) are built to watch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Innovation {
+    /// Points observed in the batch window.
+    pub observed: usize,
+    /// Expected count under the pre-update estimate: `∫_window λ̂`.
+    pub expected: f64,
+    /// `(observed − expected) / √max(expected, 1)`.
+    pub standardized: f64,
+}
+
 /// Online SGD estimator for the linear conditional-intensity model.
 ///
 /// The estimator is anchored to a *reference window* (the spatial region and
@@ -58,12 +76,19 @@ impl SgdEstimator {
     }
 
     /// Feeds one batch of points observed in `window` (a sub-window of the
-    /// reference region) and performs one gradient step.
+    /// reference region) and performs one gradient step. Returns the
+    /// batch's [`Innovation`] — the observed-vs-expected residual under
+    /// the **pre-update** estimate, which is what downstream drift
+    /// detection consumes.
     ///
     /// The per-batch gradient of the Poisson log-likelihood is
     /// `Σᵢ f(pᵢ)/λ(pᵢ) − V_b · f(midpoint)`, normalized by the expected
     /// batch size so the step magnitude is insensitive to batch volume.
-    pub fn observe_batch(&mut self, points: &[SpaceTimePoint], window: &SpaceTimeWindow) {
+    pub fn observe_batch(
+        &mut self,
+        points: &[SpaceTimePoint],
+        window: &SpaceTimeWindow,
+    ) -> Innovation {
         self.batches_seen += 1;
         self.points_seen += points.len() as u64;
         let k = self.batches_seen as f64;
@@ -75,6 +100,16 @@ impl SgdEstimator {
         let (cx, cy) = window.rect.center();
         let mid = SpaceTimePoint::new((window.t0 + window.t1) * 0.5, cx, cy);
         let fbar = self.scale.features(&mid);
+
+        // Innovation before the update: E[count] = V_b × λ̂(midpoint) for
+        // an affine intensity.
+        let lam_mid: f64 = self.phi.iter().zip(&fbar).map(|(a, b)| a * b).sum();
+        let expected = (volume * lam_mid).max(0.0);
+        let innovation = Innovation {
+            observed: points.len(),
+            expected,
+            standardized: (points.len() as f64 - expected) / expected.max(1.0).sqrt(),
+        };
 
         let mut g = [0.0f64; 4];
         for p in points {
@@ -91,11 +126,28 @@ impl SgdEstimator {
         }
         // Normalize by the expected batch count under the current model so
         // steps stay O(gamma) regardless of batch size.
-        let expected: f64 = (self.phi[0] * volume).max(1.0);
+        // Preconditioned step: scaling the raw gradient by `φ0 / V` turns
+        // the level coordinate into the relaxation `φ0 ← φ0 + γ (n/V − φ0)`
+        // (an unbiased multiplicative Robbins–Monro scheme whose relative
+        // step noise is `γ/√E[n]`), instead of the `1/φ0²`-scaled steps a
+        // flat normalizer produces — those overshoot violently once the
+        // estimate dips low.
+        let prev0 = self.phi[0];
+        let precond = prev0.max(POSITIVITY_EPS) / volume.max(f64::MIN_POSITIVE);
         for (p, gi) in self.phi.iter_mut().zip(&g) {
-            *p += gamma * gi / expected;
+            *p += gamma * gi * precond;
         }
+        // Trust region on the level: one batch may at most halve the
+        // estimate, or raise it toward the batch's own empirical rate.
+        // Without this a near-zero estimate makes the `1/λ` gradients
+        // explode and a single batch can catapult the estimator into a
+        // huge frozen state (the step normalizer then kills all future
+        // corrections).
+        let batch_rate = points.len() as f64 / volume.max(f64::MIN_POSITIVE);
+        let hi = (2.0 * prev0 + gamma * batch_rate).max(POSITIVITY_EPS);
+        self.phi[0] = self.phi[0].clamp(0.5 * prev0, hi);
         project_positive(&mut self.phi, POSITIVITY_EPS);
+        innovation
     }
 
     /// The current estimate in physical (Eq. (1)) coordinates.
@@ -212,6 +264,31 @@ mod tests {
             "rate should shrink with no observations: {:?}",
             got.theta()
         );
+    }
+
+    #[test]
+    fn innovations_centre_once_calibrated_and_react_to_jumps() {
+        let truth = LinearIntensity::constant(2.0);
+        let est = run_stream(truth, 200, 11);
+        // Replay a fresh stationary stream through the calibrated model:
+        // standardized innovations must hover around zero.
+        let region = Rect::with_size(10.0, 10.0);
+        let process = InhomogeneousMdpp::new(LinearIntensity::constant(2.0), region);
+        let mut rng = seeded_rng(99);
+        let mut calibrated = est.clone();
+        let mut sum = 0.0;
+        for _ in 0..40 {
+            let pts = process.sample(&reference(), &mut rng);
+            sum += calibrated.observe_batch(&pts, &reference()).standardized;
+        }
+        assert!((sum / 40.0).abs() < 1.0, "stationary innovations biased: {}", sum / 40.0);
+
+        // A 3x rate jump produces a strongly positive innovation at once.
+        let burst = InhomogeneousMdpp::new(LinearIntensity::constant(6.0), region);
+        let pts = burst.sample(&reference(), &mut rng);
+        let innov = calibrated.observe_batch(&pts, &reference());
+        assert!(innov.standardized > 5.0, "jump innovation {innov:?}");
+        assert!(innov.expected > 0.0 && innov.observed > innov.expected as usize);
     }
 
     #[test]

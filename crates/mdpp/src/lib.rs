@@ -57,7 +57,7 @@ pub mod summary;
 
 pub use diagnostics::{homogeneity_report, HomogeneityReport};
 pub use excite::SelfExcitingIntensity;
-pub use fit::{fit_mle, FitConfig, FitResult, SgdEstimator};
+pub use fit::{fit_mle, FitConfig, FitResult, Innovation, SgdConfig, SgdEstimator};
 pub use intensity::{
     ConstantIntensity, GaussianBumpIntensity, IntegralCache, IntensityModel, LinearIntensity,
     PiecewiseConstantIntensity,

@@ -61,9 +61,13 @@ pub mod value;
 
 mod runner;
 
-pub use report::{fnv1a64, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport};
-pub use runner::{RunError, ScenarioRunner};
+pub use craqr_adaptive::AdaptiveTrace;
+pub use report::{
+    fnv1a64, AdaptiveSection, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport,
+};
+pub use runner::{scenario_files, BatchError, RunError, ScenarioRunner};
 pub use spec::{
-    AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec, MobilitySpec,
-    PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, SpecError,
+    AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
+    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, ShiftSpec,
+    SpecError,
 };

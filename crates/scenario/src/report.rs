@@ -15,6 +15,7 @@
 
 use crate::value::format_float;
 use craqr_mdpp::IntensitySummary;
+pub use craqr_stats::fnv1a64;
 
 /// One epoch of the Fig. 1 loop, reduced to its deterministic counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +101,23 @@ pub struct RunTotals {
     pub minutes: f64,
 }
 
+/// Roll-up of an adaptive controller run, pinned into the report so the
+/// report checksum also pins the full [`craqr_adaptive::AdaptiveTrace`]
+/// (whose own canonical text is golden-tested separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSection {
+    /// `true`: replans were applied; `false`: observe-only baseline.
+    pub active: bool,
+    /// The trace roll-up (observation/drift/replan counts + checksum).
+    pub summary: craqr_adaptive::TraceSummary,
+}
+
+impl From<&craqr_adaptive::AdaptiveTrace> for AdaptiveSection {
+    fn from(t: &craqr_adaptive::AdaptiveTrace) -> Self {
+        Self { active: t.enabled, summary: t.summary() }
+    }
+}
+
 /// The full deterministic report of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -115,6 +133,10 @@ pub struct ScenarioReport {
     pub operators: Vec<OperatorRow>,
     /// Whole-run accounting.
     pub totals: RunTotals,
+    /// Adaptive-controller roll-up (absent when the spec has no
+    /// `[adaptive]` block; the section — and therefore the golden — only
+    /// exists for closed-loop runs).
+    pub adaptive: Option<AdaptiveSection>,
 }
 
 impl ScenarioReport {
@@ -179,6 +201,20 @@ impl ScenarioReport {
                 o.kind, o.tuples_in, o.tuples_out, o.batches
             );
         }
+        if let Some(a) = &self.adaptive {
+            let _ = writeln!(s, "\n[adaptive]");
+            let _ = writeln!(
+                s,
+                "mode={} observations={} drift-events={} replans={} first-replan={} \
+                 trace-checksum={:#018x}",
+                if a.active { "active" } else { "observe" },
+                a.summary.observations,
+                a.summary.drift_events,
+                a.summary.replans,
+                a.summary.first_replan_epoch.map_or("-".to_string(), |e| e.to_string()),
+                a.summary.trace_checksum,
+            );
+        }
         let t = &self.totals;
         let _ = writeln!(s, "\n[totals]");
         let _ = writeln!(
@@ -207,17 +243,6 @@ impl ScenarioReport {
         let body = canon.rsplit_once("\nchecksum:").expect("canonical ends in checksum").0;
         fnv1a64(body.as_bytes())
     }
-}
-
-/// 64-bit FNV-1a over a byte string — stable, dependency-free, and fast
-/// enough for report-sized inputs.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
 }
 
 #[cfg(test)]
@@ -269,6 +294,7 @@ mod tests {
                 chains: 4,
                 minutes: 5.0,
             },
+            adaptive: None,
         }
     }
 
@@ -294,8 +320,32 @@ mod tests {
 
     #[test]
     fn fnv_vector() {
-        // Standard FNV-1a test vectors.
+        // Standard FNV-1a test vectors (the shared craqr_stats helper —
+        // re-exported here because golden checksums are part of this
+        // crate's contract).
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn adaptive_section_renders_only_when_present() {
+        let plain = report();
+        assert!(!plain.canonical().contains("[adaptive]"));
+        let mut adaptive = report();
+        adaptive.adaptive = Some(AdaptiveSection {
+            active: true,
+            summary: craqr_adaptive::TraceSummary {
+                observations: 10,
+                drift_events: 2,
+                replans: 1,
+                first_replan_epoch: Some(7),
+                trace_checksum: 0xDEAD,
+            },
+        });
+        let canon = adaptive.canonical();
+        assert!(canon.contains("[adaptive]"), "{canon}");
+        assert!(canon.contains("mode=active"), "{canon}");
+        assert!(canon.contains("first-replan=7"), "{canon}");
+        assert_ne!(plain.checksum(), adaptive.checksum());
     }
 }

@@ -1,14 +1,17 @@
-//! Executing a spec: spec → crowd → server → [`ScenarioReport`].
+//! Executing a spec: spec → crowd → server → [`ScenarioReport`]
+//! (+ [`AdaptiveTrace`] when the spec closes the loop).
 
-use crate::report::{EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport};
-use crate::spec::{FieldSpec, ScenarioSpec, SpecError};
+use crate::report::{AdaptiveSection, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport};
+use crate::spec::{FieldSpec, ScenarioSpec, ShiftSpec, SpecError};
+use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
 use craqr_core::budget::TuneOutcome;
 use craqr_core::server::SubmitError;
-use craqr_core::{CraqrServer, ExecMode, QueryId};
+use craqr_core::{ControlHook, CraqrServer, ExecMode, QueryId};
 use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
 use craqr_mdpp::{IntensityModel, IntensitySummary, SelfExcitingIntensity};
 use craqr_sensing::{fields::ConstantField, AttrValue, Crowd, CrowdConfig, Field};
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Why a (valid) spec failed to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +92,19 @@ impl ScenarioRunner {
     /// determinism check exercises serial-vs-sharded equality across
     /// several seeds without needing per-seed spec files.
     pub fn run_with_seed(&self, exec: ExecMode, seed: u64) -> Result<ScenarioReport, RunError> {
+        self.run_full(exec, seed).map(|(report, _)| report)
+    }
+
+    /// Runs the scenario, also returning the adaptive controller's
+    /// decision log when the spec has an `[adaptive]` block. The trace's
+    /// checksum is embedded in the report, so the report golden pins the
+    /// trace; the trace itself is golden-tested separately
+    /// (`tests/goldens/<name>.trace.txt`).
+    pub fn run_full(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+    ) -> Result<(ScenarioReport, Option<AdaptiveTrace>), RunError> {
         let spec = &self.spec;
         let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
         let mut config = spec.to_server_config(exec)?;
@@ -123,14 +139,26 @@ impl ScenarioRunner {
             }
         }
 
+        let mut controller = match &spec.adaptive {
+            // The spec validated the block, so the config is sound.
+            Some(a) => Some(AdaptiveController::new(a.to_config()?)),
+            None => None,
+        };
+
         let mut epochs = Vec::with_capacity(spec.epochs as usize);
-        for _ in 0..spec.epochs {
+        for e in 0..spec.epochs {
+            for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
+                apply_shift(server.crowd_mut(), shift);
+            }
             if let Some(churn) = &spec.churn {
                 if churn.probability > 0.0 {
                     server.crowd_mut().churn(churn.probability);
                 }
             }
-            let r = server.run_epoch();
+            let r = match &mut controller {
+                Some(c) => server.run_epoch_with(Some(c as &mut dyn ControlHook)),
+                None => server.run_epoch(),
+            };
             let (mut incr, mut decr, mut exh) = (0usize, 0usize, 0usize);
             for t in &r.tuning {
                 match t.outcome {
@@ -207,7 +235,112 @@ impl ScenarioRunner {
             minutes,
         };
 
-        Ok(ScenarioReport { name: spec.name.clone(), seed, epochs, queries, operators, totals })
+        let trace = controller.map(AdaptiveController::into_trace);
+        let adaptive = trace.as_ref().map(AdaptiveSection::from);
+
+        let report = ScenarioReport {
+            name: spec.name.clone(),
+            seed,
+            epochs,
+            queries,
+            operators,
+            totals,
+            adaptive,
+        };
+        Ok((report, trace))
+    }
+
+    /// Builds a runner from a spec file (`.toml` or `.json`).
+    pub fn from_file(path: &Path) -> Result<Self, BatchError> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| BatchError::Io { path: path.to_path_buf(), message: e.to_string() })?;
+        let spec = ScenarioSpec::from_source(&path.to_string_lossy(), &src)
+            .map_err(|e| BatchError::Spec { path: path.to_path_buf(), error: e })?;
+        ScenarioRunner::new(spec)
+            .map_err(|e| BatchError::Spec { path: path.to_path_buf(), error: e })
+    }
+
+    /// Loads every spec file in `dir` (sorted by file name) and runs each
+    /// under `exec` with its own seed — the library counterpart of
+    /// `craqr-scenario --all` for callers that want whole-corpus reports
+    /// without the CLI's golden/trace management. (The CLI shares only
+    /// [`scenario_files`] with this, because it also handles seed
+    /// overrides, cross-mode checks, and traces per file.)
+    pub fn run_all(
+        dir: &Path,
+        exec: ExecMode,
+    ) -> Result<Vec<(PathBuf, ScenarioReport)>, BatchError> {
+        let mut out = Vec::new();
+        for path in scenario_files(dir)? {
+            let runner = Self::from_file(&path)?;
+            let report =
+                runner.run(exec).map_err(|e| BatchError::Run { path: path.clone(), error: e })?;
+            out.push((path, report));
+        }
+        Ok(out)
+    }
+}
+
+/// Every scenario spec file (`.toml`/`.json`) in `dir`, sorted by name.
+pub fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, BatchError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| BatchError::Io { path: dir.to_path_buf(), message: e.to_string() })?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("toml") | Some("json")))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Why a whole-corpus batch run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The io error.
+        message: String,
+    },
+    /// A spec failed to parse or validate.
+    Spec {
+        /// The offending file.
+        path: PathBuf,
+        /// The schema complaint.
+        error: SpecError,
+    },
+    /// A valid spec failed to run.
+    Run {
+        /// The offending file.
+        path: PathBuf,
+        /// The runner complaint.
+        error: RunError,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Io { path, message } => write!(f, "{}: {message}", path.display()),
+            BatchError::Spec { path, error } => write!(f, "{}: {error}", path.display()),
+            BatchError::Run { path, error } => write!(f, "{}: {error}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Applies one scripted regime shift to the crowd.
+fn apply_shift(crowd: &mut Crowd, shift: &ShiftSpec) {
+    match shift {
+        ShiftSpec::Participation { factor, .. } => crowd.scale_participation(*factor),
+        ShiftSpec::Dropout { probability, rect, .. } => {
+            crowd.drop_region(&Rect::new(rect.0, rect.1, rect.2, rect.3), *probability);
+        }
+        ShiftSpec::Migrate { probability, rect, .. } => {
+            crowd.migrate(*probability, &Rect::new(rect.0, rect.1, rect.2, rect.3));
+        }
     }
 }
 
@@ -347,5 +480,35 @@ text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
         let runner = ScenarioRunner::new(s).unwrap();
         let err = runner.run(ExecMode::Serial).unwrap_err();
         assert!(matches!(err, RunError::Query { index: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn run_all_discovers_and_runs_a_directory() {
+        let dir = std::env::temp_dir().join(format!("craqr-run-all-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (file, seed) in [("b_second.toml", 2), ("a_first.toml", 1)] {
+            let mut s = spec(seed);
+            s.name = file.trim_end_matches(".toml").replace('.', "_");
+            std::fs::write(dir.join(file), s.to_toml()).unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), "ignored: not a spec").unwrap();
+
+        let reports = ScenarioRunner::run_all(&dir, ExecMode::Sharded(2)).unwrap();
+        assert_eq!(reports.len(), 2, "exactly the .toml files run");
+        // Sorted by file name, each under its own seed.
+        assert_eq!(reports[0].1.name, "a_first");
+        assert_eq!(reports[0].1.seed, 1);
+        assert_eq!(reports[1].1.name, "b_second");
+        assert_eq!(reports[1].1.seed, 2);
+        assert!(reports.iter().all(|(_, r)| r.totals.sent > 0));
+
+        // A broken spec surfaces as a path-carrying error.
+        std::fs::write(dir.join("c_broken.toml"), "name = 3").unwrap();
+        let err = ScenarioRunner::run_all(&dir, ExecMode::Serial).unwrap_err();
+        assert!(
+            matches!(err, BatchError::Spec { ref path, .. } if path.ends_with("c_broken.toml")),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

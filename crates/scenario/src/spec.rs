@@ -283,6 +283,143 @@ pub struct QuerySpec {
     pub text: String,
 }
 
+/// A scripted mid-run regime shift, applied to the crowd just before the
+/// named epoch runs. These are the workloads the adaptive controller
+/// exists for: the world changes, the innovation stream drifts, the plan
+/// must follow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShiftSpec {
+    /// Scale every sensor's base response probability (clamped to
+    /// `[0, 1]`): `factor > 1` is a participation surge (rate jump),
+    /// `factor < 1` a collapse.
+    Participation {
+        /// Epoch before which the shift applies (0-based).
+        epoch: u32,
+        /// The scale factor.
+        factor: f64,
+    },
+    /// Correlated dropout: sensors inside `rect` go permanently silent
+    /// with probability `probability`.
+    Dropout {
+        /// Epoch before which the shift applies (0-based).
+        epoch: u32,
+        /// Per-sensor dropout probability.
+        probability: f64,
+        /// The affected region `(x0, y0, x1, y1)` (km).
+        rect: (f64, f64, f64, f64),
+    },
+    /// Hotspot migration: each sensor relocates into `rect` with
+    /// probability `probability`.
+    Migrate {
+        /// Epoch before which the shift applies (0-based).
+        epoch: u32,
+        /// Per-sensor migration probability.
+        probability: f64,
+        /// The destination region `(x0, y0, x1, y1)` (km).
+        rect: (f64, f64, f64, f64),
+    },
+}
+
+impl ShiftSpec {
+    /// The epoch before which this shift applies.
+    pub fn epoch(&self) -> u32 {
+        match self {
+            ShiftSpec::Participation { epoch, .. }
+            | ShiftSpec::Dropout { epoch, .. }
+            | ShiftSpec::Migrate { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// The `[adaptive]` block: the closed-loop controller's policy knobs
+/// (mirrors [`craqr_adaptive::AdaptiveConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSpec {
+    /// `true`: replans are applied. `false`: observe-only — estimation,
+    /// detection, and the trace still run, but the plan stays static (the
+    /// golden-tested baseline mode).
+    pub enabled: bool,
+    /// Detector kind: `"cusum"` or `"page_hinkley"`.
+    pub detector: String,
+    /// Detector per-step slack/tolerance.
+    pub slack: f64,
+    /// Detector decision threshold.
+    pub threshold: f64,
+    /// Epochs before detection starts.
+    pub warmup_epochs: u32,
+    /// Minimum epochs between replans.
+    pub cooldown_epochs: u32,
+    /// SGD initial learning rate γ₀.
+    pub gamma0: f64,
+    /// SGD learning-rate decay horizon (batches).
+    pub decay_batches: f64,
+    /// SGD initial rate guess (/km²/min).
+    pub initial_rate: f64,
+    /// Budget pool (requests/epoch) water-filled on a replan; absent =
+    /// re-distribute the live budgets.
+    pub budget_pool: Option<f64>,
+    /// Rebuild fired queries' chains on a replan.
+    pub rebuild_chains: bool,
+    /// Safety factor on the demand estimate.
+    pub demand_headroom: f64,
+}
+
+impl Default for AdaptiveSpec {
+    fn default() -> Self {
+        let c = craqr_adaptive::AdaptiveConfig::default();
+        Self {
+            enabled: c.enabled,
+            detector: c.detector.kind.to_string(),
+            slack: c.detector.slack,
+            threshold: c.detector.threshold,
+            warmup_epochs: c.warmup_epochs,
+            cooldown_epochs: c.cooldown_epochs,
+            gamma0: c.estimator.gamma0,
+            decay_batches: c.estimator.decay_batches,
+            initial_rate: c.estimator.initial_rate,
+            budget_pool: c.budget_pool,
+            rebuild_chains: c.rebuild_chains,
+            demand_headroom: c.demand_headroom,
+        }
+    }
+}
+
+impl AdaptiveSpec {
+    /// The [`craqr_adaptive::AdaptiveConfig`] this spec describes.
+    pub fn to_config(&self) -> Result<craqr_adaptive::AdaptiveConfig, SpecError> {
+        let kind = match self.detector.as_str() {
+            "cusum" => craqr_adaptive::DetectorKind::Cusum,
+            "page_hinkley" => craqr_adaptive::DetectorKind::PageHinkley,
+            other => {
+                return Err(out_of_range(
+                    "adaptive.detector",
+                    format!("must be 'cusum' or 'page_hinkley', got '{other}'"),
+                ))
+            }
+        };
+        let config = craqr_adaptive::AdaptiveConfig {
+            enabled: self.enabled,
+            estimator: craqr_mdpp::SgdConfig {
+                gamma0: self.gamma0,
+                decay_batches: self.decay_batches,
+                initial_rate: self.initial_rate,
+            },
+            detector: craqr_adaptive::DetectorConfig {
+                kind,
+                slack: self.slack,
+                threshold: self.threshold,
+            },
+            warmup_epochs: self.warmup_epochs,
+            cooldown_epochs: self.cooldown_epochs,
+            budget_pool: self.budget_pool,
+            rebuild_chains: self.rebuild_chains,
+            demand_headroom: self.demand_headroom,
+        };
+        config.validate().map_err(|(field, message)| out_of_range(field, message))?;
+        Ok(config)
+    }
+}
+
 /// A full declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -310,6 +447,11 @@ pub struct ScenarioSpec {
     pub attributes: Vec<AttributeSpec>,
     /// Standing queries (≥ 1).
     pub queries: Vec<QuerySpec>,
+    /// Scripted mid-run regime shifts (absent = stationary world).
+    pub shifts: Vec<ShiftSpec>,
+    /// Closed-loop adaptive acquisition (absent = static plan, no
+    /// controller, no trace).
+    pub adaptive: Option<AdaptiveSpec>,
 }
 
 // ---------------------------------------------------------------------------
@@ -416,15 +558,18 @@ impl<'a> Reader<'a> {
     fn req_table_array(&mut self, key: &str) -> Result<Vec<Reader<'a>>, SpecError> {
         let path = self.at(key);
         match self.req(key)? {
-            ConfigValue::Array(items) => items
-                .iter()
-                .enumerate()
-                .map(|(i, item)| match item {
-                    ConfigValue::Table(t) => Ok(Reader::new(t, format!("{path}[{i}]"))),
-                    other => Err(mismatch(&format!("{path}[{i}]"), "table", other)),
-                })
-                .collect(),
+            ConfigValue::Array(items) => table_array(items, &path),
             other => Err(mismatch(&path, "array of tables", other)),
+        }
+    }
+
+    /// An optional array of tables: absent parses as empty.
+    fn opt_table_array(&mut self, key: &str) -> Result<Vec<Reader<'a>>, SpecError> {
+        let path = self.at(key);
+        match self.take(key) {
+            None => Ok(Vec::new()),
+            Some(ConfigValue::Array(items)) => table_array(items, &path),
+            Some(other) => Err(mismatch(&path, "array of tables", other)),
         }
     }
 
@@ -472,6 +617,17 @@ impl<'a> Reader<'a> {
         }
         Ok(())
     }
+}
+
+fn table_array<'a>(items: &'a [ConfigValue], path: &str) -> Result<Vec<Reader<'a>>, SpecError> {
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| match item {
+            ConfigValue::Table(t) => Ok(Reader::new(t, format!("{path}[{i}]"))),
+            other => Err(mismatch(&format!("{path}[{i}]"), "table", other)),
+        })
+        .collect()
 }
 
 fn mismatch(path: &str, expected: &'static str, found: &ConfigValue) -> SpecError {
@@ -642,6 +798,42 @@ impl ScenarioSpec {
             queries.push(query);
         }
 
+        let mut shifts = Vec::new();
+        for mut s in r.opt_table_array("shifts")? {
+            let shift = parse_shift(&mut s)?;
+            s.finish()?;
+            shifts.push(shift);
+        }
+
+        let adaptive = match r.opt_table("adaptive")? {
+            None => None,
+            Some(mut a) => {
+                let d = AdaptiveSpec::default();
+                let adaptive = AdaptiveSpec {
+                    enabled: a.opt_bool("enabled", d.enabled)?,
+                    detector: a.opt_str("detector", &d.detector)?,
+                    slack: a.opt_f64("slack", d.slack)?,
+                    threshold: a.opt_f64("threshold", d.threshold)?,
+                    warmup_epochs: a.opt_u32("warmup_epochs", d.warmup_epochs)?,
+                    cooldown_epochs: a.opt_u32("cooldown_epochs", d.cooldown_epochs)?,
+                    gamma0: a.opt_f64("gamma0", d.gamma0)?,
+                    decay_batches: a.opt_f64("decay_batches", d.decay_batches)?,
+                    initial_rate: a.opt_f64("initial_rate", d.initial_rate)?,
+                    budget_pool: {
+                        let path = a.at("budget_pool");
+                        match a.take("budget_pool") {
+                            None => None,
+                            Some(v) => Some(as_f64(v, &path)?),
+                        }
+                    },
+                    rebuild_chains: a.opt_bool("rebuild_chains", d.rebuild_chains)?,
+                    demand_headroom: a.opt_f64("demand_headroom", d.demand_headroom)?,
+                };
+                a.finish()?;
+                Some(adaptive)
+            }
+        };
+
         r.finish()?;
         let spec = Self {
             name,
@@ -656,6 +848,8 @@ impl ScenarioSpec {
             churn,
             attributes,
             queries,
+            shifts,
+            adaptive,
         };
         spec.validate()?;
         Ok(spec)
@@ -798,6 +992,89 @@ impl ScenarioSpec {
             if q.text.trim().is_empty() {
                 return Err(out_of_range(format!("queries[{i}].text"), "must be non-empty"));
             }
+        }
+
+        for (i, s) in self.shifts.iter().enumerate() {
+            if s.epoch() >= self.epochs {
+                return Err(out_of_range(
+                    format!("shifts[{i}].epoch"),
+                    format!(
+                        "must be < epochs ({}), got {} (the shift would never apply)",
+                        self.epochs,
+                        s.epoch()
+                    ),
+                ));
+            }
+            let check_prob = |p: f64, path: String| {
+                if (0.0..=1.0).contains(&p) {
+                    Ok(())
+                } else {
+                    Err(out_of_range(path, format!("must be in [0,1], got {p}")))
+                }
+            };
+            let check_rect = |rect: &(f64, f64, f64, f64), path: String| {
+                let (x0, y0, x1, y1) = *rect;
+                let finite = x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite();
+                if finite && x0 < x1 && y0 < y1 {
+                    Ok(())
+                } else {
+                    Err(out_of_range(
+                        path,
+                        format!(
+                            "must be a finite rectangle with x0 < x1 and y0 < y1, got {rect:?}"
+                        ),
+                    ))
+                }
+            };
+            match s {
+                ShiftSpec::Participation { factor, .. } => {
+                    if !(factor.is_finite() && *factor >= 0.0) {
+                        return Err(out_of_range(
+                            format!("shifts[{i}].factor"),
+                            format!("must be >= 0, got {factor}"),
+                        ));
+                    }
+                }
+                ShiftSpec::Dropout { probability, rect, .. } => {
+                    check_prob(*probability, format!("shifts[{i}].probability"))?;
+                    check_rect(rect, format!("shifts[{i}].rect"))?;
+                    // A dropout region that misses the world entirely is a
+                    // silent no-op shift — the golden would record a drift
+                    // that never happened.
+                    let size = self.grid.size_km;
+                    if rect.2 <= 0.0 || rect.0 >= size || rect.3 <= 0.0 || rect.1 >= size {
+                        return Err(out_of_range(
+                            format!("shifts[{i}].rect"),
+                            format!(
+                                "must intersect the region [0,{size})² or the shift can never \
+                                 silence a sensor, got {rect:?}"
+                            ),
+                        ));
+                    }
+                }
+                ShiftSpec::Migrate { probability, rect, .. } => {
+                    check_prob(*probability, format!("shifts[{i}].probability"))?;
+                    check_rect(rect, format!("shifts[{i}].rect"))?;
+                    // Migrants are placed uniformly in the target and never
+                    // forced back: a target outside the region would
+                    // teleport the crowd somewhere no request can reach.
+                    let size = self.grid.size_km;
+                    if rect.0 < 0.0 || rect.1 < 0.0 || rect.2 > size || rect.3 > size {
+                        return Err(out_of_range(
+                            format!("shifts[{i}].rect"),
+                            format!(
+                                "must lie inside the region [0,{size})² (migrants are placed \
+                                 uniformly in the target), got {rect:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(a) = &self.adaptive {
+            // Delegates range checks to the controller's own validator so
+            // spec and runtime can never disagree on what "valid" means.
+            a.to_config()?;
         }
         Ok(())
     }
@@ -953,6 +1230,49 @@ fn parse_mobility(r: &mut Reader<'_>) -> Result<MobilitySpec, SpecError> {
         other => Err(out_of_range(
             r.at("kind"),
             format!("must be 'stationary', 'walk', 'waypoint', or 'gauss_markov', got '{other}'"),
+        )),
+    }
+}
+
+/// Reads a required `[x0, y0, x1, y1]` rectangle.
+fn req_rect(r: &mut Reader<'_>) -> Result<(f64, f64, f64, f64), SpecError> {
+    let path = r.at("rect");
+    let v = r.req("rect")?;
+    let ConfigValue::Array(quad) = v else {
+        return Err(mismatch(&path, "array of 4 numbers", v));
+    };
+    if quad.len() != 4 {
+        return Err(SpecError::OutOfRange {
+            path,
+            message: format!("needs exactly 4 numbers (x0, y0, x1, y1), got {}", quad.len()),
+        });
+    }
+    Ok((
+        as_f64(&quad[0], &path)?,
+        as_f64(&quad[1], &path)?,
+        as_f64(&quad[2], &path)?,
+        as_f64(&quad[3], &path)?,
+    ))
+}
+
+fn parse_shift(r: &mut Reader<'_>) -> Result<ShiftSpec, SpecError> {
+    let kind = r.req_str("kind")?;
+    let epoch = r.req_u32("epoch")?;
+    match kind.as_str() {
+        "participation" => Ok(ShiftSpec::Participation { epoch, factor: r.req_f64("factor")? }),
+        "dropout" => Ok(ShiftSpec::Dropout {
+            epoch,
+            probability: r.req_f64("probability")?,
+            rect: req_rect(r)?,
+        }),
+        "migrate" => Ok(ShiftSpec::Migrate {
+            epoch,
+            probability: r.req_f64("probability")?,
+            rect: req_rect(r)?,
+        }),
+        other => Err(out_of_range(
+            r.at("kind"),
+            format!("must be 'participation', 'dropout', or 'migrate', got '{other}'"),
         )),
     }
 }
@@ -1160,6 +1480,30 @@ impl ScenarioSpec {
             })
             .collect();
         t.insert("queries", ConfigValue::Array(queries));
+
+        if !self.shifts.is_empty() {
+            let shifts: Vec<ConfigValue> =
+                self.shifts.iter().map(|s| ConfigValue::Table(shift_table(s))).collect();
+            t.insert("shifts", ConfigValue::Array(shifts));
+        }
+        if let Some(a) = &self.adaptive {
+            let mut at = Table::new();
+            at.insert("enabled", ConfigValue::Bool(a.enabled));
+            at.insert("detector", ConfigValue::Str(a.detector.clone()));
+            at.insert("slack", ConfigValue::Float(a.slack));
+            at.insert("threshold", ConfigValue::Float(a.threshold));
+            at.insert("warmup_epochs", ConfigValue::Int(a.warmup_epochs as i64));
+            at.insert("cooldown_epochs", ConfigValue::Int(a.cooldown_epochs as i64));
+            at.insert("gamma0", ConfigValue::Float(a.gamma0));
+            at.insert("decay_batches", ConfigValue::Float(a.decay_batches));
+            at.insert("initial_rate", ConfigValue::Float(a.initial_rate));
+            if let Some(pool) = a.budget_pool {
+                at.insert("budget_pool", ConfigValue::Float(pool));
+            }
+            at.insert("rebuild_chains", ConfigValue::Bool(a.rebuild_chains));
+            at.insert("demand_headroom", ConfigValue::Float(a.demand_headroom));
+            t.insert("adaptive", ConfigValue::Table(at));
+        }
         t
     }
 
@@ -1222,6 +1566,39 @@ fn mobility_table(m: &MobilitySpec) -> Table {
             t.insert("alpha", ConfigValue::Float(*alpha));
             t.insert("mean_speed", ConfigValue::Float(*mean_speed));
             t.insert("sigma", ConfigValue::Float(*sigma));
+        }
+    }
+    t
+}
+
+fn rect_value(rect: &(f64, f64, f64, f64)) -> ConfigValue {
+    ConfigValue::Array(vec![
+        ConfigValue::Float(rect.0),
+        ConfigValue::Float(rect.1),
+        ConfigValue::Float(rect.2),
+        ConfigValue::Float(rect.3),
+    ])
+}
+
+fn shift_table(s: &ShiftSpec) -> Table {
+    let mut t = Table::new();
+    match s {
+        ShiftSpec::Participation { epoch, factor } => {
+            t.insert("kind", ConfigValue::Str("participation".into()));
+            t.insert("epoch", ConfigValue::Int(*epoch as i64));
+            t.insert("factor", ConfigValue::Float(*factor));
+        }
+        ShiftSpec::Dropout { epoch, probability, rect } => {
+            t.insert("kind", ConfigValue::Str("dropout".into()));
+            t.insert("epoch", ConfigValue::Int(*epoch as i64));
+            t.insert("probability", ConfigValue::Float(*probability));
+            t.insert("rect", rect_value(rect));
+        }
+        ShiftSpec::Migrate { epoch, probability, rect } => {
+            t.insert("kind", ConfigValue::Str("migrate".into()));
+            t.insert("epoch", ConfigValue::Int(*epoch as i64));
+            t.insert("probability", ConfigValue::Float(*probability));
+            t.insert("rect", rect_value(rect));
         }
     }
     t

@@ -302,6 +302,75 @@ impl Crowd {
         }
     }
 
+    /// Scales every sensor's base response probability by `factor`
+    /// (clamped to `[0, 1]`) — the "participation surge / fatigue" lever
+    /// behind mid-run rate-jump scenarios. Deterministic: no RNG draw.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite factor.
+    #[track_caller]
+    pub fn scale_participation(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0, got {factor}");
+        for s in &mut self.sensors {
+            let m = *s.response_model();
+            s.set_response_model(crate::response::ResponseModel {
+                base_probability: (m.base_probability * factor).clamp(0.0, 1.0),
+                ..m
+            });
+        }
+    }
+
+    /// Correlated dropout: every sensor currently inside `rect`
+    /// independently goes silent with probability `p` (its response
+    /// probability becomes 0; the body keeps moving, so the population
+    /// count — and the request fan-out — is unchanged). This is the
+    /// failure mode of a regional outage: an app update bricking one
+    /// city's fleet, a carrier losing a cell.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `[0, 1]`.
+    #[track_caller]
+    pub fn drop_region(&mut self, rect: &Rect, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "dropout probability must be in [0,1], got {p}");
+        for s in &mut self.sensors {
+            let (x, y) = s.position();
+            if rect.contains(x, y) && self.participation_rng.gen::<f64>() < p {
+                let m = *s.response_model();
+                s.set_response_model(crate::response::ResponseModel {
+                    base_probability: 0.0,
+                    incentive_sensitivity: 0.0,
+                    ..m
+                });
+            }
+        }
+    }
+
+    /// Hotspot migration: every sensor independently relocates into
+    /// `target` with probability `p` (uniform position inside the target,
+    /// mobility and participation models kept). Models the crowd following
+    /// an event — a stadium emptying, a festival starting.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `[0, 1]`, or when `target` is degenerate
+    /// (zero width or height — there is nowhere to place a migrant).
+    #[track_caller]
+    pub fn migrate(&mut self, p: f64, target: &Rect) {
+        assert!((0.0..=1.0).contains(&p), "migration probability must be in [0,1], got {p}");
+        assert!(
+            target.x0 < target.x1 && target.y0 < target.y1,
+            "migration target must have positive area, got {target}"
+        );
+        for s in &mut self.sensors {
+            if self.participation_rng.gen::<f64>() < p {
+                let pos = (
+                    self.participation_rng.gen_range(target.x0..target.x1),
+                    self.participation_rng.gen_range(target.y0..target.y1),
+                );
+                s.set_position(pos);
+            }
+        }
+    }
+
     /// Injects sensor churn: every sensor independently drops out with
     /// probability `p` (replaced by a fresh sensor at a random position, so
     /// the population size is stable but continuity is broken). Failure
@@ -539,6 +608,50 @@ mod tests {
         assert_eq!(merged, serial);
         // And draining again yields nothing (the drain consumed).
         assert!(run(77).drain_responses_sharded(&grid, 3).concat().len() == serial.len());
+    }
+
+    #[test]
+    fn scale_participation_changes_response_volume() {
+        let run = |factor: Option<f64>| {
+            let mut c = crowd(300, 21);
+            if let Some(f) = factor {
+                c.scale_participation(f);
+            }
+            c.dispatch_requests(AttributeId(0), &c.region(), 200, 0.0);
+            c.step(1.0);
+            c.drain_responses().len()
+        };
+        let base = run(None);
+        assert!(run(Some(0.1)) < base / 2, "fatigue must cut responses");
+        // Automatic sensors already answer at 0.95; scaling up saturates.
+        assert!(run(Some(2.0)) >= base);
+    }
+
+    #[test]
+    fn drop_region_silences_only_the_region() {
+        let mut c = crowd(400, 22);
+        let west = Rect::new(0.0, 0.0, 5.0, 10.0);
+        c.drop_region(&west, 1.0);
+        c.dispatch_requests(AttributeId(0), &c.region(), 400, 0.0);
+        c.step(1.0);
+        let responses = c.drain_responses();
+        assert!(!responses.is_empty());
+        // Stationary-ish walkers: responders overwhelmingly sit east.
+        let west_hits = responses.iter().filter(|r| r.measurement.point.x < 5.0).count();
+        assert!(
+            (west_hits as f64) < responses.len() as f64 * 0.1,
+            "west responses {west_hits}/{} after total west dropout",
+            responses.len()
+        );
+    }
+
+    #[test]
+    fn migrate_concentrates_the_crowd() {
+        let mut c = crowd(500, 23);
+        let corner = Rect::new(0.0, 0.0, 2.0, 2.0);
+        c.migrate(0.8, &corner);
+        let inside = c.sensors_in(&corner).len();
+        assert!(inside > 350, "migration left only {inside} sensors in the target");
     }
 
     #[test]

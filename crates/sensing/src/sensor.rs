@@ -64,6 +64,12 @@ impl MobileSensor {
         self.response = model;
     }
 
+    /// Teleports the sensor — the crowd-level migration lever
+    /// ([`crate::Crowd::migrate`]) relocating participants mid-run.
+    pub fn set_position(&mut self, position: (f64, f64)) {
+        self.position = position;
+    }
+
     /// Advances the sensor by `dt` minutes inside `region`.
     pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, region: &Rect, rng: &mut R) {
         self.position = self.mobility.step(self.position, dt, region, rng);

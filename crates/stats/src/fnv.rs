@@ -1,0 +1,34 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! Canonical golden artifacts ([`craqr_scenario`'s report and the adaptive
+//! controller's trace) end in a 64-bit FNV-1a checksum line so CI can
+//! compare runs by checksum alone. The hash used to be re-implemented per
+//! consumer; this module is now the single source of truth.
+
+/// 64-bit FNV-1a over a byte string — stable, dependency-free, and fast
+/// enough for report-sized inputs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

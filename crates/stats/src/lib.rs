@@ -16,15 +16,22 @@
 //!   "approximately homogeneous" and `thin` hits its target rate.
 //! - **Online estimators** ([`online`]): Welford moments, EWMA, and
 //!   windowed rates used by sliding-window flattening and budget tuning.
+//! - **Drift detectors** ([`drift`]): sequential change-point tests
+//!   (two-sided CUSUM, Page–Hinkley) the adaptive acquisition loop runs
+//!   over estimator innovation streams.
 //! - **Summaries** ([`summary`]): histograms and quantiles for experiment
 //!   reports.
 //! - **Seed derivation** ([`rng`]): stable per-component sub-seeds so a
 //!   whole simulation is reproducible from one master seed.
+//! - **Checksums** ([`fnv`]): the FNV-1a hash every canonical golden
+//!   artifact ends in.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod dist;
+pub mod drift;
+pub mod fnv;
 pub mod hypothesis;
 pub mod online;
 pub mod rng;
@@ -32,6 +39,8 @@ pub mod special;
 pub mod summary;
 
 pub use dist::{Exponential, Normal, Poisson};
+pub use drift::{Cusum, DriftDirection, PageHinkley};
+pub use fnv::fnv1a64;
 pub use hypothesis::{chi_square_uniform, dispersion_index, ks_exponential, ChiSquare, KsTest};
 pub use online::{Ewma, OnlineMoments, WindowedRate};
 pub use rng::{seeded_rng, sub_rng};

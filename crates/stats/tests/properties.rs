@@ -131,3 +131,68 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Drift detectors: the false-alarm/detection-delay contract behind the
+// adaptive acquisition loop (ISSUE 3). Stationary standardized-innovation
+// streams must never fire across seeds; an injected jump must fire within
+// a bounded number of observations.
+// ---------------------------------------------------------------------------
+
+/// A synthetic standardized-innovation stream: zero-mean, roughly
+/// unit-variance (what a calibrated estimator emits while stationary).
+fn innovation_stream(seed: u64, n: usize) -> Vec<f64> {
+    let d = Normal::new(0.0, 1.0);
+    let mut rng = seeded_rng(seed);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+#[test]
+fn drift_detectors_have_zero_false_alarms_on_stationary_streams() {
+    use craqr_stats::{Cusum, PageHinkley};
+    for seed in 0u64..10 {
+        let stream = innovation_stream(seed, 400);
+        let mut cusum = Cusum::new(0.5, 8.0);
+        let mut ph = PageHinkley::new(0.5, 8.0);
+        for (i, &x) in stream.iter().enumerate() {
+            assert_eq!(cusum.observe(x), None, "CUSUM false alarm, seed {seed}, sample {i}");
+            assert_eq!(ph.observe(x), None, "PH false alarm, seed {seed}, sample {i}");
+        }
+    }
+}
+
+#[test]
+fn drift_detectors_fire_within_k_of_an_injected_jump() {
+    use craqr_stats::{Cusum, DriftDirection, PageHinkley};
+    const K: usize = 8;
+    for seed in 0u64..10 {
+        for (magnitude, want) in [(3.0, DriftDirection::Up), (-3.0, DriftDirection::Down)] {
+            let mut stream = innovation_stream(seed, 80);
+            // Inject the jump: the post-change innovations re-center on
+            // `magnitude` (a 3σ regime shift).
+            stream.extend(innovation_stream(seed ^ 0xD1F7, 40).iter().map(|x| x + magnitude));
+
+            let mut cusum = Cusum::new(0.5, 8.0);
+            let mut ph = PageHinkley::new(0.5, 8.0);
+            let mut cusum_fire = None;
+            let mut ph_fire = None;
+            for (i, &x) in stream.iter().enumerate() {
+                if let (Some(d), None) = (cusum.observe(x), cusum_fire) {
+                    assert_eq!(d, want, "CUSUM direction, seed {seed}");
+                    cusum_fire = Some(i);
+                }
+                if let (Some(d), None) = (ph.observe(x), ph_fire) {
+                    assert_eq!(d, want, "PH direction, seed {seed}");
+                    ph_fire = Some(i);
+                }
+            }
+            for (name, fire) in [("CUSUM", cusum_fire), ("PH", ph_fire)] {
+                let at = fire.unwrap_or_else(|| panic!("{name} never fired, seed {seed}"));
+                assert!(
+                    (80..80 + K).contains(&at),
+                    "{name} fired at {at}, want within {K} of the jump at 80 (seed {seed})"
+                );
+            }
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! # Run every committed scenario and diff against the committed goldens:
-//! cargo run --release --bin craqr-scenario -- scenarios/*.toml scenarios/*.json --check
+//! cargo run --release --bin craqr-scenario -- --all scenarios --check
 //!
-//! # Regenerate the goldens after an intentional behaviour change:
-//! cargo run --release --bin craqr-scenario -- scenarios/*.toml scenarios/*.json --bless
+//! # Regenerate the goldens after an intentional behaviour change
+//! # (adaptive scenarios also re-bless their .trace.txt goldens):
+//! cargo run --release --bin craqr-scenario -- --all scenarios --bless
 //!
 //! # Print `name checksum` pairs only (CI's serial-vs-sharded determinism
 //! # comparison):
@@ -14,7 +15,8 @@
 //!
 //! | flag | default | meaning |
 //! |---|---|---|
-//! | `<files…>`       | —              | scenario spec files (`.toml` or `.json`), ≥ 1 |
+//! | `<files…>`       | —              | scenario spec files (`.toml` or `.json`) |
+//! | `--all DIR`      | —              | append every spec in `DIR` (sorted) to the file list |
 //! | `--shards N`     | 0              | run under `Sharded(N)` (0 = serial) |
 //! | `--seed S`       | spec seed      | override every spec's seed |
 //! | `--goldens DIR`  | `tests/goldens`| where golden reports live |
@@ -22,6 +24,7 @@
 //! | `--check`        | off            | diff reports against goldens, exit 1 on mismatch |
 //! | `--checksum`     | off            | print only `name checksum` lines |
 //! | `--print`        | off            | print each canonical report to stdout |
+//! | `--trace`        | off            | print each adaptive trace to stdout |
 //!
 //! Without `--bless`/`--check`/`--checksum`/`--print`, a one-line summary
 //! per scenario is printed. Every run additionally executes the spec under
@@ -33,7 +36,7 @@
 //! `--check` could ever match).
 
 use craqr::core::ExecMode;
-use craqr::scenario::{ScenarioRunner, ScenarioSpec};
+use craqr::scenario::{scenario_files, ScenarioRunner, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -46,6 +49,7 @@ struct Args {
     check: bool,
     checksum: bool,
     print: bool,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         check: false,
         checksum: false,
         print: false,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,10 +75,19 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
             }
             "--goldens" => args.goldens = PathBuf::from(value("--goldens")?),
+            "--all" => {
+                let dir = PathBuf::from(value("--all")?);
+                let found = scenario_files(&dir).map_err(|e| e.to_string())?;
+                if found.is_empty() {
+                    return Err(format!("--all {}: no .toml/.json specs found", dir.display()));
+                }
+                args.files.extend(found);
+            }
             "--bless" => args.bless = true,
             "--check" => args.check = true,
             "--checksum" => args.checksum = true,
             "--print" => args.print = true,
+            "--trace" => args.trace = true,
             "--help" | "-h" => {
                 println!("see the doc comment at the top of src/bin/craqr-scenario.rs for usage");
                 std::process::exit(0);
@@ -140,7 +154,7 @@ fn main() -> ExitCode {
             }
         };
         let seed = args.seed.unwrap_or(runner.spec().seed);
-        let report = match runner.run_with_seed(exec, seed) {
+        let (report, trace) = match runner.run_full(exec, seed) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {name}: {e}");
@@ -151,13 +165,17 @@ fn main() -> ExitCode {
         // Verify the determinism contract against the other mode — except
         // under --checksum, whose whole purpose is an *external* comparison
         // (CI diffs a serial and a sharded invocation), so the built-in
-        // cross-run would only double the work.
+        // cross-run would only double the work. Adaptive traces are held
+        // to the same byte-identity bar as reports.
         if !args.checksum {
-            match runner.run_with_seed(cross, seed) {
-                Ok(other) if other.canonical() == report.canonical() => {}
+            match runner.run_full(cross, seed) {
+                Ok((other, other_trace))
+                    if other.canonical() == report.canonical()
+                        && other_trace.as_ref().map(|t| t.canonical())
+                            == trace.as_ref().map(|t| t.canonical()) => {}
                 Ok(_) => {
                     eprintln!(
-                        "error: {name}: {exec:?} and {cross:?} reports diverge — determinism broken"
+                        "error: {name}: {exec:?} and {cross:?} runs diverge — determinism broken"
                     );
                     failures += 1;
                     continue;
@@ -172,12 +190,24 @@ fn main() -> ExitCode {
 
         let scenario = &report.name;
         if args.checksum {
-            println!("{scenario} {:#018x}", report.checksum());
+            match &trace {
+                Some(t) => {
+                    println!("{scenario} {:#018x} trace {:#018x}", report.checksum(), t.checksum())
+                }
+                None => println!("{scenario} {:#018x}", report.checksum()),
+            }
         } else if args.print {
             print!("{}", report.canonical());
         }
+        if args.trace {
+            match &trace {
+                Some(t) => print!("{}", t.canonical()),
+                None => println!("{scenario}: no [adaptive] block, no trace"),
+            }
+        }
 
         let golden_path = args.goldens.join(format!("{scenario}.golden.txt"));
+        let trace_path = args.goldens.join(format!("{scenario}.trace.txt"));
         if args.bless {
             if let Some(parent) = golden_path.parent() {
                 let _ = std::fs::create_dir_all(parent);
@@ -188,10 +218,63 @@ fn main() -> ExitCode {
                 continue;
             }
             println!("blessed {}", golden_path.display());
+            match &trace {
+                Some(t) => {
+                    if let Err(e) = std::fs::write(&trace_path, t.canonical()) {
+                        eprintln!("error: writing {}: {e}", trace_path.display());
+                        failures += 1;
+                        continue;
+                    }
+                    println!("blessed {}", trace_path.display());
+                }
+                // The scenario stopped producing a trace (its [adaptive]
+                // block was removed): a leftover trace golden would rot
+                // unchecked, so blessing deletes it.
+                None => {
+                    if trace_path.exists() {
+                        if let Err(e) = std::fs::remove_file(&trace_path) {
+                            eprintln!("error: removing stale {}: {e}", trace_path.display());
+                            failures += 1;
+                            continue;
+                        }
+                        println!("removed stale {}", trace_path.display());
+                    }
+                }
+            }
         } else if args.check {
             match std::fs::read_to_string(&golden_path) {
                 Ok(golden) if golden == report.canonical() => {
-                    println!("ok {scenario} ({:#018x})", report.checksum());
+                    let trace_ok = match &trace {
+                        None if trace_path.exists() => {
+                            eprintln!(
+                                "STALE {scenario}: {} exists but the scenario produces no \
+                                 adaptive trace (re-bless to remove it)",
+                                trace_path.display()
+                            );
+                            false
+                        }
+                        None => true,
+                        Some(t) => match std::fs::read_to_string(&trace_path) {
+                            Ok(golden_trace) if golden_trace == t.canonical() => true,
+                            Ok(_) => {
+                                eprintln!(
+                                    "MISMATCH {scenario}: adaptive trace differs from {} \
+                                     (re-bless after verifying the change is intentional)",
+                                    trace_path.display()
+                                );
+                                false
+                            }
+                            Err(e) => {
+                                eprintln!("MISSING {scenario}: {}: {e}", trace_path.display());
+                                false
+                            }
+                        },
+                    };
+                    if trace_ok {
+                        println!("ok {scenario} ({:#018x})", report.checksum());
+                    } else {
+                        failures += 1;
+                    }
                 }
                 Ok(golden) => {
                     eprintln!(

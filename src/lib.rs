@@ -12,8 +12,14 @@
 //! - [`engine`] — the streaming dataflow engine PMAT operators run on.
 //! - [`core`] — CrAQR itself: PMAT operators, acquisitional queries, the
 //!   Section V planner, budget tuning, and the server.
+//! - [`adaptive`] — the closed-loop acquisition controller: per-query
+//!   online SGD estimation, drift detection on the innovation stream, and
+//!   water-filled budget replanning through the epoch loop's
+//!   [`ControlHook`](craqr_core::ControlHook) seam, all recorded in a
+//!   canonical checksummed trace.
 //! - [`scenario`] — the declarative scenario harness: TOML/JSON workload
-//!   specs, a deterministic runner, and canonical golden reports
+//!   specs (including `[[shifts]]` regime changes and the `[adaptive]`
+//!   block), a deterministic runner, and canonical golden reports
 //!   (`scenarios/` + `tests/goldens/` + the `craqr-scenario` CLI).
 //!
 //! ## Quickstart
@@ -71,6 +77,7 @@
 //! # let _ = config;
 //! ```
 
+pub use craqr_adaptive as adaptive;
 pub use craqr_core as core;
 pub use craqr_engine as engine;
 pub use craqr_geom as geom;
@@ -81,11 +88,12 @@ pub use craqr_stats as stats;
 
 /// The names almost every CrAQR program needs.
 pub mod prelude {
+    pub use craqr_adaptive::{AdaptiveConfig, AdaptiveController, AdaptiveTrace};
     pub use craqr_core::{
-        AcquisitionQuery, AttributeCatalog, Budget, BudgetTuner, CraqrServer, CrowdTuple,
-        EpochReport, ErrorModel, ExecMode, Fabricator, FlattenOp, IncentivePolicy, IngestReport,
-        Mitigation, PartitionOp, PlannerConfig, QueryId, RateMeterOp, ServerConfig, ShardIngest,
-        SuperposeOp, ThinOp, TopologyShape, UnionOp,
+        AcquisitionQuery, AttributeCatalog, Budget, BudgetTuner, ControlAction, ControlHook,
+        CraqrServer, CrowdTuple, EpochObservation, EpochReport, ErrorModel, ExecMode, Fabricator,
+        FlattenOp, IncentivePolicy, IngestReport, Mitigation, PartitionOp, PlannerConfig, QueryId,
+        RateMeterOp, ServerConfig, ShardIngest, SuperposeOp, ThinOp, TopologyShape, UnionOp,
     };
     pub use craqr_geom::{CellId, Grid, Rect, Region, SpaceTimePoint, SpaceTimeWindow};
     pub use craqr_mdpp::{

@@ -1,0 +1,162 @@
+//! The drift-scenario regression corpus — the closed loop's acceptance
+//! tests.
+//!
+//! Each committed drift scenario (`scenarios/drift_*.toml`) injects one
+//! regime shift (participation rate jump, hotspot migration, correlated
+//! sensor dropout) into an otherwise-stationary world, and ships in two
+//! flavours: **active** (the adaptive controller replans) and
+//! **`_static`** (observe-only baseline: same estimators, same detectors,
+//! no actuation). The assertions:
+//!
+//! 1. report *and* adaptive trace are byte-identical across
+//!    `ExecMode::Serial` and `Sharded(4)`, and across reruns;
+//! 2. both match their committed goldens
+//!    (`tests/goldens/<name>.golden.txt` / `<name>.trace.txt`);
+//! 3. the active trace shows ≥ 1 replan within [`REACT_WITHIN`] epochs of
+//!    the injected shift — and the static twin shows none.
+//!
+//! Re-bless after an intentional behaviour change with:
+//!
+//! ```text
+//! cargo run --release --bin craqr-scenario -- --all scenarios --bless
+//! ```
+
+use craqr::core::ExecMode;
+use craqr::scenario::{AdaptiveTrace, ScenarioReport, ScenarioRunner};
+use std::path::Path;
+
+/// A replan counts as "reacting" when it lands within this many epochs of
+/// the injected shift.
+const REACT_WITHIN: u64 = 5;
+
+/// The committed drift scenarios: (file stem, shift epoch).
+const DRIFT_SCENARIOS: [(&str, u64); 3] =
+    [("drift_rate_jump", 9), ("drift_hotspot_migration", 8), ("drift_sensor_dropout", 8)];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn runner(stem: &str) -> ScenarioRunner {
+    let path = repo_root().join("scenarios").join(format!("{stem}.toml"));
+    ScenarioRunner::from_file(&path).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs `stem` under both exec modes, asserts report + trace byte-identity
+/// across modes, and returns the serial pair.
+fn run_both_modes(stem: &str) -> (ScenarioReport, AdaptiveTrace) {
+    let runner = runner(stem);
+    let (serial, serial_trace) =
+        runner.run_full(ExecMode::Serial, runner.spec().seed).unwrap_or_else(|e| panic!("{e}"));
+    let (sharded, sharded_trace) =
+        runner.run_full(ExecMode::Sharded(4), runner.spec().seed).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        serial.canonical(),
+        sharded.canonical(),
+        "{stem}: serial and Sharded(4) reports diverge"
+    );
+    let serial_trace = serial_trace.unwrap_or_else(|| panic!("{stem}: no adaptive trace"));
+    let sharded_trace = sharded_trace.unwrap_or_else(|| panic!("{stem}: no adaptive trace"));
+    assert_eq!(
+        serial_trace.canonical(),
+        sharded_trace.canonical(),
+        "{stem}: serial and Sharded(4) adaptive traces diverge"
+    );
+    (serial, serial_trace)
+}
+
+fn golden(name: &str) -> String {
+    let path = repo_root().join("tests/goldens").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless with \
+             `cargo run --release --bin craqr-scenario -- --all scenarios --bless`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn drift_reports_and_traces_match_goldens_in_both_modes() {
+    for (stem, _) in DRIFT_SCENARIOS {
+        for variant in [stem.to_string(), format!("{stem}_static")] {
+            let (report, trace) = run_both_modes(&variant);
+            assert_eq!(
+                golden(&format!("{variant}.golden.txt")),
+                report.canonical(),
+                "{variant}: report no longer matches its golden; re-bless if intentional"
+            );
+            assert_eq!(
+                golden(&format!("{variant}.trace.txt")),
+                trace.canonical(),
+                "{variant}: adaptive trace no longer matches its golden; re-bless if intentional"
+            );
+            // The report's [adaptive] section pins the trace.
+            let section = report.adaptive.expect("adaptive section present");
+            assert_eq!(section.summary.trace_checksum, trace.checksum(), "{variant}");
+            assert_eq!(section.summary.replans, trace.replans.len(), "{variant}");
+        }
+    }
+}
+
+#[test]
+fn controller_reacts_to_the_shift_and_the_static_baseline_does_not() {
+    for (stem, shift_epoch) in DRIFT_SCENARIOS {
+        let (report, trace) = run_both_modes(stem);
+        assert!(
+            !trace.replans.is_empty(),
+            "{stem}: the controller never replanned\n{}",
+            trace.canonical()
+        );
+        let first = trace.replans[0].epoch;
+        assert!(
+            (shift_epoch..=shift_epoch + REACT_WITHIN).contains(&first),
+            "{stem}: first replan at epoch {first}, want within {REACT_WITHIN} of the \
+             shift at {shift_epoch}\n{}",
+            trace.canonical()
+        );
+        assert!(report.adaptive.expect("section").active);
+
+        let (static_report, static_trace) = run_both_modes(&format!("{stem}_static"));
+        assert_eq!(
+            static_trace.replans.len(),
+            0,
+            "{stem}_static: observe-only baseline must never replan\n{}",
+            static_trace.canonical()
+        );
+        assert!(!static_report.adaptive.expect("section").active);
+        // The static twin still *sees* the drift — it just does not act.
+        assert!(
+            static_trace.drift_events() >= 1,
+            "{stem}_static: the detector should still fire in observe mode\n{}",
+            static_trace.canonical()
+        );
+        // And the active run's world genuinely diverged from the static one.
+        assert_ne!(
+            report.checksum(),
+            static_report.checksum(),
+            "{stem}: replanning had no observable effect"
+        );
+    }
+}
+
+#[test]
+fn drift_runs_are_bit_stable_across_reruns() {
+    for (stem, _) in DRIFT_SCENARIOS {
+        let (a_report, a_trace) = run_both_modes(stem);
+        let (b_report, b_trace) = run_both_modes(stem);
+        assert_eq!(a_report, b_report, "{stem}: reports differ across reruns");
+        assert_eq!(a_trace, b_trace, "{stem}: traces differ across reruns");
+    }
+}
+
+#[test]
+fn seed_override_changes_decisions_deterministically() {
+    let runner = runner("drift_sensor_dropout");
+    for seed in [1u64, 99] {
+        let (serial, st) = runner.run_full(ExecMode::Serial, seed).unwrap();
+        let (sharded, sh) = runner.run_full(ExecMode::Sharded(3), seed).unwrap();
+        assert_eq!(serial.canonical(), sharded.canonical(), "seed {seed}");
+        assert_eq!(st.expect("trace").canonical(), sh.expect("trace").canonical(), "seed {seed}");
+    }
+}

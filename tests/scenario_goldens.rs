@@ -20,14 +20,7 @@ fn repo_root() -> &'static Path {
 
 /// Every committed scenario spec, sorted by file name.
 fn scenario_files() -> Vec<PathBuf> {
-    let dir = repo_root().join("scenarios");
-    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
-        .map(|entry| entry.expect("dir entry").path())
-        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("toml") | Some("json")))
-        .collect();
-    files.sort();
-    files
+    craqr::scenario::scenario_files(&repo_root().join("scenarios")).expect("scenarios dir")
 }
 
 fn load(path: &Path) -> ScenarioSpec {
@@ -43,13 +36,19 @@ fn corpus_has_the_committed_scenarios() {
         "baseline_temp",
         "budget_starved",
         "churn_heavy",
+        "drift_hotspot_migration",
+        "drift_hotspot_migration_static",
+        "drift_rate_jump",
+        "drift_rate_jump_static",
+        "drift_sensor_dropout",
+        "drift_sensor_dropout_static",
         "hotspot_burst",
         "rain_sweep",
         "sparse_large_grid",
     ] {
         assert!(names.iter().any(|n| n == expected), "scenario '{expected}' missing from corpus");
     }
-    assert!(names.len() >= 6, "corpus shrank: {names:?}");
+    assert!(names.len() >= 12, "corpus shrank: {names:?}");
 }
 
 #[test]

@@ -3,8 +3,9 @@
 //! unchanged, through both syntaxes.
 
 use craqr::scenario::{
-    AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec, MobilitySpec,
-    PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, SpecError,
+    AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
+    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, ShiftSpec,
+    SpecError,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -145,6 +146,81 @@ fn semantic_duplicates_and_empties_are_rejected() {
     ));
 }
 
+#[test]
+fn adaptive_block_is_strictly_parsed() {
+    let ok = format!("{MINIMAL}\n[adaptive]\ndetector = \"page_hinkley\"\nthreshold = 6.0\n");
+    let spec = ScenarioSpec::from_toml(&ok).unwrap();
+    let a = spec.adaptive.as_ref().expect("adaptive block parsed");
+    assert!(a.enabled, "enabled defaults to true");
+    assert_eq!(a.detector, "page_hinkley");
+    assert_eq!(a.threshold, 6.0);
+
+    let typo = format!("{MINIMAL}\n[adaptive]\nthresold = 6.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&typo),
+        Err(SpecError::UnknownField { path }) if path == "adaptive.thresold"
+    ));
+    let bad_kind = format!("{MINIMAL}\n[adaptive]\ndetector = \"ewma\"\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&bad_kind),
+        Err(SpecError::OutOfRange { path, .. }) if path == "adaptive.detector"
+    ));
+    let bad_threshold = format!("{MINIMAL}\n[adaptive]\nthreshold = 0.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&bad_threshold),
+        Err(SpecError::OutOfRange { path, .. }) if path == "adaptive.threshold"
+    ));
+}
+
+#[test]
+fn shifts_are_strictly_parsed() {
+    let ok = format!(
+        "{MINIMAL}\n[[shifts]]\nkind = \"dropout\"\nepoch = 1\nprobability = 0.5\n\
+         rect = [0.0, 0.0, 2.0, 2.0]\n"
+    );
+    let spec = ScenarioSpec::from_toml(&ok).unwrap();
+    assert_eq!(spec.shifts.len(), 1);
+    assert_eq!(spec.shifts[0].epoch(), 1);
+
+    let late =
+        format!("{MINIMAL}\n[[shifts]]\nkind = \"participation\"\nepoch = 99\nfactor = 2.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&late),
+        Err(SpecError::OutOfRange { path, .. }) if path == "shifts[0].epoch"
+    ));
+    let inverted_rect = format!(
+        "{MINIMAL}\n[[shifts]]\nkind = \"migrate\"\nepoch = 0\nprobability = 0.5\n\
+         rect = [2.0, 0.0, 1.0, 2.0]\n"
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml(&inverted_rect),
+        Err(SpecError::OutOfRange { path, .. }) if path == "shifts[0].rect"
+    ));
+    let unknown_kind = format!("{MINIMAL}\n[[shifts]]\nkind = \"earthquake\"\nepoch = 0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&unknown_kind),
+        Err(SpecError::OutOfRange { path, .. }) if path == "shifts[0].kind"
+    ));
+    // A migrate target outside the world would strand the crowd where no
+    // request can reach; a dropout region outside it is a silent no-op.
+    let stranded = format!(
+        "{MINIMAL}\n[[shifts]]\nkind = \"migrate\"\nepoch = 0\nprobability = 0.5\n\
+         rect = [100.0, 100.0, 110.0, 110.0]\n"
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml(&stranded),
+        Err(SpecError::OutOfRange { path, .. }) if path == "shifts[0].rect"
+    ));
+    let noop = format!(
+        "{MINIMAL}\n[[shifts]]\nkind = \"dropout\"\nepoch = 0\nprobability = 0.5\n\
+         rect = [10.0, 10.0, 12.0, 12.0]\n"
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml(&noop),
+        Err(SpecError::OutOfRange { path, .. }) if path == "shifts[0].rect"
+    ));
+}
+
 // ---------------------------------------------------------------------------
 // Property: serialize → parse is the identity on valid specs
 // ---------------------------------------------------------------------------
@@ -184,6 +260,50 @@ fn arb_field(rng: &mut StdRng) -> FieldSpec {
             branching_ratio: rng.gen_range(0.0..0.95),
             scale: rng.gen_range(-2.0..2.0),
         },
+    }
+}
+
+/// A rect strictly inside the `[0, size)²` world — shift rects must
+/// intersect it (dropout) or lie inside it (migrate).
+fn arb_rect(rng: &mut StdRng, size: f64) -> (f64, f64, f64, f64) {
+    let x0 = rng.gen_range(0.0..size * 0.5);
+    let y0 = rng.gen_range(0.0..size * 0.5);
+    let x1 = rng.gen_range((x0 + size * 0.1)..size);
+    let y1 = rng.gen_range((y0 + size * 0.1)..size);
+    (x0, y0, x1, y1)
+}
+
+fn arb_shift(rng: &mut StdRng, epochs: u32, size: f64) -> ShiftSpec {
+    let epoch = rng.gen_range(0..epochs);
+    match rng.gen_range(0u8..3) {
+        0 => ShiftSpec::Participation { epoch, factor: rng.gen_range(0.0..5.0) },
+        1 => ShiftSpec::Dropout {
+            epoch,
+            probability: rng.gen_range(0.0..1.0),
+            rect: arb_rect(rng, size),
+        },
+        _ => ShiftSpec::Migrate {
+            epoch,
+            probability: rng.gen_range(0.0..1.0),
+            rect: arb_rect(rng, size),
+        },
+    }
+}
+
+fn arb_adaptive(rng: &mut StdRng) -> AdaptiveSpec {
+    AdaptiveSpec {
+        enabled: rng.gen(),
+        detector: if rng.gen() { "cusum".into() } else { "page_hinkley".into() },
+        slack: rng.gen_range(0.0..2.0),
+        threshold: rng.gen_range(0.5..50.0),
+        warmup_epochs: rng.gen_range(0u32..10),
+        cooldown_epochs: rng.gen_range(0u32..10),
+        gamma0: rng.gen_range(0.01..1.0),
+        decay_batches: rng.gen_range(1.0..200.0),
+        initial_rate: rng.gen_range(0.01..10.0),
+        budget_pool: if rng.gen() { Some(rng.gen_range(1.0..500.0)) } else { None },
+        rebuild_chains: rng.gen(),
+        demand_headroom: rng.gen_range(1.0..3.0),
     }
 }
 
@@ -236,14 +356,16 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
         })
         .collect();
     let min = rng.gen_range(0.0..5.0);
+    let epochs = rng.gen_range(1u32..100);
+    let size_km = rng.gen_range(1.0..20.0);
     ScenarioSpec {
         name: format!("prop-{}", rng.gen_range(0u32..1000)).replace('-', "_"),
         description: String::from_iter((0..rng.gen_range(0usize..20)).map(|_| {
             *['a', ' ', 'π', '"', '\\', '\n', 'z'].get(rng.gen_range(0usize..7)).unwrap()
         })),
         seed: rng.gen_range(0u64..i64::MAX as u64),
-        epochs: rng.gen_range(1u32..100),
-        grid: GridSpec { size_km: rng.gen_range(1.0..20.0), side: rng.gen_range(1u32..12) },
+        epochs,
+        grid: GridSpec { size_km, side: rng.gen_range(1u32..12) },
         population: PopulationSpec {
             size: rng.gen_range(1u32..5000),
             human_fraction: rng.gen_range(0.0..1.0),
@@ -281,6 +403,8 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
         },
         attributes,
         queries,
+        shifts: (0..rng.gen_range(0usize..4)).map(|_| arb_shift(rng, epochs, size_km)).collect(),
+        adaptive: if rng.gen() { Some(arb_adaptive(rng)) } else { None },
     }
 }
 
