@@ -29,14 +29,19 @@ pub fn water_fill(demands: &[f64], pool: f64) -> Vec<f64> {
     if n == 0 || pool == 0.0 {
         return alloc;
     }
-    // Indices sorted by cap ascending (stable: ties keep input order, so
-    // the outcome is deterministic).
-    let mut order: Vec<usize> = (0..n).collect();
+    // Only *positive* caps participate in leveling, sorted ascending
+    // (stable: ties keep input order, so the outcome is deterministic).
+    // Zeroed demands (negative/NaN inputs) consume no budget and must not
+    // count toward the `remaining / demands-left` divisor: a divisor that
+    // includes them deflates the water level and can strand pool budget
+    // below `min(pool, Σ demands)`.
+    let mut order: Vec<usize> = (0..n).filter(|i| caps[*i] > 0.0).collect();
     order.sort_by(|a, b| caps[*a].total_cmp(&caps[*b]).then(a.cmp(b)));
+    let live = order.len();
 
     let mut remaining = pool;
     for (filled, &i) in order.iter().enumerate() {
-        let level = remaining / (n - filled) as f64;
+        let level = remaining / (live - filled) as f64;
         if caps[i] <= level {
             // This query's demand sits below the water level: satisfy it
             // fully and re-level the rest.
@@ -86,6 +91,59 @@ mod tests {
     fn zero_and_negative_demands_get_nothing() {
         let a = water_fill(&[0.0, -3.0, f64::NAN, 5.0], 100.0);
         assert_eq!(a, vec![0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_caps_do_not_deflate_the_water_level_under_scarcity() {
+        // Regression: mixing zeroed (negative/NaN) demands with positive
+        // ones under a scarce pool. The zeroed entries must neither
+        // receive budget nor count toward the leveling divisor — the
+        // positive demands split the whole pool.
+        let a = water_fill(&[0.0, f64::NAN, 8.0, -1.0, 6.0], 10.0);
+        assert_eq!(a, vec![0.0, 0.0, 5.0, 0.0, 5.0]);
+        assert!((total(&a) - 10.0).abs() < 1e-12, "pool budget stranded: {a:?}");
+
+        // All-zero demands: nothing to allocate, nothing panics.
+        assert_eq!(water_fill(&[0.0, -2.0, f64::NAN], 10.0), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn allocations_always_exhaust_min_of_pool_and_demand() {
+        // Deterministic sweep over demand mixes (including zeros, NaN,
+        // and negatives) and pool sizes: the allocator must always hand
+        // out exactly `min(pool, Σ sanitized demands)` — no stranding,
+        // no overdraw — respect every cap, and starve every zeroed
+        // demand.
+        let mut rng = craqr_stats::seeded_rng(0xA110C);
+        use rand::Rng;
+        for _ in 0..500 {
+            let n = rng.gen_range(0usize..8);
+            let demands: Vec<f64> = (0..n)
+                .map(|_| match rng.gen_range(0u8..5) {
+                    0 => 0.0,
+                    1 => -rng.gen_range(0.0..10.0),
+                    2 => f64::NAN,
+                    _ => rng.gen_range(0.01..20.0),
+                })
+                .collect();
+            let pool = rng.gen_range(0.0..40.0);
+            let alloc = water_fill(&demands, pool);
+            assert_eq!(alloc.len(), demands.len());
+            let cap_sum: f64 = demands.iter().filter(|d| d.is_finite() && **d > 0.0).sum();
+            let want = pool.min(cap_sum);
+            let got = total(&alloc);
+            assert!(
+                (got - want).abs() < 1e-9 * (1.0 + want),
+                "allocated {got}, want min(pool={pool}, Σcaps={cap_sum})={want} for {demands:?}"
+            );
+            for (d, a) in demands.iter().zip(&alloc) {
+                if d.is_finite() && *d > 0.0 {
+                    assert!(*a <= d + 1e-12, "over-cap: {a} > {d}");
+                } else {
+                    assert_eq!(*a, 0.0, "zeroed demand got budget: {demands:?} → {alloc:?}");
+                }
+            }
+        }
     }
 
     #[test]

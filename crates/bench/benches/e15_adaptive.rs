@@ -98,15 +98,16 @@ fn main() {
     for rep in 0..reps {
         let time_static = |best: &mut f64| {
             let t = thread_busy_ns();
-            let (report, _) = static_runner.run_full(ExecMode::Serial, 1500).expect("static run");
+            let out = static_runner.run_full(ExecMode::Serial, 1500).expect("static run");
+            let report = out.report;
             let secs = thread_busy_ns().saturating_sub(t) as f64 * 1e-9;
             *best = best.min(secs);
             (report, secs)
         };
         let time_adaptive = |best: &mut f64| {
             let t = thread_busy_ns();
-            let (report, trace) =
-                adaptive_runner.run_full(ExecMode::Serial, 1500).expect("adaptive run");
+            let out = adaptive_runner.run_full(ExecMode::Serial, 1500).expect("adaptive run");
+            let (report, trace) = (out.report, out.trace);
             let secs = thread_busy_ns().saturating_sub(t) as f64 * 1e-9;
             *best = best.min(secs);
             (report, trace.expect("adaptive trace"), secs)

@@ -107,6 +107,42 @@ impl RequestResponseHandler {
         stats
     }
 
+    /// The crowd-detached twin of
+    /// [`RequestResponseHandler::dispatch_epoch`], for replaying a
+    /// recorded run: budgets are pruned and drawn **identically** to a
+    /// live dispatch (so the handler's state evolves bit-for-bit the same
+    /// way), but no request is sent anywhere — the crowd-side outcome
+    /// `sent` comes from the run log instead of a live crowd.
+    pub fn dispatch_epoch_detached(
+        &mut self,
+        demands: &[(CellId, AttributeId, f64)],
+        sent: u64,
+    ) -> DispatchStats {
+        let live: std::collections::HashSet<(CellId, AttributeId)> =
+            demands.iter().map(|(c, a, _)| (*c, *a)).collect();
+        self.budgets.retain(|k, _| live.contains(k));
+        self.incentives.retain(|k, _| live.contains(k));
+
+        let mut requested = 0u64;
+        for (cell, attr, _rate) in demands {
+            let key = (*cell, *attr);
+            let budget =
+                self.budgets.entry(key).or_insert_with(|| Budget::new(self.initial_budget));
+            let n = budget.draw_requests();
+            if n == 0 {
+                continue;
+            }
+            // The live path materializes the incentive entry here; mirror
+            // it so replayed and live handler states stay identical.
+            let _ = self.incentives.entry(key).or_default().current(&self.incentive_policy);
+            requested += n as u64;
+        }
+        let stats = DispatchStats { requested, sent };
+        self.total_requested += stats.requested;
+        self.total_sent += stats.sent;
+        stats
+    }
+
     /// Applies one budget-tuning round from the flatten reports
     /// (Section V "Budget Tuning") and escalates incentives on exhaustion
     /// (Section VI).

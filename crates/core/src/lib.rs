@@ -61,6 +61,7 @@ pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp}
 pub use plan::{Fabricator, PlannerConfig, TopologyShape};
 pub use query::{AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 pub use server::{
-    ControlAction, ControlHook, CraqrServer, EpochObservation, EpochReport, ServerConfig,
+    ControlAction, ControlHook, CraqrServer, EpochInputsRecord, EpochObservation, EpochReport,
+    EpochTap, ReplayInputs, ServerConfig,
 };
 pub use tuple::CrowdTuple;

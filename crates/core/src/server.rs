@@ -8,7 +8,7 @@ use crate::incentive::IncentivePolicy;
 use crate::plan::{Fabricator, PlanError, PlannerConfig};
 use crate::query::{parse_query, AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 use crate::tuple::{CrowdTuple, TupleIdGen};
-use craqr_sensing::{AttributeId, Crowd, Field};
+use craqr_sensing::{AttributeId, Crowd, Field, SensorResponse};
 use craqr_stats::sub_rng;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -230,6 +230,52 @@ pub trait ControlHook {
     fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction>;
 }
 
+/// Everything one epoch consumed from outside the server, plus what the
+/// control seam injected back — the unit of record for an event-sourced
+/// run log. Handed to an [`EpochTap`] after the epoch completes.
+///
+/// `responses` are the crowd responses exactly as drained — **before**
+/// error injection, mitigation, and id assignment — because that is the
+/// seam where the outside world ends: everything downstream (corruption
+/// included) is a deterministic function of `(config, seed, responses)`.
+pub struct EpochInputsRecord<'a> {
+    /// The epoch's loop statistics.
+    pub report: &'a EpochReport,
+    /// Crowd responses as drained this epoch, pre-error-injection.
+    pub responses: &'a [SensorResponse],
+    /// [`ControlAction`]s the hook injected this epoch, in application
+    /// order (empty when no hook ran or the hook stayed silent).
+    pub actions: &'a [ControlAction],
+}
+
+/// The recording seam on the epoch loop — the read-only sibling of
+/// [`ControlHook`].
+///
+/// Where a hook closes a *control* loop (observe → actuate), a tap is a
+/// pure observer of the epoch's **inputs**: drained responses, dispatch
+/// outcome, injected actions. `craqr-runlog`'s recorder is the canonical
+/// implementation — it appends each record to an event-sourced log from
+/// which the run can later be replayed (crowd detached), resumed, or
+/// diffed. Taps run after the hook's actions are applied and must not
+/// mutate anything; a silent tap leaves the run bit-identical to an
+/// untapped one.
+pub trait EpochTap {
+    /// Observes one finished epoch's inputs.
+    fn on_epoch(&mut self, record: &EpochInputsRecord<'_>);
+}
+
+/// The recorded crowd-side inputs of one epoch, fed back into
+/// [`CraqrServer::run_epoch_replayed`] to re-drive the loop without a
+/// live crowd.
+pub struct ReplayInputs<'a> {
+    /// Requests the crowd actually received at dispatch (the crowd-side
+    /// outcome the detached server cannot recompute).
+    pub sent: u64,
+    /// The responses drained this epoch, pre-error-injection, exactly as
+    /// a tap recorded them.
+    pub responses: &'a [SensorResponse],
+}
+
 /// The CrAQR server: accepts declarative acquisitional queries, drives the
 /// request/response handler against a (simulated) mobile crowd, fabricates
 /// the requested streams through per-cell PMAT topologies, and adapts
@@ -248,7 +294,16 @@ pub struct CraqrServer {
 
 impl CraqrServer {
     /// Creates a server over an existing crowd.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`ServerConfig::validate`])
+    /// — a bad knob (`Sharded(0)`, inverted budget bounds, …) is rejected
+    /// here, before any epoch runs, instead of deep inside the loop.
+    #[track_caller]
     pub fn new(crowd: Crowd, config: ServerConfig) -> Self {
+        if let Err((field, message)) = config.validate() {
+            panic!("invalid server config: {field}: {message}");
+        }
         let region = crowd.region();
         Self {
             fabricator: Fabricator::new(region, config.planner),
@@ -313,22 +368,77 @@ impl CraqrServer {
     /// result and injecting [`ControlAction`]s before the next epoch —
     /// the closed-loop variant of [`CraqrServer::run_epoch`].
     pub fn run_epoch_with(&mut self, hook: Option<&mut dyn ControlHook>) -> EpochReport {
+        self.epoch_inner(None, hook, None)
+    }
+
+    /// Runs one epoch with an optional hook *and* an optional
+    /// [`EpochTap`] recording the epoch's inputs — the event-sourcing
+    /// variant of [`CraqrServer::run_epoch_with`]. A `None` tap makes
+    /// this identical to the untapped loop.
+    pub fn run_epoch_tapped(
+        &mut self,
+        hook: Option<&mut dyn ControlHook>,
+        tap: Option<&mut dyn EpochTap>,
+    ) -> EpochReport {
+        self.epoch_inner(None, hook, tap)
+    }
+
+    /// Runs one epoch from **recorded** inputs instead of the live crowd:
+    /// dispatch draws the budgets but sends nothing, the crowd is only
+    /// stepped to advance the simulation clock (use a detached —
+    /// zero-sensor — crowd so this costs nothing and drains nothing), and
+    /// the recorded responses take the place of the drained ones.
+    /// Everything downstream (error injection, mitigation, ingestion,
+    /// per-cell processing, merge, budget tuning, the control seam) runs
+    /// exactly as live, so a server re-driven from a faithful log
+    /// reproduces the live run's reports and control decisions
+    /// bit-for-bit.
+    pub fn run_epoch_replayed(
+        &mut self,
+        inputs: ReplayInputs<'_>,
+        hook: Option<&mut dyn ControlHook>,
+        tap: Option<&mut dyn EpochTap>,
+    ) -> EpochReport {
+        self.epoch_inner(Some(inputs), hook, tap)
+    }
+
+    fn epoch_inner(
+        &mut self,
+        replay: Option<ReplayInputs<'_>>,
+        hook: Option<&mut dyn ControlHook>,
+        tap: Option<&mut dyn EpochTap>,
+    ) -> EpochReport {
         let epoch = self.epoch;
         self.epoch += 1;
         let epoch_start = self.crowd.now();
 
-        // 1. Dispatch acquisition requests per materialized chain.
+        // 1. Dispatch acquisition requests per materialized chain. Under
+        // replay the budgets are drawn identically but no request exists
+        // to send; the crowd-side outcome comes from the log.
         let demands = self.fabricator.demands();
-        let dispatch =
-            self.handler.dispatch_epoch(&mut self.crowd, self.fabricator.grid(), &demands);
+        let dispatch = match &replay {
+            None => self.handler.dispatch_epoch(&mut self.crowd, self.fabricator.grid(), &demands),
+            Some(inputs) => self.handler.dispatch_epoch_detached(&demands, inputs.sent),
+        };
 
-        // 2. The world moves; responses mature.
+        // 2. The world moves; responses mature. The replay clock advances
+        // through the same sequence of `step` calls so accumulated
+        // simulation time stays bit-identical to the live run.
         let dt = self.config.planner.batch_duration / self.config.mobility_substeps as f64;
         for _ in 0..self.config.mobility_substeps {
             self.crowd.step(dt);
         }
-        let mut responses = self.crowd.drain_responses();
+        let mut responses = match &replay {
+            None => self.crowd.drain_responses(),
+            Some(inputs) => inputs.responses.to_vec(),
+        };
         let n_responses = responses.len();
+        // The tap sees responses exactly as drained, before error
+        // injection mutates them in place. Clone only when someone is
+        // listening *and* there is no replay input to borrow from — a
+        // replayed epoch's raw responses are the inputs themselves.
+        let raw_responses =
+            if tap.is_some() && replay.is_none() { Some(responses.clone()) } else { None };
 
         // 3. Error injection + mitigation (Section VI).
         self.config.error_model.corrupt_batch(&mut responses, &mut self.error_rng);
@@ -368,8 +478,9 @@ impl CraqrServer {
 
         // 8. Observation/actuation seam: the hook sees the epoch, the
         // server applies whatever it decides.
+        let mut actions: Vec<ControlAction> = Vec::new();
         if let Some(hook) = hook {
-            let actions = hook.on_epoch(&EpochObservation {
+            actions = hook.on_epoch(&EpochObservation {
                 report: &report,
                 delivered: &fresh,
                 fabricator: &self.fabricator,
@@ -377,8 +488,8 @@ impl CraqrServer {
                 epoch_start,
                 epoch_end: self.crowd.now(),
             });
-            for action in actions {
-                match action {
+            for action in &actions {
+                match *action {
                     ControlAction::SetBudget { cell, attr, requests_per_epoch } => {
                         self.handler.set_budget(cell, attr, requests_per_epoch);
                     }
@@ -403,6 +514,17 @@ impl CraqrServer {
                     }
                 }
             }
+        }
+
+        // 9. Recording seam: the tap sees the epoch's inputs (and the
+        // actions just applied) after everything else settled.
+        if let Some(tap) = tap {
+            let raw: &[SensorResponse] = match (&replay, &raw_responses) {
+                (Some(inputs), _) => inputs.responses,
+                (None, Some(raw)) => raw,
+                (None, None) => &[],
+            };
+            tap.on_epoch(&EpochInputsRecord { report: &report, responses: raw, actions: &actions });
         }
 
         for (qid, out) in fresh {
@@ -629,6 +751,102 @@ mod tests {
             s.take_output(qid).iter().map(|t| t.id).collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true), "a silent hook must not perturb the loop");
+    }
+
+    /// A tap that clones everything it sees — the in-memory skeleton of
+    /// the `craqr-runlog` recorder.
+    #[derive(Default)]
+    struct CollectTap {
+        epochs: Vec<(u64, Vec<craqr_sensing::SensorResponse>, Vec<ControlAction>)>,
+    }
+    impl EpochTap for CollectTap {
+        fn on_epoch(&mut self, record: &EpochInputsRecord<'_>) {
+            self.epochs.push((
+                record.report.dispatch.sent,
+                record.responses.to_vec(),
+                record.actions.to_vec(),
+            ));
+        }
+    }
+
+    #[test]
+    fn tapped_run_is_identical_to_untapped() {
+        let run = |tap: Option<&mut CollectTap>| {
+            let mut s = server(300);
+            let qid = s.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5").unwrap();
+            let mut tap = tap;
+            for _ in 0..6 {
+                match tap.as_deref_mut() {
+                    Some(t) => s.run_epoch_tapped(None, Some(t)),
+                    None => s.run_epoch(),
+                };
+            }
+            s.take_output(qid).iter().map(|t| t.id).collect::<Vec<_>>()
+        };
+        let mut tap = CollectTap::default();
+        assert_eq!(run(None), run(Some(&mut tap)), "a tap must not perturb the loop");
+        assert_eq!(tap.epochs.len(), 6);
+        assert!(tap.epochs.iter().any(|(_, r, _)| !r.is_empty()), "tap saw no responses");
+    }
+
+    #[test]
+    fn replayed_epochs_reproduce_the_live_run_without_a_crowd() {
+        // Live run, tapped: collect each epoch's crowd-side inputs.
+        let mut live = server(400);
+        let qid = live.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.8").unwrap();
+        let mut tap = CollectTap::default();
+        let mut live_reports = Vec::new();
+        for _ in 0..8 {
+            live_reports.push(live.run_epoch_tapped(None, Some(&mut tap)));
+        }
+        let live_out: Vec<u64> = live.take_output(qid).iter().map(|t| t.id).collect();
+
+        // Replay into a server over a *detached* (zero-sensor) crowd.
+        let detached = Crowd::new(CrowdConfig {
+            region: Rect::with_size(4.0, 4.0),
+            population: PopulationConfig {
+                size: 0,
+                placement: Placement::Uniform,
+                mobility: Mobility::RandomWalk { sigma: 0.2 },
+                human_fraction: 0.0,
+            },
+            seed: 11,
+        });
+        let mut replayed = CraqrServer::new(detached, ServerConfig::default());
+        replayed.register_attribute("rain", true, Box::new(RainFront::new(2.0, 0.0, 2.0)));
+        replayed.register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(21.0))));
+        let rqid = replayed.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.8").unwrap();
+        assert_eq!(qid, rqid, "query planning must not depend on the crowd");
+
+        for (live_report, (sent, responses, _)) in live_reports.iter().zip(&tap.epochs) {
+            let r =
+                replayed.run_epoch_replayed(ReplayInputs { sent: *sent, responses }, None, None);
+            assert_eq!(r.epoch, live_report.epoch);
+            assert_eq!(r.dispatch, live_report.dispatch, "epoch {}", r.epoch);
+            assert_eq!(r.responses, live_report.responses, "epoch {}", r.epoch);
+            assert_eq!(r.ingested, live_report.ingested, "epoch {}", r.epoch);
+            assert_eq!(r.delivered, live_report.delivered, "epoch {}", r.epoch);
+            assert_eq!(r.tuning, live_report.tuning, "epoch {}", r.epoch);
+            assert_eq!(r.exec.routed, live_report.exec.routed, "epoch {}", r.epoch);
+            assert!((r.now - live_report.now).abs() == 0.0, "replay clock drifted");
+        }
+        let replay_out: Vec<u64> = replayed.take_output(qid).iter().map(|t| t.id).collect();
+        assert_eq!(live_out, replay_out, "replayed tuple stream differs from live");
+        // The handler state converged identically too.
+        let cell = craqr_geom::CellId::new(0, 0);
+        let attr = live.catalog().lookup("temp").unwrap();
+        assert_eq!(
+            live.handler().budget_of(cell, attr),
+            replayed.handler().budget_of(cell, attr),
+            "budget state diverged under replay"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exec.shards")]
+    fn zero_shard_config_is_rejected_at_construction() {
+        let config = ServerConfig { exec: ExecMode::Sharded(0), ..ServerConfig::default() };
+        let _ = CraqrServer::new(crowd(10), config);
     }
 
     #[test]

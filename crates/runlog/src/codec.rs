@@ -1,0 +1,609 @@
+//! The deterministic text codec for [`RunLog`]s.
+//!
+//! Line-oriented, dense (no blank lines), and canonical: rendering the
+//! same log twice yields identical bytes, and `parse(render(log)) == log`
+//! for every well-formed log (floats print in shortest-roundtrip form).
+//! The parser is *strict* — record kinds must appear in their canonical
+//! order inside a block, epoch indices must be gap-free from zero, and
+//! every checksum (per-epoch chain + whole-document trailer) is verified
+//! — so a truncated, reordered, or hand-edited log is rejected with a
+//! line-precise error instead of silently replaying garbage.
+
+use crate::log::{
+    ActionRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent, ValueRecord, RUNLOG_VERSION,
+};
+use craqr_stats::fnv1a64;
+use std::fmt;
+
+/// A parse/integrity error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// 1-based line of the offending input (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(line: usize, message: impl Into<String>) -> CodecError {
+    CodecError { line, message: message.into() }
+}
+
+/// The workspace's shared shortest-roundtrip float formatter (also used
+/// by the scenario codec): renders so parsing gives back identical bits.
+pub(crate) use craqr_stats::format_float as fmt_f64;
+
+fn parse_f64(s: &str, line: usize, what: &str) -> Result<f64, CodecError> {
+    s.parse::<f64>().map_err(|_| err(line, format!("{what}: not a float: '{s}'")))
+}
+
+fn parse_u64(s: &str, line: usize, what: &str) -> Result<u64, CodecError> {
+    s.parse::<u64>().map_err(|_| err(line, format!("{what}: not an unsigned integer: '{s}'")))
+}
+
+fn fmt_crc(crc: u64) -> String {
+    format!("{crc:#018x}")
+}
+
+fn parse_crc(s: &str, line: usize, what: &str) -> Result<u64, CodecError> {
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| err(line, format!("{what}: expected 0x-prefixed hex, got '{s}'")))?;
+    u64::from_str_radix(hex, 16).map_err(|_| err(line, format!("{what}: bad hex '{s}'")))
+}
+
+/// Strips `key=` from a token.
+fn kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, CodecError> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| err(line, format!("expected '{key}=…', got '{token}'")))
+}
+
+fn parse_rect(s: &str, line: usize) -> Result<(f64, f64, f64, f64), CodecError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(err(line, format!("rect needs 4 comma-separated floats, got '{s}'")));
+    }
+    Ok((
+        parse_f64(parts[0], line, "rect.x0")?,
+        parse_f64(parts[1], line, "rect.y0")?,
+        parse_f64(parts[2], line, "rect.x1")?,
+        parse_f64(parts[3], line, "rect.y1")?,
+    ))
+}
+
+fn fmt_rect(r: &(f64, f64, f64, f64)) -> String {
+    format!("{},{},{},{}", fmt_f64(r.0), fmt_f64(r.1), fmt_f64(r.2), fmt_f64(r.3))
+}
+
+fn parse_cell(s: &str, line: usize) -> Result<(u32, u32), CodecError> {
+    let (q, r) =
+        s.split_once(',').ok_or_else(|| err(line, format!("cell needs 'q,r', got '{s}'")))?;
+    let q = q.parse::<u32>().map_err(|_| err(line, format!("cell.q: bad integer '{q}'")))?;
+    let r = r.parse::<u32>().map_err(|_| err(line, format!("cell.r: bad integer '{r}'")))?;
+    Ok((q, r))
+}
+
+// ---------------------------------------------------------------------------
+// Line renderers (shared with the diff module so divergences print in the
+// exact on-disk syntax)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn shift_line(s: &ShiftEvent) -> String {
+    match s {
+        ShiftEvent::Participation { factor } => {
+            format!("shift participation factor={}", fmt_f64(*factor))
+        }
+        ShiftEvent::Dropout { probability, rect } => {
+            format!("shift dropout probability={} rect={}", fmt_f64(*probability), fmt_rect(rect))
+        }
+        ShiftEvent::Migrate { probability, rect } => {
+            format!("shift migrate probability={} rect={}", fmt_f64(*probability), fmt_rect(rect))
+        }
+    }
+}
+
+pub(crate) fn response_line(r: &ResponseRecord) -> String {
+    let value = match r.value {
+        ValueRecord::Bool(b) => format!("b{b}"),
+        ValueRecord::Float(f) => format!("f{}", fmt_f64(f)),
+    };
+    format!(
+        "r s={} a={} t={} x={} y={} v={} issued={}",
+        r.sensor,
+        r.attr,
+        fmt_f64(r.t),
+        fmt_f64(r.x),
+        fmt_f64(r.y),
+        value,
+        fmt_f64(r.issued_at),
+    )
+}
+
+pub(crate) fn action_line(a: &ActionRecord) -> String {
+    match a {
+        ActionRecord::SetBudget { cell, attr, budget } => {
+            format!("act set cell={},{} attr={} budget={}", cell.0, cell.1, attr, fmt_f64(*budget))
+        }
+        ActionRecord::RebuildChain { cell, attr } => {
+            format!("act rebuild cell={},{} attr={}", cell.0, cell.1, attr)
+        }
+    }
+}
+
+fn parse_shift_line(line_no: usize, rest: &str) -> Result<ShiftEvent, CodecError> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    match tokens.first().copied() {
+        Some("participation") if tokens.len() == 2 => Ok(ShiftEvent::Participation {
+            factor: parse_f64(kv(tokens[1], "factor", line_no)?, line_no, "factor")?,
+        }),
+        Some("dropout") if tokens.len() == 3 => Ok(ShiftEvent::Dropout {
+            probability: parse_f64(kv(tokens[1], "probability", line_no)?, line_no, "probability")?,
+            rect: parse_rect(kv(tokens[2], "rect", line_no)?, line_no)?,
+        }),
+        Some("migrate") if tokens.len() == 3 => Ok(ShiftEvent::Migrate {
+            probability: parse_f64(kv(tokens[1], "probability", line_no)?, line_no, "probability")?,
+            rect: parse_rect(kv(tokens[2], "rect", line_no)?, line_no)?,
+        }),
+        _ => Err(err(line_no, format!("malformed shift record: 'shift {rest}'"))),
+    }
+}
+
+fn parse_response_line(line_no: usize, rest: &str) -> Result<ResponseRecord, CodecError> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    if tokens.len() != 7 {
+        return Err(err(line_no, format!("response record needs 7 fields, got 'r {rest}'")));
+    }
+    let value_token = kv(tokens[5], "v", line_no)?;
+    let value = if let Some(b) = value_token.strip_prefix('b') {
+        ValueRecord::Bool(
+            b.parse::<bool>()
+                .map_err(|_| err(line_no, format!("v: bad boolean '{value_token}'")))?,
+        )
+    } else if let Some(f) = value_token.strip_prefix('f') {
+        ValueRecord::Float(parse_f64(f, line_no, "v")?)
+    } else {
+        return Err(err(line_no, format!("v: expected b<bool> or f<float>, got '{value_token}'")));
+    };
+    Ok(ResponseRecord {
+        sensor: parse_u64(kv(tokens[0], "s", line_no)?, line_no, "s")?,
+        attr: parse_u64(kv(tokens[1], "a", line_no)?, line_no, "a")?
+            .try_into()
+            .map_err(|_| err(line_no, "a: attribute id does not fit in u16".to_string()))?,
+        t: parse_f64(kv(tokens[2], "t", line_no)?, line_no, "t")?,
+        x: parse_f64(kv(tokens[3], "x", line_no)?, line_no, "x")?,
+        y: parse_f64(kv(tokens[4], "y", line_no)?, line_no, "y")?,
+        value,
+        issued_at: parse_f64(kv(tokens[6], "issued", line_no)?, line_no, "issued")?,
+    })
+}
+
+fn parse_action_line(line_no: usize, rest: &str) -> Result<ActionRecord, CodecError> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    let attr_of = |token: &str| -> Result<u16, CodecError> {
+        parse_u64(kv(token, "attr", line_no)?, line_no, "attr")?
+            .try_into()
+            .map_err(|_| err(line_no, "attr: attribute id does not fit in u16".to_string()))
+    };
+    match tokens.first().copied() {
+        Some("set") if tokens.len() == 4 => Ok(ActionRecord::SetBudget {
+            cell: parse_cell(kv(tokens[1], "cell", line_no)?, line_no)?,
+            attr: attr_of(tokens[2])?,
+            budget: parse_f64(kv(tokens[3], "budget", line_no)?, line_no, "budget")?,
+        }),
+        Some("rebuild") if tokens.len() == 3 => Ok(ActionRecord::RebuildChain {
+            cell: parse_cell(kv(tokens[1], "cell", line_no)?, line_no)?,
+            attr: attr_of(tokens[2])?,
+        }),
+        _ => Err(err(line_no, format!("malformed action record: 'act {rest}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Render
+// ---------------------------------------------------------------------------
+
+/// Renders the canonical text form of a log. Deterministic: the same log
+/// always yields identical bytes.
+pub fn render(log: &RunLog) -> String {
+    use std::fmt::Write;
+    let spec = if log.spec_toml.is_empty() || log.spec_toml.ends_with('\n') {
+        log.spec_toml.clone()
+    } else {
+        format!("{}\n", log.spec_toml)
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "# craqr runlog v{RUNLOG_VERSION}");
+    let _ = writeln!(s, "scenario: {}", log.scenario);
+    let _ = writeln!(s, "seed: {}", log.seed);
+    let _ = writeln!(s, "spec-lines: {}", spec.matches('\n').count());
+    s.push_str(&spec);
+    // The chain seed covers the header: an epoch checksum therefore also
+    // pins the spec and seed it was recorded under.
+    let mut chain = fnv1a64(s.as_bytes());
+    for e in &log.epochs {
+        let mut block = String::new();
+        let _ = writeln!(block, "[epoch {}]", e.epoch);
+        for shift in &e.shifts {
+            let _ = writeln!(block, "{}", shift_line(shift));
+        }
+        let _ = writeln!(block, "dispatch requested={} sent={}", e.requested, e.sent);
+        for r in &e.responses {
+            let _ = writeln!(block, "{}", response_line(r));
+        }
+        for a in &e.actions {
+            let _ = writeln!(block, "{}", action_line(a));
+        }
+        chain = fnv1a64(format!("{}\n{block}", fmt_crc(chain)).as_bytes());
+        s.push_str(&block);
+        let _ = writeln!(s, "end epoch={} crc={}", e.epoch, fmt_crc(chain));
+    }
+    let _ = writeln!(s, "[final]");
+    if let Some(c) = log.report_checksum {
+        let _ = writeln!(s, "report-checksum: {}", fmt_crc(c));
+    }
+    if let Some(c) = log.trace_checksum {
+        let _ = writeln!(s, "trace-checksum: {}", fmt_crc(c));
+    }
+    let _ = writeln!(s, "checksum: {}", fmt_crc(fnv1a64(s.as_bytes())));
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Parse
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn line_no(&self) -> usize {
+        self.pos // pos is the index of the *next* line; after next() it is 1-based current
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let line = self.lines.get(self.pos).copied();
+        if line.is_some() {
+            self.pos += 1;
+        }
+        line
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn expect_prefix(&mut self, prefix: &str) -> Result<&'a str, CodecError> {
+        match self.next() {
+            Some(line) => line
+                .strip_prefix(prefix)
+                .ok_or_else(|| err(self.line_no(), format!("expected '{prefix}…', got '{line}'"))),
+            None => Err(err(0, format!("unexpected end of log, expected '{prefix}…'"))),
+        }
+    }
+}
+
+/// Parses (and integrity-checks) a canonical text log: the version stamp,
+/// every per-epoch chained checksum, and the whole-document trailer must
+/// all verify, and epoch indices must be gap-free from zero.
+pub fn parse(src: &str) -> Result<RunLog, CodecError> {
+    let mut cur = Cursor { lines: src.lines().collect(), pos: 0 };
+
+    let version = cur.expect_prefix("# craqr runlog v")?;
+    if version.trim() != RUNLOG_VERSION.to_string() {
+        return Err(err(
+            1,
+            format!("unsupported runlog version 'v{version}' (this build reads v{RUNLOG_VERSION})"),
+        ));
+    }
+    let scenario = cur.expect_prefix("scenario: ")?.to_string();
+    let seed_str = cur.expect_prefix("seed: ")?;
+    let seed = parse_u64(seed_str, cur.line_no(), "seed")?;
+    let n_str = cur.expect_prefix("spec-lines: ")?;
+    let spec_lines = parse_u64(n_str, cur.line_no(), "spec-lines")? as usize;
+    let mut spec_toml = String::new();
+    for _ in 0..spec_lines {
+        match cur.next() {
+            Some(line) => {
+                spec_toml.push_str(line);
+                spec_toml.push('\n');
+            }
+            None => return Err(err(0, "unexpected end of log inside the embedded spec")),
+        }
+    }
+    let header: String = cur.lines[..cur.pos].iter().flat_map(|l| [l, "\n"]).collect::<String>();
+    let mut chain = fnv1a64(header.as_bytes());
+
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+    loop {
+        let line_no = cur.pos + 1;
+        let Some(line) = cur.next() else {
+            return Err(err(0, "unexpected end of log, expected '[epoch N]' or '[final]'"));
+        };
+        if line == "[final]" {
+            break;
+        }
+        let index_str =
+            line.strip_prefix("[epoch ").and_then(|rest| rest.strip_suffix(']')).ok_or_else(
+                || err(line_no, format!("expected '[epoch N]' or '[final]', got '{line}'")),
+            )?;
+        let epoch = parse_u64(index_str, line_no, "epoch index")?;
+        if epoch != epochs.len() as u64 {
+            return Err(err(
+                line_no,
+                format!(
+                    "epoch indices must be gap-free from 0: expected {}, got {epoch}",
+                    epochs.len()
+                ),
+            ));
+        }
+
+        let mut block = format!("{line}\n");
+        let mut record = EpochRecord { epoch, ..Default::default() };
+        let mut saw_dispatch = false;
+        // Strict record order inside a block: shifts, dispatch, responses,
+        // actions, end.
+        loop {
+            let line_no = cur.pos + 1;
+            let Some(line) = cur.next() else {
+                return Err(err(0, format!("unexpected end of log inside epoch {epoch}")));
+            };
+            if let Some(rest) = line.strip_prefix("end ") {
+                if !saw_dispatch {
+                    return Err(err(line_no, format!("epoch {epoch} has no dispatch line")));
+                }
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                if tokens.len() != 2 {
+                    return Err(err(line_no, format!("malformed end line: '{line}'")));
+                }
+                let end_epoch = parse_u64(kv(tokens[0], "epoch", line_no)?, line_no, "epoch")?;
+                if end_epoch != epoch {
+                    return Err(err(
+                        line_no,
+                        format!("end line closes epoch {end_epoch} inside epoch {epoch}"),
+                    ));
+                }
+                let recorded = parse_crc(kv(tokens[1], "crc", line_no)?, line_no, "crc")?;
+                chain = fnv1a64(format!("{}\n{block}", fmt_crc(chain)).as_bytes());
+                if recorded != chain {
+                    return Err(err(
+                        line_no,
+                        format!(
+                            "epoch {epoch} checksum mismatch: log says {}, content hashes to {} \
+                             (the log was truncated, reordered, or edited)",
+                            fmt_crc(recorded),
+                            fmt_crc(chain)
+                        ),
+                    ));
+                }
+                break;
+            }
+            block.push_str(line);
+            block.push('\n');
+            if let Some(rest) = line.strip_prefix("shift ") {
+                if saw_dispatch {
+                    return Err(err(line_no, "shift records must precede the dispatch line"));
+                }
+                record.shifts.push(parse_shift_line(line_no, rest)?);
+            } else if let Some(rest) = line.strip_prefix("dispatch ") {
+                if saw_dispatch {
+                    return Err(err(line_no, "duplicate dispatch line in one epoch"));
+                }
+                saw_dispatch = true;
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                if tokens.len() != 2 {
+                    return Err(err(line_no, format!("malformed dispatch line: '{line}'")));
+                }
+                record.requested =
+                    parse_u64(kv(tokens[0], "requested", line_no)?, line_no, "requested")?;
+                record.sent = parse_u64(kv(tokens[1], "sent", line_no)?, line_no, "sent")?;
+            } else if let Some(rest) = line.strip_prefix("r ") {
+                if !saw_dispatch {
+                    return Err(err(line_no, "response records must follow the dispatch line"));
+                }
+                if !record.actions.is_empty() {
+                    return Err(err(line_no, "response records must precede action records"));
+                }
+                record.responses.push(parse_response_line(line_no, rest)?);
+            } else if let Some(rest) = line.strip_prefix("act ") {
+                if !saw_dispatch {
+                    return Err(err(line_no, "action records must follow the dispatch line"));
+                }
+                record.actions.push(parse_action_line(line_no, rest)?);
+            } else {
+                return Err(err(line_no, format!("unrecognized record line: '{line}'")));
+            }
+        }
+        epochs.push(record);
+    }
+
+    // [final] block.
+    let mut report_checksum = None;
+    let mut trace_checksum = None;
+    if let Some(line) = cur.peek() {
+        if let Some(rest) = line.strip_prefix("report-checksum: ") {
+            report_checksum = Some(parse_crc(rest, cur.pos + 1, "report-checksum")?);
+            cur.next();
+        }
+    }
+    if let Some(line) = cur.peek() {
+        if let Some(rest) = line.strip_prefix("trace-checksum: ") {
+            trace_checksum = Some(parse_crc(rest, cur.pos + 1, "trace-checksum")?);
+            cur.next();
+        }
+    }
+    let checksum_line_no = cur.pos + 1;
+    let recorded = parse_crc(cur.expect_prefix("checksum: ")?, checksum_line_no, "checksum")?;
+    let body: String = cur.lines[..cur.pos - 1].iter().flat_map(|l| [l, "\n"]).collect::<String>();
+    let actual = fnv1a64(body.as_bytes());
+    if recorded != actual {
+        return Err(err(
+            checksum_line_no,
+            format!(
+                "document checksum mismatch: log says {}, content hashes to {}",
+                fmt_crc(recorded),
+                fmt_crc(actual)
+            ),
+        ));
+    }
+    // Nothing may follow the trailer (whitespace-only lines — a stray
+    // final newline from an editor — are tolerated): anything else is
+    // unchecksummed content masquerading as part of the log.
+    while let Some(extra) = cur.next() {
+        if !extra.trim().is_empty() {
+            return Err(err(cur.line_no(), format!("trailing content after checksum: '{extra}'")));
+        }
+    }
+
+    Ok(RunLog { scenario, seed, spec_toml, epochs, report_checksum, trace_checksum })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunLog {
+        RunLog {
+            scenario: "unit".into(),
+            seed: 4101,
+            spec_toml: "name = \"unit\"\nseed = 4101\n".into(),
+            epochs: vec![
+                EpochRecord {
+                    epoch: 0,
+                    shifts: vec![ShiftEvent::Participation { factor: 0.2 }],
+                    requested: 64,
+                    sent: 64,
+                    responses: vec![
+                        ResponseRecord {
+                            sensor: 12,
+                            attr: 0,
+                            t: 3.25,
+                            x: 1.2,
+                            y: 0.5,
+                            value: ValueRecord::Float(18.25),
+                            issued_at: 0.0,
+                        },
+                        ResponseRecord {
+                            sensor: 7,
+                            attr: 1,
+                            t: 4.0,
+                            x: 0.1,
+                            y: 3.9,
+                            value: ValueRecord::Bool(true),
+                            issued_at: 0.0,
+                        },
+                    ],
+                    actions: vec![],
+                },
+                EpochRecord {
+                    epoch: 1,
+                    shifts: vec![ShiftEvent::Dropout {
+                        probability: 0.5,
+                        rect: (0.0, 0.0, 2.0, 2.0),
+                    }],
+                    requested: 96,
+                    sent: 90,
+                    responses: vec![],
+                    actions: vec![
+                        ActionRecord::SetBudget { cell: (1, 0), attr: 0, budget: 3.5 },
+                        ActionRecord::RebuildChain { cell: (1, 0), attr: 0 },
+                    ],
+                },
+            ],
+            report_checksum: Some(0xDEAD),
+            trace_checksum: None,
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parses_back() {
+        let log = sample();
+        let text = render(&log);
+        assert_eq!(text, render(&log));
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn tampering_with_any_epoch_is_detected() {
+        let text = render(&sample());
+        // Flip one response value deep inside epoch 0.
+        let tampered = text.replace("v=f18.25", "v=f19.25");
+        assert_ne!(text, tampered);
+        let e = parse(&tampered).unwrap_err();
+        assert!(e.message.contains("checksum mismatch"), "{e}");
+
+        // Drop epoch 1's block entirely (splice epoch 0's end straight to
+        // [final]): the chain breaks at the document trailer.
+        let start = text.find("[epoch 1]").unwrap();
+        let end = text.find("[final]").unwrap();
+        let truncated = format!("{}{}", &text[..start], &text[end..]);
+        assert!(parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn version_and_structure_are_enforced() {
+        let text = render(&sample());
+        let future = text.replace("# craqr runlog v1", "# craqr runlog v2");
+        let e = parse(&future).unwrap_err();
+        assert!(e.message.contains("unsupported runlog version"), "{e}");
+        assert_eq!(e.line, 1);
+
+        let reordered = text.replace("[epoch 1]", "[epoch 7]");
+        let e = parse(&reordered).unwrap_err();
+        assert!(e.message.contains("gap-free"), "{e}");
+
+        assert!(parse("").is_err());
+        assert!(parse("# craqr runlog v1\n").is_err());
+
+        // Trailing garbage is rejected even when a blank line precedes it
+        // — nothing unchecksummed may ride along after the trailer.
+        let annotated = format!("{text}\nTAMPERED ANNOTATION\n");
+        let e = parse(&annotated).unwrap_err();
+        assert!(e.message.contains("trailing content"), "{e}");
+        // A stray final newline alone stays tolerated.
+        assert!(parse(&format!("{text}\n")).is_ok());
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let log = RunLog {
+            scenario: "empty".into(),
+            seed: 0,
+            spec_toml: String::new(),
+            epochs: vec![],
+            report_checksum: None,
+            trace_checksum: None,
+        };
+        let text = render(&log);
+        assert_eq!(parse(&text).unwrap(), log);
+    }
+
+    #[test]
+    fn floats_round_trip_in_shortest_form() {
+        for f in [0.1, -0.0, 1.0, 1e-300, f64::MAX, 123_456_789.123_456_79, 2.5e-17] {
+            let s = fmt_f64(f);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} → '{s}' → {back}");
+        }
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(-0.0), "-0.0");
+    }
+
+    #[test]
+    fn checksum_matches_trailer_line() {
+        let log = sample();
+        let text = render(&log);
+        assert!(text.ends_with(&format!("checksum: {}\n", fmt_crc(log.checksum()))));
+    }
+}

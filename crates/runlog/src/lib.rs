@@ -1,0 +1,55 @@
+//! # craqr-runlog — the event-sourced epoch log.
+//!
+//! A crowdsensing acquisition loop is only trustworthy at scale if a run
+//! can be reconstructed and audited after the fact. This crate supplies
+//! the missing subsystem: an **append-only, versioned, checksummed log of
+//! every epoch's inputs** — the crowd responses as drained, the scripted
+//! regime shifts, the dispatch outcome, and the control actions the
+//! adaptive seam injected — recorded through the
+//! [`craqr_core::EpochTap`] seam on the epoch loop.
+//!
+//! Everything *downstream* of those inputs (error injection, mitigation,
+//! ingestion, per-cell processing, budget tuning, the controller's
+//! estimates and replans) is a deterministic function of
+//! `(spec, seed, inputs)`, so the log is a complete event source:
+//!
+//! - **replay** — re-drive a server from the log with the crowd detached
+//!   ([`craqr_core::CraqrServer::run_epoch_replayed`]) and reproduce the
+//!   live run's reports, traces, and decisions bit-for-bit, serial or
+//!   sharded (the scenario harness wires this up end to end);
+//! - **resume** — truncate at epoch *k* ([`RunLog::truncated`]), rebuild
+//!   state, and continue live;
+//! - **diff** — structurally compare two logs epoch by epoch with
+//!   first-divergence reporting ([`diff_logs`]).
+//!
+//! # Format
+//!
+//! The codec is a deterministic, line-oriented text format in the style
+//! of `craqr_scenario::value` (the workspace's vendored `serde` is a
+//! no-op, so encoding is in-crate). Three integrity layers:
+//!
+//! 1. a version stamp on line one (`# craqr runlog v1`) — unknown
+//!    versions are rejected, not guessed at;
+//! 2. a **chained** FNV-1a checksum per epoch block (each `end … crc=`
+//!    line hashes its block *and* the previous block's checksum, seeded
+//!    from the header), so truncating, reordering, or editing any epoch
+//!    invalidates every subsequent line — the append-only discipline is
+//!    mechanically checkable;
+//! 3. a whole-document `checksum:` trailer, same contract as scenario
+//!    reports and adaptive traces.
+//!
+//! Floats render in shortest-roundtrip form, so `parse(render(log)) ==
+//! log` exactly (proptested in `tests/properties.rs`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod diff;
+pub mod log;
+pub mod record;
+
+pub use codec::CodecError;
+pub use diff::{diff_logs, EpochDiff, LogDiff};
+pub use log::{ActionRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent, ValueRecord};
+pub use record::RunLogRecorder;

@@ -1,0 +1,289 @@
+//! The run-log data model: one record per epoch, holding exactly what the
+//! epoch consumed from outside the server.
+
+use craqr_core::ControlAction;
+use craqr_geom::{CellId, SpaceTimePoint};
+use craqr_sensing::{AttrValue, AttributeId, Measurement, SensorId, SensorResponse};
+
+/// The codec version this crate reads and writes.
+pub const RUNLOG_VERSION: u32 = 1;
+
+/// One recorded observation value (mirror of [`craqr_sensing::AttrValue`]
+/// with a stable text encoding).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRecord {
+    /// A human-sensed boolean.
+    Bool(bool),
+    /// A sensor-sensed real.
+    Float(f64),
+}
+
+/// One crowd response exactly as drained from the crowd —
+/// pre-error-injection, pre-mitigation, pre-id-assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseRecord {
+    /// The answering sensor.
+    pub sensor: u64,
+    /// The observed attribute.
+    pub attr: u16,
+    /// Measurement time (minutes).
+    pub t: f64,
+    /// Easting (km).
+    pub x: f64,
+    /// Northing (km).
+    pub y: f64,
+    /// The observed value.
+    pub value: ValueRecord,
+    /// When the eliciting request was issued (minutes).
+    pub issued_at: f64,
+}
+
+impl From<&SensorResponse> for ResponseRecord {
+    fn from(r: &SensorResponse) -> Self {
+        Self {
+            sensor: r.sensor.0,
+            attr: r.measurement.attr.0,
+            t: r.measurement.point.t,
+            x: r.measurement.point.x,
+            y: r.measurement.point.y,
+            value: match r.measurement.value {
+                AttrValue::Bool(b) => ValueRecord::Bool(b),
+                AttrValue::Float(f) => ValueRecord::Float(f),
+            },
+            issued_at: r.issued_at,
+        }
+    }
+}
+
+impl ResponseRecord {
+    /// The [`SensorResponse`] this record describes.
+    pub fn to_response(&self) -> SensorResponse {
+        SensorResponse {
+            sensor: SensorId(self.sensor),
+            measurement: Measurement {
+                attr: AttributeId(self.attr),
+                point: SpaceTimePoint::new(self.t, self.x, self.y),
+                value: match self.value {
+                    ValueRecord::Bool(b) => AttrValue::Bool(b),
+                    ValueRecord::Float(f) => AttrValue::Float(f),
+                },
+            },
+            issued_at: self.issued_at,
+        }
+    }
+}
+
+/// One control action the epoch's hook injected (mirror of
+/// [`craqr_core::ControlAction`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActionRecord {
+    /// Overwrite one chain's acquisition budget.
+    SetBudget {
+        /// Cell `(q, r)`.
+        cell: (u32, u32),
+        /// Attribute id.
+        attr: u16,
+        /// Requests per epoch.
+        budget: f64,
+    },
+    /// Tear a chain down and rebuild it.
+    RebuildChain {
+        /// Cell `(q, r)`.
+        cell: (u32, u32),
+        /// Attribute id.
+        attr: u16,
+    },
+}
+
+impl From<&ControlAction> for ActionRecord {
+    fn from(a: &ControlAction) -> Self {
+        match *a {
+            ControlAction::SetBudget { cell, attr, requests_per_epoch } => {
+                ActionRecord::SetBudget {
+                    cell: (cell.q, cell.r),
+                    attr: attr.0,
+                    budget: requests_per_epoch,
+                }
+            }
+            ControlAction::RebuildChain { cell, attr } => {
+                ActionRecord::RebuildChain { cell: (cell.q, cell.r), attr: attr.0 }
+            }
+        }
+    }
+}
+
+impl ActionRecord {
+    /// The [`ControlAction`] this record describes.
+    pub fn to_action(&self) -> ControlAction {
+        match *self {
+            ActionRecord::SetBudget { cell, attr, budget } => ControlAction::SetBudget {
+                cell: CellId::new(cell.0, cell.1),
+                attr: AttributeId(attr),
+                requests_per_epoch: budget,
+            },
+            ActionRecord::RebuildChain { cell, attr } => ControlAction::RebuildChain {
+                cell: CellId::new(cell.0, cell.1),
+                attr: AttributeId(attr),
+            },
+        }
+    }
+}
+
+/// A scripted world event applied just before an epoch ran (mirror of the
+/// scenario layer's `[[shifts]]`; recorded so a log is auditable and
+/// diffable without the spec in hand).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShiftEvent {
+    /// Participation scale (surge/collapse).
+    Participation {
+        /// The response-probability scale factor.
+        factor: f64,
+    },
+    /// Correlated regional dropout.
+    Dropout {
+        /// Per-sensor dropout probability.
+        probability: f64,
+        /// Affected region `(x0, y0, x1, y1)`.
+        rect: (f64, f64, f64, f64),
+    },
+    /// Hotspot migration.
+    Migrate {
+        /// Per-sensor migration probability.
+        probability: f64,
+        /// Destination region `(x0, y0, x1, y1)`.
+        rect: (f64, f64, f64, f64),
+    },
+}
+
+/// Everything one epoch consumed from outside the deterministic server
+/// core, plus the control actions injected back.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochRecord {
+    /// Epoch index (0-based, ascending, gap-free).
+    pub epoch: u64,
+    /// Scripted world events applied before this epoch.
+    pub shifts: Vec<ShiftEvent>,
+    /// Requests the handler attempted (recorded for cross-checking: a
+    /// faithful replay recomputes the same number from budget state).
+    pub requested: u64,
+    /// Requests the crowd actually received — the crowd-side outcome a
+    /// detached replay cannot recompute.
+    pub sent: u64,
+    /// Responses drained this epoch, pre-error-injection, in drain order.
+    pub responses: Vec<ResponseRecord>,
+    /// Control actions injected after the epoch, in application order.
+    pub actions: Vec<ActionRecord>,
+}
+
+/// An event-sourced record of one complete run: the spec that defined it,
+/// the seed, and every epoch's inputs. See the crate docs for the
+/// format and integrity guarantees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLog {
+    /// Scenario name (golden-file stem).
+    pub scenario: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// The full scenario spec as canonical TOML (always `\n`-terminated)
+    /// — embedded so a log is self-contained: replay needs nothing but
+    /// this file. Opaque to this crate; the scenario layer parses it.
+    pub spec_toml: String,
+    /// One record per epoch, ascending and gap-free from 0.
+    pub epochs: Vec<EpochRecord>,
+    /// Checksum of the live run's canonical [`ScenarioReport`], when the
+    /// recording run captured one — replay verifies against it.
+    ///
+    /// [`ScenarioReport`]: https://docs.rs/craqr-scenario
+    pub report_checksum: Option<u64>,
+    /// Checksum of the live run's canonical `AdaptiveTrace`, when the
+    /// run closed the loop.
+    pub trace_checksum: Option<u64>,
+}
+
+impl RunLog {
+    /// Renders the canonical text form (see [`crate::codec::render`]).
+    pub fn canonical(&self) -> String {
+        crate::codec::render(self)
+    }
+
+    /// Parses (and integrity-checks) a canonical text log.
+    pub fn parse(src: &str) -> Result<Self, crate::codec::CodecError> {
+        crate::codec::parse(src)
+    }
+
+    /// The whole-document content checksum (the value on the canonical
+    /// text's final line).
+    pub fn checksum(&self) -> u64 {
+        let canon = self.canonical();
+        let body = canon.rsplit_once("\nchecksum:").expect("canonical ends in checksum").0;
+        // The split ate the newline terminating the last body line; the
+        // recorded checksum hashed it.
+        craqr_stats::fnv1a64(format!("{body}\n").as_bytes())
+    }
+
+    /// A copy truncated to the first `k` epochs — the resume point. The
+    /// final report/trace checksums are dropped: a truncated log no
+    /// longer attests to a finished run.
+    pub fn truncated(&self, k: usize) -> Self {
+        let mut log = self.clone();
+        log.epochs.truncate(k);
+        log.report_checksum = None;
+        log.trace_checksum = None;
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_record_round_trips_through_sensing_types() {
+        let response = SensorResponse {
+            sensor: SensorId(42),
+            measurement: Measurement {
+                attr: AttributeId(3),
+                point: SpaceTimePoint::new(12.5, 1.25, 3.75),
+                value: AttrValue::Float(-7.125),
+            },
+            issued_at: 10.0,
+        };
+        let record = ResponseRecord::from(&response);
+        assert_eq!(record.to_response(), response);
+
+        let boolean = SensorResponse {
+            measurement: Measurement { value: AttrValue::Bool(true), ..response.measurement },
+            ..response
+        };
+        assert_eq!(ResponseRecord::from(&boolean).to_response(), boolean);
+    }
+
+    #[test]
+    fn action_record_round_trips_through_core_types() {
+        let set = ControlAction::SetBudget {
+            cell: CellId::new(2, 5),
+            attr: AttributeId(1),
+            requests_per_epoch: 12.75,
+        };
+        assert_eq!(ActionRecord::from(&set).to_action(), set);
+        let rebuild = ControlAction::RebuildChain { cell: CellId::new(0, 3), attr: AttributeId(0) };
+        assert_eq!(ActionRecord::from(&rebuild).to_action(), rebuild);
+    }
+
+    #[test]
+    fn truncation_drops_final_checksums() {
+        let log = RunLog {
+            scenario: "t".into(),
+            seed: 1,
+            spec_toml: "name = \"t\"\n".into(),
+            epochs: vec![EpochRecord::default(), EpochRecord { epoch: 1, ..Default::default() }],
+            report_checksum: Some(7),
+            trace_checksum: Some(9),
+        };
+        let cut = log.truncated(1);
+        assert_eq!(cut.epochs.len(), 1);
+        assert_eq!(cut.report_checksum, None);
+        assert_eq!(cut.trace_checksum, None);
+        assert_eq!(log.truncated(5).epochs.len(), 2, "over-truncation is a no-op");
+    }
+}

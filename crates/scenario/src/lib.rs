@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod replay;
 pub mod report;
 pub mod spec;
 pub mod value;
@@ -62,12 +63,14 @@ pub mod value;
 mod runner;
 
 pub use craqr_adaptive::AdaptiveTrace;
+pub use craqr_runlog::RunLog;
+pub use replay::{replay, resume, ReplayError};
 pub use report::{
     fnv1a64, AdaptiveSection, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport,
 };
-pub use runner::{scenario_files, BatchError, RunError, ScenarioRunner};
+pub use runner::{scenario_files, BatchError, RunError, RunOutput, ScenarioRunner};
 pub use spec::{
     AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
-    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, ShiftSpec,
-    SpecError,
+    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, RunlogSpec, ScenarioSpec,
+    ShiftSpec, SpecError,
 };

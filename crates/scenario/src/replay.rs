@@ -1,0 +1,415 @@
+//! Replaying, resuming, and verifying event-sourced runs.
+//!
+//! A [`RunLog`] recorded by `run_full`/`run_recorded` is a complete event
+//! source for the server side of a run: the embedded spec, the seed, and
+//! every epoch's crowd inputs. This module closes the loop:
+//!
+//! - [`replay`] re-drives a server from the log with the **crowd
+//!   detached** (a zero-sensor world; the recorded responses stand in
+//!   for it) under any [`ExecMode`], re-records as it goes, and verifies
+//!   both layers: the regenerated epoch inputs/decisions must be
+//!   structurally identical to the log, and the final report/trace
+//!   checksums must match the seals the recording run wrote. A faithful
+//!   log therefore replays **byte-for-byte**, serial or sharded.
+//! - [`resume`] truncates at epoch *k* and continues **live**. In this
+//!   in-process system the world itself is part of the deterministic
+//!   simulation, so "rebuild state at *k*" re-drives the world from the
+//!   spec; the log's job during the prefix is *verification* — every
+//!   rebuilt epoch is cross-checked record-by-record against what the
+//!   original run actually consumed, and the first divergence is
+//!   reported precisely ([`ReplayError::Diverged`]). Past *k* the run is
+//!   fresh, and an unperturbed resume re-converges on the uninterrupted
+//!   run's exact report and trace.
+//! - Both paths return the same [`RunOutput`] a live run does, including
+//!   a freshly sealed log, so replays and resumes are themselves
+//!   replayable.
+
+use crate::runner::{
+    apply_shift, build_server, epoch_row, finalize_report, shift_event, RunError, RunOutput,
+};
+use crate::spec::{ScenarioSpec, SpecError};
+use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
+use craqr_core::{ControlHook, EpochTap, ExecMode, ReplayInputs};
+use craqr_runlog::{diff_logs, RunLog, RunLogRecorder};
+use craqr_sensing::SensorResponse;
+use std::fmt;
+
+/// Why a replay or resume failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The log's embedded spec no longer parses/validates (recorded by an
+    /// incompatible version, or hand-edited).
+    Spec(SpecError),
+    /// The reconstructed scenario failed to run.
+    Run(RunError),
+    /// The resume point lies beyond the recorded epochs.
+    BadResumePoint {
+        /// Requested epoch boundary.
+        at: usize,
+        /// Epochs the log actually holds.
+        recorded: usize,
+    },
+    /// The re-driven run no longer produces the recorded inputs or
+    /// decisions — the code, spec semantics, or log diverged.
+    Diverged {
+        /// First epoch that differs (`None`: a header-level difference).
+        epoch: Option<u64>,
+        /// Human-readable difference report (see
+        /// [`craqr_runlog::LogDiff::render`]).
+        details: String,
+    },
+    /// The run completed and its inputs matched, but a sealed final
+    /// checksum did not.
+    ChecksumMismatch {
+        /// `"report"` or `"trace"`.
+        what: &'static str,
+        /// The checksum the log recorded.
+        recorded: u64,
+        /// The checksum this run produced.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Spec(e) => write!(f, "embedded spec: {e}"),
+            ReplayError::Run(e) => write!(f, "{e}"),
+            ReplayError::BadResumePoint { at, recorded } => {
+                write!(f, "cannot resume at epoch {at}: the log records only {recorded} epoch(s)")
+            }
+            ReplayError::Diverged { epoch, details } => match epoch {
+                Some(e) => write!(f, "run diverged from the log at epoch {e}:\n{details}"),
+                None => write!(f, "run diverged from the log:\n{details}"),
+            },
+            ReplayError::ChecksumMismatch { what, recorded, actual } => write!(
+                f,
+                "{what} checksum mismatch: log sealed {recorded:#018x}, run produced \
+                 {actual:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<SpecError> for ReplayError {
+    fn from(e: SpecError) -> Self {
+        ReplayError::Spec(e)
+    }
+}
+
+impl From<RunError> for ReplayError {
+    fn from(e: RunError) -> Self {
+        ReplayError::Run(e)
+    }
+}
+
+/// Parses and validates the spec a log embeds.
+pub fn spec_of(log: &RunLog) -> Result<ScenarioSpec, ReplayError> {
+    Ok(ScenarioSpec::from_toml(&log.spec_toml)?)
+}
+
+/// Re-drives a server from a recorded log with the crowd detached and
+/// verifies the regeneration (see the module docs). Works under any
+/// `exec` regardless of how the run was recorded — the log is
+/// mode-independent by construction.
+pub fn replay(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
+    let spec = spec_of(log)?;
+    let (mut server, qids) = build_server(&spec, log.seed, exec, true)?;
+    let mut controller = match &spec.adaptive {
+        Some(a) => Some(AdaptiveController::new(a.to_config().map_err(ReplayError::Spec)?)),
+        None => None,
+    };
+    let mut recorder = RunLogRecorder::new(&log.scenario, log.seed, &log.spec_toml);
+
+    let mut epochs = Vec::with_capacity(log.epochs.len());
+    let mut responses_delivered = 0u64;
+    for record in &log.epochs {
+        for shift in &record.shifts {
+            // Echoed into the fresh log (for the structural comparison);
+            // there is no world to apply them to.
+            recorder.record_shift(*shift);
+        }
+        responses_delivered += record.responses.len() as u64;
+        let responses: Vec<SensorResponse> =
+            record.responses.iter().map(|r| r.to_response()).collect();
+        let r = server.run_epoch_replayed(
+            ReplayInputs { sent: record.sent, responses: &responses },
+            controller.as_mut().map(|c| c as &mut dyn ControlHook),
+            Some(&mut recorder as &mut dyn EpochTap),
+        );
+        epochs.push(epoch_row(&r));
+    }
+
+    let trace = controller.map(AdaptiveController::into_trace);
+    let report = finalize_report(
+        &spec,
+        log.seed,
+        &mut server,
+        &qids,
+        epochs,
+        responses_delivered,
+        trace.as_ref(),
+    );
+    let mut fresh = recorder.finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum));
+
+    // Layer 1: the regenerated inputs and decisions must be structurally
+    // identical to the recording. The seals are layer 2's business, so
+    // align them on the fresh copy for the diff (cheaper than cloning
+    // both multi-hundred-KB logs just to strip two fields) and restore
+    // them afterwards.
+    let (fresh_report_seal, fresh_trace_seal) = (fresh.report_checksum, fresh.trace_checksum);
+    fresh.report_checksum = log.report_checksum;
+    fresh.trace_checksum = log.trace_checksum;
+    let diff = diff_logs(log, &fresh);
+    fresh.report_checksum = fresh_report_seal;
+    fresh.trace_checksum = fresh_trace_seal;
+    if !diff.identical() {
+        return Err(ReplayError::Diverged {
+            epoch: diff.first_divergence().map(|d| d.epoch),
+            details: diff.render(),
+        });
+    }
+    // Layer 2: the sealed final checksums must reproduce byte-for-byte.
+    verify_seals(log, &fresh)?;
+    Ok(RunOutput { report, trace, log: Some(fresh) })
+}
+
+/// Resumes a recorded run at epoch boundary `at` (0-based: epochs
+/// `0..at` are rebuilt and verified against the log, epochs `at..` run
+/// fresh) and carries the run through to the spec's full horizon. See
+/// the module docs for the verification contract.
+pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, ReplayError> {
+    if at > log.epochs.len() {
+        return Err(ReplayError::BadResumePoint { at, recorded: log.epochs.len() });
+    }
+    let spec = spec_of(log)?;
+    let (mut server, qids) = build_server(&spec, log.seed, exec, false)?;
+    let mut controller = match &spec.adaptive {
+        Some(a) => Some(AdaptiveController::new(a.to_config().map_err(ReplayError::Spec)?)),
+        None => None,
+    };
+    let mut recorder = RunLogRecorder::new(&log.scenario, log.seed, &log.spec_toml);
+
+    let mut epochs = Vec::with_capacity(spec.epochs as usize);
+    for e in 0..spec.epochs {
+        for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
+            apply_shift(server.crowd_mut(), shift);
+            recorder.record_shift(shift_event(shift));
+        }
+        if let Some(churn) = &spec.churn {
+            if churn.probability > 0.0 {
+                server.crowd_mut().churn(churn.probability);
+            }
+        }
+        let r = server.run_epoch_tapped(
+            controller.as_mut().map(|c| c as &mut dyn ControlHook),
+            Some(&mut recorder as &mut dyn EpochTap),
+        );
+        epochs.push(epoch_row(&r));
+
+        // Inside the rebuilt prefix every epoch must reproduce the log's
+        // record exactly; diverging silently here would poison everything
+        // after the resume point.
+        if (e as usize) < at {
+            let rebuilt = recorder.epochs().last().expect("tap recorded this epoch");
+            let details = craqr_runlog::diff::diff_epoch(&log.epochs[e as usize], rebuilt);
+            if !details.is_empty() {
+                return Err(ReplayError::Diverged {
+                    epoch: Some(e as u64),
+                    details: details.join("\n"),
+                });
+            }
+        }
+    }
+
+    let trace = controller.map(AdaptiveController::into_trace);
+    let responses_delivered = server.crowd().responses_delivered();
+    let report = finalize_report(
+        &spec,
+        log.seed,
+        &mut server,
+        &qids,
+        epochs,
+        responses_delivered,
+        trace.as_ref(),
+    );
+    let fresh = recorder.finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum));
+    // A resume of an unperturbed log re-converges on the sealed finals;
+    // only verify them when the whole horizon was recorded (a truncated
+    // log carries no seals — `RunLog::truncated` dropped them).
+    verify_seals(log, &fresh)?;
+    Ok(RunOutput { report, trace, log: Some(fresh) })
+}
+
+/// Verifies the original log's sealed final checksums (if any) against a
+/// freshly sealed log.
+fn verify_seals(original: &RunLog, fresh: &RunLog) -> Result<(), ReplayError> {
+    if let (Some(recorded), Some(actual)) = (original.report_checksum, fresh.report_checksum) {
+        if recorded != actual {
+            return Err(ReplayError::ChecksumMismatch { what: "report", recorded, actual });
+        }
+    }
+    if let (Some(recorded), Some(actual)) = (original.trace_checksum, fresh.trace_checksum) {
+        if recorded != actual {
+            return Err(ReplayError::ChecksumMismatch { what: "trace", recorded, actual });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ScenarioRunner;
+
+    fn spec_toml() -> String {
+        r#"
+name = "replay-unit"
+seed = 19
+epochs = 6
+
+[grid]
+size_km = 4.0
+side = 4
+
+[population]
+size = 300
+human_fraction = 0.0
+placement = { kind = "uniform" }
+mobility = { kind = "walk", sigma = 0.15 }
+
+[[attributes]]
+name = "temp"
+field = { kind = "constant", value = 21.0 }
+
+[[queries]]
+text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
+
+[[shifts]]
+kind = "participation"
+epoch = 3
+factor = 0.4
+
+[adaptive]
+warmup_epochs = 1
+cooldown_epochs = 2
+
+[runlog]
+"#
+        .to_string()
+    }
+
+    fn recorded() -> (RunOutput, ScenarioRunner) {
+        let runner = ScenarioRunner::new(ScenarioSpec::from_toml(&spec_toml()).unwrap()).unwrap();
+        let out = runner.run_full(ExecMode::Serial, 19).unwrap();
+        assert!(out.log.is_some(), "[runlog] spec must record");
+        (out, runner)
+    }
+
+    #[test]
+    fn replay_reproduces_report_and_trace_in_both_modes() {
+        let (live, _) = recorded();
+        let log = live.log.as_ref().unwrap();
+        for exec in [ExecMode::Serial, ExecMode::Sharded(3)] {
+            let replayed = replay(log, exec).unwrap_or_else(|e| panic!("{exec:?}: {e}"));
+            assert_eq!(
+                replayed.report.canonical(),
+                live.report.canonical(),
+                "{exec:?}: replayed report differs"
+            );
+            assert_eq!(
+                replayed.trace.as_ref().map(|t| t.canonical()),
+                live.trace.as_ref().map(|t| t.canonical()),
+                "{exec:?}: replayed trace differs"
+            );
+            assert_eq!(replayed.log.as_ref().unwrap().canonical(), log.canonical());
+        }
+    }
+
+    #[test]
+    fn replay_survives_a_disk_round_trip() {
+        let (live, _) = recorded();
+        let log = live.log.as_ref().unwrap();
+        let reparsed = RunLog::parse(&log.canonical()).unwrap();
+        let replayed = replay(&reparsed, ExecMode::Serial).unwrap();
+        assert_eq!(replayed.report.checksum(), live.report.checksum());
+    }
+
+    #[test]
+    fn tampered_log_is_caught_as_divergence() {
+        let (live, _) = recorded();
+        let mut log = live.log.clone().unwrap();
+        // Claim one fewer response in some epoch with responses: replay
+        // recomputes different downstream state and the report seal breaks
+        // (or the re-recorded inputs differ — either way it must not pass).
+        let e = log.epochs.iter().position(|e| !e.responses.is_empty()).expect("responses");
+        log.epochs[e].responses.pop();
+        let err = replay(&log, ExecMode::Serial).unwrap_err();
+        assert!(
+            matches!(err, ReplayError::ChecksumMismatch { .. } | ReplayError::Diverged { .. }),
+            "{err}"
+        );
+
+        // A tampered dispatch record is caught by the structural layer:
+        // the replayed handler recomputes `requested` from budget state.
+        let mut log = live.log.clone().unwrap();
+        log.epochs[0].requested += 1;
+        let err = replay(&log, ExecMode::Serial).unwrap_err();
+        assert!(matches!(err, ReplayError::Diverged { epoch: Some(0), .. }), "{err}");
+    }
+
+    #[test]
+    fn resume_at_every_boundary_reconverges() {
+        let (live, _) = recorded();
+        let log = live.log.as_ref().unwrap();
+        for k in 0..=log.epochs.len() {
+            let resumed = resume(&log.truncated(k), ExecMode::Serial, k)
+                .unwrap_or_else(|e| panic!("resume at {k}: {e}"));
+            assert_eq!(
+                resumed.report.checksum(),
+                live.report.checksum(),
+                "resume at {k}: report diverged"
+            );
+            assert_eq!(
+                resumed.trace.as_ref().map(|t| t.checksum()),
+                live.trace.as_ref().map(|t| t.checksum()),
+                "resume at {k}: trace diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_bad_boundaries_and_detects_prefix_divergence() {
+        let (live, _) = recorded();
+        let log = live.log.as_ref().unwrap();
+        assert!(matches!(
+            resume(&log.truncated(2), ExecMode::Serial, 5),
+            Err(ReplayError::BadResumePoint { at: 5, recorded: 2 })
+        ));
+
+        // A corrupted prefix record is pinpointed to its epoch.
+        let mut tampered = log.truncated(4);
+        tampered.epochs[1].sent += 7;
+        let err = resume(&tampered, ExecMode::Serial, 4).unwrap_err();
+        match err {
+            ReplayError::Diverged { epoch: Some(1), ref details } => {
+                assert!(details.contains("sent"), "{details}")
+            }
+            other => panic!("expected epoch-1 divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unsealed_partial_logs_replay_their_prefix() {
+        let (live, _) = recorded();
+        let cut = live.log.as_ref().unwrap().truncated(3);
+        let replayed = replay(&cut, ExecMode::Serial).unwrap();
+        assert_eq!(replayed.report.epochs.len(), 3, "replay covers the recorded prefix");
+        // The fresh log of the partial replay is sealed over the partial
+        // report — parseable and replayable in turn.
+        let again = replay(replayed.log.as_ref().unwrap(), ExecMode::Serial).unwrap();
+        assert_eq!(again.report.checksum(), replayed.report.checksum());
+    }
+}

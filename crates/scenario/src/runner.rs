@@ -6,9 +6,10 @@ use crate::spec::{FieldSpec, ScenarioSpec, ShiftSpec, SpecError};
 use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
 use craqr_core::budget::TuneOutcome;
 use craqr_core::server::SubmitError;
-use craqr_core::{ControlHook, CraqrServer, ExecMode, QueryId};
+use craqr_core::{ControlHook, CraqrServer, EpochReport, EpochTap, ExecMode, QueryId};
 use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
 use craqr_mdpp::{IntensityModel, IntensitySummary, SelfExcitingIntensity};
+use craqr_runlog::{RunLog, RunLogRecorder, ShiftEvent};
 use craqr_sensing::{fields::ConstantField, AttrValue, Crowd, CrowdConfig, Field};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -61,6 +62,21 @@ impl<I: IntensityModel + Send + Sync> Field for IntensityField<I> {
     }
 }
 
+/// Everything one scenario run produces: the canonical report, the
+/// adaptive decision log (when the spec closes the loop), and the
+/// event-sourced run log (when the spec — or the caller, via
+/// [`ScenarioRunner::run_recorded`] — asks for one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// The canonical, checksummed report.
+    pub report: ScenarioReport,
+    /// The adaptive controller's decision log (`[adaptive]` specs only).
+    pub trace: Option<AdaptiveTrace>,
+    /// The event-sourced epoch log, sealed with the report/trace
+    /// checksums (`[runlog]` specs and `run_recorded` only).
+    pub log: Option<RunLog>,
+}
+
 /// Runs [`ScenarioSpec`]s under any [`ExecMode`].
 ///
 /// The runner is stateless between runs: every [`ScenarioRunner::run`]
@@ -92,162 +108,80 @@ impl ScenarioRunner {
     /// determinism check exercises serial-vs-sharded equality across
     /// several seeds without needing per-seed spec files.
     pub fn run_with_seed(&self, exec: ExecMode, seed: u64) -> Result<ScenarioReport, RunError> {
-        self.run_full(exec, seed).map(|(report, _)| report)
+        // Report-only callers skip run-log recording even for `[runlog]`
+        // specs: a tap is a pure observer, so this changes nothing but
+        // the work done.
+        self.run_live(exec, seed, false).map(|out| out.report)
     }
 
     /// Runs the scenario, also returning the adaptive controller's
-    /// decision log when the spec has an `[adaptive]` block. The trace's
-    /// checksum is embedded in the report, so the report golden pins the
-    /// trace; the trace itself is golden-tested separately
-    /// (`tests/goldens/<name>.trace.txt`).
-    pub fn run_full(
-        &self,
-        exec: ExecMode,
-        seed: u64,
-    ) -> Result<(ScenarioReport, Option<AdaptiveTrace>), RunError> {
+    /// decision log when the spec has an `[adaptive]` block, and the
+    /// event-sourced [`RunLog`] when it has a recording `[runlog]` block.
+    /// The trace's checksum is embedded in the report (so the report
+    /// golden pins the trace), and the log is sealed with both checksums
+    /// (so a replay is self-verifying); the trace and log are
+    /// golden-tested separately (`tests/goldens/<name>.trace.txt` /
+    /// `<name>.runlog.txt`).
+    pub fn run_full(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
+        let record = self.spec.runlog.is_some_and(|r| r.record);
+        self.run_live(exec, seed, record)
+    }
+
+    /// Runs the scenario with run-log recording forced on, whether or not
+    /// the spec declares `[runlog]` — the CLI `record` subcommand and the
+    /// replay CI job use this to event-source any scenario.
+    pub fn run_recorded(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
+        self.run_live(exec, seed, true)
+    }
+
+    fn run_live(&self, exec: ExecMode, seed: u64, record: bool) -> Result<RunOutput, RunError> {
         let spec = &self.spec;
-        let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
-        let mut config = spec.to_server_config(exec)?;
-        config.planner.seed = seed;
-
-        let crowd = Crowd::new(CrowdConfig {
-            region,
-            population: spec.population.to_config(&region)?,
-            seed,
-        });
-        let mut server = CraqrServer::new(crowd, config);
-
-        for (index, attr) in spec.attributes.iter().enumerate() {
-            let field = build_field(&attr.field, &region, seed, index as u64);
-            server.register_attribute(&attr.name, attr.human, field);
-        }
-
-        let mut qids: Vec<QueryId> = Vec::with_capacity(spec.queries.len());
-        for (index, q) in spec.queries.iter().enumerate() {
-            match server.submit(&q.text) {
-                Ok(qid) => qids.push(qid),
-                Err(e) => {
-                    return Err(RunError::Query {
-                        index,
-                        text: q.text.clone(),
-                        message: match e {
-                            SubmitError::Parse(p) => format!("parse error: {p}"),
-                            SubmitError::Plan(p) => format!("plan error: {p}"),
-                        },
-                    })
-                }
-            }
-        }
-
+        let (mut server, qids) = build_server(spec, seed, exec, false)?;
         let mut controller = match &spec.adaptive {
             // The spec validated the block, so the config is sound.
             Some(a) => Some(AdaptiveController::new(a.to_config()?)),
             None => None,
+        };
+        let mut recorder = if record {
+            Some(RunLogRecorder::new(&spec.name, seed, &spec.to_toml()))
+        } else {
+            None
         };
 
         let mut epochs = Vec::with_capacity(spec.epochs as usize);
         for e in 0..spec.epochs {
             for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
                 apply_shift(server.crowd_mut(), shift);
+                if let Some(rec) = &mut recorder {
+                    rec.record_shift(shift_event(shift));
+                }
             }
             if let Some(churn) = &spec.churn {
                 if churn.probability > 0.0 {
                     server.crowd_mut().churn(churn.probability);
                 }
             }
-            let r = match &mut controller {
-                Some(c) => server.run_epoch_with(Some(c as &mut dyn ControlHook)),
-                None => server.run_epoch(),
-            };
-            let (mut incr, mut decr, mut exh) = (0usize, 0usize, 0usize);
-            for t in &r.tuning {
-                match t.outcome {
-                    TuneOutcome::Increased => incr += 1,
-                    TuneOutcome::Decreased => decr += 1,
-                    TuneOutcome::Exhausted => exh += 1,
-                }
-            }
-            epochs.push(EpochRow {
-                epoch: r.epoch,
-                requested: r.dispatch.requested,
-                sent: r.dispatch.sent,
-                responses: r.responses,
-                rejected: r.mitigation_rejected,
-                ingested: r.ingested,
-                routed: r.exec.routed,
-                dropped: r.exec.dropped,
-                delivered: r.delivered.iter().map(|(_, n)| n).sum(),
-                tune_increased: incr,
-                tune_decreased: decr,
-                tune_exhausted: exh,
-            });
+            let r = server.run_epoch_tapped(
+                controller.as_mut().map(|c| c as &mut dyn ControlHook),
+                recorder.as_mut().map(|r| r as &mut dyn EpochTap),
+            );
+            epochs.push(epoch_row(&r));
         }
-
-        let minutes = server.now();
-        let window = SpaceTimeWindow::new(region, 0.0, minutes.max(f64::MIN_POSITIVE));
-        let mut queries = Vec::with_capacity(qids.len());
-        for (index, qid) in qids.iter().enumerate() {
-            let plan = server.fabricator().query_plan(*qid).expect("standing query");
-            let requested_rate = plan.query.rate;
-            let area = plan.footprint.area();
-            let stream = server.take_output(*qid);
-            let points: Vec<SpaceTimePoint> = stream.iter().map(|t| t.point).collect();
-            let intensity = IntensitySummary::from_points(&points, &window, spec.grid.side);
-            queries.push(QueryRow {
-                index,
-                text: spec.queries[index].text.clone(),
-                requested_rate,
-                area,
-                delivered: stream.len(),
-                achieved_rate: stream.len() as f64 / (area * minutes),
-                intensity,
-            });
-        }
-
-        let operators = server
-            .fabricator()
-            .chain_metrics()
-            .by_kind()
-            .into_iter()
-            .map(|(kind, m)| OperatorRow {
-                kind,
-                tuples_in: m.tuples_in,
-                tuples_out: m.tuples_out,
-                batches: m.batches,
-            })
-            .collect();
-
-        let final_budget: f64 = server
-            .fabricator()
-            .demands()
-            .iter()
-            .filter_map(|(cell, attr, _)| server.handler().budget_of(*cell, *attr))
-            .sum();
-        let (requested, sent) = server.handler().totals();
-        let totals = RunTotals {
-            requested,
-            sent,
-            responses: server.crowd().responses_delivered(),
-            exhausted_events: server.handler().exhausted_events(),
-            final_budget,
-            dropped_unmaterialized: server.fabricator().dropped_unmaterialized(),
-            chains: server.fabricator().materialized_chains(),
-            minutes,
-        };
 
         let trace = controller.map(AdaptiveController::into_trace);
-        let adaptive = trace.as_ref().map(AdaptiveSection::from);
-
-        let report = ScenarioReport {
-            name: spec.name.clone(),
+        let responses_delivered = server.crowd().responses_delivered();
+        let report = finalize_report(
+            spec,
             seed,
+            &mut server,
+            &qids,
             epochs,
-            queries,
-            operators,
-            totals,
-            adaptive,
-        };
-        Ok((report, trace))
+            responses_delivered,
+            trace.as_ref(),
+        );
+        let log = recorder
+            .map(|rec| rec.finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum)));
+        Ok(RunOutput { report, trace, log })
     }
 
     /// Builds a runner from a spec file (`.toml` or `.json`).
@@ -332,7 +266,7 @@ impl fmt::Display for BatchError {
 impl std::error::Error for BatchError {}
 
 /// Applies one scripted regime shift to the crowd.
-fn apply_shift(crowd: &mut Crowd, shift: &ShiftSpec) {
+pub(crate) fn apply_shift(crowd: &mut Crowd, shift: &ShiftSpec) {
     match shift {
         ShiftSpec::Participation { factor, .. } => crowd.scale_participation(*factor),
         ShiftSpec::Dropout { probability, rect, .. } => {
@@ -342,6 +276,157 @@ fn apply_shift(crowd: &mut Crowd, shift: &ShiftSpec) {
             crowd.migrate(*probability, &Rect::new(rect.0, rect.1, rect.2, rect.3));
         }
     }
+}
+
+/// The run-log event describing one scripted shift.
+pub(crate) fn shift_event(shift: &ShiftSpec) -> ShiftEvent {
+    match *shift {
+        ShiftSpec::Participation { factor, .. } => ShiftEvent::Participation { factor },
+        ShiftSpec::Dropout { probability, rect, .. } => ShiftEvent::Dropout { probability, rect },
+        ShiftSpec::Migrate { probability, rect, .. } => ShiftEvent::Migrate { probability, rect },
+    }
+}
+
+/// Builds the server a spec describes. With `detached` the crowd is
+/// constructed empty (zero sensors, same region/planner/seed): queries
+/// plan identically — planning depends only on the catalog and grid — but
+/// the world costs nothing and produces nothing, which is exactly what a
+/// log replay needs.
+pub(crate) fn build_server(
+    spec: &ScenarioSpec,
+    seed: u64,
+    exec: ExecMode,
+    detached: bool,
+) -> Result<(CraqrServer, Vec<QueryId>), RunError> {
+    let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
+    let mut config = spec.to_server_config(exec)?;
+    config.planner.seed = seed;
+
+    let mut population = spec.population.to_config(&region)?;
+    if detached {
+        population.size = 0;
+    }
+    let crowd = Crowd::new(CrowdConfig { region, population, seed });
+    let mut server = CraqrServer::new(crowd, config);
+
+    for (index, attr) in spec.attributes.iter().enumerate() {
+        let field = build_field(&attr.field, &region, seed, index as u64);
+        server.register_attribute(&attr.name, attr.human, field);
+    }
+
+    let mut qids: Vec<QueryId> = Vec::with_capacity(spec.queries.len());
+    for (index, q) in spec.queries.iter().enumerate() {
+        match server.submit(&q.text) {
+            Ok(qid) => qids.push(qid),
+            Err(e) => {
+                return Err(RunError::Query {
+                    index,
+                    text: q.text.clone(),
+                    message: match e {
+                        SubmitError::Parse(p) => format!("parse error: {p}"),
+                        SubmitError::Plan(p) => format!("plan error: {p}"),
+                    },
+                })
+            }
+        }
+    }
+    Ok((server, qids))
+}
+
+/// Reduces one epoch report to its deterministic counters.
+pub(crate) fn epoch_row(r: &EpochReport) -> EpochRow {
+    let (mut incr, mut decr, mut exh) = (0usize, 0usize, 0usize);
+    for t in &r.tuning {
+        match t.outcome {
+            TuneOutcome::Increased => incr += 1,
+            TuneOutcome::Decreased => decr += 1,
+            TuneOutcome::Exhausted => exh += 1,
+        }
+    }
+    EpochRow {
+        epoch: r.epoch,
+        requested: r.dispatch.requested,
+        sent: r.dispatch.sent,
+        responses: r.responses,
+        rejected: r.mitigation_rejected,
+        ingested: r.ingested,
+        routed: r.exec.routed,
+        dropped: r.exec.dropped,
+        delivered: r.delivered.iter().map(|(_, n)| n).sum(),
+        tune_increased: incr,
+        tune_decreased: decr,
+        tune_exhausted: exh,
+    }
+}
+
+/// Builds the canonical report from a finished run. `responses_delivered`
+/// is passed in rather than read off the crowd because a detached replay
+/// has no crowd counter — it sums the log instead (the two agree for live
+/// runs: every matured response is drained by some epoch).
+pub(crate) fn finalize_report(
+    spec: &ScenarioSpec,
+    seed: u64,
+    server: &mut CraqrServer,
+    qids: &[QueryId],
+    epochs: Vec<EpochRow>,
+    responses_delivered: u64,
+    trace: Option<&AdaptiveTrace>,
+) -> ScenarioReport {
+    let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
+    let minutes = server.now();
+    let window = SpaceTimeWindow::new(region, 0.0, minutes.max(f64::MIN_POSITIVE));
+    let mut queries = Vec::with_capacity(qids.len());
+    for (index, qid) in qids.iter().enumerate() {
+        let plan = server.fabricator().query_plan(*qid).expect("standing query");
+        let requested_rate = plan.query.rate;
+        let area = plan.footprint.area();
+        let stream = server.take_output(*qid);
+        let points: Vec<SpaceTimePoint> = stream.iter().map(|t| t.point).collect();
+        let intensity = IntensitySummary::from_points(&points, &window, spec.grid.side);
+        queries.push(QueryRow {
+            index,
+            text: spec.queries[index].text.clone(),
+            requested_rate,
+            area,
+            delivered: stream.len(),
+            achieved_rate: stream.len() as f64 / (area * minutes),
+            intensity,
+        });
+    }
+
+    let operators = server
+        .fabricator()
+        .chain_metrics()
+        .by_kind()
+        .into_iter()
+        .map(|(kind, m)| OperatorRow {
+            kind,
+            tuples_in: m.tuples_in,
+            tuples_out: m.tuples_out,
+            batches: m.batches,
+        })
+        .collect();
+
+    let final_budget: f64 = server
+        .fabricator()
+        .demands()
+        .iter()
+        .filter_map(|(cell, attr, _)| server.handler().budget_of(*cell, *attr))
+        .sum();
+    let (requested, sent) = server.handler().totals();
+    let totals = RunTotals {
+        requested,
+        sent,
+        responses: responses_delivered,
+        exhausted_events: server.handler().exhausted_events(),
+        final_budget,
+        dropped_unmaterialized: server.fabricator().dropped_unmaterialized(),
+        chains: server.fabricator().materialized_chains(),
+        minutes,
+    };
+
+    let adaptive = trace.map(AdaptiveSection::from);
+    ScenarioReport { name: spec.name.clone(), seed, epochs, queries, operators, totals, adaptive }
 }
 
 /// Materializes a [`FieldSpec`] into a ground-truth field. Burst fields

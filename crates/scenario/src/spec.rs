@@ -420,6 +420,24 @@ impl AdaptiveSpec {
     }
 }
 
+/// The `[runlog]` block: event-sourced recording of the run's epoch
+/// inputs (see `craqr-runlog`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunlogSpec {
+    /// `true`: `run_full` records every epoch's inputs and returns the
+    /// [`craqr_runlog::RunLog`] alongside the report; the CLI
+    /// blesses/checks a `<name>.runlog.txt` golden for the scenario.
+    /// `false`: the block is declared but recording is switched off (a
+    /// cheap toggle for experiments).
+    pub record: bool,
+}
+
+impl Default for RunlogSpec {
+    fn default() -> Self {
+        Self { record: true }
+    }
+}
+
 /// A full declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -452,6 +470,8 @@ pub struct ScenarioSpec {
     /// Closed-loop adaptive acquisition (absent = static plan, no
     /// controller, no trace).
     pub adaptive: Option<AdaptiveSpec>,
+    /// Event-sourced run logging (absent = nothing recorded).
+    pub runlog: Option<RunlogSpec>,
 }
 
 // ---------------------------------------------------------------------------
@@ -834,6 +854,16 @@ impl ScenarioSpec {
             }
         };
 
+        let runlog = match r.opt_table("runlog")? {
+            None => None,
+            Some(mut t) => {
+                let d = RunlogSpec::default();
+                let runlog = RunlogSpec { record: t.opt_bool("record", d.record)? };
+                t.finish()?;
+                Some(runlog)
+            }
+        };
+
         r.finish()?;
         let spec = Self {
             name,
@@ -850,6 +880,7 @@ impl ScenarioSpec {
             queries,
             shifts,
             adaptive,
+            runlog,
         };
         spec.validate()?;
         Ok(spec)
@@ -1085,6 +1116,13 @@ impl ScenarioSpec {
         exec: craqr_core::ExecMode,
     ) -> Result<craqr_core::ServerConfig, SpecError> {
         use craqr_core::plan::TopologyShape;
+        // The exec mode is caller-supplied rather than spec-declared, but
+        // it rides through the same boundary: reject the degenerate shard
+        // count here, with a proper error, instead of letting
+        // `ExecMode::shards()` panic mid-epoch.
+        if matches!(exec, craqr_core::ExecMode::Sharded(0)) {
+            return Err(out_of_range("exec.shards", "Sharded(0) has no workers to run on"));
+        }
         let shape = match self.planner.shape.as_str() {
             "star" => TopologyShape::Star,
             _ => TopologyShape::Chain,
@@ -1504,6 +1542,11 @@ impl ScenarioSpec {
             at.insert("demand_headroom", ConfigValue::Float(a.demand_headroom));
             t.insert("adaptive", ConfigValue::Table(at));
         }
+        if let Some(rl) = &self.runlog {
+            let mut rt = Table::new();
+            rt.insert("record", ConfigValue::Bool(rl.record));
+            t.insert("runlog", ConfigValue::Table(rt));
+        }
         t
     }
 
@@ -1760,6 +1803,39 @@ text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
             diurnal_period: 1440.0,
         };
         assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn runlog_block_is_strictly_parsed() {
+        let s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        assert!(s.runlog.is_none(), "no [runlog] block, no recording");
+
+        let with = format!("{}\n[runlog]\n", minimal_toml());
+        let s = ScenarioSpec::from_toml(&with).unwrap();
+        assert_eq!(s.runlog, Some(RunlogSpec { record: true }), "record defaults to true");
+
+        let off = format!("{}\n[runlog]\nrecord = false\n", minimal_toml());
+        assert_eq!(
+            ScenarioSpec::from_toml(&off).unwrap().runlog,
+            Some(RunlogSpec { record: false })
+        );
+
+        let typo = format!("{}\n[runlog]\nrecrod = true\n", minimal_toml());
+        assert!(matches!(
+            ScenarioSpec::from_toml(&typo).unwrap_err(),
+            SpecError::UnknownField { path } if path == "runlog.recrod"
+        ));
+    }
+
+    #[test]
+    fn zero_shard_exec_rejected_at_the_spec_boundary() {
+        let s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        let err = s.to_server_config(craqr_core::ExecMode::Sharded(0)).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::OutOfRange { path, .. } if path == "exec.shards"),
+            "{err}"
+        );
+        assert!(s.to_server_config(craqr_core::ExecMode::Sharded(1)).is_ok());
     }
 
     #[test]

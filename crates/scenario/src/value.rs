@@ -740,21 +740,10 @@ fn quote(s: &str) -> String {
 }
 
 /// Formats a float so it parses back bit-identically *and* still reads as
-/// a float (`1` becomes `1.0`). Rust's shortest-roundtrip `{}` plus a
-/// `.0`/exponent guarantee.
-pub fn format_float(f: f64) -> String {
-    let s = format!("{f}");
-    if s.contains('.')
-        || s.contains('e')
-        || s.contains('E')
-        || s.contains("inf")
-        || s.contains("NaN")
-    {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
+/// a float (`1` becomes `1.0`) — the workspace-shared helper, re-exported
+/// here because it is part of this codec's public contract (the run-log
+/// codec uses the same one, so the two can never drift).
+pub use craqr_stats::format_float;
 
 #[cfg(test)]
 mod tests {

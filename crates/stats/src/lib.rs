@@ -37,6 +37,7 @@ pub mod online;
 pub mod rng;
 pub mod special;
 pub mod summary;
+pub mod text;
 
 pub use dist::{Exponential, Normal, Poisson};
 pub use drift::{Cusum, DriftDirection, PageHinkley};
@@ -45,3 +46,4 @@ pub use hypothesis::{chi_square_uniform, dispersion_index, ks_exponential, ChiSq
 pub use online::{Ewma, OnlineMoments, WindowedRate};
 pub use rng::{seeded_rng, sub_rng};
 pub use summary::{Histogram, Summary};
+pub use text::format_float;

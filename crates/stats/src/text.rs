@@ -1,0 +1,46 @@
+//! The workspace's one shortest-roundtrip float formatter.
+//!
+//! Canonical text artifacts (scenario reports, adaptive traces, run
+//! logs) must render floats so they parse back **bit-identically** while
+//! still reading as floats in a diff. Like [`crate::fnv`], this used to
+//! be re-implemented per consumer; one copy means the scenario codec and
+//! the run-log codec can never drift on how the same value prints.
+
+/// Formats a float so it parses back bit-identically *and* still reads
+/// as a float (`1` becomes `1.0`) — Rust's shortest-roundtrip `{}` plus
+/// a `.0`/exponent guarantee.
+pub fn format_float(f: f64) -> String {
+    let s = format!("{f}");
+    if s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+        || s.contains("inf")
+        || s.contains("NaN")
+    {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        for f in [0.1, -0.0, 1.0, 1e-300, f64::MAX, f64::MIN_POSITIVE, 123_456_789.123_456_78] {
+            let s = format_float(f);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} → '{s}' → {back}");
+        }
+    }
+
+    #[test]
+    fn integers_still_read_as_floats() {
+        assert_eq!(format_float(1.0), "1.0");
+        assert_eq!(format_float(-42.0), "-42.0");
+        assert_eq!(format_float(-0.0), "-0.0");
+        assert_eq!(format_float(f64::INFINITY), "inf");
+    }
+}

@@ -20,7 +20,7 @@
 //! | `--epochs N`       | 12     | epochs to run (5 simulated min each) |
 //! | `--grid SIDE`      | 4      | cells per grid side (√h) |
 //! | `--budget B`       | 20     | initial requests/epoch per (attr, cell) |
-//! | `--shards N`       | 0      | worker shards for the process phase (0 = serial); any N is bit-identical to serial under the same seed |
+//! | `--shards N`       | serial | worker shards for the process phase (`N >= 1`; omit for serial — `0` is rejected, it has no workers); any N is bit-identical to serial under the same seed |
 //! | `--query "TEXT"`   | —      | declarative query (repeatable, ≥1 required) |
 //! | `--dot`            | off    | print Graphviz topologies instead of tables |
 
@@ -36,7 +36,7 @@ struct Args {
     epochs: u64,
     grid: u32,
     budget: f64,
-    shards: usize,
+    shards: Option<usize>,
     queries: Vec<String>,
     dot: bool,
 }
@@ -50,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
         epochs: 12,
         grid: 4,
         budget: 20.0,
-        shards: 0,
+        shards: None,
         queries: Vec::new(),
         dot: false,
     };
@@ -74,7 +74,16 @@ fn parse_args() -> Result<Args, String> {
                 args.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
             }
             "--shards" => {
-                args.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
+                let n: usize = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    // Reject the degenerate shard count at the flag
+                    // boundary, before any epoch runs, instead of letting
+                    // `ExecMode::shards()` panic mid-loop.
+                    return Err("--shards 0 has no workers to run on; use N >= 1, or omit \
+                                the flag for serial"
+                        .into());
+                }
+                args.shards = Some(n);
             }
             "--query" => args.queries.push(value("--query")?),
             "--dot" => args.dot = true,
@@ -114,7 +123,10 @@ fn main() -> ExitCode {
         },
         seed: args.seed,
     });
-    let exec = if args.shards > 0 { ExecMode::Sharded(args.shards) } else { ExecMode::Serial };
+    let exec = match args.shards {
+        Some(n) => ExecMode::Sharded(n),
+        None => ExecMode::Serial,
+    };
     let mut server = CraqrServer::new(
         crowd,
         ServerConfig {

@@ -1,48 +1,257 @@
-//! `craqr-scenario` — run declarative scenario specs and manage goldens.
+//! `craqr-scenario` — run declarative scenario specs, manage goldens, and
+//! work with event-sourced run logs.
 //!
 //! ```text
 //! # Run every committed scenario and diff against the committed goldens:
 //! cargo run --release --bin craqr-scenario -- --all scenarios --check
 //!
 //! # Regenerate the goldens after an intentional behaviour change
-//! # (adaptive scenarios also re-bless their .trace.txt goldens):
+//! # (adaptive scenarios also re-bless their .trace.txt goldens, [runlog]
+//! # scenarios their .runlog.txt goldens; stale/orphaned goldens of every
+//! # kind are swept away):
 //! cargo run --release --bin craqr-scenario -- --all scenarios --bless
 //!
-//! # Print `name checksum` pairs only (CI's serial-vs-sharded determinism
-//! # comparison):
-//! cargo run --release --bin craqr-scenario -- scenarios/*.toml --checksum --shards 4
+//! # Event-source a run, then replay/audit it offline:
+//! cargo run --release --bin craqr-scenario -- record --all scenarios --out runs
+//! cargo run --release --bin craqr-scenario -- replay runs/*.runlog.txt
+//! cargo run --release --bin craqr-scenario -- replay runs/*.runlog.txt --shards 4
+//! cargo run --release --bin craqr-scenario -- resume runs/drift_rate_jump.runlog.txt --at 9
+//! cargo run --release --bin craqr-scenario -- diff runs/a.runlog.txt runs/b.runlog.txt
 //! ```
+//!
+//! # Subcommands
+//!
+//! | subcommand | meaning |
+//! |---|---|
+//! | `record <specs…> [--all DIR] [--shards N] [--seed S] [--out DIR]` | run each spec live with run-log recording forced on; write `<out>/<name>.runlog.txt` (default `runs/`) |
+//! | `replay <logs…> [--shards N]` | re-drive each log with the crowd detached; verify the regenerated inputs, decisions, and sealed report/trace checksums byte-for-byte |
+//! | `resume <log> --at K [--shards N]` | rebuild epochs `0..K` (verified against the log record-by-record), continue live to the horizon, verify the run re-converges on the sealed checksums |
+//! | `diff <a> <b>` | structural epoch-by-epoch comparison of two logs with first-divergence reporting; exit 1 when they differ |
+//!
+//! # Golden-corpus flags (no subcommand)
 //!
 //! | flag | default | meaning |
 //! |---|---|---|
 //! | `<files…>`       | —              | scenario spec files (`.toml` or `.json`) |
 //! | `--all DIR`      | —              | append every spec in `DIR` (sorted) to the file list |
-//! | `--shards N`     | 0              | run under `Sharded(N)` (0 = serial) |
+//! | `--shards N`     | serial         | run under `Sharded(N)`, `N >= 1` (`0` is rejected: it has no workers) |
 //! | `--seed S`       | spec seed      | override every spec's seed |
 //! | `--goldens DIR`  | `tests/goldens`| where golden reports live |
-//! | `--bless`        | off            | write/overwrite golden files |
-//! | `--check`        | off            | diff reports against goldens, exit 1 on mismatch |
+//! | `--bless`        | off            | write/overwrite golden files, sweeping stale and orphaned ones |
+//! | `--check`        | off            | diff reports against goldens, exit 1 on mismatch or orphaned golden |
 //! | `--checksum`     | off            | print only `name checksum` lines |
 //! | `--print`        | off            | print each canonical report to stdout |
 //! | `--trace`        | off            | print each adaptive trace to stdout |
 //!
 //! Without `--bless`/`--check`/`--checksum`/`--print`, a one-line summary
 //! per scenario is printed. Every run additionally executes the spec under
-//! the *other* execution mode and asserts the two canonical reports are
-//! byte-identical — the determinism contract is checked on every
-//! invocation, not just in CI. Exceptions: `--checksum` skips the built-in
-//! cross-run (that mode exists for *external* serial-vs-sharded diffs, as
-//! CI does), and `--bless --seed` is rejected (it would write goldens no
-//! `--check` could ever match).
+//! the *other* execution mode and asserts the two canonical reports (and
+//! traces, and run logs) are byte-identical — the determinism contract is
+//! checked on every invocation, not just in CI. Exceptions: `--checksum`
+//! skips the built-in cross-run (that mode exists for *external*
+//! serial-vs-sharded diffs, as CI does), and `--bless --seed` is rejected
+//! (it would write goldens no `--check` could ever match).
+//!
+//! With `--bless`/`--check` plus `--all`, goldens are also swept for
+//! *orphans*: a `<stem>.golden.txt`/`.trace.txt`/`.runlog.txt` whose
+//! scenario no longer exists in the corpus is deleted by `--bless` and
+//! fails `--check` — renaming or deleting a spec can no longer leave a
+//! silently-unchecked golden behind.
 
 use craqr::core::ExecMode;
-use craqr::scenario::{scenario_files, ScenarioRunner, ScenarioSpec};
-use std::path::PathBuf;
+use craqr::runlog::{diff_logs, RunLog};
+use craqr::scenario::{replay, resume, scenario_files, ScenarioRunner, ScenarioSpec};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Parses a `--shards` value: `N >= 1` shards (serial is the absence of
+/// the flag, not shard count zero).
+fn parse_shards(value: &str) -> Result<usize, String> {
+    let n: usize = value.parse().map_err(|e| format!("--shards: {e}"))?;
+    if n == 0 {
+        return Err(
+            "--shards 0 has no workers to run on; use N >= 1, or omit the flag for serial".into()
+        );
+    }
+    Ok(n)
+}
+
+fn exec_of(shards: Option<usize>) -> ExecMode {
+    match shards {
+        Some(n) => ExecMode::Sharded(n),
+        None => ExecMode::Serial,
+    }
+}
+
+fn load_runner(path: &Path) -> Result<ScenarioRunner, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let spec = ScenarioSpec::from_source(&path.to_string_lossy(), &src)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    ScenarioRunner::new(spec).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_log(path: &Path) -> Result<RunLog, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    RunLog::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// record / replay / resume / diff subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_record(argv: &[String]) -> Result<(), String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut shards = None;
+    let mut seed: Option<u64> = None;
+    let mut out = PathBuf::from("runs");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("flag {name} needs a value"));
+        match flag.as_str() {
+            "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
+            "--seed" => seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--all" => {
+                let dir = PathBuf::from(value("--all")?);
+                files.extend(scenario_files(&dir).map_err(|e| e.to_string())?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("record: at least one spec file (or --all DIR) is required".into());
+    }
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    for file in &files {
+        let runner = load_runner(file)?;
+        let run_seed = seed.unwrap_or(runner.spec().seed);
+        let output = runner
+            .run_recorded(exec_of(shards), run_seed)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let log = output.log.expect("run_recorded always returns a log");
+        let path = out.join(format!("{}.runlog.txt", log.scenario));
+        let text = log.canonical();
+        std::fs::write(&path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        // The checksum is already the canonical text's last line; reading
+        // it there avoids re-rendering the whole multi-hundred-KB log.
+        let checksum = text
+            .lines()
+            .last()
+            .and_then(|l| l.strip_prefix("checksum: "))
+            .expect("canonical logs end in a checksum line");
+        println!(
+            "recorded {} ({} epochs, {} responses, {} bytes, checksum {checksum})",
+            path.display(),
+            log.epochs.len(),
+            log.epochs.iter().map(|e| e.responses.len()).sum::<usize>(),
+            text.len(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(argv: &[String]) -> Result<(), String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut shards = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => {
+                let v = it.next().ok_or("flag --shards needs a value")?;
+                shards = Some(parse_shards(v)?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("replay: at least one .runlog.txt file is required".into());
+    }
+    let exec = exec_of(shards);
+    let mut failures = 0usize;
+    for file in &files {
+        match load_log(file)
+            .and_then(|log| replay(&log, exec).map_err(|e| format!("{}: {e}", file.display())))
+        {
+            Ok(output) => println!(
+                "ok {} [{exec:?}] report {:#018x} trace {}",
+                output.report.name,
+                output.report.checksum(),
+                output.trace.map_or("-".to_string(), |t| format!("{:#018x}", t.checksum())),
+            ),
+            Err(e) => {
+                eprintln!("REPLAY FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} replay(s) failed"));
+    }
+    Ok(())
+}
+
+fn cmd_resume(argv: &[String]) -> Result<(), String> {
+    let mut file: Option<PathBuf> = None;
+    let mut shards = None;
+    let mut at: Option<usize> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => {
+                let v = it.next().ok_or("flag --shards needs a value")?;
+                shards = Some(parse_shards(v)?);
+            }
+            "--at" => {
+                let v = it.next().ok_or("flag --at needs a value")?;
+                at = Some(v.parse().map_err(|e| format!("--at: {e}"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            f if file.is_none() => file = Some(PathBuf::from(f)),
+            extra => return Err(format!("resume takes exactly one log file, got also '{extra}'")),
+        }
+    }
+    let file = file.ok_or("resume: a .runlog.txt file is required")?;
+    let at = at.ok_or("resume: --at K (epoch boundary to resume from) is required")?;
+    let log = load_log(&file)?;
+    let output =
+        resume(&log, exec_of(shards), at).map_err(|e| format!("{}: {e}", file.display()))?;
+    println!(
+        "resumed {} at epoch {at}: re-converged on report {:#018x} trace {}",
+        output.report.name,
+        output.report.checksum(),
+        output.trace.map_or("-".to_string(), |t| format!("{:#018x}", t.checksum())),
+    );
+    Ok(())
+}
+
+fn cmd_diff(argv: &[String]) -> Result<bool, String> {
+    let files: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.len() != 2 || argv.len() != 2 {
+        return Err("diff: exactly two .runlog.txt files are required".into());
+    }
+    let a = load_log(Path::new(files[0]))?;
+    let b = load_log(Path::new(files[1]))?;
+    let diff = diff_logs(&a, &b);
+    if diff.identical() {
+        println!("identical: {} == {}", files[0], files[1]);
+        Ok(true)
+    } else {
+        print!("{}", diff.render());
+        Ok(false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-corpus mode (no subcommand)
+// ---------------------------------------------------------------------------
 
 struct Args {
     files: Vec<PathBuf>,
-    shards: usize,
+    shards: Option<usize>,
     seed: Option<u64>,
     goldens: PathBuf,
     bless: bool,
@@ -50,12 +259,15 @@ struct Args {
     checksum: bool,
     print: bool,
     trace: bool,
+    /// `--all` was used, so the file list is a complete corpus and the
+    /// golden directory can be swept for orphans.
+    swept: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut args = Args {
         files: Vec::new(),
-        shards: 0,
+        shards: None,
         seed: None,
         goldens: PathBuf::from("tests/goldens"),
         bless: false,
@@ -63,14 +275,13 @@ fn parse_args() -> Result<Args, String> {
         checksum: false,
         print: false,
         trace: false,
+        swept: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("flag {name} needs a value"));
         match flag.as_str() {
-            "--shards" => {
-                args.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
-            }
+            "--shards" => args.shards = Some(parse_shards(&value("--shards")?)?),
             "--seed" => {
                 args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
             }
@@ -82,6 +293,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--all {}: no .toml/.json specs found", dir.display()));
                 }
                 args.files.extend(found);
+                args.swept = true;
             }
             "--bless" => args.bless = true,
             "--check" => args.check = true,
@@ -114,48 +326,157 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
+/// One golden artifact kind a scenario may pin.
+struct GoldenKind {
+    suffix: &'static str,
+    what: &'static str,
+}
+
+const GOLDEN_KINDS: [GoldenKind; 3] = [
+    GoldenKind { suffix: ".golden.txt", what: "report" },
+    GoldenKind { suffix: ".trace.txt", what: "adaptive trace" },
+    GoldenKind { suffix: ".runlog.txt", what: "run log" },
+];
+
+/// Blesses or checks one golden artifact. `fresh` is `None` when the
+/// scenario does not produce this kind (an existing file is then stale).
+/// Returns `false` on a check failure.
+fn golden_artifact(
+    bless: bool,
+    scenario: &str,
+    what: &str,
+    path: &Path,
+    fresh: Option<&str>,
+) -> Result<bool, String> {
+    if bless {
+        match fresh {
+            Some(text) => {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+                println!("blessed {}", path.display());
+            }
+            // The scenario stopped producing this artifact: a leftover
+            // golden would rot unchecked, so blessing deletes it.
+            None => {
+                if path.exists() {
+                    std::fs::remove_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                    println!("removed stale {}", path.display());
+                }
+            }
+        }
+        return Ok(true);
+    }
+    // --check
+    match fresh {
+        None if path.exists() => {
+            eprintln!(
+                "STALE {scenario}: {} exists but the scenario produces no {what} \
+                 (re-bless to remove it)",
+                path.display()
+            );
+            Ok(false)
+        }
+        None => Ok(true),
+        Some(text) => match std::fs::read_to_string(path) {
+            Ok(golden) if golden == text => Ok(true),
+            Ok(golden) => {
+                eprintln!(
+                    "MISMATCH {scenario}: {what} differs from {} \
+                     (run with --bless after verifying the change is intentional)",
+                    path.display()
+                );
+                let (g_lines, r_lines): (Vec<&str>, Vec<&str>) =
+                    (golden.lines().collect(), text.lines().collect());
+                let diff_at = g_lines
+                    .iter()
+                    .zip(&r_lines)
+                    .position(|(g, r)| g != r)
+                    // One is a line-prefix of the other: the first diff is
+                    // the first unmatched line.
+                    .unwrap_or_else(|| g_lines.len().min(r_lines.len()));
+                fn line<'a>(v: &[&'a str], at: usize) -> &'a str {
+                    v.get(at).copied().unwrap_or("<end of file>")
+                }
+                eprintln!(
+                    "  first diff at line {}:\n  - {}\n  + {}",
+                    diff_at + 1,
+                    line(&g_lines, diff_at),
+                    line(&r_lines, diff_at)
+                );
+                Ok(false)
+            }
+            Err(e) => {
+                eprintln!("MISSING {scenario}: {}: {e}", path.display());
+                Ok(false)
+            }
+        },
+    }
+}
+
+/// Sweeps the golden directory for artifacts whose scenario no longer
+/// exists in the corpus. Returns the number of check failures.
+fn sweep_orphans(args: &Args, known: &BTreeSet<String>) -> Result<usize, String> {
+    let entries = match std::fs::read_dir(&args.goldens) {
+        Ok(entries) => entries,
+        // No goldens directory at all: nothing to sweep.
+        Err(_) => return Ok(0),
+    };
+    let mut failures = 0usize;
+    let mut names: Vec<String> =
+        entries.filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok())).collect();
+    names.sort();
+    for name in names {
+        let Some(stem) = GOLDEN_KINDS.iter().find_map(|k| name.strip_suffix(k.suffix)) else {
+            continue; // not a golden artifact
+        };
+        if known.contains(stem) {
+            continue;
+        }
+        let path = args.goldens.join(&name);
+        if args.bless {
+            std::fs::remove_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("removed orphaned {} (no scenario '{stem}' in the corpus)", path.display());
+        } else {
+            eprintln!(
+                "ORPHAN {}: no scenario '{stem}' in the corpus — a renamed or deleted spec \
+                 left its golden behind (re-bless to sweep it)",
+                path.display()
+            );
+            failures += 1;
+        }
+    }
+    Ok(failures)
+}
+
+fn golden_mode(argv: Vec<String>) -> ExitCode {
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let exec = if args.shards > 0 { ExecMode::Sharded(args.shards) } else { ExecMode::Serial };
+    let exec = exec_of(args.shards);
     // The cross-check mode: whatever the primary isn't.
-    let cross = if args.shards > 0 { ExecMode::Serial } else { ExecMode::Sharded(4) };
+    let cross = if args.shards.is_some() { ExecMode::Serial } else { ExecMode::Sharded(4) };
 
     let mut failures = 0usize;
+    let mut known: BTreeSet<String> = BTreeSet::new();
     for file in &args.files {
         let name = file.display();
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {name}: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        let spec = match ScenarioSpec::from_source(&file.to_string_lossy(), &src) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {name}: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        let runner = match ScenarioRunner::new(spec) {
+        let runner = match load_runner(file) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("error: {name}: {e}");
+                eprintln!("error: {e}");
                 failures += 1;
                 continue;
             }
         };
         let seed = args.seed.unwrap_or(runner.spec().seed);
-        let (report, trace) = match runner.run_full(exec, seed) {
-            Ok(r) => r,
+        let output = match runner.run_full(exec, seed) {
+            Ok(o) => o,
             Err(e) => {
                 eprintln!("error: {name}: {e}");
                 failures += 1;
@@ -165,14 +486,16 @@ fn main() -> ExitCode {
         // Verify the determinism contract against the other mode — except
         // under --checksum, whose whole purpose is an *external* comparison
         // (CI diffs a serial and a sharded invocation), so the built-in
-        // cross-run would only double the work. Adaptive traces are held
-        // to the same byte-identity bar as reports.
+        // cross-run would only double the work. Adaptive traces and run
+        // logs are held to the same byte-identity bar as reports.
         if !args.checksum {
             match runner.run_full(cross, seed) {
-                Ok((other, other_trace))
-                    if other.canonical() == report.canonical()
-                        && other_trace.as_ref().map(|t| t.canonical())
-                            == trace.as_ref().map(|t| t.canonical()) => {}
+                Ok(other)
+                    if other.report.canonical() == output.report.canonical()
+                        && other.trace.as_ref().map(|t| t.canonical())
+                            == output.trace.as_ref().map(|t| t.canonical())
+                        && other.log.as_ref().map(|l| l.canonical())
+                            == output.log.as_ref().map(|l| l.canonical()) => {}
                 Ok(_) => {
                     eprintln!(
                         "error: {name}: {exec:?} and {cross:?} runs diverge — determinism broken"
@@ -188,9 +511,11 @@ fn main() -> ExitCode {
             }
         }
 
-        let scenario = &report.name;
+        let report = &output.report;
+        let scenario = report.name.clone();
+        known.insert(scenario.clone());
         if args.checksum {
-            match &trace {
+            match &output.trace {
                 Some(t) => {
                     println!("{scenario} {:#018x} trace {:#018x}", report.checksum(), t.checksum())
                 }
@@ -200,113 +525,37 @@ fn main() -> ExitCode {
             print!("{}", report.canonical());
         }
         if args.trace {
-            match &trace {
+            match &output.trace {
                 Some(t) => print!("{}", t.canonical()),
                 None => println!("{scenario}: no [adaptive] block, no trace"),
             }
         }
 
-        let golden_path = args.goldens.join(format!("{scenario}.golden.txt"));
-        let trace_path = args.goldens.join(format!("{scenario}.trace.txt"));
-        if args.bless {
-            if let Some(parent) = golden_path.parent() {
-                let _ = std::fs::create_dir_all(parent);
+        if args.bless || args.check {
+            let artifacts: [(&GoldenKind, Option<String>); 3] = [
+                (&GOLDEN_KINDS[0], Some(report.canonical())),
+                (&GOLDEN_KINDS[1], output.trace.as_ref().map(|t| t.canonical())),
+                (&GOLDEN_KINDS[2], output.log.as_ref().map(|l| l.canonical())),
+            ];
+            let mut ok = true;
+            for (kind, fresh) in &artifacts {
+                let path = args.goldens.join(format!("{scenario}{}", kind.suffix));
+                match golden_artifact(args.bless, &scenario, kind.what, &path, fresh.as_deref()) {
+                    Ok(artifact_ok) => ok &= artifact_ok,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ok = false;
+                    }
+                }
             }
-            if let Err(e) = std::fs::write(&golden_path, report.canonical()) {
-                eprintln!("error: writing {}: {e}", golden_path.display());
+            if args.check {
+                if ok {
+                    println!("ok {scenario} ({:#018x})", report.checksum());
+                } else {
+                    failures += 1;
+                }
+            } else if !ok {
                 failures += 1;
-                continue;
-            }
-            println!("blessed {}", golden_path.display());
-            match &trace {
-                Some(t) => {
-                    if let Err(e) = std::fs::write(&trace_path, t.canonical()) {
-                        eprintln!("error: writing {}: {e}", trace_path.display());
-                        failures += 1;
-                        continue;
-                    }
-                    println!("blessed {}", trace_path.display());
-                }
-                // The scenario stopped producing a trace (its [adaptive]
-                // block was removed): a leftover trace golden would rot
-                // unchecked, so blessing deletes it.
-                None => {
-                    if trace_path.exists() {
-                        if let Err(e) = std::fs::remove_file(&trace_path) {
-                            eprintln!("error: removing stale {}: {e}", trace_path.display());
-                            failures += 1;
-                            continue;
-                        }
-                        println!("removed stale {}", trace_path.display());
-                    }
-                }
-            }
-        } else if args.check {
-            match std::fs::read_to_string(&golden_path) {
-                Ok(golden) if golden == report.canonical() => {
-                    let trace_ok = match &trace {
-                        None if trace_path.exists() => {
-                            eprintln!(
-                                "STALE {scenario}: {} exists but the scenario produces no \
-                                 adaptive trace (re-bless to remove it)",
-                                trace_path.display()
-                            );
-                            false
-                        }
-                        None => true,
-                        Some(t) => match std::fs::read_to_string(&trace_path) {
-                            Ok(golden_trace) if golden_trace == t.canonical() => true,
-                            Ok(_) => {
-                                eprintln!(
-                                    "MISMATCH {scenario}: adaptive trace differs from {} \
-                                     (re-bless after verifying the change is intentional)",
-                                    trace_path.display()
-                                );
-                                false
-                            }
-                            Err(e) => {
-                                eprintln!("MISSING {scenario}: {}: {e}", trace_path.display());
-                                false
-                            }
-                        },
-                    };
-                    if trace_ok {
-                        println!("ok {scenario} ({:#018x})", report.checksum());
-                    } else {
-                        failures += 1;
-                    }
-                }
-                Ok(golden) => {
-                    eprintln!(
-                        "MISMATCH {scenario}: report differs from {} \
-                         (run with --bless after verifying the change is intentional)",
-                        golden_path.display()
-                    );
-                    let fresh = report.canonical();
-                    let (g_lines, r_lines): (Vec<&str>, Vec<&str>) =
-                        (golden.lines().collect(), fresh.lines().collect());
-                    let diff_at = g_lines
-                        .iter()
-                        .zip(&r_lines)
-                        .position(|(g, r)| g != r)
-                        // One report is a line-prefix of the other: the
-                        // first diff is the first unmatched line.
-                        .unwrap_or_else(|| g_lines.len().min(r_lines.len()));
-                    fn line<'a>(v: &[&'a str], at: usize) -> &'a str {
-                        v.get(at).copied().unwrap_or("<end of report>")
-                    }
-                    eprintln!(
-                        "  first diff at line {}:\n  - {}\n  + {}",
-                        diff_at + 1,
-                        line(&g_lines, diff_at),
-                        line(&r_lines, diff_at)
-                    );
-                    failures += 1;
-                }
-                Err(e) => {
-                    eprintln!("MISSING {scenario}: {}: {e}", golden_path.display());
-                    failures += 1;
-                }
             }
         } else if !args.checksum && !args.print {
             let delivered: usize = report.queries.iter().map(|q| q.delivered).sum();
@@ -319,10 +568,45 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    // Orphan sweep: only when the file list is a complete corpus (--all)
+    // and every spec processed cleanly. A spec that failed to parse or
+    // run never landed in `known`, so sweeping would misreport its
+    // perfectly valid goldens as orphans (and bless would delete them —
+    // destroying evidence); the run is already failing loudly anyway.
+    if args.swept && (args.check || args.bless) && failures == 0 {
+        match sweep_orphans(&args, &known) {
+            Ok(orphans) => failures += orphans,
+            Err(e) => {
+                eprintln!("error: {e}");
+                failures += 1;
+            }
+        }
+    }
+
     if failures > 0 {
-        eprintln!("{failures} scenario(s) failed");
+        eprintln!("{failures} scenario(s)/golden(s) failed");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("record") => cmd_record(&argv[1..]).map(|()| true),
+        Some("replay") => cmd_replay(&argv[1..]).map(|()| true),
+        Some("resume") => cmd_resume(&argv[1..]).map(|()| true),
+        Some("diff") => cmd_diff(&argv[1..]),
+        _ => return golden_mode(argv),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

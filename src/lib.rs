@@ -82,6 +82,7 @@ pub use craqr_core as core;
 pub use craqr_engine as engine;
 pub use craqr_geom as geom;
 pub use craqr_mdpp as mdpp;
+pub use craqr_runlog as runlog;
 pub use craqr_scenario as scenario;
 pub use craqr_sensing as sensing;
 pub use craqr_stats as stats;

@@ -46,23 +46,31 @@ fn runner(stem: &str) -> ScenarioRunner {
 /// across modes, and returns the serial pair.
 fn run_both_modes(stem: &str) -> (ScenarioReport, AdaptiveTrace) {
     let runner = runner(stem);
-    let (serial, serial_trace) =
+    let serial_out =
         runner.run_full(ExecMode::Serial, runner.spec().seed).unwrap_or_else(|e| panic!("{e}"));
-    let (sharded, sharded_trace) =
+    let sharded_out =
         runner.run_full(ExecMode::Sharded(4), runner.spec().seed).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(
-        serial.canonical(),
-        sharded.canonical(),
+        serial_out.report.canonical(),
+        sharded_out.report.canonical(),
         "{stem}: serial and Sharded(4) reports diverge"
     );
-    let serial_trace = serial_trace.unwrap_or_else(|| panic!("{stem}: no adaptive trace"));
-    let sharded_trace = sharded_trace.unwrap_or_else(|| panic!("{stem}: no adaptive trace"));
+    let serial_trace = serial_out.trace.unwrap_or_else(|| panic!("{stem}: no adaptive trace"));
+    let sharded_trace = sharded_out.trace.unwrap_or_else(|| panic!("{stem}: no adaptive trace"));
     assert_eq!(
         serial_trace.canonical(),
         sharded_trace.canonical(),
         "{stem}: serial and Sharded(4) adaptive traces diverge"
     );
-    (serial, serial_trace)
+    // The run log (when the spec records one) is held to the same
+    // mode-independence bar: the inputs a run consumed do not depend on
+    // how the process phase was scheduled.
+    assert_eq!(
+        serial_out.log.as_ref().map(|l| l.canonical()),
+        sharded_out.log.as_ref().map(|l| l.canonical()),
+        "{stem}: serial and Sharded(4) run logs diverge"
+    );
+    (serial_out.report, serial_trace)
 }
 
 fn golden(name: &str) -> String {
@@ -154,9 +162,13 @@ fn drift_runs_are_bit_stable_across_reruns() {
 fn seed_override_changes_decisions_deterministically() {
     let runner = runner("drift_sensor_dropout");
     for seed in [1u64, 99] {
-        let (serial, st) = runner.run_full(ExecMode::Serial, seed).unwrap();
-        let (sharded, sh) = runner.run_full(ExecMode::Sharded(3), seed).unwrap();
-        assert_eq!(serial.canonical(), sharded.canonical(), "seed {seed}");
-        assert_eq!(st.expect("trace").canonical(), sh.expect("trace").canonical(), "seed {seed}");
+        let serial = runner.run_full(ExecMode::Serial, seed).unwrap();
+        let sharded = runner.run_full(ExecMode::Sharded(3), seed).unwrap();
+        assert_eq!(serial.report.canonical(), sharded.report.canonical(), "seed {seed}");
+        assert_eq!(
+            serial.trace.expect("trace").canonical(),
+            sharded.trace.expect("trace").canonical(),
+            "seed {seed}"
+        );
     }
 }

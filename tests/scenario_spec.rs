@@ -4,8 +4,8 @@
 
 use craqr::scenario::{
     AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
-    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, ScenarioSpec, ShiftSpec,
-    SpecError,
+    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, RunlogSpec, ScenarioSpec,
+    ShiftSpec, SpecError,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -405,6 +405,7 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
         queries,
         shifts: (0..rng.gen_range(0usize..4)).map(|_| arb_shift(rng, epochs, size_km)).collect(),
         adaptive: if rng.gen() { Some(arb_adaptive(rng)) } else { None },
+        runlog: if rng.gen() { Some(RunlogSpec { record: rng.gen() }) } else { None },
     }
 }
 
