@@ -10,6 +10,23 @@
 //! - the common level is chosen so the allocations sum to
 //!   `min(pool, Σ demand)`,
 //! - no query is starved to feed another one past its own demand.
+//!
+//! The multi-tenant variant ([`water_fill_tenants`]) adds a fairness
+//! boundary: each tenant's queries are first water-filled within that
+//! tenant's **own** pool, and only the capacity a tenant leaves unused
+//! (its surplus) is then water-filled across the still-unmet demands of
+//! everyone else. A drifting tenant can therefore never drain another
+//! tenant's pool — it can only borrow what the others did not need.
+//!
+//! Borrowed surplus is a **planning target**, not a spending right:
+//! dispatch-time charging (`craqr_core::tenant::TenantRegistry::allow`)
+//! still clamps every tenant's per-epoch charge at its *own* pool
+//! capacity — the conservation invariant is unconditional. Chain budgets
+//! above a tenant's pool therefore express replan priority (they steer
+//! which chains the tenant's own capacity reaches first, and count as
+//! `throttled` beyond it); they become real extra spend only under a
+//! charging model that credits surplus, e.g. the incentive-aware billing
+//! direction in ROADMAP.md.
 
 /// Allocates `pool` across demands by water-filling. Returns one
 /// allocation per demand, in input order; allocations sum to
@@ -44,15 +61,89 @@ pub fn water_fill(demands: &[f64], pool: f64) -> Vec<f64> {
         let level = remaining / (live - filled) as f64;
         if caps[i] <= level {
             // This query's demand sits below the water level: satisfy it
-            // fully and re-level the rest.
+            // fully and re-level the rest. Clamp at zero — float rounding
+            // near pool exhaustion could otherwise sink `remaining`
+            // epsilon-negative, turning the next level (and with it the
+            // remaining allocations) negative.
             alloc[i] = caps[i];
-            remaining -= caps[i];
+            remaining = (remaining - caps[i]).max(0.0);
         } else {
             // Everyone remaining demands more than the level: split evenly.
             for &j in &order[filled..] {
                 alloc[j] = level;
             }
             return alloc;
+        }
+    }
+    alloc
+}
+
+/// Allocates across per-tenant pools with a hard fairness boundary.
+///
+/// `demands[i]` is query `i`'s demand and `owners[i]` indexes the tenant
+/// pool it draws from; `pools[t]` is tenant `t`'s pool (requests/epoch).
+/// Two stages:
+///
+/// 1. **Within pools** — each tenant's demands are water-filled from that
+///    tenant's own pool, so every tenant is guaranteed its fair fill of
+///    its own capacity no matter how hard anyone else drifts.
+/// 2. **Surplus across tenants** — capacity a tenant's demands left
+///    unused is pooled and water-filled across everyone's *residual*
+///    (still-unmet) demands, so spare capacity is not stranded at the
+///    planning layer (see the module docs for what borrowed surplus
+///    means at dispatch time).
+///
+/// Allocations never exceed demands, per-tenant own-pool fills are
+/// monotone in the tenant's own pool, and the total never exceeds
+/// `Σ pools`. Non-finite or negative demands are treated as zero (as in
+/// [`water_fill`]).
+///
+/// # Panics
+/// Panics when `demands` and `owners` disagree in length, an owner index
+/// is out of range, or a pool is negative/non-finite.
+#[track_caller]
+pub fn water_fill_tenants(demands: &[f64], owners: &[usize], pools: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), owners.len(), "one owner per demand");
+    for pool in pools {
+        assert!(pool.is_finite() && *pool >= 0.0, "pool must be >= 0, got {pool}");
+    }
+    for (i, owner) in owners.iter().enumerate() {
+        assert!(
+            *owner < pools.len(),
+            "demand {i} names tenant {owner}, only {} pools",
+            pools.len()
+        );
+    }
+    let mut alloc = vec![0.0; demands.len()];
+    if demands.is_empty() {
+        return alloc;
+    }
+
+    // Stage 1: per-tenant fills from each tenant's own pool.
+    for (tenant, pool) in pools.iter().enumerate() {
+        let members: Vec<usize> = (0..demands.len()).filter(|i| owners[*i] == tenant).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let member_demands: Vec<f64> = members.iter().map(|i| demands[*i]).collect();
+        let fills = water_fill(&member_demands, *pool);
+        for (i, fill) in members.iter().zip(fills) {
+            alloc[*i] = fill;
+        }
+    }
+    // Stage 2: surplus sharing. What every tenant's demands left unused
+    // is offered to the unmet remainder of all demands.
+    let used: f64 = alloc.iter().sum();
+    let surplus = (pools.iter().sum::<f64>() - used).max(0.0);
+    if surplus > 0.0 {
+        let residuals: Vec<f64> = demands
+            .iter()
+            .zip(&alloc)
+            .map(|(d, a)| if d.is_finite() && *d > 0.0 { (d - a).max(0.0) } else { 0.0 })
+            .collect();
+        let extras = water_fill(&residuals, surplus);
+        for (a, extra) in alloc.iter_mut().zip(extras) {
+            *a += extra;
         }
     }
     alloc
@@ -150,6 +241,110 @@ mod tests {
     fn empty_inputs() {
         assert!(water_fill(&[], 10.0).is_empty());
         assert_eq!(water_fill(&[4.0], 0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn rounding_near_exhaustion_never_goes_negative() {
+        // Regression for the float-rounding drift: caps engineered so the
+        // running subtraction `remaining -= cap` lands epsilon-negative
+        // right as the pool exhausts, which used to push the next water
+        // level — and with it the remaining allocations — below zero.
+        // Adversarial cap/pool pairs: many near-equal caps whose exact sum
+        // is not representable, pools at (and epsilon around) Σ caps.
+        let mut rng = craqr_stats::seeded_rng(0xD81F7);
+        use rand::Rng;
+        for case in 0..2000 {
+            let n = rng.gen_range(1usize..10);
+            let base: f64 = rng.gen_range(0.01..3.0);
+            let demands: Vec<f64> = (0..n)
+                .map(|_| base + rng.gen_range(-1e-13..1e-13) + rng.gen_range(0.0..0.3))
+                .collect();
+            let cap_sum: f64 = demands.iter().sum();
+            for pool in [
+                cap_sum,
+                f64::from_bits(cap_sum.to_bits() - 1),
+                f64::from_bits(cap_sum.to_bits() + 1),
+                cap_sum * (1.0 - 1e-15),
+                rng.gen_range(0.0..cap_sum * 1.5),
+            ] {
+                let pool = pool.max(0.0);
+                let alloc = water_fill(&demands, pool);
+                for (i, a) in alloc.iter().enumerate() {
+                    assert!(
+                        *a >= 0.0,
+                        "case {case}: negative allocation {a} at {i} for pool {pool}: \
+                         {demands:?} → {alloc:?}"
+                    );
+                }
+                let got = total(&alloc);
+                assert!(
+                    got <= pool * (1.0 + 1e-12) + 1e-12,
+                    "case {case}: overdraw {got} > pool {pool}: {demands:?} → {alloc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_fill_respects_pool_boundaries() {
+        // Tenant 0 (pool 10) demands far more than it owns; tenant 1
+        // (pool 20) demands less. Tenant 0 gets its own pool plus only
+        // tenant 1's surplus — tenant 1's fill is untouched.
+        let demands = [50.0, 8.0];
+        let owners = [0, 1];
+        let pools = [10.0, 20.0];
+        let alloc = water_fill_tenants(&demands, &owners, &pools);
+        assert_eq!(alloc[1], 8.0, "tenant 1's own-pool fill is untouchable");
+        assert!((alloc[0] - 22.0).abs() < 1e-9, "10 own + 12 surplus, got {}", alloc[0]);
+        assert!(total(&alloc) <= 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn tenant_fill_shares_surplus_but_never_own_pool_fills() {
+        let mut rng = craqr_stats::seeded_rng(0x7E4A47);
+        use rand::Rng;
+        for _ in 0..500 {
+            let n_tenants = rng.gen_range(1usize..4);
+            let pools: Vec<f64> = (0..n_tenants).map(|_| rng.gen_range(0.0..30.0)).collect();
+            let n = rng.gen_range(0usize..7);
+            let demands: Vec<f64> = (0..n)
+                .map(|_| match rng.gen_range(0u8..5) {
+                    0 => 0.0,
+                    1 => -1.0,
+                    2 => f64::NAN,
+                    _ => rng.gen_range(0.01..25.0),
+                })
+                .collect();
+            let owners: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n_tenants)).collect();
+            let alloc = water_fill_tenants(&demands, &owners, &pools);
+
+            // Nothing negative, nothing over demand, total within Σ pools.
+            for (i, a) in alloc.iter().enumerate() {
+                assert!(*a >= 0.0, "negative allocation: {alloc:?}");
+                if demands[i].is_finite() && demands[i] > 0.0 {
+                    assert!(*a <= demands[i] + 1e-9, "over-demand at {i}: {alloc:?}");
+                } else {
+                    assert_eq!(*a, 0.0, "zeroed demand got budget");
+                }
+            }
+            let pool_sum: f64 = pools.iter().sum();
+            assert!(total(&alloc) <= pool_sum * (1.0 + 1e-12) + 1e-9, "overdraw: {alloc:?}");
+
+            // The fairness boundary: every tenant's allocation is at least
+            // its own-pool water fill — surplus can only add.
+            for (tenant, pool) in pools.iter().enumerate() {
+                let members: Vec<usize> = (0..n).filter(|i| owners[*i] == tenant).collect();
+                let own: Vec<f64> = members.iter().map(|i| demands[*i]).collect();
+                let own_fill = water_fill(&own, *pool);
+                for (idx, fill) in members.iter().zip(own_fill) {
+                    assert!(
+                        alloc[*idx] + 1e-9 >= fill,
+                        "tenant {tenant} lost own-pool budget: {} < {fill}",
+                        alloc[*idx]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub struct AdaptiveConfig {
     /// Total acquisition budget (requests/epoch) the water-filling
     /// allocator distributes on a replan. `None`: the pool is the sum of
     /// the live per-chain budgets at replan time (re-allocate, don't
-    /// grow).
+    /// grow). Ignored on multi-tenant servers — their replans allocate
+    /// from the registered per-tenant pools (the scenario schema rejects
+    /// the combination outright).
     pub budget_pool: Option<f64>,
     /// Also rebuild the fired queries' chains on a replan, restarting
     /// their flatten estimators and `N_v` telemetry (the post-shift world

@@ -1,10 +1,10 @@
 //! The adaptive acquisition controller — a [`ControlHook`] closing the
 //! sense → estimate → re-plan loop over the epoch executor.
 
-use crate::allocator::water_fill;
+use crate::allocator::{water_fill, water_fill_tenants};
 use crate::config::{AdaptiveConfig, DetectorKind};
-use crate::trace::{AdaptiveTrace, ObservationRow, ReplanRecord};
-use craqr_core::{ControlAction, ControlHook, EpochObservation, QueryId};
+use crate::trace::{AdaptiveTrace, ObservationRow, ReplanRecord, TenantPoolRow};
+use craqr_core::{ControlAction, ControlHook, EpochObservation, QueryId, TenantId};
 use craqr_geom::{CellId, Rect, SpaceTimePoint, SpaceTimeWindow};
 use craqr_mdpp::{IntensityModel, IntensitySummary, SgdEstimator};
 use craqr_sensing::AttributeId;
@@ -48,6 +48,8 @@ impl Detector {
 struct QueryTrack {
     qid: QueryId,
     attr: AttributeId,
+    /// The owning tenant whose pool bounds this query's replan share.
+    tenant: TenantId,
     requested_rate: f64,
     /// Footprint area (km²).
     area: f64,
@@ -147,6 +149,7 @@ impl AdaptiveController {
             self.tracks.push(QueryTrack {
                 qid,
                 attr: plan.query.attr,
+                tenant: plan.query.tenant,
                 requested_rate: plan.query.rate,
                 area: plan.footprint.area(),
                 bbox,
@@ -202,14 +205,41 @@ impl AdaptiveController {
                     * deficit
             })
             .collect();
-        let pool = self.config.budget_pool.unwrap_or_else(|| {
-            obs.fabricator
-                .demands()
+        // Multi-tenant servers replan inside tenant pool boundaries:
+        // every query is first filled from its own tenant's pool, and
+        // only unused capacity crosses tenants ([`water_fill_tenants`]).
+        // Single-owner servers keep the flat shared-pool fill.
+        let tenant_summaries =
+            obs.tenants.filter(|r| !r.is_empty()).map(|r| r.summaries()).unwrap_or_default();
+        let (pool, allocations, tenant_pools) = if tenant_summaries.is_empty() {
+            let pool = self.config.budget_pool.unwrap_or_else(|| {
+                obs.fabricator
+                    .demands()
+                    .iter()
+                    .filter_map(|(cell, attr, _)| obs.handler.budget_of(*cell, *attr))
+                    .sum()
+            });
+            (pool, water_fill(&demands, pool), Vec::new())
+        } else {
+            // Tenant ids are dense from 0 in registration order, so the
+            // id doubles as the pool index.
+            let pools: Vec<f64> = tenant_summaries.iter().map(|s| s.capacity).collect();
+            let owners: Vec<usize> = self.tracks.iter().map(|t| t.tenant.0 as usize).collect();
+            let allocations = water_fill_tenants(&demands, &owners, &pools);
+            let tenant_pools = tenant_summaries
                 .iter()
-                .filter_map(|(cell, attr, _)| obs.handler.budget_of(*cell, *attr))
-                .sum()
-        });
-        let allocations = water_fill(&demands, pool);
+                .map(|s| {
+                    let (demand, alloc) = self
+                        .tracks
+                        .iter()
+                        .zip(demands.iter().zip(&allocations))
+                        .filter(|(t, _)| t.tenant == s.tenant)
+                        .fold((0.0, 0.0), |(d, a), (_, (dd, aa))| (d + dd, a + aa));
+                    TenantPoolRow { tenant: s.tenant.0, pool: s.capacity, demand, alloc }
+                })
+                .collect();
+            (pools.iter().sum(), allocations, tenant_pools)
+        };
 
         // Fold per-query allocations onto their chains, proportional to the
         // per-cell overlap area (two queries sharing a chain both
@@ -267,6 +297,7 @@ impl AdaptiveController {
                 .zip(demands.iter().zip(&allocations))
                 .map(|(t, (d, a))| (t.qid.0, *d, *a))
                 .collect(),
+            tenant_pools,
             budgets,
             rebuilds: rebuilds.len(),
         };

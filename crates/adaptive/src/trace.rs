@@ -36,6 +36,22 @@ pub struct ObservationRow {
     pub drift: Option<DriftDirection>,
 }
 
+/// Per-tenant accounting of one multi-tenant replan: the tenant's pool,
+/// what its queries demanded, and what the two-stage tenant water-fill
+/// allocated them (own pool first, cross-tenant surplus second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPoolRow {
+    /// The tenant (dense registration-order id).
+    pub tenant: u32,
+    /// The tenant's pool capacity (requests/epoch).
+    pub pool: f64,
+    /// Summed demand of the tenant's queries.
+    pub demand: f64,
+    /// Summed allocation to the tenant's queries. Always at least the
+    /// tenant's own-pool water fill — surplus borrowing only adds.
+    pub alloc: f64,
+}
+
 /// One replanning decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplanRecord {
@@ -43,10 +59,14 @@ pub struct ReplanRecord {
     pub epoch: u64,
     /// The queries whose detectors fired, with the shift direction.
     pub triggers: Vec<(u64, DriftDirection)>,
-    /// The budget pool (requests/epoch) the allocator distributed.
+    /// The budget pool (requests/epoch) the allocator distributed — on a
+    /// multi-tenant server, the sum of the per-tenant pools.
     pub pool: f64,
     /// Per-query `(query, demand, allocation)` from the water-filler.
     pub allocations: Vec<(u64, f64, f64)>,
+    /// Per-tenant pool accounting (empty on single-owner servers; the
+    /// trace section — and the golden — only exists for tenanted runs).
+    pub tenant_pools: Vec<TenantPoolRow>,
     /// The resulting per-chain budgets (requests/epoch), sorted by
     /// (cell, attribute).
     pub budgets: Vec<(CellId, AttributeId, f64)>,
@@ -159,6 +179,16 @@ impl AdaptiveTrace {
             for (q, demand, alloc) in &r.allocations {
                 let _ = writeln!(s, "  q={} demand={} alloc={}", q, f4(*demand), f4(*alloc));
             }
+            for t in &r.tenant_pools {
+                let _ = writeln!(
+                    s,
+                    "  tenant={} pool={} demand={} alloc={}",
+                    t.tenant,
+                    f4(t.pool),
+                    f4(t.demand),
+                    f4(t.alloc),
+                );
+            }
             for (cell, attr, budget) in &r.budgets {
                 let _ = writeln!(s, "  set cell={} attr={} budget={}", cell, attr, f4(*budget));
             }
@@ -209,6 +239,7 @@ mod tests {
                 triggers: vec![(0, DriftDirection::Up)],
                 pool: 40.0,
                 allocations: vec![(0, 55.5, 40.0)],
+                tenant_pools: Vec::new(),
                 budgets: vec![(CellId::new(0, 0), AttributeId(0), 10.0)],
                 rebuilds: 1,
             }],
@@ -229,6 +260,18 @@ mod tests {
         let mut b = trace();
         b.observations[0].delivered += 1;
         assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn tenant_pool_rows_render_only_when_present() {
+        let plain = trace();
+        assert!(!plain.canonical().contains("tenant="), "single-owner traces stay byte-stable");
+        let mut tenanted = trace();
+        tenanted.replans[0].tenant_pools =
+            vec![TenantPoolRow { tenant: 0, pool: 40.0, demand: 55.5, alloc: 40.0 }];
+        let canon = tenanted.canonical();
+        assert!(canon.contains("tenant=0 pool=40.0000 demand=55.5000 alloc=40.0000"), "{canon}");
+        assert_ne!(plain.checksum(), tenanted.checksum());
     }
 
     #[test]

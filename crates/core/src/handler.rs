@@ -3,10 +3,42 @@
 use crate::budget::{Budget, BudgetTuner, TuneOutcome};
 use crate::incentive::{IncentivePolicy, IncentiveState};
 use crate::ops::FlattenReport;
+use crate::tenant::{TenantId, TenantRegistry};
 use craqr_geom::{CellId, Grid};
 use craqr_sensing::{AttributeId, Crowd};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-chain tenant ownership shares, as produced by
+/// [`crate::plan::Fabricator::tenant_shares`].
+pub type ChainShares = HashMap<(CellId, AttributeId), Vec<(TenantId, f64)>>;
+
+/// The tenant-charging context one dispatch runs under: the registry
+/// holding the pools plus the chain→tenant share map. `None` is the
+/// single-owner world — no clamping, no charging, bit-identical to the
+/// pre-tenant dispatch.
+pub type Tenancy<'a> = Option<(&'a mut TenantRegistry, &'a ChainShares)>;
+
+/// Clamps one chain's drawn request count to what its owning tenants'
+/// pools can still cover this epoch, charging the dispatched amount to
+/// them by share. The single definition both the live and the detached
+/// dispatch use — the registry's epoch meters are handler-side state a
+/// replay must reproduce bit-for-bit, so the two paths must never
+/// diverge. No tenancy (or an unowned chain) passes `wanted` through
+/// untouched.
+fn clamp_and_charge(tenancy: &mut Tenancy<'_>, key: (CellId, AttributeId), wanted: usize) -> usize {
+    match tenancy {
+        Some((registry, shares)) => match shares.get(&key) {
+            Some(owners) => {
+                let allowed = registry.allow(owners, wanted);
+                registry.charge(owners, allowed);
+                allowed
+            }
+            None => wanted,
+        },
+        None => wanted,
+    }
+}
 
 /// Per-epoch dispatch statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -15,6 +47,9 @@ pub struct DispatchStats {
     pub requested: u64,
     /// Requests actually sent (cells can be empty of sensors).
     pub sent: u64,
+    /// Requests withheld because an owning tenant's budget pool was
+    /// exhausted this epoch (always 0 in single-owner servers).
+    pub throttled: u64,
 }
 
 /// One budget-tuning event, for observability.
@@ -81,6 +116,23 @@ impl RequestResponseHandler {
         grid: &Grid,
         demands: &[(CellId, AttributeId, f64)],
     ) -> DispatchStats {
+        self.dispatch_epoch_tenants(crowd, grid, demands, None)
+    }
+
+    /// [`RequestResponseHandler::dispatch_epoch`] under a tenant-charging
+    /// context: each chain's drawn request count is clamped to what its
+    /// owning tenants' pools can still cover this epoch
+    /// ([`TenantRegistry::allow`]), the dispatched count is charged to
+    /// those tenants by share, and the withheld remainder is reported as
+    /// [`DispatchStats::throttled`]. With `tenancy = None` this is
+    /// bit-identical to the plain dispatch.
+    pub fn dispatch_epoch_tenants(
+        &mut self,
+        crowd: &mut Crowd,
+        grid: &Grid,
+        demands: &[(CellId, AttributeId, f64)],
+        mut tenancy: Tenancy<'_>,
+    ) -> DispatchStats {
         // Prune state for dematerialized chains.
         let live: std::collections::HashSet<(CellId, AttributeId)> =
             demands.iter().map(|(c, a, _)| (*c, *a)).collect();
@@ -96,10 +148,15 @@ impl RequestResponseHandler {
             if n == 0 {
                 continue;
             }
+            let allowed = clamp_and_charge(&mut tenancy, key, n);
+            stats.requested += n as u64;
+            stats.throttled += (n - allowed) as u64;
+            if allowed == 0 {
+                continue;
+            }
             let incentive = self.incentives.entry(key).or_default().current(&self.incentive_policy);
             let rect = grid.cell_rect(*cell);
-            let sent = crowd.dispatch_requests(*attr, &rect, n, incentive);
-            stats.requested += n as u64;
+            let sent = crowd.dispatch_requests(*attr, &rect, allowed, incentive);
             stats.sent += sent as u64;
         }
         self.total_requested += stats.requested;
@@ -117,13 +174,14 @@ impl RequestResponseHandler {
         &mut self,
         demands: &[(CellId, AttributeId, f64)],
         sent: u64,
+        mut tenancy: Tenancy<'_>,
     ) -> DispatchStats {
         let live: std::collections::HashSet<(CellId, AttributeId)> =
             demands.iter().map(|(c, a, _)| (*c, *a)).collect();
         self.budgets.retain(|k, _| live.contains(k));
         self.incentives.retain(|k, _| live.contains(k));
 
-        let mut requested = 0u64;
+        let mut stats = DispatchStats { sent, ..DispatchStats::default() };
         for (cell, attr, _rate) in demands {
             let key = (*cell, *attr);
             let budget =
@@ -132,12 +190,19 @@ impl RequestResponseHandler {
             if n == 0 {
                 continue;
             }
+            // Tenant clamping and charging evolve identically to the live
+            // dispatch — the registry's epoch meters are part of the
+            // handler-side state a replay must reproduce bit-for-bit.
+            let allowed = clamp_and_charge(&mut tenancy, key, n);
+            stats.requested += n as u64;
+            stats.throttled += (n - allowed) as u64;
+            if allowed == 0 {
+                continue;
+            }
             // The live path materializes the incentive entry here; mirror
             // it so replayed and live handler states stay identical.
             let _ = self.incentives.entry(key).or_default().current(&self.incentive_policy);
-            requested += n as u64;
         }
-        let stats = DispatchStats { requested, sent };
         self.total_requested += stats.requested;
         self.total_sent += stats.sent;
         stats
@@ -180,21 +245,35 @@ impl RequestResponseHandler {
         self.budgets.get(&(cell, attr)).map(|b| b.requests_per_epoch)
     }
 
-    /// Overwrites a chain's budget (requests per epoch), creating it if
-    /// absent — the replanning actuator of the adaptive control loop. The
-    /// chain's fractional-rounding credit is preserved so a replan does not
+    /// Overwrites a **live** chain's budget (requests per epoch) — the
+    /// replanning actuator of the adaptive control loop. The chain's
+    /// fractional-rounding credit is preserved so a replan does not
     /// perturb the long-run rate accounting.
+    ///
+    /// Returns whether the (cell, attribute) key was live. A replan can
+    /// race a chain retirement (the query was deleted between the
+    /// observation and the actuation); mutating an unknown key used to
+    /// insert a phantom `Budget` entry that dangled until the next
+    /// dispatch pruned it — now the stale actuation is a signalled no-op
+    /// instead, and the caller can surface it
+    /// ([`crate::EpochReport::stale_actions`]).
     ///
     /// # Panics
     /// Panics on a negative or non-finite budget.
     #[track_caller]
-    pub fn set_budget(&mut self, cell: CellId, attr: AttributeId, requests_per_epoch: f64) {
+    #[must_use = "a false return means the chain is retired and nothing was actuated"]
+    pub fn set_budget(&mut self, cell: CellId, attr: AttributeId, requests_per_epoch: f64) -> bool {
         assert!(
             requests_per_epoch.is_finite() && requests_per_epoch >= 0.0,
             "budget must be >= 0, got {requests_per_epoch}"
         );
-        self.budgets.entry((cell, attr)).or_insert_with(|| Budget::new(0.0)).requests_per_epoch =
-            requests_per_epoch;
+        match self.budgets.get_mut(&(cell, attr)) {
+            Some(budget) => {
+                budget.requests_per_epoch = requests_per_epoch;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Current incentive for a chain.

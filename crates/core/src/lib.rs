@@ -34,6 +34,9 @@
 //! - [`incentive`], [`optimizer`], [`error_model`]: the Section VI
 //!   extensions (incentive escalation, chain-vs-tree topology cost,
 //!   error injection and mitigation).
+//! - [`tenant`]: multi-tenant budget pools — per-owner admission control
+//!   at submit time and conservation-enforced per-epoch charging at
+//!   dispatch time.
 //! - [`server`]: [`server::CraqrServer`] gluing all of the above to a
 //!   simulated [`craqr_sensing::Crowd`].
 
@@ -50,6 +53,7 @@ pub mod optimizer;
 pub mod plan;
 pub mod query;
 pub mod server;
+pub mod tenant;
 pub mod tuple;
 
 pub use budget::{Budget, BudgetTuner};
@@ -64,4 +68,5 @@ pub use server::{
     ControlAction, ControlHook, CraqrServer, EpochInputsRecord, EpochObservation, EpochReport,
     EpochTap, ReplayInputs, ServerConfig,
 };
+pub use tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry, TenantSummary};
 pub use tuple::CrowdTuple;

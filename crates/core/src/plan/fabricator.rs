@@ -81,6 +81,11 @@ pub struct Fabricator {
     merges: HashMap<QueryId, UnionOp>,
     next_query: u64,
     dropped_unmaterialized: u64,
+    /// Cached per-chain tenant ownership, a pure function of the standing
+    /// queries — invalidated on insert/delete (chain rebuilds keep the
+    /// consumer set, so they leave it valid) and rebuilt lazily so the
+    /// epoch loop does not re-derive it every epoch.
+    tenant_shares: Option<crate::handler::ChainShares>,
 }
 
 impl Fabricator {
@@ -94,6 +99,7 @@ impl Fabricator {
             merges: HashMap::new(),
             next_query: 0,
             dropped_unmaterialized: 0,
+            tenant_shares: None,
         }
     }
 
@@ -194,6 +200,7 @@ impl Fabricator {
         let footprint = Region::from_disjoint(parts.clone());
         self.merges.insert(qid, UnionOp::nary(parts));
         self.queries.insert(qid, QueryPlan { query, cells, footprint });
+        self.tenant_shares = None;
         Ok(qid)
     }
 
@@ -202,6 +209,7 @@ impl Fabricator {
     pub fn delete_query(&mut self, qid: QueryId) -> Result<Vec<CrowdTuple>, PlanError> {
         let plan = self.queries.remove(&qid).ok_or(PlanError::UnknownQuery(qid))?;
         self.merges.remove(&qid);
+        self.tenant_shares = None;
         let mut leftovers = Vec::new();
         for (cell, _, _) in &plan.cells {
             let Some(attr_chains) = self.cells.get_mut(cell) else { continue };
@@ -327,6 +335,58 @@ impl Fabricator {
     /// request/response handler must feed.
     pub fn demands(&self) -> Vec<(CellId, AttributeId, f64)> {
         self.flatten_reports().into_iter().map(|(c, a, _, r)| (c, a, r)).collect()
+    }
+
+    /// Ensures the tenant-share cache reflects the current query set.
+    /// Call before [`Fabricator::tenant_shares`]; a no-op while the cache
+    /// is warm (the query set only changes on insert/delete, not per
+    /// epoch).
+    pub fn refresh_tenant_shares(&mut self) {
+        if self.tenant_shares.is_none() {
+            self.tenant_shares = Some(self.compute_tenant_shares());
+        }
+    }
+
+    /// Per-chain tenant ownership: for every materialized (cell,
+    /// attribute) chain, the tenants whose standing queries consume it,
+    /// with each tenant's share of the chain's cost — the tenant's summed
+    /// consumer rates over the chain's total consumer rates. Shares are
+    /// ascending by [`crate::tenant::TenantId`] and sum to 1 per chain;
+    /// the whole map is a deterministic function of the standing queries,
+    /// so tenant charging inherits the executor determinism contract.
+    ///
+    /// # Panics
+    /// Panics when the cache is cold — run
+    /// [`Fabricator::refresh_tenant_shares`] first (the split exists so
+    /// the epoch loop can hold this borrow immutably alongside others).
+    #[track_caller]
+    pub fn tenant_shares(&self) -> &crate::handler::ChainShares {
+        self.tenant_shares.as_ref().expect("refresh_tenant_shares() before tenant_shares()")
+    }
+
+    fn compute_tenant_shares(&self) -> crate::handler::ChainShares {
+        let mut rates: HashMap<(CellId, AttributeId), std::collections::BTreeMap<_, f64>> =
+            HashMap::new();
+        for plan in self.queries.values() {
+            for (cell, _, _) in &plan.cells {
+                *rates
+                    .entry((*cell, plan.query.attr))
+                    .or_default()
+                    .entry(plan.query.tenant)
+                    .or_insert(0.0) += plan.query.rate;
+            }
+        }
+        rates
+            .into_iter()
+            .map(|(key, by_tenant)| {
+                let total: f64 = by_tenant.values().sum();
+                let shares = by_tenant
+                    .into_iter()
+                    .map(|(tenant, rate)| (tenant, if total > 0.0 { rate / total } else { 0.0 }))
+                    .collect();
+                (key, shares)
+            })
+            .collect()
     }
 
     /// **map + process**: routes one ingestion batch to the per-cell

@@ -29,7 +29,7 @@ impl fmt::Display for QueryId {
 
 /// A typed acquisitional query: the triple the paper's `Q⟨1⟩` example
 /// carries ("Acquire the attribute A⟨1⟩ = rain from region R′ ⊂ R at the
-/// rate of 10 /km²/min").
+/// rate of 10 /km²/min"), plus the tenant that owns (and pays for) it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AcquisitionQuery {
     /// The attribute `A⟨j⟩` to acquire.
@@ -38,17 +38,25 @@ pub struct AcquisitionQuery {
     pub region: Rect,
     /// The requested rate λ (tuples / km² / min).
     pub rate: f64,
+    /// The owning tenant whose budget pool the query draws from
+    /// ([`crate::tenant::TenantId::DEFAULT`] in single-owner servers).
+    pub tenant: crate::tenant::TenantId,
 }
 
 impl AcquisitionQuery {
-    /// Creates a query.
+    /// Creates a query owned by the implicit default tenant.
     ///
     /// # Panics
     /// Panics on a non-positive or non-finite rate.
     #[track_caller]
     pub fn new(attr: AttributeId, region: Rect, rate: f64) -> Self {
         assert!(rate.is_finite() && rate > 0.0, "query rate must be > 0, got {rate}");
-        Self { attr, region, rate }
+        Self { attr, region, rate, tenant: crate::tenant::TenantId::DEFAULT }
+    }
+
+    /// The same query owned by `tenant`.
+    pub fn owned_by(self, tenant: crate::tenant::TenantId) -> Self {
+        Self { tenant, ..self }
     }
 
     /// Expected number of tuples this query should receive over `minutes`.

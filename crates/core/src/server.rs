@@ -7,6 +7,7 @@ use crate::handler::{DispatchStats, RequestResponseHandler, TuneEvent};
 use crate::incentive::IncentivePolicy;
 use crate::plan::{Fabricator, PlanError, PlannerConfig};
 use crate::query::{parse_query, AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
+use crate::tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry};
 use crate::tuple::{CrowdTuple, TupleIdGen};
 use craqr_sensing::{AttributeId, Crowd, Field, SensorResponse};
 use craqr_stats::sub_rng;
@@ -111,6 +112,12 @@ pub enum SubmitError {
     Parse(ParseError),
     /// The parsed query could not be planned.
     Plan(PlanError),
+    /// The query names a tenant the server never registered.
+    UnknownTenant(TenantId),
+    /// Admission control rejected the query: its owning tenant's budget
+    /// pool cannot cover the estimated demand. The structured decision
+    /// carries the full arithmetic for the audit trail.
+    Rejected(AdmissionDecision),
 }
 
 impl fmt::Display for SubmitError {
@@ -118,6 +125,8 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::Parse(e) => write!(f, "parse error: {e}"),
             SubmitError::Plan(e) => write!(f, "plan error: {e}"),
+            SubmitError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            SubmitError::Rejected(d) => write!(f, "admission rejected: {d}"),
         }
     }
 }
@@ -158,6 +167,14 @@ pub struct EpochReport {
     pub delivered: Vec<(QueryId, usize)>,
     /// Budget tuning events.
     pub tuning: Vec<TuneEvent>,
+    /// Requests charged per tenant this epoch, ascending by [`TenantId`]
+    /// (empty in single-owner servers). Every entry satisfies
+    /// `charge ≤ pool capacity` — dispatch throttles rather than
+    /// overdraws.
+    pub tenant_charges: Vec<(TenantId, f64)>,
+    /// Control actions that targeted a retired chain and were dropped as
+    /// signalled no-ops (a replan racing a chain retirement).
+    pub stale_actions: u64,
 }
 
 /// What a [`ControlHook`] gets to see after each epoch: the epoch's
@@ -177,6 +194,9 @@ pub struct EpochObservation<'a> {
     pub fabricator: &'a Fabricator,
     /// The request/response handler: budgets, incentives, totals.
     pub handler: &'a RequestResponseHandler,
+    /// The tenant registry, when this server is multi-tenant — replanning
+    /// policies use it to respect per-tenant pool boundaries.
+    pub tenants: Option<&'a TenantRegistry>,
     /// Simulation time at the start of the epoch (minutes).
     pub epoch_start: f64,
     /// Simulation time at the end of the epoch (minutes).
@@ -289,6 +309,13 @@ pub struct CraqrServer {
     error_rng: StdRng,
     config: ServerConfig,
     outputs: HashMap<QueryId, Vec<CrowdTuple>>,
+    tenants: Option<TenantRegistry>,
+    /// What each admitted query actually committed against its tenant's
+    /// pool — recorded at admission so deletion releases exactly that
+    /// (never populated for queries submitted before the first tenant
+    /// registration: they were never admission-checked, so deleting them
+    /// must not refund capacity nobody committed).
+    committed_demands: HashMap<QueryId, (TenantId, f64)>,
     epoch: u64,
 }
 
@@ -317,9 +344,40 @@ impl CraqrServer {
             error_rng: sub_rng(config.planner.seed, 0xE44),
             config,
             outputs: HashMap::new(),
+            tenants: None,
+            committed_demands: HashMap::new(),
             epoch: 0,
             crowd,
         }
+    }
+
+    /// Registers a tenant with a budget pool of `capacity` requests per
+    /// epoch, returning its id (registration order, dense from 0). The
+    /// first registration switches the server into multi-tenant mode:
+    /// from then on every submission runs admission control and every
+    /// dispatch charges the owning tenants, throttling at pool
+    /// exhaustion. A server with no registered tenants behaves exactly
+    /// like the single-owner original.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive capacity (see
+    /// [`BudgetPool::new`]).
+    #[track_caller]
+    pub fn register_tenant(&mut self, name: &str, capacity: f64) -> TenantId {
+        self.tenants
+            .get_or_insert_with(TenantRegistry::new)
+            .register(name, BudgetPool::new(capacity))
+    }
+
+    /// The tenant registry, when this server is multi-tenant.
+    pub fn tenants(&self) -> Option<&TenantRegistry> {
+        self.tenants.as_ref()
+    }
+
+    /// Every admission decision so far, in submission order (empty in
+    /// single-owner servers).
+    pub fn admissions(&self) -> &[AdmissionDecision] {
+        self.tenants.as_ref().map_or(&[], |t| t.decisions())
     }
 
     /// Registers an attribute with its ground-truth field.
@@ -334,22 +392,96 @@ impl CraqrServer {
         id
     }
 
-    /// Submits a declarative query (`ACQUIRE … FROM RECT(…) RATE …`).
+    /// Submits a declarative query (`ACQUIRE … FROM RECT(…) RATE …`)
+    /// owned by the implicit default tenant. On a multi-tenant server
+    /// that is [`TenantId::DEFAULT`] — the first registered tenant — and
+    /// the submission runs admission control against its pool.
     pub fn submit(&mut self, text: &str) -> Result<QueryId, SubmitError> {
         let query = parse_query(text, &self.catalog)?;
-        Ok(self.submit_query(query)?)
+        self.submit_query(query)
     }
 
-    /// Submits a typed query.
-    pub fn submit_query(&mut self, query: AcquisitionQuery) -> Result<QueryId, PlanError> {
-        let qid = self.fabricator.insert_query(query)?;
-        self.outputs.entry(qid).or_default();
-        Ok(qid)
+    /// Submits a declarative query on behalf of `tenant`: admission
+    /// control first (the tenant's pool must cover the query's estimated
+    /// demand), then planning. A rejection is returned as
+    /// [`SubmitError::Rejected`] carrying the structured
+    /// [`AdmissionDecision`], which is also appended to
+    /// [`CraqrServer::admissions`] for the audit trail.
+    pub fn submit_for(&mut self, tenant: TenantId, text: &str) -> Result<QueryId, SubmitError> {
+        let query = parse_query(text, &self.catalog)?;
+        self.submit_query(query.owned_by(tenant))
     }
 
-    /// Deletes a standing query, returning any tuples still buffered for it.
+    /// A query's estimated steady-state demand (requests/epoch): the
+    /// tuples per epoch the requested rate implies over the footprint
+    /// clipped to the world — `rate × clip(region ∩ R).area × epoch
+    /// minutes`. The admission controller checks this against the pool;
+    /// deleting the query releases exactly the same amount.
+    pub fn estimated_demand(&self, query: &AcquisitionQuery) -> f64 {
+        self.config.planner.batch_duration
+            * query.rate
+            * self
+                .fabricator
+                .grid()
+                .region()
+                .intersection(&query.region)
+                .map_or(0.0, |clip| clip.area())
+    }
+
+    /// Submits a typed query, running admission control when the server
+    /// is multi-tenant.
+    pub fn submit_query(&mut self, query: AcquisitionQuery) -> Result<QueryId, SubmitError> {
+        let demand = self.estimated_demand(&query);
+        let admitted = if let Some(registry) = &mut self.tenants {
+            if !registry.contains(query.tenant) {
+                return Err(SubmitError::UnknownTenant(query.tenant));
+            }
+            let decision = registry.admit(query.tenant, demand);
+            if !decision.admitted {
+                return Err(SubmitError::Rejected(decision));
+            }
+            true
+        } else {
+            // A single-owner server has exactly one valid owner. Accepting
+            // an arbitrary id here would plant it on the plan; if tenants
+            // were registered later, charging would silently skip the
+            // unknown owner and the adaptive allocator would panic on it.
+            if query.tenant != TenantId::DEFAULT {
+                return Err(SubmitError::UnknownTenant(query.tenant));
+            }
+            false
+        };
+        match self.fabricator.insert_query(query) {
+            Ok(qid) => {
+                self.outputs.entry(qid).or_default();
+                if admitted {
+                    self.committed_demands.insert(qid, (query.tenant, demand));
+                }
+                Ok(qid)
+            }
+            Err(e) => {
+                // Admission committed the demand; planning refused the
+                // query, so release the pool again.
+                if let Some(registry) = &mut self.tenants {
+                    registry.rollback_last_admission();
+                }
+                Err(SubmitError::Plan(e))
+            }
+        }
+    }
+
+    /// Deletes a standing query, returning any tuples still buffered for
+    /// it. A query that committed demand at admission releases exactly
+    /// that amount back to its tenant's pool; queries that never passed
+    /// admission (submitted before the first tenant registration)
+    /// release nothing — they committed nothing.
     pub fn delete_query(&mut self, qid: QueryId) -> Result<Vec<CrowdTuple>, PlanError> {
         let mut leftovers = self.fabricator.delete_query(qid)?;
+        if let Some((tenant, demand)) = self.committed_demands.remove(&qid) {
+            if let Some(registry) = &mut self.tenants {
+                registry.release(tenant, demand);
+            }
+        }
         if let Some(mut buffered) = self.outputs.remove(&qid) {
             leftovers.append(&mut buffered);
         }
@@ -414,12 +546,33 @@ impl CraqrServer {
 
         // 1. Dispatch acquisition requests per materialized chain. Under
         // replay the budgets are drawn identically but no request exists
-        // to send; the crowd-side outcome comes from the log.
+        // to send; the crowd-side outcome comes from the log. On a
+        // multi-tenant server each chain's draw is clamped to (and
+        // charged against) its owning tenants' pools.
         let demands = self.fabricator.demands();
-        let dispatch = match &replay {
-            None => self.handler.dispatch_epoch(&mut self.crowd, self.fabricator.grid(), &demands),
-            Some(inputs) => self.handler.dispatch_epoch_detached(&demands, inputs.sent),
+        let shares = if self.tenants.is_some() {
+            self.fabricator.refresh_tenant_shares();
+            Some(self.fabricator.tenant_shares())
+        } else {
+            None
         };
+        if let Some(registry) = &mut self.tenants {
+            registry.begin_epoch();
+        }
+        let tenancy = match (&mut self.tenants, shares) {
+            (Some(registry), Some(shares)) => Some((registry, shares)),
+            _ => None,
+        };
+        let dispatch = match &replay {
+            None => self.handler.dispatch_epoch_tenants(
+                &mut self.crowd,
+                self.fabricator.grid(),
+                &demands,
+                tenancy,
+            ),
+            Some(inputs) => self.handler.dispatch_epoch_detached(&demands, inputs.sent, tenancy),
+        };
+        let tenant_charges = self.tenants.as_ref().map_or_else(Vec::new, |t| t.epoch_charges());
 
         // 2. The world moves; responses mature. The replay clock advances
         // through the same sequence of `step` calls so accumulated
@@ -464,7 +617,7 @@ impl CraqrServer {
         // 7. Budget tuning from flatten telemetry.
         let tuning = self.handler.tune(&self.fabricator.flatten_reports());
 
-        let report = EpochReport {
+        let mut report = EpochReport {
             epoch,
             now: self.crowd.now(),
             dispatch,
@@ -474,24 +627,33 @@ impl CraqrServer {
             exec,
             delivered,
             tuning,
+            tenant_charges,
+            stale_actions: 0,
         };
 
         // 8. Observation/actuation seam: the hook sees the epoch, the
-        // server applies whatever it decides.
+        // server applies whatever it decides. Actions that target a chain
+        // retired since the observation (a replan racing a query
+        // deletion) are dropped and counted instead of mutating dangling
+        // state.
         let mut actions: Vec<ControlAction> = Vec::new();
+        let mut stale_actions = 0u64;
         if let Some(hook) = hook {
             actions = hook.on_epoch(&EpochObservation {
                 report: &report,
                 delivered: &fresh,
                 fabricator: &self.fabricator,
                 handler: &self.handler,
+                tenants: self.tenants.as_ref(),
                 epoch_start,
                 epoch_end: self.crowd.now(),
             });
             for action in &actions {
                 match *action {
                     ControlAction::SetBudget { cell, attr, requests_per_epoch } => {
-                        self.handler.set_budget(cell, attr, requests_per_epoch);
+                        if !self.handler.set_budget(cell, attr, requests_per_epoch) {
+                            stale_actions += 1;
+                        }
                     }
                     ControlAction::RebuildChain { cell, attr } => {
                         if let Some(leftovers) = self.fabricator.rebuild_chain(cell, attr) {
@@ -510,11 +672,14 @@ impl CraqrServer {
                             for (qid, buf) in leftovers {
                                 self.outputs.entry(qid).or_default().extend(buf);
                             }
+                        } else {
+                            stale_actions += 1;
                         }
                     }
                 }
             }
         }
+        report.stale_actions = stale_actions;
 
         // 9. Recording seam: the tap sees the epoch's inputs (and the
         // actions just applied) after everything else settled.
@@ -840,6 +1005,165 @@ mod tests {
             replayed.handler().budget_of(cell, attr),
             "budget state diverged under replay"
         );
+    }
+
+    #[test]
+    fn admission_rejects_what_the_pool_cannot_cover() {
+        let mut s = server(100);
+        let alice = s.register_tenant("alice", 50.0);
+        let bob = s.register_tenant("bob", 4.0);
+        // 0.5 /km²/min × 4 km² × 5 min = 10 requests/epoch estimated.
+        let q = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5";
+        let qid = s.submit_for(alice, q).expect("alice's pool covers 10");
+        // Bob's 4-request pool cannot: structured rejection, no plan.
+        let err = s.submit_for(bob, q).unwrap_err();
+        let SubmitError::Rejected(decision) = err else { panic!("want Rejected, got {err}") };
+        assert_eq!(decision.tenant, bob);
+        assert!(!decision.admitted);
+        assert_eq!(decision.capacity, 4.0);
+        assert!((decision.estimated_demand - 10.0).abs() < 1e-9);
+        assert_eq!(s.fabricator().query_ids(), vec![qid], "rejected query never planned");
+        // Both decisions are in the audit log, in submission order.
+        let log = s.admissions();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].admitted && !log[1].admitted);
+        // Unknown tenants are rejected before admission arithmetic runs.
+        assert!(matches!(
+            s.submit_for(TenantId(9), q),
+            Err(SubmitError::UnknownTenant(TenantId(9)))
+        ));
+    }
+
+    #[test]
+    fn deleting_a_query_releases_its_committed_demand() {
+        let mut s = server(50);
+        let t = s.register_tenant("solo", 12.0);
+        let q = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"; // 10 req/epoch
+        let qid = s.submit_for(t, q).unwrap();
+        assert!(matches!(s.submit_for(t, q), Err(SubmitError::Rejected(_))), "pool full");
+        s.delete_query(qid).unwrap();
+        assert!(s.submit_for(t, q).is_ok(), "deletion released the commitment");
+    }
+
+    #[test]
+    fn deleting_a_pre_registration_query_refunds_nothing() {
+        // Regression: a query submitted before the first register_tenant
+        // call never passed admission and committed nothing — deleting it
+        // must not release phantom capacity (which would let the pool
+        // over-admit past its cap).
+        let mut s = server(50);
+        let q_early = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"; // est. 10
+                                                                  // Before any registration only the implicit default owner exists;
+                                                                  // a made-up tenant id is rejected, not silently planted.
+        assert!(matches!(
+            s.submit_for(TenantId(3), q_early),
+            Err(SubmitError::UnknownTenant(TenantId(3)))
+        ));
+        let early = s.submit(q_early).unwrap();
+        let t = s.register_tenant("late", 10.0);
+        assert_eq!(t, TenantId::DEFAULT, "the early query aliases tenant 0 by id");
+        let admitted = s.submit_for(t, "ACQUIRE temp FROM RECT(2,2,4,4) RATE 0.4").unwrap(); // 8
+                                                                                             // Deleting the never-admitted query must not zero the ledger…
+        s.delete_query(early).unwrap();
+        // …so a demand-10 query still cannot fit next to the committed 8.
+        assert!(
+            matches!(s.submit_for(t, q_early), Err(SubmitError::Rejected(_))),
+            "phantom refund let the pool over-admit"
+        );
+        // Deleting the genuinely admitted query does release its 8.
+        s.delete_query(admitted).unwrap();
+        assert!(s.submit_for(t, q_early).is_ok());
+    }
+
+    #[test]
+    fn tenant_charges_are_conserved_every_epoch() {
+        // A deliberately tiny pool against a default 20-request initial
+        // budget: dispatch must throttle, and the per-epoch charge can
+        // never exceed the pool capacity.
+        let mut s = server(400);
+        let t = s.register_tenant("capped", 11.0);
+        s.submit_for(t, "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5").unwrap();
+        let mut throttled_total = 0u64;
+        for _ in 0..10 {
+            let r = s.run_epoch();
+            assert_eq!(r.tenant_charges.len(), 1);
+            let (tenant, charge) = r.tenant_charges[0];
+            assert_eq!(tenant, t);
+            assert!(charge <= 11.0 + 1e-9, "epoch {} overdrew the pool: {charge} > 11", r.epoch);
+            throttled_total += r.dispatch.throttled;
+        }
+        assert!(throttled_total > 0, "the tiny pool never throttled anything");
+        let summary = &s.tenants().unwrap().summaries()[0];
+        assert!(summary.peak_epoch_charge <= 11.0 + 1e-9);
+        assert!(summary.charged_total > 0.0);
+    }
+
+    #[test]
+    fn ample_single_tenant_run_matches_the_untenanted_run() {
+        // Tenancy with an effectively unconstrained pool is observability
+        // only: the delivered stream must be bit-identical to the
+        // single-owner server.
+        let run = |tenanted: bool| {
+            let mut s = server(300);
+            let qid = if tenanted {
+                let t = s.register_tenant("ample", 1e9);
+                s.submit_for(t, "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5").unwrap()
+            } else {
+                s.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5").unwrap()
+            };
+            for _ in 0..6 {
+                let r = s.run_epoch();
+                assert_eq!(r.dispatch.throttled, 0);
+            }
+            s.take_output(qid).iter().map(|t| t.id).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "an ample pool must not perturb the loop");
+    }
+
+    #[test]
+    fn stale_set_budget_after_chain_retirement_is_a_signalled_noop() {
+        // Regression: a replan racing a chain retirement. The hook emits
+        // SetBudget/RebuildChain for a chain whose last query was deleted
+        // this epoch — the actuation must not insert a phantom budget
+        // entry, and the epoch report must surface the stale actions.
+        struct ReplanRetired {
+            target: Option<(craqr_geom::CellId, AttributeId)>,
+        }
+        impl ControlHook for ReplanRetired {
+            fn on_epoch(&mut self, _obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+                match self.target {
+                    Some((cell, attr)) => vec![
+                        ControlAction::SetBudget { cell, attr, requests_per_epoch: 50.0 },
+                        ControlAction::RebuildChain { cell, attr },
+                    ],
+                    None => Vec::new(),
+                }
+            }
+        }
+        let mut s = server(200);
+        let qid = s.submit("ACQUIRE temp FROM RECT(0,0,1,1) RATE 1").unwrap();
+        let cell = craqr_geom::CellId::new(0, 0);
+        let attr = s.catalog().lookup("temp").unwrap();
+        let mut hook = ReplanRetired { target: None };
+        s.run_epoch_with(Some(&mut hook));
+        assert!(s.handler().budget_of(cell, attr).is_some(), "chain live, budget live");
+
+        // Retire the chain, then let the (now stale) replan fire.
+        s.delete_query(qid).unwrap();
+        hook.target = Some((cell, attr));
+        let report = s.run_epoch_with(Some(&mut hook));
+        assert_eq!(report.stale_actions, 2, "both stale actuations surfaced");
+        assert_eq!(
+            s.handler().budget_of(cell, attr),
+            None,
+            "stale SetBudget must not materialize a phantom budget entry"
+        );
+        // A live chain still actuates with nothing reported stale.
+        let q2 = s.submit("ACQUIRE temp FROM RECT(0,0,1,1) RATE 1").unwrap();
+        let r = s.run_epoch_with(Some(&mut hook));
+        assert_eq!(r.stale_actions, 0);
+        assert_eq!(s.handler().budget_of(cell, attr), Some(50.0));
+        s.delete_query(q2).unwrap();
     }
 
     #[test]

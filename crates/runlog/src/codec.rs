@@ -10,7 +10,8 @@
 //! line-precise error instead of silently replaying garbage.
 
 use crate::log::{
-    ActionRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent, ValueRecord, RUNLOG_VERSION,
+    ActionRecord, AdmissionRecord, ChargeRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent,
+    ValueRecord, RUNLOG_VERSION,
 };
 use craqr_stats::fnv1a64;
 use std::fmt;
@@ -128,6 +129,22 @@ pub(crate) fn response_line(r: &ResponseRecord) -> String {
     )
 }
 
+pub(crate) fn admission_line(a: &AdmissionRecord) -> String {
+    format!(
+        "adm tenant={} sub={} demand={} committed={} capacity={} verdict={}",
+        a.tenant,
+        a.submission,
+        fmt_f64(a.demand),
+        fmt_f64(a.committed),
+        fmt_f64(a.capacity),
+        if a.admitted { "admitted" } else { "rejected" },
+    )
+}
+
+pub(crate) fn charge_line(c: &ChargeRecord) -> String {
+    format!("charge tenant={} spent={}", c.tenant, fmt_f64(c.spent))
+}
+
 pub(crate) fn action_line(a: &ActionRecord) -> String {
     match a {
         ActionRecord::SetBudget { cell, attr, budget } => {
@@ -186,6 +203,49 @@ fn parse_response_line(line_no: usize, rest: &str) -> Result<ResponseRecord, Cod
     })
 }
 
+fn parse_admission_line(line_no: usize, rest: &str) -> Result<AdmissionRecord, CodecError> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    if tokens.len() != 6 {
+        return Err(err(line_no, format!("admission record needs 6 fields, got 'adm {rest}'")));
+    }
+    let u32_of = |token: &str, key: &str| -> Result<u32, CodecError> {
+        parse_u64(kv(token, key, line_no)?, line_no, key)?
+            .try_into()
+            .map_err(|_| err(line_no, format!("{key}: does not fit in u32")))
+    };
+    let admitted = match kv(tokens[5], "verdict", line_no)? {
+        "admitted" => true,
+        "rejected" => false,
+        other => {
+            return Err(err(
+                line_no,
+                format!("verdict: expected 'admitted' or 'rejected', got '{other}'"),
+            ))
+        }
+    };
+    Ok(AdmissionRecord {
+        tenant: u32_of(tokens[0], "tenant")?,
+        submission: u32_of(tokens[1], "sub")?,
+        demand: parse_f64(kv(tokens[2], "demand", line_no)?, line_no, "demand")?,
+        committed: parse_f64(kv(tokens[3], "committed", line_no)?, line_no, "committed")?,
+        capacity: parse_f64(kv(tokens[4], "capacity", line_no)?, line_no, "capacity")?,
+        admitted,
+    })
+}
+
+fn parse_charge_line(line_no: usize, rest: &str) -> Result<ChargeRecord, CodecError> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    if tokens.len() != 2 {
+        return Err(err(line_no, format!("charge record needs 2 fields, got 'charge {rest}'")));
+    }
+    Ok(ChargeRecord {
+        tenant: parse_u64(kv(tokens[0], "tenant", line_no)?, line_no, "tenant")?
+            .try_into()
+            .map_err(|_| err(line_no, "tenant: does not fit in u32".to_string()))?,
+        spent: parse_f64(kv(tokens[1], "spent", line_no)?, line_no, "spent")?,
+    })
+}
+
 fn parse_action_line(line_no: usize, rest: &str) -> Result<ActionRecord, CodecError> {
     let tokens: Vec<&str> = rest.split_whitespace().collect();
     let attr_of = |token: &str| -> Result<u16, CodecError> {
@@ -226,8 +286,15 @@ pub fn render(log: &RunLog) -> String {
     let _ = writeln!(s, "seed: {}", log.seed);
     let _ = writeln!(s, "spec-lines: {}", spec.matches('\n').count());
     s.push_str(&spec);
+    // Admission decisions precede the first epoch (they are taken at
+    // submit time) and live inside the checksummed header, so every
+    // epoch checksum also pins the admission outcomes. Single-owner logs
+    // have none and render byte-identically to the pre-tenant format.
+    for a in &log.admissions {
+        let _ = writeln!(s, "{}", admission_line(a));
+    }
     // The chain seed covers the header: an epoch checksum therefore also
-    // pins the spec and seed it was recorded under.
+    // pins the spec, seed, and admissions it was recorded under.
     let mut chain = fnv1a64(s.as_bytes());
     for e in &log.epochs {
         let mut block = String::new();
@@ -241,6 +308,9 @@ pub fn render(log: &RunLog) -> String {
         }
         for a in &e.actions {
             let _ = writeln!(block, "{}", action_line(a));
+        }
+        for c in &e.charges {
+            let _ = writeln!(block, "{}", charge_line(c));
         }
         chain = fnv1a64(format!("{}\n{block}", fmt_crc(chain)).as_bytes());
         s.push_str(&block);
@@ -320,6 +390,12 @@ pub fn parse(src: &str) -> Result<RunLog, CodecError> {
             }
             None => return Err(err(0, "unexpected end of log inside the embedded spec")),
         }
+    }
+    let mut admissions: Vec<AdmissionRecord> = Vec::new();
+    while let Some(line) = cur.peek() {
+        let Some(rest) = line.strip_prefix("adm ") else { break };
+        cur.next();
+        admissions.push(parse_admission_line(cur.line_no(), rest)?);
     }
     let header: String = cur.lines[..cur.pos].iter().flat_map(|l| [l, "\n"]).collect::<String>();
     let mut chain = fnv1a64(header.as_bytes());
@@ -411,15 +487,26 @@ pub fn parse(src: &str) -> Result<RunLog, CodecError> {
                 if !saw_dispatch {
                     return Err(err(line_no, "response records must follow the dispatch line"));
                 }
-                if !record.actions.is_empty() {
-                    return Err(err(line_no, "response records must precede action records"));
+                if !record.actions.is_empty() || !record.charges.is_empty() {
+                    return Err(err(
+                        line_no,
+                        "response records must precede action/charge records",
+                    ));
                 }
                 record.responses.push(parse_response_line(line_no, rest)?);
             } else if let Some(rest) = line.strip_prefix("act ") {
                 if !saw_dispatch {
                     return Err(err(line_no, "action records must follow the dispatch line"));
                 }
+                if !record.charges.is_empty() {
+                    return Err(err(line_no, "action records must precede charge records"));
+                }
                 record.actions.push(parse_action_line(line_no, rest)?);
+            } else if let Some(rest) = line.strip_prefix("charge ") {
+                if !saw_dispatch {
+                    return Err(err(line_no, "charge records must follow the dispatch line"));
+                }
+                record.charges.push(parse_charge_line(line_no, rest)?);
             } else {
                 return Err(err(line_no, format!("unrecognized record line: '{line}'")));
             }
@@ -465,7 +552,7 @@ pub fn parse(src: &str) -> Result<RunLog, CodecError> {
         }
     }
 
-    Ok(RunLog { scenario, seed, spec_toml, epochs, report_checksum, trace_checksum })
+    Ok(RunLog { scenario, seed, spec_toml, admissions, epochs, report_checksum, trace_checksum })
 }
 
 #[cfg(test)]
@@ -477,6 +564,24 @@ mod tests {
             scenario: "unit".into(),
             seed: 4101,
             spec_toml: "name = \"unit\"\nseed = 4101\n".into(),
+            admissions: vec![
+                AdmissionRecord {
+                    tenant: 0,
+                    submission: 0,
+                    demand: 12.5,
+                    committed: 0.0,
+                    capacity: 40.0,
+                    admitted: true,
+                },
+                AdmissionRecord {
+                    tenant: 1,
+                    submission: 1,
+                    demand: 99.0,
+                    committed: 0.0,
+                    capacity: 10.0,
+                    admitted: false,
+                },
+            ],
             epochs: vec![
                 EpochRecord {
                     epoch: 0,
@@ -504,6 +609,7 @@ mod tests {
                         },
                     ],
                     actions: vec![],
+                    charges: vec![ChargeRecord { tenant: 0, spent: 11.25 }],
                 },
                 EpochRecord {
                     epoch: 1,
@@ -518,6 +624,7 @@ mod tests {
                         ActionRecord::SetBudget { cell: (1, 0), attr: 0, budget: 3.5 },
                         ActionRecord::RebuildChain { cell: (1, 0), attr: 0 },
                     ],
+                    charges: vec![],
                 },
             ],
             report_checksum: Some(0xDEAD),
@@ -581,6 +688,7 @@ mod tests {
             scenario: "empty".into(),
             seed: 0,
             spec_toml: String::new(),
+            admissions: vec![],
             epochs: vec![],
             report_checksum: None,
             trace_checksum: None,

@@ -7,7 +7,7 @@
 //! tool for "the replay no longer matches the recording" and "these two
 //! builds made different decisions from the same world".
 
-use crate::codec::{action_line, response_line, shift_line};
+use crate::codec::{action_line, admission_line, charge_line, response_line, shift_line};
 use crate::log::{EpochRecord, RunLog};
 use std::fmt;
 
@@ -106,6 +106,7 @@ pub fn diff_epoch(a: &EpochRecord, b: &EpochRecord) -> Vec<String> {
     }
     diff_records("response", &a.responses, &b.responses, response_line, &mut details);
     diff_records("action", &a.actions, &b.actions, action_line, &mut details);
+    diff_records("charge", &a.charges, &b.charges, charge_line, &mut details);
     details
 }
 
@@ -138,6 +139,7 @@ pub fn diff_logs(a: &RunLog, b: &RunLog) -> LogDiff {
             );
         diff.header.push(format!("embedded spec differs ({first})"));
     }
+    diff_records("admission", &a.admissions, &b.admissions, admission_line, &mut diff.header);
     if a.epochs.len() != b.epochs.len() {
         diff.header.push(format!("epoch count: {} vs {}", a.epochs.len(), b.epochs.len()));
     }
@@ -174,6 +176,14 @@ mod tests {
             scenario: "d".into(),
             seed: 3,
             spec_toml: "name = \"d\"\n".into(),
+            admissions: vec![crate::log::AdmissionRecord {
+                tenant: 0,
+                submission: 0,
+                demand: 5.0,
+                committed: 0.0,
+                capacity: 10.0,
+                admitted: true,
+            }],
             epochs: (0..3)
                 .map(|epoch| EpochRecord {
                     epoch,
@@ -194,6 +204,7 @@ mod tests {
                         issued_at: 0.0,
                     }],
                     actions: vec![],
+                    charges: vec![crate::log::ChargeRecord { tenant: 0, spent: 2.5 }],
                 })
                 .collect(),
             report_checksum: Some(1),

@@ -40,6 +40,18 @@
 //!
 //! Floats render in shortest-roundtrip form, so `parse(render(log)) ==
 //! log` exactly (proptested in `tests/properties.rs`).
+//!
+//! **v1 compatibility note:** multi-tenant runs added two record kinds
+//! to v1 *without* a version bump — `adm …` lines in the checksummed
+//! header (admission decisions) and `charge …` lines at the end of an
+//! epoch block (per-tenant spend). The extension is strictly additive:
+//! single-owner logs contain neither line and render byte-identically
+//! to the pre-tenant format, and this reader accepts both shapes. A
+//! *pre-tenant* reader handed a tenanted log fails at the first `adm`/
+//! `charge` line with a structural ("expected …, got 'adm …'") error
+//! rather than a version mismatch — acceptable because such logs are
+//! new artifacts, while every previously written v1 log still parses
+//! everywhere.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,5 +63,8 @@ pub mod record;
 
 pub use codec::CodecError;
 pub use diff::{diff_logs, EpochDiff, LogDiff};
-pub use log::{ActionRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent, ValueRecord};
+pub use log::{
+    ActionRecord, AdmissionRecord, ChargeRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent,
+    ValueRecord,
+};
 pub use record::RunLogRecorder;

@@ -1,7 +1,7 @@
 //! The run-log data model: one record per epoch, holding exactly what the
 //! epoch consumed from outside the server.
 
-use craqr_core::ControlAction;
+use craqr_core::{AdmissionDecision, ControlAction, TenantId};
 use craqr_geom::{CellId, SpaceTimePoint};
 use craqr_sensing::{AttrValue, AttributeId, Measurement, SensorId, SensorResponse};
 
@@ -129,6 +129,57 @@ impl ActionRecord {
     }
 }
 
+/// One admission-control decision taken before the run's first epoch
+/// (mirror of [`craqr_core::AdmissionDecision`]) — recorded so tenant
+/// disputes ("why was my query rejected?") are auditable from the log
+/// alone, and so replay can verify it reproduces the same verdicts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionRecord {
+    /// The tenant that submitted the query.
+    pub tenant: u32,
+    /// Submission order across the server (counts rejections too).
+    pub submission: u32,
+    /// Estimated demand (requests/epoch).
+    pub demand: f64,
+    /// Demand already committed when the check ran.
+    pub committed: f64,
+    /// The tenant's pool capacity.
+    pub capacity: f64,
+    /// The verdict.
+    pub admitted: bool,
+}
+
+impl From<&AdmissionDecision> for AdmissionRecord {
+    fn from(d: &AdmissionDecision) -> Self {
+        Self {
+            tenant: d.tenant.0,
+            submission: d.submission,
+            demand: d.estimated_demand,
+            committed: d.committed_before,
+            capacity: d.capacity,
+            admitted: d.admitted,
+        }
+    }
+}
+
+/// One tenant's requests charged in one epoch (mirror of
+/// [`craqr_core::EpochReport::tenant_charges`]): the per-epoch audit
+/// trail that pool conservation can be checked against offline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeRecord {
+    /// The tenant.
+    pub tenant: u32,
+    /// Requests charged this epoch (≤ the tenant's pool capacity).
+    pub spent: f64,
+}
+
+impl ChargeRecord {
+    /// Builds the record from a core `(tenant, charge)` pair.
+    pub fn from_charge(pair: &(TenantId, f64)) -> Self {
+        Self { tenant: pair.0 .0, spent: pair.1 }
+    }
+}
+
 /// A scripted world event applied just before an epoch ran (mirror of the
 /// scenario layer's `[[shifts]]`; recorded so a log is auditable and
 /// diffable without the spec in hand).
@@ -173,6 +224,10 @@ pub struct EpochRecord {
     pub responses: Vec<ResponseRecord>,
     /// Control actions injected after the epoch, in application order.
     pub actions: Vec<ActionRecord>,
+    /// Per-tenant requests charged this epoch, ascending by tenant
+    /// (empty on single-owner servers — those logs are byte-identical to
+    /// the pre-tenant format).
+    pub charges: Vec<ChargeRecord>,
 }
 
 /// An event-sourced record of one complete run: the spec that defined it,
@@ -188,6 +243,11 @@ pub struct RunLog {
     /// — embedded so a log is self-contained: replay needs nothing but
     /// this file. Opaque to this crate; the scenario layer parses it.
     pub spec_toml: String,
+    /// Admission decisions taken before the first epoch, in submission
+    /// order (empty on single-owner servers). Part of the checksummed
+    /// header, so every epoch checksum also pins the admission outcomes
+    /// the run started from.
+    pub admissions: Vec<AdmissionRecord>,
     /// One record per epoch, ascending and gap-free from 0.
     pub epochs: Vec<EpochRecord>,
     /// Checksum of the live run's canonical [`ScenarioReport`], when the
@@ -276,6 +336,7 @@ mod tests {
             scenario: "t".into(),
             seed: 1,
             spec_toml: "name = \"t\"\n".into(),
+            admissions: vec![],
             epochs: vec![EpochRecord::default(), EpochRecord { epoch: 1, ..Default::default() }],
             report_checksum: Some(7),
             trace_checksum: Some(9),

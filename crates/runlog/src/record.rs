@@ -1,8 +1,10 @@
 //! Recording a live run: an [`craqr_core::EpochTap`] implementation that
 //! appends one [`EpochRecord`] per epoch.
 
-use crate::log::{ActionRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent};
-use craqr_core::{EpochInputsRecord, EpochTap};
+use crate::log::{
+    ActionRecord, AdmissionRecord, ChargeRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent,
+};
+use craqr_core::{AdmissionDecision, EpochInputsRecord, EpochTap};
 
 /// Builds a [`RunLog`] from a live run, epoch by epoch.
 ///
@@ -36,6 +38,7 @@ impl RunLogRecorder {
                 scenario: scenario.to_string(),
                 seed,
                 spec_toml,
+                admissions: Vec::new(),
                 epochs: Vec::new(),
                 report_checksum: None,
                 trace_checksum: None,
@@ -48,6 +51,14 @@ impl RunLogRecorder {
     /// recorder observes.
     pub fn record_shift(&mut self, shift: ShiftEvent) {
         self.pending_shifts.push(shift);
+    }
+
+    /// Records the run's pre-epoch admission decisions (multi-tenant
+    /// servers; see [`craqr_core::CraqrServer::admissions`]). Call once,
+    /// before the first epoch is tapped — the records land in the log's
+    /// checksummed header.
+    pub fn record_admissions(&mut self, decisions: &[AdmissionDecision]) {
+        self.log.admissions = decisions.iter().map(AdmissionRecord::from).collect();
     }
 
     /// Epochs recorded so far.
@@ -86,6 +97,7 @@ impl EpochTap for RunLogRecorder {
             sent: record.report.dispatch.sent,
             responses: record.responses.iter().map(ResponseRecord::from).collect(),
             actions: record.actions.iter().map(ActionRecord::from).collect(),
+            charges: record.report.tenant_charges.iter().map(ChargeRecord::from_charge).collect(),
         });
     }
 }

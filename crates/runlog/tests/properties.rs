@@ -2,7 +2,10 @@
 //! over generated logs — including adversarial embedded specs and
 //! bit-pattern floats — plus integrity-failure detection on mutation.
 
-use craqr_runlog::{ActionRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent, ValueRecord};
+use craqr_runlog::{
+    ActionRecord, AdmissionRecord, ChargeRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent,
+    ValueRecord,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,6 +84,21 @@ fn arb_spec_toml(rng: &mut StdRng) -> String {
     s
 }
 
+fn arb_admission(rng: &mut StdRng, submission: u32) -> AdmissionRecord {
+    AdmissionRecord {
+        tenant: rng.gen_range(0u32..8),
+        submission,
+        demand: arb_f64(rng),
+        committed: arb_f64(rng),
+        capacity: arb_f64(rng),
+        admitted: rng.gen(),
+    }
+}
+
+fn arb_charge(rng: &mut StdRng) -> ChargeRecord {
+    ChargeRecord { tenant: rng.gen_range(0u32..8), spent: arb_f64(rng) }
+}
+
 fn arb_log(rng: &mut StdRng) -> RunLog {
     let epochs = (0..rng.gen_range(0usize..6))
         .map(|epoch| EpochRecord {
@@ -90,12 +108,14 @@ fn arb_log(rng: &mut StdRng) -> RunLog {
             sent: rng.gen(),
             responses: (0..rng.gen_range(0usize..8)).map(|_| arb_response(rng)).collect(),
             actions: (0..rng.gen_range(0usize..4)).map(|_| arb_action(rng)).collect(),
+            charges: (0..rng.gen_range(0usize..4)).map(|_| arb_charge(rng)).collect(),
         })
         .collect();
     RunLog {
         scenario: format!("prop_{}", rng.gen_range(0u32..1000)),
         seed: rng.gen(),
         spec_toml: arb_spec_toml(rng),
+        admissions: (0..rng.gen_range(0usize..5)).map(|i| arb_admission(rng, i as u32)).collect(),
         epochs,
         report_checksum: if rng.gen() { Some(rng.gen()) } else { None },
         trace_checksum: if rng.gen() { Some(rng.gen()) } else { None },

@@ -66,11 +66,12 @@ pub use craqr_adaptive::AdaptiveTrace;
 pub use craqr_runlog::RunLog;
 pub use replay::{replay, resume, ReplayError};
 pub use report::{
-    fnv1a64, AdaptiveSection, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport,
+    fnv1a64, AdaptiveSection, AdmissionRow, EpochRow, OperatorRow, QueryRow, RunTotals,
+    ScenarioReport, TenantRow, TenantSection,
 };
 pub use runner::{scenario_files, BatchError, RunError, RunOutput, ScenarioRunner};
 pub use spec::{
     AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
     MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, RunlogSpec, ScenarioSpec,
-    ShiftSpec, SpecError,
+    ShiftSpec, SpecError, TenantSpec,
 };

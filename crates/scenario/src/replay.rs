@@ -122,6 +122,9 @@ pub fn replay(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
         None => None,
     };
     let mut recorder = RunLogRecorder::new(&log.scenario, log.seed, &log.spec_toml);
+    // Admission re-ran deterministically inside build_server; the diff
+    // below verifies the re-derived verdicts against the recorded ones.
+    recorder.record_admissions(server.admissions());
 
     let mut epochs = Vec::with_capacity(log.epochs.len());
     let mut responses_delivered = 0u64;
@@ -191,6 +194,21 @@ pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, Repl
         None => None,
     };
     let mut recorder = RunLogRecorder::new(&log.scenario, log.seed, &log.spec_toml);
+    recorder.record_admissions(server.admissions());
+    // The rebuilt admission verdicts must match what the original run
+    // recorded — a resume must not silently admit what the recorded run
+    // rejected (or vice versa).
+    let rebuilt_admissions: Vec<craqr_runlog::AdmissionRecord> =
+        server.admissions().iter().map(craqr_runlog::AdmissionRecord::from).collect();
+    if rebuilt_admissions != log.admissions {
+        return Err(ReplayError::Diverged {
+            epoch: None,
+            details: format!(
+                "admission decisions diverged from the log: recorded {:?}, rebuilt {:?}",
+                log.admissions, rebuilt_admissions
+            ),
+        });
+    }
 
     let mut epochs = Vec::with_capacity(spec.epochs as usize);
     for e in 0..spec.epochs {

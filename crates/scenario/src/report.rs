@@ -118,6 +118,56 @@ impl From<&craqr_adaptive::AdaptiveTrace> for AdaptiveSection {
     }
 }
 
+/// One tenant's whole-run accounting row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRow {
+    /// The tenant (dense registration-order id).
+    pub tenant: u32,
+    /// The tenant's declared name.
+    pub name: String,
+    /// Budget pool capacity (requests/epoch).
+    pub capacity: f64,
+    /// Queries admitted.
+    pub admitted: u32,
+    /// Queries rejected at admission.
+    pub rejected: u32,
+    /// Committed estimated demand (requests/epoch).
+    pub committed: f64,
+    /// Requests charged over the whole run.
+    pub charged: f64,
+    /// Largest single-epoch charge — the conservation witness, always
+    /// `≤ capacity`.
+    pub peak_epoch_charge: f64,
+}
+
+/// One admission decision, for the report's audit trail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionRow {
+    /// Submission order (counts rejections too).
+    pub submission: u32,
+    /// The submitting tenant.
+    pub tenant: u32,
+    /// Estimated demand (requests/epoch).
+    pub demand: f64,
+    /// Demand committed before this check.
+    pub committed: f64,
+    /// The tenant's pool capacity.
+    pub capacity: f64,
+    /// The verdict.
+    pub admitted: bool,
+}
+
+/// The multi-tenant accounting section: one row per tenant plus the full
+/// admission audit trail. Only present — and only rendered — for specs
+/// that declare `[[tenants]]`, so single-owner goldens stay byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSection {
+    /// Per-tenant rows, ascending by tenant id.
+    pub rows: Vec<TenantRow>,
+    /// Every admission decision, in submission order.
+    pub admissions: Vec<AdmissionRow>,
+}
+
 /// The full deterministic report of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -137,6 +187,9 @@ pub struct ScenarioReport {
     /// `[adaptive]` block; the section — and therefore the golden — only
     /// exists for closed-loop runs).
     pub adaptive: Option<AdaptiveSection>,
+    /// Multi-tenant accounting (absent when the spec declares no
+    /// `[[tenants]]`; single-owner reports stay byte-stable).
+    pub tenants: Option<TenantSection>,
 }
 
 impl ScenarioReport {
@@ -214,6 +267,37 @@ impl ScenarioReport {
                 a.summary.first_replan_epoch.map_or("-".to_string(), |e| e.to_string()),
                 a.summary.trace_checksum,
             );
+        }
+        if let Some(tenants) = &self.tenants {
+            let _ = writeln!(s, "\n[tenants]");
+            for row in &tenants.rows {
+                let _ = writeln!(
+                    s,
+                    "t={} name={} capacity={} admitted={} rejected={} committed={} charged={} \
+                     peak-epoch={}",
+                    row.tenant,
+                    row.name,
+                    format_float(row.capacity),
+                    row.admitted,
+                    row.rejected,
+                    format_float(row.committed),
+                    format_float(row.charged),
+                    format_float(row.peak_epoch_charge),
+                );
+            }
+            let _ = writeln!(s, "\n[admissions]");
+            for a in &tenants.admissions {
+                let _ = writeln!(
+                    s,
+                    "sub={} tenant={} demand={} committed={} capacity={} verdict={}",
+                    a.submission,
+                    a.tenant,
+                    format_float(a.demand),
+                    format_float(a.committed),
+                    format_float(a.capacity),
+                    if a.admitted { "admitted" } else { "rejected" },
+                );
+            }
         }
         let t = &self.totals;
         let _ = writeln!(s, "\n[totals]");
@@ -295,6 +379,7 @@ mod tests {
                 minutes: 5.0,
             },
             adaptive: None,
+            tenants: None,
         }
     }
 
@@ -325,6 +410,39 @@ mod tests {
         // crate's contract).
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn tenant_section_renders_only_when_present() {
+        let plain = report();
+        assert!(!plain.canonical().contains("[tenants]"), "single-owner reports stay byte-stable");
+        let mut tenanted = report();
+        tenanted.tenants = Some(TenantSection {
+            rows: vec![TenantRow {
+                tenant: 0,
+                name: "alice".into(),
+                capacity: 40.0,
+                admitted: 1,
+                rejected: 1,
+                committed: 10.0,
+                charged: 55.0,
+                peak_epoch_charge: 12.5,
+            }],
+            admissions: vec![AdmissionRow {
+                submission: 1,
+                tenant: 0,
+                demand: 99.0,
+                committed: 10.0,
+                capacity: 40.0,
+                admitted: false,
+            }],
+        });
+        let canon = tenanted.canonical();
+        assert!(canon.contains("[tenants]"), "{canon}");
+        assert!(canon.contains("t=0 name=alice capacity=40"), "{canon}");
+        assert!(canon.contains("[admissions]"), "{canon}");
+        assert!(canon.contains("verdict=rejected"), "{canon}");
+        assert_ne!(plain.checksum(), tenanted.checksum());
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Executing a spec: spec → crowd → server → [`ScenarioReport`]
 //! (+ [`AdaptiveTrace`] when the spec closes the loop).
 
-use crate::report::{AdaptiveSection, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport};
+use crate::report::{
+    AdaptiveSection, AdmissionRow, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport,
+    TenantRow, TenantSection,
+};
 use crate::spec::{FieldSpec, ScenarioSpec, ShiftSpec, SpecError};
 use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
 use craqr_core::budget::TuneOutcome;
@@ -143,7 +146,11 @@ impl ScenarioRunner {
             None => None,
         };
         let mut recorder = if record {
-            Some(RunLogRecorder::new(&spec.name, seed, &spec.to_toml()))
+            let mut rec = RunLogRecorder::new(&spec.name, seed, &spec.to_toml());
+            // Admission ran at submit time, inside build_server; the
+            // decisions land in the log's checksummed header.
+            rec.record_admissions(server.admissions());
+            Some(rec)
         } else {
             None
         };
@@ -292,12 +299,19 @@ pub(crate) fn shift_event(shift: &ShiftSpec) -> ShiftEvent {
 /// plan identically — planning depends only on the catalog and grid — but
 /// the world costs nothing and produces nothing, which is exactly what a
 /// log replay needs.
+///
+/// Specs with `[[tenants]]` register each tenant's pool and submit every
+/// query on its owner's behalf: admission control runs at this boundary,
+/// and a rejection is a **recorded outcome**, not an error — the query's
+/// slot comes back as `None`, the decision lands in
+/// [`CraqrServer::admissions`], and the run proceeds with the admitted
+/// queries (both reports and run logs carry the audit trail).
 pub(crate) fn build_server(
     spec: &ScenarioSpec,
     seed: u64,
     exec: ExecMode,
     detached: bool,
-) -> Result<(CraqrServer, Vec<QueryId>), RunError> {
+) -> Result<(CraqrServer, Vec<Option<QueryId>>), RunError> {
     let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
     let mut config = spec.to_server_config(exec)?;
     config.planner.seed = seed;
@@ -314,10 +328,21 @@ pub(crate) fn build_server(
         server.register_attribute(&attr.name, attr.human, field);
     }
 
-    let mut qids: Vec<QueryId> = Vec::with_capacity(spec.queries.len());
+    let mut tenant_ids = std::collections::HashMap::new();
+    for t in &spec.tenants {
+        tenant_ids.insert(t.name.as_str(), server.register_tenant(&t.name, t.pool));
+    }
+
+    let mut qids: Vec<Option<QueryId>> = Vec::with_capacity(spec.queries.len());
     for (index, q) in spec.queries.iter().enumerate() {
-        match server.submit(&q.text) {
-            Ok(qid) => qids.push(qid),
+        let result = match &q.tenant {
+            // The spec validated the reference, so the lookup is sound.
+            Some(name) => server.submit_for(tenant_ids[name.as_str()], &q.text),
+            None => server.submit(&q.text),
+        };
+        match result {
+            Ok(qid) => qids.push(Some(qid)),
+            Err(SubmitError::Rejected(_)) => qids.push(None),
             Err(e) => {
                 return Err(RunError::Query {
                     index,
@@ -325,6 +350,7 @@ pub(crate) fn build_server(
                     message: match e {
                         SubmitError::Parse(p) => format!("parse error: {p}"),
                         SubmitError::Plan(p) => format!("plan error: {p}"),
+                        other => other.to_string(),
                     },
                 })
             }
@@ -367,7 +393,7 @@ pub(crate) fn finalize_report(
     spec: &ScenarioSpec,
     seed: u64,
     server: &mut CraqrServer,
-    qids: &[QueryId],
+    qids: &[Option<QueryId>],
     epochs: Vec<EpochRow>,
     responses_delivered: u64,
     trace: Option<&AdaptiveTrace>,
@@ -376,7 +402,10 @@ pub(crate) fn finalize_report(
     let minutes = server.now();
     let window = SpaceTimeWindow::new(region, 0.0, minutes.max(f64::MIN_POSITIVE));
     let mut queries = Vec::with_capacity(qids.len());
+    // `index` is the spec's query index; admission-rejected queries keep
+    // their slot (they appear in the [admissions] audit, not [queries]).
     for (index, qid) in qids.iter().enumerate() {
+        let Some(qid) = qid else { continue };
         let plan = server.fabricator().query_plan(*qid).expect("standing query");
         let requested_rate = plan.query.rate;
         let area = plan.footprint.area();
@@ -426,7 +455,44 @@ pub(crate) fn finalize_report(
     };
 
     let adaptive = trace.map(AdaptiveSection::from);
-    ScenarioReport { name: spec.name.clone(), seed, epochs, queries, operators, totals, adaptive }
+    let tenants = server.tenants().map(|registry| TenantSection {
+        rows: registry
+            .summaries()
+            .into_iter()
+            .map(|s| TenantRow {
+                tenant: s.tenant.0,
+                name: s.name,
+                capacity: s.capacity,
+                admitted: s.admitted,
+                rejected: s.rejected,
+                committed: s.committed,
+                charged: s.charged_total,
+                peak_epoch_charge: s.peak_epoch_charge,
+            })
+            .collect(),
+        admissions: registry
+            .decisions()
+            .iter()
+            .map(|d| AdmissionRow {
+                submission: d.submission,
+                tenant: d.tenant.0,
+                demand: d.estimated_demand,
+                committed: d.committed_before,
+                capacity: d.capacity,
+                admitted: d.admitted,
+            })
+            .collect(),
+    });
+    ScenarioReport {
+        name: spec.name.clone(),
+        seed,
+        epochs,
+        queries,
+        operators,
+        totals,
+        adaptive,
+        tenants,
+    }
 }
 
 /// Materializes a [`FieldSpec`] into a ground-truth field. Burst fields

@@ -276,11 +276,26 @@ pub struct AttributeSpec {
     pub field: FieldSpec,
 }
 
+/// One tenant sharing the crowd: a named owner with its own acquisition
+/// budget pool. Declared as `[[tenants]]` blocks; queries reference
+/// tenants by name (`tenant = "alice"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (what queries reference): `[a-z0-9_-]+`.
+    pub name: String,
+    /// Budget pool capacity (requests/epoch).
+    pub pool: f64,
+}
+
 /// One standing acquisitional query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Declarative text, e.g. `ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5`.
     pub text: String,
+    /// The owning tenant's name. Required when the spec declares
+    /// `[[tenants]]`; forbidden otherwise (the back-compat single
+    /// implicit tenant owns everything and is never named).
+    pub tenant: Option<String>,
 }
 
 /// A scripted mid-run regime shift, applied to the crowd just before the
@@ -463,6 +478,10 @@ pub struct ScenarioSpec {
     pub churn: Option<ChurnSpec>,
     /// Sensed attributes (≥ 1).
     pub attributes: Vec<AttributeSpec>,
+    /// Tenants sharing the crowd (empty = the back-compat single-owner
+    /// world: no admission control, no per-tenant charging, reports and
+    /// logs byte-identical to the pre-tenant harness).
+    pub tenants: Vec<TenantSpec>,
     /// Standing queries (≥ 1).
     pub queries: Vec<QuerySpec>,
     /// Scripted mid-run regime shifts (absent = stationary world).
@@ -811,9 +830,23 @@ impl ScenarioSpec {
             attributes.push(attr);
         }
 
+        let mut tenants = Vec::new();
+        for mut t in r.opt_table_array("tenants")? {
+            let tenant = TenantSpec { name: t.req_str("name")?, pool: t.req_f64("pool")? };
+            t.finish()?;
+            tenants.push(tenant);
+        }
+
         let mut queries = Vec::new();
         for mut q in r.req_table_array("queries")? {
-            let query = QuerySpec { text: q.req_str("text")? };
+            let query = QuerySpec {
+                text: q.req_str("text")?,
+                tenant: match q.take("tenant") {
+                    None => None,
+                    Some(ConfigValue::Str(s)) => Some(s.clone()),
+                    Some(other) => return Err(mismatch(&q.at("tenant"), "string", other)),
+                },
+            };
             q.finish()?;
             queries.push(query);
         }
@@ -877,6 +910,7 @@ impl ScenarioSpec {
             errors,
             churn,
             attributes,
+            tenants,
             queries,
             shifts,
             adaptive,
@@ -1016,12 +1050,62 @@ impl ScenarioSpec {
             }
             validate_field(&a.field, &format!("attributes[{i}].field"))?;
         }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.name.is_empty()
+                || !t
+                    .name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+            {
+                return Err(out_of_range(
+                    format!("tenants[{i}].name"),
+                    format!("must match [a-z0-9_-]+, got '{}'", t.name),
+                ));
+            }
+            if self.tenants[..i].iter().any(|other| other.name == t.name) {
+                return Err(out_of_range(
+                    format!("tenants[{i}].name"),
+                    format!("duplicate tenant '{}'", t.name),
+                ));
+            }
+            if !(t.pool.is_finite() && t.pool > 0.0) {
+                return Err(out_of_range(
+                    format!("tenants[{i}].pool"),
+                    format!("must be finite and > 0 (requests/epoch), got {}", t.pool),
+                ));
+            }
+        }
+
         if self.queries.is_empty() {
             return Err(out_of_range("queries", "at least one query is required"));
         }
         for (i, q) in self.queries.iter().enumerate() {
             if q.text.trim().is_empty() {
                 return Err(out_of_range(format!("queries[{i}].text"), "must be non-empty"));
+            }
+            match (&q.tenant, self.tenants.is_empty()) {
+                (None, true) => {}
+                (Some(name), false) => {
+                    if !self.tenants.iter().any(|t| &t.name == name) {
+                        return Err(out_of_range(
+                            format!("queries[{i}].tenant"),
+                            format!("references undeclared tenant '{name}'"),
+                        ));
+                    }
+                }
+                (None, false) => {
+                    return Err(out_of_range(
+                        format!("queries[{i}].tenant"),
+                        "required: this spec declares [[tenants]], so every query must name \
+                         its owner",
+                    ));
+                }
+                (Some(name), true) => {
+                    return Err(out_of_range(
+                        format!("queries[{i}].tenant"),
+                        format!("references tenant '{name}' but the spec declares no [[tenants]]"),
+                    ));
+                }
             }
         }
 
@@ -1106,6 +1190,16 @@ impl ScenarioSpec {
             // Delegates range checks to the controller's own validator so
             // spec and runtime can never disagree on what "valid" means.
             a.to_config()?;
+            // On a multi-tenant server replans water-fill the declared
+            // tenant pools; a flat budget_pool would be silently ignored,
+            // so declaring both is a contradiction worth rejecting.
+            if a.budget_pool.is_some() && !self.tenants.is_empty() {
+                return Err(out_of_range(
+                    "adaptive.budget_pool",
+                    "incompatible with [[tenants]]: multi-tenant replans allocate from the \
+                     declared per-tenant pools, so a flat pool would never be used",
+                ));
+            }
         }
         Ok(())
     }
@@ -1508,12 +1602,29 @@ impl ScenarioSpec {
             .collect();
         t.insert("attributes", ConfigValue::Array(attrs));
 
+        if !self.tenants.is_empty() {
+            let tenants: Vec<ConfigValue> = self
+                .tenants
+                .iter()
+                .map(|tenant| {
+                    let mut tt = Table::new();
+                    tt.insert("name", ConfigValue::Str(tenant.name.clone()));
+                    tt.insert("pool", ConfigValue::Float(tenant.pool));
+                    ConfigValue::Table(tt)
+                })
+                .collect();
+            t.insert("tenants", ConfigValue::Array(tenants));
+        }
+
         let queries: Vec<ConfigValue> = self
             .queries
             .iter()
             .map(|q| {
                 let mut qt = Table::new();
                 qt.insert("text", ConfigValue::Str(q.text.clone()));
+                if let Some(tenant) = &q.tenant {
+                    qt.insert("tenant", ConfigValue::Str(tenant.clone()));
+                }
                 ConfigValue::Table(qt)
             })
             .collect();

@@ -21,6 +21,7 @@
 //! | `--grid SIDE`      | 4      | cells per grid side (√h) |
 //! | `--budget B`       | 20     | initial requests/epoch per (attr, cell) |
 //! | `--shards N`       | serial | worker shards for the process phase (`N >= 1`; omit for serial — `0` is rejected, it has no workers); any N is bit-identical to serial under the same seed |
+//! | `--pool CAP`       | off    | run multi-tenant: register a tenant with a budget pool of `CAP` requests/epoch; queries run admission control against it (rejections are reported, the run continues with what was admitted) and dispatch charges the pool, throttling at exhaustion |
 //! | `--query "TEXT"`   | —      | declarative query (repeatable, ≥1 required) |
 //! | `--dot`            | off    | print Graphviz topologies instead of tables |
 
@@ -37,6 +38,7 @@ struct Args {
     grid: u32,
     budget: f64,
     shards: Option<usize>,
+    pool: Option<f64>,
     queries: Vec<String>,
     dot: bool,
 }
@@ -51,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         grid: 4,
         budget: 20.0,
         shards: None,
+        pool: None,
         queries: Vec::new(),
         dot: false,
     };
@@ -84,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
                         .into());
                 }
                 args.shards = Some(n);
+            }
+            "--pool" => {
+                let cap: f64 = value("--pool")?.parse().map_err(|e| format!("--pool: {e}"))?;
+                if !(cap.is_finite() && cap > 0.0) {
+                    return Err("--pool must be finite and > 0 (requests/epoch)".into());
+                }
+                args.pool = Some(cap);
             }
             "--query" => args.queries.push(value("--query")?),
             "--dot" => args.dot = true,
@@ -143,18 +153,33 @@ fn main() -> ExitCode {
     );
     server.register_attribute("temp", false, Box::new(TemperatureField::city_default()));
 
+    let tenant = args.pool.map(|cap| server.register_tenant("cli", cap));
+
     let mut queries = Vec::new();
     for text in &args.queries {
-        match server.submit(text) {
+        let result = match tenant {
+            Some(t) => server.submit_for(t, text),
+            None => server.submit(text),
+        };
+        match result {
             Ok(qid) => {
                 println!("{qid}: {text}");
                 queries.push(qid);
+            }
+            Err(craqr::core::server::SubmitError::Rejected(decision)) => {
+                // An over-committing query is an expected multi-tenant
+                // outcome, not a fatal error: report it and run what fits.
+                println!("rejected: {text}\n  {decision}");
             }
             Err(e) => {
                 eprintln!("error: query '{text}': {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if queries.is_empty() {
+        eprintln!("error: admission rejected every query; raise --pool or lower the rates");
+        return ExitCode::FAILURE;
     }
 
     if args.dot {
@@ -184,6 +209,20 @@ fn main() -> ExitCode {
         let n = server.take_output(qid).len();
         let achieved = n as f64 / (area * minutes);
         println!("  {qid}: {n} tuples, requested λ = {requested}, achieved λ = {achieved:.3}");
+    }
+    if let Some(registry) = server.tenants() {
+        let s = &registry.summaries()[0];
+        println!(
+            "\ntenant '{}': pool {} req/epoch, committed {:.1}, charged {:.1} total, \
+             peak epoch charge {:.1}, {} admitted / {} rejected",
+            s.name,
+            s.capacity,
+            s.committed,
+            s.charged_total,
+            s.peak_epoch_charge,
+            s.admitted,
+            s.rejected
+        );
     }
     println!("\ntopologies:\n{}", server.fabricator().explain());
     ExitCode::SUCCESS

@@ -559,8 +559,13 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
             }
         } else if !args.checksum && !args.print {
             let delivered: usize = report.queries.iter().map(|q| q.delivered).sum();
+            let tenancy = report.tenants.as_ref().map_or(String::new(), |t| {
+                let admitted: u32 = t.rows.iter().map(|r| r.admitted).sum();
+                let rejected: u32 = t.rows.iter().map(|r| r.rejected).sum();
+                format!(", {} tenant(s) ({admitted} admitted / {rejected} rejected)", t.rows.len())
+            });
             println!(
-                "{scenario}: {} epochs, {} sent, {} delivered, checksum {:#018x}",
+                "{scenario}: {} epochs, {} sent, {} delivered{tenancy}, checksum {:#018x}",
                 report.epochs.len(),
                 report.totals.sent,
                 delivered,

@@ -45,10 +45,12 @@ fn corpus_has_the_committed_scenarios() {
         "hotspot_burst",
         "rain_sweep",
         "sparse_large_grid",
+        "tenant_drift_pools",
+        "tenant_starved_reject",
     ] {
         assert!(names.iter().any(|n| n == expected), "scenario '{expected}' missing from corpus");
     }
-    assert!(names.len() >= 12, "corpus shrank: {names:?}");
+    assert!(names.len() >= 14, "corpus shrank: {names:?}");
 }
 
 #[test]

@@ -5,7 +5,7 @@
 use craqr::scenario::{
     AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
     MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, RunlogSpec, ScenarioSpec,
-    ShiftSpec, SpecError,
+    ShiftSpec, SpecError, TenantSpec,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -143,6 +143,63 @@ fn semantic_duplicates_and_empties_are_rejected() {
     assert!(matches!(
         mutate("text = \"ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5\"", "text = \"  \""),
         Err(SpecError::OutOfRange { path, .. }) if path == "queries[0].text"
+    ));
+}
+
+#[test]
+fn tenants_block_is_strictly_parsed() {
+    const TENANTED: &str = r#"
+[[tenants]]
+name = "alice"
+pool = 40.0
+"#;
+    // Declaring tenants makes the per-query tenant key mandatory…
+    let missing = format!("{MINIMAL}\n{TENANTED}");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&missing),
+        Err(SpecError::OutOfRange { path, .. }) if path == "queries[0].tenant"
+    ));
+    // …and naming a declared tenant makes the spec valid.
+    let ok = format!(
+        "{}\n{TENANTED}",
+        MINIMAL.replace("[[queries]]", "[[queries]]\ntenant = \"alice\"")
+    );
+    let spec = ScenarioSpec::from_toml(&ok).unwrap();
+    assert_eq!(spec.tenants.len(), 1);
+    assert_eq!(spec.queries[0].tenant.as_deref(), Some("alice"));
+
+    // Undeclared references, duplicate names, bad pools, tenant keys
+    // without a block — all rejected with precise paths.
+    let unknown = ok.replace("tenant = \"alice\"", "tenant = \"mallory\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&unknown),
+        Err(SpecError::OutOfRange { path, .. }) if path == "queries[0].tenant"
+    ));
+    let dup = format!("{ok}\n[[tenants]]\nname = \"alice\"\npool = 9.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&dup),
+        Err(SpecError::OutOfRange { path, .. }) if path == "tenants[1].name"
+    ));
+    let bad_pool = ok.replace("pool = 40.0", "pool = 0.0");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&bad_pool),
+        Err(SpecError::OutOfRange { path, .. }) if path == "tenants[0].pool"
+    ));
+    let orphan_key = MINIMAL.replace("[[queries]]", "[[queries]]\ntenant = \"alice\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&orphan_key),
+        Err(SpecError::OutOfRange { path, .. }) if path == "queries[0].tenant"
+    ));
+    let typo = format!("{ok}\n[[tenants]]\nname = \"bob\"\npool = 5.0\npol = 1.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&typo),
+        Err(SpecError::UnknownField { path }) if path == "tenants[1].pol"
+    ));
+    // A flat adaptive budget_pool contradicts per-tenant pools.
+    let contradiction = format!("{ok}\n[adaptive]\nbudget_pool = 30.0\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml(&contradiction),
+        Err(SpecError::OutOfRange { path, .. }) if path == "adaptive.budget_pool"
     ));
 }
 
@@ -345,6 +402,12 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
     let attributes: Vec<AttributeSpec> = (0..attr_count)
         .map(|i| AttributeSpec { name: names[i].into(), human: rng.gen(), field: arb_field(rng) })
         .collect();
+    let tenant_names = ["alice", "bob-2", "city_ops"];
+    let tenants: Vec<TenantSpec> = tenant_names
+        .iter()
+        .take(rng.gen_range(0usize..4))
+        .map(|n| TenantSpec { name: (*n).into(), pool: rng.gen_range(1.0..500.0) })
+        .collect();
     let queries: Vec<QuerySpec> = (0..rng.gen_range(1usize..4))
         .map(|i| QuerySpec {
             // Exercise string escaping: quotes, backslashes, unicode.
@@ -353,11 +416,27 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
                 attributes[i % attributes.len()].name,
                 rng.gen_range(1u32..10),
             ),
+            tenant: if tenants.is_empty() {
+                None
+            } else {
+                Some(tenants[rng.gen_range(0..tenants.len())].name.clone())
+            },
         })
         .collect();
     let min = rng.gen_range(0.0..5.0);
     let epochs = rng.gen_range(1u32..100);
     let size_km = rng.gen_range(1.0..20.0);
+    let adaptive = if rng.gen() {
+        let mut a = arb_adaptive(rng);
+        if !tenants.is_empty() {
+            // Multi-tenant replans allocate from the declared pools; a
+            // flat budget_pool alongside [[tenants]] is a spec error.
+            a.budget_pool = None;
+        }
+        Some(a)
+    } else {
+        None
+    };
     ScenarioSpec {
         name: format!("prop-{}", rng.gen_range(0u32..1000)).replace('-', "_"),
         description: String::from_iter((0..rng.gen_range(0usize..20)).map(|_| {
@@ -402,9 +481,10 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
             None
         },
         attributes,
+        tenants,
         queries,
         shifts: (0..rng.gen_range(0usize..4)).map(|_| arb_shift(rng, epochs, size_km)).collect(),
-        adaptive: if rng.gen() { Some(arb_adaptive(rng)) } else { None },
+        adaptive,
         runlog: if rng.gen() { Some(RunlogSpec { record: rng.gen() }) } else { None },
     }
 }
