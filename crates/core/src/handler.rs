@@ -40,6 +40,71 @@ fn clamp_and_charge(tenancy: &mut Tenancy<'_>, key: (CellId, AttributeId), wante
     }
 }
 
+/// Bounded retry/backoff for response shortfalls — the graceful-
+/// degradation half of the fault-injection story (crowds that drop or
+/// delay responses; see `craqr_sensing::CrowdFaults`).
+///
+/// After each epoch the server reports how many responses each chain's
+/// dispatch actually yielded ([`RequestResponseHandler::observe_responses`]).
+/// A chain that got fewer than `shortfall_threshold × allowed` schedules
+/// `shortfall × backoff^attempts` extra requests for its *next* dispatch,
+/// up to `max_attempts` consecutive times; a healthy epoch resets the
+/// counter. The extra requests ride through the normal dispatch path —
+/// budget-drawn, tenant-clamped, recorded in the log's `requested`
+/// figure — so retries are deterministic and replay-identical across
+/// execution modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// A chain is short when `responses < shortfall_threshold × allowed`
+    /// (in `[0, 1]`).
+    pub shortfall_threshold: f64,
+    /// Geometric damping per consecutive attempt (in `(0, 1]`): attempt
+    /// `k` re-asks `floor(shortfall × backoff^k)` requests.
+    pub backoff: f64,
+    /// Consecutive shortfall epochs a chain may retry before giving up
+    /// until it recovers (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { shortfall_threshold: 0.5, backoff: 0.5, max_attempts: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Checks the policy's knobs, returning the first violated constraint
+    /// as `(field, requirement)` (spec-facing field names).
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        if !(self.shortfall_threshold.is_finite()
+            && (0.0..=1.0).contains(&self.shortfall_threshold))
+        {
+            return Err((
+                "faults.retry.threshold",
+                format!("must be in [0,1], got {}", self.shortfall_threshold),
+            ));
+        }
+        if !(self.backoff.is_finite() && self.backoff > 0.0 && self.backoff <= 1.0) {
+            return Err((
+                "faults.retry.backoff",
+                format!("must be in (0,1], got {}", self.backoff),
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err(("faults.retry.max_attempts", "must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-chain retry bookkeeping: consecutive shortfall attempts and the
+/// extra requests queued for the next dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+struct RetryState {
+    attempts: u32,
+    pending: u64,
+}
+
 /// Per-epoch dispatch statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DispatchStats {
@@ -81,6 +146,15 @@ pub struct RequestResponseHandler {
     total_requested: u64,
     total_sent: u64,
     exhausted_events: u64,
+    retry_policy: Option<RetryPolicy>,
+    retry: HashMap<(CellId, AttributeId), RetryState>,
+    /// `allowed` per chain at the most recent dispatch — what
+    /// [`RequestResponseHandler::observe_responses`] measures shortfalls
+    /// against. Keyed on `allowed` (not `sent`): the detached replay
+    /// dispatch has no per-chain `sent`, and `allowed` is computed
+    /// identically on both paths.
+    last_allowed: HashMap<(CellId, AttributeId), u64>,
+    retries_requested: u64,
 }
 
 impl RequestResponseHandler {
@@ -101,6 +175,69 @@ impl RequestResponseHandler {
             total_requested: 0,
             total_sent: 0,
             exhausted_events: 0,
+            retry_policy: None,
+            retry: HashMap::new(),
+            last_allowed: HashMap::new(),
+            retries_requested: 0,
+        }
+    }
+
+    /// Installs (or clears) the bounded retry/backoff policy. With no
+    /// policy the handler is bit-identical to a retry-free build.
+    ///
+    /// # Panics
+    /// Panics on an invalid policy (see [`RetryPolicy::validate`]).
+    #[track_caller]
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        if let Some(p) = &policy {
+            if let Err((field, message)) = p.validate() {
+                panic!("invalid retry policy: {field}: {message}");
+            }
+        }
+        self.retry_policy = policy;
+    }
+
+    /// Whether a retry policy is installed (the server only pays for
+    /// per-chain response counting when it is).
+    pub fn retry_enabled(&self) -> bool {
+        self.retry_policy.is_some()
+    }
+
+    /// Extra requests dispatched by retry attempts since creation.
+    pub fn retries_requested(&self) -> u64 {
+        self.retries_requested
+    }
+
+    /// Takes the extra requests a chain's pending retry scheduled for
+    /// this dispatch.
+    fn take_retry_pending(&mut self, key: (CellId, AttributeId)) -> usize {
+        match self.retry.get_mut(&key) {
+            Some(state) => std::mem::take(&mut state.pending) as usize,
+            None => 0,
+        }
+    }
+
+    /// Feeds back how many responses each chain's most recent dispatch
+    /// yielded (counted at the drain seam, pre-error-injection). Chains
+    /// short of `threshold × allowed` schedule damped extra requests for
+    /// the next dispatch; healthy chains reset their attempt counter.
+    /// No-op without a policy.
+    pub fn observe_responses(&mut self, counts: &HashMap<(CellId, AttributeId), u64>) {
+        let Some(policy) = self.retry_policy else { return };
+        for (key, &allowed) in &self.last_allowed {
+            let got = counts.get(key).copied().unwrap_or(0);
+            let state = self.retry.entry(*key).or_default();
+            let short = allowed > 0 && (got as f64) < policy.shortfall_threshold * (allowed as f64);
+            if short && state.attempts < policy.max_attempts {
+                // `got` can exceed `allowed` when delayed or duplicated
+                // responses from earlier epochs land here, hence saturating.
+                let shortfall = allowed.saturating_sub(got);
+                state.pending = ((shortfall as f64) * policy.backoff.powi(state.attempts as i32))
+                    .floor() as u64;
+                state.attempts += 1;
+            } else {
+                *state = RetryState::default();
+            }
         }
     }
 
@@ -138,6 +275,8 @@ impl RequestResponseHandler {
             demands.iter().map(|(c, a, _)| (*c, *a)).collect();
         self.budgets.retain(|k, _| live.contains(k));
         self.incentives.retain(|k, _| live.contains(k));
+        self.retry.retain(|k, _| live.contains(k));
+        self.last_allowed.clear();
 
         let mut stats = DispatchStats::default();
         for (cell, attr, _rate) in demands {
@@ -145,12 +284,18 @@ impl RequestResponseHandler {
             let budget =
                 self.budgets.entry(key).or_insert_with(|| Budget::new(self.initial_budget));
             let n = budget.draw_requests();
-            if n == 0 {
+            let extra = self.take_retry_pending(key);
+            let want = n + extra;
+            if want == 0 {
                 continue;
             }
-            let allowed = clamp_and_charge(&mut tenancy, key, n);
-            stats.requested += n as u64;
-            stats.throttled += (n - allowed) as u64;
+            let allowed = clamp_and_charge(&mut tenancy, key, want);
+            stats.requested += want as u64;
+            stats.throttled += (want - allowed) as u64;
+            self.retries_requested += extra as u64;
+            if self.retry_policy.is_some() {
+                self.last_allowed.insert(key, allowed as u64);
+            }
             if allowed == 0 {
                 continue;
             }
@@ -180,6 +325,8 @@ impl RequestResponseHandler {
             demands.iter().map(|(c, a, _)| (*c, *a)).collect();
         self.budgets.retain(|k, _| live.contains(k));
         self.incentives.retain(|k, _| live.contains(k));
+        self.retry.retain(|k, _| live.contains(k));
+        self.last_allowed.clear();
 
         let mut stats = DispatchStats { sent, ..DispatchStats::default() };
         for (cell, attr, _rate) in demands {
@@ -187,15 +334,21 @@ impl RequestResponseHandler {
             let budget =
                 self.budgets.entry(key).or_insert_with(|| Budget::new(self.initial_budget));
             let n = budget.draw_requests();
-            if n == 0 {
+            let extra = self.take_retry_pending(key);
+            let want = n + extra;
+            if want == 0 {
                 continue;
             }
             // Tenant clamping and charging evolve identically to the live
             // dispatch — the registry's epoch meters are part of the
             // handler-side state a replay must reproduce bit-for-bit.
-            let allowed = clamp_and_charge(&mut tenancy, key, n);
-            stats.requested += n as u64;
-            stats.throttled += (n - allowed) as u64;
+            let allowed = clamp_and_charge(&mut tenancy, key, want);
+            stats.requested += want as u64;
+            stats.throttled += (want - allowed) as u64;
+            self.retries_requested += extra as u64;
+            if self.retry_policy.is_some() {
+                self.last_allowed.insert(key, allowed as u64);
+            }
             if allowed == 0 {
                 continue;
             }

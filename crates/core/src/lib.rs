@@ -59,14 +59,14 @@ pub mod tuple;
 pub use budget::{Budget, BudgetTuner};
 pub use error_model::{ErrorModel, Mitigation};
 pub use exec::{ExecMode, IngestReport, ShardIngest};
-pub use handler::RequestResponseHandler;
+pub use handler::{RequestResponseHandler, RetryPolicy};
 pub use incentive::IncentivePolicy;
 pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp};
 pub use plan::{Fabricator, PlannerConfig, TopologyShape};
 pub use query::{AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 pub use server::{
-    ControlAction, ControlHook, CraqrServer, EpochInputsRecord, EpochObservation, EpochReport,
-    EpochTap, ReplayInputs, ServerConfig,
+    ControlAction, ControlHook, CraqrServer, CrashPoint, EpochInputsRecord, EpochObservation,
+    EpochReport, EpochTap, ReplayInputs, ServerConfig,
 };
 pub use tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry, TenantSummary};
 pub use tuple::CrowdTuple;

@@ -38,6 +38,10 @@ pub struct ServerConfig {
     /// chains on a worker pool with **bit-identical** results under the
     /// same root seed (see [`crate::exec`] for the contract).
     pub exec: ExecMode,
+    /// Bounded retry/backoff for chains whose dispatch yields too few
+    /// responses (crowd drop/delay faults). `None` — the default — is
+    /// bit-identical to a retry-free build.
+    pub retry: Option<crate::handler::RetryPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +55,7 @@ impl Default for ServerConfig {
             initial_budget: 20.0,
             mobility_substeps: 4,
             exec: ExecMode::Serial,
+            retry: None,
         }
     }
 }
@@ -100,6 +105,9 @@ impl ServerConfig {
                 "errors.bool_flip_prob",
                 format!("must be in [0,1], got {}", e.bool_flip_prob),
             ));
+        }
+        if let Some(r) = &self.retry {
+            r.validate()?;
         }
         Ok(())
     }
@@ -284,6 +292,68 @@ pub trait EpochTap {
     fn on_epoch(&mut self, record: &EpochInputsRecord<'_>);
 }
 
+/// A named abandonment point inside the epoch loop — the process-fault
+/// half of the fault-injection story (the crowd-fault half lives in
+/// [`craqr_sensing::CrowdFaults`]).
+///
+/// [`CraqrServer::run_epoch_to_crash`] runs an epoch up to the named
+/// point and then abandons it, exactly as a `kill -9` at that instant
+/// would: state mutated before the point stays mutated, nothing after it
+/// runs, and the recording tap never observes the epoch. Because every
+/// durability boundary in the system is the *epoch* (a run log only
+/// persists an epoch once its tap fired and the streamed block synced),
+/// all four points leave the same recoverable artifact: a log whose last
+/// durable epoch is the one before the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// After dispatch drew budgets, charged tenants, and sent requests —
+    /// the crowd heard the server, but no response was drained.
+    PostDispatch,
+    /// After the crowd advanced and its matured responses were drained,
+    /// before error injection or ingestion touched them.
+    PostDrain,
+    /// After the control hook observed the epoch and its actions were
+    /// applied, an instant before the recording tap fires.
+    PostControl,
+    /// Not a point in the server loop at all: the epoch completes (tap
+    /// included) and the *log writer* dies midway through appending the
+    /// epoch block. [`CraqrServer::run_epoch_to_crash`] runs the epoch
+    /// normally for this point; the tear itself belongs to the log
+    /// writer (`craqr_runlog::StreamingRecorder::tear_next_append`).
+    MidLogAppend,
+}
+
+impl CrashPoint {
+    /// All crash points, in loop order — the chaos tier's kill matrix.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::PostDispatch,
+        CrashPoint::PostDrain,
+        CrashPoint::PostControl,
+        CrashPoint::MidLogAppend,
+    ];
+
+    /// The spec-facing name (`[[faults.crash]] point = "…"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::PostDispatch => "post-dispatch",
+            CrashPoint::PostDrain => "post-drain",
+            CrashPoint::PostControl => "post-control",
+            CrashPoint::MidLogAppend => "mid-log-append",
+        }
+    }
+
+    /// Parses a spec-facing name back to the point.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The recorded crowd-side inputs of one epoch, fed back into
 /// [`CraqrServer::run_epoch_replayed`] to re-drive the loop without a
 /// live crowd.
@@ -332,13 +402,12 @@ impl CraqrServer {
             panic!("invalid server config: {field}: {message}");
         }
         let region = crowd.region();
+        let mut handler =
+            RequestResponseHandler::new(config.tuner, config.incentive, config.initial_budget);
+        handler.set_retry_policy(config.retry);
         Self {
             fabricator: Fabricator::new(region, config.planner),
-            handler: RequestResponseHandler::new(
-                config.tuner,
-                config.incentive,
-                config.initial_budget,
-            ),
+            handler,
             catalog: AttributeCatalog::new(),
             idgen: TupleIdGen::new(),
             error_rng: sub_rng(config.planner.seed, 0xE44),
@@ -500,7 +569,7 @@ impl CraqrServer {
     /// result and injecting [`ControlAction`]s before the next epoch —
     /// the closed-loop variant of [`CraqrServer::run_epoch`].
     pub fn run_epoch_with(&mut self, hook: Option<&mut dyn ControlHook>) -> EpochReport {
-        self.epoch_inner(None, hook, None)
+        self.epoch_inner(None, hook, None, None).expect("no crash point requested")
     }
 
     /// Runs one epoch with an optional hook *and* an optional
@@ -512,7 +581,30 @@ impl CraqrServer {
         hook: Option<&mut dyn ControlHook>,
         tap: Option<&mut dyn EpochTap>,
     ) -> EpochReport {
-        self.epoch_inner(None, hook, tap)
+        self.epoch_inner(None, hook, tap, None).expect("no crash point requested")
+    }
+
+    /// Runs one epoch that dies at `point`, exactly as a process kill at
+    /// that instant would: every mutation before the point persists, the
+    /// rest of the epoch never happens, and the tap never fires.
+    ///
+    /// Returns `None` for the three in-loop points (the epoch was
+    /// abandoned; the epoch counter has still advanced, as a restarted
+    /// process would observe from its log). [`CrashPoint::MidLogAppend`]
+    /// is the exception: the crash lives in the log writer, so the epoch
+    /// itself completes normally and its report is returned — arm the
+    /// writer's tear seam to produce the on-disk fault.
+    pub fn run_epoch_to_crash(
+        &mut self,
+        point: CrashPoint,
+        hook: Option<&mut dyn ControlHook>,
+        tap: Option<&mut dyn EpochTap>,
+    ) -> Option<EpochReport> {
+        let crash = match point {
+            CrashPoint::MidLogAppend => None,
+            p => Some(p),
+        };
+        self.epoch_inner(None, hook, tap, crash)
     }
 
     /// Runs one epoch from **recorded** inputs instead of the live crowd:
@@ -531,7 +623,7 @@ impl CraqrServer {
         hook: Option<&mut dyn ControlHook>,
         tap: Option<&mut dyn EpochTap>,
     ) -> EpochReport {
-        self.epoch_inner(Some(inputs), hook, tap)
+        self.epoch_inner(Some(inputs), hook, tap, None).expect("no crash point requested")
     }
 
     fn epoch_inner(
@@ -539,7 +631,8 @@ impl CraqrServer {
         replay: Option<ReplayInputs<'_>>,
         hook: Option<&mut dyn ControlHook>,
         tap: Option<&mut dyn EpochTap>,
-    ) -> EpochReport {
+        crash: Option<CrashPoint>,
+    ) -> Option<EpochReport> {
         let epoch = self.epoch;
         self.epoch += 1;
         let epoch_start = self.crowd.now();
@@ -573,6 +666,9 @@ impl CraqrServer {
             Some(inputs) => self.handler.dispatch_epoch_detached(&demands, inputs.sent, tenancy),
         };
         let tenant_charges = self.tenants.as_ref().map_or_else(Vec::new, |t| t.epoch_charges());
+        if crash == Some(CrashPoint::PostDispatch) {
+            return None;
+        }
 
         // 2. The world moves; responses mature. The replay clock advances
         // through the same sequence of `step` calls so accumulated
@@ -592,6 +688,24 @@ impl CraqrServer {
         // replayed epoch's raw responses are the inputs themselves.
         let raw_responses =
             if tap.is_some() && replay.is_none() { Some(responses.clone()) } else { None };
+        if crash == Some(CrashPoint::PostDrain) {
+            return None;
+        }
+        // Shortfall feedback for bounded retry (when configured): count
+        // the drained responses per chain *before* error injection
+        // mutates them — replay hands the recorder's raw responses
+        // through the same seam, so live and replayed retry decisions
+        // are bit-identical.
+        if self.handler.retry_enabled() {
+            let grid = self.fabricator.grid();
+            let mut counts: HashMap<(craqr_geom::CellId, AttributeId), u64> = HashMap::new();
+            for r in &responses {
+                if let Some(cell) = grid.cell_of(r.measurement.point.x, r.measurement.point.y) {
+                    *counts.entry((cell, r.measurement.attr)).or_insert(0) += 1;
+                }
+            }
+            self.handler.observe_responses(&counts);
+        }
 
         // 3. Error injection + mitigation (Section VI).
         self.config.error_model.corrupt_batch(&mut responses, &mut self.error_rng);
@@ -680,6 +794,9 @@ impl CraqrServer {
             }
         }
         report.stale_actions = stale_actions;
+        if crash == Some(CrashPoint::PostControl) {
+            return None;
+        }
 
         // 9. Recording seam: the tap sees the epoch's inputs (and the
         // actions just applied) after everything else settled.
@@ -695,7 +812,7 @@ impl CraqrServer {
         for (qid, out) in fresh {
             self.outputs.entry(qid).or_default().extend(out);
         }
-        report
+        Some(report)
     }
 
     /// Takes everything fabricated for a query so far.

@@ -49,7 +49,7 @@ fn parse_u64(s: &str, line: usize, what: &str) -> Result<u64, CodecError> {
     s.parse::<u64>().map_err(|_| err(line, format!("{what}: not an unsigned integer: '{s}'")))
 }
 
-fn fmt_crc(crc: u64) -> String {
+pub(crate) fn fmt_crc(crc: u64) -> String {
     format!("{crc:#018x}")
 }
 
@@ -271,9 +271,11 @@ fn parse_action_line(line_no: usize, rest: &str) -> Result<ActionRecord, CodecEr
 // Render
 // ---------------------------------------------------------------------------
 
-/// Renders the canonical text form of a log. Deterministic: the same log
-/// always yields identical bytes.
-pub fn render(log: &RunLog) -> String {
+/// The checksummed header: version stamp, scenario, seed, embedded spec,
+/// and admission decisions. The streaming writer emits exactly these
+/// bytes before the first epoch block, so an interrupted streamed file is
+/// always a byte-prefix of the canonical render.
+pub(crate) fn header_text(log: &RunLog) -> String {
     use std::fmt::Write;
     let spec = if log.spec_toml.is_empty() || log.spec_toml.ends_with('\n') {
         log.spec_toml.clone()
@@ -293,28 +295,57 @@ pub fn render(log: &RunLog) -> String {
     for a in &log.admissions {
         let _ = writeln!(s, "{}", admission_line(a));
     }
+    s
+}
+
+/// One epoch's record lines (`[epoch N]` through the last charge line),
+/// *without* the `end` line — the bytes the chained checksum covers.
+pub(crate) fn epoch_block(e: &EpochRecord) -> String {
+    use std::fmt::Write;
+    let mut block = String::new();
+    let _ = writeln!(block, "[epoch {}]", e.epoch);
+    for shift in &e.shifts {
+        let _ = writeln!(block, "{}", shift_line(shift));
+    }
+    let _ = writeln!(block, "dispatch requested={} sent={}", e.requested, e.sent);
+    for r in &e.responses {
+        let _ = writeln!(block, "{}", response_line(r));
+    }
+    for a in &e.actions {
+        let _ = writeln!(block, "{}", action_line(a));
+    }
+    for c in &e.charges {
+        let _ = writeln!(block, "{}", charge_line(c));
+    }
+    block
+}
+
+/// Advances the chained checksum over one epoch block: each link hashes
+/// its block *and* the previous link, so order and completeness are
+/// pinned.
+pub(crate) fn advance_chain(chain: u64, block: &str) -> u64 {
+    fnv1a64(format!("{}\n{block}", fmt_crc(chain)).as_bytes())
+}
+
+/// The `end epoch=N crc=…` line sealing one epoch block (with trailing
+/// newline).
+pub(crate) fn end_line(epoch: u64, chain: u64) -> String {
+    format!("end epoch={epoch} crc={}\n", fmt_crc(chain))
+}
+
+/// Renders the canonical text form of a log. Deterministic: the same log
+/// always yields identical bytes.
+pub fn render(log: &RunLog) -> String {
+    use std::fmt::Write;
+    let mut s = header_text(log);
     // The chain seed covers the header: an epoch checksum therefore also
     // pins the spec, seed, and admissions it was recorded under.
     let mut chain = fnv1a64(s.as_bytes());
     for e in &log.epochs {
-        let mut block = String::new();
-        let _ = writeln!(block, "[epoch {}]", e.epoch);
-        for shift in &e.shifts {
-            let _ = writeln!(block, "{}", shift_line(shift));
-        }
-        let _ = writeln!(block, "dispatch requested={} sent={}", e.requested, e.sent);
-        for r in &e.responses {
-            let _ = writeln!(block, "{}", response_line(r));
-        }
-        for a in &e.actions {
-            let _ = writeln!(block, "{}", action_line(a));
-        }
-        for c in &e.charges {
-            let _ = writeln!(block, "{}", charge_line(c));
-        }
-        chain = fnv1a64(format!("{}\n{block}", fmt_crc(chain)).as_bytes());
+        let block = epoch_block(e);
+        chain = advance_chain(chain, &block);
         s.push_str(&block);
-        let _ = writeln!(s, "end epoch={} crc={}", e.epoch, fmt_crc(chain));
+        s.push_str(&end_line(e.epoch, chain));
     }
     let _ = writeln!(s, "[final]");
     if let Some(c) = log.report_checksum {
@@ -363,12 +394,16 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses (and integrity-checks) a canonical text log: the version stamp,
-/// every per-epoch chained checksum, and the whole-document trailer must
-/// all verify, and epoch indices must be gap-free from zero.
-pub fn parse(src: &str) -> Result<RunLog, CodecError> {
-    let mut cur = Cursor { lines: src.lines().collect(), pos: 0 };
+/// The parsed checksummed header plus the chain seed it hashes to.
+struct Header {
+    scenario: String,
+    seed: u64,
+    spec_toml: String,
+    admissions: Vec<AdmissionRecord>,
+    chain: u64,
+}
 
+fn parse_header(cur: &mut Cursor<'_>) -> Result<Header, CodecError> {
     let version = cur.expect_prefix("# craqr runlog v")?;
     if version.trim() != RUNLOG_VERSION.to_string() {
         return Err(err(
@@ -398,123 +433,131 @@ pub fn parse(src: &str) -> Result<RunLog, CodecError> {
         admissions.push(parse_admission_line(cur.line_no(), rest)?);
     }
     let header: String = cur.lines[..cur.pos].iter().flat_map(|l| [l, "\n"]).collect::<String>();
-    let mut chain = fnv1a64(header.as_bytes());
+    let chain = fnv1a64(header.as_bytes());
+    Ok(Header { scenario, seed, spec_toml, admissions, chain })
+}
 
-    let mut epochs: Vec<EpochRecord> = Vec::new();
+/// Parses one epoch block (through its verified `end` line), or consumes
+/// the `[final]` marker and returns `Ok(None)`.
+///
+/// `chain` is taken by value and the advanced link is returned alongside
+/// the record, so a failed call leaves the caller's chain untouched — the
+/// property the salvage parser relies on to re-anchor at the last good
+/// epoch boundary.
+fn parse_epoch(
+    cur: &mut Cursor<'_>,
+    parsed: usize,
+    chain: u64,
+) -> Result<Option<(EpochRecord, u64)>, CodecError> {
+    let line_no = cur.pos + 1;
+    let Some(line) = cur.next() else {
+        return Err(err(0, "unexpected end of log, expected '[epoch N]' or '[final]'"));
+    };
+    if line == "[final]" {
+        return Ok(None);
+    }
+    let index_str = line
+        .strip_prefix("[epoch ")
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| err(line_no, format!("expected '[epoch N]' or '[final]', got '{line}'")))?;
+    let epoch = parse_u64(index_str, line_no, "epoch index")?;
+    if epoch != parsed as u64 {
+        return Err(err(
+            line_no,
+            format!("epoch indices must be gap-free from 0: expected {parsed}, got {epoch}"),
+        ));
+    }
+
+    let mut block = format!("{line}\n");
+    let mut record = EpochRecord { epoch, ..Default::default() };
+    let mut saw_dispatch = false;
+    // Strict record order inside a block: shifts, dispatch, responses,
+    // actions, end.
     loop {
         let line_no = cur.pos + 1;
         let Some(line) = cur.next() else {
-            return Err(err(0, "unexpected end of log, expected '[epoch N]' or '[final]'"));
+            return Err(err(0, format!("unexpected end of log inside epoch {epoch}")));
         };
-        if line == "[final]" {
-            break;
-        }
-        let index_str =
-            line.strip_prefix("[epoch ").and_then(|rest| rest.strip_suffix(']')).ok_or_else(
-                || err(line_no, format!("expected '[epoch N]' or '[final]', got '{line}'")),
-            )?;
-        let epoch = parse_u64(index_str, line_no, "epoch index")?;
-        if epoch != epochs.len() as u64 {
-            return Err(err(
-                line_no,
-                format!(
-                    "epoch indices must be gap-free from 0: expected {}, got {epoch}",
-                    epochs.len()
-                ),
-            ));
-        }
-
-        let mut block = format!("{line}\n");
-        let mut record = EpochRecord { epoch, ..Default::default() };
-        let mut saw_dispatch = false;
-        // Strict record order inside a block: shifts, dispatch, responses,
-        // actions, end.
-        loop {
-            let line_no = cur.pos + 1;
-            let Some(line) = cur.next() else {
-                return Err(err(0, format!("unexpected end of log inside epoch {epoch}")));
-            };
-            if let Some(rest) = line.strip_prefix("end ") {
-                if !saw_dispatch {
-                    return Err(err(line_no, format!("epoch {epoch} has no dispatch line")));
-                }
-                let tokens: Vec<&str> = rest.split_whitespace().collect();
-                if tokens.len() != 2 {
-                    return Err(err(line_no, format!("malformed end line: '{line}'")));
-                }
-                let end_epoch = parse_u64(kv(tokens[0], "epoch", line_no)?, line_no, "epoch")?;
-                if end_epoch != epoch {
-                    return Err(err(
-                        line_no,
-                        format!("end line closes epoch {end_epoch} inside epoch {epoch}"),
-                    ));
-                }
-                let recorded = parse_crc(kv(tokens[1], "crc", line_no)?, line_no, "crc")?;
-                chain = fnv1a64(format!("{}\n{block}", fmt_crc(chain)).as_bytes());
-                if recorded != chain {
-                    return Err(err(
-                        line_no,
-                        format!(
-                            "epoch {epoch} checksum mismatch: log says {}, content hashes to {} \
-                             (the log was truncated, reordered, or edited)",
-                            fmt_crc(recorded),
-                            fmt_crc(chain)
-                        ),
-                    ));
-                }
-                break;
+        if let Some(rest) = line.strip_prefix("end ") {
+            if !saw_dispatch {
+                return Err(err(line_no, format!("epoch {epoch} has no dispatch line")));
             }
-            block.push_str(line);
-            block.push('\n');
-            if let Some(rest) = line.strip_prefix("shift ") {
-                if saw_dispatch {
-                    return Err(err(line_no, "shift records must precede the dispatch line"));
-                }
-                record.shifts.push(parse_shift_line(line_no, rest)?);
-            } else if let Some(rest) = line.strip_prefix("dispatch ") {
-                if saw_dispatch {
-                    return Err(err(line_no, "duplicate dispatch line in one epoch"));
-                }
-                saw_dispatch = true;
-                let tokens: Vec<&str> = rest.split_whitespace().collect();
-                if tokens.len() != 2 {
-                    return Err(err(line_no, format!("malformed dispatch line: '{line}'")));
-                }
-                record.requested =
-                    parse_u64(kv(tokens[0], "requested", line_no)?, line_no, "requested")?;
-                record.sent = parse_u64(kv(tokens[1], "sent", line_no)?, line_no, "sent")?;
-            } else if let Some(rest) = line.strip_prefix("r ") {
-                if !saw_dispatch {
-                    return Err(err(line_no, "response records must follow the dispatch line"));
-                }
-                if !record.actions.is_empty() || !record.charges.is_empty() {
-                    return Err(err(
-                        line_no,
-                        "response records must precede action/charge records",
-                    ));
-                }
-                record.responses.push(parse_response_line(line_no, rest)?);
-            } else if let Some(rest) = line.strip_prefix("act ") {
-                if !saw_dispatch {
-                    return Err(err(line_no, "action records must follow the dispatch line"));
-                }
-                if !record.charges.is_empty() {
-                    return Err(err(line_no, "action records must precede charge records"));
-                }
-                record.actions.push(parse_action_line(line_no, rest)?);
-            } else if let Some(rest) = line.strip_prefix("charge ") {
-                if !saw_dispatch {
-                    return Err(err(line_no, "charge records must follow the dispatch line"));
-                }
-                record.charges.push(parse_charge_line(line_no, rest)?);
-            } else {
-                return Err(err(line_no, format!("unrecognized record line: '{line}'")));
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != 2 {
+                return Err(err(line_no, format!("malformed end line: '{line}'")));
             }
+            let end_epoch = parse_u64(kv(tokens[0], "epoch", line_no)?, line_no, "epoch")?;
+            if end_epoch != epoch {
+                return Err(err(
+                    line_no,
+                    format!("end line closes epoch {end_epoch} inside epoch {epoch}"),
+                ));
+            }
+            let recorded = parse_crc(kv(tokens[1], "crc", line_no)?, line_no, "crc")?;
+            let advanced = advance_chain(chain, &block);
+            if recorded != advanced {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "epoch {epoch} checksum mismatch: log says {}, content hashes to {} \
+                         (the log was truncated, reordered, or edited)",
+                        fmt_crc(recorded),
+                        fmt_crc(advanced)
+                    ),
+                ));
+            }
+            return Ok(Some((record, advanced)));
         }
-        epochs.push(record);
+        block.push_str(line);
+        block.push('\n');
+        if let Some(rest) = line.strip_prefix("shift ") {
+            if saw_dispatch {
+                return Err(err(line_no, "shift records must precede the dispatch line"));
+            }
+            record.shifts.push(parse_shift_line(line_no, rest)?);
+        } else if let Some(rest) = line.strip_prefix("dispatch ") {
+            if saw_dispatch {
+                return Err(err(line_no, "duplicate dispatch line in one epoch"));
+            }
+            saw_dispatch = true;
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != 2 {
+                return Err(err(line_no, format!("malformed dispatch line: '{line}'")));
+            }
+            record.requested =
+                parse_u64(kv(tokens[0], "requested", line_no)?, line_no, "requested")?;
+            record.sent = parse_u64(kv(tokens[1], "sent", line_no)?, line_no, "sent")?;
+        } else if let Some(rest) = line.strip_prefix("r ") {
+            if !saw_dispatch {
+                return Err(err(line_no, "response records must follow the dispatch line"));
+            }
+            if !record.actions.is_empty() || !record.charges.is_empty() {
+                return Err(err(line_no, "response records must precede action/charge records"));
+            }
+            record.responses.push(parse_response_line(line_no, rest)?);
+        } else if let Some(rest) = line.strip_prefix("act ") {
+            if !saw_dispatch {
+                return Err(err(line_no, "action records must follow the dispatch line"));
+            }
+            if !record.charges.is_empty() {
+                return Err(err(line_no, "action records must precede charge records"));
+            }
+            record.actions.push(parse_action_line(line_no, rest)?);
+        } else if let Some(rest) = line.strip_prefix("charge ") {
+            if !saw_dispatch {
+                return Err(err(line_no, "charge records must follow the dispatch line"));
+            }
+            record.charges.push(parse_charge_line(line_no, rest)?);
+        } else {
+            return Err(err(line_no, format!("unrecognized record line: '{line}'")));
+        }
     }
+}
 
-    // [final] block.
+/// Parses the `[final]` block's seal lines and verifies the whole-document
+/// checksum over everything consumed so far. The `[final]` marker itself
+/// must already have been consumed.
+fn parse_trailer(cur: &mut Cursor<'_>) -> Result<(Option<u64>, Option<u64>), CodecError> {
     let mut report_checksum = None;
     let mut trace_checksum = None;
     if let Some(line) = cur.peek() {
@@ -543,16 +586,174 @@ pub fn parse(src: &str) -> Result<RunLog, CodecError> {
             ),
         ));
     }
-    // Nothing may follow the trailer (whitespace-only lines — a stray
-    // final newline from an editor — are tolerated): anything else is
-    // unchecksummed content masquerading as part of the log.
+    Ok((report_checksum, trace_checksum))
+}
+
+/// Nothing may follow the trailer (whitespace-only lines — a stray final
+/// newline from an editor — are tolerated): anything else is unchecksummed
+/// content masquerading as part of the log.
+fn check_no_trailing(cur: &mut Cursor<'_>) -> Result<(), CodecError> {
     while let Some(extra) = cur.next() {
         if !extra.trim().is_empty() {
             return Err(err(cur.line_no(), format!("trailing content after checksum: '{extra}'")));
         }
     }
+    Ok(())
+}
 
+/// Parses (and integrity-checks) a canonical text log: the version stamp,
+/// every per-epoch chained checksum, and the whole-document trailer must
+/// all verify, and epoch indices must be gap-free from zero.
+pub fn parse(src: &str) -> Result<RunLog, CodecError> {
+    let mut cur = Cursor { lines: src.lines().collect(), pos: 0 };
+    let header = parse_header(&mut cur)?;
+    let mut chain = header.chain;
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+    while let Some((record, advanced)) = parse_epoch(&mut cur, epochs.len(), chain)? {
+        chain = advanced;
+        epochs.push(record);
+    }
+    let (report_checksum, trace_checksum) = parse_trailer(&mut cur)?;
+    check_no_trailing(&mut cur)?;
+    let Header { scenario, seed, spec_toml, admissions, .. } = header;
     Ok(RunLog { scenario, seed, spec_toml, admissions, epochs, report_checksum, trace_checksum })
+}
+
+// ---------------------------------------------------------------------------
+// Salvage
+// ---------------------------------------------------------------------------
+
+/// Describes the bytes a salvage discarded after the last durable epoch
+/// boundary (see [`parse_salvage`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Bytes of the longest valid checksummed prefix that was kept.
+    pub valid_bytes: usize,
+    /// Bytes discarded past the tear (0 when the log simply stopped at an
+    /// epoch boundary with no trailer — a clean crash).
+    pub discarded_bytes: usize,
+    /// 1-based line of the first discarded line (one past the last line
+    /// when the log ended early and nothing was discarded).
+    pub line: usize,
+    /// Why the remainder failed verification, in the strict parser's words.
+    pub reason: String,
+}
+
+impl fmt::Display for TornTail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "torn tail at line {}: {} byte(s) kept, {} discarded ({})",
+            self.line, self.valid_bytes, self.discarded_bytes, self.reason
+        )
+    }
+}
+
+/// The outcome of a salvage parse: the longest valid checksummed prefix,
+/// plus what (if anything) was torn off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvage {
+    /// The salvaged log. Unsealed (no report/trace checksums) when the
+    /// tear took the trailer with it — exactly the shape
+    /// `craqr_scenario::resume` accepts as a crash prefix.
+    pub log: RunLog,
+    /// `None` when the whole document verified (equivalent to a clean
+    /// [`parse`]); otherwise the tear description.
+    pub torn: Option<TornTail>,
+}
+
+/// Byte offset where 0-based line `idx` starts in `src` (i.e. the length
+/// of the first `idx` lines including their newlines); `src.len()` when
+/// `idx` is past the last line.
+fn byte_offset_of_line(src: &str, idx: usize) -> usize {
+    let mut offset = 0;
+    for (i, seg) in src.split_inclusive('\n').enumerate() {
+        if i == idx {
+            return offset;
+        }
+        offset += seg.len();
+    }
+    src.len()
+}
+
+/// Parses as much of a (possibly torn) log as verifies, instead of
+/// rejecting it outright.
+///
+/// The salvage keeps the longest prefix whose checksums all hold —
+/// header, then whole epochs up to the first block whose chained CRC
+/// fails or that is cut mid-record — and reports everything after that
+/// boundary as a structured [`TornTail`]. A log whose *header* does not
+/// parse is beyond salvage (the scenario, seed, and spec are gone) and
+/// still fails hard with the strict parser's error.
+///
+/// Guarantees, proptested against truncation at every byte offset:
+/// the salvaged log's canonical render always re-parses clean, and it
+/// never contains more epochs than the input's last durable (`end`-sealed)
+/// epoch boundary.
+pub fn parse_salvage(src: &str) -> Result<Salvage, CodecError> {
+    let mut cur = Cursor { lines: src.lines().collect(), pos: 0 };
+    let header = parse_header(&mut cur)?;
+    let mut chain = header.chain;
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+    let mut report_checksum = None;
+    let mut trace_checksum = None;
+    let mut tear: Option<(usize, CodecError)> = None;
+    loop {
+        let mark = cur.pos;
+        match parse_epoch(&mut cur, epochs.len(), chain) {
+            Ok(Some((record, advanced))) => {
+                chain = advanced;
+                epochs.push(record);
+            }
+            Ok(None) => {
+                // `[final]` was consumed at line index `mark`. A trailer
+                // that fails to verify is torn off whole — its seal lines
+                // attest to a run this prefix does not represent.
+                match parse_trailer(&mut cur) {
+                    Ok((report, trace)) => {
+                        let after = cur.pos;
+                        if check_no_trailing(&mut cur).is_err() {
+                            // Sealed trailer verified but unchecksummed
+                            // content rides behind it: keep the seals,
+                            // tear at the first non-blank trailing line.
+                            let mut idx = after;
+                            while cur.lines[idx].trim().is_empty() {
+                                idx += 1;
+                            }
+                            let reason =
+                                err(idx + 1, "trailing content after checksum".to_string());
+                            tear = Some((idx, reason));
+                        }
+                        report_checksum = report;
+                        trace_checksum = trace;
+                    }
+                    Err(reason) => {
+                        cur.pos = mark;
+                        tear = Some((mark, reason));
+                    }
+                }
+                break;
+            }
+            Err(reason) => {
+                cur.pos = mark;
+                tear = Some((mark, reason));
+                break;
+            }
+        }
+    }
+    let Header { scenario, seed, spec_toml, admissions, .. } = header;
+    let log =
+        RunLog { scenario, seed, spec_toml, admissions, epochs, report_checksum, trace_checksum };
+    let torn = tear.map(|(idx, reason)| {
+        let valid_bytes = byte_offset_of_line(src, idx);
+        TornTail {
+            valid_bytes,
+            discarded_bytes: src.len() - valid_bytes,
+            line: idx + 1,
+            reason: reason.message,
+        }
+    });
+    Ok(Salvage { log, torn })
 }
 
 #[cfg(test)]

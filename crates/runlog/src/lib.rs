@@ -20,7 +20,12 @@
 //! - **resume** — truncate at epoch *k* ([`RunLog::truncated`]), rebuild
 //!   state, and continue live;
 //! - **diff** — structurally compare two logs epoch by epoch with
-//!   first-divergence reporting ([`diff_logs`]).
+//!   first-divergence reporting ([`diff_logs`]);
+//! - **crash safety** — stream each sealed epoch block to disk with an
+//!   fsync discipline ([`StreamingRecorder`]), and salvage the longest
+//!   valid checksummed prefix of a torn file ([`parse_salvage`]) so a
+//!   crashed run resumes from its last durable epoch boundary instead of
+//!   losing the log.
 //!
 //! # Format
 //!
@@ -60,11 +65,13 @@ pub mod codec;
 pub mod diff;
 pub mod log;
 pub mod record;
+pub mod stream;
 
-pub use codec::CodecError;
+pub use codec::{parse_salvage, CodecError, Salvage, TornTail};
 pub use diff::{diff_logs, EpochDiff, LogDiff};
 pub use log::{
     ActionRecord, AdmissionRecord, ChargeRecord, EpochRecord, ResponseRecord, RunLog, ShiftEvent,
     ValueRecord,
 };
 pub use record::RunLogRecorder;
+pub use stream::{write_atomic, StreamingRecorder};

@@ -284,12 +284,19 @@ impl RunLog {
     /// A copy truncated to the first `k` epochs — the resume point. The
     /// final report/trace checksums are dropped: a truncated log no
     /// longer attests to a finished run.
-    pub fn truncated(&self, k: usize) -> Self {
+    ///
+    /// Returns `None` when `k` exceeds the epoch count: asking to cut a
+    /// log at a boundary it never reached is a caller error (a `resume
+    /// --at N` typo), not a request for the whole log.
+    pub fn truncated(&self, k: usize) -> Option<Self> {
+        if k > self.epochs.len() {
+            return None;
+        }
         let mut log = self.clone();
         log.epochs.truncate(k);
         log.report_checksum = None;
         log.trace_checksum = None;
-        log
+        Some(log)
     }
 }
 
@@ -341,10 +348,11 @@ mod tests {
             report_checksum: Some(7),
             trace_checksum: Some(9),
         };
-        let cut = log.truncated(1);
+        let cut = log.truncated(1).unwrap();
         assert_eq!(cut.epochs.len(), 1);
         assert_eq!(cut.report_checksum, None);
         assert_eq!(cut.trace_checksum, None);
-        assert_eq!(log.truncated(5).epochs.len(), 2, "over-truncation is a no-op");
+        assert_eq!(log.truncated(2).unwrap().epochs.len(), 2, "cut at the end keeps every epoch");
+        assert_eq!(log.truncated(5), None, "over-truncation is a signalled error");
     }
 }

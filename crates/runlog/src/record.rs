@@ -86,6 +86,12 @@ impl RunLogRecorder {
     pub fn into_partial(self) -> RunLog {
         self.log
     }
+
+    /// The in-progress log (the streaming writer renders its header and
+    /// epoch blocks from the same structure it will seal).
+    pub(crate) fn log_ref(&self) -> &RunLog {
+        &self.log
+    }
 }
 
 impl EpochTap for RunLogRecorder {

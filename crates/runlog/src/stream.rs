@@ -1,0 +1,347 @@
+//! Crash-safe streaming persistence for run logs.
+//!
+//! [`RunLogRecorder`] builds the whole log in memory and writes nothing
+//! until the run finishes — a crash loses every epoch. The
+//! [`StreamingRecorder`] here closes that gap with an explicit fsync
+//! discipline:
+//!
+//! 1. the checksummed header is written (and synced) as soon as the run
+//!    begins, so even an epoch-zero crash leaves a salvageable file;
+//! 2. each epoch block plus its chained-CRC `end` line is appended and
+//!    `fsync`ed the moment the epoch closes — after a crash, every epoch
+//!    whose `end` line reached the disk is durable;
+//! 3. the sealed trailer is never appended in place: `finish` renders the
+//!    full canonical document and swaps it in atomically
+//!    ([`write_atomic`]: temp file in the same directory, `fsync`,
+//!    `rename`), so the on-disk log is always either a valid streamed
+//!    prefix or the complete sealed document, never a half-written seal.
+//!
+//! Because the streamed bytes come from the same
+//! [`codec`](crate::codec) helpers as [`RunLog::canonical`], an
+//! interrupted file is a byte-prefix of the canonical render and
+//! [`parse_salvage`](crate::codec::parse_salvage) recovers exactly the
+//! epochs whose `end` lines were synced.
+
+use crate::codec::{advance_chain, end_line, epoch_block, header_text};
+use crate::log::{RunLog, ShiftEvent};
+use crate::record::RunLogRecorder;
+use craqr_core::{AdmissionDecision, EpochInputsRecord, EpochTap};
+use craqr_stats::fnv1a64;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` atomically: a temp file in the same
+/// directory is written, `fsync`ed, then renamed over the target, and the
+/// directory entry is synced best-effort. A reader (or a crash) never
+/// observes a half-written file — only the old bytes or the new.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("{}: not a file path", path.display()))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // The rename itself only becomes durable once the directory entry is
+    // on disk; not every platform lets a directory be opened for sync, so
+    // this layer is best-effort.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// A [`RunLogRecorder`] that also appends each sealed epoch block to disk
+/// as it closes (see the [module docs](self) for the durability
+/// contract).
+///
+/// I/O failures during an append are deferred: the tap cannot return
+/// errors, so the first failure is stored, further streaming stops, and
+/// [`StreamingRecorder::finish`] (or [`StreamingRecorder::last_error`],
+/// for drivers that poll between epochs) surfaces it.
+pub struct StreamingRecorder {
+    inner: RunLogRecorder,
+    path: PathBuf,
+    file: Option<File>,
+    chain: u64,
+    streamed: usize,
+    tear_next: bool,
+    torn: bool,
+    error: Option<io::Error>,
+}
+
+impl StreamingRecorder {
+    /// Creates a streaming recorder that persists to `path`. Nothing is
+    /// written until [`StreamingRecorder::begin`] or the first epoch.
+    pub fn new(path: &Path, scenario: &str, seed: u64, spec_toml: &str) -> Self {
+        Self {
+            inner: RunLogRecorder::new(scenario, seed, spec_toml),
+            path: path.to_path_buf(),
+            file: None,
+            chain: 0,
+            streamed: 0,
+            tear_next: false,
+            torn: false,
+            error: None,
+        }
+    }
+
+    /// Notes a scripted world event (see [`RunLogRecorder::record_shift`]).
+    pub fn record_shift(&mut self, shift: ShiftEvent) {
+        self.inner.record_shift(shift);
+    }
+
+    /// Records pre-epoch admission decisions (see
+    /// [`RunLogRecorder::record_admissions`]). Must precede
+    /// [`StreamingRecorder::begin`]: the admissions land in the
+    /// checksummed header, which freezes when it hits the disk.
+    pub fn record_admissions(&mut self, decisions: &[AdmissionDecision]) {
+        assert!(self.file.is_none(), "record_admissions must precede the streamed header");
+        self.inner.record_admissions(decisions);
+    }
+
+    /// Writes and syncs the header now, so a crash before the first epoch
+    /// still leaves a salvageable (zero-epoch) file. Called implicitly by
+    /// the first epoch append if skipped.
+    pub fn begin(&mut self) -> io::Result<()> {
+        if self.file.is_some() {
+            return Ok(());
+        }
+        let header = header_text(self.inner.log_ref());
+        let mut f = File::create(&self.path)?;
+        f.write_all(header.as_bytes())?;
+        f.sync_all()?;
+        self.chain = fnv1a64(header.as_bytes());
+        self.file = Some(f);
+        Ok(())
+    }
+
+    /// Epochs whose `end` line has been written and synced — the durable
+    /// resume point after a crash.
+    pub fn epochs_streamed(&self) -> usize {
+        self.streamed
+    }
+
+    /// Epochs recorded in memory so far.
+    pub fn epochs_recorded(&self) -> usize {
+        self.inner.epochs_recorded()
+    }
+
+    /// The first I/O error hit while streaming, if any. The in-memory
+    /// record stays complete regardless.
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Arms the `mid-log-append` crash seam: the *next* epoch append
+    /// writes only half its block — no `end` line, no chain seal — then
+    /// stops streaming for good, leaving exactly the torn tail a process
+    /// killed inside `write(2)` would. The in-memory recorder keeps
+    /// recording, so the driver can still compare against the truth.
+    pub fn tear_next_append(&mut self) {
+        self.tear_next = true;
+    }
+
+    /// Whether the tear seam has fired (the on-disk file ends mid-block).
+    pub fn is_torn(&self) -> bool {
+        self.torn
+    }
+
+    fn stream_last_epoch(&mut self) -> io::Result<()> {
+        self.begin()?;
+        let e = self.inner.epochs().last().expect("stream_last_epoch follows a recorded epoch");
+        let block = epoch_block(e);
+        let file = self.file.as_mut().expect("begin() opened the file");
+        if self.tear_next {
+            let cut = block.len() / 2;
+            file.write_all(&block.as_bytes()[..cut])?;
+            file.sync_all()?;
+            self.torn = true;
+            return Ok(());
+        }
+        self.chain = advance_chain(self.chain, &block);
+        file.write_all(block.as_bytes())?;
+        file.write_all(end_line(e.epoch, self.chain).as_bytes())?;
+        file.sync_all()?;
+        self.streamed += 1;
+        Ok(())
+    }
+
+    /// Seals the log and atomically replaces the streamed file with the
+    /// complete canonical document. Surfaces any I/O error deferred from
+    /// an earlier append; refuses to seal a deliberately torn file.
+    pub fn finish(self, report_checksum: u64, trace_checksum: Option<u64>) -> io::Result<RunLog> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.torn {
+            return Err(io::Error::other("refusing to seal a torn stream"));
+        }
+        let log = self.inner.finish(report_checksum, trace_checksum);
+        write_atomic(&self.path, &log.canonical())?;
+        Ok(log)
+    }
+
+    /// The log as recorded in memory so far, without sealing (the on-disk
+    /// file keeps whatever prefix was durable).
+    pub fn into_partial(self) -> RunLog {
+        self.inner.into_partial()
+    }
+}
+
+impl EpochTap for StreamingRecorder {
+    fn on_epoch(&mut self, record: &EpochInputsRecord<'_>) {
+        self.inner.on_epoch(record);
+        if self.torn || self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.stream_last_epoch() {
+            self.error = Some(e);
+        }
+        self.tear_next = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::parse_salvage;
+    use craqr_core::{CraqrServer, ServerConfig};
+    use craqr_geom::Rect;
+    use craqr_sensing::{
+        fields::ConstantField, AttrValue, Crowd, CrowdConfig, Mobility, Placement, PopulationConfig,
+    };
+
+    fn server(seed: u64) -> CraqrServer {
+        let crowd = Crowd::new(CrowdConfig {
+            region: Rect::with_size(4.0, 4.0),
+            population: PopulationConfig {
+                size: 300,
+                placement: Placement::Uniform,
+                mobility: Mobility::RandomWalk { sigma: 0.1 },
+                human_fraction: 0.0,
+            },
+            seed,
+        });
+        let mut s = CraqrServer::new(crowd, ServerConfig::default());
+        s.register_attribute("temp", false, Box::new(ConstantField(AttrValue::Float(20.0))));
+        s.submit("ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.8").unwrap();
+        s
+    }
+
+    fn run(dir: &Path, epochs: usize, tear_at: Option<usize>) -> (PathBuf, Option<RunLog>) {
+        let path = dir.join("stream.runlog.txt");
+        let mut live = server(11);
+        let mut rec = StreamingRecorder::new(&path, "unit", 11, "name = \"unit\"\n");
+        rec.begin().unwrap();
+        for e in 0..epochs {
+            if tear_at == Some(e) {
+                rec.tear_next_append();
+            }
+            live.run_epoch_tapped(None, Some(&mut rec));
+            assert!(rec.last_error().is_none());
+        }
+        if tear_at.is_some() {
+            (path, None)
+        } else {
+            let log = rec.finish(0xFEED, None).unwrap();
+            (path, Some(log))
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("craqr-stream-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sealed_stream_equals_canonical_render() {
+        let dir = tempdir("sealed");
+        let (path, log) = run(&dir, 5, None);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, log.unwrap().canonical());
+        assert!(RunLog::parse(&on_disk).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_prefix_is_a_byte_prefix_of_the_canonical_render() {
+        let dir = tempdir("prefix");
+        let path = dir.join("stream.runlog.txt");
+        let mut live = server(11);
+        let mut rec = StreamingRecorder::new(&path, "unit", 11, "name = \"unit\"\n");
+        rec.begin().unwrap();
+        for _ in 0..4 {
+            live.run_epoch_tapped(None, Some(&mut rec));
+        }
+        // Read the streamed bytes *before* sealing: they must be a strict
+        // prefix of the final canonical document.
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        let log = rec.finish(0x1234, None).unwrap();
+        assert!(log.canonical().starts_with(&streamed), "streamed bytes diverge from canonical");
+        // And the streamed prefix salvages to all four epochs.
+        let salvage = parse_salvage(&streamed).unwrap();
+        assert_eq!(salvage.log.epochs.len(), 4);
+        let torn = salvage.torn.expect("an unsealed stream reports a (zero-byte) tear");
+        assert_eq!(torn.discarded_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_salvages_to_the_last_durable_epoch() {
+        let dir = tempdir("torn");
+        let (path, _) = run(&dir, 5, Some(3));
+        let bytes = std::fs::read_to_string(&path).unwrap();
+        let salvage = parse_salvage(&bytes).unwrap();
+        assert_eq!(salvage.log.epochs.len(), 3, "epochs past the tear are gone");
+        let torn = salvage.torn.expect("half an epoch block is a torn tail");
+        assert!(torn.discarded_bytes > 0);
+        assert_eq!(salvage.log.report_checksum, None);
+        // The salvaged prefix re-renders to a log that parses clean.
+        assert!(RunLog::parse(&salvage.log.canonical()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_only_file_salvages_to_zero_epochs() {
+        let dir = tempdir("header");
+        let path = dir.join("stream.runlog.txt");
+        let mut rec = StreamingRecorder::new(&path, "unit", 11, "name = \"unit\"\n");
+        rec.begin().unwrap();
+        drop(rec); // crash before epoch 0
+        let bytes = std::fs::read_to_string(&path).unwrap();
+        let salvage = parse_salvage(&bytes).unwrap();
+        assert_eq!(salvage.log.epochs.len(), 0);
+        assert_eq!(salvage.log.scenario, "unit");
+        assert_eq!(salvage.torn.unwrap().discarded_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_never_leaves_temp_files() {
+        let dir = tempdir("atomic");
+        let path = dir.join("out.txt");
+        write_atomic(&path, "first\n").unwrap();
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

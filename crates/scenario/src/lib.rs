@@ -71,7 +71,7 @@ pub use report::{
 };
 pub use runner::{scenario_files, BatchError, RunError, RunOutput, ScenarioRunner};
 pub use spec::{
-    AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
-    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, RunlogSpec, ScenarioSpec,
-    ShiftSpec, SpecError, TenantSpec,
+    AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, CrashSpec, CrowdFaultSpec, ErrorSpec,
+    FaultsSpec, FieldSpec, GridSpec, MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec,
+    QuerySpec, RetrySpec, RunlogSpec, ScenarioSpec, ShiftSpec, SpecError, TenantSpec,
 };

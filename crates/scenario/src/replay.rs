@@ -25,7 +25,7 @@
 //!   replayable.
 
 use crate::runner::{
-    apply_shift, build_server, epoch_row, finalize_report, shift_event, RunError, RunOutput,
+    build_server, epoch_prologue, epoch_row, finalize_report, RunError, RunOutput,
 };
 use crate::spec::{ScenarioSpec, SpecError};
 use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
@@ -212,15 +212,7 @@ pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, Repl
 
     let mut epochs = Vec::with_capacity(spec.epochs as usize);
     for e in 0..spec.epochs {
-        for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
-            apply_shift(server.crowd_mut(), shift);
-            recorder.record_shift(shift_event(shift));
-        }
-        if let Some(churn) = &spec.churn {
-            if churn.probability > 0.0 {
-                server.crowd_mut().churn(churn.probability);
-            }
-        }
+        epoch_prologue(&spec, e, &mut server, |ev| recorder.record_shift(ev));
         let r = server.run_epoch_tapped(
             controller.as_mut().map(|c| c as &mut dyn ControlHook),
             Some(&mut recorder as &mut dyn EpochTap),
@@ -383,7 +375,7 @@ cooldown_epochs = 2
         let (live, _) = recorded();
         let log = live.log.as_ref().unwrap();
         for k in 0..=log.epochs.len() {
-            let resumed = resume(&log.truncated(k), ExecMode::Serial, k)
+            let resumed = resume(&log.truncated(k).unwrap(), ExecMode::Serial, k)
                 .unwrap_or_else(|e| panic!("resume at {k}: {e}"));
             assert_eq!(
                 resumed.report.checksum(),
@@ -403,12 +395,12 @@ cooldown_epochs = 2
         let (live, _) = recorded();
         let log = live.log.as_ref().unwrap();
         assert!(matches!(
-            resume(&log.truncated(2), ExecMode::Serial, 5),
+            resume(&log.truncated(2).unwrap(), ExecMode::Serial, 5),
             Err(ReplayError::BadResumePoint { at: 5, recorded: 2 })
         ));
 
         // A corrupted prefix record is pinpointed to its epoch.
-        let mut tampered = log.truncated(4);
+        let mut tampered = log.truncated(4).unwrap();
         tampered.epochs[1].sent += 7;
         let err = resume(&tampered, ExecMode::Serial, 4).unwrap_err();
         match err {
@@ -422,7 +414,7 @@ cooldown_epochs = 2
     #[test]
     fn unsealed_partial_logs_replay_their_prefix() {
         let (live, _) = recorded();
-        let cut = live.log.as_ref().unwrap().truncated(3);
+        let cut = live.log.as_ref().unwrap().truncated(3).unwrap();
         let replayed = replay(&cut, ExecMode::Serial).unwrap();
         assert_eq!(replayed.report.epochs.len(), 3, "replay covers the recorded prefix");
         // The fresh log of the partial replay is sealed over the partial

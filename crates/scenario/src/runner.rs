@@ -9,10 +9,10 @@ use crate::spec::{FieldSpec, ScenarioSpec, ShiftSpec, SpecError};
 use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
 use craqr_core::budget::TuneOutcome;
 use craqr_core::server::SubmitError;
-use craqr_core::{ControlHook, CraqrServer, EpochReport, EpochTap, ExecMode, QueryId};
+use craqr_core::{ControlHook, CraqrServer, CrashPoint, EpochReport, EpochTap, ExecMode, QueryId};
 use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
 use craqr_mdpp::{IntensityModel, IntensitySummary, SelfExcitingIntensity};
-use craqr_runlog::{RunLog, RunLogRecorder, ShiftEvent};
+use craqr_runlog::{RunLog, RunLogRecorder, ShiftEvent, StreamingRecorder};
 use craqr_sensing::{fields::ConstantField, AttrValue, Crowd, CrowdConfig, Field};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -31,6 +31,13 @@ pub enum RunError {
         /// The parser/planner complaint.
         message: String,
     },
+    /// A streamed run log could not be persisted.
+    Io {
+        /// The log path that failed.
+        path: PathBuf,
+        /// The io error.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -40,6 +47,7 @@ impl fmt::Display for RunError {
             RunError::Query { index, text, message } => {
                 write!(f, "query {index} ('{text}'): {message}")
             }
+            RunError::Io { path, message } => write!(f, "{}: {message}", path.display()),
         }
     }
 }
@@ -137,6 +145,125 @@ impl ScenarioRunner {
         self.run_live(exec, seed, true)
     }
 
+    /// Runs the scenario with **crash-safe** recording: every sealed epoch
+    /// block is appended and `fsync`ed to `log_path` as it closes
+    /// ([`StreamingRecorder`]), and the sealed document atomically
+    /// replaces the streamed prefix at the end. If the process dies
+    /// mid-run, the file salvages ([`craqr_runlog::parse_salvage`]) to
+    /// the last durable epoch boundary instead of losing the log.
+    pub fn run_streamed(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        log_path: &Path,
+    ) -> Result<RunOutput, RunError> {
+        let spec = &self.spec;
+        let io_err = |e: std::io::Error| RunError::Io {
+            path: log_path.to_path_buf(),
+            message: e.to_string(),
+        };
+        let (mut server, qids) = build_server(spec, seed, exec, false)?;
+        let mut controller = match &spec.adaptive {
+            Some(a) => Some(AdaptiveController::new(a.to_config()?)),
+            None => None,
+        };
+        let mut rec = StreamingRecorder::new(log_path, &spec.name, seed, &spec.to_toml());
+        rec.record_admissions(server.admissions());
+        // Persist the header eagerly: even a crash before epoch 0 leaves a
+        // salvageable file.
+        rec.begin().map_err(io_err)?;
+
+        let mut epochs = Vec::with_capacity(spec.epochs as usize);
+        for e in 0..spec.epochs {
+            epoch_prologue(spec, e, &mut server, |ev| rec.record_shift(ev));
+            let r = server.run_epoch_tapped(
+                controller.as_mut().map(|c| c as &mut dyn ControlHook),
+                Some(&mut rec as &mut dyn EpochTap),
+            );
+            epochs.push(epoch_row(&r));
+            if let Some(err) = rec.last_error() {
+                return Err(RunError::Io {
+                    path: log_path.to_path_buf(),
+                    message: err.to_string(),
+                });
+            }
+        }
+
+        let trace = controller.map(AdaptiveController::into_trace);
+        let responses_delivered = server.crowd().responses_delivered();
+        let report = finalize_report(
+            spec,
+            seed,
+            &mut server,
+            &qids,
+            epochs,
+            responses_delivered,
+            trace.as_ref(),
+        );
+        let log = rec
+            .finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum))
+            .map_err(io_err)?;
+        Ok(RunOutput { report, trace, log: Some(log) })
+    }
+
+    /// Runs the scenario up to `at_epoch` and kills it at the named
+    /// [`CrashPoint`], exactly as a process death there would: epochs
+    /// before `at_epoch` stream durably to `log_path`, the crashed
+    /// epoch's work is abandoned mid-flight (or, for `mid-log-append`,
+    /// its log append is torn halfway through a `write(2)`), and nothing
+    /// is sealed. Returns the number of epochs durable on disk — the
+    /// boundary a salvage-and-resume must recover to.
+    ///
+    /// # Panics
+    /// Panics when `at_epoch` is outside the spec's horizon.
+    #[track_caller]
+    pub fn run_to_crash(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        point: CrashPoint,
+        at_epoch: u32,
+        log_path: &Path,
+    ) -> Result<usize, RunError> {
+        let spec = &self.spec;
+        assert!(
+            at_epoch < spec.epochs,
+            "crash epoch {at_epoch} outside the spec's {} epochs",
+            spec.epochs
+        );
+        let (mut server, _qids) = build_server(spec, seed, exec, false)?;
+        let mut controller = match &spec.adaptive {
+            Some(a) => Some(AdaptiveController::new(a.to_config()?)),
+            None => None,
+        };
+        let mut rec = StreamingRecorder::new(log_path, &spec.name, seed, &spec.to_toml());
+        rec.record_admissions(server.admissions());
+        rec.begin()
+            .map_err(|e| RunError::Io { path: log_path.to_path_buf(), message: e.to_string() })?;
+
+        for e in 0..=at_epoch {
+            epoch_prologue(spec, e, &mut server, |ev| rec.record_shift(ev));
+            let hook = controller.as_mut().map(|c| c as &mut dyn ControlHook);
+            if e == at_epoch {
+                if point == CrashPoint::MidLogAppend {
+                    rec.tear_next_append();
+                }
+                let _ = server.run_epoch_to_crash(point, hook, Some(&mut rec as &mut dyn EpochTap));
+                break;
+            }
+            server.run_epoch_tapped(hook, Some(&mut rec as &mut dyn EpochTap));
+            if let Some(err) = rec.last_error() {
+                return Err(RunError::Io {
+                    path: log_path.to_path_buf(),
+                    message: err.to_string(),
+                });
+            }
+        }
+        // The "process" dies here: no seal, no atomic swap. The file keeps
+        // exactly the prefix whose `end` lines were synced.
+        Ok(rec.epochs_streamed())
+    }
+
     fn run_live(&self, exec: ExecMode, seed: u64, record: bool) -> Result<RunOutput, RunError> {
         let spec = &self.spec;
         let (mut server, qids) = build_server(spec, seed, exec, false)?;
@@ -157,17 +284,11 @@ impl ScenarioRunner {
 
         let mut epochs = Vec::with_capacity(spec.epochs as usize);
         for e in 0..spec.epochs {
-            for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
-                apply_shift(server.crowd_mut(), shift);
+            epoch_prologue(spec, e, &mut server, |ev| {
                 if let Some(rec) = &mut recorder {
-                    rec.record_shift(shift_event(shift));
+                    rec.record_shift(ev);
                 }
-            }
-            if let Some(churn) = &spec.churn {
-                if churn.probability > 0.0 {
-                    server.crowd_mut().churn(churn.probability);
-                }
-            }
+            });
             let r = server.run_epoch_tapped(
                 controller.as_mut().map(|c| c as &mut dyn ControlHook),
                 recorder.as_mut().map(|r| r as &mut dyn EpochTap),
@@ -271,6 +392,37 @@ impl fmt::Display for BatchError {
 }
 
 impl std::error::Error for BatchError {}
+
+/// The deterministic pre-epoch world updates every execution path —
+/// live, streamed, crash-injected, and the resume prefix — must apply
+/// identically: scripted shifts (reported to `record_shift` for the
+/// log), churn, and the `[faults]` crowd-fault windows active this
+/// epoch. Divergence here would break replay/resume byte-equality, so
+/// there is exactly one copy.
+pub(crate) fn epoch_prologue(
+    spec: &ScenarioSpec,
+    e: u32,
+    server: &mut CraqrServer,
+    mut record_shift: impl FnMut(ShiftEvent),
+) {
+    for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
+        apply_shift(server.crowd_mut(), shift);
+        record_shift(shift_event(shift));
+    }
+    if let Some(churn) = &spec.churn {
+        if churn.probability > 0.0 {
+            server.crowd_mut().churn(churn.probability);
+        }
+    }
+    if let Some(f) = &spec.faults {
+        // Set every epoch (not just on window edges) so a window's end
+        // resets the crowd to fault-free; with no windows at all the
+        // crowd is never touched and fault-free goldens stay identical.
+        if !f.crowd.is_empty() {
+            server.crowd_mut().set_faults(f.crowd_faults_at(e));
+        }
+    }
+}
 
 /// Applies one scripted regime shift to the crowd.
 pub(crate) fn apply_shift(crowd: &mut Crowd, shift: &ShiftSpec) {
@@ -631,6 +783,102 @@ text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
         let runner = ScenarioRunner::new(s).unwrap();
         let err = runner.run(ExecMode::Serial).unwrap_err();
         assert!(matches!(err, RunError::Query { index: 0, .. }), "{err}");
+    }
+
+    fn faulty_spec(seed: u64) -> ScenarioSpec {
+        let mut s = spec(seed);
+        let toml = format!(
+            "{}\n[runlog]\n\n[faults]\n\n[[faults.crowd]]\nkind = \"drop\"\nfrom_epoch = 1\n\
+             to_epoch = 2\nprobability = 0.4\n\n[[faults.crowd]]\nkind = \"duplicate\"\n\
+             probability = 0.3\n\n[faults.retry]\nthreshold = 0.9\nbackoff = 0.5\n\
+             max_attempts = 2\n",
+            s.to_toml()
+        );
+        s = ScenarioSpec::from_toml(&toml).unwrap();
+        s
+    }
+
+    #[test]
+    fn crowd_faults_and_retry_are_mode_deterministic() {
+        let runner = ScenarioRunner::new(faulty_spec(13)).unwrap();
+        let serial = runner.run_full(ExecMode::Serial, 13).unwrap();
+        let sharded = runner.run_full(ExecMode::Sharded(3), 13).unwrap();
+        assert_eq!(serial.report.canonical(), sharded.report.canonical());
+        assert_eq!(serial.log, sharded.log, "fault-injected logs must be mode-independent");
+
+        // The faults actually bite: a fault-free twin diverges.
+        let mut clean = faulty_spec(13);
+        clean.faults = None;
+        let clean_run = ScenarioRunner::new(clean).unwrap().run_full(ExecMode::Serial, 13).unwrap();
+        assert_ne!(clean_run.report.checksum(), serial.report.checksum());
+    }
+
+    #[test]
+    fn faulty_logs_replay_and_resume_everywhere() {
+        let runner = ScenarioRunner::new(faulty_spec(17)).unwrap();
+        let live = runner.run_full(ExecMode::Serial, 17).unwrap();
+        let log = live.log.as_ref().unwrap();
+        // Replay drives a detached crowd (faults never fire there — the
+        // recorded responses are already post-fault), sharded or not.
+        let replayed = crate::replay::replay(log, ExecMode::Sharded(2)).unwrap();
+        assert_eq!(replayed.report.checksum(), live.report.checksum());
+        // Resume rebuilds the live prefix fault-for-fault.
+        for k in [0, 2, log.epochs.len()] {
+            let resumed =
+                crate::replay::resume(&log.truncated(k).unwrap(), ExecMode::Serial, k).unwrap();
+            assert_eq!(resumed.report.checksum(), live.report.checksum(), "resume at {k}");
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("craqr-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn streamed_run_seals_the_same_log_as_the_in_memory_recorder() {
+        let dir = tempdir("streamed");
+        let path = dir.join("run.runlog.txt");
+        let runner = ScenarioRunner::new(spec(23)).unwrap();
+        let streamed = runner.run_streamed(ExecMode::Serial, 23, &path).unwrap();
+        let recorded = runner.run_recorded(ExecMode::Serial, 23).unwrap();
+        assert_eq!(streamed.report, recorded.report);
+        assert_eq!(streamed.log, recorded.log, "streaming must not change what is recorded");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, streamed.log.unwrap().canonical(), "sealed file is canonical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_salvage_resume_reproduces_the_uninterrupted_run() {
+        let dir = tempdir("crash");
+        let runner = ScenarioRunner::new(faulty_spec(29)).unwrap();
+        let uninterrupted = runner.run_full(ExecMode::Serial, 29).unwrap();
+        for point in CrashPoint::ALL {
+            let path = dir.join(format!("crash-{point}.runlog.txt"));
+            let durable = runner.run_to_crash(ExecMode::Serial, 29, point, 2, &path).unwrap();
+            assert_eq!(durable, 2, "{point}: epochs 0 and 1 must be durable");
+            let bytes = std::fs::read_to_string(&path).unwrap();
+            let salvage = craqr_runlog::parse_salvage(&bytes).unwrap();
+            assert_eq!(salvage.log.epochs.len(), 2, "{point}");
+            // mid-log-append leaves real torn bytes; the in-loop points
+            // die between appends, so their tail tears cleanly at 0 bytes.
+            let torn = salvage.torn.expect("a crashed stream is unsealed");
+            if point == CrashPoint::MidLogAppend {
+                assert!(torn.discarded_bytes > 0, "half-written block must be discarded");
+            } else {
+                assert_eq!(torn.discarded_bytes, 0, "{point}");
+            }
+            let resumed = crate::replay::resume(&salvage.log, ExecMode::Serial, 2).unwrap();
+            assert_eq!(
+                resumed.report.checksum(),
+                uninterrupted.report.checksum(),
+                "{point}: resume after salvage must re-converge"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

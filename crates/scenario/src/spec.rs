@@ -453,6 +453,90 @@ impl Default for RunlogSpec {
     }
 }
 
+/// One crowd-side delivery fault window: a fault kind active over an
+/// inclusive epoch range (`[[faults.crowd]]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrowdFaultSpec {
+    /// Fault kind: `drop`, `delay`, or `duplicate`.
+    pub kind: String,
+    /// First epoch (inclusive) the fault is active.
+    pub from_epoch: u32,
+    /// Last epoch (inclusive) the fault is active.
+    pub to_epoch: u32,
+    /// Per-response fault probability.
+    pub probability: f64,
+    /// Deferral in minutes — `delay` only; must stay 0 for other kinds.
+    pub minutes: f64,
+}
+
+/// Dispatch-side retry policy (`[faults.retry]`): per-(cell, attribute)
+/// bounded re-request of response shortfalls, mirrored onto
+/// [`craqr_core::RetryPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrySpec {
+    /// Shortfall threshold: retry when `responses < threshold × allowed`.
+    pub threshold: f64,
+    /// Multiplicative backoff per attempt, in `(0, 1]`.
+    pub backoff: f64,
+    /// Maximum retry attempts per chain before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        let d = craqr_core::RetryPolicy::default();
+        Self { threshold: d.shortfall_threshold, backoff: d.backoff, max_attempts: d.max_attempts }
+    }
+}
+
+/// A declared process crash site (`[[faults.crash]]`): a named
+/// [`craqr_core::CrashPoint`] at a specific epoch. Normal runs ignore
+/// these; the chaos harness (`craqr-scenario chaos`) kills the run there
+/// and then proves salvage + resume reproduce the uninterrupted result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashSpec {
+    /// Crash point name (see [`craqr_core::CrashPoint::from_name`]).
+    pub point: String,
+    /// Epoch at which to crash.
+    pub epoch: u32,
+}
+
+/// The `[faults]` block: crowd delivery faults, the dispatch retry
+/// policy, and declared crash sites.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultsSpec {
+    /// Crowd-side delivery fault windows.
+    pub crowd: Vec<CrowdFaultSpec>,
+    /// Dispatch-side retry policy (absent = no retries).
+    pub retry: Option<RetrySpec>,
+    /// Declared crash sites for the chaos harness.
+    pub crash: Vec<CrashSpec>,
+}
+
+impl FaultsSpec {
+    /// The [`craqr_sensing::CrowdFaults`] active at `epoch`: all windows
+    /// covering the epoch merged into one setting (at most one window per
+    /// kind can cover an epoch — validation rejects same-kind overlap).
+    pub fn crowd_faults_at(&self, epoch: u32) -> craqr_sensing::CrowdFaults {
+        let mut f = craqr_sensing::CrowdFaults::default();
+        for w in &self.crowd {
+            if epoch < w.from_epoch || epoch > w.to_epoch {
+                continue;
+            }
+            match w.kind.as_str() {
+                "drop" => f.drop_probability = w.probability,
+                "delay" => {
+                    f.delay_probability = w.probability;
+                    f.delay_minutes = w.minutes;
+                }
+                "duplicate" => f.duplicate_probability = w.probability,
+                other => unreachable!("validated fault kind '{other}'"),
+            }
+        }
+        f
+    }
+}
+
 /// A full declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -491,6 +575,9 @@ pub struct ScenarioSpec {
     pub adaptive: Option<AdaptiveSpec>,
     /// Event-sourced run logging (absent = nothing recorded).
     pub runlog: Option<RunlogSpec>,
+    /// Fault injection: crowd delivery faults, dispatch retries, and
+    /// declared crash sites (absent = fault-free run).
+    pub faults: Option<FaultsSpec>,
 }
 
 // ---------------------------------------------------------------------------
@@ -897,6 +984,46 @@ impl ScenarioSpec {
             }
         };
 
+        let faults = match r.opt_table("faults")? {
+            None => None,
+            Some(mut f) => {
+                let mut crowd = Vec::new();
+                for mut c in f.opt_table_array("crowd")? {
+                    let fault = CrowdFaultSpec {
+                        kind: c.req_str("kind")?,
+                        from_epoch: c.opt_u32("from_epoch", 0)?,
+                        to_epoch: c.opt_u32("to_epoch", epochs.saturating_sub(1))?,
+                        probability: c.req_f64("probability")?,
+                        minutes: c.opt_f64("minutes", 0.0)?,
+                    };
+                    c.finish()?;
+                    crowd.push(fault);
+                }
+                let retry = match f.opt_table("retry")? {
+                    None => None,
+                    Some(mut rt) => {
+                        let d = RetrySpec::default();
+                        let retry = RetrySpec {
+                            threshold: rt.opt_f64("threshold", d.threshold)?,
+                            backoff: rt.opt_f64("backoff", d.backoff)?,
+                            max_attempts: rt.opt_u32("max_attempts", d.max_attempts)?,
+                        };
+                        rt.finish()?;
+                        Some(retry)
+                    }
+                };
+                let mut crash = Vec::new();
+                for mut cr in f.opt_table_array("crash")? {
+                    let site =
+                        CrashSpec { point: cr.req_str("point")?, epoch: cr.req_u32("epoch")? };
+                    cr.finish()?;
+                    crash.push(site);
+                }
+                f.finish()?;
+                Some(FaultsSpec { crowd, retry, crash })
+            }
+        };
+
         r.finish()?;
         let spec = Self {
             name,
@@ -915,6 +1042,7 @@ impl ScenarioSpec {
             shifts,
             adaptive,
             runlog,
+            faults,
         };
         spec.validate()?;
         Ok(spec)
@@ -1186,6 +1314,90 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(f) = &self.faults {
+            for (i, w) in f.crowd.iter().enumerate() {
+                if !matches!(w.kind.as_str(), "drop" | "delay" | "duplicate") {
+                    return Err(out_of_range(
+                        format!("faults.crowd[{i}].kind"),
+                        format!("must be 'drop', 'delay', or 'duplicate', got '{}'", w.kind),
+                    ));
+                }
+                if !(0.0..=1.0).contains(&w.probability) {
+                    return Err(out_of_range(
+                        format!("faults.crowd[{i}].probability"),
+                        format!("must be in [0,1], got {}", w.probability),
+                    ));
+                }
+                if w.from_epoch > w.to_epoch {
+                    return Err(out_of_range(
+                        format!("faults.crowd[{i}].from_epoch"),
+                        format!(
+                            "window is empty: from_epoch {} > to_epoch {}",
+                            w.from_epoch, w.to_epoch
+                        ),
+                    ));
+                }
+                if w.to_epoch >= self.epochs {
+                    return Err(out_of_range(
+                        format!("faults.crowd[{i}].to_epoch"),
+                        format!("must be < epochs ({}), got {}", self.epochs, w.to_epoch),
+                    ));
+                }
+                if w.kind == "delay" {
+                    if !(w.minutes.is_finite() && w.minutes > 0.0) {
+                        return Err(out_of_range(
+                            format!("faults.crowd[{i}].minutes"),
+                            format!("must be finite and > 0 for a delay fault, got {}", w.minutes),
+                        ));
+                    }
+                } else if w.minutes != 0.0 {
+                    return Err(out_of_range(
+                        format!("faults.crowd[{i}].minutes"),
+                        format!("only meaningful for 'delay' faults, got {}", w.minutes),
+                    ));
+                }
+                // Two same-kind windows covering one epoch would silently
+                // shadow each other in crowd_faults_at — reject the overlap.
+                for (j, other) in f.crowd[..i].iter().enumerate() {
+                    if other.kind == w.kind
+                        && w.from_epoch <= other.to_epoch
+                        && other.from_epoch <= w.to_epoch
+                    {
+                        return Err(out_of_range(
+                            format!("faults.crowd[{i}]"),
+                            format!(
+                                "'{}' window [{}, {}] overlaps faults.crowd[{j}]'s [{}, {}]",
+                                w.kind, w.from_epoch, w.to_epoch, other.from_epoch, other.to_epoch
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Retry numerics are validated by the ServerConfig delegation
+            // above (the core RetryPolicy validator).
+            for (i, c) in f.crash.iter().enumerate() {
+                if craqr_core::CrashPoint::from_name(&c.point).is_none() {
+                    return Err(out_of_range(
+                        format!("faults.crash[{i}].point"),
+                        format!(
+                            "unknown crash point '{}'; valid: {}",
+                            c.point,
+                            craqr_core::CrashPoint::ALL
+                                .iter()
+                                .map(|p| p.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    ));
+                }
+                if c.epoch >= self.epochs {
+                    return Err(out_of_range(
+                        format!("faults.crash[{i}].epoch"),
+                        format!("must be < epochs ({}), got {}", self.epochs, c.epoch),
+                    ));
+                }
+            }
+        }
         if let Some(a) = &self.adaptive {
             // Delegates range checks to the controller's own validator so
             // spec and runtime can never disagree on what "valid" means.
@@ -1269,6 +1481,13 @@ impl ScenarioSpec {
             initial_budget: self.budget.initial,
             mobility_substeps: self.planner.mobility_substeps,
             exec,
+            retry: self.faults.as_ref().and_then(|f| f.retry.as_ref()).map(|r| {
+                craqr_core::RetryPolicy {
+                    shortfall_threshold: r.threshold,
+                    backoff: r.backoff,
+                    max_attempts: r.max_attempts,
+                }
+            }),
         })
     }
 }
@@ -1658,6 +1877,48 @@ impl ScenarioSpec {
             rt.insert("record", ConfigValue::Bool(rl.record));
             t.insert("runlog", ConfigValue::Table(rt));
         }
+        if let Some(f) = &self.faults {
+            let mut ft = Table::new();
+            if !f.crowd.is_empty() {
+                let crowd: Vec<ConfigValue> = f
+                    .crowd
+                    .iter()
+                    .map(|w| {
+                        let mut wt = Table::new();
+                        wt.insert("kind", ConfigValue::Str(w.kind.clone()));
+                        wt.insert("from_epoch", ConfigValue::Int(w.from_epoch as i64));
+                        wt.insert("to_epoch", ConfigValue::Int(w.to_epoch as i64));
+                        wt.insert("probability", ConfigValue::Float(w.probability));
+                        if w.kind == "delay" {
+                            wt.insert("minutes", ConfigValue::Float(w.minutes));
+                        }
+                        ConfigValue::Table(wt)
+                    })
+                    .collect();
+                ft.insert("crowd", ConfigValue::Array(crowd));
+            }
+            if let Some(rt) = &f.retry {
+                let mut rtt = Table::new();
+                rtt.insert("threshold", ConfigValue::Float(rt.threshold));
+                rtt.insert("backoff", ConfigValue::Float(rt.backoff));
+                rtt.insert("max_attempts", ConfigValue::Int(rt.max_attempts as i64));
+                ft.insert("retry", ConfigValue::Table(rtt));
+            }
+            if !f.crash.is_empty() {
+                let crash: Vec<ConfigValue> = f
+                    .crash
+                    .iter()
+                    .map(|c| {
+                        let mut ct = Table::new();
+                        ct.insert("point", ConfigValue::Str(c.point.clone()));
+                        ct.insert("epoch", ConfigValue::Int(c.epoch as i64));
+                        ConfigValue::Table(ct)
+                    })
+                    .collect();
+                ft.insert("crash", ConfigValue::Array(crash));
+            }
+            t.insert("faults", ConfigValue::Table(ft));
+        }
         t
     }
 
@@ -1947,6 +2208,129 @@ text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
             "{err}"
         );
         assert!(s.to_server_config(craqr_core::ExecMode::Sharded(1)).is_ok());
+    }
+
+    fn faulty_toml() -> String {
+        format!(
+            "{}\n{}",
+            minimal_toml(),
+            r#"
+[faults]
+
+[[faults.crowd]]
+kind = "drop"
+from_epoch = 0
+to_epoch = 1
+probability = 0.25
+
+[[faults.crowd]]
+kind = "delay"
+probability = 0.5
+minutes = 3.0
+
+[faults.retry]
+threshold = 0.6
+backoff = 0.5
+max_attempts = 2
+
+[[faults.crash]]
+point = "post-drain"
+epoch = 1
+"#
+        )
+    }
+
+    #[test]
+    fn faults_block_parses_and_round_trips() {
+        let s = ScenarioSpec::from_toml(&faulty_toml()).unwrap();
+        let f = s.faults.as_ref().unwrap();
+        assert_eq!(f.crowd.len(), 2);
+        assert_eq!(f.crowd[0].kind, "drop");
+        // Window defaults: the delay fault covers the whole run.
+        assert_eq!((f.crowd[1].from_epoch, f.crowd[1].to_epoch), (0, 2));
+        assert_eq!(f.retry, Some(RetrySpec { threshold: 0.6, backoff: 0.5, max_attempts: 2 }));
+        assert_eq!(f.crash, vec![CrashSpec { point: "post-drain".into(), epoch: 1 }]);
+
+        // The retry policy rides into the server config.
+        let cfg = s.to_server_config(craqr_core::ExecMode::Serial).unwrap();
+        assert_eq!(cfg.retry.map(|r| r.shortfall_threshold), Some(0.6));
+
+        // Per-epoch merge: both faults at epoch 1, only the delay at 2.
+        let at1 = f.crowd_faults_at(1);
+        assert_eq!(
+            (at1.drop_probability, at1.delay_probability, at1.delay_minutes),
+            (0.25, 0.5, 3.0)
+        );
+        let at2 = f.crowd_faults_at(2);
+        assert_eq!((at2.drop_probability, at2.delay_probability), (0.0, 0.5));
+
+        // Lossless round-trip through both syntaxes.
+        assert_eq!(ScenarioSpec::from_toml(&s.to_toml()).unwrap(), s);
+        assert_eq!(ScenarioSpec::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn faults_block_is_strictly_validated() {
+        let reject = |mutation: &str, expected_path: &str| {
+            let src = faulty_toml().replace("probability = 0.25", mutation);
+            let err = ScenarioSpec::from_toml(&src).unwrap_err();
+            assert!(
+                matches!(&err, SpecError::OutOfRange { path, .. } if path == expected_path),
+                "mutation '{mutation}': {err}"
+            );
+        };
+        reject("probability = 1.5", "faults.crowd[0].probability");
+
+        let bad_kind = faulty_toml().replace("kind = \"drop\"", "kind = \"mangle\"");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&bad_kind).unwrap_err(),
+            SpecError::OutOfRange { path, .. } if path == "faults.crowd[0].kind"
+        ));
+        // minutes on a non-delay fault is a contradiction, not an extra.
+        let stray_minutes =
+            faulty_toml().replace("probability = 0.25", "probability = 0.25\nminutes = 1.0");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&stray_minutes).unwrap_err(),
+            SpecError::OutOfRange { path, .. } if path == "faults.crowd[0].minutes"
+        ));
+        // A delay fault needs a positive deferral.
+        let no_minutes = faulty_toml().replace("minutes = 3.0", "minutes = 0.0");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&no_minutes).unwrap_err(),
+            SpecError::OutOfRange { path, .. } if path == "faults.crowd[1].minutes"
+        ));
+        // Same-kind overlapping windows shadow each other — rejected.
+        let overlap = faulty_toml().replace("kind = \"drop\"", "kind = \"delay\"\nminutes = 1.0");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&overlap).unwrap_err(),
+            SpecError::OutOfRange { path, .. } if path == "faults.crowd[1]"
+        ));
+        // Windows must land inside the run.
+        let late = faulty_toml().replace("to_epoch = 1", "to_epoch = 7");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&late).unwrap_err(),
+            SpecError::OutOfRange { path, .. } if path == "faults.crowd[0].to_epoch"
+        ));
+        // Crash points are validated against the core's named seams.
+        let bad_point = faulty_toml().replace("point = \"post-drain\"", "point = \"pre-coffee\"");
+        let err = ScenarioSpec::from_toml(&bad_point).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::OutOfRange { path, message }
+                if path == "faults.crash[0].point" && message.contains("mid-log-append")),
+            "{err}"
+        );
+        // Retry numerics delegate to the core validator.
+        let bad_retry = faulty_toml().replace("backoff = 0.5", "backoff = 0.0");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&bad_retry).unwrap_err(),
+            SpecError::OutOfRange { path, .. } if path == "faults.retry.backoff"
+        ));
+        // Typos inside the block are caught at every level.
+        let typo = faulty_toml().replace("threshold = 0.6", "treshold = 0.6");
+        assert!(matches!(
+            ScenarioSpec::from_toml(&typo).unwrap_err(),
+            SpecError::UnknownField { path } if path == "faults.retry.treshold"
+        ));
     }
 
     #[test]

@@ -24,6 +24,38 @@ pub struct CrowdConfig {
     pub seed: u64,
 }
 
+/// Crowd-side delivery faults, applied independently to every maturing
+/// response: message **drop** (the answer never arrives), **delay** (the
+/// answer is held back a fixed number of minutes — the sensor re-measures
+/// at the *new* delivery time, so a delayed answer carries a genuinely
+/// staler position), and **duplication** (the transport delivers the same
+/// answer twice). All probabilities default to zero; a default-faults
+/// crowd draws nothing from the fault RNG stream and behaves
+/// byte-identically to a fault-free one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CrowdFaults {
+    /// Probability that a maturing response is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a maturing response is deferred by
+    /// [`delay_minutes`](Self::delay_minutes).
+    pub delay_probability: f64,
+    /// Deferral applied to delayed responses, in minutes. Must be `> 0`
+    /// whenever `delay_probability > 0` (a zero delay would re-mature the
+    /// response in the same instant, forever).
+    pub delay_minutes: f64,
+    /// Probability that a delivered response is delivered twice.
+    pub duplicate_probability: f64,
+}
+
+impl CrowdFaults {
+    /// True when any fault has a non-zero probability.
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.delay_probability > 0.0
+            || self.duplicate_probability > 0.0
+    }
+}
+
 /// An in-flight (accepted but not yet delivered) response; the due time
 /// lives in the heap key.
 #[derive(Debug, Clone, Copy)]
@@ -79,8 +111,13 @@ pub struct Crowd {
     now: f64,
     mobility_rng: StdRng,
     participation_rng: StdRng,
+    fault_rng: StdRng,
+    faults: CrowdFaults,
     requests_sent: u64,
     responses_delivered: u64,
+    responses_dropped: u64,
+    responses_delayed: u64,
+    responses_duplicated: u64,
 }
 
 impl Crowd {
@@ -98,8 +135,16 @@ impl Crowd {
             now: 0.0,
             mobility_rng: sub_rng(config.seed, 1),
             participation_rng: sub_rng(config.seed, 2),
+            // Stream 3 is reserved for faults. The stream is always built
+            // (construction draws nothing) but only touched when a fault
+            // probability is non-zero, so fault-free runs are unchanged.
+            fault_rng: sub_rng(config.seed, 3),
+            faults: CrowdFaults::default(),
             requests_sent: 0,
             responses_delivered: 0,
+            responses_dropped: 0,
+            responses_delayed: 0,
+            responses_duplicated: 0,
         }
     }
 
@@ -144,8 +189,43 @@ impl Crowd {
             .collect()
     }
 
+    /// Replaces the crowd-side delivery faults. The faults apply to every
+    /// response maturing from the next [`Crowd::step`] onward; already
+    /// delivered responses are unaffected. Call with
+    /// `CrowdFaults::default()` to clear.
+    ///
+    /// # Panics
+    /// Panics when any probability is outside `[0, 1]`, or when
+    /// `delay_probability > 0` with a non-positive or non-finite
+    /// `delay_minutes`.
+    #[track_caller]
+    pub fn set_faults(&mut self, faults: CrowdFaults) {
+        for (name, p) in [
+            ("drop_probability", faults.drop_probability),
+            ("delay_probability", faults.delay_probability),
+            ("duplicate_probability", faults.duplicate_probability),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+        if faults.delay_probability > 0.0 {
+            assert!(
+                faults.delay_minutes.is_finite() && faults.delay_minutes > 0.0,
+                "delay_minutes must be finite and > 0 when delays are active, got {}",
+                faults.delay_minutes
+            );
+        }
+        self.faults = faults;
+    }
+
+    /// The currently active crowd-side delivery faults.
+    #[inline]
+    pub fn faults(&self) -> CrowdFaults {
+        self.faults
+    }
+
     /// Advances the world by `dt` minutes: moves every sensor, then matures
-    /// every pending response due by the new time.
+    /// every pending response due by the new time, applying the active
+    /// [`CrowdFaults`] to each maturing response.
     ///
     /// # Panics
     /// Panics when `dt <= 0`.
@@ -156,24 +236,48 @@ impl Crowd {
             s.advance(dt, &self.region, &mut self.mobility_rng);
         }
         // Mature due responses at post-move positions (answer-time position).
+        // Fault draws are strictly conditional on a non-zero probability so
+        // inactive fault kinds consume nothing from the fault stream.
         while let Some(&(Reverse(ByDue(due)), idx)) = self.pending.peek() {
             if due > self.now {
                 break;
             }
             self.pending.pop();
             let info = self.pending_info[idx];
+            if self.faults.drop_probability > 0.0
+                && self.fault_rng.gen::<f64>() < self.faults.drop_probability
+            {
+                self.responses_dropped += 1;
+                continue;
+            }
+            if self.faults.delay_probability > 0.0
+                && self.fault_rng.gen::<f64>() < self.faults.delay_probability
+            {
+                // Re-queue at a strictly later due time; the sensor will
+                // re-measure there, so the delay is observable staleness.
+                // Terminates: each deferral moves `due` forward by a fixed
+                // positive amount, so it eventually passes `now`.
+                self.responses_delayed += 1;
+                self.pending.push((Reverse(ByDue(due + self.faults.delay_minutes)), idx));
+                continue;
+            }
             let field = self
                 .fields
                 .get(&info.attr)
                 .unwrap_or_else(|| panic!("no field registered for {}", info.attr));
             let sensor = &mut self.sensors[info.sensor.0 as usize];
             let measurement = sensor.observe(info.attr, field.as_ref(), due);
-            self.ready.push(SensorResponse {
-                sensor: info.sensor,
-                measurement,
-                issued_at: info.issued_at,
-            });
+            let response =
+                SensorResponse { sensor: info.sensor, measurement, issued_at: info.issued_at };
+            self.ready.push(response);
             self.responses_delivered += 1;
+            if self.faults.duplicate_probability > 0.0
+                && self.fault_rng.gen::<f64>() < self.faults.duplicate_probability
+            {
+                self.ready.push(response);
+                self.responses_delivered += 1;
+                self.responses_duplicated += 1;
+            }
         }
     }
 
@@ -279,10 +383,29 @@ impl Crowd {
         self.requests_sent
     }
 
-    /// Total responses delivered so far.
+    /// Total responses delivered so far (duplicates count individually).
     #[inline]
     pub fn responses_delivered(&self) -> u64 {
         self.responses_delivered
+    }
+
+    /// Responses swallowed by the drop fault.
+    #[inline]
+    pub fn responses_dropped(&self) -> u64 {
+        self.responses_dropped
+    }
+
+    /// Deferral events applied by the delay fault (one response deferred
+    /// twice counts twice).
+    #[inline]
+    pub fn responses_delayed(&self) -> u64 {
+        self.responses_delayed
+    }
+
+    /// Extra copies injected by the duplication fault.
+    #[inline]
+    pub fn responses_duplicated(&self) -> u64 {
+        self.responses_duplicated
     }
 
     /// Overall response rate (delivered / sent), 0 before any request.
@@ -429,6 +552,9 @@ impl std::fmt::Debug for Crowd {
             .field("pending", &self.pending.len())
             .field("requests_sent", &self.requests_sent)
             .field("responses_delivered", &self.responses_delivered)
+            .field("responses_dropped", &self.responses_dropped)
+            .field("responses_delayed", &self.responses_delayed)
+            .field("responses_duplicated", &self.responses_duplicated)
             .finish()
     }
 }
@@ -652,6 +778,111 @@ mod tests {
         c.migrate(0.8, &corner);
         let inside = c.sensors_in(&corner).len();
         assert!(inside > 350, "migration left only {inside} sensors in the target");
+    }
+
+    #[test]
+    fn default_faults_leave_the_world_byte_identical() {
+        let run = |set_defaults: bool| {
+            let mut c = crowd(200, 31);
+            if set_defaults {
+                c.set_faults(CrowdFaults::default());
+            }
+            c.dispatch_requests(AttributeId(0), &c.region(), 150, 0.0);
+            c.step(1.0);
+            c.drain_responses()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drop_fault_swallows_everything_at_p1() {
+        let mut c = crowd(200, 32);
+        c.set_faults(CrowdFaults { drop_probability: 1.0, ..Default::default() });
+        c.dispatch_requests(AttributeId(0), &c.region(), 150, 0.0);
+        c.step(5.0);
+        assert!(c.drain_responses().is_empty());
+        assert!(c.responses_dropped() > 100, "dropped {}", c.responses_dropped());
+        assert_eq!(c.responses_delivered(), 0);
+    }
+
+    #[test]
+    fn delay_fault_defers_but_never_loses() {
+        let baseline = {
+            let mut c = crowd(200, 33);
+            c.dispatch_requests(AttributeId(0), &c.region(), 150, 0.0);
+            c.step(0.5);
+            c.drain_responses().len()
+        };
+        let mut c = crowd(200, 33);
+        c.set_faults(CrowdFaults {
+            delay_probability: 0.8,
+            delay_minutes: 1.0,
+            ..Default::default()
+        });
+        c.dispatch_requests(AttributeId(0), &c.region(), 150, 0.0);
+        c.step(0.5);
+        let early = c.drain_responses();
+        assert!(early.len() < baseline / 2, "early {} vs baseline {baseline}", early.len());
+        assert!(c.responses_delayed() > 0);
+        // Delays are finite deferrals: everything eventually arrives. The
+        // deferral count per response is geometric (p = 0.8 re-drawn at
+        // each re-maturation), so give the tail generous room.
+        for _ in 0..150 {
+            c.step(1.0);
+        }
+        let late = c.drain_responses();
+        assert_eq!(early.len() + late.len(), baseline, "delay must not lose responses");
+        // Delayed answers carry their (later) answer-time measurements.
+        assert!(late.iter().all(|r| r.measurement.point.t > 0.5));
+    }
+
+    #[test]
+    fn duplicate_fault_doubles_delivery_at_p1() {
+        let mut c = crowd(200, 34);
+        c.set_faults(CrowdFaults { duplicate_probability: 1.0, ..Default::default() });
+        c.dispatch_requests(AttributeId(0), &c.region(), 100, 0.0);
+        c.step(2.0);
+        let responses = c.drain_responses();
+        assert!(!responses.is_empty());
+        assert_eq!(responses.len() as u64, c.responses_delivered());
+        assert_eq!(c.responses_duplicated() * 2, c.responses_delivered());
+        // Every response appears exactly twice, adjacent under the order.
+        for pair in responses.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let run = || {
+            let mut c = crowd(300, 35);
+            c.set_faults(CrowdFaults {
+                drop_probability: 0.3,
+                delay_probability: 0.3,
+                delay_minutes: 1.5,
+                duplicate_probability: 0.3,
+            });
+            c.dispatch_requests(AttributeId(0), &c.region(), 200, 0.0);
+            for _ in 0..10 {
+                c.step(1.0);
+            }
+            (c.drain_responses(), c.responses_dropped(), c.responses_duplicated())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_minutes must be finite and > 0")]
+    fn zero_delay_with_active_probability_is_rejected() {
+        let mut c = crowd(5, 36);
+        c.set_faults(CrowdFaults { delay_probability: 0.5, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_probability must be in [0,1]")]
+    fn out_of_range_probability_is_rejected() {
+        let mut c = crowd(5, 37);
+        c.set_faults(CrowdFaults { drop_probability: 1.5, ..Default::default() });
     }
 
     #[test]

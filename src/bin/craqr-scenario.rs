@@ -27,6 +27,21 @@
 //! | `replay <logs…> [--shards N]` | re-drive each log with the crowd detached; verify the regenerated inputs, decisions, and sealed report/trace checksums byte-for-byte |
 //! | `resume <log> --at K [--shards N]` | rebuild epochs `0..K` (verified against the log record-by-record), continue live to the horizon, verify the run re-converges on the sealed checksums |
 //! | `diff <a> <b>` | structural epoch-by-epoch comparison of two logs with first-divergence reporting; exit 1 when they differ |
+//! | `salvage <log> [--out FILE] [--resume] [--shards N]` | verify a possibly-torn log: keep the longest valid checksummed prefix, report the tear, optionally rewrite the salvaged prefix (`--out`) and/or resume it live to the horizon (`--resume`) |
+//! | `chaos <specs…> [--all DIR] [--shards N] [--out DIR]` | kill-matrix drill: for every crash point × epoch (or just the spec's `[[faults.crash]]` list when present), stream the run to the crash, salvage the torn file, resume it, and assert the recovery re-converges byte-for-byte on an uninterrupted reference run |
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success (`salvage`: the log was fully intact) |
+//! | 1 | generic failure: bad flags, run error, replay divergence, golden mismatch, chaos failure |
+//! | 2 | **corrupt** log: not even a checksummed prefix could be salvaged (header damage) |
+//! | 3 | **torn** log: a valid checksummed prefix was salvaged, but the tail was lost |
+//!
+//! Every log-loading subcommand distinguishes 2 from 3, so CI and
+//! operators can tell "restore from backup" apart from "salvage and
+//! resume" without reading the log.
 //!
 //! # Golden-corpus flags (no subcommand)
 //!
@@ -58,12 +73,36 @@
 //! fails `--check` — renaming or deleting a spec can no longer leave a
 //! silently-unchecked golden behind.
 
-use craqr::core::ExecMode;
-use craqr::runlog::{diff_logs, RunLog};
+use craqr::core::{CrashPoint, ExecMode};
+use craqr::runlog::{diff_logs, parse_salvage, write_atomic, RunLog};
 use craqr::scenario::{replay, resume, scenario_files, ScenarioRunner, ScenarioSpec};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Exit code for a log whose header is damaged beyond salvage.
+const EXIT_CORRUPT: u8 = 2;
+/// Exit code for a log with a valid salvageable prefix and a lost tail.
+const EXIT_TORN: u8 = 3;
+
+/// A command failure carrying its exit code: 1 generic, 2 corrupt log,
+/// 3 torn log.
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure { code: 1, message }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Self {
+        Failure { code: 1, message: message.into() }
+    }
+}
 
 /// Parses a `--shards` value: `N >= 1` shards (serial is the absence of
 /// the flag, not shard count zero).
@@ -91,16 +130,40 @@ fn load_runner(path: &Path) -> Result<ScenarioRunner, String> {
     ScenarioRunner::new(spec).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn load_log(path: &Path) -> Result<RunLog, String> {
+/// Loads a log, classifying parse failures: a file whose tail is torn but
+/// whose prefix salvages exits 3 (recoverable — run `salvage`), a file
+/// that cannot even be salvaged exits 2 (corrupt — restore from backup).
+fn load_log(path: &Path) -> Result<RunLog, Failure> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    RunLog::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+    match RunLog::parse(&src) {
+        Ok(log) => Ok(log),
+        Err(parse_err) => match parse_salvage(&src) {
+            Ok(salvage) => Err(Failure {
+                code: EXIT_TORN,
+                message: format!(
+                    "{}: torn log ({parse_err}); {} epoch(s) salvage cleanly — \
+                     run `craqr-scenario salvage {}` to recover",
+                    path.display(),
+                    salvage.log.epochs.len(),
+                    path.display(),
+                ),
+            }),
+            Err(salvage_err) => Err(Failure {
+                code: EXIT_CORRUPT,
+                message: format!(
+                    "{}: corrupt log, nothing salvageable: {salvage_err}",
+                    path.display()
+                ),
+            }),
+        },
+    }
 }
 
 // ---------------------------------------------------------------------------
 // record / replay / resume / diff subcommands
 // ---------------------------------------------------------------------------
 
-fn cmd_record(argv: &[String]) -> Result<(), String> {
+fn cmd_record(argv: &[String]) -> Result<(), Failure> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut shards = None;
     let mut seed: Option<u64> = None;
@@ -117,7 +180,9 @@ fn cmd_record(argv: &[String]) -> Result<(), String> {
                 let dir = PathBuf::from(value("--all")?);
                 files.extend(scenario_files(&dir).map_err(|e| e.to_string())?);
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'").into())
+            }
             file => files.push(PathBuf::from(file)),
         }
     }
@@ -128,13 +193,16 @@ fn cmd_record(argv: &[String]) -> Result<(), String> {
     for file in &files {
         let runner = load_runner(file)?;
         let run_seed = seed.unwrap_or(runner.spec().seed);
+        // Crash-safe recording: every sealed epoch block is appended and
+        // fsynced as it closes, and the sealed document atomically
+        // replaces the streamed prefix at the end — a kill at any moment
+        // leaves a salvageable prefix, never a half-written file.
+        let path = out.join(format!("{}.runlog.txt", runner.spec().name));
         let output = runner
-            .run_recorded(exec_of(shards), run_seed)
+            .run_streamed(exec_of(shards), run_seed, &path)
             .map_err(|e| format!("{}: {e}", file.display()))?;
-        let log = output.log.expect("run_recorded always returns a log");
-        let path = out.join(format!("{}.runlog.txt", log.scenario));
+        let log = output.log.expect("run_streamed always returns a log");
         let text = log.canonical();
-        std::fs::write(&path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
         // The checksum is already the canonical text's last line; reading
         // it there avoids re-rendering the whole multi-hundred-KB log.
         let checksum = text
@@ -153,7 +221,7 @@ fn cmd_record(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay(argv: &[String]) -> Result<(), String> {
+fn cmd_replay(argv: &[String]) -> Result<(), Failure> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut shards = None;
     let mut it = argv.iter();
@@ -163,7 +231,9 @@ fn cmd_replay(argv: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("flag --shards needs a value")?;
                 shards = Some(parse_shards(v)?);
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'").into())
+            }
             file => files.push(PathBuf::from(file)),
         }
     }
@@ -172,29 +242,34 @@ fn cmd_replay(argv: &[String]) -> Result<(), String> {
     }
     let exec = exec_of(shards);
     let mut failures = 0usize;
+    let mut worst_code = 1u8;
     for file in &files {
-        match load_log(file)
-            .and_then(|log| replay(&log, exec).map_err(|e| format!("{}: {e}", file.display())))
-        {
+        let result = load_log(file).and_then(|log| {
+            replay(&log, exec).map_err(|e| Failure::from(format!("{}: {e}", file.display())))
+        });
+        match result {
             Ok(output) => println!(
                 "ok {} [{exec:?}] report {:#018x} trace {}",
                 output.report.name,
                 output.report.checksum(),
                 output.trace.map_or("-".to_string(), |t| format!("{:#018x}", t.checksum())),
             ),
-            Err(e) => {
-                eprintln!("REPLAY FAILED: {e}");
+            Err(f) => {
+                eprintln!("REPLAY FAILED: {}", f.message);
+                // A torn or corrupt input is more actionable than a
+                // generic failure: surface the most specific code seen.
+                worst_code = worst_code.max(f.code);
                 failures += 1;
             }
         }
     }
     if failures > 0 {
-        return Err(format!("{failures} replay(s) failed"));
+        return Err(Failure { code: worst_code, message: format!("{failures} replay(s) failed") });
     }
     Ok(())
 }
 
-fn cmd_resume(argv: &[String]) -> Result<(), String> {
+fn cmd_resume(argv: &[String]) -> Result<(), Failure> {
     let mut file: Option<PathBuf> = None;
     let mut shards = None;
     let mut at: Option<usize> = None;
@@ -209,9 +284,13 @@ fn cmd_resume(argv: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("flag --at needs a value")?;
                 at = Some(v.parse().map_err(|e| format!("--at: {e}"))?);
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'").into())
+            }
             f if file.is_none() => file = Some(PathBuf::from(f)),
-            extra => return Err(format!("resume takes exactly one log file, got also '{extra}'")),
+            extra => {
+                return Err(format!("resume takes exactly one log file, got also '{extra}'").into())
+            }
         }
     }
     let file = file.ok_or("resume: a .runlog.txt file is required")?;
@@ -228,7 +307,7 @@ fn cmd_resume(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diff(argv: &[String]) -> Result<bool, String> {
+fn cmd_diff(argv: &[String]) -> Result<bool, Failure> {
     let files: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
     if files.len() != 2 || argv.len() != 2 {
         return Err("diff: exactly two .runlog.txt files are required".into());
@@ -243,6 +322,261 @@ fn cmd_diff(argv: &[String]) -> Result<bool, String> {
         print!("{}", diff.render());
         Ok(false)
     }
+}
+
+/// `salvage <log> [--out FILE] [--resume] [--shards N]` — verify a
+/// possibly-torn log and keep the longest valid checksummed prefix.
+///
+/// Returns the exit code: 0 when the log was fully intact, [`EXIT_TORN`]
+/// when a prefix salvaged but the tail was lost, or `Err` with
+/// [`EXIT_CORRUPT`] when not even the header survived.
+fn cmd_salvage(argv: &[String]) -> Result<u8, Failure> {
+    let mut file: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut shards = None;
+    let mut do_resume = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => {
+                let v = it.next().ok_or("flag --out needs a value")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--shards" => {
+                let v = it.next().ok_or("flag --shards needs a value")?;
+                shards = Some(parse_shards(v)?);
+            }
+            "--resume" => do_resume = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'").into())
+            }
+            f if file.is_none() => file = Some(PathBuf::from(f)),
+            extra => {
+                return Err(format!("salvage takes exactly one log file, got also '{extra}'").into())
+            }
+        }
+    }
+    let file = file.ok_or("salvage: a .runlog.txt file is required")?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+    let salvage = parse_salvage(&src).map_err(|e| Failure {
+        code: EXIT_CORRUPT,
+        message: format!("{}: corrupt log, nothing salvageable: {e}", file.display()),
+    })?;
+    let exit = match &salvage.torn {
+        None => {
+            println!(
+                "intact {}: {} epoch(s), sealed {}",
+                file.display(),
+                salvage.log.epochs.len(),
+                salvage
+                    .log
+                    .report_checksum
+                    .map_or("(no report checksum)".to_string(), |c| format!("{c:#018x}")),
+            );
+            0
+        }
+        Some(torn) => {
+            println!(
+                "torn {}: kept {} epoch(s) / {} valid byte(s), discarded {} byte(s) \
+                 from line {} ({})",
+                file.display(),
+                salvage.log.epochs.len(),
+                torn.valid_bytes,
+                torn.discarded_bytes,
+                torn.line,
+                torn.reason,
+            );
+            EXIT_TORN
+        }
+    };
+    if let Some(out) = &out {
+        // The salvaged prefix re-renders as a sealed document (header +
+        // verified epochs + trailer), so the repaired file parses
+        // cleanly — no salvage pass needed the next time it is read.
+        write_atomic(out, &salvage.log.canonical())
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        println!("wrote salvaged log to {}", out.display());
+    }
+    if do_resume {
+        let at = salvage.log.epochs.len();
+        let output = resume(&salvage.log, exec_of(shards), at)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        println!(
+            "resumed {} at epoch {at}: report {:#018x} trace {}",
+            output.report.name,
+            output.report.checksum(),
+            output.trace.map_or("-".to_string(), |t| format!("{:#018x}", t.checksum())),
+        );
+    }
+    Ok(exit)
+}
+
+/// One spec's kill matrix: crash at every point of every epoch (or just
+/// the spec's `[[faults.crash]]` list), salvage, resume, and require the
+/// recovery to re-converge on the uninterrupted reference run.
+fn chaos_one(
+    file: &Path,
+    shards: Option<usize>,
+    out_dir: &Path,
+) -> Result<(usize, usize), Failure> {
+    let runner = load_runner(file)?;
+    let spec = runner.spec();
+    let exec = exec_of(shards);
+    let seed = spec.seed;
+    let name = spec.name.clone();
+    let epochs = spec.epochs;
+
+    // The uninterrupted reference: every recovery below must land on
+    // exactly these checksums.
+    let reference =
+        runner.run_recorded(exec, seed).map_err(|e| format!("{}: {e}", file.display()))?;
+    let want_report = reference.report.checksum();
+    let want_trace = reference.trace.as_ref().map(|t| t.checksum());
+
+    let matrix: Vec<(CrashPoint, u32)> = match spec.faults.as_ref().filter(|f| !f.crash.is_empty())
+    {
+        Some(f) => f
+            .crash
+            .iter()
+            .map(|c| {
+                let point = CrashPoint::from_name(&c.point)
+                    .expect("validated spec has only known crash points");
+                (point, c.epoch)
+            })
+            .collect(),
+        None => {
+            (0..epochs).flat_map(|e| CrashPoint::ALL.into_iter().map(move |p| (p, e))).collect()
+        }
+    };
+
+    let mut kills = 0usize;
+    let mut failures = 0usize;
+    for &(point, at_epoch) in &matrix {
+        kills += 1;
+        let crash_path = out_dir.join(format!("{name}.{}.e{at_epoch}.runlog.txt", point.name()));
+        let mut fail = |why: String| {
+            eprintln!(
+                "CHAOS FAILED {name} @ {point} epoch {at_epoch}: {why} \
+                 (salvage artifact kept at {})",
+                crash_path.display()
+            );
+            failures += 1;
+        };
+        let durable = match runner.run_to_crash(exec, seed, point, at_epoch, &crash_path) {
+            Ok(d) => d,
+            Err(e) => {
+                fail(format!("crash run: {e}"));
+                continue;
+            }
+        };
+        let src = match std::fs::read_to_string(&crash_path) {
+            Ok(s) => s,
+            Err(e) => {
+                fail(format!("reading crash file: {e}"));
+                continue;
+            }
+        };
+        let salvage = match parse_salvage(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                fail(format!("salvage: {e}"));
+                continue;
+            }
+        };
+        if salvage.log.epochs.len() != durable {
+            fail(format!(
+                "salvaged {} epoch(s), but {durable} were durable at the kill",
+                salvage.log.epochs.len()
+            ));
+            continue;
+        }
+        let recovered = match resume(&salvage.log, exec, durable) {
+            Ok(o) => o,
+            Err(e) => {
+                fail(format!("resume: {e}"));
+                continue;
+            }
+        };
+        let got_trace = recovered.trace.as_ref().map(|t| t.checksum());
+        if recovered.report.checksum() != want_report || got_trace != want_trace {
+            fail(format!(
+                "recovery diverged: report {:#018x} (want {want_report:#018x}), trace {:?} \
+                 (want {want_trace:?})",
+                recovered.report.checksum(),
+                got_trace,
+            ));
+            continue;
+        }
+        // Conservation after recovery: the budget laws must hold for the
+        // resumed run exactly as for an uninterrupted one.
+        if let Some(tenants) = &recovered.report.tenants {
+            for row in &tenants.rows {
+                let eps = 1e-9;
+                if row.peak_epoch_charge > row.capacity + eps
+                    || row.committed > row.capacity + eps
+                    || row.charged > row.capacity * f64::from(epochs) + eps
+                {
+                    fail(format!(
+                        "tenant '{}' violates conservation after recovery: \
+                         peak {} / committed {} / charged {} vs capacity {}",
+                        row.name, row.peak_epoch_charge, row.committed, row.charged, row.capacity,
+                    ));
+                }
+            }
+        }
+        // The drill passed: the torn artifact has served its purpose.
+        let _ = std::fs::remove_file(&crash_path);
+    }
+    Ok((kills, failures))
+}
+
+/// `chaos <specs…> [--all DIR] [--shards N] [--out DIR]` — run the
+/// kill-salvage-resume drill over each spec, in process.
+fn cmd_chaos(argv: &[String]) -> Result<(), Failure> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut shards = None;
+    let mut out = PathBuf::from("runs/chaos");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("flag {name} needs a value"));
+        match flag.as_str() {
+            "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--all" => {
+                let dir = PathBuf::from(value("--all")?);
+                files.extend(scenario_files(&dir).map_err(|e| e.to_string())?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'").into())
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("chaos: at least one spec file (or --all DIR) is required".into());
+    }
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let mut total_failures = 0usize;
+    for file in &files {
+        let (kills, failures) = chaos_one(file, shards, &out)?;
+        if failures == 0 {
+            println!(
+                "chaos ok {}: {kills} kill(s), every salvage+resume re-converged on the \
+                 uninterrupted run",
+                file.display()
+            );
+        }
+        total_failures += failures;
+    }
+    if total_failures > 0 {
+        return Err(format!(
+            "{total_failures} chaos kill(s) failed to recover (salvage artifacts kept under {})",
+            out.display()
+        )
+        .into());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -354,7 +688,9 @@ fn golden_artifact(
                 if let Some(parent) = path.parent() {
                     let _ = std::fs::create_dir_all(parent);
                 }
-                std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+                // Atomic: a kill mid-bless can never leave a truncated
+                // golden that every later --check would chase.
+                write_atomic(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
                 println!("blessed {}", path.display());
             }
             // The scenario stopped producing this artifact: a leftover
@@ -599,19 +935,20 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let result = match argv.first().map(String::as_str) {
-        Some("record") => cmd_record(&argv[1..]).map(|()| true),
-        Some("replay") => cmd_replay(&argv[1..]).map(|()| true),
-        Some("resume") => cmd_resume(&argv[1..]).map(|()| true),
-        Some("diff") => cmd_diff(&argv[1..]),
+    let result: Result<u8, Failure> = match argv.first().map(String::as_str) {
+        Some("record") => cmd_record(&argv[1..]).map(|()| 0),
+        Some("replay") => cmd_replay(&argv[1..]).map(|()| 0),
+        Some("resume") => cmd_resume(&argv[1..]).map(|()| 0),
+        Some("diff") => cmd_diff(&argv[1..]).map(|same| u8::from(!same)),
+        Some("salvage") => cmd_salvage(&argv[1..]),
+        Some("chaos") => cmd_chaos(&argv[1..]).map(|()| 0),
         _ => return golden_mode(argv),
     };
     match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Ok(code) => ExitCode::from(code),
+        Err(f) => {
+            eprintln!("error: {}", f.message);
+            ExitCode::from(f.code)
         }
     }
 }

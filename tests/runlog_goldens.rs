@@ -144,7 +144,7 @@ fn resume_at_every_boundary_of_drift_rate_jump_matches_the_full_run() {
     let full_report = golden("drift_rate_jump.golden.txt");
     let full_trace = golden("drift_rate_jump.trace.txt");
     for k in 0..=log.epochs.len() {
-        let out = resume(&log.truncated(k), ExecMode::Serial, k)
+        let out = resume(&log.truncated(k).unwrap(), ExecMode::Serial, k)
             .unwrap_or_else(|e| panic!("resume at {k}: {e}"));
         assert_eq!(
             out.report.canonical(),
@@ -170,7 +170,7 @@ fn resume_reconverges_for_every_drift_scenario() {
         let full_report = golden(&format!("{stem}.golden.txt"));
         let full_trace = golden(&format!("{stem}.trace.txt"));
         for k in 0..=log.epochs.len() {
-            let out = resume(&log.truncated(k), ExecMode::Serial, k)
+            let out = resume(&log.truncated(k).unwrap(), ExecMode::Serial, k)
                 .unwrap_or_else(|e| panic!("{stem} resume at {k}: {e}"));
             assert_eq!(out.report.canonical(), full_report, "{stem} resume at {k}");
             assert_eq!(out.trace.expect("trace").canonical(), full_trace, "{stem} resume at {k}");
@@ -182,8 +182,8 @@ fn resume_reconverges_for_every_drift_scenario() {
 fn sharded_resume_matches_serial_resume() {
     let (_, log) = committed_log("drift_sensor_dropout");
     let mid = log.epochs.len() / 2;
-    let serial = resume(&log.truncated(mid), ExecMode::Serial, mid).unwrap();
-    let sharded = resume(&log.truncated(mid), ExecMode::Sharded(4), mid).unwrap();
+    let serial = resume(&log.truncated(mid).unwrap(), ExecMode::Serial, mid).unwrap();
+    let sharded = resume(&log.truncated(mid).unwrap(), ExecMode::Sharded(4), mid).unwrap();
     assert_eq!(serial.report.canonical(), sharded.report.canonical());
     assert_eq!(
         serial.trace.map(|t| t.canonical()),

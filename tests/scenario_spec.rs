@@ -3,9 +3,9 @@
 //! unchanged, through both syntaxes.
 
 use craqr::scenario::{
-    AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, ErrorSpec, FieldSpec, GridSpec,
-    MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec, QuerySpec, RunlogSpec, ScenarioSpec,
-    ShiftSpec, SpecError, TenantSpec,
+    AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, CrashSpec, CrowdFaultSpec, ErrorSpec,
+    FaultsSpec, FieldSpec, GridSpec, MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec,
+    QuerySpec, RetrySpec, RunlogSpec, ScenarioSpec, ShiftSpec, SpecError, TenantSpec,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -364,6 +364,43 @@ fn arb_adaptive(rng: &mut StdRng) -> AdaptiveSpec {
     }
 }
 
+/// At most one window per fault kind (so same-kind windows can never
+/// overlap), each inside `[0, epochs)`; `None` when every knob came up
+/// empty so `faults = Some(empty)` never round-trips ambiguously.
+fn arb_faults(rng: &mut StdRng, epochs: u32) -> Option<FaultsSpec> {
+    let mut crowd = Vec::new();
+    for kind in ["drop", "delay", "duplicate"] {
+        if rng.gen() {
+            let from_epoch = rng.gen_range(0..epochs);
+            crowd.push(CrowdFaultSpec {
+                kind: kind.into(),
+                from_epoch,
+                to_epoch: rng.gen_range(from_epoch..epochs),
+                probability: rng.gen_range(0.0..1.0),
+                minutes: if kind == "delay" { rng.gen_range(0.1..10.0) } else { 0.0 },
+            });
+        }
+    }
+    let retry = if rng.gen() {
+        Some(RetrySpec {
+            threshold: rng.gen_range(0.0..1.0),
+            backoff: rng.gen_range(0.0..1.0),
+            max_attempts: rng.gen_range(1u32..5),
+        })
+    } else {
+        None
+    };
+    let crash = ["post-dispatch", "post-drain", "post-control", "mid-log-append"]
+        .iter()
+        .take(rng.gen_range(0usize..3))
+        .map(|p| CrashSpec { point: (*p).into(), epoch: rng.gen_range(0..epochs) })
+        .collect::<Vec<_>>();
+    if crowd.is_empty() && retry.is_none() && crash.is_empty() {
+        return None;
+    }
+    Some(FaultsSpec { crowd, retry, crash })
+}
+
 /// Draws a random *valid* spec: every constructor input stays inside the
 /// documented ranges, names come from a fixed pool with unique suffixes.
 fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
@@ -486,6 +523,7 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
         shifts: (0..rng.gen_range(0usize..4)).map(|_| arb_shift(rng, epochs, size_km)).collect(),
         adaptive,
         runlog: if rng.gen() { Some(RunlogSpec { record: rng.gen() }) } else { None },
+        faults: if rng.gen() { arb_faults(rng, epochs) } else { None },
     }
 }
 

@@ -281,7 +281,7 @@ fn resume_across_the_admission_rejection_reconverges_at_every_boundary() {
         let full_report = golden(&format!("{stem}.golden.txt"));
         let full_trace = golden(&format!("{stem}.trace.txt"));
         for k in 0..=log.epochs.len() {
-            let out = resume(&log.truncated(k), ExecMode::Serial, k)
+            let out = resume(&log.truncated(k).unwrap(), ExecMode::Serial, k)
                 .unwrap_or_else(|e| panic!("{stem} resume at {k}: {e}"));
             assert_eq!(out.report.canonical(), full_report, "{stem} resume at {k}: report");
             assert_eq!(
@@ -299,7 +299,7 @@ fn tampered_admission_records_fail_resume() {
     // re-derives the true verdicts and must refuse the log.
     let text = golden("tenant_starved_reject.runlog.txt");
     let log = RunLog::parse(&text).unwrap();
-    let mut tampered = log.truncated(3);
+    let mut tampered = log.truncated(3).unwrap();
     let idx = tampered.admissions.iter().position(|a| !a.admitted).expect("a rejection");
     tampered.admissions[idx].admitted = true;
     let err = resume(&tampered, ExecMode::Serial, 3).unwrap_err();
