@@ -155,6 +155,7 @@ pub struct RequestResponseHandler {
     /// identically on both paths.
     last_allowed: HashMap<(CellId, AttributeId), u64>,
     retries_requested: u64,
+    retry_attempts: u64,
 }
 
 impl RequestResponseHandler {
@@ -179,6 +180,7 @@ impl RequestResponseHandler {
             retry: HashMap::new(),
             last_allowed: HashMap::new(),
             retries_requested: 0,
+            retry_attempts: 0,
         }
     }
 
@@ -208,6 +210,14 @@ impl RequestResponseHandler {
         self.retries_requested
     }
 
+    /// Shortfall events that scheduled a retry since creation (each one
+    /// queues backoff-damped extra requests for the next dispatch). A
+    /// deterministic function of the response stream, so the count is
+    /// identical live and replayed.
+    pub fn retry_attempts(&self) -> u64 {
+        self.retry_attempts
+    }
+
     /// Takes the extra requests a chain's pending retry scheduled for
     /// this dispatch.
     fn take_retry_pending(&mut self, key: (CellId, AttributeId)) -> usize {
@@ -235,6 +245,7 @@ impl RequestResponseHandler {
                 state.pending = ((shortfall as f64) * policy.backoff.powi(state.attempts as i32))
                     .floor() as u64;
                 state.attempts += 1;
+                self.retry_attempts += 1;
             } else {
                 *state = RetryState::default();
             }

@@ -50,6 +50,7 @@ pub mod handler;
 pub mod incentive;
 pub mod ops;
 pub mod optimizer;
+pub mod phase;
 pub mod plan;
 pub mod query;
 pub mod server;
@@ -62,11 +63,12 @@ pub use exec::{ExecMode, IngestReport, ShardIngest};
 pub use handler::{RequestResponseHandler, RetryPolicy};
 pub use incentive::IncentivePolicy;
 pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp};
+pub use phase::{EpochPhase, PhaseTimer};
 pub use plan::{Fabricator, PlannerConfig, TopologyShape};
 pub use query::{AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 pub use server::{
     ControlAction, ControlHook, CraqrServer, CrashPoint, EpochInputsRecord, EpochObservation,
-    EpochReport, EpochTap, ReplayInputs, ServerConfig,
+    EpochReport, EpochTap, FaultDeltas, ReplayInputs, ServerConfig,
 };
 pub use tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry, TenantSummary};
 pub use tuple::CrowdTuple;

@@ -1,0 +1,82 @@
+//! The epoch-phase timing seam — the *timing* sibling of the control
+//! ([`crate::ControlHook`]) and recording ([`crate::EpochTap`]) seams.
+//!
+//! # Why a seam, and why it is safe
+//!
+//! CrAQR's determinism contract forbids clocks from influencing anything
+//! checksummed: a run must produce bit-identical reports, traces, and run
+//! logs on every host. But an operable service still needs latency
+//! telemetry — *where does an epoch spend its time?* The [`PhaseTimer`]
+//! seam reconciles the two:
+//!
+//! - **Byte-inert when absent.** With no timer installed the epoch loop
+//!   takes zero clock readings and executes the exact instruction stream
+//!   of an uninstrumented build. Nothing is allocated, branched on a
+//!   clock, or fed to an RNG.
+//! - **Read-only when present.** An installed timer only *reads* the
+//!   thread-CPU clock at phase boundaries ([`crate::exec::thread_busy_ns`])
+//!   and hands the elapsed nanoseconds to the timer. No simulation state,
+//!   RNG stream, or report field depends on the measured values, so every
+//!   checksummed artifact is bit-identical with and without a timer — the
+//!   same rule that keeps `busy_ns` out of report bodies.
+//!
+//! Measured durations are **thread-CPU time**, not wall time, so an epoch
+//! descheduled on an oversubscribed host does not inflate its phases.
+//!
+//! The canonical implementation lives in `craqr-scenario`, which feeds a
+//! `craqr-telemetry` histogram per phase; anything implementing the
+//! one-method trait fits (a logger, a flamegraph feeder, a test probe).
+
+/// One of the epoch loop's instrumented sections, in loop order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EpochPhase {
+    /// Budget draws, tenant clamping/charging, request dispatch.
+    Dispatch,
+    /// Crowd mobility sub-steps, response drain, retry shortfall
+    /// feedback.
+    Drain,
+    /// Error injection, mitigation, id assignment, the map + per-cell
+    /// process phases, and the per-query merge.
+    Ingest,
+    /// Budget tuning plus the control hook's observation and the
+    /// application of its actions.
+    Control,
+    /// The recording tap (run-log append happens inside it).
+    LogAppend,
+}
+
+impl EpochPhase {
+    /// Every phase, in loop order.
+    pub const ALL: [EpochPhase; 5] = [
+        EpochPhase::Dispatch,
+        EpochPhase::Drain,
+        EpochPhase::Ingest,
+        EpochPhase::Control,
+        EpochPhase::LogAppend,
+    ];
+
+    /// The metric-facing label (`phase="…"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EpochPhase::Dispatch => "dispatch",
+            EpochPhase::Drain => "drain",
+            EpochPhase::Ingest => "ingest",
+            EpochPhase::Control => "control",
+            EpochPhase::LogAppend => "log-append",
+        }
+    }
+}
+
+/// Observes per-phase thread-CPU durations for one epoch at a time.
+///
+/// Installed via the `timer` parameter of
+/// [`crate::CraqrServer::run_epoch_instrumented`] (and its replayed
+/// twin). The server calls [`PhaseTimer::observe`] once per
+/// [`EpochPhase`] per epoch, in loop order, with the phase's elapsed
+/// thread-CPU nanoseconds. Implementations must not feed the values back
+/// into anything checksummed (see the module docs for the contract).
+pub trait PhaseTimer {
+    /// Records that `phase` took `nanos` thread-CPU nanoseconds this
+    /// epoch.
+    fn observe(&mut self, phase: EpochPhase, nanos: u64);
+}

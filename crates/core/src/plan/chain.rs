@@ -133,6 +133,13 @@ impl AttrChain {
         self.seed.wrapping_add(self.salt.wrapping_mul(0x9E37_79B9))
     }
 
+    /// Installs (or removes) the per-node processing-time clock on this
+    /// chain's topology (see [`craqr_engine::Topology::set_clock`]). With
+    /// no clock the engine performs zero clock reads.
+    pub(crate) fn set_clock(&mut self, clock: Option<fn() -> u64>) {
+        self.topo.set_clock(clock);
+    }
+
     /// The chain's flatten telemetry (budget tuning reads `N_v` here).
     pub fn flatten_report(&self) -> Arc<FlattenReport> {
         Arc::clone(&self.f_report)

@@ -86,6 +86,16 @@ pub struct Fabricator {
     /// consumer set, so they leave it valid) and rebuilt lazily so the
     /// epoch loop does not re-derive it every epoch.
     tenant_shares: Option<crate::handler::ChainShares>,
+    /// Per-node processing-time clock handed to every chain topology
+    /// (existing and future). `None` (default): the engine never reads a
+    /// clock and `NodeMetrics::busy_ns` stays zero.
+    engine_clock: Option<fn() -> u64>,
+    /// Operator counters of chains that no longer exist — accumulated when
+    /// a chain is rebuilt ([`Fabricator::rebuild_chain`]) or dematerialized
+    /// (last consumer deleted), so [`Fabricator::chain_metrics`] reports
+    /// the fleet's whole history. Without this, a rebuild on the final
+    /// epoch would erase every operator counter from the run's report.
+    retired_metrics: craqr_engine::TopologyMetrics,
 }
 
 impl Fabricator {
@@ -100,6 +110,21 @@ impl Fabricator {
             next_query: 0,
             dropped_unmaterialized: 0,
             tenant_shares: None,
+            engine_clock: None,
+            retired_metrics: craqr_engine::TopologyMetrics::default(),
+        }
+    }
+
+    /// Installs (or removes) the per-node processing-time clock on every
+    /// materialized chain, and remembers it for chains materialized
+    /// later. Timing-only observability: `busy_ns` is excluded from
+    /// metric equality, so this never changes any deterministic artifact.
+    pub fn set_engine_clock(&mut self, clock: Option<fn() -> u64>) {
+        self.engine_clock = clock;
+        for chains in self.cells.values_mut() {
+            for chain in chains.values_mut() {
+                chain.set_clock(clock);
+            }
         }
     }
 
@@ -175,6 +200,7 @@ impl Fabricator {
 
         let mut cells = Vec::with_capacity(overlaps.len());
         let mut parts = Vec::with_capacity(overlaps.len());
+        let engine_clock = self.engine_clock;
         for o in &overlaps {
             let cell_rect = self.grid.cell_rect(o.cell);
             let chain_seed = self.chain_seed(o.cell, query.attr);
@@ -182,7 +208,7 @@ impl Fabricator {
             // added to it."
             let chain =
                 self.cells.entry(o.cell).or_default().entry(query.attr).or_insert_with(|| {
-                    AttrChain::new(
+                    let mut chain = AttrChain::new(
                         cell_rect,
                         self.config.batch_duration,
                         query.rate,
@@ -190,7 +216,9 @@ impl Fabricator {
                         self.config.estimator,
                         self.config.shape,
                         chain_seed,
-                    )
+                    );
+                    chain.set_clock(engine_clock);
+                    chain
                 });
             chain.insert_consumer(qid, query.rate, o.overlap, o.full);
             cells.push((o.cell, o.overlap, o.full));
@@ -220,6 +248,7 @@ impl Fabricator {
                 // "…until all the streams and the key in the hashmap are
                 // deleted."
                 if chain.is_empty() {
+                    self.retired_metrics.absorb(&chain.metrics());
                     attr_chains.remove(&plan.query.attr);
                 }
             }
@@ -261,6 +290,10 @@ impl Fabricator {
             }
         }
         let old = self.cells.get_mut(&cell).expect("checked").remove(&attr).expect("checked");
+        // The chain's flatten estimator and RNG streams restart (that is
+        // the point of a rebuild), but its processed-work history joins
+        // the retired aggregate: operator counters are fleet-cumulative.
+        self.retired_metrics.absorb(&old.metrics());
         let mut leftovers = Vec::new();
         {
             let mut old = old;
@@ -283,6 +316,7 @@ impl Fabricator {
             self.config.shape,
             self.chain_seed(cell, attr),
         );
+        chain.set_clock(self.engine_clock);
         for (qid, rate, overlap, full) in &consumers {
             chain.insert_consumer(*qid, *rate, *overlap, *full);
         }
@@ -534,13 +568,16 @@ impl Fabricator {
     /// Fleet-wide operator metrics: every chain's topology counters folded
     /// into one [`craqr_engine::TopologyMetrics`] snapshot, chains visited
     /// in sorted `(cell, attribute)` order so the aggregate is
-    /// deterministic. Scenario reports compress this further with
+    /// deterministic. Includes the history of retired chains (rebuilt or
+    /// dematerialized) — the aggregate is cumulative over the fabricator's
+    /// whole life, never reset by churn or adaptive rebuilds. Scenario
+    /// reports compress this further with
     /// [`craqr_engine::TopologyMetrics::by_kind`].
     pub fn chain_metrics(&self) -> craqr_engine::TopologyMetrics {
         let mut keys: Vec<(CellId, AttributeId)> =
             self.cells.iter().flat_map(|(c, chains)| chains.keys().map(|a| (*c, *a))).collect();
         keys.sort();
-        let mut agg = craqr_engine::TopologyMetrics::default();
+        let mut agg = self.retired_metrics.clone();
         for (cell, attr) in keys {
             agg.absorb(&self.cells[&cell][&attr].metrics());
         }

@@ -2,9 +2,10 @@
 
 use crate::budget::BudgetTuner;
 use crate::error_model::{ErrorModel, Mitigation};
-use crate::exec::{ExecMode, IngestReport};
+use crate::exec::{fast_monotonic_ns, thread_busy_ns, ExecMode, IngestReport};
 use crate::handler::{DispatchStats, RequestResponseHandler, TuneEvent};
 use crate::incentive::IncentivePolicy;
+use crate::phase::{EpochPhase, PhaseTimer};
 use crate::plan::{Fabricator, PlanError, PlannerConfig};
 use crate::query::{parse_query, AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 use crate::tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry};
@@ -153,6 +154,32 @@ impl From<PlanError> for SubmitError {
     }
 }
 
+/// Crowd-fault activity during one epoch: how many matured responses the
+/// fault layer dropped, delayed, or duplicated while this epoch's crowd
+/// steps ran ([`craqr_sensing::CrowdFaults`]).
+///
+/// Event-derived and deterministic (the fault RNG is seeded), so the
+/// counts are safe to checksum, record in run logs, and surface in
+/// reports. A detached replay cannot recompute them (there is no crowd),
+/// so the recorded values ride through [`ReplayInputs::faults`] instead —
+/// the same echo pattern run logs use for world shifts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDeltas {
+    /// Responses dropped (lost forever).
+    pub dropped: u64,
+    /// Responses re-queued to mature later.
+    pub delayed: u64,
+    /// Responses delivered twice.
+    pub duplicated: u64,
+}
+
+impl FaultDeltas {
+    /// True when no fault fired.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultDeltas::default()
+    }
+}
+
 /// What happened during one epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
@@ -183,6 +210,9 @@ pub struct EpochReport {
     /// Control actions that targeted a retired chain and were dropped as
     /// signalled no-ops (a replan racing a chain retirement).
     pub stale_actions: u64,
+    /// Crowd-fault activity observed this epoch (all zero when no
+    /// `[faults]` layer is armed).
+    pub faults: FaultDeltas,
 }
 
 /// What a [`ControlHook`] gets to see after each epoch: the epoch's
@@ -364,6 +394,11 @@ pub struct ReplayInputs<'a> {
     /// The responses drained this epoch, pre-error-injection, exactly as
     /// a tap recorded them.
     pub responses: &'a [SensorResponse],
+    /// The fault activity the live run recorded for this epoch. A
+    /// detached server has no crowd to recompute it from, so the replayed
+    /// epoch's report echoes these values verbatim (zero for logs
+    /// recorded without faults).
+    pub faults: FaultDeltas,
 }
 
 /// The CrAQR server: accepts declarative acquisitional queries, drives the
@@ -569,7 +604,7 @@ impl CraqrServer {
     /// result and injecting [`ControlAction`]s before the next epoch —
     /// the closed-loop variant of [`CraqrServer::run_epoch`].
     pub fn run_epoch_with(&mut self, hook: Option<&mut dyn ControlHook>) -> EpochReport {
-        self.epoch_inner(None, hook, None, None).expect("no crash point requested")
+        self.epoch_inner(None, hook, None, None, None).expect("no crash point requested")
     }
 
     /// Runs one epoch with an optional hook *and* an optional
@@ -581,7 +616,22 @@ impl CraqrServer {
         hook: Option<&mut dyn ControlHook>,
         tap: Option<&mut dyn EpochTap>,
     ) -> EpochReport {
-        self.epoch_inner(None, hook, tap, None).expect("no crash point requested")
+        self.epoch_inner(None, hook, tap, None, None).expect("no crash point requested")
+    }
+
+    /// The fully-seamed epoch: optional hook, optional tap, and an
+    /// optional [`PhaseTimer`] observing each phase's thread-CPU time.
+    /// With `timer = None` this is [`CraqrServer::run_epoch_tapped`] —
+    /// not one clock is read — and an installed timer only *reads*
+    /// clocks, so every checksummed artifact stays bit-identical either
+    /// way (see [`crate::phase`] for the contract).
+    pub fn run_epoch_instrumented(
+        &mut self,
+        hook: Option<&mut dyn ControlHook>,
+        tap: Option<&mut dyn EpochTap>,
+        timer: Option<&mut dyn PhaseTimer>,
+    ) -> EpochReport {
+        self.epoch_inner(None, hook, tap, None, timer).expect("no crash point requested")
     }
 
     /// Runs one epoch that dies at `point`, exactly as a process kill at
@@ -604,7 +654,7 @@ impl CraqrServer {
             CrashPoint::MidLogAppend => None,
             p => Some(p),
         };
-        self.epoch_inner(None, hook, tap, crash)
+        self.epoch_inner(None, hook, tap, crash, None)
     }
 
     /// Runs one epoch from **recorded** inputs instead of the live crowd:
@@ -623,7 +673,20 @@ impl CraqrServer {
         hook: Option<&mut dyn ControlHook>,
         tap: Option<&mut dyn EpochTap>,
     ) -> EpochReport {
-        self.epoch_inner(Some(inputs), hook, tap, None).expect("no crash point requested")
+        self.epoch_inner(Some(inputs), hook, tap, None, None).expect("no crash point requested")
+    }
+
+    /// [`CraqrServer::run_epoch_replayed`] with a [`PhaseTimer`] — lets a
+    /// detached replay produce the same phase-latency telemetry a live
+    /// run would (minus the crowd work the detached loop skips).
+    pub fn run_epoch_replayed_instrumented(
+        &mut self,
+        inputs: ReplayInputs<'_>,
+        hook: Option<&mut dyn ControlHook>,
+        tap: Option<&mut dyn EpochTap>,
+        timer: Option<&mut dyn PhaseTimer>,
+    ) -> EpochReport {
+        self.epoch_inner(Some(inputs), hook, tap, None, timer).expect("no crash point requested")
     }
 
     fn epoch_inner(
@@ -632,10 +695,23 @@ impl CraqrServer {
         hook: Option<&mut dyn ControlHook>,
         tap: Option<&mut dyn EpochTap>,
         crash: Option<CrashPoint>,
+        mut timer: Option<&mut dyn PhaseTimer>,
     ) -> Option<EpochReport> {
         let epoch = self.epoch;
         self.epoch += 1;
         let epoch_start = self.crowd.now();
+        // One clock reading per phase boundary, and only when a timer is
+        // installed: `lap` is the *only* clock access in the loop, so an
+        // uninstrumented epoch reads no clock at all.
+        let mut phase_clock = timer.as_ref().map(|_| thread_busy_ns());
+        let mut lap = |timer: &mut Option<&mut dyn PhaseTimer>, phase: EpochPhase| {
+            if let Some(t) = timer.as_deref_mut() {
+                let now = thread_busy_ns();
+                let start = phase_clock.expect("clock anchored when timer installed");
+                t.observe(phase, now.saturating_sub(start));
+                phase_clock = Some(now);
+            }
+        };
 
         // 1. Dispatch acquisition requests per materialized chain. Under
         // replay the budgets are drawn identically but no request exists
@@ -666,6 +742,7 @@ impl CraqrServer {
             Some(inputs) => self.handler.dispatch_epoch_detached(&demands, inputs.sent, tenancy),
         };
         let tenant_charges = self.tenants.as_ref().map_or_else(Vec::new, |t| t.epoch_charges());
+        lap(&mut timer, EpochPhase::Dispatch);
         if crash == Some(CrashPoint::PostDispatch) {
             return None;
         }
@@ -674,9 +751,26 @@ impl CraqrServer {
         // through the same sequence of `step` calls so accumulated
         // simulation time stays bit-identical to the live run.
         let dt = self.config.planner.batch_duration / self.config.mobility_substeps as f64;
+        // Fault activity is the delta of the crowd's cumulative fault
+        // counters across this epoch's steps — event-derived (the fault
+        // RNG is seeded) and therefore deterministic. A replayed epoch
+        // has no crowd to measure, so it echoes the recorded deltas.
+        let faults_before = FaultDeltas {
+            dropped: self.crowd.responses_dropped(),
+            delayed: self.crowd.responses_delayed(),
+            duplicated: self.crowd.responses_duplicated(),
+        };
         for _ in 0..self.config.mobility_substeps {
             self.crowd.step(dt);
         }
+        let faults = match &replay {
+            None => FaultDeltas {
+                dropped: self.crowd.responses_dropped() - faults_before.dropped,
+                delayed: self.crowd.responses_delayed() - faults_before.delayed,
+                duplicated: self.crowd.responses_duplicated() - faults_before.duplicated,
+            },
+            Some(inputs) => inputs.faults,
+        };
         let mut responses = match &replay {
             None => self.crowd.drain_responses(),
             Some(inputs) => inputs.responses.to_vec(),
@@ -706,6 +800,7 @@ impl CraqrServer {
             }
             self.handler.observe_responses(&counts);
         }
+        lap(&mut timer, EpochPhase::Drain);
 
         // 3. Error injection + mitigation (Section VI).
         self.config.error_model.corrupt_batch(&mut responses, &mut self.error_rng);
@@ -728,6 +823,8 @@ impl CraqrServer {
             fresh.push((qid, out));
         }
 
+        lap(&mut timer, EpochPhase::Ingest);
+
         // 7. Budget tuning from flatten telemetry.
         let tuning = self.handler.tune(&self.fabricator.flatten_reports());
 
@@ -743,6 +840,7 @@ impl CraqrServer {
             tuning,
             tenant_charges,
             stale_actions: 0,
+            faults,
         };
 
         // 8. Observation/actuation seam: the hook sees the epoch, the
@@ -794,6 +892,7 @@ impl CraqrServer {
             }
         }
         report.stale_actions = stale_actions;
+        lap(&mut timer, EpochPhase::Control);
         if crash == Some(CrashPoint::PostControl) {
             return None;
         }
@@ -808,6 +907,7 @@ impl CraqrServer {
             };
             tap.on_epoch(&EpochInputsRecord { report: &report, responses: raw, actions: &actions });
         }
+        lap(&mut timer, EpochPhase::LogAppend);
 
         for (qid, out) in fresh {
             self.outputs.entry(qid).or_default().extend(out);
@@ -838,6 +938,19 @@ impl CraqrServer {
     /// The fabricator (plans, chains, telemetry).
     pub fn fabricator(&self) -> &Fabricator {
         &self.fabricator
+    }
+
+    /// Switches per-operator processing-time accumulation on or off:
+    /// every chain topology (existing and future) gets a nanosecond
+    /// clock, and `NodeMetrics::busy_ns` starts accruing. The clock is
+    /// the cheap vDSO monotonic reader ([`fast_monotonic_ns`]) — it fires
+    /// twice per operator batch, where a thread-CPU syscall would cost
+    /// more than many operators' processing itself. Timing-only —
+    /// `busy_ns` is excluded from metric equality and from every
+    /// checksummed artifact, so toggling this never changes reports,
+    /// traces, or run logs. Off (the default) performs zero clock reads.
+    pub fn set_engine_timing(&mut self, on: bool) {
+        self.fabricator.set_engine_clock(on.then_some(fast_monotonic_ns as fn() -> u64));
     }
 
     /// The request/response handler (budgets, incentives).
@@ -1101,8 +1214,11 @@ mod tests {
         assert_eq!(qid, rqid, "query planning must not depend on the crowd");
 
         for (live_report, (sent, responses, _)) in live_reports.iter().zip(&tap.epochs) {
-            let r =
-                replayed.run_epoch_replayed(ReplayInputs { sent: *sent, responses }, None, None);
+            let r = replayed.run_epoch_replayed(
+                ReplayInputs { sent: *sent, responses, faults: FaultDeltas::default() },
+                None,
+                None,
+            );
             assert_eq!(r.epoch, live_report.epoch);
             assert_eq!(r.dispatch, live_report.dispatch, "epoch {}", r.epoch);
             assert_eq!(r.responses, live_report.responses, "epoch {}", r.epoch);

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters for one operator node.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct NodeMetrics {
     /// Tuples received across all input ports.
     pub tuples_in: u64,
@@ -11,7 +11,26 @@ pub struct NodeMetrics {
     pub tuples_out: u64,
     /// Input batches processed.
     pub batches: u64,
+    /// Cumulative processing time (nanoseconds) spent inside this
+    /// operator's `process` calls. Only accumulated when the owning
+    /// topology has a clock installed ([`crate::Topology::set_clock`]);
+    /// zero otherwise. Host- and schedule-dependent, so it is **excluded
+    /// from equality** (and therefore from every checksummed comparison)
+    /// exactly like shard `busy_ns`.
+    pub busy_ns: u64,
 }
+
+/// Equality ignores `busy_ns`: two runs that processed the same tuples
+/// compare equal regardless of how long the host took.
+impl PartialEq for NodeMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples_in == other.tuples_in
+            && self.tuples_out == other.tuples_out
+            && self.batches == other.batches
+    }
+}
+
+impl Eq for NodeMetrics {}
 
 impl NodeMetrics {
     /// Fraction of input tuples that survived this operator (1 when no
@@ -30,6 +49,7 @@ impl NodeMetrics {
         self.tuples_in += other.tuples_in;
         self.tuples_out += other.tuples_out;
         self.batches += other.batches;
+        self.busy_ns += other.busy_ns;
     }
 }
 
@@ -95,7 +115,7 @@ mod tests {
 
     #[test]
     fn selectivity_ratio() {
-        let m = NodeMetrics { tuples_in: 100, tuples_out: 25, batches: 4 };
+        let m = NodeMetrics { tuples_in: 100, tuples_out: 25, batches: 4, busy_ns: 0 };
         assert!((m.selectivity() - 0.25).abs() < 1e-12);
     }
 
@@ -104,13 +124,19 @@ mod tests {
         let mut a = TopologyMetrics {
             nodes: vec![(
                 "F(λ̄=1.000)".into(),
-                NodeMetrics { tuples_in: 5, tuples_out: 4, batches: 1 },
+                NodeMetrics { tuples_in: 5, tuples_out: 4, batches: 1, busy_ns: 0 },
             )],
         };
         let b = TopologyMetrics {
             nodes: vec![
-                ("F(λ̄=1.000)".into(), NodeMetrics { tuples_in: 3, tuples_out: 3, batches: 1 }),
-                ("T(1.000→0.500)".into(), NodeMetrics { tuples_in: 7, tuples_out: 3, batches: 2 }),
+                (
+                    "F(λ̄=1.000)".into(),
+                    NodeMetrics { tuples_in: 3, tuples_out: 3, batches: 1, busy_ns: 0 },
+                ),
+                (
+                    "T(1.000→0.500)".into(),
+                    NodeMetrics { tuples_in: 7, tuples_out: 3, batches: 2, busy_ns: 0 },
+                ),
             ],
         };
         a.absorb(&b);
@@ -123,9 +149,18 @@ mod tests {
     fn by_kind_groups_parameterized_names() {
         let tm = TopologyMetrics {
             nodes: vec![
-                ("T(1.000→0.500)".into(), NodeMetrics { tuples_in: 10, tuples_out: 5, batches: 1 }),
-                ("F(λ̄=2.000)".into(), NodeMetrics { tuples_in: 20, tuples_out: 16, batches: 1 }),
-                ("T(2.000→0.250)".into(), NodeMetrics { tuples_in: 8, tuples_out: 1, batches: 1 }),
+                (
+                    "T(1.000→0.500)".into(),
+                    NodeMetrics { tuples_in: 10, tuples_out: 5, batches: 1, busy_ns: 0 },
+                ),
+                (
+                    "F(λ̄=2.000)".into(),
+                    NodeMetrics { tuples_in: 20, tuples_out: 16, batches: 1, busy_ns: 0 },
+                ),
+                (
+                    "T(2.000→0.250)".into(),
+                    NodeMetrics { tuples_in: 8, tuples_out: 1, batches: 1, busy_ns: 0 },
+                ),
             ],
         };
         let kinds = tm.by_kind();
@@ -138,11 +173,21 @@ mod tests {
     }
 
     #[test]
+    fn busy_ns_accumulates_but_never_affects_equality() {
+        let mut a = NodeMetrics { tuples_in: 5, tuples_out: 5, batches: 1, busy_ns: 100 };
+        let b = NodeMetrics { tuples_in: 5, tuples_out: 5, batches: 1, busy_ns: 999 };
+        assert_eq!(a, b, "processing time is host-dependent and excluded from equality");
+        a.absorb(&b);
+        assert_eq!(a.busy_ns, 1099, "absorb still sums the timing");
+        assert_eq!(a.tuples_in, 10);
+    }
+
+    #[test]
     fn totals_and_lookup() {
         let tm = TopologyMetrics {
             nodes: vec![
-                ("F".into(), NodeMetrics { tuples_in: 10, tuples_out: 8, batches: 1 }),
-                ("T".into(), NodeMetrics { tuples_in: 8, tuples_out: 4, batches: 1 }),
+                ("F".into(), NodeMetrics { tuples_in: 10, tuples_out: 8, batches: 1, busy_ns: 0 }),
+                ("T".into(), NodeMetrics { tuples_in: 8, tuples_out: 4, batches: 1, busy_ns: 0 }),
             ],
         };
         assert_eq!(tm.total_tuples_processed(), 18);

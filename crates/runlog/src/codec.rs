@@ -308,6 +308,15 @@ pub(crate) fn epoch_block(e: &EpochRecord) -> String {
         let _ = writeln!(block, "{}", shift_line(shift));
     }
     let _ = writeln!(block, "dispatch requested={} sent={}", e.requested, e.sent);
+    // Fault-free epochs skip the line entirely, keeping their blocks
+    // byte-identical to logs recorded before fault counters existed.
+    if e.dropped != 0 || e.delayed != 0 || e.duplicated != 0 {
+        let _ = writeln!(
+            block,
+            "faults dropped={} delayed={} duplicated={}",
+            e.dropped, e.delayed, e.duplicated
+        );
+    }
     for r in &e.responses {
         let _ = writeln!(block, "{}", response_line(r));
     }
@@ -527,6 +536,32 @@ fn parse_epoch(
             record.requested =
                 parse_u64(kv(tokens[0], "requested", line_no)?, line_no, "requested")?;
             record.sent = parse_u64(kv(tokens[1], "sent", line_no)?, line_no, "sent")?;
+        } else if let Some(rest) = line.strip_prefix("faults ") {
+            if !saw_dispatch {
+                return Err(err(line_no, "the faults line must follow the dispatch line"));
+            }
+            if !record.responses.is_empty()
+                || !record.actions.is_empty()
+                || !record.charges.is_empty()
+            {
+                return Err(err(line_no, "the faults line must precede response records"));
+            }
+            if record.dropped != 0 || record.delayed != 0 || record.duplicated != 0 {
+                return Err(err(line_no, "duplicate faults line in one epoch"));
+            }
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != 3 {
+                return Err(err(line_no, format!("malformed faults line: '{line}'")));
+            }
+            record.dropped = parse_u64(kv(tokens[0], "dropped", line_no)?, line_no, "dropped")?;
+            record.delayed = parse_u64(kv(tokens[1], "delayed", line_no)?, line_no, "delayed")?;
+            record.duplicated =
+                parse_u64(kv(tokens[2], "duplicated", line_no)?, line_no, "duplicated")?;
+            if record.dropped == 0 && record.delayed == 0 && record.duplicated == 0 {
+                // The renderer never writes an all-zero line; accepting
+                // one would break render∘parse = identity.
+                return Err(err(line_no, "all-zero faults line (fault-free epochs omit it)"));
+            }
         } else if let Some(rest) = line.strip_prefix("r ") {
             if !saw_dispatch {
                 return Err(err(line_no, "response records must follow the dispatch line"));
@@ -789,6 +824,9 @@ mod tests {
                     shifts: vec![ShiftEvent::Participation { factor: 0.2 }],
                     requested: 64,
                     sent: 64,
+                    dropped: 2,
+                    delayed: 1,
+                    duplicated: 0,
                     responses: vec![
                         ResponseRecord {
                             sensor: 12,
@@ -820,6 +858,9 @@ mod tests {
                     }],
                     requested: 96,
                     sent: 90,
+                    dropped: 0,
+                    delayed: 0,
+                    duplicated: 0,
                     responses: vec![],
                     actions: vec![
                         ActionRecord::SetBudget { cell: (1, 0), attr: 0, budget: 3.5 },

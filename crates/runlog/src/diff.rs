@@ -104,6 +104,12 @@ pub fn diff_epoch(a: &EpochRecord, b: &EpochRecord) -> Vec<String> {
     if a.sent != b.sent {
         details.push(format!("dispatch sent: {} vs {}", a.sent, b.sent));
     }
+    if (a.dropped, a.delayed, a.duplicated) != (b.dropped, b.delayed, b.duplicated) {
+        details.push(format!(
+            "faults: dropped={} delayed={} duplicated={} vs dropped={} delayed={} duplicated={}",
+            a.dropped, a.delayed, a.duplicated, b.dropped, b.delayed, b.duplicated
+        ));
+    }
     diff_records("response", &a.responses, &b.responses, response_line, &mut details);
     diff_records("action", &a.actions, &b.actions, action_line, &mut details);
     diff_records("charge", &a.charges, &b.charges, charge_line, &mut details);
@@ -194,6 +200,9 @@ mod tests {
                     },
                     requested: 10 + epoch,
                     sent: 10 + epoch,
+                    dropped: 0,
+                    delayed: 0,
+                    duplicated: 0,
                     responses: vec![ResponseRecord {
                         sensor: epoch,
                         attr: 0,

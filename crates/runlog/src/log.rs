@@ -220,6 +220,17 @@ pub struct EpochRecord {
     /// Requests the crowd actually received — the crowd-side outcome a
     /// detached replay cannot recompute.
     pub sent: u64,
+    /// Responses the crowd's fault layer dropped while this epoch's
+    /// steps ran — crowd-side activity a detached replay cannot
+    /// recompute, so it is recorded and echoed like `sent`. All three
+    /// fault counters render as one optional `faults` line; a fault-free
+    /// epoch writes nothing, keeping such logs byte-identical to the
+    /// pre-fault-counter format.
+    pub dropped: u64,
+    /// Responses the fault layer re-queued to mature later.
+    pub delayed: u64,
+    /// Responses the fault layer delivered twice.
+    pub duplicated: u64,
     /// Responses drained this epoch, pre-error-injection, in drain order.
     pub responses: Vec<ResponseRecord>,
     /// Control actions injected after the epoch, in application order.
@@ -228,6 +239,18 @@ pub struct EpochRecord {
     /// (empty on single-owner servers — those logs are byte-identical to
     /// the pre-tenant format).
     pub charges: Vec<ChargeRecord>,
+}
+
+impl EpochRecord {
+    /// The epoch's recorded fault activity as core's [`FaultDeltas`] —
+    /// what [`craqr_core::ReplayInputs::faults`] wants.
+    pub fn faults(&self) -> craqr_core::FaultDeltas {
+        craqr_core::FaultDeltas {
+            dropped: self.dropped,
+            delayed: self.delayed,
+            duplicated: self.duplicated,
+        }
+    }
 }
 
 /// An event-sourced record of one complete run: the spec that defined it,

@@ -101,6 +101,9 @@ impl EpochTap for RunLogRecorder {
             shifts: std::mem::take(&mut self.pending_shifts),
             requested: record.report.dispatch.requested,
             sent: record.report.dispatch.sent,
+            dropped: record.report.faults.dropped,
+            delayed: record.report.faults.delayed,
+            duplicated: record.report.faults.duplicated,
             responses: record.responses.iter().map(ResponseRecord::from).collect(),
             actions: record.actions.iter().map(ActionRecord::from).collect(),
             charges: record.report.tenant_charges.iter().map(ChargeRecord::from_charge).collect(),
@@ -162,7 +165,11 @@ mod tests {
         for e in &reparsed.epochs {
             let responses: Vec<_> = e.responses.iter().map(|r| r.to_response()).collect();
             replayed.run_epoch_replayed(
-                craqr_core::ReplayInputs { sent: e.sent, responses: &responses },
+                craqr_core::ReplayInputs {
+                    sent: e.sent,
+                    responses: &responses,
+                    faults: e.faults(),
+                },
                 None,
                 Some(&mut rerecorder),
             );

@@ -106,6 +106,9 @@ fn arb_log(rng: &mut StdRng) -> RunLog {
             shifts: (0..rng.gen_range(0usize..3)).map(|_| arb_shift(rng)).collect(),
             requested: rng.gen(),
             sent: rng.gen(),
+            dropped: 0,
+            delayed: 0,
+            duplicated: 0,
             responses: (0..rng.gen_range(0usize..8)).map(|_| arb_response(rng)).collect(),
             actions: (0..rng.gen_range(0usize..4)).map(|_| arb_action(rng)).collect(),
             charges: (0..rng.gen_range(0usize..4)).map(|_| arb_charge(rng)).collect(),

@@ -31,6 +31,9 @@ fn arb_log(rng: &mut StdRng) -> RunLog {
             },
             requested: rng.gen(),
             sent: rng.gen(),
+            dropped: 0,
+            delayed: 0,
+            duplicated: 0,
             responses: (0..rng.gen_range(0usize..5))
                 .map(|_| ResponseRecord {
                     sensor: rng.gen(),

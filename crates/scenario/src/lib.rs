@@ -58,20 +58,23 @@
 pub mod replay;
 pub mod report;
 pub mod spec;
+pub mod telemetry;
 pub mod value;
 
 mod runner;
 
 pub use craqr_adaptive::AdaptiveTrace;
 pub use craqr_runlog::RunLog;
-pub use replay::{replay, resume, ReplayError};
+pub use replay::{replay, replay_instrumented, resume, ReplayError};
 pub use report::{
-    fnv1a64, AdaptiveSection, AdmissionRow, EpochRow, OperatorRow, QueryRow, RunTotals,
-    ScenarioReport, TenantRow, TenantSection,
+    fnv1a64, AdaptiveSection, AdmissionRow, EpochRow, FaultSection, OperatorRow, QueryRow,
+    RunTotals, ScenarioReport, TelemetrySection, TenantRow, TenantSection,
 };
 pub use runner::{scenario_files, BatchError, RunError, RunOutput, ScenarioRunner};
 pub use spec::{
     AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, CrashSpec, CrowdFaultSpec, ErrorSpec,
     FaultsSpec, FieldSpec, GridSpec, MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec,
-    QuerySpec, RetrySpec, RunlogSpec, ScenarioSpec, ShiftSpec, SpecError, TenantSpec,
+    QuerySpec, RetrySpec, RunlogSpec, ScenarioSpec, ShiftSpec, SpecError, TelemetrySpec,
+    TenantSpec,
 };
+pub use telemetry::RunTelemetry;

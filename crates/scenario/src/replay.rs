@@ -25,7 +25,8 @@
 //!   replayable.
 
 use crate::runner::{
-    build_server, epoch_prologue, epoch_row, finalize_report, RunError, RunOutput,
+    build_server, epoch_prologue, epoch_row, finalize_report, make_collector, phase_timer,
+    RunError, RunOutput,
 };
 use crate::spec::{ScenarioSpec, SpecError};
 use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
@@ -115,8 +116,30 @@ pub fn spec_of(log: &RunLog) -> Result<ScenarioSpec, ReplayError> {
 /// `exec` regardless of how the run was recorded — the log is
 /// mode-independent by construction.
 pub fn replay(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
+    replay_instrumented(log, exec, false)
+}
+
+/// [`replay`] with the clock-derived metric tier switched on — the CLI
+/// `metrics` subcommand uses this to render a full metrics snapshot from
+/// any committed log without touching the original run. Timing changes
+/// nothing checksummed, so the replay verifies exactly as untimed.
+pub fn replay_instrumented(
+    log: &RunLog,
+    exec: ExecMode,
+    timing: bool,
+) -> Result<RunOutput, ReplayError> {
     let spec = spec_of(log)?;
     let (mut server, qids) = build_server(&spec, log.seed, exec, true)?;
+    // A `[telemetry]` spec recorded a `[telemetry]` report section, so
+    // the replay must rebuild the registry from the same replay-stable
+    // sources or the sealed report checksum cannot re-converge.
+    let mut telemetry = make_collector(&spec, timing);
+    if timing {
+        server.set_engine_timing(true);
+    }
+    if let Some(t) = &mut telemetry {
+        t.observe_admissions(server.admissions());
+    }
     let mut controller = match &spec.adaptive {
         Some(a) => Some(AdaptiveController::new(a.to_config().map_err(ReplayError::Spec)?)),
         None => None,
@@ -137,11 +160,15 @@ pub fn replay(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
         responses_delivered += record.responses.len() as u64;
         let responses: Vec<SensorResponse> =
             record.responses.iter().map(|r| r.to_response()).collect();
-        let r = server.run_epoch_replayed(
-            ReplayInputs { sent: record.sent, responses: &responses },
+        let r = server.run_epoch_replayed_instrumented(
+            ReplayInputs { sent: record.sent, responses: &responses, faults: record.faults() },
             controller.as_mut().map(|c| c as &mut dyn ControlHook),
             Some(&mut recorder as &mut dyn EpochTap),
+            phase_timer(&mut telemetry, timing),
         );
+        if let Some(t) = &mut telemetry {
+            t.observe_epoch(&r);
+        }
         epochs.push(epoch_row(&r));
     }
 
@@ -154,6 +181,7 @@ pub fn replay(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
         epochs,
         responses_delivered,
         trace.as_ref(),
+        telemetry.as_mut(),
     );
     let mut fresh = recorder.finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum));
 
@@ -176,7 +204,7 @@ pub fn replay(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
     }
     // Layer 2: the sealed final checksums must reproduce byte-for-byte.
     verify_seals(log, &fresh)?;
-    Ok(RunOutput { report, trace, log: Some(fresh) })
+    Ok(RunOutput { report, trace, log: Some(fresh), telemetry })
 }
 
 /// Resumes a recorded run at epoch boundary `at` (0-based: epochs
@@ -189,6 +217,12 @@ pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, Repl
     }
     let spec = spec_of(log)?;
     let (mut server, qids) = build_server(&spec, log.seed, exec, false)?;
+    // `[telemetry]` specs need the registry rebuilt over the whole
+    // horizon (prefix included) for the final report to re-converge.
+    let mut telemetry = make_collector(&spec, false);
+    if let Some(t) = &mut telemetry {
+        t.observe_admissions(server.admissions());
+    }
     let mut controller = match &spec.adaptive {
         Some(a) => Some(AdaptiveController::new(a.to_config().map_err(ReplayError::Spec)?)),
         None => None,
@@ -217,6 +251,9 @@ pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, Repl
             controller.as_mut().map(|c| c as &mut dyn ControlHook),
             Some(&mut recorder as &mut dyn EpochTap),
         );
+        if let Some(t) = &mut telemetry {
+            t.observe_epoch(&r);
+        }
         epochs.push(epoch_row(&r));
 
         // Inside the rebuilt prefix every epoch must reproduce the log's
@@ -244,13 +281,14 @@ pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, Repl
         epochs,
         responses_delivered,
         trace.as_ref(),
+        telemetry.as_mut(),
     );
     let fresh = recorder.finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum));
     // A resume of an unperturbed log re-converges on the sealed finals;
     // only verify them when the whole horizon was recorded (a truncated
     // log carries no seals — `RunLog::truncated` dropped them).
     verify_seals(log, &fresh)?;
-    Ok(RunOutput { report, trace, log: Some(fresh) })
+    Ok(RunOutput { report, trace, log: Some(fresh), telemetry })
 }
 
 /// Verifies the original log's sealed final checksums (if any) against a

@@ -14,6 +14,7 @@
 //! worker counts) is deliberately **excluded** from the canonical body.
 
 use crate::value::format_float;
+use craqr_core::FaultDeltas;
 use craqr_mdpp::IntensitySummary;
 pub use craqr_stats::fnv1a64;
 
@@ -44,6 +45,17 @@ pub struct EpochRow {
     pub tune_decreased: usize,
     /// Budget-exhaustion events.
     pub tune_exhausted: usize,
+    /// Requests withheld by pool throttling (`requested - sent` due to
+    /// tenant budget caps). Carried for run-level totals and telemetry;
+    /// **not** rendered in the per-epoch line (the line format is part of
+    /// the golden contract and `requested`/`sent` already imply it).
+    pub throttled: u64,
+    /// Control actions dropped as stale (targeted a retired chain).
+    /// Carried for run-level totals; not rendered per-epoch.
+    pub stale_actions: u64,
+    /// Crowd-fault activity this epoch (all zero without a `[faults]`
+    /// layer). Carried for the `[faults]` section; not rendered per-epoch.
+    pub faults: FaultDeltas,
 }
 
 /// One standing query's whole-run outcome.
@@ -99,6 +111,12 @@ pub struct RunTotals {
     pub chains: usize,
     /// Simulated minutes elapsed.
     pub minutes: f64,
+    /// Requests withheld by pool throttling over the run (sum of
+    /// [`EpochRow::throttled`]).
+    pub throttled: u64,
+    /// Stale control actions dropped over the run (sum of
+    /// [`EpochRow::stale_actions`]).
+    pub stale_actions: u64,
 }
 
 /// Roll-up of an adaptive controller run, pinned into the report so the
@@ -168,6 +186,46 @@ pub struct TenantSection {
     pub admissions: Vec<AdmissionRow>,
 }
 
+/// Whole-run fault-injection and retry accounting. Only present — and
+/// only rendered — for specs that declare a `[faults]` block, so
+/// fault-free goldens don't carry a noisy all-zero section.
+///
+/// Event-derived and deterministic (the fault RNG is seeded; retries are
+/// a deterministic function of dispatch outcomes), so the section is
+/// checksummed like everything else in the report body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSection {
+    /// Responses dropped by injected faults over the run.
+    pub dropped: u64,
+    /// Responses delayed (re-queued to mature later) over the run.
+    pub delayed: u64,
+    /// Responses duplicated over the run.
+    pub duplicated: u64,
+    /// Extra requests dispatched by the retry path over the run
+    /// ([`craqr_core::RequestResponseHandler::retries_requested`]).
+    pub retries_requested: u64,
+    /// Shortfall events that scheduled a retry over the run
+    /// ([`craqr_core::RequestResponseHandler::retry_attempts`]).
+    pub retry_attempts: u64,
+}
+
+/// The event-derived metrics registry snapshot, pinned into the report.
+///
+/// `events` is [`craqr_telemetry::Registry::canonical_events`] — the
+/// timing families are structurally excluded, so this section (and the
+/// report checksum over it) is byte-identical whether or not the run
+/// sampled any clocks. Present only for specs that declare
+/// `[telemetry]` with `report = true`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySection {
+    /// Canonical event-metric lines (one `event name{labels} value` per
+    /// series, name-then-label ordered).
+    pub events: String,
+    /// FNV-1a checksum of `events` (also recomputable via
+    /// `Registry::events_checksum`).
+    pub events_checksum: u64,
+}
+
 /// The full deterministic report of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -190,6 +248,12 @@ pub struct ScenarioReport {
     /// Multi-tenant accounting (absent when the spec declares no
     /// `[[tenants]]`; single-owner reports stay byte-stable).
     pub tenants: Option<TenantSection>,
+    /// Fault-injection/retry accounting (absent when the spec has no
+    /// `[faults]` block; fault-free reports stay byte-stable).
+    pub faults: Option<FaultSection>,
+    /// Event-metric registry snapshot (absent without a `[telemetry]`
+    /// block requesting `report = true`).
+    pub telemetry: Option<TelemetrySection>,
 }
 
 impl ScenarioReport {
@@ -299,12 +363,20 @@ impl ScenarioReport {
                 );
             }
         }
+        if let Some(f) = &self.faults {
+            let _ = writeln!(s, "\n[faults]");
+            let _ = writeln!(
+                s,
+                "dropped={} delayed={} duplicated={} retries-requested={} retry-attempts={}",
+                f.dropped, f.delayed, f.duplicated, f.retries_requested, f.retry_attempts,
+            );
+        }
         let t = &self.totals;
         let _ = writeln!(s, "\n[totals]");
         let _ = writeln!(
             s,
             "requested={} sent={} responses={} exhausted={} final-budget={} \
-             dropped-unmaterialized={} chains={} minutes={}",
+             dropped-unmaterialized={} chains={} minutes={} throttled={} stale-actions={}",
             t.requested,
             t.sent,
             t.responses,
@@ -313,7 +385,14 @@ impl ScenarioReport {
             t.dropped_unmaterialized,
             t.chains,
             format_float(t.minutes),
+            t.throttled,
+            t.stale_actions,
         );
+        if let Some(tm) = &self.telemetry {
+            let _ = writeln!(s, "\n[telemetry]");
+            let _ = write!(s, "{}", tm.events);
+            let _ = writeln!(s, "events-checksum: {:#018x}", tm.events_checksum);
+        }
         let _ = writeln!(s, "\nchecksum: {:#018x}", fnv1a64(s.as_bytes()));
         s
     }
@@ -352,6 +431,9 @@ mod tests {
                 tune_increased: 1,
                 tune_decreased: 0,
                 tune_exhausted: 0,
+                throttled: 1,
+                stale_actions: 0,
+                faults: FaultDeltas::default(),
             }],
             queries: vec![QueryRow {
                 index: 0,
@@ -377,9 +459,13 @@ mod tests {
                 dropped_unmaterialized: 1,
                 chains: 4,
                 minutes: 5.0,
+                throttled: 1,
+                stale_actions: 0,
             },
             adaptive: None,
             tenants: None,
+            faults: None,
+            telemetry: None,
         }
     }
 
@@ -443,6 +529,48 @@ mod tests {
         assert!(canon.contains("[admissions]"), "{canon}");
         assert!(canon.contains("verdict=rejected"), "{canon}");
         assert_ne!(plain.checksum(), tenanted.checksum());
+    }
+
+    #[test]
+    fn fault_section_renders_only_when_present() {
+        let plain = report();
+        assert!(!plain.canonical().contains("[faults]"), "fault-free reports stay byte-stable");
+        let mut faulty = report();
+        faulty.faults = Some(FaultSection {
+            dropped: 3,
+            delayed: 2,
+            duplicated: 1,
+            retries_requested: 4,
+            retry_attempts: 9,
+        });
+        let canon = faulty.canonical();
+        assert!(canon.contains("[faults]"), "{canon}");
+        assert!(
+            canon.contains("dropped=3 delayed=2 duplicated=1 retries-requested=4 retry-attempts=9"),
+            "{canon}"
+        );
+        assert_ne!(plain.checksum(), faulty.checksum());
+    }
+
+    #[test]
+    fn totals_line_carries_throttled_and_stale_actions() {
+        let canon = report().canonical();
+        assert!(canon.contains("throttled=1 stale-actions=0"), "{canon}");
+    }
+
+    #[test]
+    fn telemetry_section_renders_only_when_present() {
+        let plain = report();
+        assert!(!plain.canonical().contains("[telemetry]"));
+        let events = "event craqr_requests_total{kind=\"sent\"} 9\n".to_string();
+        let mut instrumented = report();
+        instrumented.telemetry =
+            Some(TelemetrySection { events_checksum: fnv1a64(events.as_bytes()), events });
+        let canon = instrumented.canonical();
+        assert!(canon.contains("[telemetry]"), "{canon}");
+        assert!(canon.contains("event craqr_requests_total{kind=\"sent\"} 9"), "{canon}");
+        assert!(canon.contains("events-checksum: 0x"), "{canon}");
+        assert_ne!(plain.checksum(), instrumented.checksum());
     }
 
     #[test]

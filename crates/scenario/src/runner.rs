@@ -2,14 +2,17 @@
 //! (+ [`AdaptiveTrace`] when the spec closes the loop).
 
 use crate::report::{
-    AdaptiveSection, AdmissionRow, EpochRow, OperatorRow, QueryRow, RunTotals, ScenarioReport,
-    TenantRow, TenantSection,
+    AdaptiveSection, AdmissionRow, EpochRow, FaultSection, OperatorRow, QueryRow, RunTotals,
+    ScenarioReport, TenantRow, TenantSection,
 };
 use crate::spec::{FieldSpec, ScenarioSpec, ShiftSpec, SpecError};
-use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
+use crate::telemetry::RunTelemetry;
+use craqr_adaptive::{AdaptiveController, AdaptiveTrace, TimedHook};
 use craqr_core::budget::TuneOutcome;
 use craqr_core::server::SubmitError;
-use craqr_core::{ControlHook, CraqrServer, CrashPoint, EpochReport, EpochTap, ExecMode, QueryId};
+use craqr_core::{
+    ControlHook, CraqrServer, CrashPoint, EpochReport, EpochTap, ExecMode, PhaseTimer, QueryId,
+};
 use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
 use craqr_mdpp::{IntensityModel, IntensitySummary, SelfExcitingIntensity};
 use craqr_runlog::{RunLog, RunLogRecorder, ShiftEvent, StreamingRecorder};
@@ -86,6 +89,11 @@ pub struct RunOutput {
     /// The event-sourced epoch log, sealed with the report/trace
     /// checksums (`[runlog]` specs and `run_recorded` only).
     pub log: Option<RunLog>,
+    /// The metrics collector (`[telemetry]` specs and the
+    /// `*_instrumented` entry points only) — render it with
+    /// [`RunTelemetry::render_prometheus`] or aggregate across runs with
+    /// [`RunTelemetry::absorb`].
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// Runs [`ScenarioSpec`]s under any [`ExecMode`].
@@ -122,7 +130,7 @@ impl ScenarioRunner {
         // Report-only callers skip run-log recording even for `[runlog]`
         // specs: a tap is a pure observer, so this changes nothing but
         // the work done.
-        self.run_live(exec, seed, false).map(|out| out.report)
+        self.run_live(exec, seed, false, false).map(|out| out.report)
     }
 
     /// Runs the scenario, also returning the adaptive controller's
@@ -135,14 +143,38 @@ impl ScenarioRunner {
     /// `<name>.runlog.txt`).
     pub fn run_full(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
         let record = self.spec.runlog.is_some_and(|r| r.record);
-        self.run_live(exec, seed, record)
+        self.run_live(exec, seed, record, false)
+    }
+
+    /// [`ScenarioRunner::run_full`] with the clock-derived metric tier
+    /// switched on: a [`RunTelemetry`] collector is always attached (even
+    /// without a `[telemetry]` block), the epoch loop gets a
+    /// [`PhaseTimer`], the engine accumulates per-node processing time,
+    /// and the control hook is timed. Every checksummed artifact —
+    /// report, trace, run log — is bit-identical to the untimed run (the
+    /// timing tier is structurally excluded from canonical renderings).
+    pub fn run_full_instrumented(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
+        let record = self.spec.runlog.is_some_and(|r| r.record);
+        self.run_live(exec, seed, record, true)
     }
 
     /// Runs the scenario with run-log recording forced on, whether or not
     /// the spec declares `[runlog]` — the CLI `record` subcommand and the
     /// replay CI job use this to event-source any scenario.
     pub fn run_recorded(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
-        self.run_live(exec, seed, true)
+        self.run_live(exec, seed, true, false)
+    }
+
+    /// [`ScenarioRunner::run_recorded`] with the timing tier switched on
+    /// (see [`ScenarioRunner::run_full_instrumented`] for the contract) —
+    /// the chaos CLI's `--metrics` mode instruments its reference runs
+    /// this way.
+    pub fn run_recorded_instrumented(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+    ) -> Result<RunOutput, RunError> {
+        self.run_live(exec, seed, true, true)
     }
 
     /// Runs the scenario with **crash-safe** recording: every sealed epoch
@@ -157,12 +189,31 @@ impl ScenarioRunner {
         seed: u64,
         log_path: &Path,
     ) -> Result<RunOutput, RunError> {
+        self.run_streamed_instrumented(exec, seed, log_path, false)
+    }
+
+    /// [`ScenarioRunner::run_streamed`] with the timing tier switched on
+    /// (see [`ScenarioRunner::run_full_instrumented`] for the contract).
+    pub fn run_streamed_instrumented(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        log_path: &Path,
+        timing: bool,
+    ) -> Result<RunOutput, RunError> {
         let spec = &self.spec;
         let io_err = |e: std::io::Error| RunError::Io {
             path: log_path.to_path_buf(),
             message: e.to_string(),
         };
         let (mut server, qids) = build_server(spec, seed, exec, false)?;
+        let mut telemetry = make_collector(spec, timing);
+        if timing {
+            server.set_engine_timing(true);
+        }
+        if let Some(t) = &mut telemetry {
+            t.observe_admissions(server.admissions());
+        }
         let mut controller = match &spec.adaptive {
             Some(a) => Some(AdaptiveController::new(a.to_config()?)),
             None => None,
@@ -173,13 +224,21 @@ impl ScenarioRunner {
         // salvageable file.
         rec.begin().map_err(io_err)?;
 
+        // The wrapper is a pure pass-through when untimed, so it can wrap
+        // unconditionally without perturbing uninstrumented runs.
+        let mut hook =
+            controller.as_mut().map(|c| TimedHook::new(c as &mut dyn ControlHook, timing));
         let mut epochs = Vec::with_capacity(spec.epochs as usize);
         for e in 0..spec.epochs {
             epoch_prologue(spec, e, &mut server, |ev| rec.record_shift(ev));
-            let r = server.run_epoch_tapped(
-                controller.as_mut().map(|c| c as &mut dyn ControlHook),
+            let r = server.run_epoch_instrumented(
+                hook.as_mut().map(|h| h as &mut dyn ControlHook),
                 Some(&mut rec as &mut dyn EpochTap),
+                phase_timer(&mut telemetry, timing),
             );
+            if let Some(t) = &mut telemetry {
+                t.observe_epoch(&r);
+            }
             epochs.push(epoch_row(&r));
             if let Some(err) = rec.last_error() {
                 return Err(RunError::Io {
@@ -188,6 +247,12 @@ impl ScenarioRunner {
                 });
             }
         }
+        if let (Some(t), Some(h)) = (&mut telemetry, &hook) {
+            t.observe_hook(h.calls(), h.total_ns());
+        }
+        // `hook` borrows `controller`; release it before `into_trace` moves
+        // the controller out.
+        let _ = hook;
 
         let trace = controller.map(AdaptiveController::into_trace);
         let responses_delivered = server.crowd().responses_delivered();
@@ -199,11 +264,12 @@ impl ScenarioRunner {
             epochs,
             responses_delivered,
             trace.as_ref(),
+            telemetry.as_mut(),
         );
         let log = rec
             .finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum))
             .map_err(io_err)?;
-        Ok(RunOutput { report, trace, log: Some(log) })
+        Ok(RunOutput { report, trace, log: Some(log), telemetry })
     }
 
     /// Runs the scenario up to `at_epoch` and kills it at the named
@@ -264,9 +330,22 @@ impl ScenarioRunner {
         Ok(rec.epochs_streamed())
     }
 
-    fn run_live(&self, exec: ExecMode, seed: u64, record: bool) -> Result<RunOutput, RunError> {
+    fn run_live(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        record: bool,
+        timing: bool,
+    ) -> Result<RunOutput, RunError> {
         let spec = &self.spec;
         let (mut server, qids) = build_server(spec, seed, exec, false)?;
+        let mut telemetry = make_collector(spec, timing);
+        if timing {
+            server.set_engine_timing(true);
+        }
+        if let Some(t) = &mut telemetry {
+            t.observe_admissions(server.admissions());
+        }
         let mut controller = match &spec.adaptive {
             // The spec validated the block, so the config is sound.
             Some(a) => Some(AdaptiveController::new(a.to_config()?)),
@@ -282,6 +361,10 @@ impl ScenarioRunner {
             None
         };
 
+        // The wrapper is a pure pass-through when untimed, so it can wrap
+        // unconditionally without perturbing uninstrumented runs.
+        let mut hook =
+            controller.as_mut().map(|c| TimedHook::new(c as &mut dyn ControlHook, timing));
         let mut epochs = Vec::with_capacity(spec.epochs as usize);
         for e in 0..spec.epochs {
             epoch_prologue(spec, e, &mut server, |ev| {
@@ -289,12 +372,22 @@ impl ScenarioRunner {
                     rec.record_shift(ev);
                 }
             });
-            let r = server.run_epoch_tapped(
-                controller.as_mut().map(|c| c as &mut dyn ControlHook),
+            let r = server.run_epoch_instrumented(
+                hook.as_mut().map(|h| h as &mut dyn ControlHook),
                 recorder.as_mut().map(|r| r as &mut dyn EpochTap),
+                phase_timer(&mut telemetry, timing),
             );
+            if let Some(t) = &mut telemetry {
+                t.observe_epoch(&r);
+            }
             epochs.push(epoch_row(&r));
         }
+        if let (Some(t), Some(h)) = (&mut telemetry, &hook) {
+            t.observe_hook(h.calls(), h.total_ns());
+        }
+        // `hook` borrows `controller`; release it before `into_trace` moves
+        // the controller out.
+        let _ = hook;
 
         let trace = controller.map(AdaptiveController::into_trace);
         let responses_delivered = server.crowd().responses_delivered();
@@ -306,10 +399,11 @@ impl ScenarioRunner {
             epochs,
             responses_delivered,
             trace.as_ref(),
+            telemetry.as_mut(),
         );
         let log = recorder
             .map(|rec| rec.finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum)));
-        Ok(RunOutput { report, trace, log })
+        Ok(RunOutput { report, trace, log, telemetry })
     }
 
     /// Builds a runner from a spec file (`.toml` or `.json`).
@@ -511,6 +605,26 @@ pub(crate) fn build_server(
     Ok((server, qids))
 }
 
+/// The run's metrics collector, if anything asked for one: a declared
+/// `[telemetry]` block collects the event tier; `timing` additionally
+/// (or alone, without the block) collects the clock tier for `--metrics`
+/// exports.
+pub(crate) fn make_collector(spec: &ScenarioSpec, timing: bool) -> Option<RunTelemetry> {
+    (spec.telemetry.is_some() || timing).then(|| RunTelemetry::new(timing))
+}
+
+/// The [`PhaseTimer`] to install on the epoch loop: only a timing
+/// collector listens; event-only collectors leave the loop clock-free.
+pub(crate) fn phase_timer(
+    telemetry: &mut Option<RunTelemetry>,
+    timing: bool,
+) -> Option<&mut dyn PhaseTimer> {
+    if !timing {
+        return None;
+    }
+    telemetry.as_mut().map(|t| t as &mut dyn PhaseTimer)
+}
+
 /// Reduces one epoch report to its deterministic counters.
 pub(crate) fn epoch_row(r: &EpochReport) -> EpochRow {
     let (mut incr, mut decr, mut exh) = (0usize, 0usize, 0usize);
@@ -534,6 +648,9 @@ pub(crate) fn epoch_row(r: &EpochReport) -> EpochRow {
         tune_increased: incr,
         tune_decreased: decr,
         tune_exhausted: exh,
+        throttled: r.dispatch.throttled,
+        stale_actions: r.stale_actions,
+        faults: r.faults,
     }
 }
 
@@ -541,6 +658,7 @@ pub(crate) fn epoch_row(r: &EpochReport) -> EpochRow {
 /// is passed in rather than read off the crowd because a detached replay
 /// has no crowd counter — it sums the log instead (the two agree for live
 /// runs: every matured response is drained by some epoch).
+#[allow(clippy::too_many_arguments)] // one call site per run flavor; a params struct would just rename the problem
 pub(crate) fn finalize_report(
     spec: &ScenarioSpec,
     seed: u64,
@@ -549,6 +667,7 @@ pub(crate) fn finalize_report(
     epochs: Vec<EpochRow>,
     responses_delivered: u64,
     trace: Option<&AdaptiveTrace>,
+    telemetry: Option<&mut RunTelemetry>,
 ) -> ScenarioReport {
     let region = Rect::with_size(spec.grid.size_km, spec.grid.size_km);
     let minutes = server.now();
@@ -604,7 +723,31 @@ pub(crate) fn finalize_report(
         dropped_unmaterialized: server.fabricator().dropped_unmaterialized(),
         chains: server.fabricator().materialized_chains(),
         minutes,
+        throttled: epochs.iter().map(|e| e.throttled).sum(),
+        stale_actions: epochs.iter().map(|e| e.stale_actions).sum(),
     };
+
+    // Fault/retry accounting renders only for specs that armed the fault
+    // layer; every source is replay-stable (epoch fault deltas ride the
+    // run log, retry counters are deterministic functions of the
+    // response stream), so the section survives detached replay.
+    let faults = spec.faults.as_ref().map(|_| FaultSection {
+        dropped: epochs.iter().map(|e| e.faults.dropped).sum(),
+        delayed: epochs.iter().map(|e| e.faults.delayed).sum(),
+        duplicated: epochs.iter().map(|e| e.faults.duplicated).sum(),
+        retries_requested: server.handler().retries_requested(),
+        retry_attempts: server.handler().retry_attempts(),
+    });
+
+    // The collector's whole-run counters land here so every execution
+    // path (live, streamed, replayed, resumed) finalizes identically.
+    let telemetry = telemetry.map(|t| {
+        t.finalize(server.handler(), &server.fabricator().chain_metrics(), trace);
+        t.section()
+    });
+    // The section joins the report only when the spec asked for it;
+    // `--metrics`-only collectors keep the report untouched.
+    let telemetry = if spec.telemetry.is_some_and(|t| t.report) { telemetry } else { None };
 
     let adaptive = trace.map(AdaptiveSection::from);
     let tenants = server.tenants().map(|registry| TenantSection {
@@ -644,6 +787,8 @@ pub(crate) fn finalize_report(
         totals,
         adaptive,
         tenants,
+        faults,
+        telemetry,
     }
 }
 

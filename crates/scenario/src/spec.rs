@@ -453,6 +453,30 @@ impl Default for RunlogSpec {
     }
 }
 
+/// The `[telemetry]` block: event-derived metrics collection
+/// (see `craqr-telemetry`).
+///
+/// Declaring the block makes the run collect deterministic event
+/// counters into a metrics registry; with `report = true` (the default)
+/// their canonical rendering joins the scenario report as a
+/// checksummed `[telemetry]` section. Only **event-derived** metrics
+/// ever reach the report — timing metrics (phase latencies, shard busy
+/// time) live in the same registry but are excluded from every
+/// canonical/checksummed surface, exactly like shard `busy_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// `true`: render the registry's event metrics as a `[telemetry]`
+    /// report section (checksummed, golden-tested). `false`: collect
+    /// (for `--metrics` export) but keep the report unchanged.
+    pub report: bool,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        Self { report: true }
+    }
+}
+
 /// One crowd-side delivery fault window: a fault kind active over an
 /// inclusive epoch range (`[[faults.crowd]]`).
 #[derive(Debug, Clone, PartialEq)]
@@ -578,6 +602,9 @@ pub struct ScenarioSpec {
     /// Fault injection: crowd delivery faults, dispatch retries, and
     /// declared crash sites (absent = fault-free run).
     pub faults: Option<FaultsSpec>,
+    /// Event-derived metrics collection (absent = no registry, report
+    /// unchanged).
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 // ---------------------------------------------------------------------------
@@ -984,6 +1011,16 @@ impl ScenarioSpec {
             }
         };
 
+        let telemetry = match r.opt_table("telemetry")? {
+            None => None,
+            Some(mut t) => {
+                let d = TelemetrySpec::default();
+                let telemetry = TelemetrySpec { report: t.opt_bool("report", d.report)? };
+                t.finish()?;
+                Some(telemetry)
+            }
+        };
+
         let faults = match r.opt_table("faults")? {
             None => None,
             Some(mut f) => {
@@ -1043,6 +1080,7 @@ impl ScenarioSpec {
             adaptive,
             runlog,
             faults,
+            telemetry,
         };
         spec.validate()?;
         Ok(spec)
@@ -1877,6 +1915,11 @@ impl ScenarioSpec {
             rt.insert("record", ConfigValue::Bool(rl.record));
             t.insert("runlog", ConfigValue::Table(rt));
         }
+        if let Some(tm) = &self.telemetry {
+            let mut tt = Table::new();
+            tt.insert("report", ConfigValue::Bool(tm.report));
+            t.insert("telemetry", ConfigValue::Table(tt));
+        }
         if let Some(f) = &self.faults {
             let mut ft = Table::new();
             if !f.crowd.is_empty() {
@@ -2196,6 +2239,32 @@ text = "ACQUIRE temp FROM RECT(0,0,2,2) RATE 0.5"
         assert!(matches!(
             ScenarioSpec::from_toml(&typo).unwrap_err(),
             SpecError::UnknownField { path } if path == "runlog.recrod"
+        ));
+    }
+
+    #[test]
+    fn telemetry_block_is_strictly_parsed_and_round_trips() {
+        let s = ScenarioSpec::from_toml(minimal_toml()).unwrap();
+        assert!(s.telemetry.is_none(), "no [telemetry] block, no registry");
+
+        let with = format!("{}\n[telemetry]\n", minimal_toml());
+        let s = ScenarioSpec::from_toml(&with).unwrap();
+        assert_eq!(s.telemetry, Some(TelemetrySpec { report: true }), "report defaults to true");
+
+        let off = format!("{}\n[telemetry]\nreport = false\n", minimal_toml());
+        let s = ScenarioSpec::from_toml(&off).unwrap();
+        assert_eq!(s.telemetry, Some(TelemetrySpec { report: false }));
+
+        // to_toml → from_toml keeps the block (embedded-spec replay
+        // depends on this: a detached replay must see [telemetry] to
+        // rebuild the registry and re-converge the report checksum).
+        let back = ScenarioSpec::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back.telemetry, s.telemetry);
+
+        let typo = format!("{}\n[telemetry]\nreprot = true\n", minimal_toml());
+        assert!(matches!(
+            ScenarioSpec::from_toml(&typo).unwrap_err(),
+            SpecError::UnknownField { path } if path == "telemetry.reprot"
         ));
     }
 

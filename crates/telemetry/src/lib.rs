@@ -1,0 +1,36 @@
+//! Determinism-aware metrics: counters, gauges, and fixed-boundary
+//! histograms in a mergeable registry, with a canonical text snapshot and
+//! a Prometheus exposition renderer.
+//!
+//! CrAQR's hard constraint is bit-identical output for a fixed seed across
+//! execution modes and hosts. Metrics therefore carry a [`Determinism`]
+//! tag at registration:
+//!
+//! - [`Determinism::Event`] — derived purely from the simulation's event
+//!   stream (dispatch counts, admission verdicts, tenant charges, fault
+//!   and retry counters). These are identical on every host and may join
+//!   checksummed artifacts like the scenario report's `[telemetry]`
+//!   section ([`Registry::canonical_events`]).
+//! - [`Determinism::Timing`] — derived from clocks (epoch-phase
+//!   latencies, shard busy time, node processing time). Useful for
+//!   operators, meaningless for checksums; they are excluded from
+//!   [`Registry::canonical_events`] exactly as `busy_ns` is excluded from
+//!   report bodies, and appear only in the full snapshot and the
+//!   Prometheus render.
+//!
+//! Registries merge with [`Registry::absorb`], which is commutative and
+//! associative (counters and gauges sum; histograms add bucket-wise), so
+//! per-shard registries can merge in any order without changing the
+//! result — proptested in `tests/merge_laws.rs`.
+
+mod lint;
+mod registry;
+
+pub use lint::{lint_exposition, LintError};
+pub use registry::{Determinism, HistogramSnapshot, MetricKind, MetricValue, Registry};
+
+/// Bucket boundaries (seconds) for epoch-phase latency histograms:
+/// 10µs … 1s in half-decade steps — wide enough for a starved CI host,
+/// fine enough to see a 2× regression in a 100µs phase.
+pub const PHASE_SECONDS_BOUNDS: &[f64] =
+    &[1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0];

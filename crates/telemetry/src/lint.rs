@@ -1,0 +1,267 @@
+//! A strict format lint for Prometheus exposition text (version 0.0.4) —
+//! the check the CI `telemetry` job runs over `--metrics` output.
+//!
+//! Enforced:
+//! - every sample belongs to a family announced by a `# HELP` + `# TYPE`
+//!   pair (HELP first), and each family is announced exactly once;
+//! - family names are unique and well-formed (`[a-zA-Z_:][a-zA-Z0-9_:]*`);
+//! - histogram families expose `_bucket`/`_sum`/`_count` series whose
+//!   `le` buckets are strictly ascending, cumulative (non-decreasing
+//!   counts), terminated by `le="+Inf"`, with `_count` equal to the
+//!   `+Inf` bucket;
+//! - sample values parse as numbers.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A lint violation with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// 1-based line of the offending input (0 for whole-document errors).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> LintError {
+    LintError { line, message: message.into() }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `name{labels} value` into (name, labels-or-empty, value).
+fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
+    if let Some(open) = line.find('{') {
+        let close = line.rfind('}')?;
+        let name = &line[..open];
+        let labels = &line[open + 1..close];
+        let value = line[close + 1..].trim();
+        Some((name, labels, value))
+    } else {
+        let (name, value) = line.split_at(line.find(' ')?);
+        Some((name, "", value.trim()))
+    }
+}
+
+fn label_value(labels: &str, key: &str) -> Option<String> {
+    for part in labels.split(',') {
+        let (k, v) = part.split_once('=')?;
+        if k == key {
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// The base family a sample name belongs to, honouring histogram
+/// suffixes for families declared `histogram`.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|t| t == "histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Lints one exposition document; returns every violation found.
+pub fn lint_exposition(text: &str) -> Result<(), Vec<LintError>> {
+    let mut errors = Vec::new();
+    let mut helps: HashSet<String> = HashSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (family, labels-without-le) → ascending (le, cumulative, line) rows.
+    type BucketRows = Vec<(f64, u64, usize)>;
+    let mut buckets: BTreeMap<(String, String), BucketRows> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), (u64, usize)> = BTreeMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, _)) = rest.split_once(' ') else {
+                errors.push(err(line_no, format!("HELP without text: '{line}'")));
+                continue;
+            };
+            if !helps.insert(name.to_string()) {
+                errors.push(err(line_no, format!("duplicate HELP for '{name}'")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                errors.push(err(line_no, format!("TYPE without kind: '{line}'")));
+                continue;
+            };
+            if !helps.contains(name) {
+                errors.push(err(line_no, format!("TYPE for '{name}' precedes its HELP")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                errors.push(err(line_no, format!("duplicate TYPE for '{name}'")));
+            }
+            if !valid_name(name) {
+                errors.push(err(line_no, format!("invalid metric name '{name}'")));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                errors.push(err(line_no, format!("unknown metric type '{kind}'")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let Some((name, labels, value)) = split_sample(line) else {
+            errors.push(err(line_no, format!("malformed sample line: '{line}'")));
+            continue;
+        };
+        let family = family_of(name, &types);
+        if !types.contains_key(family) {
+            errors.push(err(
+                line_no,
+                format!("sample '{name}' has no preceding # TYPE for family '{family}'"),
+            ));
+            continue;
+        }
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            errors.push(err(line_no, format!("sample value does not parse: '{value}'")));
+        }
+        if types.get(family).is_some_and(|t| t == "histogram") {
+            let series_labels: Vec<&str> =
+                labels.split(',').filter(|p| !p.starts_with("le=") && !p.is_empty()).collect();
+            let key = (family.to_string(), series_labels.join(","));
+            if name.ends_with("_bucket") {
+                let Some(le) = label_value(labels, "le") else {
+                    errors.push(err(line_no, format!("bucket sample without le: '{line}'")));
+                    continue;
+                };
+                let le_val =
+                    if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::NAN) };
+                let cum = value.parse::<u64>().unwrap_or(u64::MAX);
+                buckets.entry(key).or_default().push((le_val, cum, line_no));
+            } else if name.ends_with("_count") {
+                counts.insert(key, (value.parse::<u64>().unwrap_or(u64::MAX), line_no));
+            }
+        }
+    }
+
+    for (name,) in types.keys().map(|n| (n,)) {
+        if !helps.contains(name.as_str()) {
+            errors.push(err(0, format!("family '{name}' has TYPE but no HELP")));
+        }
+    }
+    for ((family, labels), series) in &buckets {
+        let at = series.first().map(|(_, _, l)| *l).unwrap_or(0);
+        // NaN les (unparseable) must fail the ascending check too, so the
+        // comparison is deliberately "not strictly less" rather than >=.
+        if series.windows(2).any(|w| w[0].0.partial_cmp(&w[1].0) != Some(std::cmp::Ordering::Less))
+        {
+            errors.push(err(at, format!("histogram '{family}{{{labels}}}' le not ascending")));
+        }
+        if series.windows(2).any(|w| w[0].1 > w[1].1) {
+            errors.push(err(
+                at,
+                format!("histogram '{family}{{{labels}}}' bucket counts not cumulative"),
+            ));
+        }
+        match series.last() {
+            Some((le, last_cum, _)) if le.is_infinite() => {
+                if let Some((count, cline)) = counts.get(&(family.clone(), labels.clone())) {
+                    if count != last_cum {
+                        errors.push(err(
+                            *cline,
+                            format!(
+                                "histogram '{family}{{{labels}}}' _count {count} != +Inf bucket {last_cum}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => errors.push(err(
+                at,
+                format!("histogram '{family}{{{labels}}}' does not end at le=\"+Inf\""),
+            )),
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP craqr_sent_total probes sent
+# TYPE craqr_sent_total counter
+craqr_sent_total{tenant=\"0\"} 9
+# HELP craqr_lat_seconds latency
+# TYPE craqr_lat_seconds histogram
+craqr_lat_seconds_bucket{le=\"1.0\"} 1
+craqr_lat_seconds_bucket{le=\"+Inf\"} 3
+craqr_lat_seconds_sum 11.0
+craqr_lat_seconds_count 3
+";
+
+    #[test]
+    fn clean_document_passes() {
+        lint_exposition(GOOD).expect("good document lints clean");
+    }
+
+    #[test]
+    fn missing_type_is_flagged() {
+        let bad = "craqr_orphan_total 3\n";
+        let errs = lint_exposition(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("no preceding # TYPE")), "{errs:?}");
+    }
+
+    #[test]
+    fn duplicate_family_is_flagged() {
+        let bad = format!("{GOOD}# HELP craqr_sent_total again\n# TYPE craqr_sent_total counter\n");
+        let errs = lint_exposition(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate HELP")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("duplicate TYPE")), "{errs:?}");
+    }
+
+    #[test]
+    fn non_monotone_buckets_are_flagged() {
+        let bad = GOOD.replace(
+            "craqr_lat_seconds_bucket{le=\"+Inf\"} 3",
+            "craqr_lat_seconds_bucket{le=\"+Inf\"} 0",
+        );
+        let errs = lint_exposition(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not cumulative")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_inf_bucket_is_flagged() {
+        let bad: String =
+            GOOD.lines().filter(|l| !l.contains("+Inf")).map(|l| format!("{l}\n")).collect();
+        let errs = lint_exposition(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("does not end at le")), "{errs:?}");
+    }
+
+    #[test]
+    fn count_must_match_inf_bucket() {
+        let bad = GOOD.replace("craqr_lat_seconds_count 3", "craqr_lat_seconds_count 4");
+        let errs = lint_exposition(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("!= +Inf bucket")), "{errs:?}");
+    }
+}

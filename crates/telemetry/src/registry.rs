@@ -1,0 +1,550 @@
+//! The metric registry: named families of counters, gauges, and
+//! fixed-boundary histograms, each tagged with a [`Determinism`] class,
+//! optionally fanned out over label sets.
+
+use craqr_stats::{fnv1a64, format_float};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Whether a metric's value is reproducible across hosts and schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Derived from the deterministic event stream — identical for a
+    /// fixed seed on every host; safe to checksum.
+    Event,
+    /// Derived from clocks — host- and schedule-dependent; excluded from
+    /// every checksummed rendering (the `busy_ns` rule).
+    Timing,
+}
+
+impl Determinism {
+    fn tag(self) -> &'static str {
+        match self {
+            Determinism::Event => "event",
+            Determinism::Timing => "timing",
+        }
+    }
+}
+
+/// The shape of a metric family (fixed at first touch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone sum of `u64` increments.
+    Counter,
+    /// A summable level (absorb adds, so per-shard gauges merge to the
+    /// fleet total — use one registry per logical scope if you need
+    /// last-write semantics instead).
+    Gauge,
+    /// Fixed-boundary cumulative histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One series' current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A histogram's buckets (non-cumulative per-bucket counts), sum, and
+/// count. `bounds.len() + 1 == buckets.len()`: the final bucket is the
+/// `+Inf` overflow.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, strictly ascending, excluding `+Inf`.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (last entry = overflow past the
+    /// final bound).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending: {bounds:?}"
+        );
+        Self { bounds: bounds.to_vec(), buckets: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bounds.partition_point(|b| value > *b);
+        self.buckets[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot absorb histograms with different bucket boundaries"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A label set, kept sorted by key so equal sets compare and render
+/// identically regardless of call-site order.
+type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    let mut labels: Labels = pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    labels.sort();
+    debug_assert!(labels.windows(2).all(|w| w[0].0 != w[1].0), "duplicate label key");
+    labels
+}
+
+fn fmt_labels(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Family {
+    help: String,
+    determinism: Determinism,
+    kind: MetricKind,
+    series: BTreeMap<Labels, MetricValue>,
+}
+
+/// A mergeable collection of metric families.
+///
+/// Metrics auto-register on first touch; re-touching with a different
+/// kind, determinism class, or histogram bounds panics (it is a
+/// programming error, not input-dependent). [`Registry::absorb`] is
+/// commutative and associative, so shard registries merge
+/// order-independently.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    families: BTreeMap<String, Family>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn family(
+        &mut self,
+        name: &str,
+        help: &str,
+        determinism: Determinism,
+        kind: MetricKind,
+    ) -> &mut Family {
+        if !self.families.contains_key(name) {
+            self.families.insert(
+                name.to_string(),
+                Family { help: help.to_string(), determinism, kind, series: BTreeMap::new() },
+            );
+        }
+        let fam = self.families.get_mut(name).expect("inserted above");
+        assert_eq!(fam.kind, kind, "metric '{name}' re-registered with a different kind");
+        assert_eq!(
+            fam.determinism, determinism,
+            "metric '{name}' re-registered with a different determinism class"
+        );
+        fam
+    }
+
+    /// The allocation-free hot path: locates an existing series without
+    /// building owned label strings. Epoch loops touch the same few
+    /// series thousands of times, so after first registration every
+    /// record lands here — a `&str` family lookup plus a linear scan of
+    /// the family's handful of series. Returns `None` (→ the allocating
+    /// registration path) when the family or series does not exist yet,
+    /// or when `pairs` is not key-sorted (stored label sets are sorted;
+    /// every craqr call site passes ≤1 label, which is trivially sorted).
+    fn fast_series(
+        &mut self,
+        name: &str,
+        determinism: Determinism,
+        kind: MetricKind,
+        pairs: &[(&str, &str)],
+    ) -> Option<&mut MetricValue> {
+        if !pairs.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return None;
+        }
+        let fam = self.families.get_mut(name)?;
+        assert_eq!(fam.kind, kind, "metric '{name}' re-registered with a different kind");
+        assert_eq!(
+            fam.determinism, determinism,
+            "metric '{name}' re-registered with a different determinism class"
+        );
+        fam.series
+            .iter_mut()
+            .find(|(stored, _)| {
+                stored.len() == pairs.len()
+                    && stored.iter().zip(pairs).all(|((k, v), (pk, pv))| k == pk && v == pv)
+            })
+            .map(|(_, value)| value)
+    }
+
+    /// Adds `delta` to the counter `name` (auto-registering it).
+    pub fn inc(
+        &mut self,
+        name: &str,
+        help: &str,
+        determinism: Determinism,
+        labels: &[(&str, &str)],
+        delta: u64,
+    ) {
+        if let Some(MetricValue::Counter(v)) =
+            self.fast_series(name, determinism, MetricKind::Counter, labels)
+        {
+            *v += delta;
+            return;
+        }
+        let labels = labels_of(labels);
+        let fam = self.family(name, help, determinism, MetricKind::Counter);
+        match fam.series.entry(labels).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            _ => unreachable!("family kind checked above"),
+        }
+    }
+
+    /// Adds `delta` to the gauge `name` (auto-registering it). Gauges sum
+    /// under [`Registry::absorb`]; use `add` semantics at the call site.
+    pub fn gauge_add(
+        &mut self,
+        name: &str,
+        help: &str,
+        determinism: Determinism,
+        labels: &[(&str, &str)],
+        delta: f64,
+    ) {
+        if let Some(MetricValue::Gauge(v)) =
+            self.fast_series(name, determinism, MetricKind::Gauge, labels)
+        {
+            *v += delta;
+            return;
+        }
+        let labels = labels_of(labels);
+        let fam = self.family(name, help, determinism, MetricKind::Gauge);
+        match fam.series.entry(labels).or_insert(MetricValue::Gauge(0.0)) {
+            MetricValue::Gauge(v) => *v += delta,
+            _ => unreachable!("family kind checked above"),
+        }
+    }
+
+    /// Records one observation into the histogram `name`
+    /// (auto-registering it with `bounds`).
+    pub fn observe(
+        &mut self,
+        name: &str,
+        help: &str,
+        determinism: Determinism,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        if let Some(MetricValue::Histogram(h)) =
+            self.fast_series(name, determinism, MetricKind::Histogram, labels)
+        {
+            assert_eq!(
+                h.bounds, bounds,
+                "metric '{name}' re-touched with different bucket boundaries"
+            );
+            h.observe(value);
+            return;
+        }
+        let labels = labels_of(labels);
+        let fam = self.family(name, help, determinism, MetricKind::Histogram);
+        match fam
+            .series
+            .entry(labels)
+            .or_insert_with(|| MetricValue::Histogram(HistogramSnapshot::new(bounds)))
+        {
+            MetricValue::Histogram(h) => {
+                assert_eq!(
+                    h.bounds, bounds,
+                    "metric '{name}' re-touched with different bucket boundaries"
+                );
+                h.observe(value);
+            }
+            _ => unreachable!("family kind checked above"),
+        }
+    }
+
+    /// Reads a counter's current total (0 when untouched).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let labels = labels_of(labels);
+        match self.families.get(name).and_then(|f| f.series.get(&labels)) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Iterates `(name, labels, value)` over every series, family name
+    /// ascending, then label set ascending — the canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[(String, String)], &MetricValue)> + '_ {
+        self.families.iter().flat_map(|(name, fam)| {
+            fam.series.iter().map(move |(labels, value)| (name.as_str(), labels.as_slice(), value))
+        })
+    }
+
+    /// Merges `other` into `self`: counters and gauges sum, histograms
+    /// add bucket-wise. Commutative and associative (see the crate docs),
+    /// so shard registries merge in any order.
+    ///
+    /// # Panics
+    /// Panics when the same name carries a different kind, determinism
+    /// class, or histogram bounds in the two registries.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (name, theirs) in &other.families {
+            let mine = self.families.entry(name.clone()).or_insert_with(|| Family {
+                help: theirs.help.clone(),
+                determinism: theirs.determinism,
+                kind: theirs.kind,
+                series: BTreeMap::new(),
+            });
+            assert_eq!(mine.kind, theirs.kind, "absorb: metric '{name}' kind mismatch");
+            assert_eq!(
+                mine.determinism, theirs.determinism,
+                "absorb: metric '{name}' determinism mismatch"
+            );
+            for (labels, value) in &theirs.series {
+                match (
+                    mine.series.entry(labels.clone()).or_insert_with(|| match value {
+                        MetricValue::Counter(_) => MetricValue::Counter(0),
+                        MetricValue::Gauge(_) => MetricValue::Gauge(0.0),
+                        MetricValue::Histogram(h) => {
+                            MetricValue::Histogram(HistogramSnapshot::new(&h.bounds))
+                        }
+                    }),
+                    value,
+                ) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.absorb(b),
+                    _ => unreachable!("family kind checked above"),
+                }
+            }
+        }
+    }
+
+    fn render_canonical(&self, include_timing: bool) -> String {
+        let mut s = String::new();
+        for (name, fam) in &self.families {
+            if fam.determinism == Determinism::Timing && !include_timing {
+                continue;
+            }
+            for (labels, value) in &fam.series {
+                let lbl = fmt_labels(labels);
+                match value {
+                    MetricValue::Counter(v) => {
+                        let _ = writeln!(s, "{} {}{} {}", fam.determinism.tag(), name, lbl, v);
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = writeln!(
+                            s,
+                            "{} {}{} {}",
+                            fam.determinism.tag(),
+                            name,
+                            lbl,
+                            format_float(*v)
+                        );
+                    }
+                    MetricValue::Histogram(h) => {
+                        let buckets: Vec<String> =
+                            h.buckets.iter().map(|b| b.to_string()).collect();
+                        let _ = writeln!(
+                            s,
+                            "{} {}{} count={} sum={} buckets=[{}]",
+                            fam.determinism.tag(),
+                            name,
+                            lbl,
+                            h.count,
+                            format_float(h.sum),
+                            buckets.join(","),
+                        );
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Canonical text of the **event-derived** series only — the bytes
+    /// that may join checksummed artifacts. Deterministic for a fixed
+    /// seed: timing families are skipped entirely, so instrumenting a
+    /// phase with a clock can never perturb this rendering.
+    pub fn canonical_events(&self) -> String {
+        self.render_canonical(false)
+    }
+
+    /// Canonical text of everything, timing included (diagnostics; never
+    /// checksummed).
+    pub fn canonical_full(&self) -> String {
+        self.render_canonical(true)
+    }
+
+    /// FNV-1a checksum of [`Registry::canonical_events`].
+    pub fn events_checksum(&self) -> u64 {
+        fnv1a64(self.canonical_events().as_bytes())
+    }
+
+    /// Renders the registry in Prometheus exposition format (text
+    /// version 0.0.4): one `# HELP` + `# TYPE` pair per family, samples
+    /// in canonical order, histograms as cumulative `_bucket{le=…}` /
+    /// `_sum` / `_count` triples ending at `le="+Inf"`.
+    pub fn render_prometheus(&self) -> String {
+        let mut s = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(s, "# HELP {name} {}", fam.help);
+            let _ = writeln!(s, "# TYPE {name} {}", fam.kind.exposition_type());
+            for (labels, value) in &fam.series {
+                match value {
+                    MetricValue::Counter(v) => {
+                        let _ = writeln!(s, "{name}{} {v}", fmt_labels(labels));
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = writeln!(s, "{name}{} {}", fmt_labels(labels), format_float(*v));
+                    }
+                    MetricValue::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, count) in h.buckets.iter().enumerate() {
+                            cumulative += count;
+                            let le = match h.bounds.get(i) {
+                                Some(b) => format_float(*b),
+                                None => "+Inf".to_string(),
+                            };
+                            let mut with_le = labels.clone();
+                            with_le.push(("le".to_string(), le));
+                            with_le.sort();
+                            let _ =
+                                writeln!(s, "{name}_bucket{} {cumulative}", fmt_labels(&with_le));
+                        }
+                        let lbl = fmt_labels(labels);
+                        let _ = writeln!(s, "{name}_sum{lbl} {}", format_float(h.sum));
+                        let _ = writeln!(s, "{name}_count{lbl} {}", h.count);
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_read_back() {
+        let mut r = Registry::new();
+        r.inc("craqr_sent_total", "probes sent", Determinism::Event, &[], 3);
+        r.inc("craqr_sent_total", "probes sent", Determinism::Event, &[], 4);
+        assert_eq!(r.counter_value("craqr_sent_total", &[]), 7);
+        assert_eq!(r.counter_value("craqr_missing", &[]), 0);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let mut r = Registry::new();
+        r.inc("c", "h", Determinism::Event, &[("a", "1"), ("b", "2")], 1);
+        r.inc("c", "h", Determinism::Event, &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(r.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_correctly() {
+        let mut r = Registry::new();
+        let bounds = [1.0, 2.0];
+        // 0.5 → bucket 0; 1.0 → bucket 0 (le is inclusive); 1.5 → bucket 1;
+        // 99.0 → overflow.
+        for v in [0.5, 1.0, 1.5, 99.0] {
+            r.observe("h", "hist", Determinism::Timing, &[], &bounds, v);
+        }
+        let MetricValue::Histogram(h) = r.iter().next().unwrap().2 else { panic!() };
+        assert_eq!(h.buckets, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 102.0);
+    }
+
+    #[test]
+    fn canonical_events_excludes_timing_families() {
+        let mut r = Registry::new();
+        r.inc("craqr_e", "event", Determinism::Event, &[], 1);
+        r.observe("craqr_t", "timing", Determinism::Timing, &[], &[0.1], 0.05);
+        let events = r.canonical_events();
+        assert!(events.contains("craqr_e"));
+        assert!(!events.contains("craqr_t"));
+        assert!(r.canonical_full().contains("craqr_t"));
+
+        // More timing observations never move the event checksum.
+        let before = r.events_checksum();
+        r.observe("craqr_t", "timing", Determinism::Timing, &[], &[0.1], 0.2);
+        assert_eq!(r.events_checksum(), before);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.inc("c", "h", Determinism::Event, &[], 2);
+        b.inc("c", "h", Determinism::Event, &[], 5);
+        a.gauge_add("g", "h", Determinism::Event, &[], 1.5);
+        b.gauge_add("g", "h", Determinism::Event, &[], 2.5);
+        a.observe("hst", "h", Determinism::Timing, &[], &[1.0], 0.5);
+        b.observe("hst", "h", Determinism::Timing, &[], &[1.0], 2.0);
+        a.absorb(&b);
+        assert_eq!(a.counter_value("c", &[]), 7);
+        let text = a.canonical_full();
+        assert!(text.contains("event g 4.0"), "{text}");
+        assert!(text.contains("count=2"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_render_is_cumulative_and_linted() {
+        let mut r = Registry::new();
+        r.inc("craqr_sent_total", "probes sent", Determinism::Event, &[("tenant", "0")], 9);
+        for v in [0.5, 1.5, 9.0] {
+            r.observe("craqr_lat_seconds", "latency", Determinism::Timing, &[], &[1.0, 2.0], v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("craqr_lat_seconds_bucket{le=\"1.0\"} 1"), "{text}");
+        assert!(text.contains("craqr_lat_seconds_bucket{le=\"2.0\"} 2"), "{text}");
+        assert!(text.contains("craqr_lat_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("craqr_lat_seconds_count 3"), "{text}");
+        crate::lint_exposition(&text).expect("render passes its own lint");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_panic() {
+        let mut r = Registry::new();
+        r.inc("m", "h", Determinism::Event, &[], 1);
+        r.gauge_add("m", "h", Determinism::Event, &[], 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Merge laws for [`craqr_telemetry::Registry::absorb`]: commutative,
+//! associative, and therefore order-independent over any shard
+//! permutation — the property the sharded executor relies on to merge
+//! per-shard registries without fixing a merge order.
+
+use craqr_telemetry::{Determinism, Registry};
+use proptest::prelude::*;
+
+/// One abstract metric operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Inc { name: usize, tenant: usize, delta: u64 },
+    Gauge { name: usize, delta: i32 },
+    Observe { name: usize, value_milli: u32 },
+}
+
+const BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 4.0];
+
+fn apply(r: &mut Registry, op: &Op) {
+    match op {
+        Op::Inc { name, tenant, delta } => r.inc(
+            &format!("craqr_c{name}_total"),
+            "counter under test",
+            Determinism::Event,
+            &[("tenant", &tenant.to_string())],
+            *delta,
+        ),
+        Op::Gauge { name, delta } => r.gauge_add(
+            &format!("craqr_g{name}"),
+            "gauge under test",
+            Determinism::Event,
+            &[],
+            f64::from(*delta),
+        ),
+        // Dyadic values (k/1024) add exactly in f64, so histogram sums —
+        // which are *not* associative for general floats and are excluded
+        // from every checksum for exactly that reason — stay bit-equal
+        // across merge orders here; bucket counts are integers and are
+        // exact regardless.
+        Op::Observe { name, value_milli } => r.observe(
+            &format!("craqr_h{name}_seconds"),
+            "histogram under test",
+            Determinism::Timing,
+            &[],
+            BOUNDS,
+            f64::from(*value_milli) / 1024.0,
+        ),
+    }
+}
+
+fn registry_of(ops: &[Op]) -> Registry {
+    let mut r = Registry::new();
+    for op in ops {
+        apply(&mut r, op);
+    }
+    r
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..3usize, 0..3usize, 0..100u64).prop_map(|(name, tenant, delta)| Op::Inc {
+            name,
+            tenant,
+            delta
+        }),
+        (0..2usize, -50..50i32).prop_map(|(name, delta)| Op::Gauge { name, delta }),
+        (0..2usize, 0..8000u32).prop_map(|(name, value_milli)| Op::Observe { name, value_milli }),
+    ]
+}
+
+fn shards_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 0..12), 1..5)
+}
+
+/// Both canonical renderings (gauges are floats, so compare text rather
+/// than bit patterns indirectly — the shortest-roundtrip formatter makes
+/// equal values render equally; float addition over these small integral
+/// deltas is exact).
+fn fingerprint(r: &Registry) -> (String, String) {
+    (r.canonical_events(), r.canonical_full())
+}
+
+proptest! {
+    #[test]
+    fn absorb_is_commutative(a in prop::collection::vec(op_strategy(), 0..20),
+                             b in prop::collection::vec(op_strategy(), 0..20)) {
+        let (ra, rb) = (registry_of(&a), registry_of(&b));
+        let mut ab = ra.clone();
+        ab.absorb(&rb);
+        let mut ba = rb.clone();
+        ba.absorb(&ra);
+        prop_assert_eq!(fingerprint(&ab), fingerprint(&ba));
+    }
+
+    #[test]
+    fn absorb_is_associative(a in prop::collection::vec(op_strategy(), 0..15),
+                             b in prop::collection::vec(op_strategy(), 0..15),
+                             c in prop::collection::vec(op_strategy(), 0..15)) {
+        let (ra, rb, rc) = (registry_of(&a), registry_of(&b), registry_of(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = ra.clone();
+        left.absorb(&rb);
+        left.absorb(&rc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = rb.clone();
+        bc.absorb(&rc);
+        let mut right = ra.clone();
+        right.absorb(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+    }
+
+    #[test]
+    fn shard_merge_is_order_independent(shards in shards_strategy(),
+                                        seed in 0..u64::MAX) {
+        let registries: Vec<Registry> = shards.iter().map(|ops| registry_of(ops)).collect();
+
+        // Ascending shard order — the executor's canonical merge.
+        let mut forward = Registry::new();
+        for r in &registries {
+            forward.absorb(r);
+        }
+
+        // A deterministic pseudo-random permutation of the same shards.
+        let mut order: Vec<usize> = (0..registries.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut shuffled = Registry::new();
+        for i in order {
+            shuffled.absorb(&registries[i]);
+        }
+
+        prop_assert_eq!(fingerprint(&forward), fingerprint(&shuffled));
+    }
+
+    #[test]
+    fn split_equals_whole(ops in prop::collection::vec(op_strategy(), 0..30),
+                          cut in 0..30usize) {
+        // Applying ops in one registry == applying a prefix/suffix split
+        // into two registries and absorbing: absorb loses nothing.
+        let cut = cut.min(ops.len());
+        let whole = registry_of(&ops);
+        let mut halves = registry_of(&ops[..cut]);
+        halves.absorb(&registry_of(&ops[cut..]));
+        prop_assert_eq!(fingerprint(&whole), fingerprint(&halves));
+    }
+}

@@ -29,6 +29,18 @@
 //! | `diff <a> <b>` | structural epoch-by-epoch comparison of two logs with first-divergence reporting; exit 1 when they differ |
 //! | `salvage <log> [--out FILE] [--resume] [--shards N]` | verify a possibly-torn log: keep the longest valid checksummed prefix, report the tear, optionally rewrite the salvaged prefix (`--out`) and/or resume it live to the horizon (`--resume`) |
 //! | `chaos <specs…> [--all DIR] [--shards N] [--out DIR]` | kill-matrix drill: for every crash point × epoch (or just the spec's `[[faults.crash]]` list when present), stream the run to the crash, salvage the torn file, resume it, and assert the recovery re-converges byte-for-byte on an uninterrupted reference run |
+//! | `metrics <logs…> [--shards N] [--out FILE]` | replay each committed log with the crowd detached and full instrumentation, merge the registries, and render the Prometheus exposition (to `--out`, linted, or stdout) |
+//!
+//! # Metrics (`--metrics FILE`)
+//!
+//! The golden mode plus the `record` and `chaos` subcommands accept
+//! `--metrics FILE`: the run is instrumented (clock-derived tier
+//! included), every scenario's registry is merged, and the merged
+//! Prometheus exposition is linted and written to `FILE`. Instrumentation
+//! is byte-inert — reports, traces, and run logs are bit-identical with
+//! and without `--metrics` (the built-in cross-mode check compares an
+//! instrumented run against an uninstrumented one on every `--metrics`
+//! invocation, so the inertness contract is verified each time).
 //!
 //! # Exit codes
 //!
@@ -57,6 +69,7 @@
 //! | `--checksum`     | off            | print only `name checksum` lines |
 //! | `--print`        | off            | print each canonical report to stdout |
 //! | `--trace`        | off            | print each adaptive trace to stdout |
+//! | `--metrics FILE` | off            | instrument every run, write the merged Prometheus exposition to `FILE` |
 //!
 //! Without `--bless`/`--check`/`--checksum`/`--print`, a one-line summary
 //! per scenario is printed. Every run additionally executes the spec under
@@ -75,7 +88,10 @@
 
 use craqr::core::{CrashPoint, ExecMode};
 use craqr::runlog::{diff_logs, parse_salvage, write_atomic, RunLog};
-use craqr::scenario::{replay, resume, scenario_files, ScenarioRunner, ScenarioSpec};
+use craqr::scenario::{
+    replay, replay_instrumented, resume, scenario_files, RunTelemetry, ScenarioRunner, ScenarioSpec,
+};
+use craqr::telemetry::lint_exposition;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -160,6 +176,38 @@ fn load_log(path: &Path) -> Result<RunLog, Failure> {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------------
+
+/// Folds one run's registry into the cross-scenario accumulator
+/// (registry merge is commutative, so aggregation order is irrelevant).
+fn absorb_metrics(acc: &mut Option<RunTelemetry>, run: Option<&RunTelemetry>) {
+    if let Some(run) = run {
+        match acc {
+            Some(a) => a.absorb(run),
+            None => *acc = Some(run.clone()),
+        }
+    }
+}
+
+/// Lints and atomically writes one Prometheus exposition to `path` —
+/// `--metrics` output is held to the same format bar CI enforces, at the
+/// moment it is produced.
+fn write_metrics(path: &Path, telemetry: Option<&RunTelemetry>) -> Result<(), String> {
+    let text = telemetry.map(RunTelemetry::render_prometheus).unwrap_or_default();
+    if let Err(errors) = lint_exposition(&text) {
+        let mut msg = format!("{}: exposition failed lint:", path.display());
+        for e in &errors {
+            msg.push_str(&format!("\n  {e}"));
+        }
+        return Err(msg);
+    }
+    write_atomic(path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("wrote metrics to {} ({} bytes, lint clean)", path.display(), text.len());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // record / replay / resume / diff subcommands
 // ---------------------------------------------------------------------------
 
@@ -168,6 +216,7 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
     let mut shards = None;
     let mut seed: Option<u64> = None;
     let mut out = PathBuf::from("runs");
+    let mut metrics: Option<PathBuf> = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -176,6 +225,7 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
             "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
             "--seed" => seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
             "--out" => out = PathBuf::from(value("--out")?),
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
             "--all" => {
                 let dir = PathBuf::from(value("--all")?);
                 files.extend(scenario_files(&dir).map_err(|e| e.to_string())?);
@@ -190,6 +240,7 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
         return Err("record: at least one spec file (or --all DIR) is required".into());
     }
     std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let mut registry: Option<RunTelemetry> = None;
     for file in &files {
         let runner = load_runner(file)?;
         let run_seed = seed.unwrap_or(runner.spec().seed);
@@ -199,8 +250,9 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
         // leaves a salvageable prefix, never a half-written file.
         let path = out.join(format!("{}.runlog.txt", runner.spec().name));
         let output = runner
-            .run_streamed(exec_of(shards), run_seed, &path)
+            .run_streamed_instrumented(exec_of(shards), run_seed, &path, metrics.is_some())
             .map_err(|e| format!("{}: {e}", file.display()))?;
+        absorb_metrics(&mut registry, output.telemetry.as_ref());
         let log = output.log.expect("run_streamed always returns a log");
         let text = log.canonical();
         // The checksum is already the canonical text's last line; reading
@@ -217,6 +269,58 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
             log.epochs.iter().map(|e| e.responses.len()).sum::<usize>(),
             text.len(),
         );
+    }
+    if let Some(path) = &metrics {
+        write_metrics(path, registry.as_ref())?;
+    }
+    Ok(())
+}
+
+/// `metrics <logs…> [--shards N] [--out FILE]` — detached-replay each
+/// committed log with full instrumentation, merge the registries, render
+/// the Prometheus exposition.
+fn cmd_metrics(argv: &[String]) -> Result<(), Failure> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut shards = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => {
+                let v = it.next().ok_or("flag --shards needs a value")?;
+                shards = Some(parse_shards(v)?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("flag --out needs a value")?;
+                out = Some(PathBuf::from(v));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'").into())
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("metrics: at least one .runlog.txt file is required".into());
+    }
+    let exec = exec_of(shards);
+    let mut registry: Option<RunTelemetry> = None;
+    for file in &files {
+        let log = load_log(file)?;
+        let output = replay_instrumented(&log, exec, true)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        eprintln!(
+            "replayed {} [{exec:?}] events-checksum {:#018x}",
+            output.report.name,
+            output.telemetry.as_ref().map_or(0, |t| t.section().events_checksum),
+        );
+        absorb_metrics(&mut registry, output.telemetry.as_ref());
+    }
+    match &out {
+        Some(path) => write_metrics(path, registry.as_ref())?,
+        None => {
+            print!("{}", registry.as_ref().map(RunTelemetry::render_prometheus).unwrap_or_default())
+        }
     }
     Ok(())
 }
@@ -418,6 +522,7 @@ fn chaos_one(
     file: &Path,
     shards: Option<usize>,
     out_dir: &Path,
+    registry: &mut Option<RunTelemetry>,
 ) -> Result<(usize, usize), Failure> {
     let runner = load_runner(file)?;
     let spec = runner.spec();
@@ -427,9 +532,18 @@ fn chaos_one(
     let epochs = spec.epochs;
 
     // The uninterrupted reference: every recovery below must land on
-    // exactly these checksums.
-    let reference =
-        runner.run_recorded(exec, seed).map_err(|e| format!("{}: {e}", file.display()))?;
+    // exactly these checksums. Under --metrics it is instrumented — the
+    // drill's exported registry describes the reference runs (recoveries
+    // must converge on them anyway).
+    let reference = if registry.is_some() {
+        let r = runner
+            .run_recorded_instrumented(exec, seed)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        absorb_metrics(registry, r.telemetry.as_ref());
+        r
+    } else {
+        runner.run_recorded(exec, seed).map_err(|e| format!("{}: {e}", file.display()))?
+    };
     let want_report = reference.report.checksum();
     let want_trace = reference.trace.as_ref().map(|t| t.checksum());
 
@@ -536,6 +650,7 @@ fn cmd_chaos(argv: &[String]) -> Result<(), Failure> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut shards = None;
     let mut out = PathBuf::from("runs/chaos");
+    let mut metrics: Option<PathBuf> = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -543,6 +658,7 @@ fn cmd_chaos(argv: &[String]) -> Result<(), Failure> {
         match flag.as_str() {
             "--shards" => shards = Some(parse_shards(&value("--shards")?)?),
             "--out" => out = PathBuf::from(value("--out")?),
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
             "--all" => {
                 let dir = PathBuf::from(value("--all")?);
                 files.extend(scenario_files(&dir).map_err(|e| e.to_string())?);
@@ -557,9 +673,12 @@ fn cmd_chaos(argv: &[String]) -> Result<(), Failure> {
         return Err("chaos: at least one spec file (or --all DIR) is required".into());
     }
     std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    // A pre-seeded (empty) accumulator doubles as the "instrument the
+    // reference runs" flag inside `chaos_one`.
+    let mut registry: Option<RunTelemetry> = metrics.as_ref().map(|_| RunTelemetry::new(true));
     let mut total_failures = 0usize;
     for file in &files {
-        let (kills, failures) = chaos_one(file, shards, &out)?;
+        let (kills, failures) = chaos_one(file, shards, &out, &mut registry)?;
         if failures == 0 {
             println!(
                 "chaos ok {}: {kills} kill(s), every salvage+resume re-converged on the \
@@ -568,6 +687,9 @@ fn cmd_chaos(argv: &[String]) -> Result<(), Failure> {
             );
         }
         total_failures += failures;
+    }
+    if let Some(path) = &metrics {
+        write_metrics(path, registry.as_ref())?;
     }
     if total_failures > 0 {
         return Err(format!(
@@ -593,6 +715,9 @@ struct Args {
     checksum: bool,
     print: bool,
     trace: bool,
+    /// `--metrics FILE`: instrument every run and write the merged
+    /// Prometheus exposition here.
+    metrics: Option<PathBuf>,
     /// `--all` was used, so the file list is a complete corpus and the
     /// golden directory can be swept for orphans.
     swept: bool,
@@ -609,6 +734,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         checksum: false,
         print: false,
         trace: false,
+        metrics: None,
         swept: false,
     };
     let mut it = argv.into_iter();
@@ -620,6 +746,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
                 args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
             }
             "--goldens" => args.goldens = PathBuf::from(value("--goldens")?),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
             "--all" => {
                 let dir = PathBuf::from(value("--all")?);
                 let found = scenario_files(&dir).map_err(|e| e.to_string())?;
@@ -800,6 +927,7 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
 
     let mut failures = 0usize;
     let mut known: BTreeSet<String> = BTreeSet::new();
+    let mut registry: Option<RunTelemetry> = None;
     for file in &args.files {
         let name = file.display();
         let runner = match load_runner(file) {
@@ -811,7 +939,18 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
             }
         };
         let seed = args.seed.unwrap_or(runner.spec().seed);
-        let output = match runner.run_full(exec, seed) {
+        // Under --metrics the primary run is instrumented while the
+        // cross-mode run below stays uninstrumented — so the byte-inertness
+        // contract (telemetry never perturbs a checksummed artifact) is
+        // re-verified by the existing equality check on every invocation.
+        let run = |exec| {
+            if args.metrics.is_some() {
+                runner.run_full_instrumented(exec, seed)
+            } else {
+                runner.run_full(exec, seed)
+            }
+        };
+        let output = match run(exec) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("error: {name}: {e}");
@@ -819,6 +958,7 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
                 continue;
             }
         };
+        absorb_metrics(&mut registry, output.telemetry.as_ref());
         // Verify the determinism contract against the other mode — except
         // under --checksum, whose whole purpose is an *external* comparison
         // (CI diffs a serial and a sharded invocation), so the built-in
@@ -925,6 +1065,13 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
         }
     }
 
+    if let Some(path) = &args.metrics {
+        if let Err(e) = write_metrics(path, registry.as_ref()) {
+            eprintln!("error: {e}");
+            failures += 1;
+        }
+    }
+
     if failures > 0 {
         eprintln!("{failures} scenario(s)/golden(s) failed");
         ExitCode::FAILURE
@@ -942,6 +1089,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&argv[1..]).map(|same| u8::from(!same)),
         Some("salvage") => cmd_salvage(&argv[1..]),
         Some("chaos") => cmd_chaos(&argv[1..]).map(|()| 0),
+        Some("metrics") => cmd_metrics(&argv[1..]).map(|()| 0),
         _ => return golden_mode(argv),
     };
     match result {

@@ -21,6 +21,10 @@
 //!   specs (including `[[shifts]]` regime changes and the `[adaptive]`
 //!   block), a deterministic runner, and canonical golden reports
 //!   (`scenarios/` + `tests/goldens/` + the `craqr-scenario` CLI).
+//! - [`telemetry`] — the two-tier metrics registry: deterministic
+//!   event-derived counters (checksummed into scenario reports) and
+//!   clock-derived timings (Prometheus export only), with an exposition
+//!   linter.
 //!
 //! ## Quickstart
 //!
@@ -86,6 +90,7 @@ pub use craqr_runlog as runlog;
 pub use craqr_scenario as scenario;
 pub use craqr_sensing as sensing;
 pub use craqr_stats as stats;
+pub use craqr_telemetry as telemetry;
 
 /// The names almost every CrAQR program needs.
 pub mod prelude {

@@ -45,6 +45,7 @@ fn corpus_has_the_committed_scenarios() {
         "hotspot_burst",
         "rain_sweep",
         "sparse_large_grid",
+        "telemetry_probe",
         "tenant_drift_pools",
         "tenant_starved_reject",
     ] {

@@ -5,7 +5,8 @@
 use craqr::scenario::{
     AdaptiveSpec, AttributeSpec, BudgetSpec, ChurnSpec, CrashSpec, CrowdFaultSpec, ErrorSpec,
     FaultsSpec, FieldSpec, GridSpec, MobilitySpec, PlacementSpec, PlannerSpec, PopulationSpec,
-    QuerySpec, RetrySpec, RunlogSpec, ScenarioSpec, ShiftSpec, SpecError, TenantSpec,
+    QuerySpec, RetrySpec, RunlogSpec, ScenarioSpec, ShiftSpec, SpecError, TelemetrySpec,
+    TenantSpec,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -524,6 +525,7 @@ fn arb_spec(rng: &mut StdRng) -> ScenarioSpec {
         adaptive,
         runlog: if rng.gen() { Some(RunlogSpec { record: rng.gen() }) } else { None },
         faults: if rng.gen() { arb_faults(rng, epochs) } else { None },
+        telemetry: if rng.gen() { Some(TelemetrySpec { report: rng.gen() }) } else { None },
     }
 }
 
