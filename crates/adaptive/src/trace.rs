@@ -110,6 +110,7 @@ pub struct AdaptiveTrace {
 /// Deterministic short float: four decimals is plenty for rates,
 /// innovations, and budgets, and keeps goldens reviewable.
 fn f4(x: f64) -> String {
+    // craqr-lint: allow(R5): fixed 4-decimal rendering is correctly rounded and byte-stable; the trace goldens bless this narrow format deliberately
     format!("{x:.4}")
 }
 

@@ -1,0 +1,464 @@
+//! A token-level lexer for Rust source, tuned for taint scanning.
+//!
+//! This is not a parser: it produces a flat token stream plus a separate
+//! comment list, which is exactly what the rule engine needs — rules match
+//! ident/punct shapes (`Instant :: now`, `name . iter (`) and comments
+//! carry the `// SAFETY:` and `// craqr-lint: allow(...)` annotations.
+//!
+//! What it must get right (and what the proptests in `tests/lexer_props.rs`
+//! hammer on) is *masking*: an identifier inside a string literal, char
+//! literal, or comment must never surface as a token, and a `//` inside a
+//! string must not eat the rest of the line. Handled forms:
+//!
+//! - line comments and *nested* block comments (`/* /* */ */`);
+//! - cooked strings with escapes (`"a \" b"`), byte strings (`b"..."`);
+//! - raw strings with arbitrary hash fences (`r#"..."#`, `br##"..."##`);
+//! - char literals vs lifetimes (`'a'` vs `&'a str`) and byte chars
+//!   (`b'x'`);
+//! - raw identifiers (`r#mod`), lexed to their unprefixed name.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are stripped to their name).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavour; `text` holds the *unquoted* content.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+    /// Any single non-alphanumeric character outside literals/comments.
+    Punct(char),
+}
+
+/// One lexeme with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Ident name, number text, or string content; empty for most puncts.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment (line or block) with the lines it spans.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Raw comment body, without the `//` / `/*` fences.
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus all comments encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { chars: src.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Invalid input never panics: the
+/// lexer is total and simply keeps going (an unterminated literal swallows
+/// the rest of the file, which is the conservative behaviour for a linter —
+/// nothing inside it can produce findings).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            cur.bump();
+            match cur.peek() {
+                Some('/') => {
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(n) = cur.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        text.push(n);
+                        cur.bump();
+                    }
+                    out.comments.push(Comment { text, line, end_line: line });
+                }
+                Some('*') => {
+                    cur.bump();
+                    let mut depth = 1u32;
+                    let mut text = String::new();
+                    while depth > 0 {
+                        match cur.bump() {
+                            Some('*') if cur.peek() == Some('/') => {
+                                cur.bump();
+                                depth -= 1;
+                                if depth > 0 {
+                                    text.push_str("*/");
+                                }
+                            }
+                            Some('/') if cur.peek() == Some('*') => {
+                                cur.bump();
+                                depth += 1;
+                                text.push_str("/*");
+                            }
+                            Some(n) => text.push(n),
+                            None => break,
+                        }
+                    }
+                    out.comments.push(Comment { text, line, end_line: cur.line });
+                }
+                _ => out.tokens.push(Token {
+                    kind: TokKind::Punct('/'),
+                    text: String::new(),
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            let text = cooked_string(&mut cur);
+            out.tokens.push(Token { kind: TokKind::Str, text, line, col });
+            continue;
+        }
+        if c == '\'' {
+            cur.bump();
+            lex_quote(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut name = String::new();
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    name.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            // String prefixes and raw identifiers.
+            match (name.as_str(), cur.peek()) {
+                ("r" | "b" | "br" | "rb", Some('"')) => {
+                    cur.bump();
+                    let text = if name.contains('r') && name != "b" {
+                        raw_string(&mut cur, 0)
+                    } else {
+                        cooked_string(&mut cur)
+                    };
+                    out.tokens.push(Token { kind: TokKind::Str, text, line, col });
+                    continue;
+                }
+                ("r" | "br" | "rb", Some('#')) => {
+                    // Either a raw string fence (r#"..."#) or a raw
+                    // identifier (r#match). Count hashes, then decide.
+                    let mut hashes = 0u32;
+                    while cur.peek() == Some('#') {
+                        hashes += 1;
+                        cur.bump();
+                    }
+                    if cur.peek() == Some('"') {
+                        cur.bump();
+                        let text = raw_string(&mut cur, hashes);
+                        out.tokens.push(Token { kind: TokKind::Str, text, line, col });
+                    } else if hashes == 1 && name == "r" {
+                        let mut raw = String::new();
+                        while let Some(n) = cur.peek() {
+                            if is_ident_continue(n) {
+                                raw.push(n);
+                                cur.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        out.tokens.push(Token { kind: TokKind::Ident, text: raw, line, col });
+                    } else {
+                        // Degenerate (`r##x`): emit what we have.
+                        out.tokens.push(Token { kind: TokKind::Ident, text: name, line, col });
+                    }
+                    continue;
+                }
+                ("b", Some('\'')) => {
+                    cur.bump();
+                    lex_quote(&mut cur, &mut out, line, col);
+                    continue;
+                }
+                _ => {}
+            }
+            out.tokens.push(Token { kind: TokKind::Ident, text: name, line, col });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let text = number(&mut cur);
+            out.tokens.push(Token { kind: TokKind::Num, text, line, col });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token { kind: TokKind::Punct(c), text: String::new(), line, col });
+    }
+    out
+}
+
+/// Consumes a cooked string body after the opening quote; returns content.
+fn cooked_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    text
+}
+
+/// Consumes a raw string body after the opening quote; the closer is a
+/// quote followed by `hashes` hash characters.
+fn raw_string(cur: &mut Cursor, hashes: u32) -> String {
+    let mut text = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // Tentatively match the hash fence.
+            let mut seen = 0u32;
+            while seen < hashes {
+                if cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                } else {
+                    // Not the closer: the quote and hashes are content.
+                    text.push('"');
+                    for _ in 0..seen {
+                        text.push('#');
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        text.push(c);
+    }
+    text
+}
+
+/// Disambiguates `'` into a char literal or a lifetime. Called with the
+/// quote already consumed.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: '\n', '\'', '\u{1F4A9}'.
+            cur.bump();
+            let mut text = String::from("\\");
+            if let Some(e) = cur.bump() {
+                text.push(e);
+                if e == 'u' && cur.peek() == Some('{') {
+                    while let Some(n) = cur.bump() {
+                        text.push(n);
+                        if n == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token { kind: TokKind::Char, text, line, col });
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char; 'a (no closing quote) is a lifetime.
+            let mut name = String::new();
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    name.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                out.tokens.push(Token { kind: TokKind::Char, text: name, line, col });
+            } else {
+                out.tokens.push(Token { kind: TokKind::Lifetime, text: name, line, col });
+            }
+        }
+        Some(_) => {
+            // Plain single char: '+', '☃'.
+            let mut text = String::new();
+            if let Some(n) = cur.bump() {
+                text.push(n);
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token { kind: TokKind::Char, text, line, col });
+        }
+        None => {
+            out.tokens.push(Token { kind: TokKind::Punct('\''), text: String::new(), line, col })
+        }
+    }
+}
+
+/// Consumes a numeric literal: integers, floats (`1.5`, `1e-3`, `1.5e+2`),
+/// radix prefixes, `_` separators, and type suffixes. `1..2` and `1.f()`
+/// must leave the dot untouched.
+fn number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut last = '\0';
+    while let Some(c) = cur.peek() {
+        let exp_sign =
+            (c == '+' || c == '-') && (last == 'e' || last == 'E') && !text.starts_with("0x");
+        if c.is_ascii_alphanumeric() || c == '_' || exp_sign {
+            text.push(c);
+            last = c;
+            cur.bump();
+        } else if c == '.' && !text.contains('.') && !text.starts_with("0x") {
+            // Peek past the dot without consuming: clone the iterator.
+            let mut ahead = cur.chars.clone();
+            ahead.next();
+            match ahead.next() {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push('.');
+                    last = '.';
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_mask_idents() {
+        assert_eq!(idents(r#"let x = "Instant::now() // not a comment";"#), ["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"quote " and hash # inside"#; done"###;
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* x /* y */ z */ b");
+        assert_eq!(l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("&'a str; let c = 'x'; let e = '\\n';");
+        let lifetimes: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        let chars: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 1);
+        assert_eq!(lifetimes[0].text, "a");
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn byte_char_and_byte_string() {
+        assert_eq!(
+            idents(r#"let b = b'x'; let s = b"bytes"; end"#),
+            ["let", "b", "let", "s", "end"]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let l = lex("fn r#match() {}");
+        assert!(l.tokens.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let l = lex("0..10; 1.max(2); 1.5e-3;");
+        let nums: Vec<_> =
+            l.tokens.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.as_str()).collect();
+        assert_eq!(nums, ["0", "10", "1", "2", "1.5e-3"]);
+        assert!(l.tokens.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  b");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn line_comment_inside_string_is_content() {
+        let l = lex("let url = \"https://example\"; after");
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+    }
+}

@@ -1,0 +1,191 @@
+//! `craqr-lint`: a determinism-taint static analyzer that proves the
+//! event/timing tier boundary at the source level.
+//!
+//! CrAQR's reproducibility contract — Serial == Sharded(n), byte-identical
+//! goldens, replayable run logs — holds only if every checksummed artifact
+//! is derived from run inputs alone. PR 8 split telemetry into
+//! [`Event` and `Timing` tiers](../craqr_telemetry/index.html), but that
+//! boundary was enforced by runtime tests, which catch a violation only
+//! after a nondeterministic value happens to land in a golden. This crate
+//! moves the boundary to the source level: a dependency-free static pass
+//! that runs on every PR, before any test.
+//!
+//! # Architecture
+//!
+//! - [`lexer`] — a token-level Rust lexer (string/char/comment-aware,
+//!   nested block comments, raw strings) in the same hand-rolled, in-crate
+//!   discipline as the scenario TOML parser and the Prometheus lint;
+//! - [`modgraph`] — resolves `mod` trees to files from each crate root,
+//!   yielding manifest-matchable module paths;
+//! - [`manifest`] — `lint.toml`: maps module prefixes to tiers
+//!   (`event` / `timing` / `neutral`), names checksum contributors, RNG
+//!   helpers, and W1 paths;
+//! - [`rules`] — the rule engine: R1–R6 deny-by-default, W1 advisory, A0
+//!   policing the escape hatch. `// craqr-lint: allow(<rule>): <why>`
+//!   suppresses one rule on one line and must carry a justification.
+//!
+//! # Rules
+//!
+//! | Rule | Tier scope | What it rejects |
+//! |------|-----------|------------------|
+//! | R1 | non-timing | `fast_monotonic_ns` / `thread_busy_ns` / `Instant::now` / `SystemTime` |
+//! | R2 | event | `HashMap`/`HashSet` iteration (hash order taint) |
+//! | R3 | all but RNG helpers | `thread_rng` / `from_entropy` / `OsRng` |
+//! | R4 | all | `unsafe` without a `// SAFETY:` comment |
+//! | R5 | checksum contributors | `{}`/`{:?}`/`{:.N}` float formatting off the shortest-roundtrip helper |
+//! | R6 | checksum contributors | imports of timing-tier modules |
+//! | W1 | `src/bin/` (warn) | `.unwrap()` / `.expect()` in CLIs |
+//! | A0 | all | malformed or stale `allow` directives |
+//!
+//! Run `craqr-lint --explain <rule>` for the worked example behind each
+//! row; the same text lives on [`rules::RULES`].
+
+pub mod lexer;
+pub mod manifest;
+pub mod modgraph;
+pub mod rules;
+
+use manifest::{module_matches, Manifest};
+use rules::{FileClass, Finding, Level, ModuleCtx, Tier};
+use std::path::Path;
+
+/// Classifies one module file against the manifest.
+pub fn classify(manifest: &Manifest, module: &str, file_path: &str) -> FileClass {
+    let tier = if manifest.timing.iter().any(|p| module_matches(module, p)) {
+        Tier::Timing
+    } else if manifest.neutral.iter().any(|p| module_matches(module, p)) {
+        Tier::Neutral
+    } else {
+        Tier::Event
+    };
+    FileClass {
+        tier,
+        contributor: manifest.contributors.iter().any(|p| module_matches(module, p)),
+        rng_helper: manifest.rng_helpers.iter().any(|p| module_matches(module, p)),
+        warn_unwrap: manifest.warn_unwrap.iter().any(|p| file_path.starts_with(p.as_str())),
+    }
+}
+
+/// Lints every module file reachable from the manifest's crate and bin
+/// roots. Returned findings are sorted by (file, line, col, rule).
+/// Out-of-line `#[cfg(test)] mod` files are exempt, matching the inline
+/// exemption.
+pub fn lint_workspace(root: &Path, manifest: &Manifest) -> Result<Vec<Finding>, String> {
+    let known_crates: Vec<String> = manifest.crates.iter().map(|(n, _)| n.clone()).collect();
+    let mut findings = Vec::new();
+    let roots = manifest.crates.iter().chain(manifest.bins.iter());
+    for (crate_name, root_rel) in roots {
+        let files = modgraph::walk_crate(crate_name, root, Path::new(root_rel))?;
+        for file in &files {
+            if file.test_only {
+                continue;
+            }
+            let rel = file.path.to_string_lossy().replace('\\', "/");
+            let class = classify(manifest, &file.module, &rel);
+            let src = std::fs::read_to_string(root.join(&file.path))
+                .map_err(|e| format!("{rel}: cannot read: {e}"))?;
+            let ctx = ModuleCtx {
+                crate_name,
+                module: &file.module,
+                timing: &manifest.timing,
+                known_crates: &known_crates,
+            };
+            findings.extend(rules::lint_file(&rel, &src, &class, &ctx));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Renders findings as a JSON array (machine-readable `--format=json`).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"level\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            f.rule,
+            match f.level {
+                Level::Error => "error",
+                Level::Warn => "warning",
+            },
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Manifest {
+        manifest::parse(
+            r#"
+[crates]
+craqr-core = "crates/core/src/lib.rs"
+[tiers]
+timing = ["craqr-core::exec"]
+neutral = ["craqr-analyzer"]
+[checksum]
+contributors = ["craqr-runlog::codec"]
+[rng]
+helpers = ["craqr-stats::rng"]
+[warn]
+unwrap = ["src/bin"]
+"#,
+        )
+        .expect("manifest parses")
+    }
+
+    #[test]
+    fn classify_tiers() {
+        let m = manifest();
+        assert_eq!(classify(&m, "craqr-core::exec", "crates/core/src/exec.rs").tier, Tier::Timing);
+        assert_eq!(
+            classify(&m, "craqr-core::server", "crates/core/src/server.rs").tier,
+            Tier::Event
+        );
+        assert!(classify(&m, "craqr-runlog::codec", "crates/runlog/src/codec.rs").contributor);
+        assert!(classify(&m, "craqr-stats::rng", "crates/stats/src/rng.rs").rng_helper);
+        assert!(classify(&m, "craqr-x", "src/bin/craqr-run.rs").warn_unwrap);
+    }
+
+    #[test]
+    fn json_render_escapes() {
+        let f = Finding {
+            file: "a \"b\".rs".into(),
+            line: 3,
+            col: 7,
+            rule: "R1",
+            level: Level::Error,
+            message: "line1\nline2".into(),
+        };
+        let json = render_json(&[f]);
+        assert!(json.contains(r#""file":"a \"b\".rs""#), "{json}");
+        assert!(json.contains(r#"line1\nline2"#), "{json}");
+    }
+}

@@ -1,0 +1,126 @@
+//! `craqr-lint` — run the determinism-taint rules over the workspace.
+//!
+//! ```text
+//! craqr-lint [--root DIR] [--manifest PATH] [--deny] [--format text|json]
+//! craqr-lint --explain <rule>
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (errors; warnings too under `--deny`),
+//! 2 usage/config error. Diagnostics go to stdout as
+//! `file:line:col: level[rule]: message`; the summary line goes to stderr
+//! so `--format=json` output stays parseable.
+
+use craqr_analyzer::rules::{rule_info, Level, RULES};
+use craqr_analyzer::{lint_workspace, manifest, render_json};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes a line to stdout, swallowing `EPIPE` so `craqr-lint ... | head`
+/// exits cleanly instead of panicking when the reader closes early.
+fn out(text: std::fmt::Arguments) {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = writeln!(stdout, "{text}") {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("craqr-lint: error: cannot write to stdout: {e}");
+        std::process::exit(2);
+    }
+}
+
+struct Args {
+    root: PathBuf,
+    manifest: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    explain: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: PathBuf::from("."), manifest: None, deny: false, json: false, explain: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--manifest" => {
+                args.manifest = Some(PathBuf::from(it.next().ok_or("--manifest needs a path")?));
+            }
+            "--deny" => args.deny = true,
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            other if other.starts_with("--format=") => match &other["--format=".len()..] {
+                "text" => args.json = false,
+                "json" => args.json = true,
+                bad => return Err(format!("--format expects text|json, got '{bad}'")),
+            },
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id (e.g. R2)")?);
+            }
+            "--help" | "-h" => {
+                out(format_args!(
+                    "craqr-lint [--root DIR] [--manifest PATH] [--deny] [--format text|json]\n\
+                     craqr-lint --explain <rule>\n\nRules:"
+                ));
+                for r in RULES {
+                    out(format_args!("  {:3} {}", r.id, r.title));
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<u8, String> {
+    let args = parse_args()?;
+    if let Some(id) = &args.explain {
+        let Some(rule) = rule_info(id) else {
+            return Err(format!(
+                "unknown rule '{id}'; known: {}",
+                RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            ));
+        };
+        out(format_args!("{}: {}\n\n{}", rule.id, rule.title, rule.explain));
+        return Ok(0);
+    }
+    let manifest_path = args.manifest.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("{}: cannot read manifest: {e}", manifest_path.display()))?;
+    let manifest =
+        manifest::parse(&text).map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    let findings = lint_workspace(&args.root, &manifest)?;
+
+    let errors = findings.iter().filter(|f| f.level == Level::Error).count();
+    let warnings = findings.len() - errors;
+    if args.json {
+        out(format_args!("{}", render_json(&findings)));
+    } else {
+        for f in &findings {
+            out(format_args!("{f}"));
+        }
+    }
+    eprintln!(
+        "craqr-lint: {errors} error(s), {warnings} warning(s){}",
+        if args.deny && warnings > 0 { " [--deny: warnings are fatal]" } else { "" }
+    );
+    let fatal = errors > 0 || (args.deny && warnings > 0);
+    Ok(u8::from(fatal))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("craqr-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

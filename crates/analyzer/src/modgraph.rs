@@ -1,0 +1,240 @@
+//! Module-graph walker: resolves `mod name;` declarations to files,
+//! breadth-first from each crate root, producing the module path
+//! (`craqr-core::plan::fabricator`) that the manifest's tier prefixes
+//! match against.
+//!
+//! Resolution follows rustc's non-`#[path]` rules:
+//!
+//! - a root file (`lib.rs`, `main.rs`, any `src/bin/*.rs`) or a `mod.rs`
+//!   looks for children in its own directory;
+//! - any other file `foo.rs` looks for children in `foo/`;
+//! - `mod name;` resolves to `<dir>/name.rs` or `<dir>/name/mod.rs`
+//!   (ambiguity — both present — is an error, as in rustc).
+//!
+//! Inline `mod name { ... }` bodies are already part of the parent file
+//! and need no resolution. `#[cfg(test)] mod name;` out-of-line test
+//! modules are walked too but tagged, so the rule engine can exempt them
+//! the same way it exempts inline `#[cfg(test)]` spans.
+
+use crate::lexer::{lex, Lexed, TokKind};
+use std::path::{Path, PathBuf};
+
+/// One source file reachable from a crate root.
+#[derive(Debug, Clone)]
+pub struct ModuleFile {
+    /// Module path, e.g. `craqr-core::plan::fabricator`.
+    pub module: String,
+    /// Path on disk, relative to the analysis root.
+    pub path: PathBuf,
+    /// True when the file was reached through a `#[cfg(test)] mod`.
+    pub test_only: bool,
+}
+
+/// Walks the module tree of one crate. `root_rel` is the crate root file
+/// relative to `root_dir`; returned paths are relative to `root_dir` too.
+pub fn walk_crate(
+    crate_name: &str,
+    root_dir: &Path,
+    root_rel: &Path,
+) -> Result<Vec<ModuleFile>, String> {
+    let mut out = Vec::new();
+    let mut queue = vec![ModuleFile {
+        module: crate_name.to_string(),
+        path: root_rel.to_path_buf(),
+        test_only: false,
+    }];
+    while let Some(file) = queue.pop() {
+        let abs = root_dir.join(&file.path);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("{}: cannot read: {e}", file.path.display()))?;
+        let lexed = lex(&src);
+        for decl in mod_decls(&lexed) {
+            let base = child_base_dir(&file.path);
+            let as_file = base.join(format!("{}.rs", decl.name));
+            let as_dir = base.join(&decl.name).join("mod.rs");
+            let file_exists = root_dir.join(&as_file).is_file();
+            let dir_exists = root_dir.join(&as_dir).is_file();
+            let child_path = match (file_exists, dir_exists) {
+                (true, true) => {
+                    return Err(format!(
+                        "{}: mod {} is ambiguous: both {} and {} exist",
+                        file.path.display(),
+                        decl.name,
+                        as_file.display(),
+                        as_dir.display()
+                    ))
+                }
+                (true, false) => as_file,
+                (false, true) => as_dir,
+                (false, false) => {
+                    return Err(format!(
+                        "{}: mod {} does not resolve: neither {} nor {} exists",
+                        file.path.display(),
+                        decl.name,
+                        as_file.display(),
+                        as_dir.display()
+                    ))
+                }
+            };
+            queue.push(ModuleFile {
+                module: format!("{}::{}", file.module, decl.name),
+                path: child_path,
+                test_only: file.test_only || decl.cfg_test,
+            });
+        }
+        out.push(file);
+    }
+    out.sort_by(|a, b| a.module.cmp(&b.module));
+    Ok(out)
+}
+
+/// The directory a file's `mod` children resolve in.
+fn child_base_dir(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    let is_root = name == "lib.rs"
+        || name == "main.rs"
+        || name == "mod.rs"
+        || dir.file_name().and_then(|n| n.to_str()) == Some("bin");
+    if is_root {
+        dir
+    } else {
+        dir.join(name.trim_end_matches(".rs"))
+    }
+}
+
+struct ModDecl {
+    name: String,
+    cfg_test: bool,
+}
+
+/// Finds out-of-line `mod name;` declarations in a token stream, noting
+/// whether a `#[cfg(test)]` attribute directly precedes one.
+fn mod_decls(lexed: &Lexed) -> Vec<ModDecl> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("mod")
+            && i + 2 <= toks.len().saturating_sub(1)
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].is_punct(';')
+        {
+            // Walk back over attributes and visibility to see whether any
+            // attribute is `#[cfg(test)]`.
+            out.push(ModDecl {
+                name: toks[i + 1].text.clone(),
+                cfg_test: cfg_test_before(toks, i),
+            });
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the item starting at token `at` is preceded by a
+/// `#[cfg(test)]` attribute (scanning back over visibility modifiers and
+/// other attributes).
+pub(crate) fn cfg_test_before(toks: &[crate::lexer::Token], at: usize) -> bool {
+    let mut j = at;
+    loop {
+        // Skip visibility: `pub` or `pub(...)` directly before.
+        if j >= 1 && toks[j - 1].is_punct(')') {
+            // Possible `pub(crate)`: find matching '(' then check `pub`.
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(')') {
+                    depth += 1;
+                } else if toks[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_ident("pub") {
+                j = k - 1;
+                continue;
+            }
+            return false;
+        }
+        if j >= 1 && toks[j - 1].is_ident("pub") {
+            j -= 1;
+            continue;
+        }
+        // An attribute ends with ']' directly before the item.
+        if j >= 1 && toks[j - 1].is_punct(']') {
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(']') {
+                    depth += 1;
+                } else if toks[k].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_punct('#') {
+                // Attribute tokens are toks[k+1 .. j-1].
+                let body: Vec<&str> = toks[k + 1..j - 1]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect();
+                if body.len() >= 2 && body[0] == "cfg" && body.contains(&"test") {
+                    return true;
+                }
+                j = k - 1;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_plain_and_test_mods() {
+        let l =
+            lex("mod alpha;\npub mod beta;\n#[cfg(test)]\nmod tests;\nmod inline { fn f() {} }\n");
+        let decls = mod_decls(&l);
+        let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "tests"]);
+        assert!(!decls[0].cfg_test);
+        assert!(!decls[1].cfg_test);
+        assert!(decls[2].cfg_test);
+    }
+
+    #[test]
+    fn pub_crate_mod_with_attrs() {
+        let l = lex("#[allow(dead_code)]\n#[cfg(test)]\npub(crate) mod helpers;\n");
+        let decls = mod_decls(&l);
+        assert_eq!(decls.len(), 1);
+        assert!(decls[0].cfg_test);
+    }
+
+    #[test]
+    fn base_dirs() {
+        assert_eq!(child_base_dir(Path::new("src/lib.rs")), Path::new("src"));
+        assert_eq!(child_base_dir(Path::new("src/bin/tool.rs")), Path::new("src/bin"));
+        assert_eq!(child_base_dir(Path::new("src/plan/mod.rs")), Path::new("src/plan"));
+        assert_eq!(child_base_dir(Path::new("src/plan.rs")), Path::new("src/plan"));
+    }
+}

@@ -1,0 +1,1111 @@
+//! The determinism-taint rules, run per file over the token stream.
+//!
+//! Every rule is a shape match on tokens — deliberately not type-aware.
+//! The trade-off is documented per rule: a token-level scan can be fooled
+//! by aliasing (`type Shares = HashMap<...>`) and by shadowed names, so
+//! the rules err on the side of flagging, and the `// craqr-lint:
+//! allow(<rule>): <justification>` escape hatch (which *requires* a
+//! justification) handles the verified-safe sites. Inline `#[cfg(test)]
+//! mod` bodies are exempt: tests may time, hash and panic freely.
+
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::manifest::module_matches;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Determinism tier of a module, assigned by the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Derived purely from run inputs; may feed checksummed artifacts.
+    /// The default — and strictest — classification.
+    Event,
+    /// Reads clocks; may never feed a checksummed artifact.
+    Timing,
+    /// Tooling that neither feeds artifacts nor runs during acquisition.
+    Neutral,
+}
+
+/// Per-file classification derived from the manifest.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    pub tier: Tier,
+    /// Module feeds checksummed artifacts (enables R5/R6).
+    pub contributor: bool,
+    /// Module is a sanctioned seeded-RNG helper (disables R3).
+    pub rng_helper: bool,
+    /// File path is under a `[warn] unwrap` prefix (enables W1).
+    pub warn_unwrap: bool,
+}
+
+/// Cross-file context a single-file scan needs: who am I, and which
+/// module prefixes are timing-tier (for R6 import resolution).
+#[derive(Debug, Clone)]
+pub struct ModuleCtx<'a> {
+    /// Crate name with dashes, e.g. `craqr-core`.
+    pub crate_name: &'a str,
+    /// Full module path, e.g. `craqr-core::plan::fabricator`.
+    pub module: &'a str,
+    /// Timing-tier module prefixes from the manifest.
+    pub timing: &'a [String],
+    /// All workspace crate names (dashed), for `craqr_core::` resolution.
+    pub known_crates: &'a [String],
+}
+
+/// Severity of a finding. `Error` fails the lint; `Warn` fails only
+/// under `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    Error,
+    Warn,
+}
+
+/// One diagnostic, addressable as `file:line:col`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub level: Level,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.level {
+            Level::Error => "error",
+            Level::Warn => "warning",
+        };
+        write!(
+            f,
+            "{}:{}:{}: {level}[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Static description of one rule, backing `--explain`.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub explain: &'static str,
+}
+
+/// The launch ruleset. R1–R6 are deny-by-default; W1 is advisory; A0
+/// polices the escape hatch itself.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "R1",
+        title: "clock taint: wall/monotonic clocks only in timing-tier modules",
+        explain: "\
+Clock reads (`fast_monotonic_ns`, `thread_busy_ns`, `Instant::now`,
+`SystemTime`) are callable only from modules the manifest lists under
+[tiers] timing. Event-tier modules produce values that join checksummed
+artifacts, and a clock read anywhere in that dataflow breaks Serial ==
+Sharded(n) byte-identity.
+
+    // event-tier module
+    let t0 = Instant::now();          // error[R1]
+    let ns = fast_monotonic_ns();     // error[R1]
+
+Fix: move the measurement into a timing-tier module and hand the value
+to the event tier as data (the engine takes its clock as an injected
+`fn() -> u64` for exactly this reason), or — for a site that provably
+never reaches a canonical rendering — annotate:
+
+    // craqr-lint: allow(R1): busy_ns is excluded from report bodies
+    let started = thread_busy_ns();",
+    },
+    RuleInfo {
+        id: "R2",
+        title: "hash-order taint: no HashMap/HashSet iteration in event-tier modules",
+        explain: "\
+std's HashMap/HashSet iterate in RandomState order, which differs per
+process. In an event-tier module, any `.iter()`, `.keys()`, `.values()`,
+`.drain()`, `into_iter`, or `for _ in &map` over a hash container is
+flagged — even when the *result* looks order-independent, because float
+accumulation (`+=` over values) is not associative and silently bakes
+hash order into a checksummed number.
+
+    let mut rates = HashMap::new();
+    for plan in rates.values() {      // error[R2]
+        total += plan.rate;           //   float sum order = hash order
+    }
+
+Fix: iterate a sorted key Vec (`let mut ks: Vec<_> = map.keys()...;
+ks.sort()`), use a BTreeMap, or annotate a verified-order-independent
+site:
+
+    // craqr-lint: allow(R2): counts usize lengths; integer sum is
+    // order-independent
+    let n: usize = self.cells.values().map(HashMap::len).sum();
+
+Lookups (`get`, `entry`, `contains_key`, `remove`, `retain`) are not
+iteration-ordered outputs and are not flagged.",
+    },
+    RuleInfo {
+        id: "R3",
+        title: "RNG hygiene: no unseeded RNG construction outside the seeded helpers",
+        explain: "\
+`thread_rng()`, `from_entropy()`, and `OsRng` pull operating-system
+entropy, which no seed can replay. All randomness must flow from the run
+seed through the helpers in `craqr-stats::rng` (`seeded_rng`,
+`sub_rng`), which derive disjoint SplitMix64 sub-streams per component.
+
+    let mut rng = thread_rng();                 // error[R3]
+
+Fix:
+
+    let mut rng = craqr_stats::sub_rng(master_seed, \"fabricator\");",
+    },
+    RuleInfo {
+        id: "R4",
+        title: "unsafe hygiene: every `unsafe` carries a `// SAFETY:` comment",
+        explain: "\
+Each `unsafe` must be directly preceded (or trailed on the same line) by
+a comment containing `SAFETY:` stating the invariant that makes it
+sound. The live cases are the vDSO clock readers in
+`crates/core/src/exec.rs`.
+
+    unsafe { syscall() }              // error[R4]
+
+Fix:
+
+    // SAFETY: clock_gettime with a valid clock id and an out-pointer to
+    // a properly sized, writable timespec cannot fault.
+    unsafe { syscall() }",
+    },
+    RuleInfo {
+        id: "R5",
+        title: "float-format taint: canonical renders route floats through format_float",
+        explain: "\
+In checksum-contributor modules ([checksum] contributors), formatting a
+float with `{}`/`{:?}` or an explicit precision (`{:.3}`, `{:e}`) is
+flagged. Canonical artifacts must use
+`craqr_stats::text::format_float`, the shortest-roundtrip renderer whose
+output is byte-stable and re-parses exactly.
+
+    writeln!(out, \"rate = {rate}\")?;          // error[R5] (rate: f64)
+    writeln!(out, \"p95 = {:.3}\", p95)?;       // error[R5]
+
+Fix:
+
+    writeln!(out, \"rate = {}\", format_float(rate))?;
+
+Integer and hex formatting (`{:#018x}` checksums) is untouched. The scan
+is heuristic: it knows local `: f64` ascriptions, not inferred types, so
+it can miss a float behind an alias — the fixture corpus and golden
+byte-inertness tests backstop it.",
+    },
+    RuleInfo {
+        id: "R6",
+        title: "checksum-input audit: contributors may not import timing-tier modules",
+        explain: "\
+A module listed under [checksum] contributors may not `use` (or name via
+a qualified path) any module classified timing-tier. This makes the
+tier boundary structural: even a lazily-used import is rejected, so a
+clock value cannot reach a canonical renderer without a diff in
+lint.toml.
+
+    // in craqr-runlog::codec (a contributor)
+    use craqr_core::exec::thread_busy_ns;       // error[R6]
+
+Fix: take the value as a parameter from the caller, or move the render
+out of the contributor set (which makes it ineligible for checksums).",
+    },
+    RuleInfo {
+        id: "W1",
+        title: "advisory: `.unwrap()`/`.expect()` in CLI binaries",
+        explain: "\
+Warn-only count of `.unwrap()`/`.expect()` under [warn] unwrap paths
+(the `src/bin/` CLIs). User-reachable failures (bad paths, malformed
+specs) must flow through the distinguished-exit-code error path
+(`Failure { code, message }` in craqr-scenario); `.expect()` is reserved
+for internal invariants whose message says why it cannot fire. W1 keeps
+the count visible in review so new panics do not creep in.",
+    },
+    RuleInfo {
+        id: "A0",
+        title: "allow hygiene: escape hatches must parse and carry a justification",
+        explain: "\
+`// craqr-lint: allow(<rule>): <justification>` suppresses exactly one
+rule on the next (or same) source line. A0 rejects malformed directives:
+unknown rule IDs, missing `:` separator, or an empty justification. An
+allow that matches no finding is reported as a warning so stale
+annotations are cleaned up rather than accumulating.",
+    },
+];
+
+/// Looks up a rule by ID.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+const CLOCK_FNS: &[&str] = &["fast_monotonic_ns", "thread_busy_ns"];
+const RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+const FMT_MACROS: &[&str] =
+    &["format", "format_args", "write", "writeln", "print", "println", "eprint", "eprintln"];
+
+/// Lints one file. `display_path` is used verbatim in diagnostics.
+pub fn lint_file(
+    display_path: &str,
+    source: &str,
+    class: &FileClass,
+    ctx: &ModuleCtx<'_>,
+) -> Vec<Finding> {
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+
+    let test_spans = test_mod_spans(&lexed);
+    let in_test = |line: u32| test_spans.iter().any(|&(a, b)| line >= a && line <= b);
+    let use_spans = use_decl_spans(toks);
+    let in_use = |i: usize| use_spans.iter().any(|&(a, b)| i >= a && i <= b);
+
+    let token_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    let (allows, mut findings) = parse_allows(display_path, &lexed.comments, &token_lines);
+
+    let mut push = |line: u32, col: u32, rule: &'static str, level: Level, message: String| {
+        findings.push(Finding { file: display_path.to_string(), line, col, rule, level, message });
+    };
+
+    // ---- R1: clock taint ------------------------------------------------
+    if class.tier != Tier::Timing {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if CLOCK_FNS.contains(&t.text.as_str()) && !in_use(i) {
+                push(
+                    t.line,
+                    t.col,
+                    "R1",
+                    Level::Error,
+                    format!(
+                        "clock `{}` referenced outside a timing-tier module; move the \
+                         measurement behind the tier boundary or justify with an allow",
+                        t.text
+                    ),
+                );
+            } else if t.text == "Instant"
+                && path_sep(toks, i + 1)
+                && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+            {
+                push(
+                    t.line,
+                    t.col,
+                    "R1",
+                    Level::Error,
+                    "`Instant::now()` outside a timing-tier module".to_string(),
+                );
+            } else if t.text == "SystemTime" && !in_use(i) {
+                push(
+                    t.line,
+                    t.col,
+                    "R1",
+                    Level::Error,
+                    "`SystemTime` outside a timing-tier module".to_string(),
+                );
+            }
+        }
+    }
+
+    // ---- R2: hash-order taint -------------------------------------------
+    if class.tier == Tier::Event {
+        let hash_names = hash_container_names(toks);
+        for (i, t) in toks.iter().enumerate() {
+            // `name.iter()` / `self.name.keys()` — the receiver token. A
+            // dotted receiver must be a `self` field: `other.name` is a
+            // different struct's field that happens to share the name.
+            let own_receiver = i < 2 || !toks[i - 1].is_punct('.') || toks[i - 2].is_ident("self");
+            if t.kind == TokKind::Ident
+                && hash_names.contains(&t.text)
+                && own_receiver
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && toks.get(i + 2).is_some_and(|n| {
+                    n.kind == TokKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+                })
+                && toks.get(i + 3).is_some_and(|n| n.is_punct('('))
+            {
+                push(
+                    t.line,
+                    t.col,
+                    "R2",
+                    Level::Error,
+                    format!(
+                        "`{}.{}()` iterates a hash container in an event-tier module; \
+                         hash order is nondeterministic — sort keys or use a BTreeMap",
+                        t.text,
+                        toks[i + 2].text
+                    ),
+                );
+            }
+            // `for pat in [&[mut]] [self.]name {`
+            if t.is_ident("for") {
+                if let Some((name_tok, _)) = for_loop_hash_source(toks, i, &hash_names) {
+                    push(
+                        name_tok.line,
+                        name_tok.col,
+                        "R2",
+                        Level::Error,
+                        format!(
+                            "`for _ in {}` iterates a hash container in an event-tier \
+                             module; hash order is nondeterministic — sort keys or use a \
+                             BTreeMap",
+                            name_tok.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- R3: RNG hygiene ------------------------------------------------
+    if !class.rng_helper && class.tier != Tier::Neutral {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident && RNG_IDENTS.contains(&t.text.as_str()) && !in_use(i) {
+                push(
+                    t.line,
+                    t.col,
+                    "R3",
+                    Level::Error,
+                    format!(
+                        "unseeded RNG `{}`; all randomness must derive from the run seed \
+                         via craqr_stats::rng (seeded_rng / sub_rng)",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- R4: unsafe hygiene ---------------------------------------------
+    // A SAFETY comment may wrap across several `//` lines; coverage is
+    // judged on contiguous comment runs.
+    let comment_runs = merge_comment_runs(&lexed.comments);
+    for t in toks.iter() {
+        if t.is_ident("unsafe") {
+            let covered = comment_runs.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.line <= t.line && c.end_line + 1 >= t.line
+            });
+            if !covered {
+                push(
+                    t.line,
+                    t.col,
+                    "R4",
+                    Level::Error,
+                    "`unsafe` without a directly preceding `// SAFETY:` comment".to_string(),
+                );
+            }
+        }
+    }
+
+    // ---- R5: float-format taint -----------------------------------------
+    if class.contributor {
+        let f64_names = f64_ascribed_names(toks);
+        scan_format_macros(toks, &f64_names, &mut push);
+    }
+
+    // ---- R6: checksum-input audit ---------------------------------------
+    if class.contributor {
+        scan_timing_imports(toks, &use_spans, ctx, &mut push);
+    }
+
+    // ---- W1: advisory unwrap count in CLIs ------------------------------
+    if class.warn_unwrap {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                push(
+                    t.line,
+                    t.col,
+                    "W1",
+                    Level::Warn,
+                    format!(
+                        "`.{}()` in a CLI binary; user-reachable failures must use the \
+                         distinguished-exit-code error path",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    apply_allows(display_path, findings, allows, &in_test)
+}
+
+/// True when `toks[i]` and `toks[i+1]` form `::`.
+fn path_sep(toks: &[Token], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(':')) && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Line spans (inclusive) of inline `#[cfg(test)] mod name { ... }` items.
+fn test_mod_spans(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("mod")
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+            && crate::modgraph::cfg_test_before(toks, i)
+        {
+            let start = toks[i].line;
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut end = start;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = toks[j].line;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if depth != 0 {
+                end = toks.last().map(|t| t.line).unwrap_or(start);
+            }
+            spans.push((start, end));
+            i = j;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Token index spans (inclusive) of `use ...;` declarations.
+fn use_decl_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let start = i;
+            while i < toks.len() && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            spans.push((start, i));
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Names bound to HashMap/HashSet in this file: `name: [&mut] HashMap<..>`
+/// ascriptions (params, fields) and `name = HashMap::new()/with_capacity/
+/// default/from` bindings, with qualified paths (`std::collections::
+/// HashMap`) handled. File-local by design; `type` aliases that launder a
+/// hash container through another name defeat the scan and are documented
+/// as a known limitation.
+fn hash_container_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over `seg::` path prefixes to the head of the path.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        // Ascription: `name : [& [mut]] <path>`.
+        let mut k = j - 1;
+        while k > 0 && (toks[k].is_punct('&') || toks[k].is_ident("mut")) {
+            k -= 1;
+        }
+        if toks[k].is_punct(':')
+            && k >= 1
+            && !toks[k - 1].is_punct(':')
+            && toks[k - 1].kind == TokKind::Ident
+        {
+            names.insert(toks[k - 1].text.clone());
+            continue;
+        }
+        // Binding: `name = <path>::ctor(`.
+        let is_ctor = path_sep(toks, i + 1)
+            && toks.get(i + 3).is_some_and(|n| {
+                matches!(n.text.as_str(), "new" | "with_capacity" | "default" | "from")
+            });
+        if is_ctor && toks[j - 1].is_punct('=') && j >= 2 && toks[j - 2].kind == TokKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// For a `for` keyword at index `i`, returns the source token when the
+/// loop iterates `[&[mut]] [self.]name` and `name` is a hash container.
+fn for_loop_hash_source<'a>(
+    toks: &'a [Token],
+    i: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<(&'a Token, usize)> {
+    // Find the `in` at pattern depth 0.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('{') => return None, // loop body before `in`: not a for-in
+            TokKind::Ident if depth == 0 && toks[j].text == "in" => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    // Iterated expression: strip `&`, `mut`, `self.`.
+    let mut k = j + 1;
+    while k < toks.len() && (toks[k].is_punct('&') || toks[k].is_ident("mut")) {
+        k += 1;
+    }
+    if toks.get(k).is_some_and(|t| t.is_ident("self"))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+    {
+        k += 2;
+    }
+    let name = toks.get(k)?;
+    if name.kind == TokKind::Ident
+        && hash_names.contains(&name.text)
+        && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
+    {
+        return Some((name, k));
+    }
+    None
+}
+
+/// Names ascribed `: f64` (params, fields, lets) in this file.
+fn f64_ascribed_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("f64") || i < 2 {
+            continue;
+        }
+        let mut k = i - 1;
+        while k > 0 && (toks[k].is_punct('&') || toks[k].is_ident("mut")) {
+            k -= 1;
+        }
+        if toks[k].is_punct(':') && !toks[k - 1].is_punct(':') && toks[k - 1].kind == TokKind::Ident
+        {
+            names.insert(toks[k - 1].text.clone());
+        }
+    }
+    names
+}
+
+/// One `{...}` placeholder in a format string.
+struct Placeholder {
+    /// Named arg (`{rate}`), positional index (`{0}`), or auto (`{}`).
+    arg: String,
+    /// Format spec after `:` (empty when absent).
+    spec: String,
+}
+
+fn parse_placeholders(s: &str) -> Vec<Placeholder> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+            }
+            '{' => {
+                let mut inner = String::new();
+                for n in chars.by_ref() {
+                    if n == '}' {
+                        break;
+                    }
+                    inner.push(n);
+                }
+                let (arg, spec) = match inner.split_once(':') {
+                    Some((a, s)) => (a.to_string(), s.to_string()),
+                    None => (inner, String::new()),
+                };
+                out.push(Placeholder { arg, spec });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Scans `format!`-family macro calls for R5 violations.
+fn scan_format_macros(
+    toks: &[Token],
+    f64_names: &BTreeSet<String>,
+    push: &mut impl FnMut(u32, u32, &'static str, Level, String),
+) {
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !FMT_MACROS.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            i += 1;
+            continue;
+        }
+        let Some((open, close)) = macro_delims(toks, i + 2) else {
+            i += 1;
+            continue;
+        };
+        let args = split_args(toks, open + 1, close);
+        let fmt_index = usize::from(matches!(t.text.as_str(), "write" | "writeln"));
+        let fmt_tok = args
+            .get(fmt_index)
+            .and_then(|&(a, b)| (b == a + 1 && toks[a].kind == TokKind::Str).then(|| &toks[a]));
+        if let Some(fmt_tok) = fmt_tok {
+            let value_args = &args[fmt_index + 1..];
+            let mut auto = 0usize;
+            for p in parse_placeholders(&fmt_tok.text) {
+                let lossy = p.spec.contains('.') || p.spec.ends_with('e') || p.spec.ends_with('E');
+                if lossy {
+                    push(
+                        fmt_tok.line,
+                        fmt_tok.col,
+                        "R5",
+                        Level::Error,
+                        format!(
+                            "format spec `{{{}:{}}}` applies explicit precision/exponent in \
+                             a checksum contributor; use craqr_stats::text::format_float",
+                            p.arg, p.spec
+                        ),
+                    );
+                    continue;
+                }
+                if !(p.spec.is_empty() || p.spec == "?") {
+                    continue;
+                }
+                // Bare `{}`/`{:?}`: flag when the resolved argument is a
+                // known f64.
+                let flagged_name = if p.arg.is_empty() || p.arg.chars().all(|c| c.is_ascii_digit())
+                {
+                    let idx = if p.arg.is_empty() {
+                        let v = auto;
+                        auto += 1;
+                        v
+                    } else {
+                        p.arg.parse::<usize>().unwrap_or(usize::MAX)
+                    };
+                    value_args
+                        .get(idx)
+                        .and_then(|&(a, b)| plain_path_tail(toks, a, b))
+                        .filter(|n| f64_names.contains(*n))
+                        .map(str::to_string)
+                } else if f64_names.contains(&p.arg) {
+                    Some(p.arg.clone())
+                } else {
+                    None
+                };
+                if let Some(name) = flagged_name {
+                    push(
+                        fmt_tok.line,
+                        fmt_tok.col,
+                        "R5",
+                        Level::Error,
+                        format!(
+                            "float `{name}` formatted with `{{{}}}` in a checksum \
+                             contributor; use craqr_stats::text::format_float",
+                            if p.spec.is_empty() { "" } else { ":?" }
+                        ),
+                    );
+                }
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// For a macro at `toks[at]`, returns (open delim index, matching close).
+fn macro_delims(toks: &[Token], at: usize) -> Option<(usize, usize)> {
+    let (open, close) = match toks.get(at)?.kind {
+        TokKind::Punct('(') => ('(', ')'),
+        TokKind::Punct('[') => ('[', ']'),
+        TokKind::Punct('{') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some((at, j));
+            }
+        }
+    }
+    None
+}
+
+/// Splits token range (open, close) on top-level commas; returns
+/// half-open (start, end) index pairs.
+fn split_args(toks: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut a = start;
+    for (j, tok) in toks.iter().enumerate().take(end).skip(start) {
+        match tok.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct(',') if depth == 0 => {
+                args.push((a, j));
+                a = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if a < end {
+        args.push((a, end));
+    }
+    args
+}
+
+/// When tokens [a, b) form a plain path (`x`, `x.y`, `self.x.y`), returns
+/// the final segment name.
+fn plain_path_tail(toks: &[Token], a: usize, b: usize) -> Option<&str> {
+    if a >= b {
+        return None;
+    }
+    let mut expect_ident = true;
+    let mut last = None;
+    for t in &toks[a..b] {
+        match (expect_ident, t.kind) {
+            (true, TokKind::Ident) => {
+                last = Some(t.text.as_str());
+                expect_ident = false;
+            }
+            (false, TokKind::Punct('.')) => expect_ident = true,
+            _ => return None,
+        }
+    }
+    if expect_ident {
+        None
+    } else {
+        last
+    }
+}
+
+/// Scans `use` declarations and inline qualified paths for references to
+/// timing-tier modules (R6).
+fn scan_timing_imports(
+    toks: &[Token],
+    use_spans: &[(usize, usize)],
+    ctx: &ModuleCtx<'_>,
+    push: &mut impl FnMut(u32, u32, &'static str, Level, String),
+) {
+    // `use` declarations, with `{...}` group expansion.
+    for &(start, end) in use_spans {
+        let end = end.min(toks.len());
+        if start + 1 >= end {
+            continue;
+        }
+        for (path, line, col) in use_tree_paths(&toks[start + 1..end]) {
+            check_timing_path(&path, line, col, ctx, push);
+        }
+    }
+    // Inline qualified paths outside use declarations.
+    let in_use = |i: usize| use_spans.iter().any(|&(a, b)| i >= a && i <= b);
+    let mut i = 0;
+    while i < toks.len() {
+        if in_use(i) || toks[i].kind != TokKind::Ident || !path_sep(toks, i + 1) {
+            i += 1;
+            continue;
+        }
+        // Head of a path only: previous tokens must not be `::`.
+        if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+            i += 1;
+            continue;
+        }
+        let mut segs = vec![toks[i].text.clone()];
+        let (line, col) = (toks[i].line, toks[i].col);
+        let mut j = i;
+        while path_sep(toks, j + 1) && toks.get(j + 3).map(|t| t.kind) == Some(TokKind::Ident) {
+            segs.push(toks[j + 3].text.clone());
+            j += 3;
+        }
+        check_timing_path(&segs, line, col, ctx, push);
+        i = j + 1;
+    }
+}
+
+/// Expands a use-tree token slice into full segment paths. Handles
+/// nesting (`use a::{b, c::{d, e}}`), `as` aliases, and globs.
+fn use_tree_paths(toks: &[Token]) -> Vec<(Vec<String>, u32, u32)> {
+    fn walk(
+        toks: &[Token],
+        mut i: usize,
+        prefix: &[String],
+        out: &mut Vec<(Vec<String>, u32, u32)>,
+    ) -> usize {
+        let mut segs = prefix.to_vec();
+        let mut pos: Option<(u32, u32)> = None;
+        while i < toks.len() {
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Ident if t.text == "as" => {
+                    i += 2; // skip alias name
+                }
+                TokKind::Ident => {
+                    if pos.is_none() {
+                        pos = Some((t.line, t.col));
+                    }
+                    segs.push(t.text.clone());
+                    i += 1;
+                }
+                TokKind::Punct(':') => i += 1,
+                TokKind::Punct('*') => i += 1,
+                TokKind::Punct('{') => {
+                    i += 1;
+                    loop {
+                        i = walk(toks, i, &segs, out);
+                        if toks.get(i).is_some_and(|t| t.is_punct(',')) {
+                            i += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    if toks.get(i).is_some_and(|t| t.is_punct('}')) {
+                        i += 1;
+                    }
+                    // The group consumed the leaf role of this branch.
+                    segs.truncate(prefix.len());
+                    pos = None;
+                }
+                TokKind::Punct(',') | TokKind::Punct('}') | TokKind::Punct(';') => break,
+                _ => i += 1,
+            }
+        }
+        if segs.len() > prefix.len() {
+            let (line, col) = pos.unwrap_or((0, 0));
+            out.push((segs, line, col));
+        }
+        i
+    }
+    let mut out = Vec::new();
+    walk(toks, 0, &[], &mut out);
+    out
+}
+
+/// Resolves a path's head (crate/self/super/known crate) to a module path
+/// and flags it when it falls under a timing-tier prefix.
+fn check_timing_path(
+    segs: &[String],
+    line: u32,
+    col: u32,
+    ctx: &ModuleCtx<'_>,
+    push: &mut impl FnMut(u32, u32, &'static str, Level, String),
+) {
+    if segs.is_empty() {
+        return;
+    }
+    let mut module_segs: Vec<String>;
+    let rest: &[String];
+    match segs[0].as_str() {
+        "crate" => {
+            module_segs = vec![ctx.crate_name.to_string()];
+            rest = &segs[1..];
+        }
+        "self" => {
+            module_segs = ctx.module.split("::").map(str::to_string).collect();
+            rest = &segs[1..];
+        }
+        "super" => {
+            module_segs = ctx.module.split("::").map(str::to_string).collect();
+            let mut k = 0;
+            while k < segs.len() && segs[k] == "super" {
+                module_segs.pop();
+                k += 1;
+            }
+            rest = &segs[k..];
+        }
+        head => {
+            let dashed = head.replace('_', "-");
+            if ctx.known_crates.iter().any(|c| c == &dashed) {
+                module_segs = vec![dashed];
+                rest = &segs[1..];
+            } else {
+                return; // std / external: out of scope
+            }
+        }
+    }
+    module_segs.extend(rest.iter().cloned());
+    let candidate = module_segs.join("::");
+    for prefix in ctx.timing {
+        // Flag when the referenced path is, or reaches into, a timing
+        // module (candidate under prefix), or names a parent of one only
+        // if it is the module itself (candidate == prefix covered above).
+        if module_matches(&candidate, prefix) {
+            push(
+                line,
+                col,
+                "R6",
+                Level::Error,
+                format!(
+                    "checksum contributor references timing-tier module `{prefix}` \
+                     (via `{candidate}`); take the value as a parameter instead"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+/// Coalesces comments on consecutive lines into single blocks, so a
+/// wrapped `// SAFETY:` run covers the line after its last member.
+fn merge_comment_runs(comments: &[Comment]) -> Vec<Comment> {
+    let mut runs: Vec<Comment> = Vec::new();
+    for c in comments {
+        match runs.last_mut() {
+            Some(prev) if c.line == prev.end_line + 1 || c.line == prev.end_line => {
+                prev.text.push('\n');
+                prev.text.push_str(&c.text);
+                prev.end_line = prev.end_line.max(c.end_line);
+            }
+            _ => runs.push(c.clone()),
+        }
+    }
+    runs
+}
+
+/// True for rustdoc comments (`///`, `//!`, `/** */`, `/*! */`), whose
+/// bodies are documentation — the allow parser ignores them so prose
+/// *about* the directive syntax is not parsed as a directive.
+fn is_doc_comment(c: &Comment) -> bool {
+    matches!(c.text.chars().next(), Some('/' | '!' | '*'))
+}
+
+/// A parsed allow directive.
+struct Allow {
+    rule: String,
+    /// Source line the allow applies to.
+    target: u32,
+    /// Line of the directive itself (for unused-allow reporting).
+    at: u32,
+}
+
+/// Parses `// craqr-lint: allow(<rule>): <justification>` directives.
+/// Returns the allows plus A0 findings for malformed ones.
+fn parse_allows(
+    display_path: &str,
+    comments: &[Comment],
+    token_lines: &BTreeSet<u32>,
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        if is_doc_comment(c) {
+            continue;
+        }
+        let Some(at) = c.text.find("craqr-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "craqr-lint:".len()..].trim_start();
+        let mut a0 = |message: String| {
+            findings.push(Finding {
+                file: display_path.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "A0",
+                level: Level::Error,
+                message,
+            });
+        };
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            a0(format!("malformed directive `{}`; expected `allow(<rule>): <why>`", rest.trim()));
+            continue;
+        };
+        let Some((ids, after)) = inner.split_once(')') else {
+            a0("unclosed `allow(`".to_string());
+            continue;
+        };
+        let justification = after.trim_start_matches([':', ' ']).trim();
+        if justification.is_empty() {
+            a0("allow without a justification; say why the site is deterministic".to_string());
+            continue;
+        }
+        for id in ids.split(',') {
+            let id = id.trim();
+            if rule_info(id).is_none() {
+                a0(format!("unknown rule `{id}` in allow"));
+                continue;
+            }
+            // Applies to the directive's own line when code shares it,
+            // else to the next line that has tokens.
+            let target = if token_lines.contains(&c.line) {
+                c.line
+            } else {
+                token_lines.range(c.end_line + 1..).next().copied().unwrap_or(c.end_line + 1)
+            };
+            allows.push(Allow { rule: id.to_string(), target, at: c.line });
+        }
+    }
+    (allows, findings)
+}
+
+/// Drops findings inside test spans, consumes matching allows, and
+/// reports unused allows as warnings.
+fn apply_allows(
+    display_path: &str,
+    findings: Vec<Finding>,
+    allows: Vec<Allow>,
+    in_test: &impl Fn(u32) -> bool,
+) -> Vec<Finding> {
+    let mut used: BTreeMap<(String, u32), bool> =
+        allows.iter().map(|a| ((a.rule.clone(), a.target), false)).collect();
+    let mut out = Vec::new();
+    for f in findings {
+        if in_test(f.line) {
+            continue;
+        }
+        if let Some(hit) = used.get_mut(&(f.rule.to_string(), f.line)) {
+            *hit = true;
+            continue;
+        }
+        out.push(f);
+    }
+    for a in allows {
+        if !used.get(&(a.rule.clone(), a.target)).copied().unwrap_or(true) && !in_test(a.at) {
+            out.push(Finding {
+                file: display_path.to_string(),
+                line: a.at,
+                col: 1,
+                rule: "A0",
+                level: Level::Warn,
+                message: format!("allow({}) matched no finding on line {}", a.rule, a.target),
+            });
+        }
+    }
+    out.sort_by(|x, y| (x.line, x.col, x.rule).cmp(&(y.line, y.col, y.rule)));
+    out
+}

@@ -1,0 +1,152 @@
+//! Fixture corpus: every rule has a violating fixture and a clean twin.
+//! Expected findings are declared *in* the fixtures as trailing
+//! `// expect: R1 R2` markers, so the assertions can never drift from
+//! the line numbers they describe.
+
+use craqr_analyzer::rules::{lint_file, FileClass, Level, ModuleCtx, Tier};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Parses `// expect: R1 R2` markers into a sorted (line, rule) list.
+fn expected(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(rules) = line.split("// expect:").nth(1) {
+            for rule in rules.split_whitespace() {
+                out.push((idx as u32 + 1, rule.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn event_class() -> FileClass {
+    FileClass { tier: Tier::Event, contributor: false, rng_helper: false, warn_unwrap: false }
+}
+
+const TIMING: &[&str] = &["craqr-core::exec", "craqr-runlog::clockmod"];
+const KNOWN: &[&str] = &["craqr-core", "craqr-runlog", "craqr-stats"];
+
+fn ctx_with<'a>(
+    crate_name: &'a str,
+    module: &'a str,
+    timing: &'a [String],
+    known: &'a [String],
+) -> ModuleCtx<'a> {
+    ModuleCtx { crate_name, module, timing, known_crates: known }
+}
+
+/// Runs one fixture under `class` and asserts findings == its markers.
+fn check(name: &str, class: FileClass) {
+    let src = fixture(name);
+    let timing: Vec<String> = TIMING.iter().map(|s| s.to_string()).collect();
+    let known: Vec<String> = KNOWN.iter().map(|s| s.to_string()).collect();
+    let ctx = ctx_with("craqr-runlog", "craqr-runlog::codec", &timing, &known);
+    let findings = lint_file(name, &src, &class, &ctx);
+    let got: Vec<(u32, String)> = {
+        let mut v: Vec<(u32, String)> =
+            findings.iter().map(|f| (f.line, f.rule.to_string())).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(got, expected(&src), "findings mismatch for {name}:\n{findings:#?}");
+    for f in &findings {
+        assert_eq!(f.file, name);
+        assert!(f.col >= 1, "columns are 1-based: {f}");
+    }
+}
+
+#[test]
+fn r1_violation_and_twin() {
+    check("r1_violation.rs", event_class());
+    check("r1_clean.rs", FileClass { tier: Tier::Timing, ..event_class() });
+}
+
+#[test]
+fn r2_violation_and_twin() {
+    check("r2_violation.rs", event_class());
+    check("r2_clean.rs", event_class());
+}
+
+#[test]
+fn r3_violation_and_twin() {
+    check("r3_violation.rs", event_class());
+    check("r3_clean.rs", event_class());
+    // The same entropy constructions are sanctioned inside the helpers.
+    let src = fixture("r3_violation.rs");
+    let timing: Vec<String> = TIMING.iter().map(|s| s.to_string()).collect();
+    let known: Vec<String> = KNOWN.iter().map(|s| s.to_string()).collect();
+    let ctx = ctx_with("craqr-stats", "craqr-stats::rng", &timing, &known);
+    let class = FileClass { rng_helper: true, ..event_class() };
+    let findings = lint_file("r3_violation.rs", &src, &class, &ctx);
+    assert!(findings.is_empty(), "rng helpers may construct RNGs:\n{findings:#?}");
+}
+
+#[test]
+fn r4_violation_and_twin() {
+    check("r4_violation.rs", event_class());
+    check("r4_clean.rs", event_class());
+}
+
+#[test]
+fn r5_violation_and_twin() {
+    check("r5_violation.rs", FileClass { contributor: true, ..event_class() });
+    check("r5_clean.rs", FileClass { contributor: true, ..event_class() });
+    // Outside the contributor set the same file is not R5's business.
+    check("r5_clean.rs", event_class());
+}
+
+#[test]
+fn r6_violation_and_twin() {
+    check("r6_violation.rs", FileClass { contributor: true, ..event_class() });
+    check("r6_clean.rs", FileClass { contributor: true, ..event_class() });
+}
+
+#[test]
+fn w1_is_warn_level() {
+    let src = fixture("w1_unwraps.rs");
+    let timing: Vec<String> = TIMING.iter().map(|s| s.to_string()).collect();
+    let known: Vec<String> = KNOWN.iter().map(|s| s.to_string()).collect();
+    let ctx = ctx_with("craqr-run-cli", "craqr-run-cli", &timing, &known);
+    let class = FileClass { warn_unwrap: true, ..event_class() };
+    let findings = lint_file("w1_unwraps.rs", &src, &class, &ctx);
+    let got: Vec<(u32, String)> = {
+        let mut v: Vec<(u32, String)> =
+            findings.iter().map(|f| (f.line, f.rule.to_string())).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(got, expected(&src), "{findings:#?}");
+    assert!(findings.iter().all(|f| f.level == Level::Warn), "W1 is advisory:\n{findings:#?}");
+}
+
+#[test]
+fn a0_polices_the_escape_hatch() {
+    let src = fixture("allow_bad.rs");
+    let timing: Vec<String> = TIMING.iter().map(|s| s.to_string()).collect();
+    let known: Vec<String> = KNOWN.iter().map(|s| s.to_string()).collect();
+    let ctx = ctx_with("craqr-core", "craqr-core::x", &timing, &known);
+    let findings = lint_file("allow_bad.rs", &src, &event_class(), &ctx);
+    let got: Vec<(u32, &str, Level)> = findings.iter().map(|f| (f.line, f.rule, f.level)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (3, "A0", Level::Error), // empty justification
+            (4, "R1", Level::Error), // ...so the clock read still fires
+            (8, "A0", Level::Error), // unknown rule id
+            (9, "R1", Level::Error),
+            (13, "A0", Level::Warn), // stale allow matched nothing
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn cfg_test_modules_are_exempt() {
+    check("cfg_test_exempt.rs", event_class());
+}

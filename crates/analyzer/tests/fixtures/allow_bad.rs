@@ -1,0 +1,15 @@
+// Fixture: A0 — the escape hatch itself is policed.
+pub fn unjustified() -> u64 {
+    // craqr-lint: allow(R1):
+    fast_monotonic_ns()
+}
+
+pub fn unknown_rule() -> u64 {
+    // craqr-lint: allow(R9): no such rule
+    fast_monotonic_ns()
+}
+
+pub fn stale() -> u64 {
+    // craqr-lint: allow(R2): nothing on the next line iterates a hash map
+    7
+}

@@ -1,0 +1,26 @@
+// Fixture: inline `#[cfg(test)] mod` bodies are exempt from every rule
+// — tests may time, hash-iterate, and panic freely.
+pub fn shippable() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let t0 = Instant::now();
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        for (k, v) in m.iter() {
+            assert!(k < v);
+        }
+        let _ = fast_monotonic_ns();
+        let _rng = thread_rng();
+        let p = &7u64 as *const u64;
+        let _ = unsafe { *p };
+        assert!(t0.elapsed().as_nanos() > 0);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture twin of r1_violation.rs: the same reads are sanctioned in a
+// module the manifest lists under [tiers] timing.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn sanctioned_timer() -> u64 {
+    let t0 = Instant::now();
+    let ns = fast_monotonic_ns();
+    let busy = crate::exec::thread_busy_ns();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos() as u64 + ns + busy
+}

@@ -1,0 +1,18 @@
+// Fixture: clock reads in an event-tier module. Twin: r1_clean.rs
+// (identical reads, timing-tier classification, zero findings).
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn naive_epoch_timer() -> u64 {
+    let t0 = Instant::now(); // expect: R1
+    let ns = fast_monotonic_ns(); // expect: R1
+    let busy = crate::exec::thread_busy_ns(); // expect: R1
+    let _wall = SystemTime::now(); // expect: R1
+    t0.elapsed().as_nanos() as u64 + ns + busy
+}
+
+pub fn masked_mentions_are_not_findings() -> &'static str {
+    // Instant::now() inside a comment is never a finding, and neither is
+    // a string: the lexer masks both.
+    "fast_monotonic_ns() and SystemTime::now() are just text here"
+}

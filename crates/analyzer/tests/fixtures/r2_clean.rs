@@ -1,0 +1,43 @@
+// Fixture twin of r2_violation.rs: deterministic access patterns that
+// must produce zero findings in an event-tier module.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Acc {
+    counts: HashMap<u32, f64>,
+    ordered: BTreeMap<u32, f64>,
+}
+
+impl Acc {
+    /// BTree iteration is key-ordered and always legal.
+    pub fn btree_total(&self) -> f64 {
+        self.ordered.values().sum()
+    }
+
+    /// Lookups, entry, and removal never observe hash order.
+    pub fn lookups(&mut self, key: u32) -> f64 {
+        let _ = self.counts.contains_key(&key);
+        let _ = self.counts.get(&key);
+        *self.counts.entry(key).or_insert(0.0)
+    }
+
+    /// The sanctioned escape hatch: collect, sort, then use.
+    pub fn sorted_keys(&self) -> Vec<u32> {
+        // craqr-lint: allow(R2): keys are collected and sorted on the next line
+        let mut ks: Vec<u32> = self.counts.keys().copied().collect();
+        ks.sort_unstable();
+        ks
+    }
+}
+
+/// A *different* struct's `counts` field is not this file's hash map.
+pub struct Other {
+    pub counts: Vec<f64>,
+}
+
+pub fn other_iteration(o: &Other) -> f64 {
+    o.counts.iter().sum()
+}
+
+pub fn membership(members: &HashSet<u32>, probe: u32) -> bool {
+    members.contains(&probe)
+}

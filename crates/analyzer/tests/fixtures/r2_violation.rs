@@ -1,0 +1,36 @@
+// Fixture: hash-order iteration in an event-tier module. Twin:
+// r2_clean.rs (sorted/BTree iteration and lookup-only access).
+use std::collections::{HashMap, HashSet};
+
+pub struct Acc {
+    counts: HashMap<u32, f64>,
+}
+
+impl Acc {
+    pub fn float_total(&self) -> f64 {
+        let mut t = 0.0;
+        for v in self.counts.values() { // expect: R2
+            t += v;
+        }
+        t
+    }
+
+    pub fn drain_all(&mut self) -> usize {
+        self.counts.drain().count() // expect: R2
+    }
+}
+
+pub fn keys_of(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect() // expect: R2
+}
+
+pub fn visit(members: HashSet<u32>) {
+    for s in members { // expect: R2
+        let _ = s;
+    }
+}
+
+pub fn fresh() -> Vec<(u32, u32)> {
+    let pairs = HashMap::new();
+    pairs.into_iter().collect() // expect: R2
+}

@@ -1,0 +1,9 @@
+// Fixture twin of r3_violation.rs: all randomness derives from the run
+// seed through the craqr-stats helpers — legal in any tier.
+use craqr_stats::{seeded_rng, sub_rng};
+
+pub fn seeded_streams(master_seed: u64) -> u64 {
+    let mut root = seeded_rng(master_seed);
+    let mut mine = sub_rng(master_seed, "fixture-component");
+    root.gen::<u64>() ^ mine.gen::<u64>()
+}

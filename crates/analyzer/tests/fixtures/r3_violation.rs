@@ -1,0 +1,9 @@
+// Fixture: unseeded RNG construction in an event-tier module. Twin:
+// r3_clean.rs. Also linted under an rng-helper classification, where
+// the same tokens are sanctioned (zero findings).
+pub fn entropy_everywhere() -> u64 {
+    let mut rng = thread_rng(); // expect: R3
+    let seeded_from_os = StdRng::from_entropy(); // expect: R3
+    let direct = OsRng; // expect: R3
+    rng.gen::<u64>() ^ seeded_from_os.gen::<u64>() ^ direct.gen::<u64>()
+}

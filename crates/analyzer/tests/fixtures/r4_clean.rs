@@ -1,0 +1,21 @@
+// Fixture twin of r4_violation.rs: every `unsafe` is annotated.
+pub fn annotated(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+pub fn wrapped_annotation(p: *const u64) -> u64 {
+    // SAFETY: a justification can wrap across several comment lines;
+    // the contiguous run ends on the line directly above the block.
+    unsafe { *p }
+}
+
+pub fn block_comment_annotation(p: *const u64) -> u64 {
+    /* SAFETY: block comments count too,
+    even multi-line ones. */
+    unsafe { *p }
+}
+
+pub fn trailing_annotation(p: *const u64) -> u64 {
+    unsafe { *p } // SAFETY: same-line trailing comments also cover the block
+}

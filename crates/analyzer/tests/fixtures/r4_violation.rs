@@ -1,0 +1,12 @@
+// Fixture: `unsafe` without the required `// SAFETY:` comment. Twin:
+// r4_clean.rs.
+pub fn bare_unsafe(p: *const u64) -> u64 {
+    unsafe { *p } // expect: R4
+}
+
+// SAFETY: this comment is too far from the block it describes —
+// two blank code lines below break the run.
+pub fn stale_safety_comment(p: *const u64) -> u64 {
+    let _unrelated = 1u64;
+    unsafe { *p } // expect: R4
+}

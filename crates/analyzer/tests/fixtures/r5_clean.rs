@@ -1,0 +1,14 @@
+// Fixture twin of r5_violation.rs: canonical rendering done right —
+// floats go through the shortest-roundtrip helper, checksums stay hex.
+use craqr_stats::text::format_float;
+use std::fmt::Write;
+
+pub fn render(rate: f64, p95: f64, checksum: u64, name: &str, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("rate = {}\n", format_float(rate)));
+    out.push_str(&format!("p95 = {}\n", format_float(p95)));
+    out.push_str(&format!("checksum: {checksum:#018x}\n"));
+    out.push_str(&format!("name = {name}, n = {n}\n"));
+    let _ = writeln!(out, "rows = {}", n);
+    out
+}

@@ -1,0 +1,13 @@
+// Fixture: float formatting off the shortest-roundtrip helper, in a
+// checksum-contributor module. Twin: r5_clean.rs.
+use std::fmt::Write;
+
+pub fn render(rate: f64, p95: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("rate = {rate}\n")); // expect: R5
+    out.push_str(&format!("p95 = {:.3}\n", p95)); // expect: R5
+    out.push_str(&format!("debug = {:?}\n", rate)); // expect: R5
+    out.push_str(&format!("sci = {:e}\n", 10)); // expect: R5
+    let _ = writeln!(out, "w = {}", p95); // expect: R5
+    out
+}

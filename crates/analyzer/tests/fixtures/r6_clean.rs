@@ -1,0 +1,9 @@
+// Fixture twin of r6_violation.rs: a contributor may import event-tier
+// modules and take timing values as plain data parameters.
+use craqr_core::tuple::CrowdTuple;
+use craqr_stats::fnv1a64;
+
+pub fn render_row(t: &CrowdTuple, busy_ns: u64) -> u64 {
+    // `busy_ns` arrived as data; the contributor never reads a clock.
+    fnv1a64(format!("{t:?} {busy_ns}").as_bytes())
+}

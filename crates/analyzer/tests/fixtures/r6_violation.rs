@@ -1,0 +1,13 @@
+// Fixture: a checksum contributor importing timing-tier modules. Twin:
+// r6_clean.rs. Linted as module `craqr-runlog::codec` with timing =
+// ["craqr-core::exec", "craqr-runlog::clockmod"].
+use craqr_core::exec::thread_busy_ns; // expect: R6
+use craqr_core::{tuple::CrowdTuple, exec::fast_monotonic_ns}; // expect: R6
+
+pub fn stamp() -> u64 {
+    crate::clockmod::read_ns() // expect: R6
+}
+
+pub fn qualified() -> u64 {
+    craqr_core::exec::fast_monotonic_ns() // expect: R1 R6
+}

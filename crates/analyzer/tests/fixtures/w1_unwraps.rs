@@ -1,0 +1,12 @@
+// Fixture: advisory W1 — unwraps in a CLI binary (a [warn] unwrap
+// path). Warnings, not errors; fatal only under --deny.
+pub fn main_like(arg: Option<&str>) {
+    let spec = arg.unwrap(); // expect: W1
+    let parsed: u32 = spec.parse().unwrap(); // expect: W1
+    let detail = spec.split(':').next().expect("split yields one piece"); // expect: W1
+    println!("{parsed} {detail}");
+
+    // craqr-lint: allow(W1): internal invariant — the vec is non-empty by construction
+    let first = vec![1].pop().unwrap();
+    println!("{first}");
+}

@@ -1,0 +1,188 @@
+//! Property tests for the token-level lexer. The analyzer's soundness
+//! rests on the lexer never confusing code with string/comment payload,
+//! so we generate adversarial interleavings of identifiers with the
+//! trickiest literal and comment forms and assert the recovered
+//! identifier sequence is exactly the planted one.
+
+use craqr_analyzer::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// A string drawn character-by-character from `set`, with length in `len`.
+fn chars_from(set: &'static [char], len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..set.len(), len)
+        .prop_map(move |idxs| idxs.into_iter().map(|i| set[i]).collect())
+}
+
+/// Payload text for cooked string literals: mentions comment fences and
+/// ident-like words, but no quote/backslash so the literal stays simple.
+const COOKED: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '_', ' ', '/', '*', '!', '.', ':', ';', '(', ')', '{', '}',
+    '-',
+];
+
+/// Safe inside a nested block comment: no `/` or `*` (nesting depth is
+/// controlled by the wrapper), but quotes are fair game.
+const BLOCK: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '_', ' ', '"', '\'', '.', ':', ';', '(', ')', '{', '}', '-',
+];
+
+/// Raw-string payload: no `"` (keeps any fence valid), everything else
+/// including backslashes and newlines.
+const RAW: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '_', ' ', '/', '*', '!', '\\', '\n', '.', ':', ';', '(',
+    ')', '{', '}', '-',
+];
+
+const IDENT_START: &[char] = &['a', 'm', 'z', 'A', 'Z', '_'];
+const IDENT_CONT: &[char] = &['a', 'm', 'z', 'A', 'Z', '_', '0', '5', '9'];
+const LOWER: &[char] = &['a', 'k', 'z'];
+
+fn cooked_payload() -> impl Strategy<Value = String> {
+    chars_from(COOKED, 0..24)
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    (chars_from(IDENT_START, 1..2), chars_from(IDENT_CONT, 0..10))
+        .prop_map(|(head, tail)| format!("{head}{tail}"))
+}
+
+/// One opaque "distractor" atom: its payload mentions identifiers and
+/// comment fences that must NOT surface as tokens.
+#[derive(Debug, Clone)]
+enum Atom {
+    Line(String),
+    Block(String, u8),
+    Cooked(String),
+    Raw(String, u8),
+    Byte(String),
+    CharLit(char),
+    Lifetime(String),
+}
+
+impl Atom {
+    /// Renders the atom as source text.
+    fn render(&self) -> String {
+        match self {
+            Atom::Line(s) => format!("// {s}\n"),
+            Atom::Block(s, depth) => {
+                let mut out = String::new();
+                for _ in 0..*depth {
+                    out.push_str("/* ");
+                }
+                out.push_str(s);
+                for _ in 0..*depth {
+                    out.push_str(" */");
+                }
+                out
+            }
+            Atom::Cooked(s) => format!("\"{s}\""),
+            Atom::Raw(s, hashes) => {
+                let fence = "#".repeat(*hashes as usize);
+                format!("r{fence}\"{s}\"{fence}")
+            }
+            Atom::Byte(s) => format!("b\"{s}\""),
+            Atom::CharLit(c) => format!("'{c}'"),
+            Atom::Lifetime(l) => format!("&'{l} "),
+        }
+    }
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        cooked_payload().prop_map(Atom::Line),
+        (chars_from(BLOCK, 0..24), 1u8..4).prop_map(|(s, d)| Atom::Block(s, d)),
+        cooked_payload().prop_map(Atom::Cooked),
+        (chars_from(RAW, 0..24), 0u8..4).prop_map(|(s, h)| Atom::Raw(s, h)),
+        cooked_payload().prop_map(Atom::Byte),
+        (0usize..26).prop_map(|i| Atom::CharLit((b'a' + i as u8) as char)),
+        (chars_from(LOWER, 1..2), chars_from(IDENT_CONT, 0..6))
+            .prop_map(|(h, t)| Atom::Lifetime(format!("{h}{t}"))),
+    ]
+}
+
+proptest! {
+    /// Identifiers interleaved with distractor atoms survive lexing in
+    /// order; nothing inside the atoms leaks out as an identifier.
+    #[test]
+    fn idents_survive_distractors(
+        pairs in prop::collection::vec((ident(), atom()), 0..12)
+    ) {
+        let mut src = String::new();
+        let mut planted = Vec::new();
+        for (id, distractor) in &pairs {
+            src.push_str(id);
+            src.push(' ');
+            planted.push(id.clone());
+            src.push_str(&distractor.render());
+            src.push(' ');
+        }
+        let lexed = lex(&src);
+        let got: Vec<String> = lexed
+            .tokens
+            .iter()
+            // Lifetime atoms contribute a `&` punct + Lifetime token, char
+            // literals a Char token — neither is an Ident. Raw strings and
+            // byte strings must absorb their `r`/`b` prefix.
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        prop_assert_eq!(got, planted, "source was:\n{}", src);
+    }
+
+    /// Totality: the lexer never panics and positions stay sane (lines
+    /// nondecreasing, columns 1-based), whatever bytes it is fed.
+    #[test]
+    fn lexer_is_total(codes in prop::collection::vec(any::<u32>(), 0..200)) {
+        let src: String = codes
+            .into_iter()
+            .map(|x| char::from_u32(x % 0x11_0000).unwrap_or('\u{FFFD}'))
+            .collect();
+        let lexed = lex(&src);
+        let mut last = 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= last, "line went backwards at {:?}", t);
+            prop_assert!(t.col >= 1);
+            last = t.line;
+        }
+    }
+
+    /// A `//` inside any string form never starts a comment: a sentinel
+    /// identifier planted after such a string stays visible, and no
+    /// phantom comment is recorded.
+    #[test]
+    fn slashes_in_strings_do_not_comment(
+        pre in chars_from(LOWER, 0..8),
+        post in chars_from(LOWER, 0..8),
+        hashes in 0u8..3,
+    ) {
+        let payload = format!("{pre}//{post}");
+        let fence = "#".repeat(hashes as usize);
+        for src in [
+            format!("let a = \"{payload}\"; sentinel"),
+            format!("let a = r{fence}\"{payload}\"{fence}; sentinel"),
+            format!("let a = b\"{payload}\"; sentinel"),
+        ] {
+            let lexed = lex(&src);
+            prop_assert!(
+                lexed.tokens.iter().any(|t| t.is_ident("sentinel")),
+                "sentinel swallowed in: {src}"
+            );
+            prop_assert!(lexed.comments.is_empty(), "phantom comment in: {src}");
+        }
+    }
+
+    /// Comment payloads never produce tokens even when they quote string
+    /// fences: a line comment consumes everything to end-of-line.
+    #[test]
+    fn fences_do_not_cross(s in chars_from(BLOCK, 0..20)) {
+        let lexed = lex(&format!("// {s}\nafter"));
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["after"]);
+        prop_assert_eq!(lexed.comments.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Meta-test: the workspace itself must be lint-clean under the
+//! checked-in `lint.toml`. This is the same check CI's
+//! `lint-determinism` job runs via the `craqr-lint` binary; keeping it
+//! as a cargo test means `cargo test` alone catches a regression (a new
+//! clock read in the event tier, a stale allow, ...) without the CI
+//! round-trip.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let manifest_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", manifest_path.display()));
+    let manifest = craqr_analyzer::manifest::parse(&text).expect("lint.toml parses");
+    let findings = craqr_analyzer::lint_workspace(&root, &manifest).expect("workspace walk");
+    if !findings.is_empty() {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        panic!(
+            "workspace has {} lint finding(s); run `cargo run -p craqr-analyzer --bin \
+             craqr-lint -- --root .` for details, and see `craqr-lint --explain <rule>`",
+            findings.len()
+        );
+    }
+}

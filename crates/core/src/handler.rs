@@ -234,9 +234,16 @@ impl RequestResponseHandler {
     /// No-op without a policy.
     pub fn observe_responses(&mut self, counts: &HashMap<(CellId, AttributeId), u64>) {
         let Some(policy) = self.retry_policy else { return };
-        for (key, &allowed) in &self.last_allowed {
-            let got = counts.get(key).copied().unwrap_or(0);
-            let state = self.retry.entry(*key).or_default();
+        // Visit chains ascending by key: per-chain updates are independent,
+        // but a deterministic visit order keeps the scan auditable and
+        // hash order out of the loop entirely.
+        let mut allowed_by_key: Vec<((CellId, AttributeId), u64)> =
+            // craqr-lint: allow(R2): collected into a Vec and sorted before use
+            self.last_allowed.iter().map(|(k, v)| (*k, *v)).collect();
+        allowed_by_key.sort_unstable_by_key(|(key, _)| *key);
+        for (key, allowed) in allowed_by_key {
+            let got = counts.get(&key).copied().unwrap_or(0);
+            let state = self.retry.entry(key).or_default();
             let short = allowed > 0 && (got as f64) < policy.shortfall_threshold * (allowed as f64);
             if short && state.attempts < policy.max_attempts {
                 // `got` can exceed `allowed` when delayed or duplicated

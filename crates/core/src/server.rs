@@ -703,9 +703,11 @@ impl CraqrServer {
         // One clock reading per phase boundary, and only when a timer is
         // installed: `lap` is the *only* clock access in the loop, so an
         // uninstrumented epoch reads no clock at all.
+        // craqr-lint: allow(R1): phase latencies feed Timing-tier metrics only, never canonical_events
         let mut phase_clock = timer.as_ref().map(|_| thread_busy_ns());
         let mut lap = |timer: &mut Option<&mut dyn PhaseTimer>, phase: EpochPhase| {
             if let Some(t) = timer.as_deref_mut() {
+                // craqr-lint: allow(R1): same Timing-tier phase span; excluded from checksummed artifacts
                 let now = thread_busy_ns();
                 let start = phase_clock.expect("clock anchored when timer installed");
                 t.observe(phase, now.saturating_sub(start));
@@ -950,6 +952,7 @@ impl CraqrServer {
     /// checksummed artifact, so toggling this never changes reports,
     /// traces, or run logs. Off (the default) performs zero clock reads.
     pub fn set_engine_timing(&mut self, on: bool) {
+        // craqr-lint: allow(R1): constructs the injected engine clock seam; busy_ns is excluded from metric equality
         self.fabricator.set_engine_clock(on.then_some(fast_monotonic_ns as fn() -> u64));
     }
 

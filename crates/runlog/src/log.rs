@@ -242,7 +242,7 @@ pub struct EpochRecord {
 }
 
 impl EpochRecord {
-    /// The epoch's recorded fault activity as core's [`FaultDeltas`] —
+    /// The epoch's recorded fault activity as core's [`craqr_core::FaultDeltas`] —
     /// what [`craqr_core::ReplayInputs::faults`] wants.
     pub fn faults(&self) -> craqr_core::FaultDeltas {
         craqr_core::FaultDeltas {

@@ -203,6 +203,7 @@ fn main() -> ExitCode {
     println!("\nper-query summary after {:.0} simulated minutes:", server.now());
     let minutes = server.now();
     for qid in queries {
+        // craqr-lint: allow(W1): internal invariant — qid came from this run's own submit loop
         let plan = server.fabricator().query_plan(qid).expect("standing query");
         let requested = plan.query.rate;
         let area = plan.footprint.area();

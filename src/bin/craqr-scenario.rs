@@ -253,6 +253,7 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
             .run_streamed_instrumented(exec_of(shards), run_seed, &path, metrics.is_some())
             .map_err(|e| format!("{}: {e}", file.display()))?;
         absorb_metrics(&mut registry, output.telemetry.as_ref());
+        // craqr-lint: allow(W1): internal invariant — the streamed-record API always yields a log
         let log = output.log.expect("run_streamed always returns a log");
         let text = log.canonical();
         // The checksum is already the canonical text's last line; reading
@@ -261,6 +262,7 @@ fn cmd_record(argv: &[String]) -> Result<(), Failure> {
             .lines()
             .last()
             .and_then(|l| l.strip_prefix("checksum: "))
+            // craqr-lint: allow(W1): internal invariant — canonical() always ends with a checksum line
             .expect("canonical logs end in a checksum line");
         println!(
             "recorded {} ({} epochs, {} responses, {} bytes, checksum {checksum})",
@@ -554,6 +556,7 @@ fn chaos_one(
             .iter()
             .map(|c| {
                 let point = CrashPoint::from_name(&c.point)
+                    // craqr-lint: allow(W1): internal invariant — spec validation already rejected unknown crash points
                     .expect("validated spec has only known crash points");
                 (point, c.epoch)
             })
