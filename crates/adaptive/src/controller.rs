@@ -123,19 +123,14 @@ impl AdaptiveController {
 
     /// Lazily learns the standing queries from the first observation (the
     /// query set is fixed for the lifetime of a scenario run).
-    fn ensure_tracks(&mut self, obs: &EpochObservation<'_>) {
+    fn ensure_tracks(&mut self, obs: &EpochObservation) {
         if !self.tracks.is_empty() {
             return;
         }
-        self.batch_minutes = obs.fabricator.config().batch_duration;
-        self.summary_side = obs.fabricator.grid().side();
-        for qid in obs.fabricator.query_ids() {
-            let plan = obs.fabricator.query_plan(qid).expect("standing query");
-            let bbox = plan
-                .footprint
-                .bounding_box()
-                .unwrap_or_else(|| obs.fabricator.grid().cell_rect(plan.cells[0].0));
-            let reference = SpaceTimeWindow::new(bbox, 0.0, self.batch_minutes);
+        self.batch_minutes = obs.plan.batch_duration;
+        self.summary_side = obs.plan.grid.side();
+        for plan in &obs.plan.queries {
+            let reference = SpaceTimeWindow::new(plan.bbox, 0.0, self.batch_minutes);
             let detector = match self.config.detector.kind {
                 DetectorKind::PageHinkley => Detector::PageHinkley(PageHinkley::new(
                     self.config.detector.slack,
@@ -147,13 +142,13 @@ impl AdaptiveController {
                 )),
             };
             self.tracks.push(QueryTrack {
-                qid,
-                attr: plan.query.attr,
-                tenant: plan.query.tenant,
-                requested_rate: plan.query.rate,
-                area: plan.footprint.area(),
-                bbox,
-                cells: plan.cells.iter().map(|(c, overlap, _)| (*c, overlap.area())).collect(),
+                qid: plan.qid,
+                attr: plan.attr,
+                tenant: plan.tenant,
+                requested_rate: plan.rate,
+                area: plan.area,
+                bbox: plan.bbox,
+                cells: plan.cells.clone(),
                 estimator: SgdEstimator::new(&reference, self.config.estimator),
                 detector,
             });
@@ -175,7 +170,7 @@ impl AdaptiveController {
         &mut self,
         epoch: u64,
         triggers: Vec<(u64, DriftDirection)>,
-        obs: &EpochObservation<'_>,
+        obs: &EpochObservation,
     ) -> (ReplanRecord, Vec<ControlAction>) {
         let yield_ = self.response_yield();
         // Demand per query: requests/epoch needed to fabricate the
@@ -209,14 +204,14 @@ impl AdaptiveController {
         // every query is first filled from its own tenant's pool, and
         // only unused capacity crosses tenants ([`water_fill_tenants`]).
         // Single-owner servers keep the flat shared-pool fill.
-        let tenant_summaries =
-            obs.tenants.filter(|r| !r.is_empty()).map(|r| r.summaries()).unwrap_or_default();
+        let tenant_summaries: &[craqr_core::TenantSummary] =
+            obs.tenants.as_deref().filter(|s| !s.is_empty()).unwrap_or(&[]);
         let (pool, allocations, tenant_pools) = if tenant_summaries.is_empty() {
             let pool = self.config.budget_pool.unwrap_or_else(|| {
-                obs.fabricator
-                    .demands()
+                obs.plan
+                    .demands
                     .iter()
-                    .filter_map(|(cell, attr, _)| obs.handler.budget_of(*cell, *attr))
+                    .filter_map(|(cell, attr, _)| obs.budgets.of(*cell, *attr))
                     .sum()
             });
             (pool, water_fill(&demands, pool), Vec::new())
@@ -255,7 +250,7 @@ impl AdaptiveController {
         // the automated form of Section V's "pay more to obtain the
         // required rate" escape hatch. (Subsequent `N_v` tuner steps pull
         // budgets back toward the cap on their own.)
-        let tuner = obs.handler.tuner();
+        let tuner = &obs.budgets.tuner;
         let budgets: Vec<(CellId, AttributeId, f64)> = chain_budget
             .into_iter()
             .map(|((cell, attr), b)| (cell, attr, b.max(tuner.min_budget)))
@@ -306,7 +301,7 @@ impl AdaptiveController {
 }
 
 impl ControlHook for AdaptiveController {
-    fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+    fn on_epoch(&mut self, obs: &EpochObservation) -> Vec<ControlAction> {
         self.ensure_tracks(obs);
         let epoch = obs.report.epoch;
         self.total_sent += obs.report.dispatch.sent;

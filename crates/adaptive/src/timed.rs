@@ -48,7 +48,7 @@ impl<'a> TimedHook<'a> {
 }
 
 impl ControlHook for TimedHook<'_> {
-    fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+    fn on_epoch(&mut self, obs: &EpochObservation) -> Vec<ControlAction> {
         self.calls += 1;
         if self.timed {
             let started = thread_busy_ns();
@@ -72,7 +72,7 @@ mod tests {
 
     struct Counting(u64);
     impl ControlHook for Counting {
-        fn on_epoch(&mut self, _obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+        fn on_epoch(&mut self, _obs: &EpochObservation) -> Vec<ControlAction> {
             self.0 += 1;
             vec![]
         }

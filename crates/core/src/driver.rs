@@ -1,0 +1,780 @@
+//! The epoch driver: one builder-style entry point for every way an
+//! epoch loop can execute.
+//!
+//! Historically the server grew six `run_epoch*` methods (plain, hooked,
+//! tapped, instrumented, crash-armed, replayed — and the cross products
+//! were starting to sprawl). They all ran the *same* loop with different
+//! seams plugged in, so they collapse here into one [`EpochDriver`] that
+//! holds the optional seams ([`ControlHook`], [`EpochTap`],
+//! [`PhaseTimer`], a pre-epoch prologue, a [`CrashPoint`]) and offers the
+//! execution shapes:
+//!
+//! - [`EpochDriver::step`] / [`EpochDriver::step_replayed`]: one epoch,
+//!   **classic schedule** — dispatch is issued and executed at the top of
+//!   the epoch and the hook's actions are applied inside the same epoch.
+//!   Bit-identical to the historical `run_epoch*` loop; single-epoch
+//!   unit tests and examples keep their exact semantics.
+//! - [`EpochDriver::run`] / [`EpochDriver::run_replayed`]: a whole
+//!   horizon under the **staged schedule** — the single-threaded
+//!   execution of exactly the slot schedule the pipelined executor runs
+//!   across four stage workers (see [`crate::pipeline`]). Each slot `t`
+//!   executes the dispatch orders issued during slot `t-1`, applies the
+//!   hook's epoch-`t-1` actions, and issues slot `t+1`'s orders, so the
+//!   drain stage of epoch `t+1` can overlap the ingest of epoch `t`
+//!   without changing a byte of any report, trace, or run log.
+//! - [`EpochDriver::run_pipelined`] (in [`crate::pipeline`]): the same
+//!   staged schedule spread across four long-lived worker threads
+//!   connected by bounded channels.
+//!
+//! # The staged schedule, precisely
+//!
+//! With `n` slots and a fresh driver, slot `t` performs, in order:
+//!
+//! 1. *(drain stage)* prologue(`t`) → execute the orders issued for `t` →
+//!    mobility sub-steps → drain responses.
+//! 2. *(ingest stage)* fold the executed `sent` into the dispatch stats →
+//!    apply the hook's actions from epoch `t-1` (the report's
+//!    `stale_actions`) → retry shortfall feedback from `t`'s responses →
+//!    **issue** the orders for `t+1` → error injection/mitigation/
+//!    ingestion/merge of `t`'s responses → budget tuning → assemble the
+//!    epoch report → snapshot the hook's [`EpochObservation`].
+//! 3. *(control stage)* hook observes epoch `t`, emits actions.
+//! 4. *(render stage)* tap records epoch `t` (report + raw responses +
+//!    the actions the hook just emitted).
+//!
+//! Orders for slot 0 are issued once before the loop. The actions the
+//! hook emits for the final slot are applied after the loop on normal
+//! completion (so a resumed run and its uninterrupted twin leave the
+//! server in the same final state); their stale-action count lands in no
+//! report, because no later epoch exists to carry it.
+//!
+//! Relative to the classic schedule this deterministically pins the
+//! control lag: a `SetBudget` emitted for epoch `t` is applied during
+//! slot `t+1` — after slot `t+2`'s orders were already issued — so it
+//! first affects the dispatch of epoch `t+2`, "the first epoch not yet
+//! ingested". A `RebuildChain` emitted for epoch `t` takes effect before
+//! epoch `t+1`'s ingestion. The lag is part of the blessed byte contract:
+//! serial, `Sharded(n)`, and `Pipelined(n)` all execute this exact
+//! schedule.
+//!
+//! # Crash semantics
+//!
+//! [`EpochDriver::crash_at`] arms a [`CrashPoint`] at one slot of a
+//! horizon run, reproducing a process kill: the three in-loop points
+//! abandon the run at their boundary (everything already recorded stays
+//! recorded, the crashed epoch's tap never fires), while
+//! [`CrashPoint::MidLogAppend`] completes the slot normally — that tear
+//! lives in the log writer, not the loop. Because every record of epoch
+//! `e` depends only on work performed through slot `e`, a crashed run's
+//! durable prefix is byte-identical to the same prefix of the
+//! uninterrupted run — the property salvage + resume is built on.
+
+use crate::exec::{thread_busy_ns, IngestReport};
+use crate::handler::{execute_orders, DispatchStats, RequestResponseHandler, SendOrder};
+use crate::phase::{EpochPhase, PhaseTimer, PipelineStage};
+use crate::plan::Fabricator;
+use crate::query::QueryId;
+use crate::server::{
+    ControlAction, ControlHook, CraqrServer, CrashPoint, EpochInputsRecord, EpochObservation,
+    EpochReport, EpochTap, FaultDeltas, ReplayInputs, ServerConfig,
+};
+use crate::tenant::{TenantId, TenantRegistry};
+use crate::tuple::{CrowdTuple, TupleIdGen};
+use craqr_engine::BatchPool;
+use craqr_sensing::{AttributeId, Crowd, SensorResponse};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// The planner-side half of a borrow-split server: every field the
+/// ingest stage owns while the drain stage owns the [`Crowd`]. The
+/// pipelined executor moves this into the ingest worker; the serial
+/// driver keeps it on the calling thread. Either way the epoch sub-ops
+/// ([`EpochCore::issue`], [`EpochCore::absorb`], …) run on exactly one
+/// owner, which is what makes the two executors bit-identical by
+/// construction.
+pub(crate) struct EpochCore<'s> {
+    pub(crate) fabricator: &'s mut Fabricator,
+    pub(crate) handler: &'s mut RequestResponseHandler,
+    pub(crate) idgen: &'s mut TupleIdGen,
+    pub(crate) error_rng: &'s mut StdRng,
+    pub(crate) outputs: &'s mut HashMap<QueryId, Vec<CrowdTuple>>,
+    pub(crate) tenants: &'s mut Option<TenantRegistry>,
+    pub(crate) config: ServerConfig,
+}
+
+/// Borrow-splits a server into the crowd (drain-stage state), the epoch
+/// counter, and the planner half (ingest-stage state).
+pub(crate) fn split(server: &mut CraqrServer) -> (&mut Crowd, &mut u64, EpochCore<'_>) {
+    let config = server.config;
+    let CraqrServer {
+        crowd, fabricator, handler, idgen, error_rng, outputs, tenants, epoch, ..
+    } = server;
+    (crowd, epoch, EpochCore { fabricator, handler, idgen, error_rng, outputs, tenants, config })
+}
+
+/// One epoch's issued dispatch: the handler/tenant side ran to
+/// completion (budgets drawn, pools clamped and charged), the crowd side
+/// is still pending as [`SendOrder`]s. `stats.sent` stays 0 until the
+/// orders execute.
+pub(crate) struct IssuedDispatch {
+    pub(crate) orders: Vec<SendOrder>,
+    pub(crate) stats: DispatchStats,
+    pub(crate) charges: Vec<(TenantId, f64)>,
+}
+
+/// The merge of one epoch's ingestion, pre-report.
+pub(crate) struct Ingested {
+    pub(crate) fresh: Vec<(QueryId, Vec<CrowdTuple>)>,
+    pub(crate) delivered: Vec<(QueryId, usize)>,
+    pub(crate) exec: IngestReport,
+    pub(crate) ingested: usize,
+    pub(crate) rejected: usize,
+}
+
+/// Everything slot-local the report assembly needs besides the
+/// ingestion outcome.
+pub(crate) struct SlotMeta {
+    pub(crate) epoch: u64,
+    pub(crate) now: f64,
+    pub(crate) dispatch: DispatchStats,
+    pub(crate) responses: usize,
+    pub(crate) faults: FaultDeltas,
+    pub(crate) charges: Vec<(TenantId, f64)>,
+    pub(crate) stale_actions: u64,
+}
+
+impl EpochCore<'_> {
+    /// The issuing half of a dispatch (see
+    /// [`RequestResponseHandler::issue_epoch_orders`]): demands, tenant
+    /// share refresh, epoch meters, budget draws, clamping/charging, and
+    /// the per-epoch tenant charges — everything but the crowd sends.
+    /// `detached` skips order collection for replays.
+    pub(crate) fn issue(&mut self, detached: bool) -> IssuedDispatch {
+        let demands = self.fabricator.demands();
+        let shares = if self.tenants.is_some() {
+            self.fabricator.refresh_tenant_shares();
+            Some(self.fabricator.tenant_shares())
+        } else {
+            None
+        };
+        if let Some(registry) = self.tenants.as_mut() {
+            registry.begin_epoch();
+        }
+        let tenancy = match (self.tenants.as_mut(), shares) {
+            (Some(registry), Some(shares)) => Some((registry, shares)),
+            _ => None,
+        };
+        let grid = if detached { None } else { Some(self.fabricator.grid()) };
+        let (orders, stats) = self.handler.issue_epoch_orders(grid, &demands, tenancy);
+        let charges = self.tenants.as_ref().map_or_else(Vec::new, |t| t.epoch_charges());
+        IssuedDispatch { orders, stats, charges }
+    }
+
+    /// Shortfall feedback for bounded retry (when configured): counts the
+    /// drained responses per chain *before* error injection mutates them.
+    pub(crate) fn observe_drained(&mut self, responses: &[SensorResponse]) {
+        if !self.handler.retry_enabled() {
+            return;
+        }
+        let grid = self.fabricator.grid();
+        let mut counts: HashMap<(craqr_geom::CellId, AttributeId), u64> = HashMap::new();
+        for r in responses {
+            if let Some(cell) = grid.cell_of(r.measurement.point.x, r.measurement.point.y) {
+                *counts.entry((cell, r.measurement.attr)).or_insert(0) += 1;
+            }
+        }
+        self.handler.observe_responses(&counts);
+    }
+
+    /// Applies a hook's actions, returning how many were stale (targeted
+    /// a chain retired since the observation).
+    pub(crate) fn apply_actions(&mut self, actions: &[ControlAction]) -> u64 {
+        let mut stale = 0u64;
+        for action in actions {
+            match *action {
+                ControlAction::SetBudget { cell, attr, requests_per_epoch } => {
+                    if !self.handler.set_budget(cell, attr, requests_per_epoch) {
+                        stale += 1;
+                    }
+                }
+                ControlAction::RebuildChain { cell, attr } => {
+                    if let Some(leftovers) = self.fabricator.rebuild_chain(cell, attr) {
+                        // The merge drains every sink before actions can
+                        // run, so the leftovers are empty; they flow into
+                        // the output buffers anyway so no tuple can ever
+                        // be lost. If an operator starts buffering output
+                        // across epochs this trips: such tuples would
+                        // bypass `delivered` accounting and hook
+                        // observation, and that needs a conscious design
+                        // decision.
+                        debug_assert!(
+                            leftovers.iter().all(|(_, buf)| buf.is_empty()),
+                            "rebuild leftovers bypass delivered accounting"
+                        );
+                        for (qid, buf) in leftovers {
+                            self.outputs.entry(qid).or_default().extend(buf);
+                        }
+                    } else {
+                        stale += 1;
+                    }
+                }
+            }
+        }
+        stale
+    }
+
+    /// Error injection → mitigation → id assignment → map/process →
+    /// per-query merge, consuming one epoch's drained responses. Returns
+    /// the merge outcome and the spent response buffer (retained in place
+    /// through mitigation) for recycling. The mitigation region comes
+    /// from the grid, which stores the crowd's region verbatim — the
+    /// ingest stage never needs the crowd.
+    pub(crate) fn absorb(
+        &mut self,
+        mut responses: Vec<SensorResponse>,
+    ) -> (Ingested, Vec<SensorResponse>) {
+        self.config.error_model.corrupt_batch(&mut responses, self.error_rng);
+        let region = self.fabricator.grid().region();
+        let (responses, rejected) = self.config.mitigation.apply(responses, &region);
+        let tuples = self.idgen.ingest(&responses);
+        let ingested = tuples.len();
+        let exec = self.fabricator.ingest_batch_mode(&tuples, self.config.exec);
+        let mut fresh: Vec<(QueryId, Vec<CrowdTuple>)> = Vec::new();
+        let mut delivered = Vec::new();
+        for qid in self.fabricator.query_ids() {
+            let out = self.fabricator.collect_output(qid).expect("standing query");
+            delivered.push((qid, out.len()));
+            fresh.push((qid, out));
+        }
+        (Ingested { fresh, delivered, exec, ingested, rejected }, responses)
+    }
+
+    /// Budget tuning from flatten telemetry + report assembly. Returns
+    /// the report and the fresh per-query tuples (for the hook's
+    /// observation and the output buffers).
+    pub(crate) fn finish_report(
+        &mut self,
+        meta: SlotMeta,
+        ing: Ingested,
+    ) -> (EpochReport, Vec<(QueryId, Vec<CrowdTuple>)>) {
+        let tuning = self.handler.tune(&self.fabricator.flatten_reports());
+        let report = EpochReport {
+            epoch: meta.epoch,
+            now: meta.now,
+            dispatch: meta.dispatch,
+            responses: meta.responses,
+            mitigation_rejected: ing.rejected,
+            ingested: ing.ingested,
+            exec: ing.exec,
+            delivered: ing.delivered,
+            tuning,
+            tenant_charges: meta.charges,
+            stale_actions: meta.stale_actions,
+            faults: meta.faults,
+        };
+        (report, ing.fresh)
+    }
+
+    /// Snapshots the hook's observation (only when one is listening) and
+    /// banks the fresh tuples into the per-query output buffers.
+    pub(crate) fn observe_and_bank(
+        &mut self,
+        report: &EpochReport,
+        fresh: Vec<(QueryId, Vec<CrowdTuple>)>,
+        want_obs: bool,
+        epoch_start: f64,
+        epoch_end: f64,
+    ) -> Option<EpochObservation> {
+        let obs = want_obs.then(|| {
+            EpochObservation::capture(
+                report,
+                &fresh,
+                self.fabricator,
+                self.handler,
+                self.tenants.as_ref(),
+                epoch_start,
+                epoch_end,
+            )
+        });
+        for (qid, out) in fresh {
+            self.outputs.entry(qid).or_default().extend(out);
+        }
+        obs
+    }
+}
+
+/// Buffer-recycling counters for a horizon run — the observable half of
+/// the [`BatchPool`]-backed response/raw buffer recycling. Timing- and
+/// allocation-free runs are not part of the byte contract; these counters
+/// exist so tests can pin the *steady state*: after warm-up, every epoch
+/// reuses pooled buffers and `fresh_allocations` stops growing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers newly allocated because the pool was empty.
+    pub fresh_allocations: u64,
+    /// Buffers served from the pool (allocation-free epochs).
+    pub recycled: u64,
+    /// Buffers parked in the pools when the run ended.
+    pub pooled: usize,
+}
+
+/// What a horizon run ([`EpochDriver::run`] and friends) produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOutcome {
+    /// One report per completed epoch, in epoch order. A crashed run
+    /// holds exactly the epochs whose render stage fired — the same set a
+    /// salvaged run log records as durable.
+    pub reports: Vec<EpochReport>,
+    /// `false` when an armed in-loop [`CrashPoint`] abandoned the run.
+    pub completed: bool,
+    /// Buffer-recycling counters (see [`PoolStats`]).
+    pub pool: PoolStats,
+}
+
+impl RunOutcome {
+    /// Buffers parked in the driver's pools when the run ended —
+    /// non-zero once recycling reached steady state.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.pooled
+    }
+}
+
+/// A per-epoch crowd mutation applied before dispatch (regime shifts,
+/// churn, fault-window updates) — see [`EpochDriver::prologue`].
+pub(crate) type Prologue<'a> = Box<dyn FnMut(u64, &mut Crowd) + Send + 'a>;
+
+/// The builder-style epoch executor over one [`CraqrServer`] — see the
+/// [module docs](crate::driver) for schedules and semantics. Build one
+/// with [`CraqrServer::driver`], chain the optional seams, then call one
+/// of the execution shapes:
+///
+/// ```text
+/// server.driver().step();                      // one classic epoch
+/// server.driver().hook(&mut h).run(16);        // staged 16-epoch horizon
+/// server.driver().tap(&mut t).run_pipelined(16); // same bytes, 4 threads
+/// ```
+pub struct EpochDriver<'a> {
+    pub(crate) server: &'a mut CraqrServer,
+    pub(crate) hook: Option<&'a mut dyn ControlHook>,
+    pub(crate) tap: Option<&'a mut dyn EpochTap>,
+    pub(crate) timer: Option<&'a mut dyn PhaseTimer>,
+    pub(crate) prologue: Option<Prologue<'a>>,
+    pub(crate) crash: Option<(u64, CrashPoint)>,
+}
+
+impl<'a> EpochDriver<'a> {
+    /// A bare driver: no seams, no crash, classic and staged schedules
+    /// both available.
+    pub fn new(server: &'a mut CraqrServer) -> Self {
+        Self { server, hook: None, tap: None, timer: None, prologue: None, crash: None }
+    }
+
+    /// Installs the control seam: the hook observes every epoch and its
+    /// actions are applied per the active schedule.
+    pub fn hook(mut self, hook: &'a mut dyn ControlHook) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Installs the recording seam: the tap observes every completed
+    /// epoch's inputs, in strict epoch order.
+    pub fn tap(mut self, tap: &'a mut dyn EpochTap) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Installs the timing seam. Without one, the loop reads no clock at
+    /// all; with one, only the timer sees the readings — every
+    /// checksummed artifact is bit-identical either way.
+    pub fn timer(mut self, timer: &'a mut dyn PhaseTimer) -> Self {
+        self.timer = Some(timer);
+        self
+    }
+
+    /// Installs a pre-epoch prologue for horizon runs: called with the
+    /// slot index and the crowd at the top of each slot's drain stage
+    /// (scripted world shifts, churn, fault windows). Crowd-only by
+    /// construction — the planner half is mid-flight on another epoch
+    /// when the pipelined executor runs this.
+    pub fn prologue(mut self, f: impl FnMut(u64, &mut Crowd) + Send + 'a) -> Self {
+        self.prologue = Some(Box::new(f));
+        self
+    }
+
+    /// Arms a crash: the horizon run dies at `point` of slot `slot`,
+    /// exactly as a process kill there would (see the module docs).
+    pub fn crash_at(mut self, slot: u64, point: CrashPoint) -> Self {
+        self.crash = Some((slot, point));
+        self
+    }
+
+    /// Runs one epoch under the **classic schedule** (issue + execute at
+    /// the top, actions applied in-epoch) — bit-identical to the
+    /// historical `run_epoch*` family.
+    pub fn step(&mut self) -> EpochReport {
+        self.classic(None).expect("no crash point armed")
+    }
+
+    /// [`EpochDriver::step`] from recorded inputs instead of the live
+    /// crowd: dispatch draws the budgets but sends nothing, the crowd is
+    /// only stepped to advance the simulation clock (use a detached —
+    /// zero-sensor — crowd), and the recorded responses take the place of
+    /// the drained ones. Everything downstream runs exactly as live.
+    pub fn step_replayed(&mut self, inputs: ReplayInputs<'_>) -> EpochReport {
+        self.classic(Some(inputs)).expect("no crash point armed")
+    }
+
+    /// Runs one classic epoch that dies at `point` (see
+    /// [`CrashPoint`]): every mutation before the point persists, the
+    /// rest of the epoch never happens, and the tap never fires. Returns
+    /// `None` for the three in-loop points; [`CrashPoint::MidLogAppend`]
+    /// completes the epoch (the tear lives in the log writer) and
+    /// returns its report.
+    pub fn step_to_crash(&mut self, point: CrashPoint) -> Option<EpochReport> {
+        self.crash = match point {
+            CrashPoint::MidLogAppend => None,
+            p => Some((0, p)),
+        };
+        let r = self.classic(None);
+        self.crash = None;
+        r
+    }
+
+    /// Runs `epochs` slots of the **staged schedule** single-threaded —
+    /// the serial executor of the dataflow the pipelined executor spreads
+    /// across worker threads, byte-identical to it by construction.
+    pub fn run(mut self, epochs: u64) -> RunOutcome {
+        self.run_horizon(epochs, None)
+    }
+
+    /// Runs the staged schedule across four worker threads (drain,
+    /// ingest, control, render) connected by bounded channels — see
+    /// [`crate::pipeline`]. Byte-identical to [`EpochDriver::run`].
+    pub fn run_pipelined(self, epochs: u64) -> RunOutcome {
+        crate::pipeline::run_pipelined(self, epochs)
+    }
+
+    /// [`EpochDriver::run`] from recorded inputs (one [`ReplayInputs`]
+    /// per slot, the horizon is the slice length) — the staged-schedule
+    /// sibling of [`EpochDriver::step_replayed`].
+    pub fn run_replayed(mut self, inputs: &[ReplayInputs<'_>]) -> RunOutcome {
+        self.run_horizon(inputs.len() as u64, Some(inputs))
+    }
+
+    /// [`EpochDriver::run_pipelined`] from recorded inputs — replays a
+    /// log across the four stage workers, byte-identical to
+    /// [`EpochDriver::run_replayed`].
+    pub fn run_replayed_pipelined(self, inputs: &[ReplayInputs<'_>]) -> RunOutcome {
+        crate::pipeline::run_replayed_pipelined(self, inputs)
+    }
+
+    /// The classic single-epoch loop — the historical `epoch_inner`,
+    /// with dispatch split into issue + execute and the observation
+    /// owned. Returns `None` when the armed in-loop crash point fired.
+    fn classic(&mut self, replay: Option<ReplayInputs<'_>>) -> Option<EpochReport> {
+        let crash = self.crash.map(|(_, p)| p).filter(|p| *p != CrashPoint::MidLogAppend);
+        let (crowd, epoch_counter, mut core) = split(self.server);
+        let epoch = *epoch_counter;
+        *epoch_counter += 1;
+        let epoch_start = crowd.now();
+        // One clock reading per phase boundary, and only when a timer is
+        // installed: `lap` is the *only* clock access in the loop, so an
+        // uninstrumented epoch reads no clock at all.
+        // craqr-lint: allow(R1): phase latencies feed Timing-tier metrics only, never canonical_events
+        let mut phase_clock = self.timer.as_ref().map(|_| thread_busy_ns());
+        let mut lap = |timer: &mut Option<&mut dyn PhaseTimer>, phase: EpochPhase| {
+            if let Some(t) = timer.as_deref_mut() {
+                // craqr-lint: allow(R1): same Timing-tier phase span; excluded from checksummed artifacts
+                let now = thread_busy_ns();
+                let start = phase_clock.expect("clock anchored when timer installed");
+                t.observe(phase, now.saturating_sub(start));
+                phase_clock = Some(now);
+            }
+        };
+
+        // 1. Dispatch acquisition requests per materialized chain. Under
+        // replay the budgets are drawn identically but no request exists
+        // to send; the crowd-side outcome comes from the log.
+        let issued = core.issue(replay.is_some());
+        let sent = match &replay {
+            None => execute_orders(crowd, &issued.orders),
+            Some(inputs) => inputs.sent,
+        };
+        let mut dispatch = issued.stats;
+        dispatch.sent = sent;
+        core.handler.record_sent(sent);
+        let tenant_charges = issued.charges;
+        lap(&mut self.timer, EpochPhase::Dispatch);
+        if crash == Some(CrashPoint::PostDispatch) {
+            return None;
+        }
+
+        // 2. The world moves; responses mature. The replay clock advances
+        // through the same sequence of `step` calls so accumulated
+        // simulation time stays bit-identical to the live run.
+        let dt = core.config.planner.batch_duration / core.config.mobility_substeps as f64;
+        let faults_before = FaultDeltas {
+            dropped: crowd.responses_dropped(),
+            delayed: crowd.responses_delayed(),
+            duplicated: crowd.responses_duplicated(),
+        };
+        for _ in 0..core.config.mobility_substeps {
+            crowd.step(dt);
+        }
+        let faults = match &replay {
+            None => FaultDeltas {
+                dropped: crowd.responses_dropped() - faults_before.dropped,
+                delayed: crowd.responses_delayed() - faults_before.delayed,
+                duplicated: crowd.responses_duplicated() - faults_before.duplicated,
+            },
+            Some(inputs) => inputs.faults,
+        };
+        let responses = match &replay {
+            None => crowd.drain_responses(),
+            Some(inputs) => inputs.responses.to_vec(),
+        };
+        let n_responses = responses.len();
+        // The tap sees responses exactly as drained, before error
+        // injection mutates them in place. Clone only when someone is
+        // listening *and* there is no replay input to borrow from.
+        let raw_responses =
+            if self.tap.is_some() && replay.is_none() { Some(responses.clone()) } else { None };
+        if crash == Some(CrashPoint::PostDrain) {
+            return None;
+        }
+        core.observe_drained(&responses);
+        lap(&mut self.timer, EpochPhase::Drain);
+
+        // 3–6. Error injection, mitigation, ingestion, map/process,
+        // merge.
+        let (ing, _spent) = core.absorb(responses);
+        lap(&mut self.timer, EpochPhase::Ingest);
+
+        // 7. Budget tuning + the report (classic: stale_actions patched
+        // in after the hook ran, below).
+        let epoch_end = crowd.now();
+        let meta = SlotMeta {
+            epoch,
+            now: epoch_end,
+            dispatch,
+            responses: n_responses,
+            faults,
+            charges: tenant_charges,
+            stale_actions: 0,
+        };
+        let (mut report, fresh) = core.finish_report(meta, ing);
+
+        // 8. Observation/actuation: the hook sees the epoch, its actions
+        // apply inside this same epoch (the classic in-epoch control
+        // lag).
+        let obs =
+            core.observe_and_bank(&report, fresh, self.hook.is_some(), epoch_start, epoch_end);
+        let mut actions: Vec<ControlAction> = Vec::new();
+        if let Some(hook) = self.hook.as_deref_mut() {
+            actions = hook.on_epoch(obs.as_ref().expect("observation built when hook installed"));
+            report.stale_actions = core.apply_actions(&actions);
+        }
+        lap(&mut self.timer, EpochPhase::Control);
+        if crash == Some(CrashPoint::PostControl) {
+            return None;
+        }
+
+        // 9. Recording seam: the tap sees the epoch's inputs (and the
+        // actions just applied) after everything else settled.
+        if let Some(tap) = self.tap.as_deref_mut() {
+            let raw: &[SensorResponse] = match (&replay, &raw_responses) {
+                (Some(inputs), _) => inputs.responses,
+                (None, Some(raw)) => raw,
+                (None, None) => &[],
+            };
+            tap.on_epoch(&EpochInputsRecord { report: &report, responses: raw, actions: &actions });
+        }
+        lap(&mut self.timer, EpochPhase::LogAppend);
+        Some(report)
+    }
+
+    /// The staged schedule, single-threaded: the serial reference
+    /// implementation of the pipelined dataflow (see the module docs for
+    /// the slot anatomy).
+    fn run_horizon(&mut self, n: u64, replay: Option<&[ReplayInputs<'_>]>) -> RunOutcome {
+        let in_loop_crash = self.crash.filter(|(_, p)| *p != CrashPoint::MidLogAppend);
+        let detached = replay.is_some();
+        let (crowd, epoch_counter, mut core) = split(self.server);
+        let base = *epoch_counter;
+        let mut outcome =
+            RunOutcome { reports: Vec::with_capacity(n as usize), ..Default::default() };
+        if n == 0 {
+            outcome.completed = true;
+            return outcome;
+        }
+        // Response and raw-snapshot buffers recycle through pools, the
+        // serial twin of the pipeline's return channels. Pooling only
+        // reuses capacity — contents are cleared on every cycle — so it
+        // is byte-inert.
+        let mut pool: BatchPool<SensorResponse> = BatchPool::default();
+        let mut raw_pool: BatchPool<SensorResponse> = BatchPool::default();
+        let take = |pool: &mut BatchPool<SensorResponse>, stats: &mut PoolStats| {
+            if pool.retained() > 0 {
+                stats.recycled += 1;
+            } else {
+                stats.fresh_allocations += 1;
+            }
+            pool.take()
+        };
+
+        // Per-stage spans (timing tier only; zero clock reads untimed).
+        // craqr-lint: allow(R1): stage spans feed Timing-tier metrics only, never canonical_events
+        let mut span_clock = self.timer.as_ref().map(|_| thread_busy_ns());
+        let mut span = |timer: &mut Option<&mut dyn PhaseTimer>,
+                        stage: PipelineStage,
+                        slot: u64,
+                        phase: EpochPhase| {
+            if let Some(t) = timer.as_deref_mut() {
+                // craqr-lint: allow(R1): same Timing-tier stage span; excluded from checksummed artifacts
+                let now = thread_busy_ns();
+                let start = span_clock.expect("clock anchored when timer installed");
+                t.observe_stage(stage, slot, phase, now.saturating_sub(start));
+                span_clock = Some(now);
+            }
+        };
+
+        let mut pending = Some(core.issue(detached));
+        span(&mut self.timer, PipelineStage::Ingest, 0, EpochPhase::Dispatch);
+        let mut pending_actions: Vec<ControlAction> = Vec::new();
+        for t in 0..n {
+            // ── drain stage ────────────────────────────────────────────
+            // A restarted process observes the epoch counter advanced as
+            // soon as the slot began, crashed or not.
+            *epoch_counter = base + t + 1;
+            let epoch_id = base + t;
+            if let Some(p) = &mut self.prologue {
+                p(t, crowd);
+            }
+            let epoch_start = crowd.now();
+            let issued = pending.take().expect("orders issued by the previous slot");
+            let sent = match replay {
+                None => execute_orders(crowd, &issued.orders),
+                Some(inputs) => inputs[t as usize].sent,
+            };
+            span(&mut self.timer, PipelineStage::Drain, t, EpochPhase::Dispatch);
+            if in_loop_crash == Some((t, CrashPoint::PostDispatch)) {
+                return outcome;
+            }
+            let dt = core.config.planner.batch_duration / core.config.mobility_substeps as f64;
+            let faults_before = FaultDeltas {
+                dropped: crowd.responses_dropped(),
+                delayed: crowd.responses_delayed(),
+                duplicated: crowd.responses_duplicated(),
+            };
+            for _ in 0..core.config.mobility_substeps {
+                crowd.step(dt);
+            }
+            let faults = match replay {
+                None => FaultDeltas {
+                    dropped: crowd.responses_dropped() - faults_before.dropped,
+                    delayed: crowd.responses_delayed() - faults_before.delayed,
+                    duplicated: crowd.responses_duplicated() - faults_before.duplicated,
+                },
+                Some(inputs) => inputs[t as usize].faults,
+            };
+            let responses = {
+                let mut buf = take(&mut pool, &mut outcome.pool);
+                match replay {
+                    None => crowd.drain_responses_reusing(buf),
+                    Some(inputs) => {
+                        buf.clear();
+                        buf.extend_from_slice(inputs[t as usize].responses);
+                        buf
+                    }
+                }
+            };
+            let n_responses = responses.len();
+            let epoch_end = crowd.now();
+            span(&mut self.timer, PipelineStage::Drain, t, EpochPhase::Drain);
+            if in_loop_crash == Some((t, CrashPoint::PostDrain)) {
+                return outcome;
+            }
+
+            // ── ingest stage ───────────────────────────────────────────
+            let mut dispatch = issued.stats;
+            dispatch.sent = sent;
+            core.handler.record_sent(sent);
+            // Epoch t-1's actions land here — after epoch t's orders
+            // already executed, before epoch t+1's are issued.
+            let stale_actions = core.apply_actions(&pending_actions);
+            core.observe_drained(&responses);
+            span(&mut self.timer, PipelineStage::Ingest, t, EpochPhase::Ingest);
+            if t + 1 < n {
+                pending = Some(core.issue(detached));
+            }
+            span(&mut self.timer, PipelineStage::Ingest, t, EpochPhase::Dispatch);
+            // Snapshot the raw responses for the tap before error
+            // injection mutates the buffer in place; replays borrow from
+            // the recorded inputs instead.
+            let raw = match (replay, self.tap.is_some()) {
+                (None, true) => {
+                    let mut buf = take(&mut raw_pool, &mut outcome.pool);
+                    buf.clear();
+                    buf.extend_from_slice(&responses);
+                    Some(buf)
+                }
+                _ => None,
+            };
+            let (ing, spent) = core.absorb(responses);
+            pool.put(spent);
+            let meta = SlotMeta {
+                epoch: epoch_id,
+                now: epoch_end,
+                dispatch,
+                responses: n_responses,
+                faults,
+                charges: issued.charges,
+                stale_actions,
+            };
+            let (report, fresh) = core.finish_report(meta, ing);
+            let obs =
+                core.observe_and_bank(&report, fresh, self.hook.is_some(), epoch_start, epoch_end);
+            span(&mut self.timer, PipelineStage::Ingest, t, EpochPhase::Ingest);
+
+            // ── control stage ──────────────────────────────────────────
+            let actions = match self.hook.as_deref_mut() {
+                Some(hook) => {
+                    hook.on_epoch(obs.as_ref().expect("observation built when hook installed"))
+                }
+                None => Vec::new(),
+            };
+            span(&mut self.timer, PipelineStage::Control, t, EpochPhase::Control);
+            if in_loop_crash == Some((t, CrashPoint::PostControl)) {
+                return outcome;
+            }
+
+            // ── render stage ───────────────────────────────────────────
+            if let Some(tap) = self.tap.as_deref_mut() {
+                let raw_slice: &[SensorResponse] = match (replay, &raw) {
+                    (Some(inputs), _) => inputs[t as usize].responses,
+                    (None, Some(buf)) => buf,
+                    (None, None) => &[],
+                };
+                tap.on_epoch(&EpochInputsRecord {
+                    report: &report,
+                    responses: raw_slice,
+                    actions: &actions,
+                });
+            }
+            if let Some(buf) = raw {
+                raw_pool.put(buf);
+            }
+            span(&mut self.timer, PipelineStage::Render, t, EpochPhase::LogAppend);
+            outcome.reports.push(report);
+            pending_actions = actions;
+        }
+        // The final epoch's actions land on a server no further epoch
+        // reads; applied anyway so a full-horizon rerun (resume) and the
+        // original leave bit-identical final state. Their stale count has
+        // no report to live in.
+        let _ = core.apply_actions(&pending_actions);
+        outcome.pool.pooled = pool.retained() + raw_pool.retained();
+        outcome.completed = true;
+        outcome
+    }
+}

@@ -40,6 +40,19 @@ fn clamp_and_charge(tenancy: &mut Tenancy<'_>, key: (CellId, AttributeId), wante
     }
 }
 
+/// Executes issued [`SendOrder`]s on the crowd, returning how many
+/// requests were actually sent. The crowd calls happen in order-issue
+/// order — the same sequence, with the same arguments, the fused dispatch
+/// loop produced — so the crowd's RNG stream is bit-identical whether a
+/// dispatch was fused or staged.
+pub fn execute_orders(crowd: &mut Crowd, orders: &[SendOrder]) -> u64 {
+    let mut sent = 0u64;
+    for o in orders {
+        sent += crowd.dispatch_requests(o.attr, &o.rect, o.allowed, o.incentive) as u64;
+    }
+    sent
+}
+
 /// Bounded retry/backoff for response shortfalls — the graceful-
 /// degradation half of the fault-injection story (crowds that drop or
 /// delay responses; see `craqr_sensing::CrowdFaults`).
@@ -103,6 +116,31 @@ impl RetryPolicy {
 struct RetryState {
     attempts: u32,
     pending: u64,
+}
+
+/// One crowd-side send the handler decided on: dispatch `allowed`
+/// acquisition requests for `(cell, attr)` into `rect` at `incentive`.
+///
+/// Issuing orders (budget draws, retry top-ups, tenant clamping/charging
+/// — all handler/registry mutations) is separated from *executing* them
+/// on the crowd so the pipelined executor can run the two halves on
+/// different stage workers: stage 2 issues epoch `t+1`'s orders while
+/// stage 1 is still draining epoch `t`. Executing a batch of orders
+/// performs exactly the same crowd calls, in exactly the same sequence,
+/// as the fused dispatch loop did — the crowd's RNG stream cannot tell
+/// the difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendOrder {
+    /// Which cell.
+    pub cell: CellId,
+    /// Which attribute.
+    pub attr: AttributeId,
+    /// The cell's rectangle (the dispatch target region).
+    pub rect: craqr_geom::Rect,
+    /// Requests to send after budget draw and tenant clamping.
+    pub allowed: usize,
+    /// Incentive offered per request.
+    pub incentive: f64,
 }
 
 /// Per-epoch dispatch statistics.
@@ -286,8 +324,33 @@ impl RequestResponseHandler {
         crowd: &mut Crowd,
         grid: &Grid,
         demands: &[(CellId, AttributeId, f64)],
-        mut tenancy: Tenancy<'_>,
+        tenancy: Tenancy<'_>,
     ) -> DispatchStats {
+        let (orders, mut stats) = self.issue_epoch_orders(Some(grid), demands, tenancy);
+        let sent = execute_orders(crowd, &orders);
+        stats.sent = sent;
+        self.record_sent(sent);
+        stats
+    }
+
+    /// The issuing half of a dispatch: prunes state for dematerialized
+    /// chains, draws every demanded chain's budget (plus pending retry
+    /// top-ups), clamps and charges against tenant pools, and materializes
+    /// incentive entries — every handler- and registry-side mutation of a
+    /// dispatch, in the exact order the fused loop performed them — but
+    /// touches no crowd. The crowd-side sends come back as [`SendOrder`]s
+    /// for [`execute_orders`]; with `grid = None` (the detached-replay
+    /// path) order collection is skipped entirely while the handler state
+    /// still evolves identically.
+    ///
+    /// `stats.sent` is left at 0; fold the execution outcome back with
+    /// [`RequestResponseHandler::record_sent`].
+    pub fn issue_epoch_orders(
+        &mut self,
+        grid: Option<&Grid>,
+        demands: &[(CellId, AttributeId, f64)],
+        mut tenancy: Tenancy<'_>,
+    ) -> (Vec<SendOrder>, DispatchStats) {
         // Prune state for dematerialized chains.
         let live: std::collections::HashSet<(CellId, AttributeId)> =
             demands.iter().map(|(c, a, _)| (*c, *a)).collect();
@@ -296,6 +359,7 @@ impl RequestResponseHandler {
         self.retry.retain(|k, _| live.contains(k));
         self.last_allowed.clear();
 
+        let mut orders = Vec::new();
         let mut stats = DispatchStats::default();
         for (cell, attr, _rate) in demands {
             let key = (*cell, *attr);
@@ -307,6 +371,9 @@ impl RequestResponseHandler {
             if want == 0 {
                 continue;
             }
+            // Tenant clamping and charging evolve identically whether or
+            // not orders are collected — the registry's epoch meters are
+            // handler-side state a replay must reproduce bit-for-bit.
             let allowed = clamp_and_charge(&mut tenancy, key, want);
             stats.requested += want as u64;
             stats.throttled += (want - allowed) as u64;
@@ -318,13 +385,25 @@ impl RequestResponseHandler {
                 continue;
             }
             let incentive = self.incentives.entry(key).or_default().current(&self.incentive_policy);
-            let rect = grid.cell_rect(*cell);
-            let sent = crowd.dispatch_requests(*attr, &rect, allowed, incentive);
-            stats.sent += sent as u64;
+            if let Some(grid) = grid {
+                orders.push(SendOrder {
+                    cell: *cell,
+                    attr: *attr,
+                    rect: grid.cell_rect(*cell),
+                    allowed,
+                    incentive,
+                });
+            }
         }
         self.total_requested += stats.requested;
-        self.total_sent += stats.sent;
-        stats
+        (orders, stats)
+    }
+
+    /// Folds an executed epoch's crowd-side outcome into the running
+    /// totals — the counterpart of the `stats.sent` accumulation the
+    /// fused dispatch loop performed inline.
+    pub fn record_sent(&mut self, sent: u64) {
+        self.total_sent += sent;
     }
 
     /// The crowd-detached twin of
@@ -337,45 +416,11 @@ impl RequestResponseHandler {
         &mut self,
         demands: &[(CellId, AttributeId, f64)],
         sent: u64,
-        mut tenancy: Tenancy<'_>,
+        tenancy: Tenancy<'_>,
     ) -> DispatchStats {
-        let live: std::collections::HashSet<(CellId, AttributeId)> =
-            demands.iter().map(|(c, a, _)| (*c, *a)).collect();
-        self.budgets.retain(|k, _| live.contains(k));
-        self.incentives.retain(|k, _| live.contains(k));
-        self.retry.retain(|k, _| live.contains(k));
-        self.last_allowed.clear();
-
-        let mut stats = DispatchStats { sent, ..DispatchStats::default() };
-        for (cell, attr, _rate) in demands {
-            let key = (*cell, *attr);
-            let budget =
-                self.budgets.entry(key).or_insert_with(|| Budget::new(self.initial_budget));
-            let n = budget.draw_requests();
-            let extra = self.take_retry_pending(key);
-            let want = n + extra;
-            if want == 0 {
-                continue;
-            }
-            // Tenant clamping and charging evolve identically to the live
-            // dispatch — the registry's epoch meters are part of the
-            // handler-side state a replay must reproduce bit-for-bit.
-            let allowed = clamp_and_charge(&mut tenancy, key, want);
-            stats.requested += want as u64;
-            stats.throttled += (want - allowed) as u64;
-            self.retries_requested += extra as u64;
-            if self.retry_policy.is_some() {
-                self.last_allowed.insert(key, allowed as u64);
-            }
-            if allowed == 0 {
-                continue;
-            }
-            // The live path materializes the incentive entry here; mirror
-            // it so replayed and live handler states stay identical.
-            let _ = self.incentives.entry(key).or_default().current(&self.incentive_policy);
-        }
-        self.total_requested += stats.requested;
-        self.total_sent += stats.sent;
+        let (_, mut stats) = self.issue_epoch_orders(None, demands, tenancy);
+        stats.sent = sent;
+        self.record_sent(sent);
         stats
     }
 
@@ -414,6 +459,16 @@ impl RequestResponseHandler {
     /// Current budget for a chain (requests per epoch).
     pub fn budget_of(&self, cell: CellId, attr: AttributeId) -> Option<f64> {
         self.budgets.get(&(cell, attr)).map(|b| b.requests_per_epoch)
+    }
+
+    /// Every live chain's current budget, by value — the snapshot behind
+    /// [`crate::EpochObservation`]'s budget view. Map-shaped (lookups
+    /// only, never iterated into anything ordered), so the HashMap's
+    /// arbitrary internal order is inert.
+    pub fn budget_snapshot(&self) -> HashMap<(CellId, AttributeId), f64> {
+        // craqr-lint: allow(R2): hash-to-hash copy; the snapshot is only
+        // ever probed by key, so iteration order cannot leak anywhere
+        self.budgets.iter().map(|(k, b)| (*k, b.requests_per_epoch)).collect()
     }
 
     /// Overwrites a **live** chain's budget (requests per epoch) — the

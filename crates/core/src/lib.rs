@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod budget;
+pub mod driver;
 pub mod error_model;
 pub mod exec;
 pub mod handler;
@@ -51,6 +52,7 @@ pub mod incentive;
 pub mod ops;
 pub mod optimizer;
 pub mod phase;
+pub mod pipeline;
 pub mod plan;
 pub mod query;
 pub mod server;
@@ -58,17 +60,19 @@ pub mod tenant;
 pub mod tuple;
 
 pub use budget::{Budget, BudgetTuner};
+pub use driver::{EpochDriver, PoolStats, RunOutcome};
 pub use error_model::{ErrorModel, Mitigation};
 pub use exec::{ExecMode, IngestReport, ShardIngest};
 pub use handler::{RequestResponseHandler, RetryPolicy};
 pub use incentive::IncentivePolicy;
 pub use ops::{FlattenOp, PartitionOp, RateMeterOp, SuperposeOp, ThinOp, UnionOp};
-pub use phase::{EpochPhase, PhaseTimer};
+pub use phase::{EpochPhase, PhaseTimer, PipelineStage};
 pub use plan::{Fabricator, PlannerConfig, TopologyShape};
 pub use query::{AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 pub use server::{
-    ControlAction, ControlHook, CraqrServer, CrashPoint, EpochInputsRecord, EpochObservation,
-    EpochReport, EpochTap, FaultDeltas, ReplayInputs, ServerConfig,
+    BudgetView, ControlAction, ControlHook, CraqrServer, CrashPoint, EpochInputsRecord,
+    EpochObservation, EpochReport, EpochTap, FaultDeltas, PlanView, QueryPlanView, ReplayInputs,
+    ServerConfig,
 };
 pub use tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry, TenantSummary};
 pub use tuple::CrowdTuple;

@@ -67,16 +67,73 @@ impl EpochPhase {
     }
 }
 
+/// One of the pipelined executor's long-lived stage workers, in dataflow
+/// order. Each [`EpochPhase`] is owned by exactly one stage:
+///
+/// - `Drain` owns the crowd: it executes dispatch orders
+///   ([`EpochPhase::Dispatch`], the send half) and advances/drains the
+///   world ([`EpochPhase::Drain`]).
+/// - `Ingest` owns the handler/fabricator: it issues dispatch orders
+///   ([`EpochPhase::Dispatch`], the budget-draw half) and runs error
+///   injection through merge and tuning ([`EpochPhase::Ingest`]).
+/// - `Control` owns the hook ([`EpochPhase::Control`]).
+/// - `Render` owns the tap ([`EpochPhase::LogAppend`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// Stage 1: crowd owner — order execution, mobility steps, drain.
+    Drain,
+    /// Stage 2: handler/fabricator owner — order issue, ingestion, tuning.
+    Ingest,
+    /// Stage 3: control-hook owner.
+    Control,
+    /// Stage 4: tap/render owner (run-log append).
+    Render,
+}
+
+impl PipelineStage {
+    /// Every stage, in dataflow order.
+    pub const ALL: [PipelineStage; 4] = [
+        PipelineStage::Drain,
+        PipelineStage::Ingest,
+        PipelineStage::Control,
+        PipelineStage::Render,
+    ];
+
+    /// The metric-facing label (`stage="…"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineStage::Drain => "drain",
+            PipelineStage::Ingest => "ingest",
+            PipelineStage::Control => "control",
+            PipelineStage::Render => "render",
+        }
+    }
+}
+
 /// Observes per-phase thread-CPU durations for one epoch at a time.
 ///
-/// Installed via the `timer` parameter of
-/// [`crate::CraqrServer::run_epoch_instrumented`] (and its replayed
-/// twin). The server calls [`PhaseTimer::observe`] once per
-/// [`EpochPhase`] per epoch, in loop order, with the phase's elapsed
-/// thread-CPU nanoseconds. Implementations must not feed the values back
-/// into anything checksummed (see the module docs for the contract).
-pub trait PhaseTimer {
+/// Installed via [`crate::EpochDriver::timer`]. The driver calls
+/// [`PhaseTimer::observe`] once per [`EpochPhase`] per epoch, in loop
+/// order, with the phase's elapsed thread-CPU nanoseconds.
+/// Implementations must not feed the values back into anything
+/// checksummed (see the module docs for the contract).
+/// `Send` is a supertrait because the pipelined executor runs the timer's
+/// replay on the driver thread after stage workers join — every
+/// implementor is plain data, so the bound costs nothing.
+pub trait PhaseTimer: Send {
     /// Records that `phase` took `nanos` thread-CPU nanoseconds this
     /// epoch.
     fn observe(&mut self, phase: EpochPhase, nanos: u64);
+
+    /// Pipelined-executor variant of [`PhaseTimer::observe`]: the same
+    /// span, attributed to the stage worker that ran it, tagged with the
+    /// epoch slot it belonged to. Stages record spans thread-locally and
+    /// the driver replays them through this method after the workers
+    /// join, in `(slot, stage)` order. The default forwards to `observe`,
+    /// so phase-only timers keep working unchanged; stage-aware timers
+    /// (the pipeline bench's critical-path model, per-stage telemetry)
+    /// override it for the extra dimensions.
+    fn observe_stage(&mut self, _stage: PipelineStage, _slot: u64, phase: EpochPhase, nanos: u64) {
+        self.observe(phase, nanos);
+    }
 }

@@ -2,10 +2,9 @@
 
 use crate::budget::BudgetTuner;
 use crate::error_model::{ErrorModel, Mitigation};
-use crate::exec::{fast_monotonic_ns, thread_busy_ns, ExecMode, IngestReport};
+use crate::exec::{fast_monotonic_ns, ExecMode, IngestReport};
 use crate::handler::{DispatchStats, RequestResponseHandler, TuneEvent};
 use crate::incentive::IncentivePolicy;
-use crate::phase::{EpochPhase, PhaseTimer};
 use crate::plan::{Fabricator, PlanError, PlannerConfig};
 use crate::query::{parse_query, AcquisitionQuery, AttributeCatalog, ParseError, QueryId};
 use crate::tenant::{AdmissionDecision, BudgetPool, TenantId, TenantRegistry};
@@ -215,30 +214,144 @@ pub struct EpochReport {
     pub faults: FaultDeltas,
 }
 
+/// One standing query's plan, as a [`ControlHook`] sees it: the
+/// replanning-relevant slice of [`crate::plan::QueryPlan`], snapshotted
+/// by value so the observation can cross a stage boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlanView {
+    /// The standing query's id.
+    pub qid: QueryId,
+    /// The acquired attribute.
+    pub attr: AttributeId,
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// The requested rate (tuples /km²/min).
+    pub rate: f64,
+    /// The footprint's bounding box (a degenerate footprint falls back
+    /// to its first cell's rect).
+    pub bbox: craqr_geom::Rect,
+    /// The footprint's area (km²).
+    pub area: f64,
+    /// The materialized cells, each with the area of its overlap with
+    /// the footprint (km²), in plan order.
+    pub cells: Vec<(craqr_geom::CellId, f64)>,
+}
+
+/// The planner's standing state, snapshotted for a [`ControlHook`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanView {
+    /// Epoch length (minutes).
+    pub batch_duration: f64,
+    /// The acquisition grid.
+    pub grid: craqr_geom::Grid,
+    /// Every standing query's plan, ascending by [`QueryId`].
+    pub queries: Vec<QueryPlanView>,
+    /// Per-chain demand (requests/epoch), exactly what dispatch draws
+    /// from ([`Fabricator::demands`]).
+    pub demands: Vec<(craqr_geom::CellId, AttributeId, f64)>,
+}
+
+/// The handler's budget state, snapshotted for a [`ControlHook`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetView {
+    budgets: HashMap<(craqr_geom::CellId, AttributeId), f64>,
+    /// The budget tuning policy in force.
+    pub tuner: BudgetTuner,
+}
+
+impl BudgetView {
+    /// The acquisition budget of one chain (requests/epoch), if its
+    /// budget entry is live — the snapshot of
+    /// [`RequestResponseHandler::budget_of`].
+    pub fn of(&self, cell: craqr_geom::CellId, attr: AttributeId) -> Option<f64> {
+        self.budgets.get(&(cell, attr)).copied()
+    }
+}
+
 /// What a [`ControlHook`] gets to see after each epoch: the epoch's
-/// report, the tuples it delivered per query, and read access to the
+/// report, the tuples it delivered per query, and value snapshots of the
 /// planner/handler state. Everything here is a deterministic function of
-/// `(config, seed, epoch)` — identical under [`ExecMode::Serial`] and any
-/// `Sharded(n)` — so hooks that compute only from this view inherit the
-/// executor's determinism contract for free.
-pub struct EpochObservation<'a> {
+/// `(config, seed, epoch)` — identical under [`ExecMode::Serial`], any
+/// `Sharded(n)`, and the pipelined executor — so hooks that compute only
+/// from this view inherit the executor's determinism contract for free.
+///
+/// The observation is **owned** (no borrows into the server): the
+/// pipelined executor materializes it on the ingest stage and ships it
+/// over a channel to the control stage, and the serial driver builds the
+/// identical value in place. It is only constructed when a hook is
+/// installed, so hookless runs pay nothing for the snapshotting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochObservation {
     /// The epoch's loop statistics.
-    pub report: &'a EpochReport,
+    pub report: EpochReport,
     /// Tuples delivered this epoch per query, ascending by [`QueryId`].
     /// (They are *about to be* appended to the per-query output buffers;
     /// the hook sees them first.)
-    pub delivered: &'a [(QueryId, Vec<CrowdTuple>)],
-    /// The planner: standing query plans, chain telemetry, grid.
-    pub fabricator: &'a Fabricator,
-    /// The request/response handler: budgets, incentives, totals.
-    pub handler: &'a RequestResponseHandler,
-    /// The tenant registry, when this server is multi-tenant — replanning
-    /// policies use it to respect per-tenant pool boundaries.
-    pub tenants: Option<&'a TenantRegistry>,
+    pub delivered: Vec<(QueryId, Vec<CrowdTuple>)>,
+    /// The planner: standing query plans, demands, grid.
+    pub plan: PlanView,
+    /// The handler's budget state and tuning policy.
+    pub budgets: BudgetView,
+    /// Per-tenant summaries, when this server is multi-tenant —
+    /// replanning policies use them to respect per-tenant pool
+    /// boundaries.
+    pub tenants: Option<Vec<crate::tenant::TenantSummary>>,
     /// Simulation time at the start of the epoch (minutes).
     pub epoch_start: f64,
     /// Simulation time at the end of the epoch (minutes).
     pub epoch_end: f64,
+}
+
+impl EpochObservation {
+    /// Snapshots the observation a hook sees for one finished epoch.
+    /// Called identically by the serial and pipelined drivers, right
+    /// after the epoch's report is assembled, so the two executors hand
+    /// hooks bit-identical views.
+    pub(crate) fn capture(
+        report: &EpochReport,
+        fresh: &[(QueryId, Vec<CrowdTuple>)],
+        fabricator: &Fabricator,
+        handler: &RequestResponseHandler,
+        tenants: Option<&TenantRegistry>,
+        epoch_start: f64,
+        epoch_end: f64,
+    ) -> Self {
+        let grid = fabricator.grid();
+        let queries = fabricator
+            .query_ids()
+            .into_iter()
+            .map(|qid| {
+                let plan = fabricator.query_plan(qid).expect("standing query");
+                let bbox = plan
+                    .footprint
+                    .bounding_box()
+                    .unwrap_or_else(|| grid.cell_rect(plan.cells[0].0));
+                QueryPlanView {
+                    qid,
+                    attr: plan.query.attr,
+                    tenant: plan.query.tenant,
+                    rate: plan.query.rate,
+                    bbox,
+                    area: plan.footprint.area(),
+                    cells: plan.cells.iter().map(|(c, overlap, _)| (*c, overlap.area())).collect(),
+                }
+            })
+            .collect();
+        EpochObservation {
+            report: report.clone(),
+            delivered: fresh.to_vec(),
+            plan: PlanView {
+                batch_duration: fabricator.config().batch_duration,
+                grid: grid.clone(),
+                queries,
+                demands: fabricator.demands(),
+            },
+            budgets: BudgetView { budgets: handler.budget_snapshot(), tuner: *handler.tuner() },
+            tenants: tenants.map(|t| t.summaries()),
+            epoch_start,
+            epoch_end,
+        }
+    }
 }
 
 /// An actuation a [`ControlHook`] injects back into the planner after
@@ -282,10 +395,14 @@ pub enum ControlAction {
 /// identically across [`ExecMode`]s and reruns; hooks must not consult
 /// wall clocks, ambient RNGs, or other out-of-band state if they want
 /// their decisions golden-testable.
-pub trait ControlHook {
+///
+/// `Send` is a supertrait because the pipelined executor runs the hook on
+/// a dedicated control-stage worker thread; every useful hook is plain
+/// data, so the bound costs nothing.
+pub trait ControlHook: Send {
     /// Observes a finished epoch; returns the actions to apply before the
     /// next one.
-    fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction>;
+    fn on_epoch(&mut self, obs: &EpochObservation) -> Vec<ControlAction>;
 }
 
 /// Everything one epoch consumed from outside the server, plus what the
@@ -317,7 +434,10 @@ pub struct EpochInputsRecord<'a> {
 /// diffed. Taps run after the hook's actions are applied and must not
 /// mutate anything; a silent tap leaves the run bit-identical to an
 /// untapped one.
-pub trait EpochTap {
+///
+/// `Send` is a supertrait because the pipelined executor runs the tap on
+/// the trailing render-stage worker thread.
+pub trait EpochTap: Send {
     /// Observes one finished epoch's inputs.
     fn on_epoch(&mut self, record: &EpochInputsRecord<'_>);
 }
@@ -326,7 +446,7 @@ pub trait EpochTap {
 /// half of the fault-injection story (the crowd-fault half lives in
 /// [`craqr_sensing::CrowdFaults`]).
 ///
-/// [`CraqrServer::run_epoch_to_crash`] runs an epoch up to the named
+/// A crash-armed [`crate::EpochDriver`] runs an epoch up to the named
 /// point and then abandons it, exactly as a `kill -9` at that instant
 /// would: state mutated before the point stays mutated, nothing after it
 /// runs, and the recording tap never observes the epoch. Because every
@@ -347,8 +467,8 @@ pub enum CrashPoint {
     PostControl,
     /// Not a point in the server loop at all: the epoch completes (tap
     /// included) and the *log writer* dies midway through appending the
-    /// epoch block. [`CraqrServer::run_epoch_to_crash`] runs the epoch
-    /// normally for this point; the tear itself belongs to the log
+    /// epoch block. A crash-armed driver runs the epoch normally for
+    /// this point and stops after it; the tear itself belongs to the log
     /// writer (`craqr_runlog::StreamingRecorder::tear_next_append`).
     MidLogAppend,
 }
@@ -385,7 +505,8 @@ impl fmt::Display for CrashPoint {
 }
 
 /// The recorded crowd-side inputs of one epoch, fed back into
-/// [`CraqrServer::run_epoch_replayed`] to re-drive the loop without a
+/// [`crate::EpochDriver::step_replayed`] (or a whole-horizon
+/// [`crate::EpochDriver::run_replayed`]) to re-drive the loop without a
 /// live crowd.
 pub struct ReplayInputs<'a> {
     /// Requests the crowd actually received at dispatch (the crowd-side
@@ -406,22 +527,25 @@ pub struct ReplayInputs<'a> {
 /// the requested streams through per-cell PMAT topologies, and adapts
 /// budgets/incentives from flatten telemetry.
 pub struct CraqrServer {
-    crowd: Crowd,
-    fabricator: Fabricator,
-    handler: RequestResponseHandler,
+    // Fields are crate-visible so `crate::driver` can borrow-split the
+    // server into the crowd half (drain stage) and the planner half
+    // (ingest stage) without interior mutability.
+    pub(crate) crowd: Crowd,
+    pub(crate) fabricator: Fabricator,
+    pub(crate) handler: RequestResponseHandler,
     catalog: AttributeCatalog,
-    idgen: TupleIdGen,
-    error_rng: StdRng,
-    config: ServerConfig,
-    outputs: HashMap<QueryId, Vec<CrowdTuple>>,
-    tenants: Option<TenantRegistry>,
+    pub(crate) idgen: TupleIdGen,
+    pub(crate) error_rng: StdRng,
+    pub(crate) config: ServerConfig,
+    pub(crate) outputs: HashMap<QueryId, Vec<CrowdTuple>>,
+    pub(crate) tenants: Option<TenantRegistry>,
     /// What each admitted query actually committed against its tenant's
     /// pool — recorded at admission so deletion releases exactly that
     /// (never populated for queries submitted before the first tenant
     /// registration: they were never admission-checked, so deleting them
     /// must not refund capacity nobody committed).
     committed_demands: HashMap<QueryId, (TenantId, f64)>,
-    epoch: u64,
+    pub(crate) epoch: u64,
 }
 
 impl CraqrServer {
@@ -603,318 +727,24 @@ impl CraqrServer {
     /// Runs one epoch with an optional [`ControlHook`] observing the
     /// result and injecting [`ControlAction`]s before the next epoch —
     /// the closed-loop variant of [`CraqrServer::run_epoch`].
-    pub fn run_epoch_with(&mut self, hook: Option<&mut dyn ControlHook>) -> EpochReport {
-        self.epoch_inner(None, hook, None, None, None).expect("no crash point requested")
-    }
-
-    /// Runs one epoch with an optional hook *and* an optional
-    /// [`EpochTap`] recording the epoch's inputs — the event-sourcing
-    /// variant of [`CraqrServer::run_epoch_with`]. A `None` tap makes
-    /// this identical to the untapped loop.
-    pub fn run_epoch_tapped(
-        &mut self,
-        hook: Option<&mut dyn ControlHook>,
-        tap: Option<&mut dyn EpochTap>,
-    ) -> EpochReport {
-        self.epoch_inner(None, hook, tap, None, None).expect("no crash point requested")
-    }
-
-    /// The fully-seamed epoch: optional hook, optional tap, and an
-    /// optional [`PhaseTimer`] observing each phase's thread-CPU time.
-    /// With `timer = None` this is [`CraqrServer::run_epoch_tapped`] —
-    /// not one clock is read — and an installed timer only *reads*
-    /// clocks, so every checksummed artifact stays bit-identical either
-    /// way (see [`crate::phase`] for the contract).
-    pub fn run_epoch_instrumented(
-        &mut self,
-        hook: Option<&mut dyn ControlHook>,
-        tap: Option<&mut dyn EpochTap>,
-        timer: Option<&mut dyn PhaseTimer>,
-    ) -> EpochReport {
-        self.epoch_inner(None, hook, tap, None, timer).expect("no crash point requested")
-    }
-
-    /// Runs one epoch that dies at `point`, exactly as a process kill at
-    /// that instant would: every mutation before the point persists, the
-    /// rest of the epoch never happens, and the tap never fires.
     ///
-    /// Returns `None` for the three in-loop points (the epoch was
-    /// abandoned; the epoch counter has still advanced, as a restarted
-    /// process would observe from its log). [`CrashPoint::MidLogAppend`]
-    /// is the exception: the crash lives in the log writer, so the epoch
-    /// itself completes normally and its report is returned — arm the
-    /// writer's tear seam to produce the on-disk fault.
-    pub fn run_epoch_to_crash(
-        &mut self,
-        point: CrashPoint,
-        hook: Option<&mut dyn ControlHook>,
-        tap: Option<&mut dyn EpochTap>,
-    ) -> Option<EpochReport> {
-        let crash = match point {
-            CrashPoint::MidLogAppend => None,
-            p => Some(p),
-        };
-        self.epoch_inner(None, hook, tap, crash, None)
-    }
-
-    /// Runs one epoch from **recorded** inputs instead of the live crowd:
-    /// dispatch draws the budgets but sends nothing, the crowd is only
-    /// stepped to advance the simulation clock (use a detached —
-    /// zero-sensor — crowd so this costs nothing and drains nothing), and
-    /// the recorded responses take the place of the drained ones.
-    /// Everything downstream (error injection, mitigation, ingestion,
-    /// per-cell processing, merge, budget tuning, the control seam) runs
-    /// exactly as live, so a server re-driven from a faithful log
-    /// reproduces the live run's reports and control decisions
-    /// bit-for-bit.
-    pub fn run_epoch_replayed(
-        &mut self,
-        inputs: ReplayInputs<'_>,
-        hook: Option<&mut dyn ControlHook>,
-        tap: Option<&mut dyn EpochTap>,
-    ) -> EpochReport {
-        self.epoch_inner(Some(inputs), hook, tap, None, None).expect("no crash point requested")
-    }
-
-    /// [`CraqrServer::run_epoch_replayed`] with a [`PhaseTimer`] — lets a
-    /// detached replay produce the same phase-latency telemetry a live
-    /// run would (minus the crowd work the detached loop skips).
-    pub fn run_epoch_replayed_instrumented(
-        &mut self,
-        inputs: ReplayInputs<'_>,
-        hook: Option<&mut dyn ControlHook>,
-        tap: Option<&mut dyn EpochTap>,
-        timer: Option<&mut dyn PhaseTimer>,
-    ) -> EpochReport {
-        self.epoch_inner(Some(inputs), hook, tap, None, timer).expect("no crash point requested")
-    }
-
-    fn epoch_inner(
-        &mut self,
-        replay: Option<ReplayInputs<'_>>,
-        hook: Option<&mut dyn ControlHook>,
-        tap: Option<&mut dyn EpochTap>,
-        crash: Option<CrashPoint>,
-        mut timer: Option<&mut dyn PhaseTimer>,
-    ) -> Option<EpochReport> {
-        let epoch = self.epoch;
-        self.epoch += 1;
-        let epoch_start = self.crowd.now();
-        // One clock reading per phase boundary, and only when a timer is
-        // installed: `lap` is the *only* clock access in the loop, so an
-        // uninstrumented epoch reads no clock at all.
-        // craqr-lint: allow(R1): phase latencies feed Timing-tier metrics only, never canonical_events
-        let mut phase_clock = timer.as_ref().map(|_| thread_busy_ns());
-        let mut lap = |timer: &mut Option<&mut dyn PhaseTimer>, phase: EpochPhase| {
-            if let Some(t) = timer.as_deref_mut() {
-                // craqr-lint: allow(R1): same Timing-tier phase span; excluded from checksummed artifacts
-                let now = thread_busy_ns();
-                let start = phase_clock.expect("clock anchored when timer installed");
-                t.observe(phase, now.saturating_sub(start));
-                phase_clock = Some(now);
-            }
-        };
-
-        // 1. Dispatch acquisition requests per materialized chain. Under
-        // replay the budgets are drawn identically but no request exists
-        // to send; the crowd-side outcome comes from the log. On a
-        // multi-tenant server each chain's draw is clamped to (and
-        // charged against) its owning tenants' pools.
-        let demands = self.fabricator.demands();
-        let shares = if self.tenants.is_some() {
-            self.fabricator.refresh_tenant_shares();
-            Some(self.fabricator.tenant_shares())
-        } else {
-            None
-        };
-        if let Some(registry) = &mut self.tenants {
-            registry.begin_epoch();
-        }
-        let tenancy = match (&mut self.tenants, shares) {
-            (Some(registry), Some(shares)) => Some((registry, shares)),
-            _ => None,
-        };
-        let dispatch = match &replay {
-            None => self.handler.dispatch_epoch_tenants(
-                &mut self.crowd,
-                self.fabricator.grid(),
-                &demands,
-                tenancy,
-            ),
-            Some(inputs) => self.handler.dispatch_epoch_detached(&demands, inputs.sent, tenancy),
-        };
-        let tenant_charges = self.tenants.as_ref().map_or_else(Vec::new, |t| t.epoch_charges());
-        lap(&mut timer, EpochPhase::Dispatch);
-        if crash == Some(CrashPoint::PostDispatch) {
-            return None;
-        }
-
-        // 2. The world moves; responses mature. The replay clock advances
-        // through the same sequence of `step` calls so accumulated
-        // simulation time stays bit-identical to the live run.
-        let dt = self.config.planner.batch_duration / self.config.mobility_substeps as f64;
-        // Fault activity is the delta of the crowd's cumulative fault
-        // counters across this epoch's steps — event-derived (the fault
-        // RNG is seeded) and therefore deterministic. A replayed epoch
-        // has no crowd to measure, so it echoes the recorded deltas.
-        let faults_before = FaultDeltas {
-            dropped: self.crowd.responses_dropped(),
-            delayed: self.crowd.responses_delayed(),
-            duplicated: self.crowd.responses_duplicated(),
-        };
-        for _ in 0..self.config.mobility_substeps {
-            self.crowd.step(dt);
-        }
-        let faults = match &replay {
-            None => FaultDeltas {
-                dropped: self.crowd.responses_dropped() - faults_before.dropped,
-                delayed: self.crowd.responses_delayed() - faults_before.delayed,
-                duplicated: self.crowd.responses_duplicated() - faults_before.duplicated,
-            },
-            Some(inputs) => inputs.faults,
-        };
-        let mut responses = match &replay {
-            None => self.crowd.drain_responses(),
-            Some(inputs) => inputs.responses.to_vec(),
-        };
-        let n_responses = responses.len();
-        // The tap sees responses exactly as drained, before error
-        // injection mutates them in place. Clone only when someone is
-        // listening *and* there is no replay input to borrow from — a
-        // replayed epoch's raw responses are the inputs themselves.
-        let raw_responses =
-            if tap.is_some() && replay.is_none() { Some(responses.clone()) } else { None };
-        if crash == Some(CrashPoint::PostDrain) {
-            return None;
-        }
-        // Shortfall feedback for bounded retry (when configured): count
-        // the drained responses per chain *before* error injection
-        // mutates them — replay hands the recorder's raw responses
-        // through the same seam, so live and replayed retry decisions
-        // are bit-identical.
-        if self.handler.retry_enabled() {
-            let grid = self.fabricator.grid();
-            let mut counts: HashMap<(craqr_geom::CellId, AttributeId), u64> = HashMap::new();
-            for r in &responses {
-                if let Some(cell) = grid.cell_of(r.measurement.point.x, r.measurement.point.y) {
-                    *counts.entry((cell, r.measurement.attr)).or_insert(0) += 1;
-                }
-            }
-            self.handler.observe_responses(&counts);
-        }
-        lap(&mut timer, EpochPhase::Drain);
-
-        // 3. Error injection + mitigation (Section VI).
-        self.config.error_model.corrupt_batch(&mut responses, &mut self.error_rng);
-        let (responses, rejected) = self.config.mitigation.apply(responses, &self.crowd.region());
-
-        // 4. Ingestion: assign unique ids, drop malformed tuples.
-        let tuples = self.idgen.ingest(&responses);
-        let ingested = tuples.len();
-
-        // 5. map + process, serial or sharded per the config knob.
-        let exec = self.fabricator.ingest_batch_mode(&tuples, self.config.exec);
-
-        // 6. merge: collect per-query outputs (appended to the buffers
-        // after the control hook has seen them).
-        let mut fresh: Vec<(QueryId, Vec<CrowdTuple>)> = Vec::new();
-        let mut delivered = Vec::new();
-        for qid in self.fabricator.query_ids() {
-            let out = self.fabricator.collect_output(qid).expect("standing query");
-            delivered.push((qid, out.len()));
-            fresh.push((qid, out));
-        }
-
-        lap(&mut timer, EpochPhase::Ingest);
-
-        // 7. Budget tuning from flatten telemetry.
-        let tuning = self.handler.tune(&self.fabricator.flatten_reports());
-
-        let mut report = EpochReport {
-            epoch,
-            now: self.crowd.now(),
-            dispatch,
-            responses: n_responses,
-            mitigation_rejected: rejected,
-            ingested,
-            exec,
-            delivered,
-            tuning,
-            tenant_charges,
-            stale_actions: 0,
-            faults,
-        };
-
-        // 8. Observation/actuation seam: the hook sees the epoch, the
-        // server applies whatever it decides. Actions that target a chain
-        // retired since the observation (a replan racing a query
-        // deletion) are dropped and counted instead of mutating dangling
-        // state.
-        let mut actions: Vec<ControlAction> = Vec::new();
-        let mut stale_actions = 0u64;
+    /// Every other seam combination (tap, timer, crash injection,
+    /// replay, multi-epoch horizons, the pipelined executor) lives on the
+    /// builder-style [`crate::EpochDriver`] — see
+    /// [`CraqrServer::driver`].
+    pub fn run_epoch_with(&mut self, hook: Option<&mut dyn ControlHook>) -> EpochReport {
+        let mut driver = self.driver();
         if let Some(hook) = hook {
-            actions = hook.on_epoch(&EpochObservation {
-                report: &report,
-                delivered: &fresh,
-                fabricator: &self.fabricator,
-                handler: &self.handler,
-                tenants: self.tenants.as_ref(),
-                epoch_start,
-                epoch_end: self.crowd.now(),
-            });
-            for action in &actions {
-                match *action {
-                    ControlAction::SetBudget { cell, attr, requests_per_epoch } => {
-                        if !self.handler.set_budget(cell, attr, requests_per_epoch) {
-                            stale_actions += 1;
-                        }
-                    }
-                    ControlAction::RebuildChain { cell, attr } => {
-                        if let Some(leftovers) = self.fabricator.rebuild_chain(cell, attr) {
-                            // Step 6 drained every sink before the hook ran,
-                            // so in this loop the leftovers are empty; they
-                            // flow into the output buffers anyway so no
-                            // tuple can ever be lost. If an operator starts
-                            // buffering output across epochs this trips:
-                            // such tuples would bypass the epoch's
-                            // `delivered` accounting and hook observation,
-                            // and that needs a conscious design decision.
-                            debug_assert!(
-                                leftovers.iter().all(|(_, buf)| buf.is_empty()),
-                                "rebuild leftovers bypass delivered accounting"
-                            );
-                            for (qid, buf) in leftovers {
-                                self.outputs.entry(qid).or_default().extend(buf);
-                            }
-                        } else {
-                            stale_actions += 1;
-                        }
-                    }
-                }
-            }
+            driver = driver.hook(hook);
         }
-        report.stale_actions = stale_actions;
-        lap(&mut timer, EpochPhase::Control);
-        if crash == Some(CrashPoint::PostControl) {
-            return None;
-        }
+        driver.step()
+    }
 
-        // 9. Recording seam: the tap sees the epoch's inputs (and the
-        // actions just applied) after everything else settled.
-        if let Some(tap) = tap {
-            let raw: &[SensorResponse] = match (&replay, &raw_responses) {
-                (Some(inputs), _) => inputs.responses,
-                (None, Some(raw)) => raw,
-                (None, None) => &[],
-            };
-            tap.on_epoch(&EpochInputsRecord { report: &report, responses: raw, actions: &actions });
-        }
-        lap(&mut timer, EpochPhase::LogAppend);
-
-        for (qid, out) in fresh {
-            self.outputs.entry(qid).or_default().extend(out);
-        }
-        Some(report)
+    /// Starts building an epoch driver over this server — the one entry
+    /// point for every seamed or multi-epoch execution (see
+    /// [`crate::EpochDriver`]).
+    pub fn driver(&mut self) -> crate::driver::EpochDriver<'_> {
+        crate::driver::EpochDriver::new(self)
     }
 
     /// Takes everything fabricated for a query so far.
@@ -1089,16 +919,16 @@ mod tests {
             delivered: usize,
         }
         impl ControlHook for Clamp {
-            fn on_epoch(&mut self, obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+            fn on_epoch(&mut self, obs: &EpochObservation) -> Vec<ControlAction> {
                 self.seen += 1;
                 self.delivered += obs.delivered.iter().map(|(_, t)| t.len()).sum::<usize>();
                 assert!(obs.epoch_end > obs.epoch_start);
                 // Pin every materialized chain's budget to 3 req/epoch and
                 // rebuild it — the strongest possible intervention.
-                obs.fabricator
-                    .demands()
-                    .into_iter()
-                    .flat_map(|(cell, attr, _)| {
+                obs.plan
+                    .demands
+                    .iter()
+                    .flat_map(|&(cell, attr, _)| {
                         [
                             ControlAction::SetBudget { cell, attr, requests_per_epoch: 3.0 },
                             ControlAction::RebuildChain { cell, attr },
@@ -1131,7 +961,7 @@ mod tests {
     fn hookless_and_noop_hook_runs_are_identical() {
         struct Noop;
         impl ControlHook for Noop {
-            fn on_epoch(&mut self, _obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+            fn on_epoch(&mut self, _obs: &EpochObservation) -> Vec<ControlAction> {
                 Vec::new()
             }
         }
@@ -1175,7 +1005,7 @@ mod tests {
             let mut tap = tap;
             for _ in 0..6 {
                 match tap.as_deref_mut() {
-                    Some(t) => s.run_epoch_tapped(None, Some(t)),
+                    Some(t) => s.driver().tap(t).step(),
                     None => s.run_epoch(),
                 };
             }
@@ -1195,7 +1025,7 @@ mod tests {
         let mut tap = CollectTap::default();
         let mut live_reports = Vec::new();
         for _ in 0..8 {
-            live_reports.push(live.run_epoch_tapped(None, Some(&mut tap)));
+            live_reports.push(live.driver().tap(&mut tap).step());
         }
         let live_out: Vec<u64> = live.take_output(qid).iter().map(|t| t.id).collect();
 
@@ -1217,11 +1047,11 @@ mod tests {
         assert_eq!(qid, rqid, "query planning must not depend on the crowd");
 
         for (live_report, (sent, responses, _)) in live_reports.iter().zip(&tap.epochs) {
-            let r = replayed.run_epoch_replayed(
-                ReplayInputs { sent: *sent, responses, faults: FaultDeltas::default() },
-                None,
-                None,
-            );
+            let r = replayed.driver().step_replayed(ReplayInputs {
+                sent: *sent,
+                responses,
+                faults: FaultDeltas::default(),
+            });
             assert_eq!(r.epoch, live_report.epoch);
             assert_eq!(r.dispatch, live_report.dispatch, "epoch {}", r.epoch);
             assert_eq!(r.responses, live_report.responses, "epoch {}", r.epoch);
@@ -1366,7 +1196,7 @@ mod tests {
             target: Option<(craqr_geom::CellId, AttributeId)>,
         }
         impl ControlHook for ReplanRetired {
-            fn on_epoch(&mut self, _obs: &EpochObservation<'_>) -> Vec<ControlAction> {
+            fn on_epoch(&mut self, _obs: &EpochObservation) -> Vec<ControlAction> {
                 match self.target {
                     Some((cell, attr)) => vec![
                         ControlAction::SetBudget { cell, attr, requests_per_epoch: 50.0 },

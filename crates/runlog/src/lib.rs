@@ -14,7 +14,7 @@
 //! `(spec, seed, inputs)`, so the log is a complete event source:
 //!
 //! - **replay** — re-drive a server from the log with the crowd detached
-//!   ([`craqr_core::CraqrServer::run_epoch_replayed`]) and reproduce the
+//!   ([`craqr_core::EpochDriver::run_replayed`]) and reproduce the
 //!   live run's reports, traces, and decisions bit-for-bit, serial or
 //!   sharded (the scenario harness wires this up end to end);
 //! - **resume** — truncate at epoch *k* ([`RunLog::truncated`]), rebuild

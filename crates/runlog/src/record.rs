@@ -9,7 +9,7 @@ use craqr_core::{AdmissionDecision, EpochInputsRecord, EpochTap};
 /// Builds a [`RunLog`] from a live run, epoch by epoch.
 ///
 /// Wire it into the loop as the tap of
-/// [`craqr_core::CraqrServer::run_epoch_tapped`]; call
+/// [`craqr_core::EpochDriver::tap`]; call
 /// [`RunLogRecorder::record_shift`] just before an epoch whose world was
 /// scripted (the pending shifts attach to the next recorded epoch); call
 /// [`RunLogRecorder::finish`] once the run's canonical report (and trace,
@@ -144,7 +144,7 @@ mod tests {
         let mut recorder = RunLogRecorder::new("unit", 7, "name = \"unit\"\n");
         recorder.record_shift(ShiftEvent::Participation { factor: 1.0 });
         for _ in 0..6 {
-            live.run_epoch_tapped(None, Some(&mut recorder));
+            live.driver().tap(&mut recorder).step();
         }
         let live_ids: Vec<u64> = live.take_output(qid).iter().map(|t| t.id).collect();
         let log = recorder.finish(0xABCD, None);
@@ -164,15 +164,11 @@ mod tests {
         rerecorder.record_shift(ShiftEvent::Participation { factor: 1.0 });
         for e in &reparsed.epochs {
             let responses: Vec<_> = e.responses.iter().map(|r| r.to_response()).collect();
-            replayed.run_epoch_replayed(
-                craqr_core::ReplayInputs {
-                    sent: e.sent,
-                    responses: &responses,
-                    faults: e.faults(),
-                },
-                None,
-                Some(&mut rerecorder),
-            );
+            replayed.driver().tap(&mut rerecorder).step_replayed(craqr_core::ReplayInputs {
+                sent: e.sent,
+                responses: &responses,
+                faults: e.faults(),
+            });
         }
         let replay_ids: Vec<u64> = replayed.take_output(qid).iter().map(|t| t.id).collect();
         assert_eq!(live_ids, replay_ids, "replayed delivery stream diverged");

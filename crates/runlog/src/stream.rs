@@ -248,7 +248,7 @@ mod tests {
             if tear_at == Some(e) {
                 rec.tear_next_append();
             }
-            live.run_epoch_tapped(None, Some(&mut rec));
+            live.driver().tap(&mut rec).step();
             assert!(rec.last_error().is_none());
         }
         if tear_at.is_some() {
@@ -284,7 +284,7 @@ mod tests {
         let mut rec = StreamingRecorder::new(&path, "unit", 11, "name = \"unit\"\n");
         rec.begin().unwrap();
         for _ in 0..4 {
-            live.run_epoch_tapped(None, Some(&mut rec));
+            live.driver().tap(&mut rec).step();
         }
         // Read the streamed bytes *before* sealing: they must be a strict
         // prefix of the final canonical document.

@@ -65,7 +65,9 @@ mod runner;
 
 pub use craqr_adaptive::AdaptiveTrace;
 pub use craqr_runlog::RunLog;
-pub use replay::{replay, replay_instrumented, resume, ReplayError};
+pub use replay::{
+    replay, replay_instrumented, replay_pipelined, resume, resume_pipelined, ReplayError,
+};
 pub use report::{
     fnv1a64, AdaptiveSection, AdmissionRow, EpochRow, FaultSection, OperatorRow, QueryRow,
     RunTotals, ScenarioReport, TelemetrySection, TenantRow, TenantSection,

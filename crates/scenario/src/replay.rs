@@ -25,13 +25,13 @@
 //!   replayable.
 
 use crate::runner::{
-    build_server, epoch_prologue, epoch_row, finalize_report, make_collector, phase_timer,
-    RunError, RunOutput,
+    build_server, drive, epoch_row, finalize_report, make_collector, phase_timer,
+    spec_shift_schedule, RunError, RunOutput, ShiftSink, ShiftTap,
 };
 use crate::spec::{ScenarioSpec, SpecError};
 use craqr_adaptive::{AdaptiveController, AdaptiveTrace};
-use craqr_core::{ControlHook, EpochTap, ExecMode, ReplayInputs};
-use craqr_runlog::{diff_logs, RunLog, RunLogRecorder};
+use craqr_core::{ControlHook, ExecMode, ReplayInputs};
+use craqr_runlog::{diff_logs, RunLog, RunLogRecorder, ShiftEvent};
 use craqr_sensing::SensorResponse;
 use std::fmt;
 
@@ -128,6 +128,23 @@ pub fn replay_instrumented(
     exec: ExecMode,
     timing: bool,
 ) -> Result<RunOutput, ReplayError> {
+    replay_inner(log, exec, timing, false)
+}
+
+/// [`replay`] on the pipelined executor
+/// ([`craqr_core::EpochDriver::run_replayed_pipelined`]): the recorded
+/// inputs flow through the four stage workers and the regenerated log
+/// must still match the recording byte-for-byte.
+pub fn replay_pipelined(log: &RunLog, exec: ExecMode) -> Result<RunOutput, ReplayError> {
+    replay_inner(log, exec, false, true)
+}
+
+fn replay_inner(
+    log: &RunLog,
+    exec: ExecMode,
+    timing: bool,
+    pipelined: bool,
+) -> Result<RunOutput, ReplayError> {
     let spec = spec_of(log)?;
     let (mut server, qids) = build_server(&spec, log.seed, exec, true)?;
     // A `[telemetry]` spec recorded a `[telemetry]` report section, so
@@ -149,27 +166,47 @@ pub fn replay_instrumented(
     // below verifies the re-derived verdicts against the recorded ones.
     recorder.record_admissions(server.admissions());
 
-    let mut epochs = Vec::with_capacity(log.epochs.len());
-    let mut responses_delivered = 0u64;
-    for record in &log.epochs {
-        for shift in &record.shifts {
-            // Echoed into the fresh log (for the structural comparison);
-            // there is no world to apply them to.
-            recorder.record_shift(*shift);
+    // The recorded shift events have no world to apply to; they are
+    // echoed into the fresh log (for the structural comparison) by the
+    // tap adapter, exactly when the recording run appended them.
+    let shift_schedule: Vec<Vec<ShiftEvent>> =
+        log.epochs.iter().map(|r| r.shifts.clone()).collect();
+    let responses: Vec<Vec<SensorResponse>> = log
+        .epochs
+        .iter()
+        .map(|r| r.responses.iter().map(|resp| resp.to_response()).collect())
+        .collect();
+    let responses_delivered: u64 = log.epochs.iter().map(|r| r.responses.len() as u64).sum();
+    let inputs: Vec<ReplayInputs<'_>> = log
+        .epochs
+        .iter()
+        .zip(&responses)
+        .map(|(r, resp)| ReplayInputs { sent: r.sent, responses: resp, faults: r.faults() })
+        .collect();
+
+    let mut tap = ShiftTap::new(&mut recorder as &mut dyn ShiftSink, shift_schedule, None);
+    let outcome = {
+        let mut d = server.driver().tap(&mut tap);
+        if let Some(c) = controller.as_mut() {
+            d = d.hook(c as &mut dyn ControlHook);
         }
-        responses_delivered += record.responses.len() as u64;
-        let responses: Vec<SensorResponse> =
-            record.responses.iter().map(|r| r.to_response()).collect();
-        let r = server.run_epoch_replayed_instrumented(
-            ReplayInputs { sent: record.sent, responses: &responses, faults: record.faults() },
-            controller.as_mut().map(|c| c as &mut dyn ControlHook),
-            Some(&mut recorder as &mut dyn EpochTap),
-            phase_timer(&mut telemetry, timing),
-        );
+        if let Some(t) = phase_timer(&mut telemetry, timing) {
+            d = d.timer(t);
+        }
+        if pipelined {
+            d.run_replayed_pipelined(&inputs)
+        } else {
+            d.run_replayed(&inputs)
+        }
+    };
+    drop(tap);
+
+    let mut epochs = Vec::with_capacity(outcome.reports.len());
+    for r in &outcome.reports {
         if let Some(t) = &mut telemetry {
-            t.observe_epoch(&r);
+            t.observe_epoch(r);
         }
-        epochs.push(epoch_row(&r));
+        epochs.push(epoch_row(r));
     }
 
     let trace = controller.map(AdaptiveController::into_trace);
@@ -212,6 +249,22 @@ pub fn replay_instrumented(
 /// fresh) and carries the run through to the spec's full horizon. See
 /// the module docs for the verification contract.
 pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, ReplayError> {
+    resume_inner(log, exec, at, false)
+}
+
+/// [`resume`] on the pipelined executor: the rebuilt prefix and the
+/// fresh suffix both run through the staged dataflow, and an
+/// unperturbed resume still re-converges on the sealed finals.
+pub fn resume_pipelined(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, ReplayError> {
+    resume_inner(log, exec, at, true)
+}
+
+fn resume_inner(
+    log: &RunLog,
+    exec: ExecMode,
+    at: usize,
+    pipelined: bool,
+) -> Result<RunOutput, ReplayError> {
     if at > log.epochs.len() {
         return Err(ReplayError::BadResumePoint { at, recorded: log.epochs.len() });
     }
@@ -244,30 +297,38 @@ pub fn resume(log: &RunLog, exec: ExecMode, at: usize) -> Result<RunOutput, Repl
         });
     }
 
-    let mut epochs = Vec::with_capacity(spec.epochs as usize);
-    for e in 0..spec.epochs {
-        epoch_prologue(&spec, e, &mut server, |ev| recorder.record_shift(ev));
-        let r = server.run_epoch_tapped(
-            controller.as_mut().map(|c| c as &mut dyn ControlHook),
-            Some(&mut recorder as &mut dyn EpochTap),
-        );
-        if let Some(t) = &mut telemetry {
-            t.observe_epoch(&r);
-        }
-        epochs.push(epoch_row(&r));
+    let mut tap =
+        ShiftTap::new(&mut recorder as &mut dyn ShiftSink, spec_shift_schedule(&spec), None);
+    let outcome = drive(
+        &mut server,
+        &spec,
+        spec.epochs as u64,
+        controller.as_mut().map(|c| c as &mut dyn ControlHook),
+        Some(&mut tap),
+        None,
+        None,
+        pipelined,
+    );
+    drop(tap);
 
-        // Inside the rebuilt prefix every epoch must reproduce the log's
-        // record exactly; diverging silently here would poison everything
-        // after the resume point.
-        if (e as usize) < at {
-            let rebuilt = recorder.epochs().last().expect("tap recorded this epoch");
-            let details = craqr_runlog::diff::diff_epoch(&log.epochs[e as usize], rebuilt);
-            if !details.is_empty() {
-                return Err(ReplayError::Diverged {
-                    epoch: Some(e as u64),
-                    details: details.join("\n"),
-                });
-            }
+    let mut epochs = Vec::with_capacity(outcome.reports.len());
+    for r in &outcome.reports {
+        if let Some(t) = &mut telemetry {
+            t.observe_epoch(r);
+        }
+        epochs.push(epoch_row(r));
+    }
+
+    // Inside the rebuilt prefix every epoch must reproduce the log's
+    // record exactly; diverging silently here would poison everything
+    // after the resume point — report the first mismatching epoch.
+    for e in 0..at {
+        let details = craqr_runlog::diff::diff_epoch(&log.epochs[e], &recorder.epochs()[e]);
+        if !details.is_empty() {
+            return Err(ReplayError::Diverged {
+                epoch: Some(e as u64),
+                details: details.join("\n"),
+            });
         }
     }
 

@@ -11,7 +11,8 @@ use craqr_adaptive::{AdaptiveController, AdaptiveTrace, TimedHook};
 use craqr_core::budget::TuneOutcome;
 use craqr_core::server::SubmitError;
 use craqr_core::{
-    ControlHook, CraqrServer, CrashPoint, EpochReport, EpochTap, ExecMode, PhaseTimer, QueryId,
+    ControlHook, CraqrServer, CrashPoint, EpochInputsRecord, EpochReport, EpochTap, ExecMode,
+    PhaseTimer, QueryId,
 };
 use craqr_geom::{Rect, SpaceTimePoint, SpaceTimeWindow};
 use craqr_mdpp::{IntensityModel, IntensitySummary, SelfExcitingIntensity};
@@ -130,7 +131,29 @@ impl ScenarioRunner {
         // Report-only callers skip run-log recording even for `[runlog]`
         // specs: a tap is a pure observer, so this changes nothing but
         // the work done.
-        self.run_live(exec, seed, false, false).map(|out| out.report)
+        self.run_live(exec, seed, false, false, false).map(|out| out.report)
+    }
+
+    /// Runs the scenario on the **pipelined executor** — the staged
+    /// epoch dataflow spread across four worker threads
+    /// ([`craqr_core::EpochDriver::run_pipelined`]) — with the spec's
+    /// own seed. Byte-identical to [`ScenarioRunner::run`]: pipelining
+    /// is an execution strategy, never an output; goldens are always
+    /// blessed from serial runs.
+    pub fn run_pipelined(&self, exec: ExecMode) -> Result<ScenarioReport, RunError> {
+        self.run_live(exec, self.spec.seed, false, false, true).map(|out| out.report)
+    }
+
+    /// [`ScenarioRunner::run_full`] on the pipelined executor — report,
+    /// trace, and run log all byte-identical to the serial run's.
+    pub fn run_full_pipelined(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
+        let record = self.spec.runlog.is_some_and(|r| r.record);
+        self.run_live(exec, seed, record, false, true)
+    }
+
+    /// [`ScenarioRunner::run_recorded`] on the pipelined executor.
+    pub fn run_recorded_pipelined(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
+        self.run_live(exec, seed, true, false, true)
     }
 
     /// Runs the scenario, also returning the adaptive controller's
@@ -143,7 +166,7 @@ impl ScenarioRunner {
     /// `<name>.runlog.txt`).
     pub fn run_full(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
         let record = self.spec.runlog.is_some_and(|r| r.record);
-        self.run_live(exec, seed, record, false)
+        self.run_live(exec, seed, record, false, false)
     }
 
     /// [`ScenarioRunner::run_full`] with the clock-derived metric tier
@@ -155,14 +178,14 @@ impl ScenarioRunner {
     /// timing tier is structurally excluded from canonical renderings).
     pub fn run_full_instrumented(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
         let record = self.spec.runlog.is_some_and(|r| r.record);
-        self.run_live(exec, seed, record, true)
+        self.run_live(exec, seed, record, true, false)
     }
 
     /// Runs the scenario with run-log recording forced on, whether or not
     /// the spec declares `[runlog]` — the CLI `record` subcommand and the
     /// replay CI job use this to event-source any scenario.
     pub fn run_recorded(&self, exec: ExecMode, seed: u64) -> Result<RunOutput, RunError> {
-        self.run_live(exec, seed, true, false)
+        self.run_live(exec, seed, true, false, false)
     }
 
     /// [`ScenarioRunner::run_recorded`] with the timing tier switched on
@@ -174,7 +197,7 @@ impl ScenarioRunner {
         exec: ExecMode,
         seed: u64,
     ) -> Result<RunOutput, RunError> {
-        self.run_live(exec, seed, true, true)
+        self.run_live(exec, seed, true, true, false)
     }
 
     /// Runs the scenario with **crash-safe** recording: every sealed epoch
@@ -201,8 +224,32 @@ impl ScenarioRunner {
         log_path: &Path,
         timing: bool,
     ) -> Result<RunOutput, RunError> {
+        self.run_streamed_inner(exec, seed, log_path, timing, false)
+    }
+
+    /// [`ScenarioRunner::run_streamed`] on the pipelined executor: the
+    /// render stage streams sealed epoch blocks while later epochs are
+    /// mid-flight upstream, and the durable file is byte-identical to the
+    /// serial streamed run's.
+    pub fn run_streamed_pipelined(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        log_path: &Path,
+    ) -> Result<RunOutput, RunError> {
+        self.run_streamed_inner(exec, seed, log_path, false, true)
+    }
+
+    fn run_streamed_inner(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        log_path: &Path,
+        timing: bool,
+        pipelined: bool,
+    ) -> Result<RunOutput, RunError> {
         let spec = &self.spec;
-        let io_err = |e: std::io::Error| RunError::Io {
+        let io_err = |e: &std::io::Error| RunError::Io {
             path: log_path.to_path_buf(),
             message: e.to_string(),
         };
@@ -222,30 +269,35 @@ impl ScenarioRunner {
         rec.record_admissions(server.admissions());
         // Persist the header eagerly: even a crash before epoch 0 leaves a
         // salvageable file.
-        rec.begin().map_err(io_err)?;
+        rec.begin().map_err(|e| io_err(&e))?;
 
         // The wrapper is a pure pass-through when untimed, so it can wrap
         // unconditionally without perturbing uninstrumented runs.
         let mut hook =
             controller.as_mut().map(|c| TimedHook::new(c as &mut dyn ControlHook, timing));
-        let mut epochs = Vec::with_capacity(spec.epochs as usize);
-        for e in 0..spec.epochs {
-            epoch_prologue(spec, e, &mut server, |ev| rec.record_shift(ev));
-            let r = server.run_epoch_instrumented(
-                hook.as_mut().map(|h| h as &mut dyn ControlHook),
-                Some(&mut rec as &mut dyn EpochTap),
-                phase_timer(&mut telemetry, timing),
-            );
+        let mut tap = ShiftTap::new(&mut rec, spec_shift_schedule(spec), None);
+        let outcome = drive(
+            &mut server,
+            spec,
+            spec.epochs as u64,
+            hook.as_mut().map(|h| h as &mut dyn ControlHook),
+            Some(&mut tap),
+            phase_timer(&mut telemetry, timing),
+            None,
+            pipelined,
+        );
+        drop(tap);
+        // Appends happen on the driver's render side now, so stream
+        // failures surface once at the end of the run.
+        if let Some(err) = rec.last_error() {
+            return Err(io_err(err));
+        }
+        let mut epochs = Vec::with_capacity(outcome.reports.len());
+        for r in &outcome.reports {
             if let Some(t) = &mut telemetry {
-                t.observe_epoch(&r);
+                t.observe_epoch(r);
             }
-            epochs.push(epoch_row(&r));
-            if let Some(err) = rec.last_error() {
-                return Err(RunError::Io {
-                    path: log_path.to_path_buf(),
-                    message: err.to_string(),
-                });
-            }
+            epochs.push(epoch_row(r));
         }
         if let (Some(t), Some(h)) = (&mut telemetry, &hook) {
             t.observe_hook(h.calls(), h.total_ns());
@@ -268,7 +320,7 @@ impl ScenarioRunner {
         );
         let log = rec
             .finish(report.checksum(), trace.as_ref().map(AdaptiveTrace::checksum))
-            .map_err(io_err)?;
+            .map_err(|e| io_err(&e))?;
         Ok(RunOutput { report, trace, log: Some(log), telemetry })
     }
 
@@ -291,6 +343,38 @@ impl ScenarioRunner {
         at_epoch: u32,
         log_path: &Path,
     ) -> Result<usize, RunError> {
+        self.run_to_crash_inner(exec, seed, point, at_epoch, log_path, false)
+    }
+
+    /// [`ScenarioRunner::run_to_crash`] on the pipelined executor: the
+    /// process dies with all four stages mid-flight (the stage owning the
+    /// crash point exits after its last permitted operation and its
+    /// neighbours drain until their channels disconnect), and the durable
+    /// prefix on disk is byte-identical to the serial crash's.
+    ///
+    /// # Panics
+    /// Panics when `at_epoch` is outside the spec's horizon.
+    #[track_caller]
+    pub fn run_to_crash_pipelined(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        point: CrashPoint,
+        at_epoch: u32,
+        log_path: &Path,
+    ) -> Result<usize, RunError> {
+        self.run_to_crash_inner(exec, seed, point, at_epoch, log_path, true)
+    }
+
+    fn run_to_crash_inner(
+        &self,
+        exec: ExecMode,
+        seed: u64,
+        point: CrashPoint,
+        at_epoch: u32,
+        log_path: &Path,
+        pipelined: bool,
+    ) -> Result<usize, RunError> {
         let spec = &self.spec;
         assert!(
             at_epoch < spec.epochs,
@@ -307,24 +391,19 @@ impl ScenarioRunner {
         rec.begin()
             .map_err(|e| RunError::Io { path: log_path.to_path_buf(), message: e.to_string() })?;
 
-        for e in 0..=at_epoch {
-            epoch_prologue(spec, e, &mut server, |ev| rec.record_shift(ev));
-            let hook = controller.as_mut().map(|c| c as &mut dyn ControlHook);
-            if e == at_epoch {
-                if point == CrashPoint::MidLogAppend {
-                    rec.tear_next_append();
-                }
-                let _ = server.run_epoch_to_crash(point, hook, Some(&mut rec as &mut dyn EpochTap));
-                break;
-            }
-            server.run_epoch_tapped(hook, Some(&mut rec as &mut dyn EpochTap));
-            if let Some(err) = rec.last_error() {
-                return Err(RunError::Io {
-                    path: log_path.to_path_buf(),
-                    message: err.to_string(),
-                });
-            }
-        }
+        let tear_at = (point == CrashPoint::MidLogAppend).then_some(at_epoch as u64);
+        let mut tap = ShiftTap::new(&mut rec, spec_shift_schedule(spec), tear_at);
+        let _ = drive(
+            &mut server,
+            spec,
+            at_epoch as u64 + 1,
+            controller.as_mut().map(|c| c as &mut dyn ControlHook),
+            Some(&mut tap),
+            None,
+            Some((at_epoch as u64, point)),
+            pipelined,
+        );
+        drop(tap);
         // The "process" dies here: no seal, no atomic swap. The file keeps
         // exactly the prefix whose `end` lines were synced.
         Ok(rec.epochs_streamed())
@@ -336,6 +415,7 @@ impl ScenarioRunner {
         seed: u64,
         record: bool,
         timing: bool,
+        pipelined: bool,
     ) -> Result<RunOutput, RunError> {
         let spec = &self.spec;
         let (mut server, qids) = build_server(spec, seed, exec, false)?;
@@ -365,22 +445,26 @@ impl ScenarioRunner {
         // unconditionally without perturbing uninstrumented runs.
         let mut hook =
             controller.as_mut().map(|c| TimedHook::new(c as &mut dyn ControlHook, timing));
-        let mut epochs = Vec::with_capacity(spec.epochs as usize);
-        for e in 0..spec.epochs {
-            epoch_prologue(spec, e, &mut server, |ev| {
-                if let Some(rec) = &mut recorder {
-                    rec.record_shift(ev);
-                }
-            });
-            let r = server.run_epoch_instrumented(
-                hook.as_mut().map(|h| h as &mut dyn ControlHook),
-                recorder.as_mut().map(|r| r as &mut dyn EpochTap),
-                phase_timer(&mut telemetry, timing),
-            );
+        let mut tap = recorder
+            .as_mut()
+            .map(|rec| ShiftTap::new(rec as &mut dyn ShiftSink, spec_shift_schedule(spec), None));
+        let outcome = drive(
+            &mut server,
+            spec,
+            spec.epochs as u64,
+            hook.as_mut().map(|h| h as &mut dyn ControlHook),
+            tap.as_mut().map(|t| t as &mut dyn EpochTap),
+            phase_timer(&mut telemetry, timing),
+            None,
+            pipelined,
+        );
+        drop(tap);
+        let mut epochs = Vec::with_capacity(outcome.reports.len());
+        for r in &outcome.reports {
             if let Some(t) = &mut telemetry {
-                t.observe_epoch(&r);
+                t.observe_epoch(r);
             }
-            epochs.push(epoch_row(&r));
+            epochs.push(epoch_row(r));
         }
         if let (Some(t), Some(h)) = (&mut telemetry, &hook) {
             t.observe_hook(h.calls(), h.total_ns());
@@ -489,23 +573,19 @@ impl std::error::Error for BatchError {}
 
 /// The deterministic pre-epoch world updates every execution path —
 /// live, streamed, crash-injected, and the resume prefix — must apply
-/// identically: scripted shifts (reported to `record_shift` for the
-/// log), churn, and the `[faults]` crowd-fault windows active this
-/// epoch. Divergence here would break replay/resume byte-equality, so
-/// there is exactly one copy.
-pub(crate) fn epoch_prologue(
-    spec: &ScenarioSpec,
-    e: u32,
-    server: &mut CraqrServer,
-    mut record_shift: impl FnMut(ShiftEvent),
-) {
+/// identically: scripted shifts, churn, and the `[faults]` crowd-fault
+/// windows active this epoch. Divergence here would break replay/resume
+/// byte-equality, so there is exactly one copy. The function touches
+/// only the crowd, which is what lets the pipelined executor run it on
+/// the drain stage ([`craqr_core::EpochDriver::prologue`]); the shift
+/// events are mirrored into run logs by [`ShiftTap`] on the render side.
+pub(crate) fn epoch_prologue(spec: &ScenarioSpec, e: u32, crowd: &mut Crowd) {
     for shift in spec.shifts.iter().filter(|s| s.epoch() == e) {
-        apply_shift(server.crowd_mut(), shift);
-        record_shift(shift_event(shift));
+        apply_shift(crowd, shift);
     }
     if let Some(churn) = &spec.churn {
         if churn.probability > 0.0 {
-            server.crowd_mut().churn(churn.probability);
+            crowd.churn(churn.probability);
         }
     }
     if let Some(f) = &spec.faults {
@@ -513,8 +593,121 @@ pub(crate) fn epoch_prologue(
         // resets the crowd to fault-free; with no windows at all the
         // crowd is never touched and fault-free goldens stay identical.
         if !f.crowd.is_empty() {
-            server.crowd_mut().set_faults(f.crowd_faults_at(e));
+            crowd.set_faults(f.crowd_faults_at(e));
         }
+    }
+}
+
+/// Where shift events and tear-arming land: both run-log recorders, seen
+/// uniformly by the [`ShiftTap`] adapter.
+pub(crate) trait ShiftSink: EpochTap {
+    /// Buffers a shift event onto the next epoch block appended.
+    fn record_shift(&mut self, ev: ShiftEvent);
+    /// Arms the injected torn append (meaningful for the streaming
+    /// recorder only).
+    fn arm_tear(&mut self);
+}
+
+impl ShiftSink for RunLogRecorder {
+    fn record_shift(&mut self, ev: ShiftEvent) {
+        RunLogRecorder::record_shift(self, ev);
+    }
+    fn arm_tear(&mut self) {}
+}
+
+impl ShiftSink for StreamingRecorder {
+    fn record_shift(&mut self, ev: ShiftEvent) {
+        StreamingRecorder::record_shift(self, ev);
+    }
+    fn arm_tear(&mut self) {
+        self.tear_next_append();
+    }
+}
+
+/// An [`EpochTap`] adapter owning the ordering contract between shift
+/// events and epoch appends. The legacy loop recorded a shift the moment
+/// the prologue applied it; under the staged driver the prologue runs on
+/// the drain stage, epochs ahead of the log append, so the adapter
+/// replays the deterministic shift schedule into the sink immediately
+/// before the epoch it precedes is appended. The recorders buffer shifts
+/// onto the *next* appended block either way, so the log bytes are
+/// identical. It also arms the chaos harness's mid-append tear at
+/// exactly the right block.
+pub(crate) struct ShiftTap<'a> {
+    sink: &'a mut dyn ShiftSink,
+    shifts: Vec<Vec<ShiftEvent>>,
+    tear_at: Option<u64>,
+}
+
+impl<'a> ShiftTap<'a> {
+    pub(crate) fn new(
+        sink: &'a mut dyn ShiftSink,
+        shifts: Vec<Vec<ShiftEvent>>,
+        tear_at: Option<u64>,
+    ) -> Self {
+        Self { sink, shifts, tear_at }
+    }
+}
+
+impl EpochTap for ShiftTap<'_> {
+    fn on_epoch(&mut self, record: &EpochInputsRecord<'_>) {
+        let e = record.report.epoch;
+        if let Some(events) = self.shifts.get(e as usize) {
+            for ev in events {
+                self.sink.record_shift(*ev);
+            }
+        }
+        if self.tear_at == Some(e) {
+            self.sink.arm_tear();
+        }
+        self.sink.on_epoch(record);
+    }
+}
+
+/// The per-epoch shift events a spec scripts, indexed by epoch — the
+/// schedule [`ShiftTap`] echoes into run logs.
+pub(crate) fn spec_shift_schedule(spec: &ScenarioSpec) -> Vec<Vec<ShiftEvent>> {
+    let mut schedule = vec![Vec::new(); spec.epochs as usize];
+    for shift in &spec.shifts {
+        if let Some(slot) = schedule.get_mut(shift.epoch() as usize) {
+            slot.push(shift_event(shift));
+        }
+    }
+    schedule
+}
+
+/// Builds and runs the [`craqr_core::EpochDriver`] every scenario entry
+/// point goes through: the spec's prologue plus whatever hook, tap,
+/// timer, and crash the flavor installs, on the serial or pipelined
+/// executor.
+#[allow(clippy::too_many_arguments)] // one call site per run flavor; a params struct would just rename the problem
+pub(crate) fn drive(
+    server: &mut CraqrServer,
+    spec: &ScenarioSpec,
+    epochs: u64,
+    hook: Option<&mut dyn ControlHook>,
+    tap: Option<&mut dyn EpochTap>,
+    timer: Option<&mut dyn PhaseTimer>,
+    crash: Option<(u64, CrashPoint)>,
+    pipelined: bool,
+) -> craqr_core::RunOutcome {
+    let mut d = server.driver().prologue(|e, crowd| epoch_prologue(spec, e as u32, crowd));
+    if let Some(h) = hook {
+        d = d.hook(h);
+    }
+    if let Some(t) = tap {
+        d = d.tap(t);
+    }
+    if let Some(t) = timer {
+        d = d.timer(t);
+    }
+    if let Some((slot, point)) = crash {
+        d = d.crash_at(slot, point);
+    }
+    if pipelined {
+        d.run_pipelined(epochs)
+    } else {
+        d.run(epochs)
     }
 }
 

@@ -335,9 +335,23 @@ impl Crowd {
     /// which is what makes [`merge_sharded_responses`] an exact inverse
     /// of [`Crowd::drain_responses_sharded`].
     pub fn drain_responses(&mut self) -> Vec<SensorResponse> {
-        let mut out = std::mem::take(&mut self.ready);
-        out.sort_by(response_order);
-        out
+        self.drain_responses_reusing(Vec::new())
+    }
+
+    /// [`Crowd::drain_responses`] into a recycled buffer: `recycled` is
+    /// cleared, swapped with the internal ready queue (which inherits the
+    /// recycled allocation), and returned sorted. Steady-state epoch
+    /// loops recycle their drained batch back through this to keep the
+    /// drain allocation-free; the returned sequence is bit-identical to
+    /// the plain drain.
+    pub fn drain_responses_reusing(
+        &mut self,
+        mut recycled: Vec<SensorResponse>,
+    ) -> Vec<SensorResponse> {
+        recycled.clear();
+        std::mem::swap(&mut recycled, &mut self.ready);
+        recycled.sort_by(response_order);
+        recycled
     }
 
     /// Drains all matured responses partitioned for a *distributed

@@ -70,6 +70,7 @@
 //! | `--print`        | off            | print each canonical report to stdout |
 //! | `--trace`        | off            | print each adaptive trace to stdout |
 //! | `--metrics FILE` | off            | instrument every run, write the merged Prometheus exposition to `FILE` |
+//! | `--pipeline`     | off            | run on the staged four-thread executor; goldens are still checked (and only ever blessed) from serial bytes |
 //!
 //! Without `--bless`/`--check`/`--checksum`/`--print`, a one-line summary
 //! per scenario is printed. Every run additionally executes the spec under
@@ -721,6 +722,10 @@ struct Args {
     /// `--metrics FILE`: instrument every run and write the merged
     /// Prometheus exposition here.
     metrics: Option<PathBuf>,
+    /// `--pipeline`: drive each primary run on the pipelined executor.
+    /// The built-in cross-run stays on the classic executor, so every
+    /// invocation re-proves the pipelined bytes against serial ones.
+    pipeline: bool,
     /// `--all` was used, so the file list is a complete corpus and the
     /// golden directory can be swept for orphans.
     swept: bool,
@@ -738,6 +743,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         print: false,
         trace: false,
         metrics: None,
+        pipeline: false,
         swept: false,
     };
     let mut it = argv.into_iter();
@@ -764,6 +770,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--checksum" => args.checksum = true,
             "--print" => args.print = true,
             "--trace" => args.trace = true,
+            "--pipeline" => args.pipeline = true,
             "--help" | "-h" => {
                 println!("see the doc comment at the top of src/bin/craqr-scenario.rs for usage");
                 std::process::exit(0);
@@ -779,6 +786,14 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     }
     if args.bless && args.check {
         return Err("--bless and --check are mutually exclusive".into());
+    }
+    if args.bless && args.pipeline {
+        return Err("--bless --pipeline is refused: goldens are always blessed from serial runs \
+             (pipelining must never be bless-relevant)"
+            .into());
+    }
+    if args.metrics.is_some() && args.pipeline {
+        return Err("--metrics and --pipeline are mutually exclusive".into());
     }
     if args.bless && args.seed.is_some() {
         return Err(
@@ -949,6 +964,8 @@ fn golden_mode(argv: Vec<String>) -> ExitCode {
         let run = |exec| {
             if args.metrics.is_some() {
                 runner.run_full_instrumented(exec, seed)
+            } else if args.pipeline {
+                runner.run_full_pipelined(exec, seed)
             } else {
                 runner.run_full(exec, seed)
             }
